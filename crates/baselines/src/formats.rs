@@ -1,0 +1,527 @@
+//! Baseline storage formats (Fig. 6: "ingesting 10,000 images ... into
+//! different formats").
+//!
+//! Each writer reproduces the *I/O pattern* of its namesake:
+//!
+//! | writer | namesake | pattern |
+//! |---|---|---|
+//! | [`JpegDirWriter`] | raw JPEG folder | one object per sample, encoded |
+//! | [`NpyDirWriter`] | NumPy `.npy` dir | one object per sample, raw |
+//! | [`ZarrLikeWriter`] | Zarr / TensorStore | static chunk grid, padded, raw |
+//! | [`N5LikeWriter`] | N5 | static chunk grid, nested keys, raw |
+//! | [`WebDatasetWriter`] | WebDataset | sequential tar shards, encoded |
+//! | [`BetonWriter`] | FFCV Beton | single file: record table + payload |
+//! | [`TfRecordWriter`] | TFRecord | length-prefixed record shards |
+//! | [`MsgpackShardWriter`] | Squirrel | indexed shards of packed records |
+
+use bytes::Bytes;
+use deeplake_storage::StorageProvider;
+
+use crate::record::{RawImage, WriteReport};
+use crate::tar;
+use crate::Result;
+
+/// A dataset ingestion target.
+pub trait FormatWriter: Send + Sync {
+    /// Short name used in benchmark tables.
+    fn name(&self) -> &'static str;
+    /// Write all images under `prefix` on `store`.
+    fn write(
+        &self,
+        store: &dyn StorageProvider,
+        prefix: &str,
+        images: &[RawImage],
+    ) -> Result<WriteReport>;
+}
+
+fn put(store: &dyn StorageProvider, key: &str, data: Vec<u8>, report: &mut WriteReport) -> Result<()> {
+    report.bytes_written += data.len() as u64;
+    report.objects += 1;
+    store.put(key, Bytes::from(data))
+}
+
+// ---------------------------------------------------------------------
+// file-per-sample
+// ---------------------------------------------------------------------
+
+/// One encoded (JPEG-like) object per sample plus a labels manifest — the
+/// layout `torchvision.ImageFolder` consumes.
+pub struct JpegDirWriter;
+
+impl FormatWriter for JpegDirWriter {
+    fn name(&self) -> &'static str {
+        "jpeg-dir"
+    }
+
+    fn write(
+        &self,
+        store: &dyn StorageProvider,
+        prefix: &str,
+        images: &[RawImage],
+    ) -> Result<WriteReport> {
+        let mut report = WriteReport { samples: images.len() as u64, ..Default::default() };
+        let mut labels = Vec::with_capacity(images.len() * 4);
+        for (i, img) in images.iter().enumerate() {
+            put(store, &format!("{prefix}/{i:08}.img"), img.encode_jpeg_like(), &mut report)?;
+            labels.extend_from_slice(&img.label.to_le_bytes());
+        }
+        put(store, &format!("{prefix}/labels.bin"), labels, &mut report)?;
+        Ok(report)
+    }
+}
+
+/// One raw `.npy`-style object per sample (`\x93NUMPY`-magic header + raw
+/// row-major bytes) — the "NumPy format" bar of Fig. 6.
+pub struct NpyDirWriter;
+
+/// Encode an npy-style blob.
+pub fn npy_encode(img: &RawImage) -> Vec<u8> {
+    let header = format!(
+        "{{'descr': '|u1', 'fortran_order': False, 'shape': ({}, {}, {}), }}",
+        img.h, img.w, img.c
+    );
+    let mut out = Vec::with_capacity(img.pixels.len() + header.len() + 16);
+    out.extend_from_slice(b"\x93NUMPY\x01\x00");
+    let pad = (64 - (10 + header.len() + 1) % 64) % 64;
+    let hlen = (header.len() + pad + 1) as u16;
+    out.extend_from_slice(&hlen.to_le_bytes());
+    out.extend_from_slice(header.as_bytes());
+    out.extend(std::iter::repeat(b' ').take(pad));
+    out.push(b'\n');
+    out.extend_from_slice(&img.pixels);
+    out
+}
+
+/// Decode an npy-style blob back to `(pixels, h, w, c)`.
+pub fn npy_decode(blob: &[u8]) -> Option<(Bytes, u32, u32, u32)> {
+    if blob.len() < 10 || &blob[..6] != b"\x93NUMPY" {
+        return None;
+    }
+    let hlen = u16::from_le_bytes([blob[8], blob[9]]) as usize;
+    let header = std::str::from_utf8(&blob[10..10 + hlen]).ok()?;
+    let shape_start = header.find('(')? + 1;
+    let shape_end = header.find(')')?;
+    let dims: Vec<u32> = header[shape_start..shape_end]
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    if dims.len() != 3 {
+        return None;
+    }
+    let data = Bytes::copy_from_slice(&blob[10 + hlen..]);
+    Some((data, dims[0], dims[1], dims[2]))
+}
+
+impl FormatWriter for NpyDirWriter {
+    fn name(&self) -> &'static str {
+        "numpy"
+    }
+
+    fn write(
+        &self,
+        store: &dyn StorageProvider,
+        prefix: &str,
+        images: &[RawImage],
+    ) -> Result<WriteReport> {
+        let mut report = WriteReport { samples: images.len() as u64, ..Default::default() };
+        for (i, img) in images.iter().enumerate() {
+            put(store, &format!("{prefix}/{i:08}.npy"), npy_encode(img), &mut report)?;
+        }
+        Ok(report)
+    }
+}
+
+// ---------------------------------------------------------------------
+// statically chunked array stores
+// ---------------------------------------------------------------------
+
+/// Zarr-style store: a fixed `[k, H, W, C]` chunk grid over the batch
+/// axis. Ragged samples must be **padded** to the max shape — the storage
+/// waste §3.4 calls out for static chunking.
+pub struct ZarrLikeWriter {
+    /// Samples per chunk along the batch axis.
+    pub batch_per_chunk: usize,
+}
+
+impl FormatWriter for ZarrLikeWriter {
+    fn name(&self) -> &'static str {
+        "zarr"
+    }
+
+    fn write(
+        &self,
+        store: &dyn StorageProvider,
+        prefix: &str,
+        images: &[RawImage],
+    ) -> Result<WriteReport> {
+        let mut report = WriteReport { samples: images.len() as u64, ..Default::default() };
+        let (mh, mw, mc) = max_geometry(images);
+        let meta = format!(
+            "{{\"zarr_format\":2,\"shape\":[{},{},{},{}],\"chunks\":[{},{},{},{}],\"dtype\":\"|u1\"}}",
+            images.len(), mh, mw, mc, self.batch_per_chunk, mh, mw, mc
+        );
+        put(store, &format!("{prefix}/.zarray"), meta.into_bytes(), &mut report)?;
+        let slot = (mh * mw * mc) as usize;
+        for (ci, chunk) in images.chunks(self.batch_per_chunk).enumerate() {
+            let mut buf = vec![0u8; slot * chunk.len()];
+            for (i, img) in chunk.iter().enumerate() {
+                pad_into(&mut buf[i * slot..(i + 1) * slot], img, mh, mw, mc);
+            }
+            put(store, &format!("{prefix}/{ci}.0.0.0"), buf, &mut report)?;
+        }
+        Ok(report)
+    }
+}
+
+/// N5-style store: like Zarr but nested chunk keys and a per-chunk binary
+/// header (mode + ndim + dims), matching N5's format.
+pub struct N5LikeWriter {
+    /// Samples per chunk along the batch axis.
+    pub batch_per_chunk: usize,
+}
+
+impl FormatWriter for N5LikeWriter {
+    fn name(&self) -> &'static str {
+        "n5"
+    }
+
+    fn write(
+        &self,
+        store: &dyn StorageProvider,
+        prefix: &str,
+        images: &[RawImage],
+    ) -> Result<WriteReport> {
+        let mut report = WriteReport { samples: images.len() as u64, ..Default::default() };
+        let (mh, mw, mc) = max_geometry(images);
+        let attrs = format!(
+            "{{\"dimensions\":[{},{},{},{}],\"blockSize\":[{},{},{},{}],\"dataType\":\"uint8\"}}",
+            images.len(), mh, mw, mc, self.batch_per_chunk, mh, mw, mc
+        );
+        put(store, &format!("{prefix}/attributes.json"), attrs.into_bytes(), &mut report)?;
+        let slot = (mh * mw * mc) as usize;
+        for (ci, chunk) in images.chunks(self.batch_per_chunk).enumerate() {
+            let mut buf = Vec::with_capacity(slot * chunk.len() + 24);
+            buf.extend_from_slice(&0u16.to_be_bytes()); // mode
+            buf.extend_from_slice(&4u16.to_be_bytes()); // ndim
+            for d in [chunk.len() as u32, mh, mw, mc] {
+                buf.extend_from_slice(&d.to_be_bytes());
+            }
+            let body_start = buf.len();
+            buf.resize(body_start + slot * chunk.len(), 0);
+            for (i, img) in chunk.iter().enumerate() {
+                pad_into(
+                    &mut buf[body_start + i * slot..body_start + (i + 1) * slot],
+                    img,
+                    mh,
+                    mw,
+                    mc,
+                );
+            }
+            put(store, &format!("{prefix}/0/0/0/{ci}"), buf, &mut report)?;
+        }
+        Ok(report)
+    }
+}
+
+fn max_geometry(images: &[RawImage]) -> (u32, u32, u32) {
+    images.iter().fold((1, 1, 1), |(h, w, c), i| (h.max(i.h), w.max(i.w), c.max(i.c)))
+}
+
+fn pad_into(slot: &mut [u8], img: &RawImage, mh: u32, mw: u32, mc: u32) {
+    // copy row-major with zero padding on short axes
+    let (ih, iw, ic) = (img.h as usize, img.w as usize, img.c as usize);
+    let (mw, mc) = (mw as usize, mc as usize);
+    let _ = mh;
+    for y in 0..ih {
+        for x in 0..iw {
+            let src = (y * iw + x) * ic;
+            let dst = (y * mw + x) * mc;
+            slot[dst..dst + ic].copy_from_slice(&img.pixels[src..src + ic]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// sequential shard formats
+// ---------------------------------------------------------------------
+
+/// WebDataset-style tar shards: `(NNN.img, NNN.cls)` entry pairs appended
+/// sequentially, shards capped by size.
+pub struct WebDatasetWriter {
+    /// Target shard size in bytes.
+    pub shard_bytes: usize,
+    /// Store raw npy-framed payloads instead of JPEG-like blobs.
+    pub raw: bool,
+}
+
+impl WebDatasetWriter {
+    /// Encoded shards with the given target size (the common case).
+    pub fn jpeg(shard_bytes: usize) -> Self {
+        WebDatasetWriter { shard_bytes, raw: false }
+    }
+}
+
+impl FormatWriter for WebDatasetWriter {
+    fn name(&self) -> &'static str {
+        "webdataset"
+    }
+
+    fn write(
+        &self,
+        store: &dyn StorageProvider,
+        prefix: &str,
+        images: &[RawImage],
+    ) -> Result<WriteReport> {
+        let mut report = WriteReport { samples: images.len() as u64, ..Default::default() };
+        let mut shard = Vec::new();
+        let mut shard_no = 0usize;
+        for (i, img) in images.iter().enumerate() {
+            tar::append_entry(&mut shard, &format!("{i:08}.img"), &img.encode_payload(self.raw));
+            tar::append_entry(&mut shard, &format!("{i:08}.cls"), &img.label.to_le_bytes());
+            if shard.len() >= self.shard_bytes {
+                let mut done = std::mem::take(&mut shard);
+                tar::finish(&mut done);
+                put(store, &format!("{prefix}/shard-{shard_no:06}.tar"), done, &mut report)?;
+                shard_no += 1;
+            }
+        }
+        if !shard.is_empty() {
+            tar::finish(&mut shard);
+            put(store, &format!("{prefix}/shard-{shard_no:06}.tar"), shard, &mut report)?;
+        }
+        Ok(report)
+    }
+}
+
+/// FFCV-Beton-style single file: `[magic][n][record table][payload]`,
+/// where each table entry is `(offset, len, label)` — random access via
+/// one table read.
+#[derive(Default)]
+pub struct BetonWriter {
+    /// Store raw npy-framed payloads instead of JPEG-like blobs.
+    pub raw: bool,
+}
+
+/// Magic prefix of a beton file.
+pub const BETON_MAGIC: &[u8; 8] = b"BETONv01";
+
+impl FormatWriter for BetonWriter {
+    fn name(&self) -> &'static str {
+        "ffcv-beton"
+    }
+
+    fn write(
+        &self,
+        store: &dyn StorageProvider,
+        prefix: &str,
+        images: &[RawImage],
+    ) -> Result<WriteReport> {
+        let mut report = WriteReport { samples: images.len() as u64, ..Default::default() };
+        let blobs: Vec<Vec<u8>> = images.iter().map(|i| i.encode_payload(self.raw)).collect();
+        let table_len = images.len() * 20;
+        let payload_base = 16 + table_len;
+        let mut out = Vec::with_capacity(payload_base + blobs.iter().map(Vec::len).sum::<usize>());
+        out.extend_from_slice(BETON_MAGIC);
+        out.extend_from_slice(&(images.len() as u64).to_le_bytes());
+        let mut offset = payload_base as u64;
+        for (img, blob) in images.iter().zip(&blobs) {
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+            out.extend_from_slice(&img.label.to_le_bytes());
+            offset += blob.len() as u64;
+        }
+        for blob in &blobs {
+            out.extend_from_slice(blob);
+        }
+        put(store, &format!("{prefix}/data.beton"), out, &mut report)?;
+        Ok(report)
+    }
+}
+
+/// TFRecord-style shards: a raw stream of `[len u64][label i32][blob]`
+/// records; no index, sequential consumption only.
+pub struct TfRecordWriter {
+    /// Records per shard file.
+    pub records_per_shard: usize,
+    /// Store raw npy-framed payloads instead of JPEG-like blobs.
+    pub raw: bool,
+}
+
+impl FormatWriter for TfRecordWriter {
+    fn name(&self) -> &'static str {
+        "tfrecord"
+    }
+
+    fn write(
+        &self,
+        store: &dyn StorageProvider,
+        prefix: &str,
+        images: &[RawImage],
+    ) -> Result<WriteReport> {
+        let mut report = WriteReport { samples: images.len() as u64, ..Default::default() };
+        for (si, shard) in images.chunks(self.records_per_shard.max(1)).enumerate() {
+            let mut out = Vec::new();
+            for img in shard {
+                let blob = img.encode_payload(self.raw);
+                out.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+                out.extend_from_slice(&img.label.to_le_bytes());
+                out.extend_from_slice(&blob);
+            }
+            put(store, &format!("{prefix}/part-{si:05}.tfrecord"), out, &mut report)?;
+        }
+        Ok(report)
+    }
+}
+
+/// Squirrel-style msgpack-ish shards plus an index object mapping shards
+/// to sample counts (enables shard-parallel loading).
+pub struct MsgpackShardWriter {
+    /// Records per shard.
+    pub records_per_shard: usize,
+    /// Store raw npy-framed payloads instead of JPEG-like blobs.
+    pub raw: bool,
+}
+
+impl FormatWriter for MsgpackShardWriter {
+    fn name(&self) -> &'static str {
+        "squirrel"
+    }
+
+    fn write(
+        &self,
+        store: &dyn StorageProvider,
+        prefix: &str,
+        images: &[RawImage],
+    ) -> Result<WriteReport> {
+        let mut report = WriteReport { samples: images.len() as u64, ..Default::default() };
+        let mut index = Vec::new();
+        for (si, shard) in images.chunks(self.records_per_shard.max(1)).enumerate() {
+            let mut out = Vec::new();
+            for img in shard {
+                let blob = img.encode_payload(self.raw);
+                // msgpack-flavoured framing: fixmap-ish tag + u32 len
+                out.push(0x82);
+                out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+                out.extend_from_slice(&img.label.to_le_bytes());
+                out.extend_from_slice(&blob);
+            }
+            index.push(format!("shard-{si:05}.msg:{}", shard.len()));
+            put(store, &format!("{prefix}/shard-{si:05}.msg"), out, &mut report)?;
+        }
+        put(store, &format!("{prefix}/index.txt"), index.join("\n").into_bytes(), &mut report)?;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeplake_storage::MemoryProvider;
+
+    fn images(n: usize, side: u32) -> Vec<RawImage> {
+        (0..n)
+            .map(|i| RawImage {
+                pixels: Bytes::from(vec![(i % 251) as u8; (side * side * 3) as usize]),
+                h: side,
+                w: side,
+                c: 3,
+                label: (i % 10) as i32,
+            })
+            .collect()
+    }
+
+    fn all_writers() -> Vec<Box<dyn FormatWriter>> {
+        vec![
+            Box::new(JpegDirWriter),
+            Box::new(NpyDirWriter),
+            Box::new(ZarrLikeWriter { batch_per_chunk: 4 }),
+            Box::new(N5LikeWriter { batch_per_chunk: 4 }),
+            Box::new(WebDatasetWriter { shard_bytes: 8192, raw: false }),
+            Box::new(BetonWriter::default()),
+            Box::new(TfRecordWriter { records_per_shard: 8, raw: false }),
+            Box::new(MsgpackShardWriter { records_per_shard: 8, raw: false }),
+        ]
+    }
+
+    #[test]
+    fn every_writer_reports_and_persists() {
+        let imgs = images(20, 16);
+        for w in all_writers() {
+            let store = MemoryProvider::new();
+            let report = w.write(&store, "ds", &imgs).unwrap();
+            assert_eq!(report.samples, 20, "{}", w.name());
+            assert!(report.objects > 0, "{}", w.name());
+            assert!(report.bytes_written > 0, "{}", w.name());
+            assert_eq!(store.object_count() as u64, report.objects, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn object_count_patterns_match_format_designs() {
+        let imgs = images(20, 16);
+        let store = MemoryProvider::new();
+        // file-per-sample: n + manifest
+        assert_eq!(JpegDirWriter.write(&store, "a", &imgs).unwrap().objects, 21);
+        // zarr: meta + ceil(20/4) chunks
+        assert_eq!(
+            ZarrLikeWriter { batch_per_chunk: 4 }.write(&store, "b", &imgs).unwrap().objects,
+            6
+        );
+        // beton: single object
+        assert_eq!(BetonWriter::default().write(&store, "c", &imgs).unwrap().objects, 1);
+    }
+
+    #[test]
+    fn npy_roundtrip() {
+        let img = &images(1, 8)[0];
+        let blob = npy_encode(img);
+        let (data, h, w, c) = npy_decode(&blob).unwrap();
+        assert_eq!((h, w, c), (8, 8, 3));
+        assert_eq!(&data[..], &img.pixels[..]);
+        assert!(npy_decode(b"not npy").is_none());
+    }
+
+    #[test]
+    fn zarr_pads_ragged_images() {
+        let mut imgs = images(2, 8);
+        imgs.push(RawImage {
+            pixels: Bytes::from(vec![7u8; 4 * 4 * 3]),
+            h: 4,
+            w: 4,
+            c: 3,
+            label: 1,
+        });
+        let store = MemoryProvider::new();
+        let report = ZarrLikeWriter { batch_per_chunk: 4 }.write(&store, "z", &imgs).unwrap();
+        // padded bytes: every sample takes the max 8*8*3 slot
+        assert!(report.bytes_written as usize >= 3 * 8 * 8 * 3);
+    }
+
+    #[test]
+    fn webdataset_shards_split_by_size() {
+        let imgs = images(50, 16);
+        let store = MemoryProvider::new();
+        let report = WebDatasetWriter { shard_bytes: 4096, raw: false }.write(&store, "w", &imgs).unwrap();
+        assert!(report.objects > 1, "should split into multiple shards");
+        let shards = store.list("w/").unwrap();
+        assert_eq!(shards.len() as u64, report.objects);
+    }
+
+    #[test]
+    fn beton_table_is_parseable() {
+        let imgs = images(5, 8);
+        let store = MemoryProvider::new();
+        BetonWriter::default().write(&store, "f", &imgs).unwrap();
+        let data = store.get("f/data.beton").unwrap();
+        assert_eq!(&data[..8], BETON_MAGIC);
+        let n = u64::from_le_bytes(data[8..16].try_into().unwrap());
+        assert_eq!(n, 5);
+        // first record decodes
+        let off = u64::from_le_bytes(data[16..24].try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(data[24..32].try_into().unwrap()) as usize;
+        let label = i32::from_le_bytes(data[32..36].try_into().unwrap());
+        let img = RawImage::decode_jpeg_like(&data[off..off + len], label).unwrap();
+        assert_eq!(img.label, 0);
+        assert_eq!((img.h, img.w), (8, 8));
+    }
+}

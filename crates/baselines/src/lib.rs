@@ -1,0 +1,27 @@
+//! # deeplake-baselines
+//!
+//! From-scratch implementations of the storage formats and dataloaders the
+//! Deep Lake paper benchmarks against (Figs. 6-8): a file-per-sample
+//! directory ("native PyTorch" loading and NumPy `.npy` files), Zarr- and
+//! N5-style statically chunked array stores, WebDataset-style tar shards,
+//! an FFCV-Beton-style fixed-record binary, a TFRecord-style
+//! length-prefixed stream, and a Squirrel-style msgpack-ish shard format.
+//!
+//! Every format writes through a [`deeplake_storage::StorageProvider`], so
+//! the same code paths run over local memory, the filesystem, or the
+//! simulated S3/MinIO backends — exactly what Figs. 7-8 vary.
+//!
+//! These are faithful *system-level* reproductions, not byte-compatible
+//! ports: what matters for the benchmarks is each format's I/O pattern
+//! (files per sample, chunk granularity, sequential vs random access,
+//! where decode cost lands), which is preserved.
+
+pub mod formats;
+pub mod loaders;
+pub mod record;
+pub mod tar;
+
+pub use record::{DecodeCheck, EpochReport, RawImage, WriteReport};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, deeplake_storage::StorageError>;

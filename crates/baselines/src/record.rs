@@ -1,0 +1,158 @@
+//! Shared sample records and reports.
+
+use bytes::Bytes;
+use deeplake_codec::{synthimg, Compression};
+
+/// One raw image sample plus its label — the unit all baseline formats
+/// ingest and serve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawImage {
+    /// H×W×C `u8` pixels, row-major.
+    pub pixels: Bytes,
+    /// Height.
+    pub h: u32,
+    /// Width.
+    pub w: u32,
+    /// Channels.
+    pub c: u32,
+    /// Class label.
+    pub label: i32,
+}
+
+impl RawImage {
+    /// Raw byte size.
+    pub fn nbytes(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// Encode to the JPEG-stand-in blob (see DESIGN.md substitutions).
+    pub fn encode_jpeg_like(&self) -> Vec<u8> {
+        Compression::JPEG_LIKE
+            .compress_image(&self.pixels, self.h, self.w, self.c)
+            .expect("valid geometry")
+    }
+
+    /// Decode a JPEG-stand-in blob.
+    pub fn decode_jpeg_like(blob: &[u8], label: i32) -> Option<RawImage> {
+        let (pixels, geom) = Compression::decompress_image(blob).ok()?;
+        let (h, w, c) = geom?;
+        Some(RawImage { pixels: Bytes::from(pixels), h, w, c, label })
+    }
+
+    /// Encode either raw (`.npy`-framed, used when a format ingests
+    /// uncompressed arrays as in Fig. 6) or JPEG-like.
+    pub fn encode_payload(&self, raw: bool) -> Vec<u8> {
+        if raw {
+            crate::formats::npy_encode(self)
+        } else {
+            self.encode_jpeg_like()
+        }
+    }
+
+    /// Decode a payload written by [`RawImage::encode_payload`] in either
+    /// framing.
+    pub fn decode_any(blob: &[u8], label: i32) -> Option<RawImage> {
+        if let Some((pixels, h, w, c)) = crate::formats::npy_decode(blob) {
+            return Some(RawImage { pixels, h, w, c, label });
+        }
+        Self::decode_jpeg_like(blob, label)
+    }
+
+    /// Per-pixel decode error bound of the lossy codec.
+    pub fn codec_error_bound() -> u8 {
+        synthimg::max_error(synthimg::Quality::MEDIUM)
+    }
+}
+
+/// Result of ingesting a dataset into a format (Fig. 6 measurements).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WriteReport {
+    /// Samples written.
+    pub samples: u64,
+    /// Bytes put to storage (after format framing/compression).
+    pub bytes_written: u64,
+    /// Storage objects created.
+    pub objects: u64,
+}
+
+/// Running checksum that proves a loader actually decoded every sample
+/// (guards against benchmarks optimizing the work away).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeCheck {
+    /// Sum of the first pixel of every decoded image.
+    pub pixel_sum: u64,
+    /// Sum of labels.
+    pub label_sum: i64,
+}
+
+impl DecodeCheck {
+    /// Fold one decoded sample in.
+    pub fn absorb(&mut self, img: &RawImage) {
+        self.pixel_sum = self
+            .pixel_sum
+            .wrapping_add(img.pixels.first().copied().unwrap_or(0) as u64);
+        self.label_sum = self.label_sum.wrapping_add(img.label as i64);
+    }
+}
+
+/// Result of one loader epoch (Fig. 7/8 measurements).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EpochReport {
+    /// Samples decoded and delivered.
+    pub samples: u64,
+    /// Decoded payload bytes.
+    pub bytes: u64,
+    /// Decode verification.
+    pub check: DecodeCheck,
+}
+
+impl EpochReport {
+    /// Merge a worker's partial report.
+    pub fn merge(&mut self, other: &EpochReport) {
+        self.samples += other.samples;
+        self.bytes += other.bytes;
+        self.check.pixel_sum = self.check.pixel_sum.wrapping_add(other.check.pixel_sum);
+        self.check.label_sum = self.check.label_sum.wrapping_add(other.check.label_sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(fill: u8) -> RawImage {
+        RawImage { pixels: Bytes::from(vec![fill; 16 * 16 * 3]), h: 16, w: 16, c: 3, label: 7 }
+    }
+
+    #[test]
+    fn jpeg_like_roundtrip() {
+        let i = img(100);
+        let blob = i.encode_jpeg_like();
+        assert!(blob.len() < i.nbytes());
+        let back = RawImage::decode_jpeg_like(&blob, 7).unwrap();
+        assert_eq!((back.h, back.w, back.c), (16, 16, 3));
+        let bound = RawImage::codec_error_bound();
+        for (a, b) in i.pixels.iter().zip(back.pixels.iter()) {
+            assert!(a.abs_diff(*b) <= bound);
+        }
+    }
+
+    #[test]
+    fn decode_check_tracks_work() {
+        let mut c = DecodeCheck::default();
+        c.absorb(&img(10));
+        c.absorb(&img(20));
+        assert_eq!(c.label_sum, 14);
+        assert!(c.pixel_sum > 0);
+    }
+
+    #[test]
+    fn epoch_report_merges() {
+        let mut a = EpochReport { samples: 2, bytes: 100, check: DecodeCheck { pixel_sum: 5, label_sum: 3 } };
+        let b = EpochReport { samples: 1, bytes: 50, check: DecodeCheck { pixel_sum: 2, label_sum: 1 } };
+        a.merge(&b);
+        assert_eq!(a.samples, 3);
+        assert_eq!(a.bytes, 150);
+        assert_eq!(a.check.pixel_sum, 7);
+    }
+}

@@ -1,0 +1,137 @@
+//! Minimal ustar-style tar writer/reader for WebDataset-style shards.
+//!
+//! WebDataset's whole design point is that a shard is a plain tar streamed
+//! sequentially. We implement the subset needed: regular files, 512-byte
+//! headers with octal size, zero-padded records, two-block end marker.
+
+use bytes::Bytes;
+
+const BLOCK: usize = 512;
+
+/// Append one file entry to a tar byte stream.
+pub fn append_entry(out: &mut Vec<u8>, name: &str, data: &[u8]) {
+    let mut header = [0u8; BLOCK];
+    let name_bytes = name.as_bytes();
+    let n = name_bytes.len().min(100);
+    header[..n].copy_from_slice(&name_bytes[..n]);
+    // mode, uid, gid (octal ascii)
+    header[100..107].copy_from_slice(b"0000644");
+    header[108..115].copy_from_slice(b"0000000");
+    header[116..123].copy_from_slice(b"0000000");
+    // size: 11 octal digits + space
+    let size = format!("{:011o} ", data.len());
+    header[124..136].copy_from_slice(size.as_bytes());
+    // mtime
+    header[136..147].copy_from_slice(b"00000000000");
+    // typeflag '0' = regular file
+    header[156] = b'0';
+    // magic
+    header[257..263].copy_from_slice(b"ustar\0");
+    header[263..265].copy_from_slice(b"00");
+    // checksum: spaces while computing
+    header[148..156].copy_from_slice(b"        ");
+    let sum: u32 = header.iter().map(|&b| b as u32).sum();
+    let chk = format!("{sum:06o}\0 ");
+    header[148..156].copy_from_slice(chk.as_bytes());
+
+    out.extend_from_slice(&header);
+    out.extend_from_slice(data);
+    let pad = (BLOCK - data.len() % BLOCK) % BLOCK;
+    out.extend(std::iter::repeat(0u8).take(pad));
+}
+
+/// Finish a tar stream (two zero blocks).
+pub fn finish(out: &mut Vec<u8>) {
+    out.extend(std::iter::repeat(0u8).take(2 * BLOCK));
+}
+
+/// Iterate `(name, data)` entries of a tar byte stream sequentially.
+pub struct TarReader {
+    data: Bytes,
+    pos: usize,
+}
+
+impl TarReader {
+    /// Wrap a tar byte stream.
+    pub fn new(data: Bytes) -> Self {
+        TarReader { data, pos: 0 }
+    }
+}
+
+impl Iterator for TarReader {
+    type Item = (String, Bytes);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.pos + BLOCK > self.data.len() {
+                return None;
+            }
+            let header = &self.data[self.pos..self.pos + BLOCK];
+            if header.iter().all(|&b| b == 0) {
+                return None; // end marker
+            }
+            let name_end = header[..100].iter().position(|&b| b == 0).unwrap_or(100);
+            let name = String::from_utf8_lossy(&header[..name_end]).to_string();
+            let size_field = &header[124..135];
+            let size_str = String::from_utf8_lossy(size_field);
+            let size = usize::from_str_radix(size_str.trim_matches(char::from(0)).trim(), 8)
+                .unwrap_or(0);
+            let data_start = self.pos + BLOCK;
+            if data_start + size > self.data.len() {
+                return None; // truncated
+            }
+            let data = self.data.slice(data_start..data_start + size);
+            let pad = (BLOCK - size % BLOCK) % BLOCK;
+            self.pos = data_start + size + pad;
+            if header[156] == b'0' || header[156] == 0 {
+                return Some((name, data));
+            }
+            // skip non-regular entries
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_multiple_entries() {
+        let mut tar = Vec::new();
+        append_entry(&mut tar, "000001.img", b"hello world");
+        append_entry(&mut tar, "000001.cls", b"7");
+        append_entry(&mut tar, "000002.img", &vec![9u8; 1000]);
+        finish(&mut tar);
+        assert_eq!(tar.len() % BLOCK, 0);
+        let entries: Vec<(String, Bytes)> = TarReader::new(Bytes::from(tar)).collect();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].0, "000001.img");
+        assert_eq!(&entries[0].1[..], b"hello world");
+        assert_eq!(entries[2].1.len(), 1000);
+    }
+
+    #[test]
+    fn empty_tar() {
+        let mut tar = Vec::new();
+        finish(&mut tar);
+        assert_eq!(TarReader::new(Bytes::from(tar)).count(), 0);
+    }
+
+    #[test]
+    fn truncated_tar_stops_cleanly() {
+        let mut tar = Vec::new();
+        append_entry(&mut tar, "a", &vec![1u8; 600]);
+        tar.truncate(700); // cut mid-payload
+        assert_eq!(TarReader::new(Bytes::from(tar)).count(), 0);
+    }
+
+    #[test]
+    fn zero_length_entry() {
+        let mut tar = Vec::new();
+        append_entry(&mut tar, "empty", b"");
+        finish(&mut tar);
+        let entries: Vec<_> = TarReader::new(Bytes::from(tar)).collect();
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].1.is_empty());
+    }
+}

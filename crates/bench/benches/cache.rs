@@ -1,0 +1,49 @@
+//! Ablation: LRU cache capacity vs re-epoch speed (DESIGN.md #3).
+//!
+//! §3.6's provider chaining: an in-memory LRU in front of simulated S3.
+//! A cache that fits the working set makes the second epoch local-speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deeplake_bench::{build_deeplake_dataset, deeplake_epoch};
+use deeplake_sim::datagen;
+use deeplake_storage::{
+    DynProvider, LruCacheProvider, MemoryProvider, NetworkProfile, SimulatedCloudProvider,
+};
+use std::sync::Arc;
+
+fn bench_cache(c: &mut Criterion) {
+    let images = datagen::imagenet_like(200, 48, 7);
+    let mut group = c.benchmark_group("ablation_lru_cache");
+    group.sample_size(10);
+    for (name, capacity) in
+        [("no_cache", 0u64), ("cache_1mb", 1 << 20), ("cache_64mb", 64 << 20)]
+    {
+        let backing = Arc::new(MemoryProvider::new());
+        let ds = build_deeplake_dataset(backing.clone(), &images, true, 256 << 10);
+        drop(ds);
+        let remote = SimulatedCloudProvider::new(
+            "s3",
+            backing,
+            NetworkProfile::s3().scaled(0.01),
+        );
+        let provider: DynProvider = if capacity == 0 {
+            Arc::new(remote)
+        } else {
+            Arc::new(LruCacheProvider::new(remote, capacity))
+        };
+        let ds = Arc::new(deeplake_core::Dataset::open(provider).unwrap());
+        // warm epoch fills the cache; measured epoch shows the benefit
+        let (warm, ..) = deeplake_epoch(ds.clone(), 4, 32, false);
+        assert_eq!(warm, 200);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let (samples, ..) = deeplake_epoch(ds.clone(), 4, 32, false);
+                assert_eq!(samples, 200);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Ablation: chunk size bounds vs streaming throughput (DESIGN.md #1).
+//!
+//! §3.5 picks 8 MB as the default target; this bench sweeps the target
+//! over a simulated-remote epoch to expose the trade-off: tiny chunks pay
+//! per-request latency, huge chunks lose parallelism and prefetch
+//! granularity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deeplake_bench::{build_deeplake_dataset, deeplake_epoch};
+use deeplake_sim::datagen;
+use deeplake_storage::{DynProvider, MemoryProvider, NetworkProfile, SimulatedCloudProvider};
+use std::sync::Arc;
+
+fn bench_chunk_size(c: &mut Criterion) {
+    let images = datagen::imagenet_like(200, 48, 5);
+    let mut group = c.benchmark_group("ablation_chunk_size");
+    group.sample_size(10);
+    for target in [16u64 << 10, 256 << 10, 2 << 20] {
+        let backing = Arc::new(MemoryProvider::new());
+        let ds = build_deeplake_dataset(backing.clone(), &images, true, target);
+        drop(ds);
+        let charged: DynProvider = Arc::new(SimulatedCloudProvider::new(
+            "s3",
+            backing,
+            NetworkProfile::s3().scaled(0.01),
+        ));
+        let ds = Arc::new(deeplake_core::Dataset::open(charged).unwrap());
+        group.bench_function(format!("target_{}kb", target >> 10), |b| {
+            b.iter(|| {
+                let (samples, ..) = deeplake_epoch(ds.clone(), 4, 32, false);
+                assert_eq!(samples, 200);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunk_size);
+criterion_main!(benches);

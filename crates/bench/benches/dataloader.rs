@@ -1,0 +1,50 @@
+//! Criterion counterpart of Fig. 7: epoch iteration speed per loader.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deeplake_baselines::formats::{BetonWriter, FormatWriter, JpegDirWriter, WebDatasetWriter};
+use deeplake_baselines::loaders::{BetonLoader, FilePerSampleLoader, Loader, TarStreamLoader};
+use deeplake_bench::{build_deeplake_dataset, deeplake_epoch};
+use deeplake_sim::datagen;
+use deeplake_storage::MemoryProvider;
+use std::sync::Arc;
+
+fn bench_dataloaders(c: &mut Criterion) {
+    let images = datagen::imagenet_like(300, 48, 2);
+    let mut group = c.benchmark_group("fig7_dataloaders");
+    group.sample_size(10);
+
+    // deep lake
+    let ds = Arc::new(build_deeplake_dataset(
+        Arc::new(MemoryProvider::new()),
+        &images,
+        true,
+        1 << 20,
+    ));
+    group.bench_function("deeplake", |b| {
+        b.iter(|| {
+            let (samples, ..) = deeplake_epoch(ds.clone(), 4, 32, false);
+            assert_eq!(samples, 300);
+        })
+    });
+
+    // baselines
+    let cases: Vec<(Box<dyn FormatWriter>, Box<dyn Loader>)> = vec![
+        (Box::new(BetonWriter::default()), Box::new(BetonLoader::default())),
+        (Box::new(WebDatasetWriter::jpeg(1 << 20)), Box::new(TarStreamLoader)),
+        (Box::new(JpegDirWriter), Box::new(FilePerSampleLoader)),
+    ];
+    for (writer, loader) in cases {
+        let store = MemoryProvider::new();
+        writer.write(&store, "ds", &images).unwrap();
+        group.bench_function(loader.name(), |b| {
+            b.iter(|| {
+                let r = loader.epoch(&store, "ds", 4).unwrap();
+                assert_eq!(r.samples, 300);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataloaders);
+criterion_main!(benches);

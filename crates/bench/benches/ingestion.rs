@@ -1,0 +1,67 @@
+//! Criterion counterpart of Fig. 6: serial ingestion into each format,
+//! plus the label-chunk LZ4 ablation from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use deeplake_baselines::formats::{
+    BetonWriter, FormatWriter, NpyDirWriter, WebDatasetWriter, ZarrLikeWriter,
+};
+use deeplake_bench::build_deeplake_dataset;
+use deeplake_codec::Compression;
+use deeplake_core::dataset::{Dataset, TensorOptions};
+use deeplake_sim::datagen;
+use deeplake_storage::MemoryProvider;
+use deeplake_tensor::{Htype, Sample};
+use std::sync::Arc;
+
+fn bench_ingestion(c: &mut Criterion) {
+    let images = datagen::ffhq_like(60, 64, 1);
+    let mut group = c.benchmark_group("fig6_ingestion");
+    group.sample_size(10);
+
+    group.bench_function("deeplake", |b| {
+        b.iter_batched(
+            || images.clone(),
+            |imgs| build_deeplake_dataset(Arc::new(MemoryProvider::new()), &imgs, false, 1 << 20),
+            BatchSize::SmallInput,
+        )
+    });
+    let writers: Vec<Box<dyn FormatWriter>> = vec![
+        Box::new(WebDatasetWriter { shard_bytes: 1 << 20, raw: true }),
+        Box::new(BetonWriter { raw: true }),
+        Box::new(ZarrLikeWriter { batch_per_chunk: 8 }),
+        Box::new(NpyDirWriter),
+    ];
+    for w in writers {
+        group.bench_function(w.name(), |b| {
+            b.iter_batched(
+                MemoryProvider::new,
+                |store| w.write(&store, "ds", &images).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+
+    // ablation: chunk compression of label tensors (LZ4 vs none)
+    let mut group = c.benchmark_group("ablation_label_chunk_compression");
+    group.sample_size(10);
+    for (name, codec) in [("lz4", Compression::Lz4), ("none", Compression::None)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "l").unwrap();
+                let mut o = TensorOptions::new(Htype::ClassLabel);
+                o.chunk_compression = Some(codec);
+                ds.create_tensor_opts("labels", o).unwrap();
+                for i in 0..2000 {
+                    ds.append_row(vec![("labels", Sample::scalar((i % 10) as i32))]).unwrap();
+                }
+                ds.flush().unwrap();
+                ds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingestion);
+criterion_main!(benches);

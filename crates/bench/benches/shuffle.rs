@@ -1,0 +1,46 @@
+//! Ablation: shuffle buffer size vs throughput (DESIGN.md #2).
+//!
+//! §3.5's shuffled streaming trades buffer memory for decorrelation; the
+//! throughput cost of larger buffers should stay small because block
+//! fetches remain chunk-local.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deeplake_bench::build_deeplake_dataset;
+use deeplake_loader::{DataLoader, ShuffleConfig};
+use deeplake_sim::datagen;
+use deeplake_storage::MemoryProvider;
+use std::sync::Arc;
+
+fn bench_shuffle(c: &mut Criterion) {
+    let images = datagen::imagenet_like(300, 48, 6);
+    let ds = Arc::new(build_deeplake_dataset(
+        Arc::new(MemoryProvider::new()),
+        &images,
+        true,
+        1 << 20,
+    ));
+    let mut group = c.benchmark_group("ablation_shuffle_buffer");
+    group.sample_size(10);
+    for buffer in [0usize, 64, 256, 1024] {
+        group.bench_function(format!("buffer_{buffer}"), |b| {
+            b.iter(|| {
+                let mut builder =
+                    DataLoader::builder(ds.clone()).batch_size(32).num_workers(4);
+                if buffer > 0 {
+                    builder = builder.shuffle_with(ShuffleConfig {
+                        buffer_rows: buffer,
+                        block_rows: 32,
+                        seed: 1,
+                    });
+                }
+                let loader = builder.build().unwrap();
+                let rows: usize = loader.epoch().map(|b| b.unwrap().len()).sum();
+                assert_eq!(rows, 300);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shuffle);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! TQL query performance: filter, order, and the paper's Fig. 5 query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deeplake_codec::Compression;
+use deeplake_core::dataset::{Dataset, TensorOptions};
+use deeplake_storage::MemoryProvider;
+use deeplake_tensor::{Htype, Sample};
+use deeplake_tql::query;
+use std::sync::Arc;
+
+fn dataset(rows: u64) -> Dataset {
+    let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "tql").unwrap();
+    ds.create_tensor_opts("images", {
+        let mut o = TensorOptions::new(Htype::Image);
+        o.sample_compression = Some(Compression::None);
+        o
+    })
+    .unwrap();
+    ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+    ds.create_tensor("boxes", Htype::BBox, None).unwrap();
+    ds.create_tensor("training/boxes", Htype::BBox, None).unwrap();
+    for i in 0..rows {
+        ds.append_row(vec![
+            ("images", Sample::from_slice([16, 16, 3], &vec![(i % 251) as u8; 768]).unwrap()),
+            ("labels", Sample::scalar((i % 10) as i32)),
+            (
+                "boxes",
+                Sample::from_slice([1, 4], &[(i % 8) as f32, 0.0, 10.0, 10.0]).unwrap(),
+            ),
+            (
+                "training/boxes",
+                Sample::from_slice([1, 4], &[0.0f32, 0.0, 10.0, 10.0]).unwrap(),
+            ),
+        ])
+        .unwrap();
+    }
+    ds.flush().unwrap();
+    ds
+}
+
+fn bench_tql(c: &mut Criterion) {
+    let ds = dataset(2000);
+    let mut group = c.benchmark_group("tql");
+    group.sample_size(10);
+    group.bench_function("filter_scalar", |b| {
+        b.iter(|| {
+            let r = query(&ds, "SELECT * FROM d WHERE labels = 3").unwrap();
+            assert_eq!(r.len(), 200);
+        })
+    });
+    group.bench_function("order_by_mean_image", |b| {
+        b.iter(|| {
+            let r = query(&ds, "SELECT * FROM d WHERE labels < 2 ORDER BY MEAN(images) DESC")
+                .unwrap();
+            assert_eq!(r.len(), 400);
+        })
+    });
+    group.bench_function("paper_fig5_query", |b| {
+        b.iter(|| {
+            let r = query(
+                &ds,
+                r#"SELECT images[2:10, 2:10, 0:2] AS crop,
+                          NORMALIZE(boxes, [0, 0, 12, 12]) AS box
+                   FROM d
+                   WHERE IOU(boxes, "training/boxes") > 0.5
+                   ORDER BY IOU(boxes, "training/boxes")
+                   ARRANGE BY labels"#,
+            )
+            .unwrap();
+            assert!(!r.is_empty());
+        })
+    });
+    group.bench_function("shape_fast_path", |b| {
+        b.iter(|| {
+            let r = query(&ds, "SELECT SHAPE(images) AS s FROM d LIMIT 500").unwrap();
+            assert_eq!(r.len(), 500);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tql);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion counterpart of Fig. 9: epoch time per training mode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deeplake_sim::trainer::{run_training, TrainMode, TrainingConfig};
+use deeplake_storage::NetworkProfile;
+
+fn bench_training_modes(c: &mut Criterion) {
+    let cfg = TrainingConfig {
+        samples: 120,
+        side: 32,
+        gpu_rate: 20_000.0,
+        net: NetworkProfile::s3().scaled(0.01),
+        workers: 4,
+        batch_size: 32,
+        gpu_scale: 1.0,
+        seed: 4,
+    };
+    let mut group = c.benchmark_group("fig9_training_modes");
+    group.sample_size(10);
+    for mode in [TrainMode::FileMode, TrainMode::FastFileMode, TrainMode::DeepLakeStream] {
+        group.bench_function(mode.name(), |b| {
+            b.iter(|| {
+                let r = run_training(mode, &cfg);
+                assert_eq!(r.gpu.images, 120);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_modes);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation: version-tree depth vs chunk lookup cost (DESIGN.md #6).
+//!
+//! §4.2 resolves a chunk by walking from the current commit toward the
+//! first commit, checking each version's chunk set. Read cost should
+//! grow only mildly with history depth because the chunk-set check is an
+//! in-memory hash probe.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deeplake_core::Dataset;
+use deeplake_storage::MemoryProvider;
+use deeplake_tensor::{Htype, Sample};
+use std::sync::Arc;
+
+fn dataset_with_depth(commits: usize) -> Dataset {
+    let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "deep").unwrap();
+    ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+    for i in 0..100 {
+        ds.append_row(vec![("labels", Sample::scalar(i as i32))]).unwrap();
+    }
+    ds.commit("base").unwrap();
+    for k in 0..commits {
+        // each commit touches one row so history stays relevant
+        ds.update("labels", (k % 100) as u64, &Sample::scalar(-1i32)).unwrap();
+        ds.commit(&format!("touch {k}")).unwrap();
+    }
+    ds
+}
+
+fn bench_version_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_version_depth");
+    group.sample_size(10);
+    for depth in [1usize, 8, 32] {
+        let ds = dataset_with_depth(depth);
+        group.bench_function(format!("depth_{depth}"), |b| {
+            b.iter(|| {
+                // rows written in the base commit resolve through the chain
+                let mut acc = 0f64;
+                for row in 0..100u64 {
+                    acc += ds.get("labels", row).unwrap().get_f64(0).unwrap();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_version_lookup);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! **Figure 6** — "Ingesting 10,000 images from FFHQ dataset into
+//! different formats (lower better)".
+//!
+//! The paper writes 10k uncompressed 1024×1024×3 arrays (3 MB each)
+//! serially into each format. We generate an FFHQ stand-in (count/side
+//! scaled by `DL_BENCH_N` / `DL_BENCH_SIDE`) and serially ingest it into
+//! Deep Lake's TSF plus every baseline format, reporting seconds and
+//! MB/s. Expected shape (paper): Deep Lake ≈ WebDataset ≈ Beton, all much
+//! faster than Zarr/N5 (padding + chunk-grid overhead) and the
+//! file-per-sample NumPy directory (object-per-sample overhead).
+
+use std::sync::Arc;
+
+use deeplake_baselines::formats::{
+    BetonWriter, FormatWriter, MsgpackShardWriter, N5LikeWriter, NpyDirWriter, TfRecordWriter,
+    WebDatasetWriter, ZarrLikeWriter,
+};
+use deeplake_bench::{build_deeplake_dataset, env_usize, print_table, secs, timed};
+use deeplake_sim::datagen;
+use deeplake_storage::LocalProvider;
+
+fn main() {
+    let n = env_usize("DL_BENCH_N", 400);
+    let side = env_usize("DL_BENCH_SIDE", 256) as u32;
+    let images = datagen::ffhq_like(n, side, 6);
+    let raw_mb = images.iter().map(|i| i.nbytes() as f64).sum::<f64>() / 1e6;
+    println!("fig6: ingesting {n} images of {side}x{side}x3 ({raw_mb:.0} MB raw) serially");
+
+    let tmp = std::env::temp_dir().join(format!("deeplake-fig6-{}", std::process::id()));
+    let mut rows = Vec::new();
+
+    // Deep Lake TSF (raw samples, like the other array formats here)
+    {
+        let dir = tmp.join("deeplake");
+        let provider = Arc::new(LocalProvider::new(&dir).unwrap());
+        let (_, wall) = timed(|| build_deeplake_dataset(provider, &images, false, 8 << 20));
+        rows.push(vec![
+            "deeplake".to_string(),
+            secs(wall),
+            format!("{:.1}", raw_mb / wall.as_secs_f64()),
+        ]);
+    }
+
+    // all formats ingest the same *uncompressed* arrays, as in the paper
+    let writers: Vec<Box<dyn FormatWriter>> = vec![
+        Box::new(WebDatasetWriter { shard_bytes: 64 << 20, raw: true }),
+        Box::new(BetonWriter { raw: true }),
+        Box::new(TfRecordWriter { records_per_shard: 256, raw: true }),
+        Box::new(MsgpackShardWriter { records_per_shard: 256, raw: true }),
+        Box::new(ZarrLikeWriter { batch_per_chunk: 2 }),
+        Box::new(N5LikeWriter { batch_per_chunk: 2 }),
+        Box::new(NpyDirWriter),
+    ];
+    for w in writers {
+        let dir = tmp.join(w.name());
+        let provider = LocalProvider::new(&dir).unwrap();
+        let (report, wall) = timed(|| w.write(&provider, "ds", &images).unwrap());
+        assert_eq!(report.samples, n as u64);
+        rows.push(vec![
+            w.name().to_string(),
+            secs(wall),
+            format!("{:.1}", raw_mb / wall.as_secs_f64()),
+        ]);
+    }
+
+    print_table(
+        "Fig 6: serial ingestion time (lower better)",
+        &["format", "seconds", "MB/s"],
+        &rows,
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+}

@@ -1,0 +1,78 @@
+//! **Figure 7** — "Iteration speed of images against other dataloaders
+//! (higher better)".
+//!
+//! The paper iterates 50,000 randomly generated 250×250×3 JPEG images
+//! through each loader in a training loop without a model. We generate a
+//! scaled-down equivalent (`DL_BENCH_N` × `DL_BENCH_SIDE`²×3 JPEG-like),
+//! write it in each loader's native format on the local filesystem, and
+//! measure a full decode epoch. Expected shape (paper): Deep Lake
+//! fastest, FFCV close behind, WebDataset/Squirrel mid, file-per-sample
+//! PyTorch slowest.
+
+use std::sync::Arc;
+
+use deeplake_baselines::formats::{
+    BetonWriter, FormatWriter, JpegDirWriter, MsgpackShardWriter, WebDatasetWriter,
+};
+use deeplake_baselines::loaders::{
+    BetonLoader, FilePerSampleLoader, Loader, MsgpackLoader, TarStreamLoader,
+};
+use deeplake_bench::{
+    build_deeplake_dataset, deeplake_epoch, env_usize, images_per_sec, print_table, secs,
+};
+use deeplake_sim::datagen;
+use deeplake_storage::LocalProvider;
+
+fn main() {
+    let n = env_usize("DL_BENCH_N", 3000);
+    let side = env_usize("DL_BENCH_SIDE", 128) as u32;
+    let workers = env_usize("DL_BENCH_WORKERS", 8);
+    let images = datagen::imagenet_like(n, side, 7);
+    println!("fig7: one epoch over {n} jpeg-like {side}x{side}x3 images, {workers} workers");
+
+    let tmp = std::env::temp_dir().join(format!("deeplake-fig7-{}", std::process::id()));
+    let mut rows = Vec::new();
+
+    // Deep Lake: chunked TSF + streaming loader
+    {
+        let provider = Arc::new(LocalProvider::new(tmp.join("deeplake")).unwrap());
+        let ds = build_deeplake_dataset(provider, &images, true, 8 << 20);
+        let (samples, _, wall) = deeplake_epoch(Arc::new(ds), workers, 64, false);
+        assert_eq!(samples, n as u64);
+        rows.push(vec![
+            "deeplake".to_string(),
+            format!("{:.0}", images_per_sec(samples, wall)),
+            secs(wall),
+        ]);
+    }
+
+    let cases: Vec<(Box<dyn FormatWriter>, Box<dyn Loader>)> = vec![
+        (Box::new(BetonWriter::default()), Box::new(BetonLoader::default())),
+        (Box::new(WebDatasetWriter::jpeg(16 << 20)), Box::new(TarStreamLoader)),
+        (
+            Box::new(MsgpackShardWriter { records_per_shard: 512, raw: false }),
+            Box::new(MsgpackLoader),
+        ),
+        (Box::new(JpegDirWriter), Box::new(FilePerSampleLoader)),
+    ];
+    for (writer, loader) in cases {
+        let provider = LocalProvider::new(tmp.join(loader.name())).unwrap();
+        writer.write(&provider, "ds", &images).unwrap();
+        let start = std::time::Instant::now();
+        let report = loader.epoch(&provider, "ds", workers).unwrap();
+        let wall = start.elapsed();
+        assert_eq!(report.samples, n as u64, "{}", loader.name());
+        rows.push(vec![
+            loader.name().to_string(),
+            format!("{:.0}", images_per_sec(report.samples, wall)),
+            secs(wall),
+        ]);
+    }
+
+    print_table(
+        "Fig 7: local dataloader iteration speed (higher better)",
+        &["loader", "images/s", "epoch s"],
+        &rows,
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+}

@@ -1,0 +1,166 @@
+//! # deeplake-bench
+//!
+//! Harness that regenerates every figure of the paper's evaluation (§6).
+//! Each `fig*` binary prints the same rows/series the paper reports;
+//! absolute numbers differ (our substrate is a simulator, see DESIGN.md)
+//! but the *shape* — who wins, by roughly what factor, where crossovers
+//! fall — is what EXPERIMENTS.md records.
+//!
+//! Binaries honour two environment knobs:
+//! * `DL_BENCH_N` — sample count (scaled-down defaults per figure).
+//! * `DL_BENCH_NET_SCALE` — multiplier on simulated network delays
+//!   (default `0.05`, i.e. 20× faster than real time).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use deeplake_baselines::RawImage;
+use deeplake_codec::Compression;
+use deeplake_core::dataset::{Dataset, TensorOptions};
+use deeplake_loader::DataLoader;
+use deeplake_storage::DynProvider;
+use deeplake_tensor::{Htype, Sample, Shape};
+
+/// Read an integer knob from the environment.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Read a float knob from the environment.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Network time scale for the simulated cloud (defaults to 20× fast).
+pub fn net_scale() -> f64 {
+    env_f64("DL_BENCH_NET_SCALE", 0.05)
+}
+
+/// Print a fixed-width results table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map(String::len).unwrap_or(0))
+                .chain([h.len()])
+                .max()
+                .unwrap_or(h.len())
+        })
+        .collect();
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for r in rows {
+        line(r.clone());
+    }
+}
+
+/// Ingest raw images into a fresh Deep Lake dataset on `provider`.
+/// `compress` picks raw (Fig. 6 writes uncompressed arrays) vs JPEG-like
+/// sample compression (Fig. 7's JPEG dataset).
+pub fn build_deeplake_dataset(
+    provider: DynProvider,
+    images: &[RawImage],
+    compress: bool,
+    chunk_target: u64,
+) -> Dataset {
+    let mut ds = Dataset::create(provider, "bench").unwrap();
+    ds.create_tensor_opts("images", {
+        let mut o = TensorOptions::new(Htype::Image);
+        o.sample_compression =
+            Some(if compress { Compression::JPEG_LIKE } else { Compression::None });
+        o.chunk_target_bytes = Some(chunk_target);
+        o
+    })
+    .unwrap();
+    ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+    for img in images {
+        let sample = Sample::from_bytes(
+            deeplake_tensor::Dtype::U8,
+            Shape::from([img.h as u64, img.w as u64, img.c as u64]),
+            img.pixels.clone(),
+        )
+        .unwrap();
+        ds.append_row(vec![("images", sample), ("labels", Sample::scalar(img.label))]).unwrap();
+    }
+    ds.flush().unwrap();
+    ds
+}
+
+/// One full Deep Lake loader epoch; returns `(samples, decoded_bytes,
+/// wall)`.
+pub fn deeplake_epoch(
+    ds: Arc<Dataset>,
+    workers: usize,
+    batch: usize,
+    shuffle: bool,
+) -> (u64, u64, Duration) {
+    let mut builder = DataLoader::builder(ds).batch_size(batch).num_workers(workers).prefetch(4);
+    if shuffle {
+        builder = builder.shuffle(7);
+    }
+    let loader = builder.build().unwrap();
+    let start = Instant::now();
+    let mut samples = 0u64;
+    let mut bytes = 0u64;
+    for b in loader.epoch() {
+        let b = b.unwrap();
+        samples += b.len() as u64;
+        bytes += b.nbytes() as u64;
+    }
+    (samples, bytes, start.elapsed())
+}
+
+/// Mean images/s given samples and wall time.
+pub fn images_per_sec(samples: u64, wall: Duration) -> f64 {
+    if wall.is_zero() {
+        0.0
+    } else {
+        samples as f64 / wall.as_secs_f64()
+    }
+}
+
+/// Format a duration as seconds with 3 decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Time a closure.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeplake_sim::datagen;
+    use deeplake_storage::MemoryProvider;
+
+    #[test]
+    fn harness_roundtrip() {
+        let imgs = datagen::imagenet_like(20, 16, 1);
+        let ds = build_deeplake_dataset(Arc::new(MemoryProvider::new()), &imgs, true, 1 << 18);
+        assert_eq!(ds.len(), 20);
+        let (samples, bytes, wall) = deeplake_epoch(Arc::new(ds), 2, 8, false);
+        assert_eq!(samples, 20);
+        assert!(bytes > 0);
+        assert!(images_per_sec(samples, wall.max(Duration::from_nanos(1))) > 0.0);
+    }
+
+    #[test]
+    fn env_knobs_default() {
+        assert_eq!(env_usize("DL_NO_SUCH_VAR", 7), 7);
+        assert_eq!(env_f64("DL_NO_SUCH_VAR", 0.5), 0.5);
+    }
+}

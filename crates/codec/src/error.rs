@@ -1,0 +1,51 @@
+//! Codec error type.
+
+/// Errors produced while compressing or decompressing blobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The compressed stream is malformed (truncated, bad offsets, ...).
+    Corrupt(&'static str),
+    /// The decompressed output did not match the expected length.
+    LengthMismatch {
+        /// Expected decompressed byte count.
+        expected: usize,
+        /// Actual decompressed byte count.
+        actual: usize,
+    },
+    /// The blob's magic byte names a codec this build does not know.
+    UnknownCodec(u8),
+    /// Parameters were invalid (e.g. quantization bits out of range).
+    InvalidParams(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Corrupt(what) => write!(f, "corrupt compressed stream: {what}"),
+            CodecError::LengthMismatch { expected, actual } => {
+                write!(f, "decompressed length mismatch: expected {expected}, got {actual}")
+            }
+            CodecError::UnknownCodec(magic) => write!(f, "unknown codec magic byte {magic:#x}"),
+            CodecError::InvalidParams(msg) => write!(f, "invalid codec parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_non_empty() {
+        for e in [
+            CodecError::Corrupt("x"),
+            CodecError::LengthMismatch { expected: 1, actual: 2 },
+            CodecError::UnknownCodec(9),
+            CodecError::InvalidParams("p".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

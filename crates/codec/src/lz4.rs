@@ -1,0 +1,343 @@
+//! LZ4 block format, implemented from scratch.
+//!
+//! This is the real LZ4 block algorithm (token byte with literal/match
+//! length nibbles, 255-extension bytes, 2-byte little-endian match offsets,
+//! minimum match length 4, last-five-literals rule), with a greedy
+//! single-entry hash-table matcher — the same structure as the reference
+//! `LZ4_compress_default` fast path.
+//!
+//! The encoded stream this module produces/consumes is a raw LZ4 *block*
+//! (no frame header). Callers that need self-describing blobs wrap it via
+//! [`crate::registry::Compression`].
+
+use crate::error::CodecError;
+
+const MIN_MATCH: usize = 4;
+/// Matches cannot start within the last 12 bytes of input (LZ4 spec: the
+/// last match must start at least 12 bytes before block end).
+const MFLIMIT: usize = 12;
+/// The last 5 bytes of a block are always literals.
+const LAST_LITERALS: usize = 5;
+const HASH_LOG: usize = 16;
+const MAX_OFFSET: usize = 65535;
+
+#[inline]
+fn hash(seq: u32) -> usize {
+    // Fibonacci hashing constant used by reference LZ4.
+    ((seq.wrapping_mul(2654435761)) >> (32 - HASH_LOG)) as usize
+}
+
+#[inline]
+fn read_u32(data: &[u8], pos: usize) -> u32 {
+    u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]])
+}
+
+/// Compress `input` into an LZ4 block.
+///
+/// Always succeeds; incompressible data expands by at most
+/// `input.len() / 255 + 16` bytes of token overhead.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let n = input.len();
+    let mut out = Vec::with_capacity(n / 2 + 16);
+    if n == 0 {
+        // Empty block: single token with zero literal length.
+        out.push(0);
+        return out;
+    }
+    if n < MFLIMIT {
+        emit_sequence(&mut out, input, 0, 0);
+        return out;
+    }
+
+    let mut table = vec![0u32; 1 << HASH_LOG]; // stores pos+1; 0 = empty
+    let mut anchor = 0usize; // start of pending literals
+    let mut pos = 0usize;
+    let match_limit = n - MFLIMIT;
+
+    while pos <= match_limit {
+        let seq = read_u32(input, pos);
+        let h = hash(seq);
+        let candidate = table[h] as usize;
+        table[h] = (pos + 1) as u32;
+
+        if candidate != 0 {
+            let cand_pos = candidate - 1;
+            if pos - cand_pos <= MAX_OFFSET && read_u32(input, cand_pos) == seq {
+                // extend the match forward, stopping before the tail region
+                let max_len = n - LAST_LITERALS - pos;
+                let mut len = MIN_MATCH;
+                while len < max_len && input[cand_pos + len] == input[pos + len] {
+                    len += 1;
+                }
+                // extend backwards into pending literals
+                let mut back = 0usize;
+                while pos - back > anchor
+                    && cand_pos > back
+                    && input[pos - back - 1] == input[cand_pos - back - 1]
+                {
+                    back += 1;
+                }
+                let match_pos = pos - back;
+                let match_src = cand_pos - back;
+                let match_len = len + back;
+                emit_match(
+                    &mut out,
+                    &input[anchor..match_pos],
+                    (match_pos - match_src) as u16,
+                    match_len,
+                );
+                pos = match_pos + match_len;
+                anchor = pos;
+                // insert a position inside the match to improve future finds
+                if pos <= match_limit && pos >= 2 {
+                    let p = pos - 2;
+                    table[hash(read_u32(input, p))] = (p + 1) as u32;
+                }
+                continue;
+            }
+        }
+        pos += 1;
+    }
+
+    // trailing literals
+    emit_sequence(&mut out, &input[anchor..], 0, 0);
+    out
+}
+
+/// Emit `literals` followed by a match of `match_len` at `offset`.
+fn emit_match(out: &mut Vec<u8>, literals: &[u8], offset: u16, match_len: usize) {
+    debug_assert!(match_len >= MIN_MATCH);
+    let lit_len = literals.len();
+    let ml = match_len - MIN_MATCH;
+    let token = (nibble(lit_len) << 4) | nibble(ml);
+    out.push(token);
+    push_ext_len(out, lit_len);
+    out.extend_from_slice(literals);
+    out.extend_from_slice(&offset.to_le_bytes());
+    push_ext_len(out, ml);
+}
+
+/// Emit a final literal-only sequence (offset/match omitted per spec).
+fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], _offset: u16, _match_len: usize) {
+    let lit_len = literals.len();
+    out.push(nibble(lit_len) << 4);
+    push_ext_len(out, lit_len);
+    out.extend_from_slice(literals);
+}
+
+#[inline]
+fn nibble(len: usize) -> u8 {
+    if len >= 15 {
+        15
+    } else {
+        len as u8
+    }
+}
+
+#[inline]
+fn push_ext_len(out: &mut Vec<u8>, len: usize) {
+    if len >= 15 {
+        let mut rem = len - 15;
+        while rem >= 255 {
+            out.push(255);
+            rem -= 255;
+        }
+        out.push(rem as u8);
+    }
+}
+
+/// Decompress an LZ4 block produced by [`compress`] (or any conforming
+/// encoder). `expected_len` bounds the output size; the result must match
+/// it exactly.
+pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut pos = 0usize;
+    let n = input.len();
+
+    while pos < n {
+        let token = input[pos];
+        pos += 1;
+        // literal length
+        let mut lit_len = (token >> 4) as usize;
+        if lit_len == 15 {
+            loop {
+                let b = *input.get(pos).ok_or(CodecError::Corrupt("literal length"))?;
+                pos += 1;
+                lit_len += b as usize;
+                if b != 255 {
+                    break;
+                }
+            }
+        }
+        if pos + lit_len > n {
+            return Err(CodecError::Corrupt("literal run past end"));
+        }
+        out.extend_from_slice(&input[pos..pos + lit_len]);
+        pos += lit_len;
+        if pos == n {
+            break; // final sequence has no match part
+        }
+        // match offset
+        if pos + 2 > n {
+            return Err(CodecError::Corrupt("truncated offset"));
+        }
+        let offset = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
+        pos += 2;
+        if offset == 0 || offset > out.len() {
+            return Err(CodecError::Corrupt("bad match offset"));
+        }
+        // match length
+        let mut match_len = (token & 0x0f) as usize;
+        if match_len == 15 {
+            loop {
+                let b = *input.get(pos).ok_or(CodecError::Corrupt("match length"))?;
+                pos += 1;
+                match_len += b as usize;
+                if b != 255 {
+                    break;
+                }
+            }
+        }
+        match_len += MIN_MATCH;
+        if out.len() + match_len > expected_len {
+            return Err(CodecError::Corrupt("output overflow"));
+        }
+        // overlapping copy, byte by byte when ranges overlap
+        let start = out.len() - offset;
+        if offset >= match_len {
+            out.extend_from_within(start..start + match_len);
+        } else {
+            for i in 0..match_len {
+                let b = out[start + i];
+                out.push(b);
+            }
+        }
+    }
+
+    if out.len() != expected_len {
+        return Err(CodecError::LengthMismatch { expected: expected_len, actual: out.len() });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c, data.len()).expect("decompress");
+        assert_eq!(d, data, "roundtrip failed for len {}", data.len());
+    }
+
+    #[test]
+    fn empty() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        for n in 1..20 {
+            let data: Vec<u8> = (0..n as u8).collect();
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn all_zeros_compresses_well() {
+        let data = vec![0u8; 100_000];
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 100, "got {} bytes", c.len());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn repeating_pattern() {
+        let data: Vec<u8> = (0..50_000).map(|i| (i % 7) as u8).collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 10);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn text_like_data() {
+        let text = "the quick brown fox jumps over the lazy dog. ".repeat(500);
+        let c = compress(text.as_bytes());
+        assert!(c.len() < text.len() / 3);
+        roundtrip(text.as_bytes());
+    }
+
+    #[test]
+    fn incompressible_random() {
+        // xorshift pseudo-random bytes: should roundtrip with bounded expansion
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let data: Vec<u8> = (0..65_536)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state & 0xff) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + data.len() / 255 + 16);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn overlapping_match_rle_style() {
+        // "aaaa..." forces offset-1 overlapping copies
+        let data = vec![b'a'; 1000];
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_literal_runs_extension_bytes() {
+        // 300 unique-ish bytes -> literal length needs extension bytes
+        let data: Vec<u8> = (0..300u32).map(|i| (i * 17 % 251) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_match_extension_bytes() {
+        let mut data = b"0123456789abcdef".to_vec();
+        data.extend(std::iter::repeat(b'x').take(5000));
+        data.extend_from_slice(b"tail bytes here!");
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn decompress_rejects_truncated() {
+        let data = vec![7u8; 1000];
+        let mut c = compress(&data);
+        c.truncate(c.len() / 2);
+        assert!(decompress(&c, 1000).is_err());
+    }
+
+    #[test]
+    fn decompress_rejects_wrong_expected_len() {
+        let data = vec![7u8; 1000];
+        let c = compress(&data);
+        assert!(decompress(&c, 999).is_err());
+        assert!(decompress(&c, 1001).is_err());
+    }
+
+    #[test]
+    fn decompress_rejects_bad_offset() {
+        // token: 0 literals + match, offset 5 with empty output
+        let bad = vec![0x04, 5, 0];
+        assert!(decompress(&bad, 100).is_err());
+    }
+
+    #[test]
+    fn label_like_i32_stream() {
+        // categorical labels as LE i32: highly compressible
+        let mut data = Vec::new();
+        for i in 0..10_000i32 {
+            data.extend_from_slice(&(i % 10).to_le_bytes());
+        }
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4);
+        roundtrip(&data);
+    }
+}

@@ -1,0 +1,139 @@
+//! Byte run-length encoding.
+//!
+//! Effective on binary masks and sparse label planes where long runs of a
+//! single byte dominate. Encoding: a stream of `(count_varint, byte)` pairs,
+//! where `count_varint` is LEB128.
+
+use crate::error::CodecError;
+
+/// Encode `input` as `(varint run length, byte)` pairs.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 4 + 8);
+    let mut i = 0usize;
+    while i < input.len() {
+        let byte = input[i];
+        let mut run = 1usize;
+        while i + run < input.len() && input[i + run] == byte {
+            run += 1;
+        }
+        write_varint(&mut out, run as u64);
+        out.push(byte);
+        i += run;
+    }
+    out
+}
+
+/// Decode an RLE stream, verifying the output length.
+pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut pos = 0usize;
+    while pos < input.len() {
+        let (run, used) = read_varint(&input[pos..]).ok_or(CodecError::Corrupt("varint"))?;
+        pos += used;
+        let byte = *input.get(pos).ok_or(CodecError::Corrupt("missing run byte"))?;
+        pos += 1;
+        if out.len() + run as usize > expected_len {
+            return Err(CodecError::Corrupt("run overflows output"));
+        }
+        out.resize(out.len() + run as usize, byte);
+    }
+    if out.len() != expected_len {
+        return Err(CodecError::LengthMismatch { expected: expected_len, actual: out.len() });
+    }
+    Ok(out)
+}
+
+/// LEB128 unsigned varint.
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint; returns `(value, bytes_consumed)`.
+pub(crate) fn read_varint(input: &[u8]) -> Option<(u64, usize)> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    for (i, &b) in input.iter().enumerate() {
+        if shift >= 64 {
+            return None;
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        assert_eq!(decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn single_byte() {
+        roundtrip(&[42]);
+    }
+
+    #[test]
+    fn mask_like_runs() {
+        let mut data = vec![0u8; 5000];
+        data.extend(vec![1u8; 3000]);
+        data.extend(vec![0u8; 2000]);
+        let c = compress(&data);
+        assert!(c.len() < 20);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn alternating_worst_case() {
+        let data: Vec<u8> = (0..1000).map(|i| (i % 2) as u8).collect();
+        let c = compress(&data);
+        // worst case doubles the size (1 varint byte + 1 value byte per run)
+        assert!(c.len() <= data.len() * 2);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let (back, used) = read_varint(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn decompress_rejects_truncation() {
+        let c = compress(&[1u8; 100]);
+        assert!(decompress(&c[..c.len() - 1], 100).is_err());
+        assert!(decompress(&c, 99).is_err());
+    }
+
+    #[test]
+    fn long_run_varint_extension() {
+        let data = vec![9u8; 100_000];
+        let c = compress(&data);
+        assert!(c.len() <= 5);
+        roundtrip(&data);
+    }
+}

@@ -1,0 +1,233 @@
+//! Synthetic lossy image codec — the repo's stand-in for JPEG/PNG.
+//!
+//! The Deep Lake evaluation depends on image codecs only through two
+//! system-level properties:
+//!
+//! 1. compressed images are ≈5-10× smaller than raw pixels, so streaming is
+//!    bandwidth-bound on raw and codec-bound on compressed data;
+//! 2. decoding costs CPU time proportional to the pixel count, which is why
+//!    the dataloader parallelizes decompression across workers (§4.6).
+//!
+//! `synthimg` reproduces both without binding libjpeg: it quantizes pixels
+//! to a configurable bit depth (the lossy step), applies left-neighbour
+//! delta prediction per row (which turns smooth gradients into
+//! near-constant streams), and LZ4-compresses the residual plane. Decoding
+//! reverses the chain and touches every pixel.
+//!
+//! Layout: `[bits u8][h u32][w u32][c u32][lz4 block...]`, lengths LE.
+
+use crate::error::CodecError;
+use crate::lz4;
+
+/// Quality preset: how many high bits of each channel survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quality {
+    /// Bits kept per channel, 1..=8. 8 = lossless quantization step.
+    pub bits: u8,
+}
+
+impl Quality {
+    /// Roughly JPEG-90-like: keep 5 high bits.
+    pub const HIGH: Quality = Quality { bits: 5 };
+    /// Roughly JPEG-75-like: keep 4 high bits.
+    pub const MEDIUM: Quality = Quality { bits: 4 };
+    /// Aggressive: keep 3 high bits.
+    pub const LOW: Quality = Quality { bits: 3 };
+}
+
+impl Default for Quality {
+    fn default() -> Self {
+        Quality::MEDIUM
+    }
+}
+
+/// Encode an `h×w×c` u8 image.
+pub fn compress(
+    pixels: &[u8],
+    h: u32,
+    w: u32,
+    c: u32,
+    quality: Quality,
+) -> Result<Vec<u8>, CodecError> {
+    if quality.bits == 0 || quality.bits > 8 {
+        return Err(CodecError::InvalidParams(format!("bits={} out of 1..=8", quality.bits)));
+    }
+    let expected = h as usize * w as usize * c as usize;
+    if pixels.len() != expected {
+        return Err(CodecError::InvalidParams(format!(
+            "pixel buffer {} != {}x{}x{}",
+            pixels.len(),
+            h,
+            w,
+            c
+        )));
+    }
+    let shift = 8 - quality.bits;
+    // Quantize + delta-predict along each row, per channel plane interleaved.
+    let mut residual = vec![0u8; pixels.len()];
+    let row_stride = w as usize * c as usize;
+    for row in 0..h as usize {
+        let base = row * row_stride;
+        for col in 0..w as usize {
+            for ch in 0..c as usize {
+                let i = base + col * c as usize + ch;
+                let q = pixels[i] >> shift;
+                let left = if col == 0 { 0 } else { pixels[i - c as usize] >> shift };
+                residual[i] = q.wrapping_sub(left);
+            }
+        }
+    }
+    let body = lz4::compress(&residual);
+    let mut out = Vec::with_capacity(body.len() + 13);
+    out.push(quality.bits);
+    out.extend_from_slice(&h.to_le_bytes());
+    out.extend_from_slice(&w.to_le_bytes());
+    out.extend_from_slice(&c.to_le_bytes());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Decode a blob produced by [`compress`]. Returns `(pixels, h, w, c)`.
+pub fn decompress(blob: &[u8]) -> Result<(Vec<u8>, u32, u32, u32), CodecError> {
+    if blob.len() < 13 {
+        return Err(CodecError::Corrupt("synthimg header"));
+    }
+    let bits = blob[0];
+    if bits == 0 || bits > 8 {
+        return Err(CodecError::Corrupt("synthimg bits"));
+    }
+    let h = u32::from_le_bytes(blob[1..5].try_into().unwrap());
+    let w = u32::from_le_bytes(blob[5..9].try_into().unwrap());
+    let c = u32::from_le_bytes(blob[9..13].try_into().unwrap());
+    let n = h as usize * w as usize * c as usize;
+    let residual = lz4::decompress(&blob[13..], n)?;
+    let shift = 8 - bits;
+    let mut pixels = vec![0u8; n];
+    let row_stride = w as usize * c as usize;
+    for row in 0..h as usize {
+        let base = row * row_stride;
+        for col in 0..w as usize {
+            for ch in 0..c as usize {
+                let i = base + col * c as usize + ch;
+                let left = if col == 0 { 0 } else { pixels[i - c as usize] >> shift };
+                let q = residual[i].wrapping_add(left);
+                // re-expand quantized value to full range (midpoint fill)
+                pixels[i] = q << shift | (if shift > 0 { 1u8 << (shift - 1) } else { 0 });
+            }
+        }
+    }
+    Ok((pixels, h, w, c))
+}
+
+/// Maximum absolute per-pixel error introduced by a quality level.
+pub fn max_error(quality: Quality) -> u8 {
+    if quality.bits >= 8 {
+        0
+    } else {
+        (1u8 << (8 - quality.bits)) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Natural-ish image: smooth gradients plus mild texture.
+    fn gradient_image(h: u32, w: u32, c: u32) -> Vec<u8> {
+        let mut px = Vec::with_capacity((h * w * c) as usize);
+        for y in 0..h {
+            for x in 0..w {
+                for ch in 0..c {
+                    let v = (x / 2 + y / 3 + ch * 40 + ((x * y) % 5)) % 256;
+                    px.push(v as u8);
+                }
+            }
+        }
+        px
+    }
+
+    #[test]
+    fn roundtrip_shape_preserved() {
+        let px = gradient_image(32, 48, 3);
+        let blob = compress(&px, 32, 48, 3, Quality::MEDIUM).unwrap();
+        let (out, h, w, c) = decompress(&blob).unwrap();
+        assert_eq!((h, w, c), (32, 48, 3));
+        assert_eq!(out.len(), px.len());
+    }
+
+    #[test]
+    fn error_bounded_by_quality() {
+        let px = gradient_image(64, 64, 3);
+        for q in [Quality::HIGH, Quality::MEDIUM, Quality::LOW] {
+            let blob = compress(&px, 64, 64, 3, q).unwrap();
+            let (out, ..) = decompress(&blob).unwrap();
+            let bound = max_error(q);
+            for (a, b) in px.iter().zip(out.iter()) {
+                assert!(
+                    a.abs_diff(*b) <= bound,
+                    "error {} exceeds bound {bound} at quality bits={}",
+                    a.abs_diff(*b),
+                    q.bits
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn natural_images_compress_well() {
+        let px = gradient_image(256, 256, 3);
+        let blob = compress(&px, 256, 256, 3, Quality::MEDIUM).unwrap();
+        let ratio = px.len() as f64 / blob.len() as f64;
+        assert!(ratio > 4.0, "compression ratio only {ratio:.2}");
+    }
+
+    #[test]
+    fn higher_quality_bigger_blob() {
+        let px = gradient_image(128, 128, 3);
+        let hi = compress(&px, 128, 128, 3, Quality::HIGH).unwrap();
+        let lo = compress(&px, 128, 128, 3, Quality::LOW).unwrap();
+        assert!(hi.len() >= lo.len());
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let px = vec![0u8; 12];
+        assert!(compress(&px, 2, 2, 3, Quality { bits: 0 }).is_err());
+        assert!(compress(&px, 2, 2, 3, Quality { bits: 9 }).is_err());
+        assert!(compress(&px, 3, 2, 3, Quality::MEDIUM).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_blob() {
+        assert!(decompress(&[1, 2, 3]).is_err());
+        let px = gradient_image(8, 8, 1);
+        let mut blob = compress(&px, 8, 8, 1, Quality::MEDIUM).unwrap();
+        blob.truncate(blob.len() - 3);
+        assert!(decompress(&blob).is_err());
+    }
+
+    #[test]
+    fn lossless_at_8_bits() {
+        let px = gradient_image(16, 16, 3);
+        let blob = compress(&px, 16, 16, 3, Quality { bits: 8 }).unwrap();
+        let (out, ..) = decompress(&blob).unwrap();
+        assert_eq!(out, px);
+    }
+
+    #[test]
+    fn single_channel_image() {
+        let px = gradient_image(20, 30, 1);
+        let blob = compress(&px, 20, 30, 1, Quality::HIGH).unwrap();
+        let (out, h, w, c) = decompress(&blob).unwrap();
+        assert_eq!((h, w, c), (20, 30, 1));
+        assert_eq!(out.len(), px.len());
+    }
+
+    #[test]
+    fn zero_sized_image() {
+        let blob = compress(&[], 0, 10, 3, Quality::MEDIUM).unwrap();
+        let (out, h, _, _) = decompress(&blob).unwrap();
+        assert_eq!(h, 0);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the codec layer.
+
+use deeplake_codec::synthimg::{self, Quality};
+use deeplake_codec::{lz4, rle, Compression};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn lz4_never_corrupts(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let c = lz4::compress(&data);
+        prop_assert_eq!(lz4::decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn lz4_rejects_wrong_length(data in proptest::collection::vec(any::<u8>(), 1..512)) {
+        let c = lz4::compress(&data);
+        prop_assert!(lz4::decompress(&c, data.len() + 1).is_err());
+        if data.len() > 1 {
+            prop_assert!(lz4::decompress(&c, data.len() - 1).is_err());
+        }
+    }
+
+    #[test]
+    fn rle_roundtrip_with_runs(
+        runs in proptest::collection::vec((any::<u8>(), 1usize..100), 0..50)
+    ) {
+        let data: Vec<u8> = runs.iter().flat_map(|&(b, n)| std::iter::repeat(b).take(n)).collect();
+        let c = rle::compress(&data);
+        prop_assert_eq!(rle::decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn synthimg_error_within_bound(
+        h in 1u32..24, w in 1u32..24,
+        bits in 1u8..=8,
+        seed in any::<u64>(),
+    ) {
+        let n = (h * w * 3) as usize;
+        let pixels: Vec<u8> = (0..n).map(|i| ((seed as usize + i * 7) % 256) as u8).collect();
+        let q = Quality { bits };
+        let blob = synthimg::compress(&pixels, h, w, 3, q).unwrap();
+        let (out, oh, ow, oc) = synthimg::decompress(&blob).unwrap();
+        prop_assert_eq!((oh, ow, oc), (h, w, 3));
+        let bound = synthimg::max_error(q);
+        for (a, b) in pixels.iter().zip(out.iter()) {
+            prop_assert!(a.abs_diff(*b) <= bound, "error exceeds bound at bits={bits}");
+        }
+    }
+
+    #[test]
+    fn framed_blobs_self_describe(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        // any codec's frame decodes without knowing which codec produced it
+        for codec in [Compression::None, Compression::Lz4, Compression::Rle] {
+            let blob = codec.compress(&data);
+            prop_assert_eq!(Compression::decompress(&blob).unwrap(), data.clone());
+        }
+    }
+
+    #[test]
+    fn image_frames_keep_geometry(h in 1u32..16, w in 1u32..16, c in 1u32..4) {
+        let n = (h * w * c) as usize;
+        let pixels = vec![128u8; n];
+        let blob = Compression::JPEG_LIKE.compress_image(&pixels, h, w, c).unwrap();
+        let (out, geom) = Compression::decompress_image(&blob).unwrap();
+        prop_assert_eq!(geom, Some((h, w, c)));
+        prop_assert_eq!(out.len(), n);
+    }
+
+    #[test]
+    fn corrupted_frames_error_not_panic(
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+        flip in any::<usize>(),
+    ) {
+        let blob = Compression::Lz4.compress(&data);
+        let mut bad = blob.clone();
+        let i = flip % bad.len();
+        bad[i] ^= 0xA5;
+        // must either fail cleanly or decode to *something* — never panic
+        let _ = Compression::decompress(&bad);
+    }
+}

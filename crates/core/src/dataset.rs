@@ -1,0 +1,934 @@
+//! The Deep Lake dataset: parallel tensors over a storage provider, with
+//! built-in version control.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use bytes::Bytes;
+use deeplake_codec::Compression;
+use deeplake_format::TensorMeta;
+use deeplake_storage::{DynProvider, PrefixProvider, StorageProvider};
+use deeplake_tensor::{Dtype, Htype, Sample};
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::row::Row;
+use crate::sample_id::{self, ID_TENSOR};
+use crate::tensor_store::TensorStore;
+use crate::version::merge::{MergePolicy, MergeReport};
+use crate::version::{
+    tensor_prefix, CommitDiff, DiffSummary, TensorDiff, VersionTree, VERSION_INFO_KEY,
+};
+use crate::Result;
+
+const DATASET_META_KEY: &str = "dataset.json";
+const SCHEMA_KEY: &str = "schema.json";
+
+/// Top-level provenance file (§3.4: "a Deep Lake dataset contains a
+/// provenance file in JSON format").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DatasetMeta {
+    name: String,
+    created_ms: u64,
+}
+
+/// Tensor list snapshot per version — schema evolution is tracked over
+/// time like content changes (§3.1).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct Schema {
+    tensors: Vec<String>,
+}
+
+/// Options for [`Dataset::create_tensor_opts`].
+#[derive(Debug, Clone)]
+pub struct TensorOptions {
+    /// Semantic type.
+    pub htype: Htype,
+    /// Element dtype (`None` = htype default).
+    pub dtype: Option<Dtype>,
+    /// Sample-level compression (`None` = htype default).
+    pub sample_compression: Option<Compression>,
+    /// Chunk-level compression (`None` = htype default).
+    pub chunk_compression: Option<Compression>,
+    /// Chunk size target in bytes (`None` = 8 MB).
+    pub chunk_target_bytes: Option<u64>,
+    /// Hidden tensors are excluded from listings, rows and streaming.
+    pub hidden: bool,
+    /// Source tensor this one is derived from (downsampled pyramids etc.).
+    pub derived_from: Option<String>,
+}
+
+impl TensorOptions {
+    /// Options with htype defaults.
+    pub fn new(htype: Htype) -> Self {
+        TensorOptions {
+            htype,
+            dtype: None,
+            sample_compression: None,
+            chunk_compression: None,
+            chunk_target_bytes: None,
+            hidden: false,
+            derived_from: None,
+        }
+    }
+}
+
+/// A Deep Lake dataset handle.
+///
+/// Reads take `&self` and are safe to share across loader threads; all
+/// mutation takes `&mut self`. Appended data becomes durable on
+/// [`Dataset::flush`] and immutable on [`Dataset::commit`].
+pub struct Dataset {
+    root: DynProvider,
+    name: String,
+    tree: VersionTree,
+    head: String,
+    read_only: bool,
+    tensors: BTreeMap<String, TensorStore>,
+}
+
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+impl Dataset {
+    /// Create a new dataset on `root`. Writes the provenance file, the
+    /// version tree, and the hidden sample-id tensor.
+    pub fn create(root: DynProvider, name: impl Into<String>) -> Result<Self> {
+        let name = name.into();
+        if root.exists(DATASET_META_KEY)? {
+            return Err(CoreError::Corrupt("a dataset already exists at this location".into()));
+        }
+        let tree = VersionTree::new();
+        let head = tree.branch_tip("main")?.to_string();
+        let mut ds = Dataset { root, name, tree, head, read_only: false, tensors: BTreeMap::new() };
+        let meta = DatasetMeta { name: ds.name.clone(), created_ms: now_ms() };
+        ds.root.put(DATASET_META_KEY, Bytes::from(serde_json::to_vec_pretty(&meta)?))?;
+        ds.persist_tree()?;
+        // hidden id tensor powering merge (§4.2)
+        let mut opts = TensorOptions::new(Htype::Generic);
+        opts.dtype = Some(Dtype::U64);
+        opts.hidden = true;
+        ds.create_tensor_opts(ID_TENSOR, opts)?;
+        Ok(ds)
+    }
+
+    /// Open an existing dataset at the tip of `main`.
+    pub fn open(root: DynProvider) -> Result<Self> {
+        Self::open_at(root, "main")
+    }
+
+    /// Open an existing dataset at a branch tip or a specific commit.
+    /// Historical commits open read-only.
+    pub fn open_at(root: DynProvider, reference: &str) -> Result<Self> {
+        let meta: DatasetMeta = serde_json::from_slice(
+            &root.get(DATASET_META_KEY).map_err(|_| {
+                CoreError::Corrupt("no dataset at this location (missing dataset.json)".into())
+            })?,
+        )?;
+        let tree = VersionTree::from_json(&root.get(VERSION_INFO_KEY)?)?;
+        let head = tree.resolve(reference)?;
+        let read_only = tree.node(&head)?.committed;
+        let mut ds =
+            Dataset { root, name: meta.name, tree, head, read_only, tensors: BTreeMap::new() };
+        ds.load_tensors()?;
+        Ok(ds)
+    }
+
+    fn load_tensors(&mut self) -> Result<()> {
+        self.tensors.clear();
+        let chain = self.tree.chain(&self.head)?;
+        let schema = self.load_schema(&chain)?;
+        for tensor in schema.tensors {
+            let providers: Vec<PrefixProvider> = chain
+                .iter()
+                .map(|node| PrefixProvider::new(self.root.clone(), tensor_prefix(node, &tensor)))
+                .collect();
+            let store = TensorStore::open(providers)?;
+            self.tensors.insert(tensor, store);
+        }
+        Ok(())
+    }
+
+    fn load_schema(&self, chain: &[String]) -> Result<Schema> {
+        for node in chain {
+            let key = format!("versions/{node}/{SCHEMA_KEY}");
+            if let Ok(data) = self.root.get(&key) {
+                return Ok(serde_json::from_slice(&data)?);
+            }
+        }
+        Ok(Schema::default())
+    }
+
+    fn persist_schema(&self) -> Result<()> {
+        let schema = Schema { tensors: self.tensors.keys().cloned().collect() };
+        let key = format!("versions/{}/{SCHEMA_KEY}", self.head);
+        self.root.put(&key, Bytes::from(serde_json::to_vec_pretty(&schema)?))?;
+        Ok(())
+    }
+
+    fn persist_tree(&self) -> Result<()> {
+        self.root.put(VERSION_INFO_KEY, Bytes::from(self.tree.to_json()?))?;
+        Ok(())
+    }
+
+    fn ensure_writable(&self) -> Result<()> {
+        if self.read_only {
+            Err(CoreError::ReadOnlyVersion)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The storage provider this dataset lives on.
+    pub fn provider(&self) -> DynProvider {
+        self.root.clone()
+    }
+
+    /// Whether this handle is read-only (checked out at a commit).
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> u64 {
+        self.tensors.get(ID_TENSOR).map(|t| t.len()).unwrap_or(0)
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    // ------------------------------------------------------------------
+    // schema
+    // ------------------------------------------------------------------
+
+    /// Create a tensor with htype defaults.
+    pub fn create_tensor(
+        &mut self,
+        name: impl Into<String>,
+        htype: Htype,
+        dtype: Option<Dtype>,
+    ) -> Result<()> {
+        let mut opts = TensorOptions::new(htype);
+        opts.dtype = dtype;
+        self.create_tensor_opts(name, opts)
+    }
+
+    /// Create a tensor with explicit options.
+    pub fn create_tensor_opts(&mut self, name: impl Into<String>, opts: TensorOptions) -> Result<()> {
+        self.ensure_writable()?;
+        let name = name.into();
+        if name.is_empty() || name == SCHEMA_KEY || name.contains("..") {
+            return Err(CoreError::Corrupt(format!("invalid tensor name {name:?}")));
+        }
+        if self.tensors.contains_key(&name) {
+            return Err(CoreError::TensorExists(name));
+        }
+        let mut meta = TensorMeta::new(name.clone(), opts.htype, opts.dtype);
+        if let Some(c) = opts.sample_compression {
+            meta.sample_compression = c;
+        }
+        if let Some(c) = opts.chunk_compression {
+            meta.chunk_compression = c;
+        }
+        if let Some(t) = opts.chunk_target_bytes {
+            meta.chunk_target_bytes = t;
+        }
+        meta.hidden = opts.hidden;
+        meta.derived_from = opts.derived_from;
+        let head_dir =
+            PrefixProvider::new(self.root.clone(), tensor_prefix(&self.head, &name));
+        let mut store = TensorStore::create(meta, head_dir)?;
+        // backfill empty rows so the new tensor aligns with existing rows
+        // (schema evolution on a populated dataset)
+        let rows = self.len();
+        for _ in 0..rows {
+            store.append(&Sample::empty(store.meta().dtype))?;
+        }
+        self.tensors.insert(name, store);
+        self.persist_schema()?;
+        Ok(())
+    }
+
+    /// Visible tensor names (hidden ones excluded), sorted.
+    pub fn tensors(&self) -> Vec<&str> {
+        self.tensors
+            .iter()
+            .filter(|(_, t)| !t.meta().hidden)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// All tensor names including hidden ones.
+    pub fn tensors_all(&self) -> Vec<&str> {
+        self.tensors.keys().map(String::as_str).collect()
+    }
+
+    /// Visible tensors under a group prefix (§3.1 syntactic nesting):
+    /// `group("camera")` lists `camera/left`, `camera/right`, ...
+    pub fn group(&self, prefix: &str) -> Vec<&str> {
+        let want = format!("{}/", prefix.trim_end_matches('/'));
+        self.tensors().into_iter().filter(|n| n.starts_with(&want)).collect()
+    }
+
+    /// Metadata of a tensor.
+    pub fn tensor_meta(&self, name: &str) -> Result<&TensorMeta> {
+        Ok(self.store(name)?.meta())
+    }
+
+    /// Borrow a tensor's storage engine (low-level access for the
+    /// streaming and query layers).
+    pub fn store(&self, name: &str) -> Result<&TensorStore> {
+        self.tensors.get(name).ok_or_else(|| CoreError::NoSuchTensor(name.to_string()))
+    }
+
+    fn store_mut(&mut self, name: &str) -> Result<&mut TensorStore> {
+        self.tensors.get_mut(name).ok_or_else(|| CoreError::NoSuchTensor(name.to_string()))
+    }
+
+    // ------------------------------------------------------------------
+    // rows
+    // ------------------------------------------------------------------
+
+    /// Append one row. Tensors absent from the row store the empty marker;
+    /// a fresh sample id is generated into the hidden id tensor.
+    pub fn append_row<'a>(
+        &mut self,
+        values: impl IntoIterator<Item = (&'a str, Sample)>,
+    ) -> Result<()> {
+        self.ensure_writable()?;
+        let mut row: Row = values.into_iter().collect();
+        // reject unknown tensors up front so the row stays atomic
+        for tensor in row.tensors() {
+            if !self.tensors.contains_key(tensor) {
+                return Err(CoreError::NoSuchTensor(tensor.to_string()));
+            }
+            if self.tensors[tensor].meta().hidden {
+                return Err(CoreError::NoSuchTensor(format!("{tensor} (hidden)")));
+            }
+        }
+        for (name, store) in self.tensors.iter_mut() {
+            if name == ID_TENSOR {
+                store.append(&Sample::scalar(sample_id::generate()))?;
+            } else if store.meta().hidden {
+                store.append(&Sample::empty(store.meta().dtype))?;
+            } else if let Some(sample) = row.take(name) {
+                store.append(&sample)?;
+            } else {
+                store.append(&Sample::empty(store.meta().dtype))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Append many rows.
+    pub fn extend_rows(&mut self, rows: impl IntoIterator<Item = Row>) -> Result<()> {
+        for row in rows {
+            let pairs: Vec<(String, Sample)> =
+                row.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+            self.append_row(pairs.iter().map(|(k, v)| (k.as_str(), v.clone())))?;
+        }
+        Ok(())
+    }
+
+    /// Read one sample.
+    pub fn get(&self, tensor: &str, row: u64) -> Result<Sample> {
+        self.store(tensor)?.get(row)
+    }
+
+    /// Read only a sample's shape (fast path used by queries, §3.4's
+    /// hidden shape use case).
+    pub fn get_shape(&self, tensor: &str, row: u64) -> Result<deeplake_tensor::Shape> {
+        self.store(tensor)?.get_shape(row)
+    }
+
+    /// Read a whole row across visible tensors.
+    pub fn get_row(&self, row: u64) -> Result<Row> {
+        if row >= self.len() {
+            return Err(CoreError::RowOutOfRange { row, len: self.len() });
+        }
+        let mut out = Row::new();
+        for (name, store) in &self.tensors {
+            if store.meta().hidden {
+                continue;
+            }
+            out.set(name.clone(), store.get(row)?);
+        }
+        Ok(out)
+    }
+
+    /// Stable sample id of a row.
+    pub fn sample_id(&self, row: u64) -> Result<u64> {
+        let s = self.store(ID_TENSOR)?.get(row)?;
+        Ok(s.to_vec::<u64>()?[0])
+    }
+
+    /// Update one sample in place (§3.5 random-access writes, e.g.
+    /// annotators writing labels or models storing predictions back).
+    pub fn update(&mut self, tensor: &str, row: u64, sample: &Sample) -> Result<()> {
+        self.ensure_writable()?;
+        if tensor == ID_TENSOR {
+            return Err(CoreError::Corrupt("sample ids are immutable".into()));
+        }
+        self.store_mut(tensor)?.update(row, sample)
+    }
+
+    /// Optimize chunk layout (§3.5 re-chunking): every tensor whose
+    /// fragmentation exceeds `threshold` (runs per chunk; 1.0 is perfect)
+    /// is rewritten into fresh sequential chunks. Returns
+    /// `(tensor, before, after)` for each re-chunked tensor.
+    pub fn optimize(&mut self, threshold: f64) -> Result<Vec<(String, f64, f64)>> {
+        self.ensure_writable()?;
+        let mut out = Vec::new();
+        let names: Vec<String> = self.tensors.keys().cloned().collect();
+        for name in names {
+            let store = self.tensors.get_mut(&name).expect("own keys");
+            if store.fragmentation() > threshold {
+                let (before, after) = store.rechunk()?;
+                out.push((name, before, after));
+            }
+        }
+        self.flush()?;
+        Ok(out)
+    }
+
+    /// Persist all pending state.
+    pub fn flush(&mut self) -> Result<()> {
+        for store in self.tensors.values_mut() {
+            store.flush()?;
+        }
+        self.persist_schema()?;
+        self.persist_tree()?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // version control (§4.2)
+    // ------------------------------------------------------------------
+
+    /// Commit: seal the current state as an immutable snapshot. Returns
+    /// the commit id.
+    pub fn commit(&mut self, message: &str) -> Result<String> {
+        self.ensure_writable()?;
+        self.flush()?;
+        let branch = self.tree.node(&self.head)?.branch.clone();
+        let (sealed, new_tip) = self.tree.commit(&branch, message)?;
+        for (name, store) in self.tensors.iter_mut() {
+            let dir = PrefixProvider::new(self.root.clone(), tensor_prefix(&new_tip, name));
+            store.start_new_version(dir)?;
+        }
+        self.head = new_tip;
+        self.persist_schema()?;
+        self.persist_tree()?;
+        Ok(sealed)
+    }
+
+    /// Checkout a branch (writable) or a commit id (read-only snapshot).
+    pub fn checkout(&mut self, reference: &str) -> Result<()> {
+        if !self.read_only {
+            self.flush()?;
+        }
+        let target = self.tree.resolve(reference)?;
+        self.read_only = self.tree.node(&target)?.committed;
+        self.head = target;
+        self.load_tensors()?;
+        Ok(())
+    }
+
+    /// Create a new branch off the last commit of the current branch and
+    /// check it out.
+    pub fn checkout_new_branch(&mut self, name: &str) -> Result<()> {
+        self.flush()?;
+        let from = match &self.tree.node(&self.head)?.parent {
+            Some(parent) => parent.clone(),
+            None => {
+                return Err(CoreError::Corrupt(
+                    "commit at least once before branching".into(),
+                ))
+            }
+        };
+        let tip = self.tree.create_branch(name, &from)?;
+        self.head = tip;
+        self.read_only = false;
+        self.persist_tree()?;
+        self.load_tensors()?;
+        self.persist_schema()?;
+        Ok(())
+    }
+
+    /// All branch names.
+    pub fn branches(&self) -> Vec<&str> {
+        self.tree.branches()
+    }
+
+    /// Current branch name.
+    pub fn current_branch(&self) -> Result<&str> {
+        Ok(&self.tree.node(&self.head)?.branch)
+    }
+
+    /// Current head node id (the mutable tip, not the last commit).
+    pub fn head_id(&self) -> &str {
+        &self.head
+    }
+
+    /// Commit log of the current branch: `(id, message, timestamp_ms)`.
+    pub fn log(&self) -> Result<Vec<(String, String, u64)>> {
+        let branch = self.current_branch()?.to_string();
+        Ok(self
+            .tree
+            .log(&branch)?
+            .into_iter()
+            .map(|n| (n.id.clone(), n.message.clone().unwrap_or_default(), n.timestamp_ms))
+            .collect())
+    }
+
+    /// The version tree (read access for tooling).
+    pub fn version_tree(&self) -> &VersionTree {
+        &self.tree
+    }
+
+    /// Accumulated per-tensor changes of `tip` since `base` (both node
+    /// ids), read from the stored commit-diff files.
+    fn accumulated_diffs(&self, tip: &str, base: &str) -> Result<HashMap<String, CommitDiff>> {
+        let mut out: HashMap<String, CommitDiff> = HashMap::new();
+        for node in self.tree.path_since(tip, base)? {
+            let schema = self.load_schema(&self.tree.chain(&node)?)?;
+            for tensor in schema.tensors {
+                let key = format!("{}/commit_diff.json", tensor_prefix(&node, &tensor));
+                if let Ok(data) = self.root.get(&key) {
+                    let diff = CommitDiff::from_json(&data)?;
+                    out.entry(tensor).or_default().merge_from(&diff);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Compare two refs (§4.2 Diff): per-tensor rows added/updated on each
+    /// side since their merge base.
+    pub fn diff(&self, a: &str, b: &str) -> Result<DiffSummary> {
+        let na = self.tree.resolve(a)?;
+        let nb = self.tree.resolve(b)?;
+        let base = self.tree.lca(&na, &nb)?;
+        let to_vec = |m: HashMap<String, CommitDiff>| -> Vec<TensorDiff> {
+            let mut v: Vec<TensorDiff> = m
+                .into_iter()
+                .map(|(tensor, d)| TensorDiff {
+                    tensor,
+                    rows_added: d.added.len() as u64,
+                    rows_updated: d.updated.len() as u64,
+                })
+                .collect();
+            v.sort_by(|x, y| x.tensor.cmp(&y.tensor));
+            v
+        };
+        Ok(DiffSummary {
+            base: base.clone(),
+            left: to_vec(self.accumulated_diffs(&na, &base)?),
+            right: to_vec(self.accumulated_diffs(&nb, &base)?),
+        })
+    }
+
+    /// Merge another branch into the current one (§4.2 Merge). Sample ids
+    /// align rows across branches; conflicts (updated on both sides since
+    /// the base) resolve per `policy`.
+    pub fn merge(&mut self, branch: &str, policy: MergePolicy) -> Result<MergeReport> {
+        self.ensure_writable()?;
+        self.flush()?;
+        let other_tip = self.tree.resolve(branch)?;
+        let base = self.tree.lca(&self.head, &other_tip)?;
+        let other = Dataset::open_at(self.root.clone(), &other_tip)?;
+
+        // id -> row maps on both sides
+        let mut our_ids: HashMap<u64, u64> = HashMap::new();
+        for row in 0..self.len() {
+            our_ids.insert(self.sample_id(row)?, row);
+        }
+        let mut other_rows: Vec<(u64, u64)> = Vec::new(); // (id, other_row)
+        for row in 0..other.len() {
+            other_rows.push((other.sample_id(row)?, row));
+        }
+
+        // changes on each side since base
+        let their_diffs = self.accumulated_diffs(&other_tip, &base)?;
+        let our_diffs = self.accumulated_diffs(&self.head, &base)?;
+        let union_rows = |m: &HashMap<String, CommitDiff>, pick_updated: bool| -> BTreeSet<u64> {
+            let mut s = BTreeSet::new();
+            for d in m.values() {
+                s.extend(if pick_updated { d.updated.iter() } else { d.added.iter() });
+            }
+            s
+        };
+        let their_updated_rows = union_rows(&their_diffs, true);
+        let our_updated_rows = union_rows(&our_diffs, true);
+        let our_updated_ids: BTreeSet<u64> = our_updated_rows
+            .iter()
+            .filter_map(|&r| (r < self.len()).then(|| self.sample_id(r).ok()).flatten())
+            .collect();
+
+        let mut report = MergeReport::default();
+        let visible: Vec<String> =
+            self.tensors().into_iter().map(str::to_string).collect();
+
+        // 1) conflicts + incoming updates
+        let mut updates: Vec<(u64, u64)> = Vec::new(); // (our_row, other_row)
+        for &(id, other_row) in &other_rows {
+            let Some(&our_row) = our_ids.get(&id) else { continue };
+            if !their_updated_rows.contains(&other_row) {
+                continue;
+            }
+            if our_updated_ids.contains(&id) {
+                report.conflicts.push(id);
+                match policy {
+                    MergePolicy::Fail => {
+                        return Err(CoreError::MergeConflict {
+                            sample_ids: report.conflicts,
+                        })
+                    }
+                    MergePolicy::Ours => continue,
+                    MergePolicy::Theirs => updates.push((our_row, other_row)),
+                }
+            } else {
+                updates.push((our_row, other_row));
+            }
+        }
+        for (our_row, other_row) in updates {
+            for tensor in &visible {
+                if other.tensors.contains_key(tensor) {
+                    let sample = other.get(tensor, other_row)?;
+                    self.store_mut(tensor)?.update(our_row, &sample)?;
+                }
+            }
+            report.updates_applied += 1;
+        }
+
+        // 2) rows new on the other side
+        for &(id, other_row) in &other_rows {
+            if our_ids.contains_key(&id) {
+                continue;
+            }
+            // append with the *same* sample id to keep identity stable
+            let names: Vec<String> = self.tensors.keys().cloned().collect();
+            for name in names {
+                let store = self.tensors.get_mut(&name).expect("own keys");
+                if name == ID_TENSOR {
+                    store.append(&Sample::scalar(id))?;
+                } else if store.meta().hidden || !other.tensors.contains_key(&name) {
+                    store.append(&Sample::empty(store.meta().dtype))?;
+                } else {
+                    store.append(&other.get(&name, other_row)?)?;
+                }
+            }
+            report.samples_added += 1;
+        }
+
+        self.commit(&format!("merge {branch}"))?;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeplake_storage::MemoryProvider;
+    use std::sync::Arc;
+
+    fn mem() -> DynProvider {
+        Arc::new(MemoryProvider::new())
+    }
+
+    fn image(fill: u8) -> Sample {
+        Sample::from_slice([4, 4, 3], &vec![fill; 48]).unwrap()
+    }
+
+    fn basic() -> Dataset {
+        let mut ds = Dataset::create(mem(), "test").unwrap();
+        ds.create_tensor_opts("images", {
+            let mut o = TensorOptions::new(Htype::Image);
+            o.sample_compression = Some(Compression::None);
+            o
+        })
+        .unwrap();
+        ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+        ds
+    }
+
+    fn append_n(ds: &mut Dataset, n: u64, offset: u8) {
+        for i in 0..n {
+            ds.append_row(vec![
+                ("images", image(offset + i as u8)),
+                ("labels", Sample::scalar((i % 10) as i32)),
+            ])
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn create_append_read() {
+        let mut ds = basic();
+        append_n(&mut ds, 5, 0);
+        assert_eq!(ds.len(), 5);
+        assert_eq!(ds.get("images", 3).unwrap(), image(3));
+        assert_eq!(ds.get("labels", 3).unwrap().get_f64(0).unwrap(), 3.0);
+        let row = ds.get_row(2).unwrap();
+        assert_eq!(row.tensors().collect::<Vec<_>>(), vec!["images", "labels"]);
+        assert!(ds.get_row(5).is_err());
+    }
+
+    #[test]
+    fn hidden_id_tensor_invisible_but_present() {
+        let mut ds = basic();
+        append_n(&mut ds, 2, 0);
+        assert_eq!(ds.tensors(), vec!["images", "labels"]);
+        assert!(ds.tensors_all().contains(&ID_TENSOR));
+        let id0 = ds.sample_id(0).unwrap();
+        let id1 = ds.sample_id(1).unwrap();
+        assert_ne!(id0, id1);
+        assert_ne!(id0, 0);
+        // hidden tensors can't be written through rows
+        assert!(ds.append_row(vec![(ID_TENSOR, Sample::scalar(1u64))]).is_err());
+    }
+
+    #[test]
+    fn missing_tensor_in_row_gets_empty_marker() {
+        let mut ds = basic();
+        ds.append_row(vec![("images", image(1))]).unwrap();
+        assert_eq!(ds.len(), 1);
+        let label = ds.get("labels", 0).unwrap();
+        assert!(label.is_empty());
+    }
+
+    #[test]
+    fn unknown_tensor_rejected_atomically() {
+        let mut ds = basic();
+        assert!(ds.append_row(vec![("ghost", Sample::scalar(1u8))]).is_err());
+        assert_eq!(ds.len(), 0);
+    }
+
+    #[test]
+    fn flush_and_reopen() {
+        let provider = mem();
+        {
+            let mut ds = Dataset::create(provider.clone(), "persist").unwrap();
+            ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+            for i in 0..10 {
+                ds.append_row(vec![("labels", Sample::scalar(i as i32))]).unwrap();
+            }
+            ds.flush().unwrap();
+        }
+        let ds = Dataset::open(provider).unwrap();
+        assert_eq!(ds.name(), "persist");
+        assert_eq!(ds.len(), 10);
+        assert_eq!(ds.get("labels", 7).unwrap().get_f64(0).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn commit_checkout_time_travel() {
+        let mut ds = basic();
+        append_n(&mut ds, 3, 0);
+        let c1 = ds.commit("three rows").unwrap();
+        append_n(&mut ds, 2, 10);
+        assert_eq!(ds.len(), 5);
+        // time travel to the sealed commit: read-only, 3 rows
+        ds.checkout(&c1).unwrap();
+        assert!(ds.is_read_only());
+        assert_eq!(ds.len(), 3);
+        assert!(ds.append_row(vec![("images", image(9))]).is_err());
+        // back to the branch tip
+        ds.checkout("main").unwrap();
+        assert!(!ds.is_read_only());
+        assert_eq!(ds.len(), 5);
+        assert_eq!(ds.get("images", 4).unwrap(), image(11));
+    }
+
+    #[test]
+    fn branches_isolate_changes() {
+        let mut ds = basic();
+        append_n(&mut ds, 2, 0);
+        ds.commit("base").unwrap();
+        ds.checkout_new_branch("exp").unwrap();
+        append_n(&mut ds, 3, 50);
+        assert_eq!(ds.len(), 5);
+        assert_eq!(ds.current_branch().unwrap(), "exp");
+        ds.flush().unwrap();
+        ds.checkout("main").unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.current_branch().unwrap(), "main");
+        ds.checkout("exp").unwrap();
+        assert_eq!(ds.len(), 5);
+    }
+
+    #[test]
+    fn branch_requires_commit() {
+        let mut ds = basic();
+        assert!(ds.checkout_new_branch("too-early").is_err());
+    }
+
+    #[test]
+    fn update_and_diff() {
+        let mut ds = basic();
+        append_n(&mut ds, 4, 0);
+        let c1 = ds.commit("v1").unwrap();
+        ds.update("labels", 1, &Sample::scalar(99i32)).unwrap();
+        ds.flush().unwrap();
+        assert_eq!(ds.get("labels", 1).unwrap().get_f64(0).unwrap(), 99.0);
+        let d = ds.diff(&c1, "main").unwrap();
+        assert_eq!(d.base, c1);
+        assert!(d.left.iter().all(|t| t.rows_added == 0 && t.rows_updated == 0));
+        let labels = d.right.iter().find(|t| t.tensor == "labels").unwrap();
+        assert_eq!(labels.rows_updated, 1);
+    }
+
+    #[test]
+    fn log_lists_commits() {
+        let mut ds = basic();
+        append_n(&mut ds, 1, 0);
+        ds.commit("first").unwrap();
+        append_n(&mut ds, 1, 1);
+        ds.commit("second").unwrap();
+        let log = ds.log().unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].1, "second");
+        assert_eq!(log[1].1, "first");
+    }
+
+    #[test]
+    fn merge_appends_new_rows() {
+        let mut ds = basic();
+        append_n(&mut ds, 2, 0);
+        ds.commit("base").unwrap();
+        ds.checkout_new_branch("side").unwrap();
+        append_n(&mut ds, 3, 20);
+        ds.commit("side adds").unwrap();
+        ds.checkout("main").unwrap();
+        let report = ds.merge("side", MergePolicy::Ours).unwrap();
+        assert_eq!(report.samples_added, 3);
+        assert_eq!(report.updates_applied, 0);
+        assert!(report.conflicts.is_empty());
+        assert_eq!(ds.len(), 5);
+        assert_eq!(ds.get("images", 4).unwrap(), image(22));
+    }
+
+    #[test]
+    fn merge_applies_their_updates() {
+        let mut ds = basic();
+        append_n(&mut ds, 3, 0);
+        ds.commit("base").unwrap();
+        ds.checkout_new_branch("fix").unwrap();
+        ds.update("labels", 0, &Sample::scalar(42i32)).unwrap();
+        ds.commit("fix label").unwrap();
+        ds.checkout("main").unwrap();
+        let report = ds.merge("fix", MergePolicy::Ours).unwrap();
+        assert_eq!(report.updates_applied, 1);
+        assert_eq!(ds.get("labels", 0).unwrap().get_f64(0).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn merge_conflict_policies() {
+        // build two branches updating the same row
+        let make = || {
+            let mut ds = basic();
+            append_n(&mut ds, 2, 0);
+            ds.commit("base").unwrap();
+            ds.checkout_new_branch("side").unwrap();
+            ds.update("labels", 0, &Sample::scalar(7i32)).unwrap();
+            ds.commit("side update").unwrap();
+            ds.checkout("main").unwrap();
+            ds.update("labels", 0, &Sample::scalar(5i32)).unwrap();
+            ds.commit("main update").unwrap();
+            ds
+        };
+        // ours: keep 5
+        let mut ds = make();
+        let r = ds.merge("side", MergePolicy::Ours).unwrap();
+        assert_eq!(r.conflicts.len(), 1);
+        assert_eq!(ds.get("labels", 0).unwrap().get_f64(0).unwrap(), 5.0);
+        // theirs: take 7
+        let mut ds = make();
+        let r = ds.merge("side", MergePolicy::Theirs).unwrap();
+        assert_eq!(r.conflicts.len(), 1);
+        assert_eq!(ds.get("labels", 0).unwrap().get_f64(0).unwrap(), 7.0);
+        // fail: error out
+        let mut ds = make();
+        assert!(matches!(
+            ds.merge("side", MergePolicy::Fail),
+            Err(CoreError::MergeConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn schema_evolution_backfills() {
+        let mut ds = basic();
+        append_n(&mut ds, 3, 0);
+        ds.create_tensor("boxes", Htype::BBox, None).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert!(ds.get("boxes", 2).unwrap().is_empty());
+        // new rows can fill it
+        ds.append_row(vec![
+            ("images", image(9)),
+            ("boxes", Sample::from_slice([1, 4], &[1.0f32, 2.0, 3.0, 4.0]).unwrap()),
+        ])
+        .unwrap();
+        assert_eq!(ds.get("boxes", 3).unwrap().shape().dims(), &[1, 4]);
+    }
+
+    #[test]
+    fn groups_list_members() {
+        let mut ds = Dataset::create(mem(), "grouped").unwrap();
+        ds.create_tensor("camera/left", Htype::Image, None).unwrap();
+        ds.create_tensor("camera/right", Htype::Image, None).unwrap();
+        ds.create_tensor("lidar", Htype::Generic, Some(Dtype::F32)).unwrap();
+        assert_eq!(ds.group("camera"), vec!["camera/left", "camera/right"]);
+        assert!(ds.group("lidar").is_empty());
+    }
+
+    #[test]
+    fn double_create_rejected() {
+        let provider = mem();
+        let _ds = Dataset::create(provider.clone(), "one").unwrap();
+        assert!(Dataset::create(provider, "two").is_err());
+    }
+
+    #[test]
+    fn open_missing_dataset_fails() {
+        assert!(Dataset::open(mem()).is_err());
+    }
+
+    #[test]
+    fn optimize_rechunks_fragmented_tensors() {
+        let mut ds = basic();
+        append_n(&mut ds, 20, 0);
+        ds.commit("base").unwrap();
+        for row in [1u64, 5, 9, 13, 17] {
+            ds.update("labels", row, &Sample::scalar(99i32)).unwrap();
+        }
+        ds.flush().unwrap();
+        let report = ds.optimize(1.1).unwrap();
+        assert!(report.iter().any(|(t, ..)| t == "labels"), "labels were fragmented");
+        for (_, before, after) in &report {
+            assert!(after <= before);
+        }
+        // values survive
+        assert_eq!(ds.get("labels", 5).unwrap().get_f64(0).unwrap(), 99.0);
+        assert_eq!(ds.get("labels", 6).unwrap().get_f64(0).unwrap(), 6.0);
+        // history still intact
+        let log = ds.log().unwrap();
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn updates_blocked_on_id_tensor() {
+        let mut ds = basic();
+        append_n(&mut ds, 1, 0);
+        assert!(ds.update(ID_TENSOR, 0, &Sample::scalar(1u64)).is_err());
+    }
+}

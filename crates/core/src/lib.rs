@@ -1,0 +1,45 @@
+//! # deeplake-core
+//!
+//! The Deep Lake dataset layer — the paper's primary contribution wired
+//! together: columnar tensor datasets over any storage provider (§3.1),
+//! Git-like version control built into the format (§4.2), parallel
+//! sample-wise transforms (§4.1.2), linked tensors (§4.5), dataset views
+//! and materialization (§4.4-4.5).
+//!
+//! ```
+//! use deeplake_core::dataset::Dataset;
+//! use deeplake_storage::MemoryProvider;
+//! use deeplake_tensor::{Htype, Sample};
+//! use std::sync::Arc;
+//!
+//! let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "quick").unwrap();
+//! ds.create_tensor("images", Htype::Image, None).unwrap();
+//! ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+//! ds.append_row(vec![
+//!     ("images", Sample::zeros(deeplake_tensor::Dtype::U8, [4, 4, 3])),
+//!     ("labels", Sample::scalar(1i32)),
+//! ]).unwrap();
+//! ds.flush().unwrap();
+//! assert_eq!(ds.len(), 1);
+//! let commit = ds.commit("first images").unwrap();
+//! assert!(!commit.is_empty());
+//! ```
+
+pub mod dataset;
+pub mod error;
+pub mod link;
+pub mod materialize;
+pub mod row;
+pub mod sample_id;
+pub mod tensor_store;
+pub mod transform;
+pub mod version;
+pub mod view;
+
+pub use dataset::Dataset;
+pub use error::CoreError;
+pub use row::Row;
+pub use view::DatasetView;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,182 @@
+//! Linked tensors (§4.5).
+//!
+//! A `link[image]` tensor stores *pointers* to externally stored raw data
+//! ("links/urls to one or multiple cloud providers") instead of the data
+//! itself. Pointers within one tensor may target different providers; a
+//! [`LinkRegistry`] maps provider names to live [`StorageProvider`]s
+//! (standing in for the paper's per-provider credential sets).
+//!
+//! Pointer format: `provider://key`, stored with the `text` convention
+//! (rank-1 `u8`).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use deeplake_codec::Compression;
+use deeplake_storage::{DynProvider, StorageProvider};
+use deeplake_tensor::{Dtype, Sample, Shape};
+
+use crate::error::CoreError;
+use crate::Result;
+
+/// Named external storage providers that link pointers can target.
+#[derive(Clone, Default)]
+pub struct LinkRegistry {
+    providers: BTreeMap<String, DynProvider>,
+}
+
+impl LinkRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a provider under a name; pointers `name://key` resolve
+    /// through it.
+    pub fn register(&mut self, name: impl Into<String>, provider: DynProvider) {
+        self.providers.insert(name.into(), provider);
+    }
+
+    /// Look up a provider.
+    pub fn get(&self, name: &str) -> Result<&DynProvider> {
+        self.providers
+            .get(name)
+            .ok_or_else(|| CoreError::LinkResolution(format!("unknown provider {name:?}")))
+    }
+
+    /// Registered provider names.
+    pub fn names(&self) -> Vec<&str> {
+        self.providers.keys().map(String::as_str).collect()
+    }
+}
+
+impl std::fmt::Debug for LinkRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinkRegistry").field("providers", &self.names()).finish()
+    }
+}
+
+impl From<Vec<(String, DynProvider)>> for LinkRegistry {
+    fn from(v: Vec<(String, DynProvider)>) -> Self {
+        LinkRegistry { providers: v.into_iter().collect() }
+    }
+}
+
+/// Build the pointer sample for `provider://key`.
+pub fn make_link(provider: &str, key: &str) -> Sample {
+    Sample::from_text(&format!("{provider}://{key}"))
+}
+
+/// Parse a pointer sample into `(provider, key)`.
+pub fn parse_link(sample: &Sample) -> Result<(String, String)> {
+    let text = sample
+        .to_text()
+        .ok_or_else(|| CoreError::LinkResolution("pointer is not valid text".into()))?;
+    let (provider, key) = text
+        .split_once("://")
+        .ok_or_else(|| CoreError::LinkResolution(format!("malformed pointer {text:?}")))?;
+    if provider.is_empty() || key.is_empty() {
+        return Err(CoreError::LinkResolution(format!("malformed pointer {text:?}")));
+    }
+    Ok((provider.to_string(), key.to_string()))
+}
+
+/// Resolve a pointer: fetch the external object and decode it into a
+/// sample. Framed image blobs recover their geometry; other framed blobs
+/// decode to rank-1 `u8`; unframed bytes pass through as rank-1 `u8`.
+pub fn resolve(registry: &LinkRegistry, pointer: &Sample) -> Result<Sample> {
+    let (provider_name, key) = parse_link(pointer)?;
+    let provider = registry.get(&provider_name)?;
+    let blob = provider
+        .get(&key)
+        .map_err(|e| CoreError::LinkResolution(format!("{provider_name}://{key}: {e}")))?;
+    decode_external(&blob)
+}
+
+/// Decode external object bytes into a sample.
+pub fn decode_external(blob: &[u8]) -> Result<Sample> {
+    if let Ok((pixels, Some((h, w, c)))) = Compression::decompress_image(blob) {
+        return Ok(Sample::from_bytes(
+            Dtype::U8,
+            Shape::from([h as u64, w as u64, c as u64]),
+            bytes::Bytes::from(pixels),
+        )?);
+    }
+    let raw = match Compression::decompress(blob) {
+        Ok(raw) => raw,
+        Err(_) => blob.to_vec(), // unframed external file: raw bytes
+    };
+    let len = raw.len() as u64;
+    Ok(Sample::from_bytes(Dtype::U8, Shape::from([len]), bytes::Bytes::from(raw))?)
+}
+
+/// Convenience: a registry holding one in-memory provider, returned with
+/// its handle for test/setup code.
+pub fn single_provider_registry(
+    name: &str,
+    provider: impl StorageProvider + 'static,
+) -> (LinkRegistry, DynProvider) {
+    let arc: DynProvider = Arc::new(provider);
+    let mut reg = LinkRegistry::new();
+    reg.register(name, arc.clone());
+    (reg, arc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeplake_storage::MemoryProvider;
+
+    #[test]
+    fn pointer_roundtrip() {
+        let p = make_link("sim-s3", "bucket/img_001.bin");
+        let (prov, key) = parse_link(&p).unwrap();
+        assert_eq!(prov, "sim-s3");
+        assert_eq!(key, "bucket/img_001.bin");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_link(&Sample::from_text("no-scheme")).is_err());
+        assert!(parse_link(&Sample::from_text("://missing")).is_err());
+        assert!(parse_link(&Sample::from_text("p://")).is_err());
+        assert!(parse_link(&Sample::scalar(1.0f32)).is_err());
+    }
+
+    #[test]
+    fn resolve_framed_image_recovers_geometry() {
+        let (reg, provider) = single_provider_registry("ext", MemoryProvider::new());
+        let pixels = vec![99u8; 8 * 6 * 3];
+        let blob = Compression::JPEG_LIKE.compress_image(&pixels, 8, 6, 3).unwrap();
+        provider.put("img.bin", bytes::Bytes::from(blob)).unwrap();
+        let sample = resolve(&reg, &make_link("ext", "img.bin")).unwrap();
+        assert_eq!(sample.shape(), &Shape::from([8, 6, 3]));
+        assert_eq!(sample.dtype(), Dtype::U8);
+    }
+
+    #[test]
+    fn resolve_raw_bytes_as_rank1() {
+        let (reg, provider) = single_provider_registry("ext", MemoryProvider::new());
+        provider.put("file.txt", bytes::Bytes::from_static(b"hello!")).unwrap();
+        let sample = resolve(&reg, &make_link("ext", "file.txt")).unwrap();
+        assert_eq!(sample.shape(), &Shape::from([6]));
+        assert_eq!(sample.to_text().unwrap(), "hello!");
+    }
+
+    #[test]
+    fn resolve_unknown_provider_or_key_fails() {
+        let (reg, _provider) = single_provider_registry("ext", MemoryProvider::new());
+        assert!(resolve(&reg, &make_link("ghost", "x")).is_err());
+        assert!(resolve(&reg, &make_link("ext", "missing")).is_err());
+    }
+
+    #[test]
+    fn registry_multiple_providers() {
+        let mut reg = LinkRegistry::new();
+        reg.register("a", Arc::new(MemoryProvider::new()));
+        reg.register("b", Arc::new(MemoryProvider::new()));
+        assert_eq!(reg.names(), vec!["a", "b"]);
+        assert!(reg.get("a").is_ok());
+        assert!(reg.get("c").is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! [`Row`]: one sample across parallel tensors (§3.1).
+
+use std::collections::BTreeMap;
+
+use deeplake_tensor::Sample;
+
+/// A dataset row: tensor name → sample. "A sample in a dataset represents a
+/// single row indexed across parallel tensors" (§3.1); elements are
+/// logically independent, so a row may carry any subset of tensors —
+/// missing tensors are filled with empty samples on append.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Row {
+    values: BTreeMap<String, Sample>,
+}
+
+impl Row {
+    /// Empty row.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insertion.
+    pub fn with(mut self, tensor: impl Into<String>, sample: Sample) -> Self {
+        self.values.insert(tensor.into(), sample);
+        self
+    }
+
+    /// Insert or replace a value.
+    pub fn set(&mut self, tensor: impl Into<String>, sample: Sample) {
+        self.values.insert(tensor.into(), sample);
+    }
+
+    /// Value for a tensor, if present.
+    pub fn get(&self, tensor: &str) -> Option<&Sample> {
+        self.values.get(tensor)
+    }
+
+    /// Remove and return a value.
+    pub fn take(&mut self, tensor: &str) -> Option<Sample> {
+        self.values.remove(tensor)
+    }
+
+    /// Tensor names present in this row.
+    pub fn tensors(&self) -> impl Iterator<Item = &str> {
+        self.values.keys().map(String::as_str)
+    }
+
+    /// Iterate `(tensor, sample)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Sample)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of tensors in the row.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the row carries no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total payload bytes across all samples.
+    pub fn nbytes(&self) -> usize {
+        self.values.values().map(Sample::nbytes).sum()
+    }
+}
+
+impl FromIterator<(String, Sample)> for Row {
+    fn from_iter<T: IntoIterator<Item = (String, Sample)>>(iter: T) -> Self {
+        Row { values: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> FromIterator<(&'a str, Sample)> for Row {
+    fn from_iter<T: IntoIterator<Item = (&'a str, Sample)>>(iter: T) -> Self {
+        Row { values: iter.into_iter().map(|(k, v)| (k.to_string(), v)).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeplake_tensor::Dtype;
+
+    #[test]
+    fn builder_and_access() {
+        let row = Row::new()
+            .with("images", Sample::zeros(Dtype::U8, [2, 2, 3]))
+            .with("labels", Sample::scalar(3i32));
+        assert_eq!(row.len(), 2);
+        assert!(row.get("images").is_some());
+        assert!(row.get("boxes").is_none());
+        assert_eq!(row.tensors().collect::<Vec<_>>(), vec!["images", "labels"]);
+        assert_eq!(row.nbytes(), 12 + 4);
+    }
+
+    #[test]
+    fn set_take() {
+        let mut row = Row::new();
+        assert!(row.is_empty());
+        row.set("x", Sample::scalar(1u8));
+        row.set("x", Sample::scalar(2u8));
+        assert_eq!(row.len(), 1);
+        let taken = row.take("x").unwrap();
+        assert_eq!(taken.get_f64(0).unwrap(), 2.0);
+        assert!(row.is_empty());
+    }
+
+    #[test]
+    fn from_iterators() {
+        let row: Row = vec![("a", Sample::scalar(1u8)), ("b", Sample::scalar(2u8))]
+            .into_iter()
+            .collect();
+        assert_eq!(row.len(), 2);
+    }
+}

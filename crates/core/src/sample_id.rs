@@ -1,0 +1,72 @@
+//! Stable sample identifiers.
+//!
+//! §4.2: "the ids of samples are generated and stored during the dataset
+//! population. This is important for keeping track of the same samples
+//! during merge operations." Ids live in the hidden `_ids` tensor (one
+//! scalar `u64` per row) and survive reordering, branching and merging.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hidden tensor name that stores per-row sample ids.
+pub const ID_TENSOR: &str = "_ids";
+
+static COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// Generate a fresh, process-unique sample id.
+///
+/// Layout: 40 bits of session entropy (startup clock) + 24 bits of a
+/// monotone counter. Collisions across processes are improbable enough
+/// for merge bookkeeping; within a process they are impossible.
+pub fn generate() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    static SESSION: AtomicU64 = AtomicU64::new(0);
+    let mut session = SESSION.load(Ordering::Relaxed);
+    if session == 0 {
+        let nanos =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.subsec_nanos()).unwrap_or(0);
+        let secs =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+        let seed = (secs << 30 | nanos as u64) & ((1 << 40) - 1);
+        let seed = if seed == 0 { 1 } else { seed };
+        // racy init is fine: any thread's seed works, first store wins
+        let _ = SESSION.compare_exchange(0, seed, Ordering::Relaxed, Ordering::Relaxed);
+        session = SESSION.load(Ordering::Relaxed);
+    }
+    let count = COUNTER.fetch_add(1, Ordering::Relaxed) & ((1 << 24) - 1);
+    (session << 24) | count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_unique() {
+        let ids: HashSet<u64> = (0..10_000).map(|_| generate()).collect();
+        assert_eq!(ids.len(), 10_000);
+    }
+
+    #[test]
+    fn ids_are_nonzero() {
+        for _ in 0..100 {
+            assert_ne!(generate(), 0);
+        }
+    }
+
+    #[test]
+    fn ids_unique_across_threads() {
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            handles.push(std::thread::spawn(|| {
+                (0..1000).map(|_| generate()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(all.insert(id), "duplicate id {id}");
+            }
+        }
+    }
+}

@@ -1,0 +1,775 @@
+//! Per-tensor storage engine.
+//!
+//! A `TensorStore` owns one tensor's chunks, chunk encoder, tile encoder
+//! and metadata, bound to a *chain* of version sub-directories (HEAD
+//! first). Writes always land in the HEAD directory; reads resolve a chunk
+//! id by walking the chain toward the first commit and checking each
+//! version's `chunk_set` (§4.2) — copy-on-write at chunk granularity.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use deeplake_codec::Compression;
+use deeplake_format::chunk::{decode_sample, encode_sample};
+use deeplake_format::{
+    Chunk, ChunkBuilder, ChunkSizePolicy, ChunkEncoder, FlushReason, SampleLocation, TensorMeta,
+    TileEncoder, TileLayout,
+};
+use deeplake_storage::{PrefixProvider, StorageProvider};
+use deeplake_tensor::{Htype, Sample};
+use parking_lot::Mutex;
+
+use crate::error::CoreError;
+use crate::version::CommitDiff;
+use crate::Result;
+
+const META_KEY: &str = "meta.json";
+const ENCODER_KEY: &str = "chunk_encoder";
+const TILES_KEY: &str = "tile_encoder";
+const CHUNK_SET_KEY: &str = "chunk_set.json";
+const DIFF_KEY: &str = "commit_diff.json";
+
+/// One version sub-directory of this tensor plus the set of chunks it owns.
+pub struct VersionDir {
+    /// Provider scoped at `versions/<node>/<tensor>/`.
+    pub provider: PrefixProvider,
+    /// Ids of chunks written in this version.
+    pub chunk_set: HashSet<u64>,
+}
+
+impl VersionDir {
+    /// Load a version dir, reading its chunk set if present.
+    pub fn load(provider: PrefixProvider) -> Result<Self> {
+        let chunk_set = match provider.get(CHUNK_SET_KEY) {
+            Ok(data) => serde_json::from_slice::<Vec<u64>>(&data)?.into_iter().collect(),
+            Err(_) => HashSet::new(),
+        };
+        Ok(VersionDir { provider, chunk_set })
+    }
+}
+
+/// Storage engine for one tensor.
+pub struct TensorStore {
+    meta: TensorMeta,
+    encoder: ChunkEncoder,
+    tiles: TileEncoder,
+    builder: ChunkBuilder,
+    /// HEAD first, root last.
+    chain: Vec<VersionDir>,
+    diff: CommitDiff,
+    /// Small decoded-chunk cache (keyed by chunk id) giving each loader
+    /// worker read locality without thrashing across threads.
+    chunk_memo: Mutex<Vec<(u64, Arc<Chunk>)>>,
+    dirty: bool,
+}
+
+fn policy_for(meta: &TensorMeta) -> ChunkSizePolicy {
+    let target = meta.chunk_target_bytes as usize;
+    if matches!(meta.htype.base(), Htype::Video) {
+        ChunkSizePolicy::video(target)
+    } else {
+        ChunkSizePolicy::with_target(target)
+    }
+}
+
+impl TensorStore {
+    /// Create a fresh tensor in `head`.
+    pub fn create(meta: TensorMeta, head: PrefixProvider) -> Result<Self> {
+        let builder = ChunkBuilder::new(meta.dtype, meta.sample_compression, policy_for(&meta));
+        let store = TensorStore {
+            builder,
+            meta,
+            encoder: ChunkEncoder::new(),
+            tiles: TileEncoder::new(),
+            chain: vec![VersionDir { provider: head, chunk_set: HashSet::new() }],
+            diff: CommitDiff::new(),
+            chunk_memo: Mutex::new(Vec::new()),
+            dirty: true,
+        };
+        Ok(store)
+    }
+
+    /// Open an existing tensor given its version chain (HEAD first). State
+    /// files are loaded from the most recent version that wrote them.
+    pub fn open(chain: Vec<PrefixProvider>) -> Result<Self> {
+        let mut dirs = Vec::with_capacity(chain.len());
+        for p in chain {
+            dirs.push(VersionDir::load(p)?);
+        }
+        let state_dir = dirs
+            .iter()
+            .find(|d| d.provider.exists(META_KEY).unwrap_or(false))
+            .ok_or_else(|| CoreError::Corrupt("tensor has no meta.json in any version".into()))?;
+        let meta = TensorMeta::from_json(&state_dir.provider.get(META_KEY)?)?;
+        let encoder = match state_dir.provider.get(ENCODER_KEY) {
+            Ok(data) => ChunkEncoder::deserialize(&data)?,
+            Err(_) => ChunkEncoder::new(),
+        };
+        let tiles = match state_dir.provider.get(TILES_KEY) {
+            Ok(data) => TileEncoder::deserialize(&data)?,
+            Err(_) => TileEncoder::new(),
+        };
+        let diff = match dirs[0].provider.get(DIFF_KEY) {
+            Ok(data) => CommitDiff::from_json(&data)?,
+            Err(_) => CommitDiff::new(),
+        };
+        let builder = ChunkBuilder::new(meta.dtype, meta.sample_compression, policy_for(&meta));
+        Ok(TensorStore {
+            builder,
+            meta,
+            encoder,
+            tiles,
+            chain: dirs,
+            diff,
+            chunk_memo: Mutex::new(Vec::new()),
+            dirty: false,
+        })
+    }
+
+    /// Tensor metadata.
+    pub fn meta(&self) -> &TensorMeta {
+        &self.meta
+    }
+
+    /// Mutable metadata access (schema tweaks; callers must flush).
+    pub fn meta_mut(&mut self) -> &mut TensorMeta {
+        self.dirty = true;
+        &mut self.meta
+    }
+
+    /// Number of rows, including unflushed ones.
+    pub fn len(&self) -> u64 {
+        self.encoder.num_rows() + self.builder.open_samples() as u64
+    }
+
+    /// Whether the tensor holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The pending commit diff for the HEAD version.
+    pub fn pending_diff(&self) -> &CommitDiff {
+        &self.diff
+    }
+
+    /// Fragmentation of the chunk layout (see
+    /// [`ChunkEncoder::fragmentation`]).
+    pub fn fragmentation(&self) -> f64 {
+        self.encoder.fragmentation()
+    }
+
+    /// Append one sample.
+    ///
+    /// The empty marker sample (shape `[0]`) is accepted by any htype: rows
+    /// with no value for this tensor store it to keep row counts aligned
+    /// (§3.1: sample elements are logically independent).
+    pub fn append(&mut self, sample: &Sample) -> Result<()> {
+        let is_empty_marker = sample.shape().dims() == [0];
+        if !is_empty_marker {
+            self.meta.htype.validate(sample)?;
+        }
+        if sample.dtype() != self.meta.dtype {
+            return Err(CoreError::Tensor(deeplake_tensor::TensorError::DtypeMismatch {
+                left: sample.dtype(),
+                right: self.meta.dtype,
+            }));
+        }
+        let row = self.len();
+        match self.builder.push(sample)? {
+            FlushReason::Buffered => {}
+            FlushReason::ChunkFull(chunk) => {
+                self.write_sealed_chunk(chunk)?;
+            }
+            FlushReason::NeedsTiling { .. } => {
+                self.append_tiled(sample)?;
+            }
+        }
+        self.meta.observe(sample);
+        self.diff.added.insert(row);
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Append a pre-encoded blob whose codec matches the tensor's sample
+    /// compression (§5: the binary is copied into a chunk without
+    /// additional decoding). The caller supplies the decoded shape.
+    pub fn append_encoded(&mut self, blob: Vec<u8>, shape: deeplake_tensor::Shape) -> Result<()> {
+        let row = self.len();
+        let synthetic = Sample::zeros(self.meta.dtype, shape.clone());
+        self.meta.htype.validate(&synthetic)?;
+        match self.builder.push_encoded(blob, shape)? {
+            FlushReason::Buffered => {}
+            FlushReason::ChunkFull(chunk) => self.write_sealed_chunk(chunk)?,
+            FlushReason::NeedsTiling { .. } => {
+                return Err(CoreError::Corrupt(
+                    "pre-encoded oversized blobs cannot be tiled; append the decoded sample"
+                        .into(),
+                ))
+            }
+        }
+        self.meta.observe(&synthetic);
+        self.diff.added.insert(row);
+        self.dirty = true;
+        Ok(())
+    }
+
+    fn append_tiled(&mut self, sample: &Sample) -> Result<()> {
+        let row = self.encoder.num_rows() + self.builder.open_samples() as u64;
+        // tiles must map to rows *after* currently open samples: seal them
+        self.seal_open_chunk()?;
+        debug_assert_eq!(row, self.encoder.num_rows());
+
+        let tile_shape = deeplake_format::tile_encoder::compute_tile_shape(
+            sample.shape(),
+            sample.dtype().size(),
+            self.builder.policy().target_bytes,
+        );
+        let pieces = deeplake_format::tile_encoder::split_into_tiles(sample, &tile_shape)?;
+        let mut tile_chunks = Vec::with_capacity(pieces.len());
+        for (_, tile) in &pieces {
+            let mut chunk = Chunk::new(self.meta.dtype);
+            chunk.append_sample(tile, self.meta.sample_compression)?;
+            let id = self.put_chunk(&chunk)?;
+            tile_chunks.push(id);
+        }
+        let first = tile_chunks[0];
+        self.tiles.insert(
+            row,
+            TileLayout { sample_shape: sample.shape().clone(), tile_shape, tile_chunks },
+        );
+        // the encoder still owns row accounting: point the row at its first
+        // tile chunk (readers consult the tile encoder before the map)
+        self.encoder.append_run(first, 0, 1);
+        Ok(())
+    }
+
+    /// Update a row in place (§3.5 random access writes). The new value is
+    /// written to a fresh chunk in the HEAD version; the index map is
+    /// re-pointed.
+    pub fn update(&mut self, row: u64, sample: &Sample) -> Result<()> {
+        if row >= self.len() {
+            return Err(CoreError::RowOutOfRange { row, len: self.len() });
+        }
+        self.meta.htype.validate(sample)?;
+        if sample.dtype() != self.meta.dtype {
+            return Err(CoreError::Tensor(deeplake_tensor::TensorError::DtypeMismatch {
+                left: sample.dtype(),
+                right: self.meta.dtype,
+            }));
+        }
+        // rows still in the open chunk get sealed first so the encoder owns them
+        if row >= self.encoder.num_rows() {
+            self.seal_open_chunk()?;
+        }
+        let blob = encode_sample(sample, self.meta.sample_compression)?;
+        if blob.len() > self.builder.policy().max_bytes && !self.builder.policy().allow_oversized {
+            // oversized replacement: tile it
+            let tile_shape = deeplake_format::tile_encoder::compute_tile_shape(
+                sample.shape(),
+                sample.dtype().size(),
+                self.builder.policy().target_bytes,
+            );
+            let pieces = deeplake_format::tile_encoder::split_into_tiles(sample, &tile_shape)?;
+            let mut tile_chunks = Vec::with_capacity(pieces.len());
+            for (_, tile) in &pieces {
+                let mut chunk = Chunk::new(self.meta.dtype);
+                chunk.append_sample(tile, self.meta.sample_compression)?;
+                tile_chunks.push(self.put_chunk(&chunk)?);
+            }
+            let first = tile_chunks[0];
+            self.tiles.insert(
+                row,
+                TileLayout { sample_shape: sample.shape().clone(), tile_shape, tile_chunks },
+            );
+            self.encoder.replace_row(row, SampleLocation { chunk_id: first, local_index: 0 })?;
+        } else {
+            let mut chunk = Chunk::new(self.meta.dtype);
+            chunk.append_blob(&blob, sample.shape().clone());
+            let id = self.put_chunk(&chunk)?;
+            self.tiles.remove(row);
+            self.encoder.replace_row(row, SampleLocation { chunk_id: id, local_index: 0 })?;
+        }
+        self.meta.observe(sample);
+        self.meta.length -= 1; // observe() counts a new row; updates do not add one
+        if !self.diff.added.contains(&row) {
+            self.diff.updated.insert(row);
+        }
+        self.chunk_memo.lock().clear();
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Read one sample.
+    pub fn get(&self, row: u64) -> Result<Sample> {
+        if row >= self.len() {
+            return Err(CoreError::RowOutOfRange { row, len: self.len() });
+        }
+        if let Some(layout) = self.tiles.get(row) {
+            let layout = layout.clone();
+            let mut tiles = Vec::with_capacity(layout.tile_chunks.len());
+            for &cid in &layout.tile_chunks {
+                let chunk = self.read_chunk(cid)?;
+                tiles.push(chunk.sample(0)?);
+            }
+            return Ok(deeplake_format::tile_encoder::reassemble_tiles(
+                &layout,
+                self.meta.dtype,
+                &tiles,
+            )?);
+        }
+        if row >= self.encoder.num_rows() {
+            let local = (row - self.encoder.num_rows()) as usize;
+            return Ok(self.builder.open_chunk().sample(local)?);
+        }
+        let loc = self.encoder.locate(row)?;
+        let chunk = self.read_chunk(loc.chunk_id)?;
+        Ok(chunk.sample(loc.local_index as usize)?)
+    }
+
+    /// Read only the shape of a row (decodes the chunk directory, not the
+    /// sample payload, unless the row is tiled).
+    pub fn get_shape(&self, row: u64) -> Result<deeplake_tensor::Shape> {
+        if let Some(layout) = self.tiles.get(row) {
+            return Ok(layout.sample_shape.clone());
+        }
+        if row >= self.len() {
+            return Err(CoreError::RowOutOfRange { row, len: self.len() });
+        }
+        if row >= self.encoder.num_rows() {
+            let local = (row - self.encoder.num_rows()) as usize;
+            return Ok(self.builder.open_chunk().records()[local].shape.clone());
+        }
+        let loc = self.encoder.locate(row)?;
+        let chunk = self.read_chunk(loc.chunk_id)?;
+        Ok(chunk.records()[loc.local_index as usize].shape.clone())
+    }
+
+    /// Per-chunk spans covering rows `[start, end)` — the streaming
+    /// layer's fetch plan. Rows still in the open chunk are reported with
+    /// chunk id `u64::MAX`.
+    pub fn chunk_plan(&self, start: u64, end: u64) -> Result<Vec<(u64, u32, u32)>> {
+        let sealed_end = end.min(self.encoder.num_rows());
+        let mut plan =
+            if start < sealed_end { self.encoder.locate_range(start, sealed_end)? } else { vec![] };
+        if end > self.encoder.num_rows() {
+            let open_start = start.max(self.encoder.num_rows()) - self.encoder.num_rows();
+            let open_end = end - self.encoder.num_rows();
+            if open_end > open_start {
+                plan.push((u64::MAX, open_start as u32, (open_end - open_start) as u32));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Fetch and decode a chunk by id, resolving through the version chain.
+    pub fn read_chunk(&self, chunk_id: u64) -> Result<Arc<Chunk>> {
+        if let Some((_, chunk)) =
+            self.chunk_memo.lock().iter().find(|(id, _)| *id == chunk_id)
+        {
+            return Ok(chunk.clone());
+        }
+        let key = chunk_key(chunk_id);
+        for dir in &self.chain {
+            if dir.chunk_set.contains(&chunk_id) {
+                let data = dir.provider.get(&key)?;
+                let chunk = Arc::new(Chunk::deserialize(&data)?);
+                self.memoize(chunk_id, chunk.clone());
+                return Ok(chunk);
+            }
+        }
+        // fall back to probing directories (tolerates missing chunk_set files)
+        for dir in &self.chain {
+            if let Ok(data) = dir.provider.get(&key) {
+                let chunk = Arc::new(Chunk::deserialize(&data)?);
+                self.memoize(chunk_id, chunk.clone());
+                return Ok(chunk);
+            }
+        }
+        Err(CoreError::Corrupt(format!("chunk {chunk_id} not found in any version")))
+    }
+
+    /// Insert a decoded chunk into the bounded memo (FIFO eviction).
+    fn memoize(&self, chunk_id: u64, chunk: Arc<Chunk>) {
+        const MEMO_SLOTS: usize = 16;
+        let mut memo = self.chunk_memo.lock();
+        if memo.iter().any(|(id, _)| *id == chunk_id) {
+            return;
+        }
+        if memo.len() >= MEMO_SLOTS {
+            memo.remove(0);
+        }
+        memo.push((chunk_id, chunk));
+    }
+
+    /// Decode one sample out of the open chunk (rows past the sealed
+    /// region). `local` is relative to the open chunk.
+    pub fn open_chunk_sample(&self, local: usize) -> Result<Sample> {
+        Ok(self.builder.open_chunk().sample(local)?)
+    }
+
+    /// Number of rows safely covered by sealed chunks.
+    pub fn sealed_rows(&self) -> u64 {
+        self.encoder.num_rows()
+    }
+
+    /// Whether the given row is stored tiled.
+    pub fn is_tiled(&self, row: u64) -> bool {
+        self.tiles.get(row).is_some()
+    }
+
+    /// Re-chunking (§3.5): "random assignment over time will produce
+    /// inefficiently stored data chunks. To fix the data layout, we
+    /// implement an on-the-fly re-chunking algorithm to optimize the data
+    /// layout."
+    ///
+    /// Rewrites every row into fresh, sequential, size-bounded chunks in
+    /// the HEAD version. Returns `(fragmentation_before,
+    /// fragmentation_after)`. Old chunks stay in their version
+    /// directories, so history remains readable.
+    pub fn rechunk(&mut self) -> Result<(f64, f64)> {
+        self.seal_open_chunk()?;
+        let before = self.fragmentation();
+        let rows = self.encoder.num_rows();
+        // decode through the old layout first
+        let mut samples = Vec::with_capacity(rows as usize);
+        for r in 0..rows {
+            samples.push(self.get(r)?);
+        }
+        // rebuild the layout from scratch
+        self.encoder = ChunkEncoder::new();
+        self.tiles = TileEncoder::new();
+        self.builder =
+            ChunkBuilder::new(self.meta.dtype, self.meta.sample_compression, policy_for(&self.meta));
+        self.chunk_memo.lock().clear();
+        for s in &samples {
+            match self.builder.push(s)? {
+                FlushReason::Buffered => {}
+                FlushReason::ChunkFull(chunk) => self.write_sealed_chunk(chunk)?,
+                FlushReason::NeedsTiling { .. } => self.append_tiled(s)?,
+            }
+        }
+        self.seal_open_chunk()?;
+        debug_assert_eq!(self.encoder.num_rows(), rows);
+        self.dirty = true;
+        Ok((before, self.fragmentation()))
+    }
+
+    fn seal_open_chunk(&mut self) -> Result<()> {
+        if let Some(chunk) = self.builder.finish() {
+            self.write_sealed_chunk(chunk)?;
+        }
+        Ok(())
+    }
+
+    fn write_sealed_chunk(&mut self, chunk: Chunk) -> Result<()> {
+        let n = chunk.sample_count() as u32;
+        let id = self.put_chunk(&chunk)?;
+        self.encoder.append_run(id, 0, n);
+        Ok(())
+    }
+
+    fn put_chunk(&mut self, chunk: &Chunk) -> Result<u64> {
+        let id = self.meta.next_chunk_id;
+        self.meta.next_chunk_id += 1;
+        let blob = chunk.serialize(self.meta.chunk_compression);
+        self.chain[0].provider.put(&chunk_key(id), Bytes::from(blob))?;
+        self.chain[0].chunk_set.insert(id);
+        self.dirty = true;
+        Ok(id)
+    }
+
+    /// Persist all pending state (open chunk, encoders, metadata, chunk
+    /// set, commit diff) to the HEAD version directory.
+    pub fn flush(&mut self) -> Result<()> {
+        if !self.dirty {
+            return Ok(());
+        }
+        self.seal_open_chunk()?;
+        let head = &self.chain[0].provider;
+        head.put(META_KEY, Bytes::from(self.meta.to_json()?))?;
+        head.put(ENCODER_KEY, Bytes::from(self.encoder.serialize()))?;
+        if !self.tiles.is_empty() {
+            head.put(TILES_KEY, Bytes::from(self.tiles.serialize()))?;
+        }
+        let chunk_ids: Vec<u64> = {
+            let mut v: Vec<u64> = self.chain[0].chunk_set.iter().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        head.put(CHUNK_SET_KEY, Bytes::from(serde_json::to_vec(&chunk_ids)?))?;
+        head.put(DIFF_KEY, Bytes::from(self.diff.to_json()?))?;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Move the write frontier into a new version directory after a
+    /// commit: the sealed version keeps its chunks; new writes go to
+    /// `new_head` with a fresh chunk set and diff.
+    pub fn start_new_version(&mut self, new_head: PrefixProvider) -> Result<()> {
+        self.flush()?;
+        self.chain.insert(0, VersionDir { provider: new_head, chunk_set: HashSet::new() });
+        self.diff = CommitDiff::new();
+        Ok(())
+    }
+
+    /// Decode a stored blob into a sample (helper for the streaming layer,
+    /// which fetches chunk bytes itself).
+    pub fn decode(
+        &self,
+        blob: &[u8],
+        shape: deeplake_tensor::Shape,
+    ) -> Result<Sample> {
+        Ok(decode_sample(blob, self.meta.dtype, shape)?)
+    }
+}
+
+fn chunk_key(id: u64) -> String {
+    format!("chunks/{id:016x}")
+}
+
+/// Compression the §5 verbatim-copy path expects for a tensor: raw files
+/// may be appended via [`TensorStore::append_encoded`] only when their
+/// codec equals this.
+pub fn expected_sample_compression(meta: &TensorMeta) -> Compression {
+    meta.sample_compression
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeplake_storage::MemoryProvider;
+    use deeplake_tensor::{Dtype, Shape};
+    use std::sync::Arc as StdArc;
+
+    fn head() -> PrefixProvider {
+        PrefixProvider::new(StdArc::new(MemoryProvider::new()), "versions/v000000/t")
+    }
+
+    fn small_meta(name: &str, target: u64) -> TensorMeta {
+        let mut m = TensorMeta::new(name, Htype::Generic, Some(Dtype::U8));
+        m.chunk_target_bytes = target;
+        m
+    }
+
+    fn sample(n: usize, fill: u8) -> Sample {
+        Sample::from_slice([n as u64], &vec![fill; n]).unwrap()
+    }
+
+    #[test]
+    fn append_get_roundtrip() {
+        let mut t = TensorStore::create(small_meta("x", 1000), head()).unwrap();
+        for i in 0..10 {
+            t.append(&sample(100, i)).unwrap();
+        }
+        assert_eq!(t.len(), 10);
+        for i in 0..10 {
+            assert_eq!(t.get(i as u64).unwrap(), sample(100, i as u8));
+        }
+        assert!(t.get(10).is_err());
+    }
+
+    #[test]
+    fn flush_and_reopen() {
+        let base = StdArc::new(MemoryProvider::new());
+        let p = PrefixProvider::new(base.clone(), "versions/v000000/x");
+        let mut t = TensorStore::create(small_meta("x", 500), p.clone()).unwrap();
+        for i in 0..20 {
+            t.append(&sample(60, i)).unwrap();
+        }
+        t.flush().unwrap();
+        let back = TensorStore::open(vec![p]).unwrap();
+        assert_eq!(back.len(), 20);
+        for i in 0..20 {
+            assert_eq!(back.get(i as u64).unwrap(), sample(60, i as u8));
+        }
+        assert_eq!(back.meta().length, 20);
+    }
+
+    #[test]
+    fn dtype_mismatch_rejected() {
+        let mut t = TensorStore::create(small_meta("x", 1000), head()).unwrap();
+        let bad = Sample::scalar(1.0f32);
+        assert!(t.append(&bad).is_err());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn htype_validation_applies() {
+        let meta = TensorMeta::new("img", Htype::Image, None);
+        let mut t = TensorStore::create(meta, head()).unwrap();
+        assert!(t.append(&Sample::zeros(Dtype::U8, [4, 4])).is_err());
+        assert!(t.append(&Sample::zeros(Dtype::U8, [4, 4, 3])).is_ok());
+    }
+
+    #[test]
+    fn oversized_sample_gets_tiled_and_reassembles() {
+        let mut t = TensorStore::create(small_meta("x", 1000), head()).unwrap();
+        // max = 2000; a 5000-element sample must tile
+        let big: Vec<u8> = (0..5000).map(|i| (i % 251) as u8).collect();
+        let s = Sample::from_slice([50, 100], &big).unwrap();
+        t.append(&s).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t.is_tiled(0));
+        assert_eq!(t.get(0).unwrap(), s);
+    }
+
+    #[test]
+    fn tiled_and_plain_rows_interleave() {
+        let mut t = TensorStore::create(small_meta("x", 1000), head()).unwrap();
+        t.append(&sample(50, 1)).unwrap();
+        let big: Vec<u8> = (0..4000).map(|i| (i % 13) as u8).collect();
+        let s = Sample::from_slice([4000], &big).unwrap();
+        t.append(&s).unwrap();
+        t.append(&sample(30, 3)).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(0).unwrap(), sample(50, 1));
+        assert_eq!(t.get(1).unwrap(), s);
+        assert_eq!(t.get(2).unwrap(), sample(30, 3));
+        assert!(t.is_tiled(1));
+        assert!(!t.is_tiled(2));
+    }
+
+    #[test]
+    fn update_repoints_row() {
+        let mut t = TensorStore::create(small_meta("x", 1000), head()).unwrap();
+        for i in 0..5 {
+            t.append(&sample(100, i)).unwrap();
+        }
+        t.update(2, &sample(40, 99)).unwrap();
+        assert_eq!(t.get(2).unwrap(), sample(40, 99));
+        assert_eq!(t.get(1).unwrap(), sample(100, 1));
+        assert_eq!(t.get(3).unwrap(), sample(100, 3));
+        assert_eq!(t.len(), 5);
+        // diff recorded the update (row 2 was added in this same version,
+        // so it stays an add)
+        assert!(t.pending_diff().added.contains(&2));
+    }
+
+    #[test]
+    fn update_out_of_range() {
+        let mut t = TensorStore::create(small_meta("x", 1000), head()).unwrap();
+        t.append(&sample(10, 0)).unwrap();
+        assert!(t.update(1, &sample(10, 1)).is_err());
+    }
+
+    #[test]
+    fn get_shape_matches_get() {
+        let mut t = TensorStore::create(small_meta("x", 1000), head()).unwrap();
+        t.append(&Sample::from_slice([3, 7], &vec![0u8; 21]).unwrap()).unwrap();
+        t.append(&sample(9, 1)).unwrap();
+        assert_eq!(t.get_shape(0).unwrap(), Shape::from([3, 7]));
+        assert_eq!(t.get_shape(1).unwrap(), Shape::from([9]));
+        assert!(t.get_shape(2).is_err());
+    }
+
+    #[test]
+    fn chunk_plan_covers_sealed_and_open() {
+        let mut t = TensorStore::create(small_meta("x", 500), head()).unwrap();
+        for i in 0..9 {
+            t.append(&sample(100, i)).unwrap();
+        }
+        let plan = t.chunk_plan(0, 9).unwrap();
+        let total: u32 = plan.iter().map(|&(_, _, n)| n).sum();
+        assert_eq!(total, 9);
+        // last span may be the open chunk
+        if t.sealed_rows() < 9 {
+            assert_eq!(plan.last().unwrap().0, u64::MAX);
+        }
+    }
+
+    #[test]
+    fn version_chain_resolves_old_chunks() {
+        let base = StdArc::new(MemoryProvider::new());
+        let v0 = PrefixProvider::new(base.clone(), "versions/v0/x");
+        let mut t = TensorStore::create(small_meta("x", 500), v0).unwrap();
+        for i in 0..4 {
+            t.append(&sample(100, i)).unwrap();
+        }
+        t.flush().unwrap();
+        // commit: writes continue in v1
+        let v1 = PrefixProvider::new(base.clone(), "versions/v1/x");
+        t.start_new_version(v1).unwrap();
+        t.update(1, &sample(100, 77)).unwrap();
+        t.append(&sample(100, 4)).unwrap();
+        t.flush().unwrap();
+        // rows 0,2,3 resolve from v0 chunks; 1 and 4 from v1
+        assert_eq!(t.get(0).unwrap(), sample(100, 0));
+        assert_eq!(t.get(1).unwrap(), sample(100, 77));
+        assert_eq!(t.get(3).unwrap(), sample(100, 3));
+        assert_eq!(t.get(4).unwrap(), sample(100, 4));
+        // v0 directory still holds the original chunk for row 1's old data
+        let reopened = TensorStore::open(vec![
+            PrefixProvider::new(base.clone(), "versions/v0/x"),
+        ])
+        .unwrap();
+        assert_eq!(reopened.get(1).unwrap(), sample(100, 1));
+        assert_eq!(reopened.len(), 4);
+    }
+
+    #[test]
+    fn append_encoded_verbatim_copy() {
+        let meta = TensorMeta::new("img", Htype::Image, None);
+        let codec = meta.sample_compression;
+        let mut t = TensorStore::create(meta, head()).unwrap();
+        let pixels = vec![127u8; 8 * 8 * 3];
+        let blob = codec.compress_image(&pixels, 8, 8, 3).unwrap();
+        t.append_encoded(blob, Shape::from([8, 8, 3])).unwrap();
+        let s = t.get(0).unwrap();
+        assert_eq!(s.shape(), &Shape::from([8, 8, 3]));
+    }
+
+    #[test]
+    fn rechunk_restores_sequential_layout() {
+        let mut t = TensorStore::create(small_meta("x", 500), head()).unwrap();
+        for i in 0..20 {
+            t.append(&sample(100, i)).unwrap();
+        }
+        t.flush().unwrap();
+        for row in [2u64, 6, 10, 14] {
+            t.update(row, &sample(100, 200 + row as u8)).unwrap();
+        }
+        let expect: Vec<Sample> = (0..20).map(|r| t.get(r).unwrap()).collect();
+        let (before, after) = t.rechunk().unwrap();
+        assert!(before > 1.0, "updates fragmented the layout: {before}");
+        assert!((after - 1.0).abs() < 1e-9, "rechunk must be sequential: {after}");
+        assert_eq!(t.len(), 20);
+        for (r, want) in expect.iter().enumerate() {
+            assert_eq!(&t.get(r as u64).unwrap(), want);
+        }
+        // flush + reopen keeps the optimized layout
+        t.flush().unwrap();
+    }
+
+    #[test]
+    fn rechunk_handles_tiled_rows() {
+        let mut t = TensorStore::create(small_meta("x", 1000), head()).unwrap();
+        t.append(&sample(100, 1)).unwrap();
+        let big: Vec<u8> = (0..5000).map(|i| (i % 13) as u8).collect();
+        let big = Sample::from_slice([5000], &big).unwrap();
+        t.append(&big).unwrap();
+        t.append(&sample(100, 3)).unwrap();
+        t.update(0, &sample(40, 9)).unwrap();
+        let (_, after) = t.rechunk().unwrap();
+        assert!(after >= 1.0);
+        assert_eq!(t.get(0).unwrap(), sample(40, 9));
+        assert_eq!(t.get(1).unwrap(), big);
+        assert!(t.is_tiled(1));
+        assert_eq!(t.get(2).unwrap(), sample(100, 3));
+    }
+
+    #[test]
+    fn fragmentation_reported() {
+        let mut t = TensorStore::create(small_meta("x", 500), head()).unwrap();
+        for i in 0..20 {
+            t.append(&sample(100, i)).unwrap();
+        }
+        t.flush().unwrap();
+        let before = t.fragmentation();
+        // mid-chunk rows split their run into three pieces
+        for row in [2u64, 6, 10] {
+            t.update(row, &sample(10, 0)).unwrap();
+        }
+        assert!(t.fragmentation() > before);
+    }
+}

@@ -1,0 +1,353 @@
+//! Parallel sample-wise transforms (§4.1.2).
+//!
+//! The paper's `@deeplake.compute` decorator takes `sample_in` and
+//! `sample_out`, supports one-to-one and one-to-many mappings, stacks into
+//! pipelines, and runs batched over a process pool. The Rust analogue is
+//! [`ComputeFn`] (a closure from an input [`Row`] to zero or more output
+//! rows), composed into a [`TransformPipeline`] and executed on a
+//! crossbeam-scoped thread pool — native threads need no GIL workaround.
+//! Arbitrary row iterators can be ingested the same way (the Airbyte
+//! connector reduces to exactly this, per DESIGN.md).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::dataset::Dataset;
+use crate::error::CoreError;
+use crate::row::Row;
+use crate::Result;
+
+/// A sample-wise transformation: receives one input row and emits any
+/// number of output rows through `emit`.
+pub trait ComputeFn: Send + Sync {
+    /// Transform `sample_in`, calling `emit` once per output row.
+    fn apply(&self, sample_in: &Row, emit: &mut dyn FnMut(Row)) -> Result<()>;
+}
+
+impl<F> ComputeFn for F
+where
+    F: Fn(&Row, &mut dyn FnMut(Row)) -> Result<()> + Send + Sync,
+{
+    fn apply(&self, sample_in: &Row, emit: &mut dyn FnMut(Row)) -> Result<()> {
+        self(sample_in, emit)
+    }
+}
+
+/// Execution statistics of a transform run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransformStats {
+    /// Rows consumed from the source.
+    pub rows_in: u64,
+    /// Rows appended to the destination.
+    pub rows_out: u64,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+/// A stack of compute functions applied in order ("users can stack
+/// together multiple transformations and define complex pipelines").
+#[derive(Default, Clone)]
+pub struct TransformPipeline {
+    stages: Vec<Arc<dyn ComputeFn>>,
+}
+
+/// Rows processed per scheduling unit. Batching keeps workers operating on
+/// nearby chunks ("the scheduler batches sample-wise transformations
+/// operating on nearby chunks").
+const BATCH: usize = 32;
+
+impl TransformPipeline {
+    /// Empty pipeline (identity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a stage.
+    pub fn then(mut self, f: impl ComputeFn + 'static) -> Self {
+        self.stages.push(Arc::new(f));
+        self
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Run the pipeline over a batch of rows sequentially (used per
+    /// worker, and directly in tests).
+    pub fn run_rows(&self, rows: Vec<Row>) -> Result<Vec<Row>> {
+        let mut current = rows;
+        for stage in &self.stages {
+            let mut next = Vec::with_capacity(current.len());
+            for row in &current {
+                let mut failed = None;
+                let mut emit = |r: Row| next.push(r);
+                if let Err(e) = stage.apply(row, &mut emit) {
+                    failed = Some(e);
+                }
+                if let Some(e) = failed {
+                    return Err(e);
+                }
+            }
+            current = next;
+        }
+        Ok(current)
+    }
+
+    /// Transform a dataset into `dest` using `workers` threads. Source
+    /// rows are read in contiguous batches; output order matches input
+    /// order (batch-stable).
+    pub fn apply(&self, source: &Dataset, dest: &mut Dataset, workers: usize) -> Result<TransformStats> {
+        let n = source.len();
+        let rows: Result<Vec<Row>> = (0..n).map(|i| source.get_row(i)).collect();
+        self.ingest_rows(rows?, dest, workers)
+    }
+
+    /// Ingest any row iterator through the pipeline into `dest` — the ETL
+    /// entry point (§4.1.1: "the user can provide an arbitrary iterator
+    /// with custom objects to create ingestion workflows").
+    pub fn ingest<I>(&self, rows: I, dest: &mut Dataset, workers: usize) -> Result<TransformStats>
+    where
+        I: IntoIterator<Item = Row>,
+    {
+        self.ingest_rows(rows.into_iter().collect(), dest, workers)
+    }
+
+    fn ingest_rows(&self, rows: Vec<Row>, dest: &mut Dataset, workers: usize) -> Result<TransformStats> {
+        let workers = workers.max(1);
+        let rows_in = rows.len() as u64;
+        let batches: Vec<Vec<Row>> = rows
+            .chunks(BATCH)
+            .map(|c| c.to_vec())
+            .collect();
+        let n_batches = batches.len();
+        let results: Vec<Mutex<Option<Result<Vec<Row>>>>> =
+            (0..n_batches).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let batches = &batches;
+        let results = &results;
+        let next = &next;
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers.min(n_batches.max(1)) {
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_batches {
+                        break;
+                    }
+                    let out = self.run_rows(batches[i].clone());
+                    *results[i].lock() = Some(out);
+                });
+            }
+        })
+        .map_err(|_| CoreError::Corrupt("transform worker panicked".into()))?;
+
+        let mut rows_out = 0u64;
+        for slot in results {
+            let batch = slot
+                .lock()
+                .take()
+                .ok_or_else(|| CoreError::Corrupt("transform batch missing".into()))??;
+            for row in batch {
+                let pairs: Vec<(String, _)> =
+                    row.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+                dest.append_row(pairs.iter().map(|(k, v)| (k.as_str(), v.clone())))?;
+                rows_out += 1;
+            }
+        }
+        Ok(TransformStats { rows_in, rows_out, workers })
+    }
+
+    /// Apply a strictly one-to-one pipeline in place ("the transformation
+    /// can also be applied in place without creating a new dataset").
+    /// Every output row's tensors are written back over the source row.
+    pub fn apply_in_place(&self, ds: &mut Dataset, workers: usize) -> Result<TransformStats> {
+        let n = ds.len();
+        let rows: Result<Vec<Row>> = (0..n).map(|i| ds.get_row(i)).collect();
+        let rows = rows?;
+        let workers = workers.max(1);
+        let outputs: Vec<Mutex<Option<Result<Vec<Row>>>>> =
+            rows.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let (rows_ref, outputs_ref, next_ref) = (&rows, &outputs, &next);
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers.min(rows.len().max(1)) {
+                scope.spawn(move |_| loop {
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if i >= rows_ref.len() {
+                        break;
+                    }
+                    let out = self.run_rows(vec![rows_ref[i].clone()]);
+                    *outputs_ref[i].lock() = Some(out);
+                });
+            }
+        })
+        .map_err(|_| CoreError::Corrupt("transform worker panicked".into()))?;
+
+        for (i, slot) in outputs.iter().enumerate() {
+            let out = slot
+                .lock()
+                .take()
+                .ok_or_else(|| CoreError::Corrupt("transform output missing".into()))??;
+            if out.len() != 1 {
+                return Err(CoreError::Corrupt(format!(
+                    "in-place transforms must be one-to-one; row {i} produced {} rows",
+                    out.len()
+                )));
+            }
+            for (tensor, sample) in out[0].iter() {
+                ds.update(tensor, i as u64, sample)?;
+            }
+        }
+        Ok(TransformStats { rows_in: n, rows_out: n, workers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeplake_storage::MemoryProvider;
+    use deeplake_tensor::{Htype, Sample};
+    use std::sync::Arc as StdArc;
+
+    fn labels_ds(name: &str) -> Dataset {
+        let mut ds = Dataset::create(StdArc::new(MemoryProvider::new()), name).unwrap();
+        ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+        ds
+    }
+
+    fn filled(n: i32) -> Dataset {
+        let mut ds = labels_ds("src");
+        for i in 0..n {
+            ds.append_row(vec![("labels", Sample::scalar(i))]).unwrap();
+        }
+        ds.flush().unwrap();
+        ds
+    }
+
+    fn double_stage() -> impl ComputeFn {
+        |row: &Row, emit: &mut dyn FnMut(Row)| {
+            let v = row.get("labels").unwrap().get_f64(0).unwrap() as i32;
+            emit(Row::new().with("labels", Sample::scalar(v * 2)));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn one_to_one_transform() {
+        let src = filled(10);
+        let mut dest = labels_ds("dest");
+        let stats = TransformPipeline::new()
+            .then(double_stage())
+            .apply(&src, &mut dest, 4)
+            .unwrap();
+        assert_eq!(stats.rows_in, 10);
+        assert_eq!(stats.rows_out, 10);
+        for i in 0..10 {
+            assert_eq!(dest.get("labels", i).unwrap().get_f64(0).unwrap(), (i * 2) as f64);
+        }
+    }
+
+    #[test]
+    fn one_to_many_transform() {
+        let src = filled(5);
+        let mut dest = labels_ds("dest");
+        let fanout = |row: &Row, emit: &mut dyn FnMut(Row)| {
+            let v = row.get("labels").unwrap().get_f64(0).unwrap() as i32;
+            for k in 0..3 {
+                emit(Row::new().with("labels", Sample::scalar(v * 10 + k)));
+            }
+            Ok(())
+        };
+        let stats = TransformPipeline::new().then(fanout).apply(&src, &mut dest, 2).unwrap();
+        assert_eq!(stats.rows_out, 15);
+        // order is batch-stable: row 0 fans out first
+        assert_eq!(dest.get("labels", 0).unwrap().get_f64(0).unwrap(), 0.0);
+        assert_eq!(dest.get("labels", 2).unwrap().get_f64(0).unwrap(), 2.0);
+        assert_eq!(dest.get("labels", 3).unwrap().get_f64(0).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn stacked_stages_compose() {
+        let src = filled(4);
+        let mut dest = labels_ds("dest");
+        let add_one = |row: &Row, emit: &mut dyn FnMut(Row)| {
+            let v = row.get("labels").unwrap().get_f64(0).unwrap() as i32;
+            emit(Row::new().with("labels", Sample::scalar(v + 1)));
+            Ok(())
+        };
+        let p = TransformPipeline::new().then(double_stage()).then(add_one);
+        assert_eq!(p.num_stages(), 2);
+        p.apply(&src, &mut dest, 2).unwrap();
+        // (v * 2) + 1
+        assert_eq!(dest.get("labels", 3).unwrap().get_f64(0).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn filtering_via_zero_emission() {
+        let src = filled(10);
+        let mut dest = labels_ds("dest");
+        let keep_even = |row: &Row, emit: &mut dyn FnMut(Row)| {
+            let v = row.get("labels").unwrap().get_f64(0).unwrap() as i32;
+            if v % 2 == 0 {
+                emit(row.clone());
+            }
+            Ok(())
+        };
+        let stats = TransformPipeline::new().then(keep_even).apply(&src, &mut dest, 3).unwrap();
+        assert_eq!(stats.rows_out, 5);
+    }
+
+    #[test]
+    fn ingest_from_iterator() {
+        let mut dest = labels_ds("dest");
+        let rows = (0..20).map(|i| Row::new().with("labels", Sample::scalar(i as i32)));
+        let stats = TransformPipeline::new().ingest(rows, &mut dest, 4).unwrap();
+        assert_eq!(stats.rows_out, 20);
+        assert_eq!(dest.len(), 20);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let src = filled(3);
+        let mut dest = labels_ds("dest");
+        let failing = |_row: &Row, _emit: &mut dyn FnMut(Row)| -> Result<()> {
+            Err(CoreError::Corrupt("boom".into()))
+        };
+        assert!(TransformPipeline::new().then(failing).apply(&src, &mut dest, 2).is_err());
+    }
+
+    #[test]
+    fn in_place_transform_updates_rows() {
+        let mut ds = filled(6);
+        ds.commit("seal").unwrap();
+        TransformPipeline::new().then(double_stage()).apply_in_place(&mut ds, 3).unwrap();
+        for i in 0..6 {
+            assert_eq!(ds.get("labels", i).unwrap().get_f64(0).unwrap(), (i * 2) as f64);
+        }
+        assert_eq!(ds.len(), 6);
+    }
+
+    #[test]
+    fn in_place_rejects_fanout() {
+        let mut ds = filled(2);
+        let fanout = |row: &Row, emit: &mut dyn FnMut(Row)| {
+            emit(row.clone());
+            emit(row.clone());
+            Ok(())
+        };
+        assert!(TransformPipeline::new().then(fanout).apply_in_place(&mut ds, 1).is_err());
+    }
+
+    #[test]
+    fn identity_pipeline_copies() {
+        let src = filled(3);
+        let mut dest = labels_ds("dest");
+        let stats = TransformPipeline::new().apply(&src, &mut dest, 1).unwrap();
+        assert_eq!(stats.rows_out, 3);
+        assert_eq!(dest.get("labels", 1).unwrap().get_f64(0).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Commit diffs (§4.2: "for each version, a commit diff file is also
+//! stored per tensor. This makes it faster to compare across versions and
+//! branches").
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Result;
+
+/// What one version changed in one tensor.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitDiff {
+    /// Rows appended in this version (row indices are dataset-global).
+    pub added: BTreeSet<u64>,
+    /// Rows updated in place in this version.
+    pub updated: BTreeSet<u64>,
+}
+
+impl CommitDiff {
+    /// Empty diff.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.updated.is_empty()
+    }
+
+    /// Fold another diff into this one (accumulating along a branch path).
+    pub fn merge_from(&mut self, other: &CommitDiff) {
+        self.added.extend(other.added.iter().copied());
+        self.updated.extend(other.updated.iter().copied());
+        // a row both added and updated along the path counts as added
+        for a in &self.added {
+            self.updated.remove(a);
+        }
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> Result<Vec<u8>> {
+        Ok(serde_json::to_vec(self)?)
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(data: &[u8]) -> Result<Self> {
+        Ok(serde_json::from_slice(data)?)
+    }
+}
+
+/// Per-tensor entry of a [`DiffSummary`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TensorDiff {
+    /// Tensor name.
+    pub tensor: String,
+    /// Rows added between the two versions.
+    pub rows_added: u64,
+    /// Rows updated between the two versions.
+    pub rows_updated: u64,
+}
+
+/// User-facing summary of `diff(a, b)`: changes on each side relative to
+/// the merge base.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiffSummary {
+    /// Merge base the two sides are compared against.
+    pub base: String,
+    /// Changes on the first side since the base.
+    pub left: Vec<TensorDiff>,
+    /// Changes on the second side since the base.
+    pub right: Vec<TensorDiff>,
+}
+
+impl DiffSummary {
+    /// Whether both sides are identical to the base.
+    pub fn is_empty(&self) -> bool {
+        self.left.iter().all(|d| d.rows_added == 0 && d.rows_updated == 0)
+            && self.right.iter().all(|d| d.rows_added == 0 && d.rows_updated == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_from_accumulates() {
+        let mut a = CommitDiff::new();
+        a.added.extend([1, 2]);
+        let mut b = CommitDiff::new();
+        b.added.insert(3);
+        b.updated.extend([1, 9]);
+        a.merge_from(&b);
+        assert_eq!(a.added, BTreeSet::from([1, 2, 3]));
+        // row 1 was added earlier on the same path -> not an update
+        assert_eq!(a.updated, BTreeSet::from([9]));
+    }
+
+    #[test]
+    fn empty_checks() {
+        assert!(CommitDiff::new().is_empty());
+        let mut d = CommitDiff::new();
+        d.updated.insert(0);
+        assert!(!d.is_empty());
+        assert!(DiffSummary::default().is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut d = CommitDiff::new();
+        d.added.extend([5, 6]);
+        d.updated.insert(1);
+        let back = CommitDiff::from_json(&d.to_json().unwrap()).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,54 @@
+//! Merge policies (§4.2: "Merge: merges two different versions of the
+//! dataset, resolving conflicts according to the policy defined by the
+//! user").
+
+use serde::{Deserialize, Serialize};
+
+/// How conflicting row updates are resolved when merging a branch in.
+///
+/// A conflict is a sample (identified by its stable id) that was updated on
+/// *both* sides since the merge base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MergePolicy {
+    /// Keep our version of conflicting samples.
+    #[default]
+    Ours,
+    /// Take the incoming branch's version of conflicting samples.
+    Theirs,
+    /// Refuse to merge when conflicts exist.
+    Fail,
+}
+
+impl std::fmt::Display for MergePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergePolicy::Ours => write!(f, "ours"),
+            MergePolicy::Theirs => write!(f, "theirs"),
+            MergePolicy::Fail => write!(f, "fail"),
+        }
+    }
+}
+
+/// Outcome of a merge.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Sample ids appended from the incoming branch.
+    pub samples_added: u64,
+    /// Sample ids whose updates were applied from the incoming branch.
+    pub updates_applied: u64,
+    /// Conflicting sample ids resolved by the policy (kept ours or took
+    /// theirs).
+    pub conflicts: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_default() {
+        assert_eq!(MergePolicy::default(), MergePolicy::Ours);
+        assert_eq!(MergePolicy::Theirs.to_string(), "theirs");
+        assert_eq!(MergePolicy::Fail.to_string(), "fail");
+    }
+}

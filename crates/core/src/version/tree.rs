@@ -1,0 +1,282 @@
+//! The branching version tree.
+
+use std::collections::{BTreeMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::Result;
+
+/// One node of the version tree. A node is *uncommitted* while it is the
+/// mutable tip of its branch; [`VersionTree::commit`] seals it and opens a
+/// fresh child tip.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionNode {
+    /// Node id (also the name of its storage sub-directory).
+    pub id: String,
+    /// Parent node, `None` for the root.
+    pub parent: Option<String>,
+    /// Branch this node belongs to.
+    pub branch: String,
+    /// Commit message (set when sealed).
+    pub message: Option<String>,
+    /// Creation timestamp, milliseconds since the Unix epoch.
+    pub timestamp_ms: u64,
+    /// Whether the node is sealed (immutable snapshot).
+    pub committed: bool,
+}
+
+/// The whole tree plus branch heads, persisted as
+/// `version_control_info.json` at the dataset root.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionTree {
+    nodes: BTreeMap<String, VersionNode>,
+    /// Branch name → tip node id.
+    branches: BTreeMap<String, String>,
+    next_seq: u64,
+}
+
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+impl VersionTree {
+    /// A fresh tree with an uncommitted root tip on `main`.
+    pub fn new() -> Self {
+        let mut tree = VersionTree { nodes: BTreeMap::new(), branches: BTreeMap::new(), next_seq: 0 };
+        let root = tree.new_node(None, "main");
+        tree.branches.insert("main".into(), root);
+        tree
+    }
+
+    fn new_node(&mut self, parent: Option<String>, branch: &str) -> String {
+        let id = format!("v{:06}", self.next_seq);
+        self.next_seq += 1;
+        self.nodes.insert(
+            id.clone(),
+            VersionNode {
+                id: id.clone(),
+                parent,
+                branch: branch.to_string(),
+                message: None,
+                timestamp_ms: now_ms(),
+                committed: false,
+            },
+        );
+        id
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: &str) -> Result<&VersionNode> {
+        self.nodes.get(id).ok_or_else(|| CoreError::NoSuchVersion(id.to_string()))
+    }
+
+    /// All branch names.
+    pub fn branches(&self) -> Vec<&str> {
+        self.branches.keys().map(String::as_str).collect()
+    }
+
+    /// Tip node of a branch.
+    pub fn branch_tip(&self, branch: &str) -> Result<&str> {
+        self.branches
+            .get(branch)
+            .map(String::as_str)
+            .ok_or_else(|| CoreError::NoSuchVersion(branch.to_string()))
+    }
+
+    /// Resolve a ref: a branch name (→ its tip) or a node id.
+    pub fn resolve(&self, reference: &str) -> Result<String> {
+        if let Some(tip) = self.branches.get(reference) {
+            return Ok(tip.clone());
+        }
+        if self.nodes.contains_key(reference) {
+            return Ok(reference.to_string());
+        }
+        Err(CoreError::NoSuchVersion(reference.to_string()))
+    }
+
+    /// The chain from `id` up to the root, inclusive — the traversal order
+    /// for chunk resolution (§4.2: "the version control tree is traversed
+    /// starting from the current commit, heading towards the first
+    /// commit").
+    pub fn chain(&self, id: &str) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        let mut cur = Some(id.to_string());
+        while let Some(c) = cur {
+            let node = self.node(&c)?;
+            out.push(c);
+            cur = node.parent.clone();
+        }
+        Ok(out)
+    }
+
+    /// Seal the tip of `branch` with `message` and open a fresh tip.
+    /// Returns `(sealed_commit_id, new_tip_id)`.
+    pub fn commit(&mut self, branch: &str, message: &str) -> Result<(String, String)> {
+        let tip = self.branch_tip(branch)?.to_string();
+        {
+            let node = self.nodes.get_mut(&tip).expect("tip exists");
+            node.committed = true;
+            node.message = Some(message.to_string());
+            node.timestamp_ms = now_ms();
+        }
+        let new_tip = self.new_node(Some(tip.clone()), branch);
+        self.branches.insert(branch.to_string(), new_tip.clone());
+        Ok((tip, new_tip))
+    }
+
+    /// Create a branch rooted at `from` (a resolved node id). The new
+    /// branch gets its own uncommitted tip whose parent is `from`.
+    pub fn create_branch(&mut self, name: &str, from: &str) -> Result<String> {
+        if self.branches.contains_key(name) {
+            return Err(CoreError::BranchExists(name.to_string()));
+        }
+        self.node(from)?; // validate
+        let tip = self.new_node(Some(from.to_string()), name);
+        self.branches.insert(name.to_string(), tip.clone());
+        Ok(tip)
+    }
+
+    /// Lowest common ancestor of two nodes (merge base).
+    pub fn lca(&self, a: &str, b: &str) -> Result<String> {
+        let ancestors_a: HashSet<String> = self.chain(a)?.into_iter().collect();
+        for node in self.chain(b)? {
+            if ancestors_a.contains(&node) {
+                return Ok(node);
+            }
+        }
+        Err(CoreError::Corrupt("version tree has no common root".into()))
+    }
+
+    /// Nodes strictly after `base` on the chain of `tip` (exclusive of
+    /// base, inclusive of tip), root-most first. Used to accumulate commit
+    /// diffs along a branch.
+    pub fn path_since(&self, tip: &str, base: &str) -> Result<Vec<String>> {
+        let mut path = Vec::new();
+        for node in self.chain(tip)? {
+            if node == base {
+                path.reverse();
+                return Ok(path);
+            }
+            path.push(node);
+        }
+        Err(CoreError::NoSuchVersion(format!("{base} is not an ancestor of {tip}")))
+    }
+
+    /// Commit log of a branch: sealed nodes from tip to root.
+    pub fn log(&self, branch: &str) -> Result<Vec<&VersionNode>> {
+        let tip = self.branch_tip(branch)?.to_string();
+        Ok(self
+            .chain(&tip)?
+            .iter()
+            .filter_map(|id| self.nodes.get(id))
+            .filter(|n| n.committed)
+            .collect())
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> Result<Vec<u8>> {
+        Ok(serde_json::to_vec_pretty(self)?)
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(data: &[u8]) -> Result<Self> {
+        Ok(serde_json::from_slice(data)?)
+    }
+}
+
+impl Default for VersionTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_tree_has_main_tip() {
+        let t = VersionTree::new();
+        let tip = t.branch_tip("main").unwrap();
+        assert_eq!(tip, "v000000");
+        assert!(!t.node(tip).unwrap().committed);
+        assert_eq!(t.chain(tip).unwrap(), vec!["v000000"]);
+    }
+
+    #[test]
+    fn commit_seals_and_advances() {
+        let mut t = VersionTree::new();
+        let (sealed, new_tip) = t.commit("main", "first").unwrap();
+        assert_eq!(sealed, "v000000");
+        assert_eq!(new_tip, "v000001");
+        assert!(t.node(&sealed).unwrap().committed);
+        assert_eq!(t.node(&sealed).unwrap().message.as_deref(), Some("first"));
+        assert!(!t.node(&new_tip).unwrap().committed);
+        assert_eq!(t.chain(&new_tip).unwrap(), vec!["v000001", "v000000"]);
+    }
+
+    #[test]
+    fn branch_from_commit() {
+        let mut t = VersionTree::new();
+        let (c1, _) = t.commit("main", "base").unwrap();
+        let tip = t.create_branch("exp", &c1).unwrap();
+        assert_eq!(t.branch_tip("exp").unwrap(), tip);
+        assert_eq!(t.node(&tip).unwrap().parent.as_deref(), Some(c1.as_str()));
+        assert!(matches!(t.create_branch("exp", &c1), Err(CoreError::BranchExists(_))));
+        assert!(t.create_branch("bad", "nope").is_err());
+    }
+
+    #[test]
+    fn resolve_branch_and_id() {
+        let mut t = VersionTree::new();
+        let (c1, tip) = t.commit("main", "x").unwrap();
+        assert_eq!(t.resolve("main").unwrap(), tip);
+        assert_eq!(t.resolve(&c1).unwrap(), c1);
+        assert!(t.resolve("ghost").is_err());
+    }
+
+    #[test]
+    fn lca_of_branches() {
+        let mut t = VersionTree::new();
+        let (base, main_tip) = t.commit("main", "base").unwrap();
+        let exp_tip = t.create_branch("exp", &base).unwrap();
+        assert_eq!(t.lca(&main_tip, &exp_tip).unwrap(), base);
+        assert_eq!(t.lca(&base, &exp_tip).unwrap(), base);
+        assert_eq!(t.lca(&main_tip, &main_tip).unwrap(), main_tip);
+    }
+
+    #[test]
+    fn path_since_base() {
+        let mut t = VersionTree::new();
+        let (c1, _) = t.commit("main", "1").unwrap();
+        let (c2, tip) = t.commit("main", "2").unwrap();
+        assert_eq!(t.path_since(&tip, &c1).unwrap(), vec![c2.clone(), tip.clone()]);
+        assert_eq!(t.path_since(&tip, &tip).unwrap(), Vec::<String>::new());
+        assert!(t.path_since(&c1, &tip).is_err());
+    }
+
+    #[test]
+    fn log_lists_sealed_commits() {
+        let mut t = VersionTree::new();
+        t.commit("main", "a").unwrap();
+        t.commit("main", "b").unwrap();
+        let log = t.log("main").unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].message.as_deref(), Some("b"));
+        assert_eq!(log[1].message.as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = VersionTree::new();
+        t.commit("main", "a").unwrap();
+        t.create_branch("dev", "v000000").unwrap();
+        let blob = t.to_json().unwrap();
+        let back = VersionTree::from_json(&blob).unwrap();
+        assert_eq!(back, t);
+    }
+}

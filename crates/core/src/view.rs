@@ -1,0 +1,206 @@
+//! Dataset views: an ordered subset of rows (§4.4-4.5).
+//!
+//! TQL queries produce views; views stream to the dataloader or
+//! materialize into a new, optimally laid out dataset. Views can be saved
+//! to storage (under `views/`) so experiments are reproducible against a
+//! pinned version.
+
+use bytes::Bytes;
+use deeplake_storage::StorageProvider;
+use deeplake_tensor::Sample;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::error::CoreError;
+use crate::row::Row;
+use crate::Result;
+
+/// An ordered subset of a dataset's rows.
+pub struct DatasetView<'d> {
+    dataset: &'d Dataset,
+    indices: Vec<u64>,
+}
+
+/// Serialized form of a saved view.
+#[derive(Debug, Serialize, Deserialize)]
+struct SavedView {
+    /// The head node id the view was computed at.
+    version: String,
+    indices: Vec<u64>,
+}
+
+impl<'d> DatasetView<'d> {
+    /// A view over explicit row indices. Indices are validated lazily on
+    /// access (queries may legitimately produce indices then rows get
+    /// appended after).
+    pub fn new(dataset: &'d Dataset, indices: Vec<u64>) -> Self {
+        DatasetView { dataset, indices }
+    }
+
+    /// A view of every row, in order.
+    pub fn full(dataset: &'d Dataset) -> Self {
+        DatasetView { indices: (0..dataset.len()).collect(), dataset }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &'d Dataset {
+        self.dataset
+    }
+
+    /// Row indices into the source dataset.
+    pub fn indices(&self) -> &[u64] {
+        &self.indices
+    }
+
+    /// Number of rows in the view.
+    pub fn len(&self) -> u64 {
+        self.indices.len() as u64
+    }
+
+    /// Whether the view selects no rows.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Read one sample through the view.
+    pub fn get(&self, tensor: &str, i: u64) -> Result<Sample> {
+        let row = self.source_row(i)?;
+        self.dataset.get(tensor, row)
+    }
+
+    /// Read one row through the view.
+    pub fn get_row(&self, i: u64) -> Result<Row> {
+        let row = self.source_row(i)?;
+        self.dataset.get_row(row)
+    }
+
+    /// Map a view position to the source row index.
+    pub fn source_row(&self, i: u64) -> Result<u64> {
+        self.indices
+            .get(i as usize)
+            .copied()
+            .ok_or(CoreError::RowOutOfRange { row: i, len: self.len() })
+    }
+
+    /// Sparseness: mean gap between consecutive source rows. 1.0 means the
+    /// view is contiguous (streams at full chunk efficiency); large values
+    /// mean scattered chunk reads — the paper's motivation for
+    /// materializing query views (§4.5).
+    pub fn sparseness(&self) -> f64 {
+        if self.indices.len() < 2 {
+            return 1.0;
+        }
+        let mut sorted = self.indices.clone();
+        sorted.sort_unstable();
+        let span = (sorted[sorted.len() - 1] - sorted[0] + 1) as f64;
+        span / self.indices.len() as f64
+    }
+
+    /// Compose: a view of this view.
+    pub fn subview(&self, positions: &[u64]) -> Result<DatasetView<'d>> {
+        let mut indices = Vec::with_capacity(positions.len());
+        for &p in positions {
+            indices.push(self.source_row(p)?);
+        }
+        Ok(DatasetView { dataset: self.dataset, indices })
+    }
+
+    /// Persist the view under `views/<name>.json`, pinned to the current
+    /// head version.
+    pub fn save(&self, name: &str) -> Result<()> {
+        let saved = SavedView {
+            version: self.dataset.head_id().to_string(),
+            indices: self.indices.clone(),
+        };
+        self.dataset
+            .provider()
+            .put(&format!("views/{name}.json"), Bytes::from(serde_json::to_vec(&saved)?))?;
+        Ok(())
+    }
+
+    /// Load a saved view. Fails if it was saved at a different version
+    /// than the dataset is currently at (views pin their version).
+    pub fn load(dataset: &'d Dataset, name: &str) -> Result<DatasetView<'d>> {
+        let data = dataset
+            .provider()
+            .get(&format!("views/{name}.json"))
+            .map_err(|_| CoreError::NoSuchVersion(format!("view {name:?} not found")))?;
+        let saved: SavedView = serde_json::from_slice(&data)?;
+        if saved.version != dataset.head_id() {
+            return Err(CoreError::NoSuchVersion(format!(
+                "view {name:?} was saved at version {}, dataset is at {}",
+                saved.version,
+                dataset.head_id()
+            )));
+        }
+        Ok(DatasetView { dataset, indices: saved.indices })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeplake_storage::MemoryProvider;
+    use deeplake_tensor::Htype;
+    use std::sync::Arc;
+
+    fn dataset(n: u64) -> Dataset {
+        let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "v").unwrap();
+        ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+        for i in 0..n {
+            ds.append_row(vec![("labels", Sample::scalar(i as i32))]).unwrap();
+        }
+        ds.flush().unwrap();
+        ds
+    }
+
+    #[test]
+    fn full_and_filtered_access() {
+        let ds = dataset(10);
+        let full = DatasetView::full(&ds);
+        assert_eq!(full.len(), 10);
+        let v = DatasetView::new(&ds, vec![9, 3, 3, 0]);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.get("labels", 0).unwrap().get_f64(0).unwrap(), 9.0);
+        assert_eq!(v.get("labels", 2).unwrap().get_f64(0).unwrap(), 3.0);
+        assert!(v.get("labels", 4).is_err());
+        let row = v.get_row(3).unwrap();
+        assert_eq!(row.get("labels").unwrap().get_f64(0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sparseness_measures_gaps() {
+        let ds = dataset(100);
+        assert_eq!(DatasetView::full(&ds).sparseness(), 1.0);
+        let sparse = DatasetView::new(&ds, vec![0, 50, 99]);
+        assert!(sparse.sparseness() > 30.0);
+        assert_eq!(DatasetView::new(&ds, vec![7]).sparseness(), 1.0);
+    }
+
+    #[test]
+    fn subview_composes() {
+        let ds = dataset(10);
+        let v = DatasetView::new(&ds, vec![2, 4, 6, 8]);
+        let sub = v.subview(&[0, 3]).unwrap();
+        assert_eq!(sub.indices(), &[2, 8]);
+        assert!(v.subview(&[9]).is_err());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let ds = dataset(5);
+        let v = DatasetView::new(&ds, vec![4, 1]);
+        v.save("evens").unwrap();
+        let back = DatasetView::load(&ds, "evens").unwrap();
+        assert_eq!(back.indices(), &[4, 1]);
+        assert!(DatasetView::load(&ds, "ghost").is_err());
+    }
+
+    #[test]
+    fn load_rejects_stale_version() {
+        let mut ds = dataset(5);
+        DatasetView::full(&ds).save("pinned").unwrap();
+        ds.commit("advance").unwrap();
+        assert!(DatasetView::load(&ds, "pinned").is_err());
+    }
+}

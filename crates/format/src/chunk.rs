@@ -1,0 +1,476 @@
+//! Chunk binary layout.
+//!
+//! A chunk is the unit of storage I/O: one object-store blob holding a
+//! contiguous run of samples from one tensor. Per §3.4 a chunk carries
+//! "header information such as byte ranges, shapes of the samples, and the
+//! sample data itself" — the header is what lets the streaming layer issue
+//! *range* requests for single samples out of an 8 MB chunk without
+//! fetching the rest (§3.5).
+//!
+//! Binary layout (all integers little-endian):
+//!
+//! ```text
+//! [magic "DLCH"][version u8][payload_codec u8][dtype u8][n u32]
+//! n × sample directory entry:
+//!     [stored_len u32][rank u8][dim u32 × rank]
+//! [payload: stored sample blobs back to back]
+//! ```
+//!
+//! `payload_codec` is the chunk-level compression applied to the payload
+//! region as a whole (LZ4 for labels in the paper's §5 example); sample
+//! level compression is applied *before* a blob enters the chunk, so
+//! pre-compressed images are copied in verbatim.
+
+use bytes::Bytes;
+use deeplake_codec::Compression;
+use deeplake_tensor::{Dtype, Sample, Shape};
+
+use crate::consts::{CHUNK_MAGIC, CHUNK_VERSION};
+use crate::error::FormatError;
+use crate::Result;
+
+/// Directory entry for one sample inside a chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleRecord {
+    /// Stored (possibly sample-compressed) byte length.
+    pub stored_len: u32,
+    /// Logical shape of the decoded sample.
+    pub shape: Shape,
+}
+
+/// An in-memory chunk: directory + payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    dtype: Dtype,
+    records: Vec<SampleRecord>,
+    /// Cumulative start offset of each record's blob in `payload`
+    /// (`offsets[i]..offsets[i] + records[i].stored_len`). Maintained
+    /// incrementally so per-sample access is O(1).
+    offsets: Vec<u32>,
+    payload: Vec<u8>,
+}
+
+impl Chunk {
+    /// New empty chunk for samples of `dtype`.
+    pub fn new(dtype: Dtype) -> Self {
+        Chunk { dtype, records: Vec::new(), offsets: Vec::new(), payload: Vec::new() }
+    }
+
+    /// Element dtype of all samples in the chunk.
+    pub fn dtype(&self) -> Dtype {
+        self.dtype
+    }
+
+    /// Number of samples.
+    pub fn sample_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Uncompressed payload size in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Sample directory.
+    pub fn records(&self) -> &[SampleRecord] {
+        &self.records
+    }
+
+    /// Append a stored blob (already sample-compressed if applicable) with
+    /// its logical shape.
+    pub fn append_blob(&mut self, blob: &[u8], shape: Shape) {
+        self.offsets.push(self.payload.len() as u32);
+        self.records.push(SampleRecord { stored_len: blob.len() as u32, shape });
+        self.payload.extend_from_slice(blob);
+    }
+
+    /// Append a raw (uncompressed) sample, applying `sample_compression`.
+    pub fn append_sample(
+        &mut self,
+        sample: &Sample,
+        sample_compression: Compression,
+    ) -> Result<()> {
+        let blob = encode_sample(sample, sample_compression)?;
+        self.append_blob(&blob, sample.shape().clone());
+        Ok(())
+    }
+
+    /// Byte range `(start, end)` of sample `i`'s stored blob within the
+    /// payload region.
+    pub fn blob_range(&self, i: usize) -> Result<(usize, usize)> {
+        if i >= self.records.len() {
+            return Err(FormatError::SampleOutOfRange {
+                index: i as u64,
+                len: self.records.len() as u64,
+            });
+        }
+        let start = self.offsets[i] as usize;
+        Ok((start, start + self.records[i].stored_len as usize))
+    }
+
+    /// Borrow sample `i`'s stored blob.
+    pub fn blob(&self, i: usize) -> Result<&[u8]> {
+        let (s, e) = self.blob_range(i)?;
+        Ok(&self.payload[s..e])
+    }
+
+    /// Decode sample `i` back into a [`Sample`].
+    pub fn sample(&self, i: usize) -> Result<Sample> {
+        let blob = self.blob(i)?;
+        let shape = self.records[i].shape.clone();
+        decode_sample(blob, self.dtype, shape)
+    }
+
+    /// Serialize the chunk, compressing the payload with `chunk_codec`.
+    pub fn serialize(&self, chunk_codec: Compression) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload.len() + self.records.len() * 8 + 16);
+        out.extend_from_slice(&CHUNK_MAGIC);
+        out.push(CHUNK_VERSION);
+        out.push(codec_tag(chunk_codec));
+        out.push(dtype_tag(self.dtype));
+        out.extend_from_slice(&(self.records.len() as u32).to_le_bytes());
+        for r in &self.records {
+            out.extend_from_slice(&r.stored_len.to_le_bytes());
+            out.push(r.shape.rank() as u8);
+            for &d in r.shape.dims() {
+                out.extend_from_slice(&(d as u32).to_le_bytes());
+            }
+        }
+        match chunk_codec {
+            Compression::None => out.extend_from_slice(&self.payload),
+            codec => out.extend_from_slice(&codec.compress(&self.payload)),
+        }
+        out
+    }
+
+    /// Deserialize a chunk blob (inverse of [`Chunk::serialize`]).
+    pub fn deserialize(data: &[u8]) -> Result<Chunk> {
+        let (header, header_len) = ChunkHeader::parse(data)?;
+        let body = &data[header_len..];
+        let payload = match header.payload_codec {
+            Compression::None => body.to_vec(),
+            _ => Compression::decompress(body)?,
+        };
+        let expected: usize = header.records.iter().map(|r| r.stored_len as usize).sum();
+        if payload.len() != expected {
+            return Err(FormatError::Corrupt(format!(
+                "payload length {} != directory total {expected}",
+                payload.len()
+            )));
+        }
+        let mut offsets = Vec::with_capacity(header.records.len());
+        let mut acc = 0u32;
+        for r in &header.records {
+            offsets.push(acc);
+            acc += r.stored_len;
+        }
+        Ok(Chunk { dtype: header.dtype, records: header.records, offsets, payload })
+    }
+
+    /// Parse only the header of a serialized chunk. Enables sub-chunk
+    /// range reads: callers fetch the first `max_header_len` bytes, parse
+    /// the directory, then range-request a single sample's blob. Only valid
+    /// when the payload codec is `None` (compressed payloads must be read
+    /// whole).
+    pub fn parse_header(data: &[u8]) -> Result<(ChunkHeader, usize)> {
+        ChunkHeader::parse(data)
+    }
+}
+
+/// Parsed chunk header: directory without payload.
+#[derive(Debug, Clone)]
+pub struct ChunkHeader {
+    /// Chunk-level codec of the payload region.
+    pub payload_codec: Compression,
+    /// Element dtype.
+    pub dtype: Dtype,
+    /// Sample directory.
+    pub records: Vec<SampleRecord>,
+}
+
+impl ChunkHeader {
+    /// Byte offset of sample `i`'s blob relative to the payload start, plus
+    /// its length. Valid for uncompressed payloads.
+    pub fn payload_range(&self, i: usize) -> Result<(u64, u64)> {
+        if i >= self.records.len() {
+            return Err(FormatError::SampleOutOfRange {
+                index: i as u64,
+                len: self.records.len() as u64,
+            });
+        }
+        let start: u64 = self.records[..i].iter().map(|r| r.stored_len as u64).sum();
+        Ok((start, start + self.records[i].stored_len as u64))
+    }
+
+    fn parse(data: &[u8]) -> Result<(ChunkHeader, usize)> {
+        if data.len() < 11 || data[..4] != CHUNK_MAGIC {
+            return Err(FormatError::Corrupt("bad chunk magic".into()));
+        }
+        if data[4] != CHUNK_VERSION {
+            return Err(FormatError::Corrupt(format!("unsupported chunk version {}", data[4])));
+        }
+        let payload_codec = codec_from_tag(data[5])?;
+        let dtype = dtype_from_tag(data[6])?;
+        let n = u32::from_le_bytes(data[7..11].try_into().unwrap()) as usize;
+        let mut pos = 11usize;
+        let mut records = Vec::with_capacity(n);
+        for _ in 0..n {
+            if pos + 5 > data.len() {
+                return Err(FormatError::Corrupt("truncated sample directory".into()));
+            }
+            let stored_len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+            let rank = data[pos + 4] as usize;
+            pos += 5;
+            if pos + rank * 4 > data.len() {
+                return Err(FormatError::Corrupt("truncated shape".into()));
+            }
+            let mut dims = Vec::with_capacity(rank);
+            for r in 0..rank {
+                dims.push(
+                    u32::from_le_bytes(data[pos + r * 4..pos + r * 4 + 4].try_into().unwrap())
+                        as u64,
+                );
+            }
+            pos += rank * 4;
+            records.push(SampleRecord { stored_len, shape: Shape(dims) });
+        }
+        Ok((ChunkHeader { payload_codec, dtype, records }, pos))
+    }
+}
+
+/// Encode one sample into its stored blob under `compression`.
+///
+/// Blobs are always framed (self-describing magic byte), so `None` costs
+/// one byte of overhead per sample in exchange for unambiguous decoding —
+/// which is what allows pre-compressed blobs to be copied into chunks
+/// verbatim and still decode correctly.
+pub fn encode_sample(sample: &Sample, compression: Compression) -> Result<Vec<u8>> {
+    match compression {
+        Compression::SynthImg { .. } => {
+            // image codecs need geometry; require h×w×c u8
+            let shape = sample.shape();
+            if sample.dtype() == Dtype::U8 && shape.rank() == 3 {
+                Ok(compression.compress_image(
+                    sample.bytes(),
+                    shape.dim(0) as u32,
+                    shape.dim(1) as u32,
+                    shape.dim(2) as u32,
+                )?)
+            } else {
+                Ok(compression.compress(sample.bytes()))
+            }
+        }
+        codec => Ok(codec.compress(sample.bytes())),
+    }
+}
+
+/// Decode a stored blob back into a sample of known dtype/shape.
+pub fn decode_sample(blob: &[u8], dtype: Dtype, shape: Shape) -> Result<Sample> {
+    let raw = Compression::decompress(blob)?;
+    Ok(Sample::from_bytes(dtype, shape, Bytes::from(raw))?)
+}
+
+fn dtype_tag(d: Dtype) -> u8 {
+    match d {
+        Dtype::U8 => 0,
+        Dtype::I8 => 1,
+        Dtype::U16 => 2,
+        Dtype::I16 => 3,
+        Dtype::U32 => 4,
+        Dtype::I32 => 5,
+        Dtype::U64 => 6,
+        Dtype::I64 => 7,
+        Dtype::F32 => 8,
+        Dtype::F64 => 9,
+        Dtype::Bool => 10,
+    }
+}
+
+fn dtype_from_tag(t: u8) -> Result<Dtype> {
+    Ok(match t {
+        0 => Dtype::U8,
+        1 => Dtype::I8,
+        2 => Dtype::U16,
+        3 => Dtype::I16,
+        4 => Dtype::U32,
+        5 => Dtype::I32,
+        6 => Dtype::U64,
+        7 => Dtype::I64,
+        8 => Dtype::F32,
+        9 => Dtype::F64,
+        10 => Dtype::Bool,
+        other => return Err(FormatError::Corrupt(format!("bad dtype tag {other}"))),
+    })
+}
+
+fn codec_tag(c: Compression) -> u8 {
+    match c {
+        Compression::None => 0,
+        Compression::Lz4 => 1,
+        Compression::Rle => 2,
+        Compression::SynthImg { bits } => 0x80 | bits,
+    }
+}
+
+fn codec_from_tag(t: u8) -> Result<Compression> {
+    Ok(match t {
+        0 => Compression::None,
+        1 => Compression::Lz4,
+        2 => Compression::Rle,
+        t if t & 0x80 != 0 => Compression::SynthImg { bits: t & 0x7f },
+        other => return Err(FormatError::Corrupt(format!("bad codec tag {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_u8(shape: impl Into<Shape>, fill: u8) -> Sample {
+        let shape = shape.into();
+        let n = shape.num_elements() as usize;
+        Sample::from_slice(shape, &vec![fill; n]).unwrap()
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let mut c = Chunk::new(Dtype::U8);
+        c.append_sample(&sample_u8([2, 3], 7), Compression::None).unwrap();
+        c.append_sample(&sample_u8([4], 9), Compression::None).unwrap();
+        assert_eq!(c.sample_count(), 2);
+        assert_eq!(c.sample(0).unwrap(), sample_u8([2, 3], 7));
+        assert_eq!(c.sample(1).unwrap(), sample_u8([4], 9));
+        assert!(c.sample(2).is_err());
+    }
+
+    #[test]
+    fn serialize_roundtrip_uncompressed() {
+        let mut c = Chunk::new(Dtype::F32);
+        c.append_sample(&Sample::from_slice([3], &[1.0f32, 2.0, 3.0]).unwrap(), Compression::None)
+            .unwrap();
+        c.append_sample(&Sample::scalar(9.0f32), Compression::None).unwrap();
+        let blob = c.serialize(Compression::None);
+        let back = Chunk::deserialize(&blob).unwrap();
+        assert_eq!(back.sample_count(), 2);
+        assert_eq!(back.sample(0).unwrap().to_vec::<f32>().unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(back.sample(1).unwrap().get_f64(0).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn serialize_roundtrip_lz4_chunk_compression() {
+        let mut c = Chunk::new(Dtype::I32);
+        for i in 0..1000 {
+            c.append_sample(&Sample::scalar(i % 10), Compression::None).unwrap();
+        }
+        let blob = c.serialize(Compression::Lz4);
+        let raw = c.serialize(Compression::None);
+        // the 5000-byte payload shrinks to almost nothing; the sample
+        // directory (9 bytes/sample) is unaffected by chunk compression
+        assert!(
+            raw.len() - blob.len() > c.payload_len() * 8 / 10,
+            "lz4 chunk should shrink labels: raw={} compressed={}",
+            raw.len(),
+            blob.len()
+        );
+        let back = Chunk::deserialize(&blob).unwrap();
+        assert_eq!(back.sample_count(), 1000);
+        assert_eq!(back.sample(123).unwrap().get_f64(0).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn sample_compression_lz4_roundtrip() {
+        let mut c = Chunk::new(Dtype::U8);
+        let s = sample_u8([100, 100], 5);
+        c.append_sample(&s, Compression::Lz4).unwrap();
+        // stored blob is much smaller than raw
+        assert!(c.payload_len() < s.nbytes() / 10);
+        assert_eq!(c.sample(0).unwrap(), s);
+    }
+
+    #[test]
+    fn image_sample_compression_roundtrip_shape() {
+        let mut c = Chunk::new(Dtype::U8);
+        let img = sample_u8([32, 32, 3], 100);
+        c.append_sample(&img, Compression::JPEG_LIKE).unwrap();
+        let back = c.sample(0).unwrap();
+        assert_eq!(back.shape(), img.shape());
+        assert_eq!(back.dtype(), Dtype::U8);
+        // lossy: values within quantization error
+        let err = deeplake_codec::synthimg::max_error(deeplake_codec::synthimg::Quality::MEDIUM);
+        for (a, b) in img.to_vec::<u8>().unwrap().iter().zip(back.to_vec::<u8>().unwrap()) {
+            assert!(a.abs_diff(b) <= err);
+        }
+    }
+
+    #[test]
+    fn header_only_parse_gives_ranges() {
+        let mut c = Chunk::new(Dtype::U8);
+        c.append_sample(&sample_u8([10], 1), Compression::None).unwrap();
+        c.append_sample(&sample_u8([20], 2), Compression::None).unwrap();
+        c.append_sample(&sample_u8([5], 3), Compression::None).unwrap();
+        let blob = c.serialize(Compression::None);
+        let (header, header_len) = Chunk::parse_header(&blob).unwrap();
+        assert_eq!(header.records.len(), 3);
+        let (s, e) = header.payload_range(1).unwrap();
+        // stored blobs are framed with 1 magic byte of overhead
+        assert_eq!((s, e), (11, 32));
+        // range-read just sample 1's blob out of the serialized chunk and decode it
+        let sub = &blob[header_len + s as usize..header_len + e as usize];
+        let decoded = decode_sample(sub, Dtype::U8, Shape::from([20])).unwrap();
+        assert_eq!(decoded.to_vec::<u8>().unwrap(), vec![2u8; 20]);
+        assert!(header.payload_range(3).is_err());
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        assert!(Chunk::deserialize(b"nope").is_err());
+        let mut c = Chunk::new(Dtype::U8);
+        c.append_sample(&sample_u8([4], 1), Compression::None).unwrap();
+        let mut blob = c.serialize(Compression::None);
+        blob.truncate(blob.len() - 2);
+        assert!(Chunk::deserialize(&blob).is_err());
+        blob[0] = b'X';
+        assert!(Chunk::deserialize(&blob).is_err());
+    }
+
+    #[test]
+    fn ragged_shapes_roundtrip() {
+        let mut c = Chunk::new(Dtype::U8);
+        let shapes: Vec<Shape> = vec![
+            Shape::from([600, 800, 3]).union_min(&Shape::from([6, 8, 3])), // [6,8,3]
+            Shape::from([3, 5, 3]),
+            Shape::from([10]),
+            Shape::scalar(),
+        ];
+        for (i, sh) in shapes.iter().enumerate() {
+            c.append_sample(&sample_u8(sh.clone(), i as u8), Compression::None).unwrap();
+        }
+        let blob = c.serialize(Compression::None);
+        let back = Chunk::deserialize(&blob).unwrap();
+        for (i, sh) in shapes.iter().enumerate() {
+            assert_eq!(back.sample(i).unwrap().shape(), sh);
+        }
+    }
+
+    #[test]
+    fn precompressed_blob_copied_verbatim() {
+        // §5: matching compression -> binary copied without decode
+        let img = sample_u8([16, 16, 3], 50);
+        let blob = Compression::JPEG_LIKE
+            .compress_image(img.bytes(), 16, 16, 3)
+            .unwrap();
+        let mut c = Chunk::new(Dtype::U8);
+        c.append_blob(&blob, img.shape().clone());
+        assert_eq!(c.blob(0).unwrap(), &blob[..]);
+        let decoded = c.sample(0).unwrap();
+        assert_eq!(decoded.shape(), img.shape());
+    }
+
+    #[test]
+    fn empty_chunk_roundtrip() {
+        let c = Chunk::new(Dtype::U8);
+        let blob = c.serialize(Compression::None);
+        let back = Chunk::deserialize(&blob).unwrap();
+        assert_eq!(back.sample_count(), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Format-wide constants.
+
+/// Default chunk size target: 8 MB (§3.5 of the paper).
+pub const DEFAULT_CHUNK_TARGET: usize = 8 * 1024 * 1024;
+
+/// Default lower bound: half the target. A chunk is eligible to close once
+/// it crosses this.
+pub const DEFAULT_CHUNK_MIN: usize = DEFAULT_CHUNK_TARGET / 2;
+
+/// Default upper bound: samples that would push a chunk past this start a
+/// new chunk; samples *alone* bigger than this are tiled.
+pub const DEFAULT_CHUNK_MAX: usize = DEFAULT_CHUNK_TARGET * 2;
+
+/// Magic bytes identifying a TSF chunk blob.
+pub const CHUNK_MAGIC: [u8; 4] = *b"DLCH";
+
+/// Chunk format version.
+pub const CHUNK_VERSION: u8 = 1;
+
+/// Magic bytes identifying a serialized chunk encoder.
+pub const ENCODER_MAGIC: [u8; 4] = *b"DLCE";
+
+/// Magic bytes identifying a serialized tile encoder.
+pub const TILE_MAGIC: [u8; 4] = *b"DLTE";
+
+/// Magic bytes identifying a serialized video index.
+pub const VIDEO_MAGIC: [u8; 4] = *b"DLVI";

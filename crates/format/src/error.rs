@@ -1,0 +1,73 @@
+//! Format layer error type.
+
+use deeplake_codec::CodecError;
+use deeplake_tensor::TensorError;
+
+/// Errors from encoding/decoding chunks and index structures.
+#[derive(Debug)]
+pub enum FormatError {
+    /// Malformed binary structure.
+    Corrupt(String),
+    /// A sample index has no chunk (past the end of the tensor).
+    SampleOutOfRange {
+        /// Requested sample index.
+        index: u64,
+        /// Number of samples in the tensor.
+        len: u64,
+    },
+    /// Error from the tensor layer.
+    Tensor(TensorError),
+    /// Error from a codec.
+    Codec(CodecError),
+    /// JSON (de)serialization failure in metadata.
+    Json(String),
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::Corrupt(msg) => write!(f, "corrupt format data: {msg}"),
+            FormatError::SampleOutOfRange { index, len } => {
+                write!(f, "sample index {index} out of range for tensor of length {len}")
+            }
+            FormatError::Tensor(e) => write!(f, "tensor error: {e}"),
+            FormatError::Codec(e) => write!(f, "codec error: {e}"),
+            FormatError::Json(msg) => write!(f, "metadata json error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<TensorError> for FormatError {
+    fn from(e: TensorError) -> Self {
+        FormatError::Tensor(e)
+    }
+}
+
+impl From<CodecError> for FormatError {
+    fn from(e: CodecError) -> Self {
+        FormatError::Codec(e)
+    }
+}
+
+impl From<serde_json::Error> for FormatError {
+    fn from(e: serde_json::Error) -> Self {
+        FormatError::Json(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: FormatError = TensorError::UnknownName("x".into()).into();
+        assert!(e.to_string().contains("tensor error"));
+        let e: FormatError = CodecError::Corrupt("y").into();
+        assert!(e.to_string().contains("codec error"));
+        let e = FormatError::SampleOutOfRange { index: 10, len: 5 };
+        assert!(e.to_string().contains("10"));
+    }
+}

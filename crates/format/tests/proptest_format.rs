@@ -1,0 +1,113 @@
+//! Property tests for the Tensor Storage Format: tiling, chunk building,
+//! encoders, video seeking.
+
+use deeplake_codec::Compression;
+use deeplake_format::chunk_builder::{ChunkBuilder, ChunkSizePolicy, FlushReason};
+use deeplake_format::tile_encoder::{
+    compute_tile_shape, reassemble_tiles, split_into_tiles, TileLayout,
+};
+use deeplake_format::{TensorMeta, VideoIndex};
+use deeplake_tensor::{Dtype, Htype, Sample, Shape};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tiles_roundtrip_any_geometry(
+        h in 1u64..40, w in 1u64..40, c in 1u64..4,
+        max_tile in 16usize..512,
+    ) {
+        let n = (h * w * c) as usize;
+        let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+        let sample = Sample::from_slice([h, w, c], &data).unwrap();
+        let tile_shape = compute_tile_shape(sample.shape(), 1, max_tile);
+        prop_assert!(tile_shape.num_elements() as usize <= max_tile || tile_shape.num_elements() <= c.max(1));
+        let tiles = split_into_tiles(&sample, &tile_shape).unwrap();
+        let layout = TileLayout {
+            sample_shape: sample.shape().clone(),
+            tile_shape,
+            tile_chunks: (0..tiles.len() as u64).collect(),
+        };
+        prop_assert_eq!(tiles.len() as u64, layout.num_tiles());
+        let parts: Vec<Sample> = tiles.into_iter().map(|(_, t)| t).collect();
+        let back = reassemble_tiles(&layout, Dtype::U8, &parts).unwrap();
+        prop_assert_eq!(back, sample);
+    }
+
+    #[test]
+    fn chunk_builder_partitions_exactly(
+        sizes in proptest::collection::vec(1usize..400, 1..60),
+        target in 64usize..2048,
+    ) {
+        let mut b = ChunkBuilder::new(
+            Dtype::U8,
+            Compression::None,
+            ChunkSizePolicy::with_target(target),
+        );
+        let mut sealed = 0usize;
+        let mut tiled = 0usize;
+        for (i, &len) in sizes.iter().enumerate() {
+            let s = Sample::from_slice([len as u64], &vec![(i % 251) as u8; len]).unwrap();
+            match b.push(&s).unwrap() {
+                FlushReason::Buffered => {}
+                FlushReason::ChunkFull(c) => {
+                    // sealed chunks never exceed the hard cap
+                    prop_assert!(c.payload_len() <= target * 2);
+                    sealed += c.sample_count();
+                }
+                FlushReason::NeedsTiling { stored_len } => {
+                    prop_assert!(stored_len > target * 2);
+                    tiled += 1;
+                }
+            }
+        }
+        if let Some(c) = b.finish() {
+            sealed += c.sample_count();
+        }
+        prop_assert_eq!(sealed + tiled, sizes.len(), "every sample lands exactly once");
+    }
+
+    #[test]
+    fn video_index_seek_is_consistent(
+        gaps in proptest::collection::vec(1u64..50, 1..20),
+        frames_per_seg in 1u64..30,
+    ) {
+        // build ascending segments from gaps
+        let mut segments = vec![(0u64, 0u64)];
+        let mut frame = 0u64;
+        let mut offset = 0u64;
+        for &g in &gaps {
+            frame += frames_per_seg;
+            offset += g;
+            segments.push((frame, offset));
+        }
+        let num_frames = frame + frames_per_seg;
+        let blob_len = offset + 10;
+        let idx = VideoIndex::new(&segments, num_frames, blob_len).unwrap();
+        // every frame seeks into a range that contains it
+        for f in 0..num_frames {
+            let (start, end, seg_first) = idx.seek(f).unwrap();
+            prop_assert!(seg_first <= f);
+            prop_assert!(start < end);
+            prop_assert!(end <= blob_len);
+        }
+        // serialization roundtrip
+        let back = VideoIndex::deserialize(&idx.serialize()).unwrap();
+        prop_assert_eq!(back, idx);
+    }
+
+    #[test]
+    fn tensor_meta_roundtrips(
+        name in "[a-z_/]{1,24}",
+        length in 0u64..1_000_000,
+        hidden in any::<bool>(),
+    ) {
+        let mut m = TensorMeta::new(name, Htype::Image, None);
+        m.length = length;
+        m.hidden = hidden;
+        m.max_shape = Shape::from([1024, 1024, 3]);
+        let back = TensorMeta::from_json(&m.to_json().unwrap()).unwrap();
+        prop_assert_eq!(back, m);
+    }
+}

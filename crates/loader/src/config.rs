@@ -1,0 +1,162 @@
+//! Loader configuration.
+
+use std::sync::Arc;
+
+use deeplake_core::{Dataset, Row};
+
+use crate::loader::DataLoader;
+use crate::Result;
+
+/// Shuffled-stream settings (§3.5): chunk-block randomization plus a
+/// sample-level shuffle buffer, avoiding a separate shuffle cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShuffleConfig {
+    /// Rows held in the in-memory shuffle buffer.
+    pub buffer_rows: usize,
+    /// Rows per block: blocks are fetched in random order but stay
+    /// contiguous inside, preserving chunk locality.
+    pub block_rows: usize,
+    /// RNG seed — same seed, same epoch order.
+    pub seed: u64,
+}
+
+impl Default for ShuffleConfig {
+    fn default() -> Self {
+        ShuffleConfig { buffer_rows: 512, block_rows: 32, seed: 0x5EED }
+    }
+}
+
+/// Per-row user transform applied inside worker threads.
+pub type RowTransform = Arc<dyn Fn(Row) -> Row + Send + Sync>;
+
+/// Full loader configuration.
+#[derive(Clone)]
+pub struct LoaderConfig {
+    /// Rows per delivered batch.
+    pub batch_size: usize,
+    /// Worker threads fetching + decoding.
+    pub num_workers: usize,
+    /// Shuffling, if any.
+    pub shuffle: Option<ShuffleConfig>,
+    /// Batches of rows to keep in flight ahead of the consumer.
+    pub prefetch_batches: usize,
+    /// Tensors to stream (`None` = all visible tensors). Partial reads are
+    /// the point of columnar layout (§3.1).
+    pub tensors: Option<Vec<String>>,
+    /// User transform run in workers.
+    pub transform: Option<RowTransform>,
+    /// Drop a trailing partial batch.
+    pub drop_last: bool,
+    /// Upper bound on in-flight row bytes; overrides `prefetch_batches`
+    /// when tighter (§4.6 "predicting memory consumption to avoid
+    /// breaking the training process").
+    pub memory_budget_bytes: Option<u64>,
+}
+
+impl Default for LoaderConfig {
+    fn default() -> Self {
+        LoaderConfig {
+            batch_size: 32,
+            num_workers: 4,
+            shuffle: None,
+            prefetch_batches: 2,
+            tensors: None,
+            transform: None,
+            drop_last: false,
+            memory_budget_bytes: None,
+        }
+    }
+}
+
+/// Fluent builder for [`DataLoader`].
+pub struct LoaderBuilder {
+    dataset: Arc<Dataset>,
+    indices: Option<Vec<u64>>,
+    config: LoaderConfig,
+}
+
+impl LoaderBuilder {
+    pub(crate) fn new(dataset: Arc<Dataset>) -> Self {
+        LoaderBuilder { dataset, indices: None, config: LoaderConfig::default() }
+    }
+
+    /// Restrict to a view's row indices (e.g. a TQL result).
+    pub fn indices(mut self, indices: Vec<u64>) -> Self {
+        self.indices = Some(indices);
+        self
+    }
+
+    /// Rows per batch.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.config.batch_size = n.max(1);
+        self
+    }
+
+    /// Worker threads.
+    pub fn num_workers(mut self, n: usize) -> Self {
+        self.config.num_workers = n.max(1);
+        self
+    }
+
+    /// Enable shuffling with defaults.
+    pub fn shuffle(mut self, seed: u64) -> Self {
+        self.config.shuffle = Some(ShuffleConfig { seed, ..ShuffleConfig::default() });
+        self
+    }
+
+    /// Enable shuffling with explicit settings.
+    pub fn shuffle_with(mut self, cfg: ShuffleConfig) -> Self {
+        self.config.shuffle = Some(cfg);
+        self
+    }
+
+    /// Batches to prefetch.
+    pub fn prefetch(mut self, batches: usize) -> Self {
+        self.config.prefetch_batches = batches.max(1);
+        self
+    }
+
+    /// Stream only these tensors.
+    pub fn tensors(mut self, names: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.config.tensors = Some(names.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Per-row transform executed in workers.
+    pub fn transform(mut self, f: impl Fn(Row) -> Row + Send + Sync + 'static) -> Self {
+        self.config.transform = Some(Arc::new(f));
+        self
+    }
+
+    /// Drop trailing partial batches.
+    pub fn drop_last(mut self, yes: bool) -> Self {
+        self.config.drop_last = yes;
+        self
+    }
+
+    /// Cap in-flight memory.
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.config.memory_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<DataLoader> {
+        DataLoader::from_parts(self.dataset, self.indices, self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = LoaderConfig::default();
+        assert_eq!(c.batch_size, 32);
+        assert_eq!(c.num_workers, 4);
+        assert!(c.shuffle.is_none());
+        let s = ShuffleConfig::default();
+        assert!(s.buffer_rows >= s.block_rows);
+    }
+}

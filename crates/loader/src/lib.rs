@@ -1,0 +1,47 @@
+//! # deeplake-loader
+//!
+//! The streaming dataloader (§4.6): "data fetching, decompression,
+//! applying transformations, collation, and data handover to the training
+//! model", with fetching and decoding parallelized across native worker
+//! threads (the C++-per-process design of the paper — Rust threads need
+//! no GIL workaround), bounded prefetch for backpressure, a shuffle
+//! buffer for shuffled stream access (§3.5), and deterministic delivery
+//! order independent of worker count.
+//!
+//! ```
+//! use deeplake_core::Dataset;
+//! use deeplake_loader::DataLoader;
+//! use deeplake_storage::MemoryProvider;
+//! use deeplake_tensor::{Htype, Sample};
+//! use std::sync::Arc;
+//!
+//! let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "ex").unwrap();
+//! ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+//! for i in 0..100 {
+//!     ds.append_row(vec![("labels", Sample::scalar(i as i32))]).unwrap();
+//! }
+//! ds.flush().unwrap();
+//! let ds = Arc::new(ds);
+//!
+//! let loader = DataLoader::builder(ds).batch_size(16).num_workers(2).build().unwrap();
+//! let mut rows = 0;
+//! for batch in loader.epoch() {
+//!     rows += batch.unwrap().len();
+//! }
+//! assert_eq!(rows, 100);
+//! ```
+
+pub mod batch;
+pub mod config;
+pub mod loader;
+pub mod memory;
+pub mod scheduler;
+pub mod shuffle;
+
+pub use batch::{Batch, BatchColumn};
+pub use config::{LoaderBuilder, LoaderConfig, ShuffleConfig};
+pub use loader::{DataLoader, EpochIter, LoaderStats};
+pub use memory::MemoryEstimator;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, deeplake_core::CoreError>;

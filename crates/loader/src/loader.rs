@@ -1,0 +1,550 @@
+//! The streaming dataloader engine.
+//!
+//! An epoch spawns `num_workers` native threads. Each worker claims
+//! blocks of the epoch order from the [`Scheduler`], fetches the rows'
+//! tensors (chunk fetch + decompression happen *in the worker*, §4.6),
+//! applies the user transform, and sends decoded rows over a bounded
+//! channel — the bound is the prefetch/memory budget, giving
+//! backpressure. The consumer side collates rows into [`Batch`]es:
+//! without shuffling, a sequence-number reorder buffer makes delivery
+//! order deterministic regardless of worker count; with shuffling, rows
+//! pass through the sample-level [`ShuffleBuffer`].
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver};
+use deeplake_core::{CoreError, Dataset, Row};
+
+use crate::batch::Batch;
+use crate::config::{LoaderBuilder, LoaderConfig};
+use crate::memory::MemoryEstimator;
+use crate::scheduler::Scheduler;
+use crate::shuffle::{block_shuffled_order, ShuffleBuffer};
+use crate::Result;
+
+/// A reusable streaming dataloader bound to a dataset and row set.
+pub struct DataLoader {
+    dataset: Arc<Dataset>,
+    indices: Vec<u64>,
+    config: LoaderConfig,
+    tensor_names: Arc<Vec<String>>,
+}
+
+impl DataLoader {
+    /// Start building a loader over all rows of `dataset`.
+    pub fn builder(dataset: Arc<Dataset>) -> LoaderBuilder {
+        LoaderBuilder::new(dataset)
+    }
+
+    pub(crate) fn from_parts(
+        dataset: Arc<Dataset>,
+        indices: Option<Vec<u64>>,
+        config: LoaderConfig,
+    ) -> Result<Self> {
+        let tensor_names: Vec<String> = match &config.tensors {
+            Some(names) => {
+                for n in names {
+                    dataset.tensor_meta(n)?; // validate
+                }
+                names.clone()
+            }
+            None => dataset.tensors().into_iter().map(str::to_string).collect(),
+        };
+        let indices = indices.unwrap_or_else(|| (0..dataset.len()).collect());
+        let max = dataset.len();
+        if let Some(&bad) = indices.iter().find(|&&i| i >= max) {
+            return Err(CoreError::RowOutOfRange { row: bad, len: max });
+        }
+        Ok(DataLoader { dataset, indices, config, tensor_names: Arc::new(tensor_names) })
+    }
+
+    /// Rows per epoch.
+    pub fn len_rows(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Batches per epoch.
+    pub fn len_batches(&self) -> usize {
+        let n = self.indices.len();
+        if self.config.drop_last {
+            n / self.config.batch_size
+        } else {
+            n.div_ceil(self.config.batch_size)
+        }
+    }
+
+    /// Start one epoch: spawn workers and return the batch iterator.
+    pub fn epoch(&self) -> EpochIter {
+        // 1. epoch order
+        let order: Vec<u64> = match &self.config.shuffle {
+            Some(cfg) => block_shuffled_order(&self.indices, cfg),
+            None => self.indices.clone(),
+        };
+        let total = order.len();
+
+        // 2. in-flight budget (rows)
+        let estimator = MemoryEstimator::for_dataset(&self.dataset, Some(&self.tensor_names));
+        let mut in_flight = self.config.prefetch_batches.max(1) * self.config.batch_size;
+        if let Some(budget) = self.config.memory_budget_bytes {
+            in_flight = in_flight.min(estimator.rows_in_flight(budget, self.config.batch_size));
+        }
+
+        // 3. schedule: CPU cost per row ≈ decoded bytes through a codec
+        let cost_per_row: u64 = self
+            .tensor_names
+            .iter()
+            .filter_map(|n| self.dataset.tensor_meta(n).ok())
+            .filter(|m| m.sample_compression != deeplake_codec::Compression::None)
+            .map(|m| m.max_shape.num_elements() * m.dtype.size() as u64)
+            .sum();
+        let block = self.config.shuffle.map(|s| s.block_rows).unwrap_or(32).max(1);
+        let scheduler = Arc::new(Scheduler::new(total, block, |_| cost_per_row));
+
+        // 4. workers
+        let (tx, rx) = bounded::<std::result::Result<(usize, Row), String>>(in_flight.max(1));
+        let order = Arc::new(order);
+        let mut handles = Vec::with_capacity(self.config.num_workers);
+        for _ in 0..self.config.num_workers {
+            let dataset = self.dataset.clone();
+            let order = order.clone();
+            let scheduler = scheduler.clone();
+            let tensor_names = self.tensor_names.clone();
+            let transform = self.config.transform.clone();
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Some(task) = scheduler.next() {
+                    for pos in task.start..task.end {
+                        let row_idx = order[pos];
+                        let fetched: std::result::Result<Row, String> = (|| {
+                            let mut row = Row::new();
+                            for name in tensor_names.iter() {
+                                let sample = dataset
+                                    .get(name, row_idx)
+                                    .map_err(|e| format!("fetch {name}[{row_idx}]: {e}"))?;
+                                row.set(name.clone(), sample);
+                            }
+                            Ok(row)
+                        })();
+                        let msg = match fetched {
+                            Ok(row) => {
+                                let row = match &transform {
+                                    Some(f) => f(row),
+                                    None => row,
+                                };
+                                Ok((pos, row))
+                            }
+                            Err(e) => Err(e),
+                        };
+                        if tx.send(msg).is_err() {
+                            return; // consumer hung up
+                        }
+                    }
+                }
+            }));
+        }
+        drop(tx);
+
+        EpochIter {
+            rx,
+            handles,
+            reorder: BinaryHeap::new(),
+            next_seq: 0,
+            shuffle_buffer: self
+                .config
+                .shuffle
+                .map(|s| ShuffleBuffer::new(s.buffer_rows, s.seed)),
+            pending: VecDeque::new(),
+            batch_size: self.config.batch_size,
+            drop_last: self.config.drop_last,
+            upstream_done: false,
+            failed: false,
+            stats: LoaderStats::default(),
+            started: Instant::now(),
+        }
+    }
+}
+
+/// Ordered entry for the reorder heap (min-heap by sequence).
+struct Seq(usize, Row);
+
+impl PartialEq for Seq {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for Seq {}
+impl PartialOrd for Seq {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Seq {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+/// Cumulative epoch statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LoaderStats {
+    /// Rows delivered.
+    pub rows: u64,
+    /// Batches delivered.
+    pub batches: u64,
+    /// Decoded payload bytes delivered.
+    pub bytes: u64,
+    /// Wall time of the epoch so far.
+    pub elapsed: Duration,
+}
+
+impl LoaderStats {
+    /// Delivered rows per second.
+    pub fn rows_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.rows as f64 / secs
+        }
+    }
+
+    /// Delivered megabytes per second.
+    pub fn mb_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / 1_000_000.0 / secs
+        }
+    }
+}
+
+/// Iterator over one epoch's batches.
+pub struct EpochIter {
+    rx: Receiver<std::result::Result<(usize, Row), String>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    reorder: BinaryHeap<Reverse<Seq>>,
+    next_seq: usize,
+    shuffle_buffer: Option<ShuffleBuffer<Row>>,
+    pending: VecDeque<Row>,
+    batch_size: usize,
+    drop_last: bool,
+    upstream_done: bool,
+    failed: bool,
+    stats: LoaderStats,
+    started: Instant,
+}
+
+impl EpochIter {
+    /// Statistics up to now (final after the iterator returns `None`).
+    pub fn stats(&self) -> LoaderStats {
+        let mut s = self.stats;
+        s.elapsed = self.started.elapsed();
+        s
+    }
+
+    fn absorb(&mut self, seq: usize, row: Row) {
+        match &mut self.shuffle_buffer {
+            Some(buf) => {
+                if let Some(evicted) = buf.push(row) {
+                    self.pending.push_back(evicted);
+                }
+            }
+            None => {
+                self.reorder.push(Reverse(Seq(seq, row)));
+                while let Some(Reverse(Seq(s, _))) = self.reorder.peek() {
+                    if *s != self.next_seq {
+                        break;
+                    }
+                    let Reverse(Seq(_, row)) = self.reorder.pop().expect("peeked");
+                    self.pending.push_back(row);
+                    self.next_seq += 1;
+                }
+            }
+        }
+    }
+
+    fn finish_upstream(&mut self) {
+        self.upstream_done = true;
+        if let Some(buf) = &mut self.shuffle_buffer {
+            for row in buf.drain() {
+                self.pending.push_back(row);
+            }
+        } else {
+            while let Some(Reverse(Seq(_, row))) = self.reorder.pop() {
+                self.pending.push_back(row);
+            }
+        }
+    }
+
+    fn pop_batch(&mut self) -> Option<Batch> {
+        let ready = self.pending.len() >= self.batch_size
+            || (self.upstream_done && !self.pending.is_empty() && !self.drop_last);
+        if !ready {
+            if self.upstream_done && self.drop_last && self.pending.len() < self.batch_size {
+                self.pending.clear();
+            }
+            return None;
+        }
+        let take = self.batch_size.min(self.pending.len());
+        let rows: Vec<Row> = self.pending.drain(..take).collect();
+        let batch = Batch::collate(rows);
+        self.stats.rows += batch.len() as u64;
+        self.stats.batches += 1;
+        self.stats.bytes += batch.nbytes() as u64;
+        Some(batch)
+    }
+}
+
+impl Iterator for EpochIter {
+    type Item = Result<Batch>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if let Some(batch) = self.pop_batch() {
+                return Some(Ok(batch));
+            }
+            if self.upstream_done {
+                return None;
+            }
+            match self.rx.recv() {
+                Ok(Ok((seq, row))) => self.absorb(seq, row),
+                Ok(Err(message)) => {
+                    self.failed = true;
+                    return Some(Err(CoreError::Corrupt(format!(
+                        "loader worker failed: {message}"
+                    ))));
+                }
+                Err(_) => self.finish_upstream(),
+            }
+        }
+    }
+}
+
+impl Drop for EpochIter {
+    fn drop(&mut self) {
+        // unblock senders, then join
+        drop(std::mem::replace(&mut self.rx, crossbeam::channel::never()));
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeplake_codec::Compression;
+    use deeplake_core::dataset::TensorOptions;
+    use deeplake_storage::MemoryProvider;
+    use deeplake_tensor::{Htype, Sample};
+
+    fn dataset(rows: u64) -> Arc<Dataset> {
+        let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "loader").unwrap();
+        ds.create_tensor_opts("images", {
+            let mut o = TensorOptions::new(Htype::Image);
+            o.sample_compression = Some(Compression::None);
+            o.chunk_target_bytes = Some(16 * 1024);
+            o
+        })
+        .unwrap();
+        ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+        for i in 0..rows {
+            ds.append_row(vec![
+                ("images", Sample::from_slice([8, 8, 3], &vec![(i % 251) as u8; 192]).unwrap()),
+                ("labels", Sample::scalar((i % 10) as i32)),
+            ])
+            .unwrap();
+        }
+        ds.flush().unwrap();
+        Arc::new(ds)
+    }
+
+    fn labels_of(batch: &Batch) -> Vec<i32> {
+        let col = batch.column("labels").unwrap();
+        (0..col.len())
+            .map(|i| col.get(i).unwrap().get_f64(0).unwrap() as i32)
+            .collect()
+    }
+
+    #[test]
+    fn sequential_epoch_is_ordered_and_complete() {
+        let ds = dataset(100);
+        let loader = DataLoader::builder(ds).batch_size(16).num_workers(4).build().unwrap();
+        assert_eq!(loader.len_rows(), 100);
+        assert_eq!(loader.len_batches(), 7);
+        let mut all = Vec::new();
+        for batch in loader.epoch() {
+            all.extend(labels_of(&batch.unwrap()));
+        }
+        let expect: Vec<i32> = (0..100).map(|i| (i % 10) as i32).collect();
+        assert_eq!(all, expect, "multi-worker delivery must stay in order");
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let ds = dataset(64);
+        let collect = |workers: usize| -> Vec<i32> {
+            let loader = DataLoader::builder(ds.clone())
+                .batch_size(8)
+                .num_workers(workers)
+                .build()
+                .unwrap();
+            loader.epoch().flat_map(|b| labels_of(&b.unwrap())).collect()
+        };
+        assert_eq!(collect(1), collect(8));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let ds = dataset(200);
+        let loader = DataLoader::builder(ds)
+            .batch_size(32)
+            .num_workers(4)
+            .shuffle(42)
+            .build()
+            .unwrap();
+        let mut images_sum = 0u64;
+        let mut rows = 0usize;
+        for batch in loader.epoch() {
+            let b = batch.unwrap();
+            rows += b.len();
+            let col = b.column("images").unwrap();
+            for i in 0..col.len() {
+                images_sum += col.get(i).unwrap().get_f64(0).unwrap() as u64;
+            }
+        }
+        assert_eq!(rows, 200);
+        let expect: u64 = (0..200u64).map(|i| i % 251).sum();
+        assert_eq!(images_sum, expect, "every row delivered exactly once");
+    }
+
+    #[test]
+    fn batches_stack_uniform_tensors() {
+        let ds = dataset(10);
+        let loader = DataLoader::builder(ds).batch_size(4).num_workers(2).build().unwrap();
+        let first = loader.epoch().next().unwrap().unwrap();
+        match first.column("images").unwrap() {
+            crate::batch::BatchColumn::Stacked(s) => {
+                assert_eq!(s.shape().dims(), &[4, 8, 8, 3])
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_last_discards_partial() {
+        let ds = dataset(10);
+        let loader = DataLoader::builder(ds)
+            .batch_size(4)
+            .num_workers(1)
+            .drop_last(true)
+            .build()
+            .unwrap();
+        let sizes: Vec<usize> = loader.epoch().map(|b| b.unwrap().len()).collect();
+        assert_eq!(sizes, vec![4, 4]);
+        assert_eq!(loader.len_batches(), 2);
+    }
+
+    #[test]
+    fn tensor_subset_streams_less() {
+        let ds = dataset(10);
+        let loader = DataLoader::builder(ds)
+            .batch_size(5)
+            .tensors(["labels"])
+            .build()
+            .unwrap();
+        let b = loader.epoch().next().unwrap().unwrap();
+        assert_eq!(b.tensors().collect::<Vec<_>>(), vec!["labels"]);
+        assert!(b.column("images").is_none());
+    }
+
+    #[test]
+    fn transform_runs_in_workers() {
+        let ds = dataset(12);
+        let loader = DataLoader::builder(ds)
+            .batch_size(4)
+            .num_workers(3)
+            .transform(|mut row| {
+                let v = row.get("labels").unwrap().get_f64(0).unwrap() as i32;
+                row.set("labels", Sample::scalar(v + 100));
+                row
+            })
+            .build()
+            .unwrap();
+        let all: Vec<i32> = loader.epoch().flat_map(|b| labels_of(&b.unwrap())).collect();
+        assert!(all.iter().all(|&v| v >= 100));
+        assert_eq!(all.len(), 12);
+    }
+
+    #[test]
+    fn view_indices_restrict_epoch() {
+        let ds = dataset(50);
+        let loader = DataLoader::builder(ds)
+            .indices(vec![5, 15, 25])
+            .batch_size(2)
+            .build()
+            .unwrap();
+        let all: Vec<i32> = loader.epoch().flat_map(|b| labels_of(&b.unwrap())).collect();
+        assert_eq!(all, vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn invalid_indices_rejected_at_build() {
+        let ds = dataset(5);
+        assert!(DataLoader::builder(ds.clone()).indices(vec![10]).build().is_err());
+        assert!(DataLoader::builder(ds).tensors(["ghost"]).build().is_err());
+    }
+
+    #[test]
+    fn stats_track_throughput() {
+        let ds = dataset(40);
+        let loader = DataLoader::builder(ds).batch_size(10).build().unwrap();
+        let mut epoch = loader.epoch();
+        while let Some(b) = epoch.next() {
+            b.unwrap();
+        }
+        let stats = epoch.stats();
+        assert_eq!(stats.rows, 40);
+        assert_eq!(stats.batches, 4);
+        assert!(stats.bytes > 0);
+        assert!(stats.rows_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn early_drop_joins_workers() {
+        let ds = dataset(100);
+        let loader = DataLoader::builder(ds).batch_size(4).num_workers(4).build().unwrap();
+        let mut epoch = loader.epoch();
+        let _first = epoch.next().unwrap().unwrap();
+        drop(epoch); // must not deadlock
+    }
+
+    #[test]
+    fn memory_budget_still_completes() {
+        let ds = dataset(30);
+        let loader = DataLoader::builder(ds)
+            .batch_size(8)
+            .memory_budget(1024) // tiny: clamps to one batch in flight
+            .build()
+            .unwrap();
+        let rows: usize = loader.epoch().map(|b| b.unwrap().len()).sum();
+        assert_eq!(rows, 30);
+    }
+
+    #[test]
+    fn multiple_epochs_reuse_loader() {
+        let ds = dataset(20);
+        let loader = DataLoader::builder(ds).batch_size(6).shuffle(7).build().unwrap();
+        let a: usize = loader.epoch().map(|b| b.unwrap().len()).sum();
+        let b: usize = loader.epoch().map(|b| b.unwrap().len()).sum();
+        assert_eq!(a, 20);
+        assert_eq!(b, 20);
+    }
+}

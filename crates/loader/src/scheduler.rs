@@ -1,0 +1,125 @@
+//! The smart scheduler (§4.6: "dynamically differentiating between
+//! CPU-intensive jobs prioritization over less-intensive").
+//!
+//! Work is a list of *tasks* (blocks of consecutive epoch positions).
+//! Tasks whose tensors decode compressed payloads are CPU-intensive;
+//! scheduling them first keeps cores busy while the IO-bound tail
+//! overlaps with network transfer, instead of ending the epoch with a
+//! CPU-bound convoy. Workers then claim tasks from a shared atomic
+//! cursor (work stealing degenerates to striding because tasks are
+//! uniform).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One unit of work: positions `[start, end)` of the epoch order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Task {
+    /// First epoch position.
+    pub start: usize,
+    /// One past the last epoch position.
+    pub end: usize,
+    /// Estimated decode cost (bytes that must pass through a codec).
+    pub cpu_cost: u64,
+}
+
+/// A fixed task list consumed by workers via an atomic cursor.
+pub struct Scheduler {
+    tasks: Vec<Task>,
+    cursor: AtomicUsize,
+}
+
+impl Scheduler {
+    /// Build a schedule over `total` epoch positions in blocks of
+    /// `block`, with `cpu_cost_per_row` modelling decode work. Tasks are
+    /// ordered most-CPU-intensive first.
+    pub fn new(total: usize, block: usize, cpu_cost_per_row: impl Fn(usize) -> u64) -> Self {
+        let block = block.max(1);
+        let mut tasks = Vec::with_capacity(total.div_ceil(block));
+        let mut start = 0usize;
+        while start < total {
+            let end = (start + block).min(total);
+            let cpu_cost: u64 = (start..end).map(&cpu_cost_per_row).sum();
+            tasks.push(Task { start, end, cpu_cost });
+            start = end;
+        }
+        // CPU-heavy first (stable so equal-cost tasks keep epoch order)
+        tasks.sort_by(|a, b| b.cpu_cost.cmp(&a.cpu_cost));
+        Scheduler { tasks, cursor: AtomicUsize::new(0) }
+    }
+
+    /// Claim the next task (thread-safe).
+    pub fn next(&self) -> Option<Task> {
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+        self.tasks.get(i).copied()
+    }
+
+    /// Total task count.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether there are no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_positions_once() {
+        let s = Scheduler::new(100, 16, |_| 1);
+        let mut seen = vec![false; 100];
+        while let Some(t) = s.next() {
+            for p in t.start..t.end {
+                assert!(!seen[p], "position {p} scheduled twice");
+                seen[p] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn cpu_heavy_tasks_first() {
+        // positions 50.. are expensive
+        let s = Scheduler::new(100, 10, |p| if p >= 50 { 100 } else { 1 });
+        let first = s.next().unwrap();
+        assert!(first.start >= 50, "expensive block must be claimed first");
+    }
+
+    #[test]
+    fn equal_costs_keep_epoch_order() {
+        let s = Scheduler::new(40, 10, |_| 1);
+        let starts: Vec<usize> = std::iter::from_fn(|| s.next()).map(|t| t.start).collect();
+        assert_eq!(starts, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn concurrent_claims_are_disjoint() {
+        let s = std::sync::Arc::new(Scheduler::new(1000, 7, |_| 1));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(t) = s.next() {
+                    got.push(t.start);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<usize> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), s.len());
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = Scheduler::new(0, 8, |_| 1);
+        assert!(s.is_empty());
+        assert!(s.next().is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! Shuffled stream ordering (§3.5).
+//!
+//! "Shuffled stream access ... is achieved by involving range-based
+//! requests to access sub-elements inside chunks, running complex queries
+//! before training to determine the order, and maintaining a buffer cache
+//! of fetched and unutilized data. This avoids having a separate compute
+//! cluster for running shuffling algorithm."
+//!
+//! Two levels:
+//! 1. **Block shuffle** — the epoch order is cut into contiguous blocks
+//!    (≈ chunk-sized) whose *order* is randomized. Fetches stay
+//!    chunk-local, so the storage layer sees large sequential ranges.
+//! 2. **Shuffle buffer** — a bounded pool of decoded rows from which the
+//!    next sample is drawn uniformly, decorrelating nearby samples.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::config::ShuffleConfig;
+
+/// Produce the epoch's row order: blocks of `block_rows` consecutive
+/// entries from `indices`, shuffled by `seed`.
+pub fn block_shuffled_order(indices: &[u64], cfg: &ShuffleConfig) -> Vec<u64> {
+    let block = cfg.block_rows.max(1);
+    let mut blocks: Vec<&[u64]> = indices.chunks(block).collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    blocks.shuffle(&mut rng);
+    blocks.into_iter().flatten().copied().collect()
+}
+
+/// A bounded buffer that releases items in random order.
+pub struct ShuffleBuffer<T> {
+    items: Vec<T>,
+    capacity: usize,
+    rng: StdRng,
+}
+
+impl<T> ShuffleBuffer<T> {
+    /// Buffer of `capacity` items seeded with `seed`.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        ShuffleBuffer {
+            items: Vec::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            rng: StdRng::seed_from_u64(seed ^ 0xB0FF),
+        }
+    }
+
+    /// Push an item; when the buffer is full, a uniformly random resident
+    /// item is evicted and returned.
+    pub fn push(&mut self, item: T) -> Option<T> {
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            return None;
+        }
+        let slot = self.rng.random_range(0..self.items.len());
+        let evicted = std::mem::replace(&mut self.items[slot], item);
+        Some(evicted)
+    }
+
+    /// Drain remaining items in random order.
+    pub fn drain(&mut self) -> Vec<T> {
+        let mut rest: Vec<T> = self.items.drain(..).collect();
+        // Fisher-Yates over the tail
+        for i in (1..rest.len()).rev() {
+            let j = self.rng.random_range(0..=i);
+            rest.swap(i, j);
+        }
+        rest
+    }
+
+    /// Items currently buffered.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64, block: usize) -> ShuffleConfig {
+        ShuffleConfig { buffer_rows: 16, block_rows: block, seed }
+    }
+
+    #[test]
+    fn block_shuffle_is_permutation() {
+        let indices: Vec<u64> = (0..100).collect();
+        let order = block_shuffled_order(&indices, &cfg(1, 8));
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, indices);
+        assert_ne!(order, indices, "seed 1 must actually shuffle");
+    }
+
+    #[test]
+    fn blocks_stay_contiguous() {
+        let indices: Vec<u64> = (0..64).collect();
+        let order = block_shuffled_order(&indices, &cfg(7, 16));
+        for chunk in order.chunks(16) {
+            for w in chunk.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "rows within a block stay consecutive");
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_order() {
+        let indices: Vec<u64> = (0..50).collect();
+        let a = block_shuffled_order(&indices, &cfg(9, 4));
+        let b = block_shuffled_order(&indices, &cfg(9, 4));
+        let c = block_shuffled_order(&indices, &cfg(10, 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn buffer_delivers_everything_exactly_once() {
+        let mut buf = ShuffleBuffer::new(10, 3);
+        let mut out = Vec::new();
+        for i in 0..100 {
+            if let Some(e) = buf.push(i) {
+                out.push(e);
+            }
+        }
+        out.extend(buf.drain());
+        assert_eq!(out.len(), 100);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(out, (0..100).collect::<Vec<_>>(), "buffer must reorder");
+    }
+
+    #[test]
+    fn buffer_smaller_than_stream_still_works() {
+        let mut buf = ShuffleBuffer::new(1, 0);
+        let mut out = Vec::new();
+        for i in 0..5 {
+            if let Some(e) = buf.push(i) {
+                out.push(e);
+            }
+        }
+        out.extend(buf.drain());
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn buffer_increases_disorder() {
+        // displacement of block-shuffle alone vs block-shuffle + buffer
+        let indices: Vec<u64> = (0..400).collect();
+        let order = block_shuffled_order(&indices, &cfg(2, 32));
+        let mut buf = ShuffleBuffer::new(128, 2);
+        let mut buffered = Vec::new();
+        for &i in &order {
+            if let Some(e) = buf.push(i) {
+                buffered.push(e);
+            }
+        }
+        buffered.extend(buf.drain());
+        let disorder = |v: &[u64]| -> f64 {
+            v.iter()
+                .enumerate()
+                .map(|(pos, &x)| (pos as f64 - x as f64).abs())
+                .sum::<f64>()
+                / v.len() as f64
+        };
+        assert!(disorder(&buffered) > disorder(&order) * 0.8);
+        // and it remains a permutation
+        let mut sorted = buffered.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, indices);
+    }
+}

@@ -1,0 +1,100 @@
+//! Failure injection: the loader must surface storage corruption as
+//! errors, not hangs or panics — it runs inside training jobs.
+
+use std::sync::Arc;
+
+use deeplake_core::Dataset;
+use deeplake_loader::DataLoader;
+use deeplake_storage::{DynProvider, MemoryProvider, StorageProvider};
+use deeplake_tensor::{Htype, Sample};
+
+fn dataset(provider: DynProvider, rows: u64) -> Dataset {
+    let mut ds = Dataset::create(provider, "inject").unwrap();
+    ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+    for i in 0..rows {
+        ds.append_row(vec![("labels", Sample::scalar(i as i32))]).unwrap();
+    }
+    ds.flush().unwrap();
+    ds
+}
+
+#[test]
+fn missing_chunk_surfaces_error_and_stops() {
+    let provider = Arc::new(MemoryProvider::new());
+    let ds = dataset(provider.clone(), 50);
+    // delete every chunk object behind the dataset's back
+    for key in provider.list("").unwrap() {
+        if key.contains("/chunks/") {
+            provider.delete(&key).unwrap();
+        }
+    }
+    let ds = Arc::new(Dataset::open(provider).unwrap());
+    let loader = DataLoader::builder(ds).batch_size(8).num_workers(4).build().unwrap();
+    let mut saw_error = false;
+    for batch in loader.epoch() {
+        match batch {
+            Ok(_) => {}
+            Err(e) => {
+                saw_error = true;
+                assert!(e.to_string().contains("loader worker failed"), "{e}");
+                break;
+            }
+        }
+    }
+    assert!(saw_error, "corruption must surface as an Err item");
+}
+
+#[test]
+fn corrupted_chunk_bytes_surface_error() {
+    let provider = Arc::new(MemoryProvider::new());
+    let ds = dataset(provider.clone(), 50);
+    for key in provider.list("").unwrap() {
+        if key.contains("/chunks/") {
+            provider.put(&key, bytes::Bytes::from_static(b"garbage")).unwrap();
+        }
+    }
+    let ds = Arc::new(Dataset::open(provider).unwrap());
+    let loader = DataLoader::builder(ds).batch_size(8).num_workers(2).build().unwrap();
+    let results: Vec<_> = loader.epoch().collect();
+    assert!(results.iter().any(|r| r.is_err()));
+}
+
+#[test]
+fn iterator_terminates_after_error() {
+    let provider = Arc::new(MemoryProvider::new());
+    let ds = dataset(provider.clone(), 30);
+    for key in provider.list("").unwrap() {
+        if key.contains("/chunks/") {
+            provider.delete(&key).unwrap();
+        }
+    }
+    let ds = Arc::new(Dataset::open(provider).unwrap());
+    let loader = DataLoader::builder(ds).batch_size(4).num_workers(2).build().unwrap();
+    let mut epoch = loader.epoch();
+    // drain fully: after the first Err the iterator must return None soon
+    // (not hang), and dropping it must join workers cleanly
+    let mut errs = 0;
+    for item in &mut epoch {
+        if item.is_err() {
+            errs += 1;
+        }
+    }
+    assert_eq!(errs, 1, "exactly one error, then clean termination");
+}
+
+#[test]
+fn empty_dataset_yields_no_batches() {
+    let ds = Arc::new(dataset(Arc::new(MemoryProvider::new()), 0));
+    let loader = DataLoader::builder(ds).batch_size(8).build().unwrap();
+    assert_eq!(loader.len_batches(), 0);
+    assert_eq!(loader.epoch().count(), 0);
+}
+
+#[test]
+fn single_row_dataset_single_batch() {
+    let ds = Arc::new(dataset(Arc::new(MemoryProvider::new()), 1));
+    let loader = DataLoader::builder(ds).batch_size(64).num_workers(8).shuffle(1).build().unwrap();
+    let batches: Vec<_> = loader.epoch().map(|b| b.unwrap()).collect();
+    assert_eq!(batches.len(), 1);
+    assert_eq!(batches[0].len(), 1);
+}

@@ -1,0 +1,178 @@
+//! The GPU consumer model.
+//!
+//! Figs. 9-10 measure one property of training: whether the data pipeline
+//! delivers batches at least as fast as the accelerator consumes them.
+//! [`GpuConsumer`] models the accelerator as a fixed-rate sink
+//! (`images/s`), burning real (scaled) wall time per batch and recording
+//! the idle gaps between batches — utilization is busy-time over
+//! wall-time, the same quantity the paper's Fig. 10 plots per GPU.
+
+use std::time::{Duration, Instant};
+
+/// A fixed-rate batch consumer.
+pub struct GpuConsumer {
+    /// Images the model processes per second at 100% utilization.
+    pub rate_images_per_s: f64,
+    /// Time scale (0.01 = run 100× faster than real time; 0 = free).
+    pub scale: f64,
+    busy: Duration,
+    first_batch_at: Option<Instant>,
+    started: Instant,
+    images: u64,
+    /// Per-batch `(arrival_offset, idle_gap)` samples for utilization
+    /// timelines.
+    timeline: Vec<(Duration, Duration)>,
+    last_done: Option<Instant>,
+}
+
+impl GpuConsumer {
+    /// New consumer; the epoch clock starts now.
+    pub fn new(rate_images_per_s: f64, scale: f64) -> Self {
+        GpuConsumer {
+            rate_images_per_s,
+            scale,
+            busy: Duration::ZERO,
+            first_batch_at: None,
+            started: Instant::now(),
+            images: 0,
+            timeline: Vec::new(),
+            last_done: None,
+        }
+    }
+
+    /// Consume one batch of `n` images: sleeps for the compute duration.
+    pub fn consume(&mut self, n: usize) {
+        let now = Instant::now();
+        if self.first_batch_at.is_none() {
+            self.first_batch_at = Some(now);
+        }
+        let idle = match self.last_done {
+            Some(done) => now.saturating_duration_since(done),
+            None => Duration::ZERO,
+        };
+        let compute =
+            Duration::from_secs_f64(n as f64 / self.rate_images_per_s * self.scale.max(0.0));
+        if !compute.is_zero() {
+            std::thread::sleep(compute);
+        }
+        self.busy += compute;
+        self.images += n as u64;
+        self.timeline.push((now.duration_since(self.started), idle));
+        self.last_done = Some(Instant::now());
+    }
+
+    /// Images consumed.
+    pub fn images(&self) -> u64 {
+        self.images
+    }
+
+    /// Final report.
+    pub fn report(&self) -> GpuReport {
+        let wall = match (self.first_batch_at, self.last_done) {
+            (Some(first), Some(done)) => done.duration_since(first),
+            _ => Duration::ZERO,
+        };
+        GpuReport {
+            images: self.images,
+            busy: self.busy,
+            wall,
+            time_to_first_batch: self
+                .first_batch_at
+                .map(|t| t.duration_since(self.started))
+                .unwrap_or_default(),
+            batches: self.timeline.len() as u64,
+        }
+    }
+
+    /// Per-batch `(arrival, idle_gap)` samples.
+    pub fn timeline(&self) -> &[(Duration, Duration)] {
+        &self.timeline
+    }
+}
+
+/// Summary of one consumer's epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GpuReport {
+    /// Images consumed.
+    pub images: u64,
+    /// Time spent computing.
+    pub busy: Duration,
+    /// Wall time from first batch to last completion.
+    pub wall: Duration,
+    /// Delay before the first batch arrived (File mode's copy phase shows
+    /// up here).
+    pub time_to_first_batch: Duration,
+    /// Batches consumed.
+    pub batches: u64,
+}
+
+impl GpuReport {
+    /// busy / wall in `[0, 1]`; 0 when nothing ran.
+    pub fn utilization(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            (self.busy.as_secs_f64() / self.wall.as_secs_f64()).min(1.0)
+        }
+    }
+
+    /// Effective throughput over the streaming window.
+    pub fn images_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.images as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fed_gpu_is_fully_utilized() {
+        // consumer at 10k img/s, batches arrive instantly
+        let mut gpu = GpuConsumer::new(10_000.0, 1.0);
+        for _ in 0..20 {
+            gpu.consume(100); // 10 ms each
+        }
+        let r = gpu.report();
+        assert_eq!(r.images, 2000);
+        assert_eq!(r.batches, 20);
+        assert!(r.utilization() > 0.8, "got {}", r.utilization());
+    }
+
+    #[test]
+    fn starved_gpu_shows_idle() {
+        let mut gpu = GpuConsumer::new(10_000.0, 1.0);
+        for _ in 0..5 {
+            std::thread::sleep(Duration::from_millis(20)); // slow pipeline
+            gpu.consume(100); // 10 ms compute
+        }
+        let r = gpu.report();
+        assert!(r.utilization() < 0.75, "got {}", r.utilization());
+        // idle gaps recorded on the timeline
+        let idle_total: Duration = gpu.timeline().iter().map(|&(_, idle)| idle).sum();
+        assert!(idle_total > Duration::from_millis(50));
+    }
+
+    #[test]
+    fn zero_scale_runs_free() {
+        let mut gpu = GpuConsumer::new(100.0, 0.0);
+        let t = Instant::now();
+        for _ in 0..100 {
+            gpu.consume(1000);
+        }
+        assert!(t.elapsed() < Duration::from_millis(200));
+        assert_eq!(gpu.images(), 100_000);
+    }
+
+    #[test]
+    fn empty_report() {
+        let gpu = GpuConsumer::new(100.0, 1.0);
+        let r = gpu.report();
+        assert_eq!(r.utilization(), 0.0);
+        assert_eq!(r.images_per_sec(), 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # deeplake-sim
+//!
+//! Synthetic workloads and training-consumer models for the Deep Lake
+//! evaluation (DESIGN.md substitutions):
+//!
+//! * [`datagen`] — image generators whose *size distributions* match the
+//!   paper's datasets (FFHQ 1024² raws for Fig. 6, 250² JPEG-likes for
+//!   Fig. 7/8, ragged web images for Fig. 10), parameterized so benches
+//!   can scale them down.
+//! * [`gpu`] — a GPU stand-in that consumes batches at a fixed images/s
+//!   and reports utilization: exactly the property Figs. 9-10 measure
+//!   (can the loader keep the accelerator fed?).
+//! * [`trainer`] — the three Fig. 9 training modes over object storage:
+//!   File mode (copy everything first), Fast-file mode (lazy per-file
+//!   reads), and Deep Lake streaming.
+//! * [`cluster`] — the Fig. 10 multi-GPU consumer fed by one streaming
+//!   loader across a cross-region link.
+
+pub mod cluster;
+pub mod datagen;
+pub mod gpu;
+pub mod trainer;
+
+pub use cluster::{run_cluster, ClusterReport};
+pub use datagen::{ffhq_like, imagenet_like, web_images, DataGenConfig};
+pub use gpu::{GpuConsumer, GpuReport};
+pub use trainer::{run_training, TrainMode, TrainingReport};

@@ -1,0 +1,71 @@
+//! Storage error type.
+
+/// Errors surfaced by storage providers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The key does not exist.
+    NotFound(String),
+    /// A byte range was outside the object's extent.
+    RangeOutOfBounds {
+        /// Requested range start.
+        start: u64,
+        /// Requested range end (exclusive).
+        end: u64,
+        /// Object length.
+        len: u64,
+    },
+    /// An I/O failure from the underlying medium.
+    Io(String),
+    /// The provider is read-only (e.g. a checked-out historical commit).
+    ReadOnly,
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::NotFound(key) => write!(f, "key not found: {key}"),
+            StorageError::RangeOutOfBounds { start, end, len } => {
+                write!(f, "range {start}..{end} out of bounds for object of {len} bytes")
+            }
+            StorageError::Io(msg) => write!(f, "storage io error: {msg}"),
+            StorageError::ReadOnly => write!(f, "storage is read-only"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            StorageError::NotFound(e.to_string())
+        } else {
+            StorageError::Io(e.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_notfound_maps_to_notfound() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert!(matches!(StorageError::from(io), StorageError::NotFound(_)));
+        let io = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "nope");
+        assert!(matches!(StorageError::from(io), StorageError::Io(_)));
+    }
+
+    #[test]
+    fn display_non_empty() {
+        for e in [
+            StorageError::NotFound("k".into()),
+            StorageError::RangeOutOfBounds { start: 0, end: 5, len: 2 },
+            StorageError::Io("x".into()),
+            StorageError::ReadOnly,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Local filesystem storage provider.
+
+use std::fs;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+
+use crate::error::StorageError;
+use crate::provider::StorageProvider;
+use crate::Result;
+
+/// A provider rooted at a directory on a POSIX filesystem. Keys map to
+/// relative paths; intermediate directories are created on write.
+pub struct LocalProvider {
+    root: PathBuf,
+}
+
+impl LocalProvider {
+    /// Open (creating if needed) a provider rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(LocalProvider { root })
+    }
+
+    /// Root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_of(&self, key: &str) -> PathBuf {
+        // Reject path traversal: keys are logical names, not paths.
+        let sanitized: PathBuf = key
+            .split('/')
+            .filter(|seg| !seg.is_empty() && *seg != "." && *seg != "..")
+            .collect();
+        self.root.join(sanitized)
+    }
+}
+
+impl StorageProvider for LocalProvider {
+    fn get(&self, key: &str) -> Result<Bytes> {
+        match fs::read(self.path_of(key)) {
+            Ok(data) => Ok(Bytes::from(data)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StorageError::NotFound(key.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn get_range(&self, key: &str, start: u64, end: u64) -> Result<Bytes> {
+        let path = self.path_of(key);
+        let mut file = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StorageError::NotFound(key.to_string()))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let len = file.metadata()?.len();
+        if start > len || start > end {
+            return Err(StorageError::RangeOutOfBounds { start, end, len });
+        }
+        let end = end.min(len);
+        file.seek(SeekFrom::Start(start))?;
+        let mut buf = vec![0u8; (end - start) as usize];
+        file.read_exact(&mut buf)?;
+        Ok(Bytes::from(buf))
+    }
+
+    fn put(&self, key: &str, value: Bytes) -> Result<()> {
+        let path = self.path_of(key);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, &value)?;
+        Ok(())
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        match fs::remove_file(self.path_of(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn exists(&self, key: &str) -> Result<bool> {
+        Ok(self.path_of(key).is_file())
+    }
+
+    fn len_of(&self, key: &str) -> Result<u64> {
+        match fs::metadata(self.path_of(key)) {
+            Ok(m) => Ok(m.len()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StorageError::NotFound(key.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let mut keys = Vec::new();
+        collect_files(&self.root, &self.root, &mut keys)?;
+        keys.retain(|k| k.starts_with(prefix));
+        keys.sort();
+        Ok(keys)
+    }
+
+    fn describe(&self) -> String {
+        format!("local({})", self.root.display())
+    }
+}
+
+fn collect_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<()> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_files(root, &path, out)?;
+        } else if let Ok(rel) = path.strip_prefix(root) {
+            out.push(rel.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "deeplake-storage-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_with_nested_keys() {
+        let p = LocalProvider::new(tmp()).unwrap();
+        p.put("ds/tensors/images/chunks/c0", Bytes::from_static(b"data")).unwrap();
+        assert_eq!(p.get("ds/tensors/images/chunks/c0").unwrap(), Bytes::from_static(b"data"));
+        assert_eq!(p.list("ds/tensors/").unwrap(), vec!["ds/tensors/images/chunks/c0"]);
+        fs::remove_dir_all(p.root()).unwrap();
+    }
+
+    #[test]
+    fn range_reads_seek() {
+        let p = LocalProvider::new(tmp()).unwrap();
+        p.put("k", Bytes::from_static(b"0123456789")).unwrap();
+        assert_eq!(p.get_range("k", 3, 7).unwrap(), Bytes::from_static(b"3456"));
+        assert_eq!(p.get_range("k", 5, 99).unwrap(), Bytes::from_static(b"56789"));
+        assert!(p.get_range("k", 20, 25).is_err());
+        fs::remove_dir_all(p.root()).unwrap();
+    }
+
+    #[test]
+    fn missing_key_not_found() {
+        let p = LocalProvider::new(tmp()).unwrap();
+        assert!(matches!(p.get("absent"), Err(StorageError::NotFound(_))));
+        assert!(!p.exists("absent").unwrap());
+        p.delete("absent").unwrap(); // idempotent
+        fs::remove_dir_all(p.root()).unwrap();
+    }
+
+    #[test]
+    fn traversal_keys_are_sanitized() {
+        let p = LocalProvider::new(tmp()).unwrap();
+        p.put("../../escape", Bytes::from_static(b"x")).unwrap();
+        // the object is stored under root, not outside it
+        assert!(p.root().join("escape").is_file());
+        fs::remove_dir_all(p.root()).unwrap();
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let p = LocalProvider::new(tmp()).unwrap();
+        p.put("k", Bytes::from_static(b"first")).unwrap();
+        p.put("k", Bytes::from_static(b"second!")).unwrap();
+        assert_eq!(p.len_of("k").unwrap(), 7);
+        fs::remove_dir_all(p.root()).unwrap();
+    }
+}

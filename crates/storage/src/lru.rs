@@ -1,0 +1,294 @@
+//! LRU cache chaining (§3.6: "constructs memory caching by chaining various
+//! storage providers together, for instance — the LRU cache of remote S3
+//! storage with local in-memory data").
+//!
+//! [`LruCacheProvider`] fronts a slow *base* provider with a byte-budgeted
+//! in-memory cache. Reads are read-through (miss → fetch from base →
+//! insert); writes are write-through (cache + base). Range reads cache the
+//! whole object when it fits the budget, so subsequent ranges of the same
+//! chunk (the shuffled-streaming access pattern, §3.5) hit memory.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::provider::{clamp_range, StorageProvider};
+use crate::stats::StorageStats;
+use crate::Result;
+
+/// Doubly-linked-list-free LRU: a monotonically increasing tick per entry.
+/// Eviction scans for the minimum tick — O(n), but n (cached objects) stays
+/// small because entries are multi-megabyte chunks.
+struct CacheState {
+    entries: HashMap<String, (Bytes, u64)>,
+    bytes: u64,
+    tick: u64,
+}
+
+/// Read-through / write-through LRU cache over a base provider.
+pub struct LruCacheProvider<P> {
+    base: P,
+    state: Mutex<CacheState>,
+    capacity: u64,
+    stats: StorageStats,
+}
+
+impl<P: StorageProvider> LruCacheProvider<P> {
+    /// Cache up to `capacity_bytes` of objects from `base` in memory.
+    pub fn new(base: P, capacity_bytes: u64) -> Self {
+        LruCacheProvider {
+            base,
+            state: Mutex::new(CacheState { entries: HashMap::new(), bytes: 0, tick: 0 }),
+            capacity: capacity_bytes,
+            stats: StorageStats::new(),
+        }
+    }
+
+    /// Cache hit/miss counters.
+    pub fn stats(&self) -> &StorageStats {
+        &self.stats
+    }
+
+    /// The wrapped base provider.
+    pub fn base(&self) -> &P {
+        &self.base
+    }
+
+    /// Bytes currently cached.
+    pub fn cached_bytes(&self) -> u64 {
+        self.state.lock().bytes
+    }
+
+    /// Number of cached objects.
+    pub fn cached_objects(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    fn lookup(&self, key: &str) -> Option<Bytes> {
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        if let Some((data, last)) = st.entries.get_mut(key) {
+            *last = tick;
+            return Some(data.clone());
+        }
+        None
+    }
+
+    fn insert(&self, key: &str, data: Bytes) {
+        let size = data.len() as u64;
+        if size > self.capacity {
+            return; // never cache objects bigger than the whole budget
+        }
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        if let Some((old, _)) = st.entries.insert(key.to_string(), (data, tick)) {
+            st.bytes -= old.len() as u64;
+        }
+        st.bytes += size;
+        while st.bytes > self.capacity {
+            // evict the least recently used entry
+            let victim = st
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k.clone())
+                .expect("bytes > 0 implies entries");
+            if let Some((old, _)) = st.entries.remove(&victim) {
+                st.bytes -= old.len() as u64;
+            }
+        }
+    }
+
+    fn invalidate(&self, key: &str) {
+        let mut st = self.state.lock();
+        if let Some((old, _)) = st.entries.remove(key) {
+            st.bytes -= old.len() as u64;
+        }
+    }
+}
+
+impl<P: StorageProvider> StorageProvider for LruCacheProvider<P> {
+    fn get(&self, key: &str) -> Result<Bytes> {
+        if let Some(hit) = self.lookup(key) {
+            self.stats.record_hit();
+            return Ok(hit);
+        }
+        self.stats.record_miss();
+        let data = self.base.get(key)?;
+        self.insert(key, data.clone());
+        Ok(data)
+    }
+
+    fn get_range(&self, key: &str, start: u64, end: u64) -> Result<Bytes> {
+        if let Some(hit) = self.lookup(key) {
+            self.stats.record_hit();
+            let (s, e) = clamp_range(start, end, hit.len() as u64)?;
+            return Ok(hit.slice(s..e));
+        }
+        self.stats.record_miss();
+        // Fetch the whole object when it fits the budget so later ranges of
+        // the same chunk hit memory; otherwise pass the range through.
+        match self.base.len_of(key) {
+            Ok(len) if len <= self.capacity => {
+                let data = self.base.get(key)?;
+                self.insert(key, data.clone());
+                let (s, e) = clamp_range(start, end, data.len() as u64)?;
+                Ok(data.slice(s..e))
+            }
+            _ => self.base.get_range(key, start, end),
+        }
+    }
+
+    fn put(&self, key: &str, value: Bytes) -> Result<()> {
+        self.base.put(key, value.clone())?;
+        self.insert(key, value);
+        Ok(())
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.invalidate(key);
+        self.base.delete(key)
+    }
+
+    fn exists(&self, key: &str) -> Result<bool> {
+        if self.lookup(key).is_some() {
+            return Ok(true);
+        }
+        self.base.exists(key)
+    }
+
+    fn len_of(&self, key: &str) -> Result<u64> {
+        if let Some(hit) = self.lookup(key) {
+            return Ok(hit.len() as u64);
+        }
+        self.base.len_of(key)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.base.list(prefix)
+    }
+
+    fn describe(&self) -> String {
+        format!("lru({} B, over {})", self.capacity, self.base.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryProvider;
+    use crate::sim::{NetworkProfile, SimulatedCloudProvider};
+
+    fn slow_base() -> SimulatedCloudProvider<MemoryProvider> {
+        SimulatedCloudProvider::new("s3", MemoryProvider::new(), NetworkProfile::instant())
+    }
+
+    #[test]
+    fn read_through_caches() {
+        let base = slow_base();
+        base.inner().put("k", Bytes::from(vec![7u8; 100])).unwrap();
+        let cache = LruCacheProvider::new(base, 1_000);
+        cache.get("k").unwrap();
+        cache.get("k").unwrap();
+        cache.get("k").unwrap();
+        assert_eq!(cache.stats().cache_misses(), 1);
+        assert_eq!(cache.stats().cache_hits(), 2);
+        // base saw exactly one request
+        assert_eq!(cache.base().stats().get_requests(), 1);
+    }
+
+    #[test]
+    fn eviction_respects_capacity() {
+        let base = MemoryProvider::new();
+        for i in 0..10 {
+            base.put(&format!("k{i}"), Bytes::from(vec![0u8; 100])).unwrap();
+        }
+        let cache = LruCacheProvider::new(base, 350);
+        for i in 0..10 {
+            cache.get(&format!("k{i}")).unwrap();
+        }
+        assert!(cache.cached_bytes() <= 350);
+        assert!(cache.cached_objects() <= 3);
+    }
+
+    #[test]
+    fn lru_order_eviction() {
+        let base = MemoryProvider::new();
+        for k in ["a", "b", "c"] {
+            base.put(k, Bytes::from(vec![0u8; 100])).unwrap();
+        }
+        let cache = LruCacheProvider::new(base, 250);
+        cache.get("a").unwrap();
+        cache.get("b").unwrap();
+        cache.get("a").unwrap(); // refresh a
+        cache.get("c").unwrap(); // evicts b (least recently used)
+        cache.stats().reset();
+        cache.get("a").unwrap();
+        assert_eq!(cache.stats().cache_hits(), 1);
+        cache.get("b").unwrap();
+        assert_eq!(cache.stats().cache_misses(), 1);
+    }
+
+    #[test]
+    fn range_hit_after_whole_object_fetch() {
+        let base = slow_base();
+        base.inner().put("chunk", Bytes::from((0..=255u8).collect::<Vec<_>>())).unwrap();
+        let cache = LruCacheProvider::new(base, 10_000);
+        let r1 = cache.get_range("chunk", 0, 16).unwrap();
+        assert_eq!(r1.len(), 16);
+        let r2 = cache.get_range("chunk", 100, 120).unwrap();
+        assert_eq!(r2[0], 100);
+        // second range served from cache: base got one whole GET, no ranges
+        assert_eq!(cache.base().stats().get_requests(), 1);
+        assert_eq!(cache.base().stats().range_requests(), 0);
+    }
+
+    #[test]
+    fn oversized_objects_bypass_cache() {
+        let base = MemoryProvider::new();
+        base.put("big", Bytes::from(vec![0u8; 1000])).unwrap();
+        let cache = LruCacheProvider::new(base, 100);
+        cache.get("big").unwrap();
+        assert_eq!(cache.cached_objects(), 0);
+        let r = cache.get_range("big", 10, 20).unwrap();
+        assert_eq!(r.len(), 10);
+        assert_eq!(cache.cached_objects(), 0);
+    }
+
+    #[test]
+    fn write_through_and_delete_invalidate() {
+        let base = MemoryProvider::new();
+        let cache = LruCacheProvider::new(base, 1_000);
+        cache.put("k", Bytes::from_static(b"v1")).unwrap();
+        assert_eq!(cache.get("k").unwrap(), Bytes::from_static(b"v1"));
+        assert!(cache.base().exists("k").unwrap());
+        cache.delete("k").unwrap();
+        assert!(!cache.exists("k").unwrap());
+        assert!(cache.get("k").is_err());
+    }
+
+    #[test]
+    fn put_updates_cached_value() {
+        let base = MemoryProvider::new();
+        let cache = LruCacheProvider::new(base, 1_000);
+        cache.put("k", Bytes::from_static(b"old")).unwrap();
+        cache.put("k", Bytes::from_static(b"new")).unwrap();
+        assert_eq!(cache.get("k").unwrap(), Bytes::from_static(b"new"));
+        assert_eq!(cache.cached_bytes(), 3);
+    }
+
+    #[test]
+    fn exists_and_len_use_cache() {
+        let base = slow_base();
+        base.inner().put("k", Bytes::from(vec![0u8; 42])).unwrap();
+        let cache = LruCacheProvider::new(base, 1_000);
+        cache.get("k").unwrap();
+        assert!(cache.exists("k").unwrap());
+        assert_eq!(cache.len_of("k").unwrap(), 42);
+        // neither went to base
+        assert_eq!(cache.base().stats().requests(), 1);
+    }
+}

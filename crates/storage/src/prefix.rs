@@ -1,0 +1,155 @@
+//! Key-prefix scoping.
+//!
+//! Datasets, version sub-directories (§4.2: "different versions of the
+//! dataset exist in the same storage, separated by sub-directories") and
+//! per-tensor folders are all expressed as prefixes of one underlying
+//! provider. [`PrefixProvider`] rebases every key under a fixed prefix so
+//! higher layers can work with local names.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::provider::{DynProvider, StorageProvider};
+use crate::Result;
+
+/// A view of a provider rooted at `prefix`.
+#[derive(Clone)]
+pub struct PrefixProvider {
+    inner: DynProvider,
+    prefix: String,
+}
+
+impl PrefixProvider {
+    /// Scope `inner` under `prefix` (a trailing `/` is appended if absent
+    /// and the prefix is non-empty).
+    pub fn new(inner: DynProvider, prefix: impl Into<String>) -> Self {
+        let mut prefix = prefix.into();
+        if !prefix.is_empty() && !prefix.ends_with('/') {
+            prefix.push('/');
+        }
+        PrefixProvider { inner, prefix }
+    }
+
+    /// Nest a further prefix under this one.
+    pub fn child(&self, sub: &str) -> PrefixProvider {
+        PrefixProvider::new(self.inner.clone(), format!("{}{}", self.prefix, sub))
+    }
+
+    /// The absolute key this provider maps a local key to.
+    pub fn absolute(&self, key: &str) -> String {
+        format!("{}{}", self.prefix, key)
+    }
+
+    /// The underlying unscoped provider.
+    pub fn unscoped(&self) -> DynProvider {
+        self.inner.clone()
+    }
+
+    /// This provider's prefix.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+}
+
+impl From<DynProvider> for PrefixProvider {
+    fn from(inner: DynProvider) -> Self {
+        PrefixProvider::new(inner, "")
+    }
+}
+
+impl From<crate::MemoryProvider> for PrefixProvider {
+    fn from(p: crate::MemoryProvider) -> Self {
+        PrefixProvider::new(Arc::new(p), "")
+    }
+}
+
+impl StorageProvider for PrefixProvider {
+    fn get(&self, key: &str) -> Result<Bytes> {
+        self.inner.get(&self.absolute(key))
+    }
+    fn get_range(&self, key: &str, start: u64, end: u64) -> Result<Bytes> {
+        self.inner.get_range(&self.absolute(key), start, end)
+    }
+    fn put(&self, key: &str, value: Bytes) -> Result<()> {
+        self.inner.put(&self.absolute(key), value)
+    }
+    fn delete(&self, key: &str) -> Result<()> {
+        self.inner.delete(&self.absolute(key))
+    }
+    fn exists(&self, key: &str) -> Result<bool> {
+        self.inner.exists(&self.absolute(key))
+    }
+    fn len_of(&self, key: &str) -> Result<u64> {
+        self.inner.len_of(&self.absolute(key))
+    }
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let abs = self.absolute(prefix);
+        Ok(self
+            .inner
+            .list(&abs)?
+            .into_iter()
+            .filter_map(|k| k.strip_prefix(&self.prefix).map(str::to_string))
+            .collect())
+    }
+    fn describe(&self) -> String {
+        format!("prefix({:?}, over {})", self.prefix, self.inner.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryProvider;
+
+    fn scoped() -> (Arc<MemoryProvider>, PrefixProvider) {
+        let base = Arc::new(MemoryProvider::new());
+        let p = PrefixProvider::new(base.clone(), "ds1");
+        (base, p)
+    }
+
+    #[test]
+    fn keys_are_rebased() {
+        let (base, p) = scoped();
+        p.put("tensor/chunk0", Bytes::from_static(b"x")).unwrap();
+        assert!(base.exists("ds1/tensor/chunk0").unwrap());
+        assert_eq!(p.get("tensor/chunk0").unwrap(), Bytes::from_static(b"x"));
+    }
+
+    #[test]
+    fn list_strips_prefix() {
+        let (base, p) = scoped();
+        p.put("a/1", Bytes::new()).unwrap();
+        p.put("a/2", Bytes::new()).unwrap();
+        base.put("other/3", Bytes::new()).unwrap();
+        assert_eq!(p.list("a/").unwrap(), vec!["a/1", "a/2"]);
+        assert_eq!(p.list("").unwrap(), vec!["a/1", "a/2"]);
+    }
+
+    #[test]
+    fn child_nests() {
+        let (base, p) = scoped();
+        let c = p.child("versions/v2");
+        c.put("chunk", Bytes::from_static(b"y")).unwrap();
+        assert!(base.exists("ds1/versions/v2/chunk").unwrap());
+        assert_eq!(c.absolute("chunk"), "ds1/versions/v2/chunk");
+    }
+
+    #[test]
+    fn empty_prefix_is_identity() {
+        let base = Arc::new(MemoryProvider::new());
+        let p = PrefixProvider::new(base.clone(), "");
+        p.put("k", Bytes::from_static(b"v")).unwrap();
+        assert!(base.exists("k").unwrap());
+    }
+
+    #[test]
+    fn range_and_len_pass_through() {
+        let (_, p) = scoped();
+        p.put("k", Bytes::from_static(b"0123456789")).unwrap();
+        assert_eq!(p.get_range("k", 1, 3).unwrap(), Bytes::from_static(b"12"));
+        assert_eq!(p.len_of("k").unwrap(), 10);
+        p.delete("k").unwrap();
+        assert!(!p.exists("k").unwrap());
+    }
+}

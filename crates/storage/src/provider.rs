@@ -1,0 +1,105 @@
+//! The [`StorageProvider`] trait.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::error::StorageError;
+use crate::Result;
+
+/// Shared handle to a provider; everything above the storage layer trades
+/// in these.
+pub type DynProvider = Arc<dyn StorageProvider>;
+
+/// An object store: a flat namespace of keys to immutable-ish byte blobs.
+///
+/// Mirrors the subset of S3 semantics Deep Lake needs: whole-object get,
+/// **byte-range get** (the enabler for streaming sub-chunk reads, §3.5),
+/// put, delete, prefix listing. Implementations must be thread-safe — the
+/// dataloader hits one provider from many workers concurrently.
+pub trait StorageProvider: Send + Sync {
+    /// Fetch a whole object.
+    fn get(&self, key: &str) -> Result<Bytes>;
+
+    /// Fetch `start..end` (end exclusive) of an object — an HTTP range
+    /// request in cloud terms. `end` may exceed the object length; the
+    /// range is clamped (matching S3's behaviour for over-long ranges).
+    fn get_range(&self, key: &str, start: u64, end: u64) -> Result<Bytes>;
+
+    /// Store an object, replacing any previous value.
+    fn put(&self, key: &str, value: Bytes) -> Result<()>;
+
+    /// Delete an object. Deleting a missing key is not an error (S3
+    /// semantics).
+    fn delete(&self, key: &str) -> Result<()>;
+
+    /// Whether a key exists.
+    fn exists(&self, key: &str) -> Result<bool>;
+
+    /// Byte length of an object.
+    fn len_of(&self, key: &str) -> Result<u64>;
+
+    /// All keys under a prefix, sorted.
+    fn list(&self, prefix: &str) -> Result<Vec<String>>;
+
+    /// Human-readable provider description for diagnostics.
+    fn describe(&self) -> String;
+
+    /// Remove every key under a prefix. Default loops over `list`.
+    fn delete_prefix(&self, prefix: &str) -> Result<()> {
+        for key in self.list(prefix)? {
+            self.delete(&key)?;
+        }
+        Ok(())
+    }
+}
+
+/// Clamp a requested range against an object length, erroring only when the
+/// start is past the end of the object.
+pub(crate) fn clamp_range(start: u64, end: u64, len: u64) -> Result<(usize, usize)> {
+    if start > len || start > end {
+        return Err(StorageError::RangeOutOfBounds { start, end, len });
+    }
+    Ok((start as usize, end.min(len) as usize))
+}
+
+impl<P: StorageProvider + ?Sized> StorageProvider for Arc<P> {
+    fn get(&self, key: &str) -> Result<Bytes> {
+        (**self).get(key)
+    }
+    fn get_range(&self, key: &str, start: u64, end: u64) -> Result<Bytes> {
+        (**self).get_range(key, start, end)
+    }
+    fn put(&self, key: &str, value: Bytes) -> Result<()> {
+        (**self).put(key, value)
+    }
+    fn delete(&self, key: &str) -> Result<()> {
+        (**self).delete(key)
+    }
+    fn exists(&self, key: &str) -> Result<bool> {
+        (**self).exists(key)
+    }
+    fn len_of(&self, key: &str) -> Result<u64> {
+        (**self).len_of(key)
+    }
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        (**self).list(prefix)
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_range_basic() {
+        assert_eq!(clamp_range(0, 10, 100).unwrap(), (0, 10));
+        assert_eq!(clamp_range(90, 200, 100).unwrap(), (90, 100));
+        assert!(clamp_range(101, 110, 100).is_err());
+        assert!(clamp_range(10, 5, 100).is_err());
+        assert_eq!(clamp_range(100, 100, 100).unwrap(), (100, 100));
+    }
+}

@@ -1,0 +1,142 @@
+//! Request/byte accounting shared by the simulated cloud and the cache.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative storage traffic counters. All methods are lock-free; snapshot
+/// reads are eventually consistent, which is fine for benchmarking.
+#[derive(Debug, Default)]
+pub struct StorageStats {
+    get_requests: AtomicU64,
+    range_requests: AtomicU64,
+    put_requests: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl StorageStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a whole-object GET of `bytes`.
+    pub fn record_get(&self, bytes: u64) {
+        self.get_requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record a range GET of `bytes`.
+    pub fn record_range(&self, bytes: u64) {
+        self.range_requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record a PUT of `bytes`.
+    pub fn record_put(&self, bytes: u64) {
+        self.put_requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record a cache hit.
+    pub fn record_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a cache miss.
+    pub fn record_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total GET requests (whole + range).
+    pub fn requests(&self) -> u64 {
+        self.get_requests.load(Ordering::Relaxed) + self.range_requests.load(Ordering::Relaxed)
+    }
+
+    /// Whole-object GETs.
+    pub fn get_requests(&self) -> u64 {
+        self.get_requests.load(Ordering::Relaxed)
+    }
+
+    /// Range GETs.
+    pub fn range_requests(&self) -> u64 {
+        self.range_requests.load(Ordering::Relaxed)
+    }
+
+    /// PUTs.
+    pub fn put_requests(&self) -> u64 {
+        self.put_requests.load(Ordering::Relaxed)
+    }
+
+    /// Bytes fetched.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Bytes stored.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Cache hits.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Hit ratio in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let h = self.cache_hits() as f64;
+        let m = self.cache_misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.get_requests.store(0, Ordering::Relaxed);
+        self.range_requests.store(0, Ordering::Relaxed);
+        self.put_requests.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting() {
+        let s = StorageStats::new();
+        s.record_get(100);
+        s.record_range(50);
+        s.record_put(10);
+        assert_eq!(s.requests(), 2);
+        assert_eq!(s.bytes_read(), 150);
+        assert_eq!(s.bytes_written(), 10);
+        s.reset();
+        assert_eq!(s.requests(), 0);
+        assert_eq!(s.bytes_read(), 0);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let s = StorageStats::new();
+        assert_eq!(s.hit_ratio(), 0.0);
+        s.record_hit();
+        s.record_hit();
+        s.record_miss();
+        assert!((s.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,120 @@
+//! Contract tests: every storage provider must satisfy the same semantics
+//! (the dataloader and format layers rely on them interchangeably, §3.6).
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use deeplake_storage::{
+    LocalProvider, LruCacheProvider, MemoryProvider, NetworkProfile, PrefixProvider,
+    SimulatedCloudProvider, StorageError, StorageProvider,
+};
+
+fn providers() -> Vec<(&'static str, Box<dyn StorageProvider>)> {
+    let tmp = std::env::temp_dir().join(format!(
+        "deeplake-contract-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&tmp);
+    vec![
+        ("memory", Box::new(MemoryProvider::new())),
+        ("local", Box::new(LocalProvider::new(tmp).unwrap())),
+        (
+            "sim-cloud",
+            Box::new(SimulatedCloudProvider::new(
+                "s3",
+                MemoryProvider::new(),
+                NetworkProfile::instant(),
+            )),
+        ),
+        (
+            "lru-chain",
+            Box::new(LruCacheProvider::new(MemoryProvider::new(), 1 << 20)),
+        ),
+        (
+            "prefix",
+            Box::new(PrefixProvider::new(Arc::new(MemoryProvider::new()), "scoped/ds")),
+        ),
+    ]
+}
+
+#[test]
+fn put_get_roundtrip_all_providers() {
+    for (name, p) in providers() {
+        p.put("a/b/c", Bytes::from_static(b"payload")).unwrap();
+        assert_eq!(p.get("a/b/c").unwrap(), Bytes::from_static(b"payload"), "{name}");
+        assert_eq!(p.len_of("a/b/c").unwrap(), 7, "{name}");
+        assert!(p.exists("a/b/c").unwrap(), "{name}");
+    }
+}
+
+#[test]
+fn missing_keys_not_found_all_providers() {
+    for (name, p) in providers() {
+        assert!(matches!(p.get("missing"), Err(StorageError::NotFound(_))), "{name}");
+        assert!(!p.exists("missing").unwrap(), "{name}");
+        assert!(matches!(p.len_of("missing"), Err(StorageError::NotFound(_))), "{name}");
+        p.delete("missing").unwrap(); // idempotent everywhere
+    }
+}
+
+#[test]
+fn range_semantics_all_providers() {
+    for (name, p) in providers() {
+        p.put("obj", Bytes::from_static(b"0123456789")).unwrap();
+        assert_eq!(p.get_range("obj", 2, 6).unwrap(), Bytes::from_static(b"2345"), "{name}");
+        // over-long end clamps (S3 semantics)
+        assert_eq!(p.get_range("obj", 7, 1000).unwrap(), Bytes::from_static(b"789"), "{name}");
+        // empty range at the boundary
+        assert_eq!(p.get_range("obj", 10, 10).unwrap().len(), 0, "{name}");
+        // start past end errors
+        assert!(p.get_range("obj", 11, 12).is_err(), "{name}");
+    }
+}
+
+#[test]
+fn overwrite_and_delete_all_providers() {
+    for (name, p) in providers() {
+        p.put("k", Bytes::from_static(b"one")).unwrap();
+        p.put("k", Bytes::from_static(b"twotwo")).unwrap();
+        assert_eq!(p.len_of("k").unwrap(), 6, "{name}");
+        p.delete("k").unwrap();
+        assert!(!p.exists("k").unwrap(), "{name}");
+    }
+}
+
+#[test]
+fn list_prefix_sorted_all_providers() {
+    for (name, p) in providers() {
+        for key in ["t/2", "t/1", "t/10", "u/1"] {
+            p.put(key, Bytes::new()).unwrap();
+        }
+        let listed = p.list("t/").unwrap();
+        assert_eq!(listed, vec!["t/1", "t/10", "t/2"], "{name}");
+        p.delete_prefix("t/").unwrap();
+        assert!(p.list("t/").unwrap().is_empty(), "{name}");
+        assert!(p.exists("u/1").unwrap(), "{name}");
+    }
+}
+
+#[test]
+fn concurrent_writers_all_providers() {
+    for (name, p) in providers() {
+        let p = Arc::new(p);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let p = Arc::clone(&p);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let key = format!("c{t}/{i}");
+                    p.put(&key, Bytes::from(vec![t as u8; 32])).unwrap();
+                    assert_eq!(p.get(&key).unwrap().len(), 32);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(p.list("c").unwrap().len(), 200, "{name}");
+    }
+}

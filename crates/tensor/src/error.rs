@@ -1,0 +1,111 @@
+//! Error type shared by the tensor layer.
+
+use crate::dtype::Dtype;
+
+/// Errors produced while constructing, validating or manipulating samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The byte length of the provided buffer does not match
+    /// `shape.num_elements() * dtype.size()`.
+    LengthMismatch {
+        /// Bytes expected from the shape and dtype.
+        expected: usize,
+        /// Bytes actually supplied.
+        actual: usize,
+    },
+    /// A sample violated the expectations of its tensor's htype.
+    HtypeViolation {
+        /// Human readable description of the violated expectation.
+        reason: String,
+    },
+    /// Two dtypes were mixed in an operation that requires equal dtypes.
+    DtypeMismatch {
+        /// Left-hand dtype.
+        left: Dtype,
+        /// Right-hand dtype.
+        right: Dtype,
+    },
+    /// An index was out of bounds for the sample's shape.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Axis on which the index was applied.
+        axis: usize,
+        /// Length of that axis.
+        len: usize,
+    },
+    /// A slice specification did not match the sample's rank.
+    RankMismatch {
+        /// Rank implied by the slice or operand.
+        expected: usize,
+        /// Rank of the sample.
+        actual: usize,
+    },
+    /// An unknown dtype or htype name was parsed.
+    UnknownName(String),
+    /// Shapes were incompatible for an elementwise operation.
+    ShapeMismatch {
+        /// Left shape rendered as text.
+        left: String,
+        /// Right shape rendered as text.
+        right: String,
+    },
+    /// A cast between dtypes would lose information in `strict` mode.
+    InvalidCast {
+        /// Source dtype.
+        from: Dtype,
+        /// Destination dtype.
+        to: Dtype,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length mismatch: expected {expected} bytes, got {actual}")
+            }
+            TensorError::HtypeViolation { reason } => write!(f, "htype violation: {reason}"),
+            TensorError::DtypeMismatch { left, right } => {
+                write!(f, "dtype mismatch: {left} vs {right}")
+            }
+            TensorError::IndexOutOfBounds { index, axis, len } => {
+                write!(f, "index {index} out of bounds for axis {axis} with length {len}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "rank mismatch: expected {expected}, got {actual}")
+            }
+            TensorError::UnknownName(name) => write!(f, "unknown type name: {name}"),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left} vs {right}")
+            }
+            TensorError::InvalidCast { from, to } => {
+                write!(f, "invalid cast from {from} to {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<TensorError> = vec![
+            TensorError::LengthMismatch { expected: 4, actual: 2 },
+            TensorError::HtypeViolation { reason: "bad".into() },
+            TensorError::DtypeMismatch { left: Dtype::U8, right: Dtype::F32 },
+            TensorError::IndexOutOfBounds { index: 9, axis: 0, len: 3 },
+            TensorError::RankMismatch { expected: 3, actual: 1 },
+            TensorError::UnknownName("wat".into()),
+            TensorError::ShapeMismatch { left: "[1]".into(), right: "[2]".into() },
+            TensorError::InvalidCast { from: Dtype::F64, to: Dtype::U8 },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # deeplake-tensor
+//!
+//! Typed n-dimensional samples for Deep Lake (CIDR 2023).
+//!
+//! This crate implements the type layer of the Tensor Storage Format:
+//!
+//! * [`Dtype`] — element types mirroring NumPy dtypes (§3.2 of the paper).
+//! * [`Htype`] — *semantic* types (`image`, `bbox`, `class_label`, …) that
+//!   carry expectations about dtype, rank and default compression (§3.3),
+//!   including the meta types `sequence[...]` and `link[...]`.
+//! * [`Sample`] — a single owned, dynamically shaped n-dimensional array,
+//!   the unit appended to a tensor. Samples in one tensor may have different
+//!   shapes ("ragged tensors").
+//! * [`Shape`] / [`SliceSpec`] — shape arithmetic and NumPy-style slicing
+//!   used both by the format layer (tiling) and by TQL.
+//!
+//! The crate is dependency-light so every other layer (format, core, TQL,
+//! loader, viz) can share these vocabulary types.
+
+pub mod dtype;
+pub mod error;
+pub mod htype;
+pub mod ops;
+pub mod sample;
+pub mod scalar;
+pub mod shape;
+pub mod slice;
+
+pub use dtype::Dtype;
+pub use error::TensorError;
+pub use htype::{Htype, HtypeSpec};
+pub use sample::Sample;
+pub use scalar::Scalar;
+pub use shape::Shape;
+pub use slice::SliceSpec;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,333 @@
+//! Array operations on samples: slicing, elementwise arithmetic, IOU.
+//!
+//! These are the numeric building blocks TQL's execution engine dispatches
+//! to (§4.4: "TQL extends SQL with numeric computations on top of
+//! multi-dimensional columns").
+
+use crate::dtype::Dtype;
+use crate::error::TensorError;
+use crate::sample::{from_f64_values, Sample};
+use crate::shape::Shape;
+use crate::slice::SliceSpec;
+
+/// Apply NumPy-style subscripts to a sample, producing a copied sub-array.
+///
+/// Trailing axes not covered by `specs` are kept in full. `Index` specs
+/// squeeze their axis out of the result shape.
+pub fn slice_sample(sample: &Sample, specs: &[SliceSpec]) -> Result<Sample, TensorError> {
+    let rank = sample.shape().rank();
+    if specs.len() > rank {
+        return Err(TensorError::RankMismatch { expected: rank, actual: specs.len() });
+    }
+    // Resolve every axis.
+    let mut bounds = Vec::with_capacity(rank);
+    let mut out_shape = Vec::new();
+    for axis in 0..rank {
+        let len = sample.shape().dim(axis);
+        let (start, stop, keep) = match specs.get(axis) {
+            Some(spec) => spec.resolve(len, axis)?,
+            None => (0, len, true),
+        };
+        if keep {
+            out_shape.push(stop - start);
+        }
+        bounds.push((start, stop));
+    }
+    let out_elems: u64 = bounds.iter().map(|(s, e)| e - s).product();
+    let elem_size = sample.dtype().size();
+    let strides = sample.shape().strides();
+    let src = sample.bytes();
+
+    let mut out = Vec::with_capacity(out_elems as usize * elem_size);
+    // Iterate the cartesian product of bounds with an odometer, copying the
+    // innermost contiguous run per step for efficiency.
+    if out_elems > 0 {
+        let inner_axis = rank - 1;
+        let (inner_start, inner_stop) = bounds[inner_axis];
+        let inner_run = (inner_stop - inner_start) as usize * elem_size;
+        let mut idx: Vec<u64> = bounds.iter().map(|(s, _)| *s).collect();
+        loop {
+            // byte offset of this run's first element
+            let mut elem_off = 0u64;
+            for a in 0..rank {
+                elem_off += idx[a] * strides[a];
+            }
+            let byte_off = elem_off as usize * elem_size;
+            out.extend_from_slice(&src[byte_off..byte_off + inner_run]);
+            // advance odometer over axes 0..rank-1
+            let mut axis = inner_axis;
+            loop {
+                if axis == 0 {
+                    // outermost overflowed -> done
+                    if rank == 1 {
+                        // single axis: one run copied everything
+                        idx[0] = bounds[0].1;
+                    } else {
+                        idx[0] += 1;
+                    }
+                    break;
+                }
+                axis -= 1;
+                idx[axis] += 1;
+                if idx[axis] < bounds[axis].1 {
+                    break;
+                }
+                idx[axis] = bounds[axis].0;
+                if axis == 0 {
+                    idx[0] = bounds[0].1; // sentinel: done
+                    break;
+                }
+            }
+            if rank == 1 || idx[0] >= bounds[0].1 {
+                break;
+            }
+        }
+    }
+    Sample::from_bytes(sample.dtype(), Shape(out_shape), bytes::Bytes::from(out))
+}
+
+/// Elementwise binary arithmetic between two samples of identical shape.
+/// The result dtype follows [`Dtype::promote`], computed through `f64`.
+pub fn elementwise(
+    a: &Sample,
+    b: &Sample,
+    op: impl Fn(f64, f64) -> f64,
+) -> Result<Sample, TensorError> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().render(),
+            right: b.shape().render(),
+        });
+    }
+    let out_dtype = a.dtype().promote(b.dtype());
+    let (va, vb) = (a.to_f64_vec(), b.to_f64_vec());
+    let values: Vec<f64> = va.iter().zip(vb.iter()).map(|(&x, &y)| op(x, y)).collect();
+    Ok(from_f64_values(out_dtype, a.shape().clone(), &values))
+}
+
+/// Elementwise op between a sample and a scalar; keeps the sample's shape.
+pub fn elementwise_scalar(a: &Sample, scalar: f64, op: impl Fn(f64, f64) -> f64) -> Sample {
+    let out_dtype = if a.dtype().is_float() { a.dtype() } else { Dtype::F64 };
+    let values: Vec<f64> = a.to_f64_vec().into_iter().map(|x| op(x, scalar)).collect();
+    from_f64_values(out_dtype, a.shape().clone(), &values)
+}
+
+/// Intersection-over-union between two box sets, as used by the paper's
+/// example query (`WHERE IOU(boxes, "training/boxes") > 0.95`).
+///
+/// Boxes are `[n, 4]` float arrays in `(x, y, w, h)` form. The result is the
+/// mean best-match IOU: for every box in `a`, the maximum IOU against all
+/// boxes in `b`, averaged. Two empty sets score 1.0; one empty set scores 0.
+pub fn iou(a: &Sample, b: &Sample) -> Result<f64, TensorError> {
+    let boxes_a = boxes_of(a)?;
+    let boxes_b = boxes_of(b)?;
+    match (boxes_a.is_empty(), boxes_b.is_empty()) {
+        (true, true) => return Ok(1.0),
+        (true, false) | (false, true) => return Ok(0.0),
+        _ => {}
+    }
+    let mut total = 0.0;
+    for ba in &boxes_a {
+        let best = boxes_b.iter().map(|bb| pair_iou(*ba, *bb)).fold(0.0, f64::max);
+        total += best;
+    }
+    Ok(total / boxes_a.len() as f64)
+}
+
+/// Clamp boxes into a `(x0, y0, x1, y1)` region and rescale to it — the
+/// paper's `NORMALIZE(boxes, [100, 100, 400, 400])` projection helper.
+///
+/// Output boxes are expressed relative to the region origin and clipped to
+/// its extent.
+pub fn normalize_boxes(boxes: &Sample, region: [f64; 4]) -> Result<Sample, TensorError> {
+    let parsed = boxes_of(boxes)?;
+    let [rx, ry, rx1, ry1] = region;
+    let mut out = Vec::with_capacity(parsed.len() * 4);
+    for [x, y, w, h] in parsed {
+        let x0 = (x - rx).clamp(0.0, rx1 - rx);
+        let y0 = (y - ry).clamp(0.0, ry1 - ry);
+        let x1 = (x + w - rx).clamp(0.0, rx1 - rx);
+        let y1 = (y + h - ry).clamp(0.0, ry1 - ry);
+        out.extend_from_slice(&[x0, y0, (x1 - x0).max(0.0), (y1 - y0).max(0.0)]);
+    }
+    Ok(from_f64_values(
+        Dtype::F32,
+        Shape::from([(out.len() / 4) as u64, 4]),
+        &out,
+    ))
+}
+
+fn boxes_of(s: &Sample) -> Result<Vec<[f64; 4]>, TensorError> {
+    if s.shape().rank() != 2 || (s.shape().dim(1) != 4 && s.shape().dim(0) != 0) {
+        return Err(TensorError::HtypeViolation {
+            reason: format!("expected [n, 4] boxes, got shape {}", s.shape()),
+        });
+    }
+    let v = s.to_f64_vec();
+    Ok(v.chunks_exact(4).map(|c| [c[0], c[1], c[2], c[3]]).collect())
+}
+
+fn pair_iou(a: [f64; 4], b: [f64; 4]) -> f64 {
+    let (ax0, ay0, ax1, ay1) = (a[0], a[1], a[0] + a[2], a[1] + a[3]);
+    let (bx0, by0, bx1, by1) = (b[0], b[1], b[0] + b[2], b[1] + b[3]);
+    let ix = (ax1.min(bx1) - ax0.max(bx0)).max(0.0);
+    let iy = (ay1.min(by1) - ay0.max(by0)).max(0.0);
+    let inter = ix * iy;
+    let union = (ax1 - ax0) * (ay1 - ay0) + (bx1 - bx0) * (by1 - by0) - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img_3x4() -> Sample {
+        // values 0..12 shaped [3,4]
+        Sample::from_slice([3, 4], &(0..12).map(|v| v as u8).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn slice_full_is_identity() {
+        let s = img_3x4();
+        let out = slice_sample(&s, &[SliceSpec::Full, SliceSpec::Full]).unwrap();
+        assert_eq!(out, s);
+    }
+
+    #[test]
+    fn slice_range_2d() {
+        let s = img_3x4();
+        let out = slice_sample(&s, &[SliceSpec::range(1, 3), SliceSpec::range(0, 2)]).unwrap();
+        assert_eq!(out.shape(), &Shape::from([2, 2]));
+        assert_eq!(out.to_vec::<u8>().unwrap(), vec![4, 5, 8, 9]);
+    }
+
+    #[test]
+    fn slice_index_squeezes() {
+        let s = img_3x4();
+        let out = slice_sample(&s, &[SliceSpec::Index(1)]).unwrap();
+        assert_eq!(out.shape(), &Shape::from([4]));
+        assert_eq!(out.to_vec::<u8>().unwrap(), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn slice_trailing_axes_kept() {
+        let s = img_3x4();
+        let out = slice_sample(&s, &[SliceSpec::range(0, 2)]).unwrap();
+        assert_eq!(out.shape(), &Shape::from([2, 4]));
+    }
+
+    #[test]
+    fn slice_3d_crop_like_paper() {
+        // images[1:3, 0:2, 0:2] style crop on a [4,4,3] image
+        let vals: Vec<u8> = (0..48).map(|v| v as u8).collect();
+        let s = Sample::from_slice([4, 4, 3], &vals).unwrap();
+        let out = slice_sample(
+            &s,
+            &[SliceSpec::range(1, 3), SliceSpec::range(0, 2), SliceSpec::range(0, 2)],
+        )
+        .unwrap();
+        assert_eq!(out.shape(), &Shape::from([2, 2, 2]));
+        // row 1, col 0, ch 0..2 = offsets 12..14
+        assert_eq!(out.to_vec::<u8>().unwrap(), vec![12, 13, 15, 16, 24, 25, 27, 28]);
+    }
+
+    #[test]
+    fn slice_1d() {
+        let s = Sample::from_slice([5], &[0u8, 1, 2, 3, 4]).unwrap();
+        let out = slice_sample(&s, &[SliceSpec::range(1, 4)]).unwrap();
+        assert_eq!(out.to_vec::<u8>().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn slice_empty_result() {
+        let s = img_3x4();
+        let out = slice_sample(&s, &[SliceSpec::range(2, 2)]).unwrap();
+        assert_eq!(out.num_elements(), 0);
+    }
+
+    #[test]
+    fn slice_too_many_specs() {
+        let s = img_3x4();
+        assert!(slice_sample(&s, &[SliceSpec::Full; 3]).is_err());
+    }
+
+    #[test]
+    fn elementwise_add() {
+        let a = Sample::from_slice([3], &[1u8, 2, 3]).unwrap();
+        let b = Sample::from_slice([3], &[10u8, 20, 30]).unwrap();
+        let out = elementwise(&a, &b, |x, y| x + y).unwrap();
+        assert_eq!(out.to_vec::<u8>().unwrap(), vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn elementwise_promotes_dtype() {
+        let a = Sample::from_slice([2], &[1u8, 2]).unwrap();
+        let b = Sample::from_slice([2], &[0.5f32, 1.5]).unwrap();
+        let out = elementwise(&a, &b, |x, y| x + y).unwrap();
+        assert_eq!(out.dtype(), Dtype::F32);
+        assert_eq!(out.to_vec::<f32>().unwrap(), vec![1.5, 3.5]);
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch() {
+        let a = Sample::zeros(Dtype::U8, [2]);
+        let b = Sample::zeros(Dtype::U8, [3]);
+        assert!(elementwise(&a, &b, |x, _| x).is_err());
+    }
+
+    #[test]
+    fn elementwise_scalar_mul() {
+        let a = Sample::from_slice([3], &[1.0f32, 2.0, 3.0]).unwrap();
+        let out = elementwise_scalar(&a, 2.0, |x, s| x * s);
+        assert_eq!(out.to_vec::<f32>().unwrap(), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn iou_identical_boxes_is_one() {
+        let a = Sample::from_slice([1, 4], &[0.0f32, 0.0, 10.0, 10.0]).unwrap();
+        assert!((iou(&a, &a).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iou_disjoint_is_zero() {
+        let a = Sample::from_slice([1, 4], &[0.0f32, 0.0, 1.0, 1.0]).unwrap();
+        let b = Sample::from_slice([1, 4], &[5.0f32, 5.0, 1.0, 1.0]).unwrap();
+        assert_eq!(iou(&a, &b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        let a = Sample::from_slice([1, 4], &[0.0f32, 0.0, 2.0, 2.0]).unwrap();
+        let b = Sample::from_slice([1, 4], &[1.0f32, 0.0, 2.0, 2.0]).unwrap();
+        // inter = 2, union = 6 -> 1/3
+        assert!((iou(&a, &b).unwrap() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iou_empty_sets() {
+        let e = Sample::zeros(Dtype::F32, [0, 4]);
+        let a = Sample::from_slice([1, 4], &[0.0f32, 0.0, 1.0, 1.0]).unwrap();
+        assert_eq!(iou(&e, &e).unwrap(), 1.0);
+        assert_eq!(iou(&e, &a).unwrap(), 0.0);
+        assert_eq!(iou(&a, &e).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn normalize_clips_and_translates() {
+        let b = Sample::from_slice([1, 4], &[150.0f32, 150.0, 500.0, 100.0]).unwrap();
+        let out = normalize_boxes(&b, [100.0, 100.0, 400.0, 400.0]).unwrap();
+        let v = out.to_vec::<f32>().unwrap();
+        // x translated to 50, width clipped to region edge (300 - 50 = 250)
+        assert_eq!(v, vec![50.0, 50.0, 250.0, 100.0]);
+    }
+
+    #[test]
+    fn normalize_rejects_bad_shape() {
+        let b = Sample::zeros(Dtype::F32, [4]);
+        assert!(normalize_boxes(&b, [0.0, 0.0, 1.0, 1.0]).is_err());
+    }
+}

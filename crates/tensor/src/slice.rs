@@ -1,0 +1,128 @@
+//! NumPy-style slicing specifications.
+//!
+//! TQL projections like `images[100:500, 100:500, 0:2]` (Fig. 5 of the
+//! paper) and the tile encoder's region-of-interest reads both reduce to a
+//! list of per-axis [`SliceSpec`]s applied to a sample.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+
+/// One axis of a NumPy-style subscript.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SliceSpec {
+    /// A single index; the axis is removed from the result (`a[3]`).
+    Index(i64),
+    /// A half-open range with optional bounds (`a[1:5]`, `a[:5]`, `a[2:]`).
+    /// Negative bounds count from the end, as in NumPy.
+    Range {
+        /// Inclusive start (None = 0).
+        start: Option<i64>,
+        /// Exclusive stop (None = axis length).
+        stop: Option<i64>,
+    },
+    /// Keep the whole axis (`a[:]`).
+    Full,
+}
+
+impl SliceSpec {
+    /// Construct a `start..stop` range spec.
+    pub fn range(start: i64, stop: i64) -> Self {
+        SliceSpec::Range { start: Some(start), stop: Some(stop) }
+    }
+
+    /// Resolve this spec against an axis of length `len`.
+    ///
+    /// Returns `(start, stop, keep_axis)` with `0 <= start <= stop <= len`.
+    /// `keep_axis` is false for `Index` (the axis is squeezed).
+    pub fn resolve(&self, len: u64, axis: usize) -> Result<(u64, u64, bool), TensorError> {
+        let norm = |v: i64| -> i64 {
+            if v < 0 {
+                v + len as i64
+            } else {
+                v
+            }
+        };
+        match *self {
+            SliceSpec::Full => Ok((0, len, true)),
+            SliceSpec::Index(i) => {
+                let i = norm(i);
+                if i < 0 || i as u64 >= len {
+                    return Err(TensorError::IndexOutOfBounds {
+                        index: i.max(0) as usize,
+                        axis,
+                        len: len as usize,
+                    });
+                }
+                Ok((i as u64, i as u64 + 1, false))
+            }
+            SliceSpec::Range { start, stop } => {
+                let s = norm(start.unwrap_or(0)).clamp(0, len as i64) as u64;
+                let e = norm(stop.unwrap_or(len as i64)).clamp(0, len as i64) as u64;
+                Ok((s, e.max(s), true))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SliceSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SliceSpec::Index(i) => write!(f, "{i}"),
+            SliceSpec::Range { start, stop } => {
+                if let Some(s) = start {
+                    write!(f, "{s}")?;
+                }
+                write!(f, ":")?;
+                if let Some(e) = stop {
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
+            SliceSpec::Full => write!(f, ":"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_resolves_whole_axis() {
+        assert_eq!(SliceSpec::Full.resolve(10, 0).unwrap(), (0, 10, true));
+    }
+
+    #[test]
+    fn index_squeezes_axis() {
+        assert_eq!(SliceSpec::Index(3).resolve(10, 0).unwrap(), (3, 4, false));
+        assert_eq!(SliceSpec::Index(-1).resolve(10, 0).unwrap(), (9, 10, false));
+        assert!(SliceSpec::Index(10).resolve(10, 0).is_err());
+        assert!(SliceSpec::Index(-11).resolve(10, 0).is_err());
+    }
+
+    #[test]
+    fn range_clamps() {
+        assert_eq!(SliceSpec::range(2, 5).resolve(10, 0).unwrap(), (2, 5, true));
+        assert_eq!(SliceSpec::range(2, 50).resolve(10, 0).unwrap(), (2, 10, true));
+        assert_eq!(SliceSpec::range(-3, -1).resolve(10, 0).unwrap(), (7, 9, true));
+        // inverted ranges collapse to empty
+        assert_eq!(SliceSpec::range(5, 2).resolve(10, 0).unwrap(), (5, 5, true));
+    }
+
+    #[test]
+    fn open_ended_ranges() {
+        let s = SliceSpec::Range { start: None, stop: Some(4) };
+        assert_eq!(s.resolve(10, 0).unwrap(), (0, 4, true));
+        let s = SliceSpec::Range { start: Some(6), stop: None };
+        assert_eq!(s.resolve(10, 0).unwrap(), (6, 10, true));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SliceSpec::Index(3).to_string(), "3");
+        assert_eq!(SliceSpec::range(1, 2).to_string(), "1:2");
+        assert_eq!(SliceSpec::Full.to_string(), ":");
+        assert_eq!(SliceSpec::Range { start: None, stop: Some(5) }.to_string(), ":5");
+    }
+}

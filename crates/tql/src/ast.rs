@@ -1,0 +1,180 @@
+//! TQL abstract syntax tree.
+
+use deeplake_tensor::SliceSpec;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=` / `==`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Number(f64),
+    /// String literal.
+    Str(String),
+    /// Column (tensor) reference.
+    Column(String),
+    /// Literal 1-D array `[1, 2, 3]`.
+    Array(Vec<f64>),
+    /// NumPy-style subscript: `expr[a:b, c, :]`.
+    Subscript {
+        /// Subscripted expression.
+        base: Box<Expr>,
+        /// Per-axis specs.
+        specs: Vec<SliceSpec>,
+    },
+    /// Function call.
+    Call {
+        /// Upper-cased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Collect the column names this expression references, including
+    /// string arguments of column-taking functions like `IOU` — the input
+    /// to the executor's column-pruning pass.
+    pub fn columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column(c) => out.push(c.clone()),
+            Expr::Subscript { base, .. } => base.columns(out),
+            Expr::Call { name, args } => {
+                for (i, a) in args.iter().enumerate() {
+                    a.columns(out);
+                    // IOU's string args are column references (paper Fig. 5)
+                    if name == "IOU" {
+                        if let Expr::Str(s) = a {
+                            let _ = i;
+                            out.push(s.clone());
+                        }
+                    }
+                }
+            }
+            Expr::Binary { left, right, .. } => {
+                left.columns(out);
+                right.columns(out);
+            }
+            Expr::Neg(e) | Expr::Not(e) => e.columns(out),
+            Expr::Number(_) | Expr::Str(_) | Expr::Array(_) => {}
+        }
+    }
+}
+
+/// One projection: an expression and its output name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Projection {
+    /// Projected expression.
+    pub expr: Expr,
+    /// Output column name (`AS alias` or a synthesized name).
+    pub name: String,
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortDir {
+    /// Ascending (default).
+    #[default]
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `SELECT *`?
+    pub select_all: bool,
+    /// Explicit projections (empty when `select_all`).
+    pub projections: Vec<Projection>,
+    /// Source dataset name (informational; execution binds to a handle).
+    pub from: String,
+    /// `AT VERSION "ref"`.
+    pub version: Option<String>,
+    /// `WHERE` predicate.
+    pub filter: Option<Expr>,
+    /// `ORDER BY` key and direction.
+    pub order_by: Option<(Expr, SortDir)>,
+    /// `ARRANGE BY` grouping key (§4.4 / Fig. 5).
+    pub arrange_by: Option<Expr>,
+    /// `LIMIT`.
+    pub limit: Option<u64>,
+    /// `OFFSET`.
+    pub offset: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_collects_through_tree() {
+        let e = Expr::Binary {
+            op: BinOp::Gt,
+            left: Box::new(Expr::Call {
+                name: "IOU".into(),
+                args: vec![
+                    Expr::Column("boxes".into()),
+                    Expr::Str("training/boxes".into()),
+                ],
+            }),
+            right: Box::new(Expr::Number(0.95)),
+        };
+        let mut cols = Vec::new();
+        e.columns(&mut cols);
+        assert_eq!(cols, vec!["boxes".to_string(), "training/boxes".to_string()]);
+    }
+
+    #[test]
+    fn columns_through_subscript_and_neg() {
+        let e = Expr::Neg(Box::new(Expr::Subscript {
+            base: Box::new(Expr::Column("images".into())),
+            specs: vec![],
+        }));
+        let mut cols = Vec::new();
+        e.columns(&mut cols);
+        assert_eq!(cols, vec!["images".to_string()]);
+    }
+}

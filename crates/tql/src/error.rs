@@ -1,0 +1,90 @@
+//! TQL error type.
+
+use deeplake_core::CoreError;
+use deeplake_tensor::TensorError;
+
+/// Errors from parsing or executing a TQL query.
+#[derive(Debug)]
+pub enum TqlError {
+    /// Lexer rejected the input.
+    Lex {
+        /// Byte position in the query text.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Parser rejected the token stream.
+    Parse {
+        /// What was expected / found.
+        message: String,
+    },
+    /// A referenced column does not exist.
+    UnknownColumn(String),
+    /// An unknown function was called.
+    UnknownFunction(String),
+    /// A function got the wrong number or type of arguments.
+    BadArguments {
+        /// Function name.
+        function: String,
+        /// Explanation.
+        message: String,
+    },
+    /// A runtime type error (e.g. slicing a scalar).
+    Type(String),
+    /// Error from the dataset layer.
+    Core(CoreError),
+    /// Error from the tensor layer.
+    Tensor(TensorError),
+}
+
+impl std::fmt::Display for TqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TqlError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            TqlError::Parse { message } => write!(f, "parse error: {message}"),
+            TqlError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            TqlError::UnknownFunction(name) => write!(f, "unknown function: {name}"),
+            TqlError::BadArguments { function, message } => {
+                write!(f, "bad arguments to {function}: {message}")
+            }
+            TqlError::Type(msg) => write!(f, "type error: {msg}"),
+            TqlError::Core(e) => write!(f, "dataset error: {e}"),
+            TqlError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TqlError {}
+
+impl From<CoreError> for TqlError {
+    fn from(e: CoreError) -> Self {
+        TqlError::Core(e)
+    }
+}
+
+impl From<TensorError> for TqlError {
+    fn from(e: TensorError) -> Self {
+        TqlError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_non_empty() {
+        for e in [
+            TqlError::Lex { position: 3, message: "x".into() },
+            TqlError::Parse { message: "y".into() },
+            TqlError::UnknownColumn("c".into()),
+            TqlError::UnknownFunction("F".into()),
+            TqlError::BadArguments { function: "IOU".into(), message: "m".into() },
+            TqlError::Type("t".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

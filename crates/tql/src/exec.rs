@@ -1,0 +1,409 @@
+//! Query execution: parallel row evaluation over worker threads.
+//!
+//! The embedded engine "runs along with the client" (§4.4) — no external
+//! service. Filter and sort keys evaluate in parallel across row ranges on
+//! a crossbeam-scoped pool (the paper's scheduler over the query graph);
+//! results come back as index views that stream straight into the
+//! dataloader or materialize.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use deeplake_core::{Dataset, DatasetView};
+use deeplake_tensor::ops::slice_sample;
+use deeplake_tensor::Scalar;
+use parking_lot::Mutex;
+
+use crate::ast::{BinOp, Expr, Query, SortDir};
+use crate::error::TqlError;
+use crate::functions;
+use crate::plan::plan;
+use crate::value::Value;
+use crate::Result;
+
+/// Execution options.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOptions {
+    /// Worker threads for parallel evaluation.
+    pub workers: usize,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions { workers: 4 }
+    }
+}
+
+/// The result of executing a query.
+pub struct QueryResult {
+    /// Row indices into the (possibly version-reopened) source dataset,
+    /// in result order.
+    pub indices: Vec<u64>,
+    /// Output column names (empty for `SELECT *`).
+    pub columns: Vec<String>,
+    /// Materialized projection values per result row (None for
+    /// `SELECT *`, which stays lazy as a view).
+    pub rows: Option<Vec<Vec<Value>>>,
+    /// When the query ran `AT VERSION`, the reopened read-only dataset the
+    /// indices refer to.
+    pub dataset: Option<Dataset>,
+}
+
+impl QueryResult {
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Build a streamable view over the result, bound to the dataset the
+    /// query was executed against. For `AT VERSION` queries use
+    /// [`QueryResult::view_versioned`] instead — the indices refer to the
+    /// reopened historical dataset, not the caller's handle.
+    pub fn view<'d>(&self, ds: &'d Dataset) -> DatasetView<'d> {
+        DatasetView::new(ds, self.indices.clone())
+    }
+
+    /// View over the owned `AT VERSION` dataset, when present.
+    pub fn view_versioned(&self) -> Option<DatasetView<'_>> {
+        self.dataset.as_ref().map(|ds| DatasetView::new(ds, self.indices.clone()))
+    }
+}
+
+/// Execute a parsed query against a dataset.
+pub fn execute(ds: &Dataset, query: &Query, opts: &QueryOptions) -> Result<QueryResult> {
+    // AT VERSION: reopen at the requested ref and run there (§4.4)
+    if let Some(version) = &query.version {
+        let reopened = Dataset::open_at(ds.provider(), version)?;
+        let mut stripped = query.clone();
+        stripped.version = None;
+        let mut result = execute(&reopened, &stripped, opts)?;
+        result.dataset = Some(reopened);
+        return Ok(result);
+    }
+
+    let _plan = plan(query); // validates column sets; the stages below follow it
+    let n = ds.len();
+    let workers = opts.workers.max(1);
+
+    // -------- filter stage (parallel) --------
+    let mut selected: Vec<u64> = match &query.filter {
+        None => (0..n).collect(),
+        Some(filter) => {
+            let keep = parallel_eval(ds, n, workers, |row| {
+                Ok(eval(filter, ds, row)?.truthy())
+            })?;
+            (0..n).filter(|&r| keep[r as usize]).collect()
+        }
+    };
+
+    // -------- order stage --------
+    if let Some((key_expr, dir)) = &query.order_by {
+        let keys = eval_keys(ds, &selected, workers, key_expr)?;
+        let mut paired: Vec<(Scalar, u64)> = keys.into_iter().zip(selected.iter().copied()).collect();
+        paired.sort_by(|a, b| a.0.order_cmp(&b.0));
+        if *dir == SortDir::Desc {
+            paired.reverse();
+        }
+        selected = paired.into_iter().map(|(_, r)| r).collect();
+    }
+
+    // -------- arrange stage: group rows by key, groups ordered by first
+    // appearance (Fig. 5's ARRANGE BY labels) --------
+    if let Some(key_expr) = &query.arrange_by {
+        let keys = eval_keys(ds, &selected, workers, key_expr)?;
+        let mut groups: Vec<(Scalar, Vec<u64>)> = Vec::new();
+        for (key, row) in keys.into_iter().zip(selected.iter().copied()) {
+            match groups
+                .iter_mut()
+                .find(|(k, _)| k.order_cmp(&key) == std::cmp::Ordering::Equal)
+            {
+                Some((_, bucket)) => bucket.push(row),
+                None => groups.push((key, vec![row])),
+            }
+        }
+        selected = groups.into_iter().flat_map(|(_, rows)| rows).collect();
+    }
+
+    // -------- window stage --------
+    let offset = query.offset.unwrap_or(0) as usize;
+    if offset > 0 {
+        selected = selected.split_off(offset.min(selected.len()));
+    }
+    if let Some(limit) = query.limit {
+        selected.truncate(limit as usize);
+    }
+
+    // -------- projection stage --------
+    let (columns, rows) = if query.select_all {
+        (Vec::new(), None)
+    } else {
+        let columns: Vec<String> = query.projections.iter().map(|p| p.name.clone()).collect();
+        let mut out = Vec::with_capacity(selected.len());
+        for &row in &selected {
+            let mut values = Vec::with_capacity(query.projections.len());
+            for p in &query.projections {
+                values.push(eval(&p.expr, ds, row)?);
+            }
+            out.push(values);
+        }
+        (columns, Some(out))
+    };
+
+    Ok(QueryResult { indices: selected, columns, rows, dataset: None })
+}
+
+/// Evaluate `f` for rows `0..n` in parallel, preserving order.
+fn parallel_eval(
+    ds: &Dataset,
+    n: u64,
+    workers: usize,
+    f: impl Fn(u64) -> Result<bool> + Sync,
+) -> Result<Vec<bool>> {
+    let _ = ds;
+    let out: Vec<Mutex<bool>> = (0..n).map(|_| Mutex::new(false)).collect();
+    let error: Mutex<Option<TqlError>> = Mutex::new(None);
+    let next = AtomicUsize::new(0);
+    const STRIDE: usize = 64;
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let start = next.fetch_add(STRIDE, Ordering::Relaxed);
+                if start >= n as usize || error.lock().is_some() {
+                    break;
+                }
+                let end = (start + STRIDE).min(n as usize);
+                for row in start..end {
+                    match f(row as u64) {
+                        Ok(v) => *out[row].lock() = v,
+                        Err(e) => {
+                            *error.lock() = Some(e);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .map_err(|_| TqlError::Type("query worker panicked".into()))?;
+    if let Some(e) = error.into_inner() {
+        return Err(e);
+    }
+    Ok(out.into_iter().map(|m| m.into_inner()).collect())
+}
+
+/// Evaluate a key expression for each row in `rows` (parallel), preserving
+/// order.
+fn eval_keys(ds: &Dataset, rows: &[u64], workers: usize, key: &Expr) -> Result<Vec<Scalar>> {
+    let out: Vec<Mutex<Scalar>> = rows.iter().map(|_| Mutex::new(Scalar::Null)).collect();
+    let error: Mutex<Option<TqlError>> = Mutex::new(None);
+    let next = AtomicUsize::new(0);
+    const STRIDE: usize = 64;
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            scope.spawn(|_| loop {
+                let start = next.fetch_add(STRIDE, Ordering::Relaxed);
+                if start >= rows.len() || error.lock().is_some() {
+                    break;
+                }
+                let end = (start + STRIDE).min(rows.len());
+                for i in start..end {
+                    match eval(key, ds, rows[i]) {
+                        Ok(v) => *out[i].lock() = v.to_scalar(),
+                        Err(e) => {
+                            *error.lock() = Some(e);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .map_err(|_| TqlError::Type("query worker panicked".into()))?;
+    if let Some(e) = error.into_inner() {
+        return Err(e);
+    }
+    Ok(out.into_iter().map(|m| m.into_inner()).collect())
+}
+
+/// Evaluate an expression for one dataset row.
+pub fn eval(expr: &Expr, ds: &Dataset, row: u64) -> Result<Value> {
+    match expr {
+        Expr::Number(n) => Ok(Value::Num(*n)),
+        Expr::Str(s) => Ok(Value::Str(s.clone())),
+        Expr::Array(values) => Ok(Value::Tensor(deeplake_tensor::sample::from_f64_values(
+            deeplake_tensor::Dtype::F64,
+            deeplake_tensor::Shape::from([values.len() as u64]),
+            values,
+        ))),
+        Expr::Column(name) => {
+            let sample = ds
+                .get(name, row)
+                .map_err(|_| TqlError::UnknownColumn(name.clone()))?;
+            // text-htype columns are first-class strings: they compare and
+            // sort lexicographically, not as byte tensors
+            if let Ok(meta) = ds.tensor_meta(name) {
+                if matches!(meta.htype.base(), deeplake_tensor::Htype::Text) {
+                    if let Some(text) = sample.to_text() {
+                        return Ok(Value::Str(text));
+                    }
+                }
+            }
+            Ok(Value::Tensor(sample))
+        }
+        Expr::Subscript { base, specs } => {
+            let v = eval(base, ds, row)?;
+            match v {
+                Value::Tensor(t) => Ok(Value::Tensor(slice_sample(&t, specs)?)),
+                other => Err(TqlError::Type(format!("cannot subscript {other:?}"))),
+            }
+        }
+        Expr::Call { name, args } => {
+            // SHAPE(column) fast path: reads only the chunk directory, not
+            // the payload (the paper's hidden-shape-tensor trick, §3.4)
+            if name == "SHAPE" && args.len() == 1 {
+                if let Expr::Column(col) = &args[0] {
+                    let shape = ds
+                        .get_shape(col, row)
+                        .map_err(|_| TqlError::UnknownColumn(col.clone()))?;
+                    let dims: Vec<f64> = shape.dims().iter().map(|&d| d as f64).collect();
+                    return Ok(Value::Tensor(deeplake_tensor::sample::from_f64_values(
+                        deeplake_tensor::Dtype::I64,
+                        deeplake_tensor::Shape::from([dims.len() as u64]),
+                        &dims,
+                    )));
+                }
+            }
+            let mut values = Vec::with_capacity(args.len());
+            for a in args {
+                let v = eval(a, ds, row)?;
+                // IOU's string args are tensor references (paper Fig. 5:
+                // IOU(boxes, "training/boxes"))
+                let v = if name == "IOU" {
+                    if let Value::Str(col) = &v {
+                        Value::Tensor(
+                            ds.get(col, row)
+                                .map_err(|_| TqlError::UnknownColumn(col.clone()))?,
+                        )
+                    } else {
+                        v
+                    }
+                } else {
+                    v
+                };
+                values.push(v);
+            }
+            functions::call(name, &values, row)
+        }
+        Expr::Binary { op, left, right } => {
+            let l = eval(left, ds, row)?;
+            if *op == BinOp::And {
+                if !l.truthy() {
+                    return Ok(Value::Bool(false));
+                }
+                return Ok(Value::Bool(eval(right, ds, row)?.truthy()));
+            }
+            if *op == BinOp::Or {
+                if l.truthy() {
+                    return Ok(Value::Bool(true));
+                }
+                return Ok(Value::Bool(eval(right, ds, row)?.truthy()));
+            }
+            let r = eval(right, ds, row)?;
+            binary(*op, &l, &r)
+        }
+        Expr::Neg(inner) => {
+            let v = eval(inner, ds, row)?;
+            match v {
+                Value::Num(n) => Ok(Value::Num(-n)),
+                Value::Tensor(t) => Ok(Value::Tensor(deeplake_tensor::ops::elementwise_scalar(
+                    &t,
+                    0.0,
+                    |x, _| -x,
+                ))),
+                other => Err(TqlError::Type(format!("cannot negate {other:?}"))),
+            }
+        }
+        Expr::Not(inner) => Ok(Value::Bool(!eval(inner, ds, row)?.truthy())),
+    }
+}
+
+fn binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    // string equality first
+    if let (Value::Str(a), Value::Str(b)) = (l, r) {
+        return match op {
+            BinOp::Eq => Ok(Value::Bool(a == b)),
+            BinOp::Ne => Ok(Value::Bool(a != b)),
+            BinOp::Lt => Ok(Value::Bool(a < b)),
+            BinOp::Le => Ok(Value::Bool(a <= b)),
+            BinOp::Gt => Ok(Value::Bool(a > b)),
+            BinOp::Ge => Ok(Value::Bool(a >= b)),
+            _ => Err(TqlError::Type(format!("operator {op:?} not defined on strings"))),
+        };
+    }
+    // text tensor vs string literal comparisons (`text_col = "dog"`)
+    if let (Value::Tensor(t), Value::Str(s)) = (l, r) {
+        if let Some(text) = t.to_text() {
+            return binary(op, &Value::Str(text), &Value::Str(s.clone()));
+        }
+    }
+    if let (Value::Str(s), Value::Tensor(t)) = (l, r) {
+        if let Some(text) = t.to_text() {
+            return binary(op, &Value::Str(s.clone()), &Value::Str(text));
+        }
+    }
+    // tensor-tensor elementwise arithmetic
+    if let (Value::Tensor(a), Value::Tensor(b)) = (l, r) {
+        if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod)
+            && a.num_elements() > 1
+            && b.num_elements() > 1
+        {
+            let f = arith_fn(op);
+            return Ok(Value::Tensor(deeplake_tensor::ops::elementwise(a, b, f)?));
+        }
+    }
+    // tensor-scalar elementwise arithmetic
+    if let (Value::Tensor(t), Some(s)) = (l, r.as_f64()) {
+        if t.num_elements() > 1 && matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod) {
+            let f = arith_fn(op);
+            return Ok(Value::Tensor(deeplake_tensor::ops::elementwise_scalar(t, s, f)));
+        }
+    }
+    // scalar numeric
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(TqlError::Type(format!(
+                "operator {op:?} not defined on {l:?} and {r:?}"
+            )))
+        }
+    };
+    Ok(match op {
+        BinOp::Add => Value::Num(a + b),
+        BinOp::Sub => Value::Num(a - b),
+        BinOp::Mul => Value::Num(a * b),
+        BinOp::Div => Value::Num(a / b),
+        BinOp::Mod => Value::Num(a % b),
+        BinOp::Eq => Value::Bool(a == b),
+        BinOp::Ne => Value::Bool(a != b),
+        BinOp::Lt => Value::Bool(a < b),
+        BinOp::Le => Value::Bool(a <= b),
+        BinOp::Gt => Value::Bool(a > b),
+        BinOp::Ge => Value::Bool(a >= b),
+        BinOp::And | BinOp::Or => unreachable!("handled short-circuit"),
+    })
+}
+
+fn arith_fn(op: BinOp) -> fn(f64, f64) -> f64 {
+    match op {
+        BinOp::Add => |x, y| x + y,
+        BinOp::Sub => |x, y| x - y,
+        BinOp::Mul => |x, y| x * y,
+        BinOp::Div => |x, y| x / y,
+        BinOp::Mod => |x, y| x % y,
+        _ => unreachable!("not an arithmetic operator"),
+    }
+}

@@ -1,0 +1,236 @@
+//! TQL's numeric function library ("a large set of convenience functions
+//! to work with arrays, many of which are common operations supported in
+//! NumPy", §4.4).
+
+use deeplake_tensor::ops;
+use deeplake_tensor::Sample;
+
+use crate::error::TqlError;
+use crate::value::Value;
+use crate::Result;
+
+/// Call a function by (upper-cased) name on evaluated arguments.
+///
+/// `row` is the dataset row being evaluated — `RANDOM()` derives its value
+/// from it so shuffled orders are reproducible.
+pub fn call(name: &str, args: &[Value], row: u64) -> Result<Value> {
+    match name {
+        "IOU" => {
+            let (a, b) = two_tensors(name, args)?;
+            Ok(Value::Num(ops::iou(a, b)?))
+        }
+        "NORMALIZE" => {
+            let boxes = tensor_arg(name, args, 0)?;
+            let region = tensor_arg(name, args, 1)?;
+            let r = region.to_f64_vec();
+            if r.len() != 4 {
+                return Err(TqlError::BadArguments {
+                    function: name.into(),
+                    message: format!("region must have 4 values, got {}", r.len()),
+                });
+            }
+            Ok(Value::Tensor(ops::normalize_boxes(boxes, [r[0], r[1], r[2], r[3]])?))
+        }
+        "MEAN" => Ok(Value::Num(tensor_arg(name, args, 0)?.mean())),
+        "SUM" => Ok(Value::Num(tensor_arg(name, args, 0)?.sum())),
+        "MAX" => Ok(Value::Num(tensor_arg(name, args, 0)?.max())),
+        "MIN" => Ok(Value::Num(tensor_arg(name, args, 0)?.min())),
+        "L2" => {
+            let t = tensor_arg(name, args, 0)?;
+            let sq: f64 = t.to_f64_vec().iter().map(|v| v * v).sum();
+            Ok(Value::Num(sq.sqrt()))
+        }
+        "SHAPE" => {
+            let t = tensor_arg(name, args, 0)?;
+            let dims: Vec<f64> = t.shape().dims().iter().map(|&d| d as f64).collect();
+            Ok(Value::Tensor(
+                deeplake_tensor::sample::from_f64_values(
+                    deeplake_tensor::Dtype::I64,
+                    deeplake_tensor::Shape::from([dims.len() as u64]),
+                    &dims,
+                ),
+            ))
+        }
+        "NDIM" => Ok(Value::Num(tensor_arg(name, args, 0)?.shape().rank() as f64)),
+        "SIZE" => Ok(Value::Num(tensor_arg(name, args, 0)?.num_elements() as f64)),
+        "CONTAINS" => {
+            let needle = args.get(1).ok_or_else(|| missing(name, 1))?;
+            // string haystack (text columns evaluate to strings)
+            if let (Some(Value::Str(hay)), Value::Str(n)) = (args.first(), needle) {
+                return Ok(Value::Bool(hay.contains(n.as_str())));
+            }
+            let t = tensor_arg(name, args, 0)?;
+            match needle {
+                Value::Str(s) => {
+                    let text = t.to_text().unwrap_or_default();
+                    Ok(Value::Bool(text.contains(s.as_str())))
+                }
+                other => {
+                    let v = other.as_f64().ok_or_else(|| TqlError::BadArguments {
+                        function: name.into(),
+                        message: "needle must be a number or string".into(),
+                    })?;
+                    Ok(Value::Bool(t.to_f64_vec().iter().any(|&x| x == v)))
+                }
+            }
+        }
+        "ANY" => {
+            let t = tensor_arg(name, args, 0)?;
+            Ok(Value::Bool(t.to_f64_vec().iter().any(|&x| x != 0.0)))
+        }
+        "ALL" => {
+            let t = tensor_arg(name, args, 0)?;
+            Ok(Value::Bool(!t.is_empty() && t.to_f64_vec().iter().all(|&x| x != 0.0)))
+        }
+        "ABS" => match args.first() {
+            Some(Value::Num(n)) => Ok(Value::Num(n.abs())),
+            Some(Value::Tensor(t)) => {
+                Ok(Value::Tensor(ops::elementwise_scalar(t, 0.0, |x, _| x.abs())))
+            }
+            _ => Err(missing(name, 0)),
+        },
+        "SQRT" => {
+            let v = scalar_arg(name, args, 0)?;
+            Ok(Value::Num(v.sqrt()))
+        }
+        "RANDOM" => {
+            // deterministic per-row pseudo-random in [0, 1): queries that
+            // ORDER BY RANDOM() shuffle reproducibly (§3.5 custom-order
+            // streaming)
+            let mut x = row.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xDEAD_BEEF);
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            x ^= x >> 33;
+            Ok(Value::Num((x >> 11) as f64 / (1u64 << 53) as f64))
+        }
+        other => Err(TqlError::UnknownFunction(other.to_string())),
+    }
+}
+
+fn missing(function: &str, index: usize) -> TqlError {
+    TqlError::BadArguments {
+        function: function.to_string(),
+        message: format!("missing argument {index}"),
+    }
+}
+
+fn tensor_arg<'a>(function: &str, args: &'a [Value], index: usize) -> Result<&'a Sample> {
+    match args.get(index) {
+        Some(Value::Tensor(t)) => Ok(t),
+        Some(other) => Err(TqlError::BadArguments {
+            function: function.to_string(),
+            message: format!("argument {index} must be a tensor, got {other:?}"),
+        }),
+        None => Err(missing(function, index)),
+    }
+}
+
+fn scalar_arg(function: &str, args: &[Value], index: usize) -> Result<f64> {
+    args.get(index)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| TqlError::BadArguments {
+            function: function.to_string(),
+            message: format!("argument {index} must be numeric"),
+        })
+}
+
+fn two_tensors<'a>(function: &str, args: &'a [Value]) -> Result<(&'a Sample, &'a Sample)> {
+    Ok((tensor_arg(function, args, 0)?, tensor_arg(function, args, 1)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxes(v: &[f32]) -> Value {
+        Value::Tensor(Sample::from_slice([(v.len() / 4) as u64, 4], v).unwrap())
+    }
+
+    #[test]
+    fn iou_and_normalize() {
+        let a = boxes(&[0.0, 0.0, 10.0, 10.0]);
+        let v = call("IOU", &[a.clone(), a.clone()], 0).unwrap();
+        assert_eq!(v, Value::Num(1.0));
+        let region = Value::Tensor(
+            Sample::from_slice([4], &[0.0f64, 0.0, 5.0, 5.0]).unwrap(),
+        );
+        let out = call("NORMALIZE", &[a, region], 0).unwrap();
+        match out {
+            Value::Tensor(t) => assert_eq!(t.shape().dims(), &[1, 4]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = Value::Tensor(Sample::from_slice([4], &[1.0f64, 2.0, 3.0, 4.0]).unwrap());
+        assert_eq!(call("MEAN", &[t.clone()], 0).unwrap(), Value::Num(2.5));
+        assert_eq!(call("SUM", &[t.clone()], 0).unwrap(), Value::Num(10.0));
+        assert_eq!(call("MAX", &[t.clone()], 0).unwrap(), Value::Num(4.0));
+        assert_eq!(call("MIN", &[t.clone()], 0).unwrap(), Value::Num(1.0));
+        assert_eq!(call("SIZE", &[t.clone()], 0).unwrap(), Value::Num(4.0));
+        assert_eq!(call("NDIM", &[t.clone()], 0).unwrap(), Value::Num(1.0));
+        let l2 = call("L2", &[t], 0).unwrap();
+        assert_eq!(l2, Value::Num(30.0f64.sqrt()));
+    }
+
+    #[test]
+    fn shape_function() {
+        let t = Value::Tensor(Sample::zeros(deeplake_tensor::Dtype::U8, [3, 5, 2]));
+        match call("SHAPE", &[t], 0).unwrap() {
+            Value::Tensor(s) => assert_eq!(s.to_f64_vec(), vec![3.0, 5.0, 2.0]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contains_numeric_and_text() {
+        let labels = Value::Tensor(Sample::from_slice([3], &[1i32, 5, 9]).unwrap());
+        assert_eq!(call("CONTAINS", &[labels.clone(), Value::Num(5.0)], 0).unwrap(), Value::Bool(true));
+        assert_eq!(call("CONTAINS", &[labels, Value::Num(2.0)], 0).unwrap(), Value::Bool(false));
+        let text = Value::Tensor(Sample::from_text("a cat sat"));
+        assert_eq!(
+            call("CONTAINS", &[text, Value::Str("cat".into())], 0).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn any_all() {
+        let t = Value::Tensor(Sample::from_slice([3], &[0u8, 1, 0]).unwrap());
+        assert_eq!(call("ANY", &[t.clone()], 0).unwrap(), Value::Bool(true));
+        assert_eq!(call("ALL", &[t], 0).unwrap(), Value::Bool(false));
+        let empty = Value::Tensor(Sample::empty(deeplake_tensor::Dtype::U8));
+        assert_eq!(call("ALL", &[empty], 0).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn abs_scalar_and_tensor() {
+        assert_eq!(call("ABS", &[Value::Num(-3.0)], 0).unwrap(), Value::Num(3.0));
+        let t = Value::Tensor(Sample::from_slice([2], &[-1.0f32, 2.0]).unwrap());
+        match call("ABS", &[t], 0).unwrap() {
+            Value::Tensor(s) => assert_eq!(s.to_f64_vec(), vec![1.0, 2.0]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_row() {
+        let a = call("RANDOM", &[], 7).unwrap();
+        let b = call("RANDOM", &[], 7).unwrap();
+        let c = call("RANDOM", &[], 8).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        if let Value::Num(v) = a {
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn unknown_and_bad_args() {
+        assert!(matches!(call("EXPLODE", &[], 0), Err(TqlError::UnknownFunction(_))));
+        assert!(call("MEAN", &[Value::Num(1.0)], 0).is_err());
+        assert!(call("IOU", &[Value::Num(1.0)], 0).is_err());
+        assert!(call("SQRT", &[Value::Str("x".into())], 0).is_err());
+    }
+}

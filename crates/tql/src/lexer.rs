@@ -1,0 +1,332 @@
+//! TQL lexer.
+
+use crate::error::TqlError;
+use crate::Result;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (identifiers may contain `/` and `.` so tensor
+    /// paths like `training/boxes` lex as one token).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Single- or double-quoted string literal.
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `:`
+    Colon,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/` (division; only when not inside an identifier)
+    Slash,
+    /// `%`
+    Percent,
+    /// `=` or `==`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Tokenize a query string.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token::Colon);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                // `--` comment to end of line
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                i += 1;
+                if bytes.get(i) == Some(&b'=') {
+                    i += 1;
+                }
+                tokens.push(Token::Eq);
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(TqlError::Lex {
+                        position: i,
+                        message: "expected != after !".into(),
+                    });
+                }
+            }
+            '<' => {
+                i += 1;
+                match bytes.get(i) {
+                    Some(b'=') => {
+                        tokens.push(Token::Le);
+                        i += 1;
+                    }
+                    Some(b'>') => {
+                        tokens.push(Token::Ne);
+                        i += 1;
+                    }
+                    _ => tokens.push(Token::Lt),
+                }
+            }
+            '>' => {
+                i += 1;
+                if bytes.get(i) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 1;
+                } else {
+                    tokens.push(Token::Gt);
+                }
+            }
+            '"' | '\'' => {
+                let quote = bytes[i];
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(TqlError::Lex {
+                        position: i,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                tokens.push(Token::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || (c == '.' && next_is_digit(bytes, i)) => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value: f64 = text.parse().map_err(|_| TqlError::Lex {
+                    position: start,
+                    message: format!("bad number {text:?}"),
+                })?;
+                tokens.push(Token::Number(value));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.'
+                        // '/' continues an identifier only when followed by
+                        // an identifier character (tensor paths); `a / b`
+                        // stays division
+                        || (bytes[i] == b'/' && next_is_ident_char(bytes, i)))
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(TqlError::Lex {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn next_is_digit(bytes: &[u8], i: usize) -> bool {
+    bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+}
+
+fn next_is_ident_char(bytes: &[u8], i: usize) -> bool {
+    bytes.get(i + 1).is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_and_idents() {
+        let t = lex("SELECT images FROM dataset").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Ident("images".into()),
+                Token::Ident("FROM".into()),
+                Token::Ident("dataset".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn tensor_paths_lex_as_one_ident() {
+        let t = lex("training/boxes").unwrap();
+        assert_eq!(t, vec![Token::Ident("training/boxes".into())]);
+        // but division still works
+        let t = lex("a / b").unwrap();
+        assert_eq!(
+            t,
+            vec![Token::Ident("a".into()), Token::Slash, Token::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let t = lex("1 2.5 0.95 1e3 2.5e-2").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Number(1.0),
+                Token::Number(2.5),
+                Token::Number(0.95),
+                Token::Number(1000.0),
+                Token::Number(0.025),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_both_quotes() {
+        let t = lex(r#""training/boxes" 'single'"#).unwrap();
+        assert_eq!(
+            t,
+            vec![Token::Str("training/boxes".into()), Token::Str("single".into())]
+        );
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        let t = lex("= == != <> < <= > >= + - * / %").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Eq,
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent,
+            ]
+        );
+    }
+
+    #[test]
+    fn slicing_tokens() {
+        let t = lex("images[100:500, 0:2]").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("images".into()),
+                Token::LBracket,
+                Token::Number(100.0),
+                Token::Colon,
+                Token::Number(500.0),
+                Token::Comma,
+                Token::Number(0.0),
+                Token::Colon,
+                Token::Number(2.0),
+                Token::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = lex("SELECT * -- pick everything\nFROM d").unwrap();
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn bad_chars_rejected() {
+        assert!(lex("SELECT ?").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! # deeplake-tql
+//!
+//! The Tensor Query Language (§4.4): an embedded SQL dialect extended with
+//! NumPy-style multi-dimensional indexing and numeric array functions,
+//! executed directly against Deep Lake datasets — no external query
+//! engine. The paper's example:
+//!
+//! ```text
+//! SELECT images[100:500, 100:500, 0:2] as crop,
+//!        NORMALIZE(boxes, [100, 100, 400, 400]) as box
+//! FROM dataset
+//! WHERE IOU(boxes, "training/boxes") > 0.95
+//! ORDER BY IOU(boxes, "training/boxes")
+//! ARRANGE BY labels
+//! ```
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`plan`] (logical plan + the
+//! column-pruning optimization) → [`exec`] (parallel row evaluation over
+//! worker threads). Query results are index [`views`](deeplake_core::view)
+//! that stream to the dataloader or materialize (§4.5); `AT VERSION`
+//! queries run against historical commits (§4.4: "TQL allows querying data
+//! on specific versions").
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod functions;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod value;
+
+pub use ast::{Expr, Query};
+pub use error::TqlError;
+pub use exec::{execute, QueryOptions, QueryResult};
+pub use value::Value;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TqlError>;
+
+/// Parse and execute a query against a dataset with default options.
+pub fn query(ds: &deeplake_core::Dataset, text: &str) -> Result<QueryResult> {
+    let q = parser::parse(text)?;
+    exec::execute(ds, &q, &QueryOptions::default())
+}

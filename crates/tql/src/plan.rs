@@ -1,0 +1,104 @@
+//! Logical planning.
+//!
+//! The paper's query plan "generates a computational graph of tensor
+//! operations" that a scheduler executes (§4.4). Our plan captures the
+//! stages (scan → filter → sort/arrange → window → project) plus the one
+//! optimization that matters for object storage: **column pruning** — the
+//! filter/sort phases fetch only the tensors their expressions reference,
+//! exploiting the columnar layout's partial row access (§3.1).
+
+use std::collections::BTreeSet;
+
+use crate::ast::{Query, SortDir};
+
+/// The planned stages of a query, in execution order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Columns the filter stage needs.
+    pub filter_columns: BTreeSet<String>,
+    /// Columns the order/arrange stage needs.
+    pub sort_columns: BTreeSet<String>,
+    /// Columns projections need.
+    pub project_columns: BTreeSet<String>,
+    /// Whether a filter stage exists.
+    pub has_filter: bool,
+    /// Whether a sort stage exists, and its direction.
+    pub sort: Option<SortDir>,
+    /// Whether an arrange (group) stage exists.
+    pub has_arrange: bool,
+    /// `LIMIT`/`OFFSET` window.
+    pub window: (Option<u64>, Option<u64>),
+}
+
+/// Build the plan for a query.
+pub fn plan(query: &Query) -> Plan {
+    let mut filter_columns = BTreeSet::new();
+    if let Some(f) = &query.filter {
+        let mut v = Vec::new();
+        f.columns(&mut v);
+        filter_columns.extend(v);
+    }
+    let mut sort_columns = BTreeSet::new();
+    if let Some((key, _)) = &query.order_by {
+        let mut v = Vec::new();
+        key.columns(&mut v);
+        sort_columns.extend(v);
+    }
+    if let Some(key) = &query.arrange_by {
+        let mut v = Vec::new();
+        key.columns(&mut v);
+        sort_columns.extend(v);
+    }
+    let mut project_columns = BTreeSet::new();
+    for p in &query.projections {
+        let mut v = Vec::new();
+        p.expr.columns(&mut v);
+        project_columns.extend(v);
+    }
+    Plan {
+        filter_columns,
+        sort_columns,
+        project_columns,
+        has_filter: query.filter.is_some(),
+        sort: query.order_by.as_ref().map(|(_, d)| *d),
+        has_arrange: query.arrange_by.is_some(),
+        window: (query.limit, query.offset),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn column_pruning_per_stage() {
+        let q = parse(
+            r#"SELECT images[0:2] FROM d
+               WHERE IOU(boxes, "training/boxes") > 0.5
+               ORDER BY MEAN(embeddings)
+               LIMIT 7 OFFSET 2"#,
+        )
+        .unwrap();
+        let p = plan(&q);
+        assert!(p.has_filter);
+        assert_eq!(
+            p.filter_columns.iter().collect::<Vec<_>>(),
+            vec!["boxes", "training/boxes"]
+        );
+        assert_eq!(p.sort_columns.iter().collect::<Vec<_>>(), vec!["embeddings"]);
+        assert_eq!(p.project_columns.iter().collect::<Vec<_>>(), vec!["images"]);
+        assert_eq!(p.window, (Some(7), Some(2)));
+        assert_eq!(p.sort, Some(SortDir::Asc));
+        assert!(!p.has_arrange);
+    }
+
+    #[test]
+    fn arrange_columns_counted_as_sort() {
+        let q = parse("SELECT * FROM d ARRANGE BY labels").unwrap();
+        let p = plan(&q);
+        assert!(p.has_arrange);
+        assert!(p.sort_columns.contains("labels"));
+        assert!(p.filter_columns.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Runtime values.
+
+use deeplake_tensor::{Sample, Scalar};
+
+/// A value produced while evaluating a TQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Numeric scalar.
+    Num(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+    /// N-dimensional tensor.
+    Tensor(Sample),
+    /// Missing.
+    Null,
+}
+
+impl Value {
+    /// Scalar numeric view: numbers and bools convert; a one-element
+    /// tensor collapses to its element (so `labels = 3` works on scalar
+    /// label tensors); anything else is `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Bool(b) => Some(*b as u8 as f64),
+            Value::Tensor(t) if t.num_elements() == 1 => t.get_f64(0).ok(),
+            _ => None,
+        }
+    }
+
+    /// Truthiness: false for 0 / false / empty string / empty tensor /
+    /// null; a one-element tensor follows its element.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Num(n) => *n != 0.0,
+            Value::Bool(b) => *b,
+            Value::Str(s) => !s.is_empty(),
+            Value::Tensor(t) => {
+                if t.num_elements() == 1 {
+                    t.get_f64(0).map(|v| v != 0.0).unwrap_or(false)
+                } else {
+                    !t.is_empty()
+                }
+            }
+            Value::Null => false,
+        }
+    }
+
+    /// Convert to an order key for `ORDER BY` / `ARRANGE BY`. Tensors use
+    /// their mean so ordering by an expression over arrays is meaningful.
+    pub fn to_scalar(&self) -> Scalar {
+        match self {
+            Value::Num(n) => Scalar::Float(*n),
+            Value::Bool(b) => Scalar::Bool(*b),
+            Value::Str(s) => Scalar::Str(s.clone()),
+            Value::Tensor(t) => {
+                if t.is_empty() {
+                    Scalar::Null
+                } else if t.num_elements() == 1 {
+                    Scalar::Float(t.get_f64(0).unwrap_or(f64::NAN))
+                } else {
+                    Scalar::Float(t.mean())
+                }
+            }
+            Value::Null => Scalar::Null,
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Num(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<Sample> for Value {
+    fn from(v: Sample) -> Self {
+        Value::Tensor(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_tensor_collapses() {
+        let v = Value::Tensor(Sample::scalar(7i32));
+        assert_eq!(v.as_f64(), Some(7.0));
+        assert!(v.truthy());
+        let z = Value::Tensor(Sample::scalar(0u8));
+        assert!(!z.truthy());
+    }
+
+    #[test]
+    fn multi_element_tensor_not_numeric() {
+        let v = Value::Tensor(Sample::from_slice([2], &[1u8, 2]).unwrap());
+        assert_eq!(v.as_f64(), None);
+        assert!(v.truthy());
+    }
+
+    #[test]
+    fn empty_tensor_falsy_and_null_key() {
+        let v = Value::Tensor(Sample::empty(deeplake_tensor::Dtype::F32));
+        assert!(!v.truthy());
+        assert_eq!(v.to_scalar(), Scalar::Null);
+    }
+
+    #[test]
+    fn order_key_uses_mean() {
+        let v = Value::Tensor(Sample::from_slice([2], &[2.0f64, 4.0]).unwrap());
+        assert_eq!(v.to_scalar(), Scalar::Float(3.0));
+    }
+
+    #[test]
+    fn null_is_falsy() {
+        assert!(!Value::Null.truthy());
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+}

@@ -1,0 +1,70 @@
+//! Parser robustness properties: no panics on arbitrary input, and
+//! round-trip stability of generated well-formed queries.
+
+use deeplake_tql::parser::{parse, parse_expr};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser must never panic, whatever bytes come in — it returns
+    /// Ok or Err (the embedded engine runs inside training processes).
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = parse(&input);
+        let _ = parse_expr(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_ascii_soup(input in "[a-zA-Z0-9 ,.:*()\\[\\]<>=!'\"+-/%_]{0,120}") {
+        let _ = parse(&input);
+    }
+
+    /// Generated well-formed filters always parse.
+    #[test]
+    fn well_formed_filters_parse(
+        col in "[a-z][a-z0-9_]{0,10}",
+        value in -1000i64..1000,
+        op in proptest::sample::select(vec!["=", "!=", "<", "<=", ">", ">="]),
+        limit in 1u64..100,
+    ) {
+        let q = format!("SELECT * FROM d WHERE {col} {op} {value} LIMIT {limit}");
+        let parsed = parse(&q).unwrap();
+        prop_assert!(parsed.select_all);
+        prop_assert_eq!(parsed.limit, Some(limit));
+        prop_assert!(parsed.filter.is_some());
+    }
+
+    /// Generated projections with slices always parse and keep arity.
+    #[test]
+    fn well_formed_projections_parse(
+        cols in proptest::collection::vec("[a-z][a-z0-9_]{0,8}", 1..5),
+        a in 0i64..50, b in 0i64..50,
+    ) {
+        let projections: Vec<String> = cols
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c}[{a}:{b}] AS out{i}"))
+            .collect();
+        let q = format!("SELECT {} FROM d", projections.join(", "));
+        let parsed = parse(&q).unwrap();
+        prop_assert_eq!(parsed.projections.len(), cols.len());
+        for (i, p) in parsed.projections.iter().enumerate() {
+            prop_assert_eq!(&p.name, &format!("out{i}"));
+        }
+    }
+
+    /// Numeric expressions evaluate associatively through the parser:
+    /// `a + b + c` parses left-assoc and constant-folds correctly at eval.
+    #[test]
+    fn arithmetic_precedence_sane(a in -50i64..50, b in -50i64..50, c in 1i64..50) {
+        let e = parse_expr(&format!("{a} + {b} * {c}")).unwrap();
+        // structure: Add(a, Mul(b, c))
+        match e {
+            deeplake_tql::Expr::Binary { op, .. } => {
+                prop_assert_eq!(op, deeplake_tql::ast::BinOp::Add);
+            }
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Mip-pyramid generation into hidden tensors.
+//!
+//! §3.4: "hidden tensors can be used to maintain down-sampled versions of
+//! images". The visualizer picks the pyramid level whose resolution
+//! matches the viewport, so a thumbnail grid over gigapixel data fetches
+//! kilobytes, not gigabytes.
+
+use deeplake_core::dataset::{Dataset, TensorOptions};
+use deeplake_tensor::{Dtype, Htype, Sample, Shape};
+
+use crate::Result;
+
+/// Name of the hidden pyramid tensor for `source` at `level` (each level
+/// halves both spatial axes).
+pub fn pyramid_tensor_name(source: &str, level: u32) -> String {
+    format!("_{source}_ds{level}")
+}
+
+/// 2× box-filter downsample of an `h×w×c` u8 image.
+pub fn downsample_2x(img: &Sample) -> Result<Sample> {
+    let dims = img.shape().dims();
+    let (h, w, c) = (dims[0] as usize, dims[1] as usize, dims[2] as usize);
+    let (oh, ow) = ((h / 2).max(1), (w / 2).max(1));
+    let src = img.bytes();
+    let mut out = vec![0u8; oh * ow * c];
+    for y in 0..oh {
+        for x in 0..ow {
+            for ch in 0..c {
+                let mut acc = 0u32;
+                let mut n = 0u32;
+                for dy in 0..2usize {
+                    for dx in 0..2usize {
+                        let sy = (y * 2 + dy).min(h - 1);
+                        let sx = (x * 2 + dx).min(w - 1);
+                        acc += src[(sy * w + sx) * c + ch] as u32;
+                        n += 1;
+                    }
+                }
+                out[(y * ow + x) * c + ch] = (acc / n) as u8;
+            }
+        }
+    }
+    Ok(Sample::from_bytes(
+        Dtype::U8,
+        Shape::from([oh as u64, ow as u64, c as u64]),
+        bytes::Bytes::from(out),
+    )
+    .expect("computed length"))
+}
+
+/// Build `levels` hidden pyramid tensors for an image tensor and fill
+/// them for every existing row. Levels are hidden, `derived_from` points
+/// at the source.
+pub fn build_pyramid(ds: &mut Dataset, source: &str, levels: u32) -> Result<()> {
+    let rows = ds.len();
+    for level in 1..=levels {
+        let name = pyramid_tensor_name(source, level);
+        let mut opts = TensorOptions::new(Htype::Generic);
+        opts.dtype = Some(Dtype::U8);
+        opts.hidden = true;
+        opts.derived_from = Some(source.to_string());
+        ds.create_tensor_opts(&name, opts)?;
+    }
+    for row in 0..rows {
+        let mut current = ds.get(source, row)?;
+        for level in 1..=levels {
+            let name = pyramid_tensor_name(source, level);
+            if current.is_empty() {
+                continue; // empty marker rows propagate empties
+            }
+            current = downsample_2x(&current)?;
+            // hidden tensors were backfilled with empty markers on
+            // creation; write the real level now
+            ds.store(&name)?; // validate existence
+            update_hidden(ds, &name, row, &current)?;
+        }
+    }
+    ds.flush()?;
+    Ok(())
+}
+
+/// Fetch the best pyramid level for a viewport of `max_side` pixels:
+/// returns the most downsampled level still at least viewport-sized,
+/// falling back to the source.
+pub fn fetch_for_viewport(
+    ds: &Dataset,
+    source: &str,
+    row: u64,
+    max_side: u64,
+    levels: u32,
+) -> Result<Sample> {
+    for level in (1..=levels).rev() {
+        let name = pyramid_tensor_name(source, level);
+        if ds.store(&name).is_err() {
+            continue;
+        }
+        if let Ok(s) = hidden_get(ds, &name, row) {
+            if !s.is_empty() && s.shape().dim(0) >= max_side && s.shape().dim(1) >= max_side {
+                return Ok(s);
+            }
+        }
+    }
+    ds.get(source, row)
+}
+
+// Hidden tensors are not reachable through rows; go through the store.
+fn hidden_get(ds: &Dataset, tensor: &str, row: u64) -> Result<Sample> {
+    ds.store(tensor)?.get(row)
+}
+
+fn update_hidden(ds: &mut Dataset, tensor: &str, row: u64, sample: &Sample) -> Result<()> {
+    // Dataset::update refuses hidden-tensor writes only for the id tensor;
+    // pyramid tensors accept updates
+    ds.update(tensor, row, sample)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeplake_codec::Compression;
+    use deeplake_storage::MemoryProvider;
+    use std::sync::Arc;
+
+    fn image_dataset(rows: u64, side: u64) -> Dataset {
+        let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "pyr").unwrap();
+        ds.create_tensor_opts("images", {
+            let mut o = TensorOptions::new(Htype::Image);
+            o.sample_compression = Some(Compression::None);
+            o
+        })
+        .unwrap();
+        for i in 0..rows {
+            let n = (side * side * 3) as usize;
+            let img = Sample::from_slice([side, side, 3], &vec![(i * 10) as u8; n]).unwrap();
+            ds.append_row(vec![("images", img)]).unwrap();
+        }
+        ds.flush().unwrap();
+        ds
+    }
+
+    #[test]
+    fn downsample_halves_dims_and_averages() {
+        let img = Sample::from_slice(
+            [2, 2, 1],
+            &[0u8, 100, 100, 200],
+        )
+        .unwrap();
+        let out = downsample_2x(&img).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 1]);
+        assert_eq!(out.to_vec::<u8>().unwrap(), vec![100]);
+    }
+
+    #[test]
+    fn pyramid_levels_created_hidden_and_filled() {
+        let mut ds = image_dataset(3, 16);
+        build_pyramid(&mut ds, "images", 2).unwrap();
+        // hidden: not listed among visible tensors
+        assert_eq!(ds.tensors(), vec!["images"]);
+        let l1 = pyramid_tensor_name("images", 1);
+        let l2 = pyramid_tensor_name("images", 2);
+        assert!(ds.tensors_all().contains(&l1.as_str()));
+        let meta = ds.tensor_meta(&l1).unwrap();
+        assert!(meta.hidden);
+        assert_eq!(meta.derived_from.as_deref(), Some("images"));
+        // shapes halve per level
+        let s1 = ds.store(&l1).unwrap().get(0).unwrap();
+        let s2 = ds.store(&l2).unwrap().get(0).unwrap();
+        assert_eq!(s1.shape().dims(), &[8, 8, 3]);
+        assert_eq!(s2.shape().dims(), &[4, 4, 3]);
+    }
+
+    #[test]
+    fn viewport_fetch_picks_smallest_sufficient_level() {
+        let mut ds = image_dataset(1, 32);
+        build_pyramid(&mut ds, "images", 3).unwrap();
+        // tiny viewport -> deepest level that is still >= 4 px
+        let s = fetch_for_viewport(&ds, "images", 0, 4, 3).unwrap();
+        assert_eq!(s.shape().dims(), &[4, 4, 3]);
+        // large viewport -> source resolution
+        let s = fetch_for_viewport(&ds, "images", 0, 32, 3).unwrap();
+        assert_eq!(s.shape().dims(), &[32, 32, 3]);
+        // mid viewport
+        let s = fetch_for_viewport(&ds, "images", 0, 8, 3).unwrap();
+        assert_eq!(s.shape().dims(), &[8, 8, 3]);
+    }
+
+    #[test]
+    fn viewport_fetch_without_pyramid_falls_back() {
+        let ds = image_dataset(1, 16);
+        let s = fetch_for_viewport(&ds, "images", 0, 4, 3).unwrap();
+        assert_eq!(s.shape().dims(), &[16, 16, 3]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Htype-driven layout planning (§4.3: "It considers htype of the tensors
+//! to determine the best layout for visualization. Primary tensors, such
+//! as image, video and audio are displayed first, while secondary data
+//! and annotations ... are overlayed").
+
+use deeplake_core::Dataset;
+use deeplake_tensor::Htype;
+use serde::{Deserialize, Serialize};
+
+/// How an overlay renders on its primary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverlayKind {
+    /// Rectangles (`bbox`).
+    Boxes,
+    /// Mask blending (`binary_mask`).
+    Mask,
+    /// Caption text (`text`, `class_label`).
+    Caption,
+    /// Scalar/embedding side panel.
+    Panel,
+}
+
+/// A tensor's role in the layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TensorRole {
+    /// Displayed as a main viewport, in order.
+    Primary {
+        /// Whether the primary is a playable sequence (video, audio,
+        /// `sequence[...]`) with a seek bar.
+        playable: bool,
+    },
+    /// Rendered over a primary tensor.
+    Overlay {
+        /// Primary tensor this overlays.
+        target: String,
+        /// Render style.
+        kind: OverlayKind,
+    },
+}
+
+/// The layout plan the front-end would consume, serialized as JSON.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct LayoutPlan {
+    /// `(tensor, role)` pairs; primaries in display order first.
+    pub entries: Vec<(String, TensorRole)>,
+}
+
+impl LayoutPlan {
+    /// Names of primary tensors in display order.
+    pub fn primaries(&self) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|(_, r)| matches!(r, TensorRole::Primary { .. }))
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Overlays attached to one primary.
+    pub fn overlays_of(&self, primary: &str) -> Vec<(&str, OverlayKind)> {
+        self.entries
+            .iter()
+            .filter_map(|(n, r)| match r {
+                TensorRole::Overlay { target, kind } if target == primary => {
+                    Some((n.as_str(), *kind))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Serialize to JSON for the front-end.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plan serializes")
+    }
+}
+
+/// Compute the layout for a dataset's visible tensors.
+///
+/// Overlays attach to the first primary tensor (multi-camera datasets get
+/// side-by-side primaries, matching §4.3's "display multiple sequences of
+/// images side-by-side").
+pub fn plan_layout(ds: &Dataset) -> LayoutPlan {
+    let names: Vec<String> = ds.tensors().into_iter().map(str::to_string).collect();
+    let mut primaries = Vec::new();
+    let mut overlays = Vec::new();
+    for name in &names {
+        let Ok(meta) = ds.tensor_meta(name) else { continue };
+        let htype = &meta.htype;
+        if htype.is_primary() {
+            let playable =
+                htype.is_sequence() || matches!(htype.base(), Htype::Video | Htype::Audio);
+            primaries.push((name.clone(), TensorRole::Primary { playable }));
+        } else {
+            let kind = match htype.base() {
+                Htype::BBox => OverlayKind::Boxes,
+                Htype::BinaryMask => OverlayKind::Mask,
+                Htype::Text | Htype::ClassLabel => OverlayKind::Caption,
+                _ => OverlayKind::Panel,
+            };
+            overlays.push((name.clone(), kind));
+        }
+    }
+    let first_primary = primaries.first().map(|(n, _)| n.clone()).unwrap_or_default();
+    let mut entries = primaries;
+    for (name, kind) in overlays {
+        entries.push((name, TensorRole::Overlay { target: first_primary.clone(), kind }));
+    }
+    LayoutPlan { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeplake_storage::MemoryProvider;
+    use deeplake_tensor::Dtype;
+    use std::sync::Arc;
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "viz").unwrap();
+        ds.create_tensor("images", Htype::Image, None).unwrap();
+        ds.create_tensor("clips", Htype::parse("sequence[image]").unwrap(), None).unwrap();
+        ds.create_tensor("boxes", Htype::BBox, None).unwrap();
+        ds.create_tensor("masks", Htype::BinaryMask, None).unwrap();
+        ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+        ds.create_tensor("captions", Htype::Text, None).unwrap();
+        ds.create_tensor("emb", Htype::Embedding, None).unwrap();
+        ds.create_tensor("scores", Htype::Generic, Some(Dtype::F32)).unwrap();
+        ds
+    }
+
+    #[test]
+    fn primaries_first_overlays_attached() {
+        let ds = dataset();
+        let plan = plan_layout(&ds);
+        assert_eq!(plan.primaries(), vec!["clips", "images"]);
+        let overlays = plan.overlays_of("clips");
+        let names: Vec<&str> = overlays.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["boxes", "captions", "emb", "labels", "masks", "scores"]);
+    }
+
+    #[test]
+    fn overlay_kinds_follow_htypes() {
+        let ds = dataset();
+        let plan = plan_layout(&ds);
+        let kinds: std::collections::BTreeMap<&str, OverlayKind> =
+            plan.overlays_of("clips").into_iter().collect();
+        assert_eq!(kinds["boxes"], OverlayKind::Boxes);
+        assert_eq!(kinds["masks"], OverlayKind::Mask);
+        assert_eq!(kinds["labels"], OverlayKind::Caption);
+        assert_eq!(kinds["captions"], OverlayKind::Caption);
+        assert_eq!(kinds["emb"], OverlayKind::Panel);
+    }
+
+    #[test]
+    fn sequences_are_playable() {
+        let ds = dataset();
+        let plan = plan_layout(&ds);
+        let playable: std::collections::BTreeMap<&str, bool> = plan
+            .entries
+            .iter()
+            .filter_map(|(n, r)| match r {
+                TensorRole::Primary { playable } => Some((n.as_str(), *playable)),
+                _ => None,
+            })
+            .collect();
+        assert!(playable["clips"]);
+        assert!(!playable["images"]);
+    }
+
+    #[test]
+    fn plan_serializes_to_json() {
+        let ds = dataset();
+        let plan = plan_layout(&ds);
+        let json = plan.to_json();
+        let back: LayoutPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn hidden_tensors_excluded() {
+        let ds = dataset();
+        let plan = plan_layout(&ds);
+        assert!(plan.entries.iter().all(|(n, _)| n != "_ids"));
+    }
+}

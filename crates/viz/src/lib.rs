@@ -1,0 +1,31 @@
+//! # deeplake-viz
+//!
+//! The visualization engine's server-side layer (§4.3). The paper's
+//! engine streams tensors from object storage and renders them with WebGL
+//! in the browser; the *systems* work — deciding layout from htypes,
+//! keeping downsampled pyramid levels in hidden tensors, fetching only
+//! the tiles a viewport needs, jumping into sequences without fetching
+//! whole samples — is all on the data side, and that is what this crate
+//! builds (see DESIGN.md substitutions):
+//!
+//! * [`layout`] — htype-driven layout planning: primary tensors (image /
+//!   video / audio) displayed first, annotations (`bbox`, `class_label`,
+//!   `binary_mask`, `text`) attached as overlays.
+//! * [`downsample`] — mip-pyramid generation into hidden tensors
+//!   (`derived_from` metadata links them to their source).
+//! * [`render`] — CPU rasterization of an image + bbox/mask overlays to a
+//!   PPM frame (stand-in for the GL draw call).
+//! * [`sequence`] — sequence playback indexing: jump to position `k` of a
+//!   `sequence[...]` row fetching only that element.
+
+pub mod downsample;
+pub mod layout;
+pub mod render;
+pub mod sequence;
+
+pub use downsample::{build_pyramid, pyramid_tensor_name};
+pub use layout::{plan_layout, LayoutPlan, OverlayKind, TensorRole};
+pub use render::render_frame;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, deeplake_core::CoreError>;

@@ -1,0 +1,236 @@
+//! CPU rasterization of one sample with its overlays (the stand-in for
+//! the browser's WebGL draw, per DESIGN.md).
+
+use deeplake_core::{CoreError, Dataset};
+use deeplake_tensor::{Dtype, Sample};
+
+use crate::layout::{LayoutPlan, OverlayKind, TensorRole};
+use crate::Result;
+
+/// An RGB frame ready for display or PPM export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Height.
+    pub h: u32,
+    /// Width.
+    pub w: u32,
+    /// RGB bytes, row-major.
+    pub rgb: Vec<u8>,
+    /// Caption lines collected from caption overlays.
+    pub captions: Vec<String>,
+}
+
+impl Frame {
+    /// Encode as binary PPM (P6).
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.w, self.h).into_bytes();
+        out.extend_from_slice(&self.rgb);
+        out
+    }
+
+    /// Pixel at `(y, x)`.
+    pub fn pixel(&self, y: u32, x: u32) -> [u8; 3] {
+        let i = ((y * self.w + x) * 3) as usize;
+        [self.rgb[i], self.rgb[i + 1], self.rgb[i + 2]]
+    }
+}
+
+/// Render row `row` of the plan's first primary tensor with all of its
+/// overlays applied.
+pub fn render_frame(ds: &Dataset, plan: &LayoutPlan, row: u64) -> Result<Frame> {
+    let primary = plan
+        .primaries()
+        .first()
+        .map(|s| s.to_string())
+        .ok_or_else(|| CoreError::Corrupt("layout has no primary tensor".into()))?;
+    let mut image = ds.get(&primary, row)?;
+    // sequence/video primaries render their first element (the player
+    // seeks further frames through `sequence::seek`)
+    if image.shape().rank() == 4 {
+        image = deeplake_tensor::ops::slice_sample(
+            &image,
+            &[deeplake_tensor::SliceSpec::Index(0)],
+        )?;
+    }
+    let mut frame = to_rgb(&image)?;
+
+    // two passes: area overlays (masks, captions) first, box outlines on
+    // top so annotations stay visible
+    for boxes_pass in [false, true] {
+        for (name, role) in &plan.entries {
+            let TensorRole::Overlay { target, kind } = role else { continue };
+            if *target != primary || (matches!(kind, OverlayKind::Boxes) != boxes_pass) {
+                continue;
+            }
+            let sample = ds.get(name, row)?;
+            if sample.is_empty() {
+                continue;
+            }
+            match kind {
+                OverlayKind::Boxes => draw_boxes(&mut frame, &sample),
+                OverlayKind::Mask => blend_mask(&mut frame, &sample),
+                OverlayKind::Caption => {
+                    let text = sample
+                        .to_text()
+                        .unwrap_or_else(|| format!("{name}: {:?}", sample.to_f64_vec()));
+                    frame.captions.push(text);
+                }
+                OverlayKind::Panel => {
+                    frame.captions.push(format!("{name}: {} values", sample.num_elements()));
+                }
+            }
+        }
+    }
+    Ok(frame)
+}
+
+/// Convert an `h×w×c` u8 sample to RGB (grayscale replicates, extra
+/// channels are dropped).
+fn to_rgb(image: &Sample) -> Result<Frame> {
+    if image.dtype() != Dtype::U8 || image.shape().rank() != 3 {
+        return Err(CoreError::Corrupt(format!(
+            "primary must be h*w*c u8, got {} {}",
+            image.dtype(),
+            image.shape()
+        )));
+    }
+    let dims = image.shape().dims();
+    let (h, w, c) = (dims[0] as u32, dims[1] as u32, dims[2] as usize);
+    let src = image.bytes();
+    let mut rgb = vec![0u8; (h * w * 3) as usize];
+    for i in 0..(h * w) as usize {
+        for ch in 0..3 {
+            rgb[i * 3 + ch] = src[i * c + ch.min(c - 1)];
+        }
+    }
+    Ok(Frame { h, w, rgb, captions: Vec::new() })
+}
+
+/// Draw `[n, 4]` `(x, y, w, h)` boxes as red outlines.
+fn draw_boxes(frame: &mut Frame, boxes: &Sample) {
+    let values = boxes.to_f64_vec();
+    for b in values.chunks_exact(4) {
+        let (x0, y0) = (b[0].max(0.0) as u32, b[1].max(0.0) as u32);
+        let x1 = ((b[0] + b[2]).max(0.0) as u32).min(frame.w.saturating_sub(1));
+        let y1 = ((b[1] + b[3]).max(0.0) as u32).min(frame.h.saturating_sub(1));
+        if x0 >= frame.w || y0 >= frame.h {
+            continue;
+        }
+        for x in x0..=x1 {
+            set_red(frame, y0, x);
+            set_red(frame, y1, x);
+        }
+        for y in y0..=y1 {
+            set_red(frame, y, x0);
+            set_red(frame, y, x1);
+        }
+    }
+}
+
+fn set_red(frame: &mut Frame, y: u32, x: u32) {
+    if y < frame.h && x < frame.w {
+        let i = ((y * frame.w + x) * 3) as usize;
+        frame.rgb[i] = 255;
+        frame.rgb[i + 1] = 0;
+        frame.rgb[i + 2] = 0;
+    }
+}
+
+/// Blend an `h×w` bool mask as a green tint.
+fn blend_mask(frame: &mut Frame, mask: &Sample) {
+    let dims = mask.shape().dims();
+    if dims.len() < 2 {
+        return;
+    }
+    let (mh, mw) = (dims[0] as u32, dims[1] as u32);
+    let values = mask.bytes();
+    for y in 0..mh.min(frame.h) {
+        for x in 0..mw.min(frame.w) {
+            if values[(y * mw + x) as usize] != 0 {
+                let i = ((y * frame.w + x) * 3) as usize;
+                frame.rgb[i + 1] = frame.rgb[i + 1].saturating_add(80);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::plan_layout;
+    use deeplake_codec::Compression;
+    use deeplake_core::dataset::TensorOptions;
+    use deeplake_storage::MemoryProvider;
+    use deeplake_tensor::Htype;
+    use std::sync::Arc;
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "render").unwrap();
+        ds.create_tensor_opts("images", {
+            let mut o = TensorOptions::new(Htype::Image);
+            o.sample_compression = Some(Compression::None);
+            o
+        })
+        .unwrap();
+        ds.create_tensor("boxes", Htype::BBox, None).unwrap();
+        ds.create_tensor("masks", Htype::BinaryMask, None).unwrap();
+        ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+        let img = Sample::from_slice([16, 16, 3], &vec![50u8; 16 * 16 * 3]).unwrap();
+        let boxes = Sample::from_slice([1, 4], &[2.0f32, 2.0, 5.0, 5.0]).unwrap();
+        let mask = Sample::from_slice([16, 16], &vec![true; 256]).unwrap();
+        ds.append_row(vec![
+            ("images", img),
+            ("boxes", boxes),
+            ("masks", mask),
+            ("labels", Sample::scalar(3i32)),
+        ])
+        .unwrap();
+        ds
+    }
+
+    #[test]
+    fn renders_with_overlays() {
+        let ds = dataset();
+        let plan = plan_layout(&ds);
+        let frame = render_frame(&ds, &plan, 0).unwrap();
+        assert_eq!((frame.h, frame.w), (16, 16));
+        // box outline corner is red
+        assert_eq!(frame.pixel(2, 2), [255, 0, 0]);
+        // interior pixel got the green mask tint over base 50
+        assert_eq!(frame.pixel(8, 8), [50, 130, 50]);
+        // caption collected from the class label
+        assert_eq!(frame.captions.len(), 1);
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let ds = dataset();
+        let plan = plan_layout(&ds);
+        let frame = render_frame(&ds, &plan, 0).unwrap();
+        let ppm = frame.to_ppm();
+        assert!(ppm.starts_with(b"P6\n16 16\n255\n"));
+        assert_eq!(ppm.len(), 13 + 16 * 16 * 3);
+    }
+
+    #[test]
+    fn empty_overlays_are_skipped() {
+        let mut ds = dataset();
+        // row with image only
+        let img = Sample::from_slice([8, 8, 3], &vec![10u8; 192]).unwrap();
+        ds.append_row(vec![("images", img)]).unwrap();
+        let plan = plan_layout(&ds);
+        let frame = render_frame(&ds, &plan, 1).unwrap();
+        assert_eq!(frame.pixel(4, 4), [10, 10, 10]);
+        assert!(frame.captions.is_empty());
+    }
+
+    #[test]
+    fn missing_primary_is_error() {
+        let provider = Arc::new(MemoryProvider::new());
+        let mut ds = Dataset::create(provider, "nop").unwrap();
+        ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+        ds.append_row(vec![("labels", Sample::scalar(1i32))]).unwrap();
+        let plan = plan_layout(&ds);
+        assert!(render_frame(&ds, &plan, 0).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Sequence playback (§4.3: "sequences can be played and jump to the
+//! specific position of the sequence without fetching the whole data").
+//!
+//! A `sequence[...]` sample's leading axis is the sequence axis. Jumping
+//! to position `k` slices only element `k` out of the stored sample; for
+//! stored *video* samples the format layer's [`deeplake_format::VideoIndex`]
+//! additionally turns a seek into a byte-range fetch of one key-frame
+//! segment (tested there).
+
+use deeplake_core::{CoreError, Dataset};
+use deeplake_tensor::{ops::slice_sample, Sample, SliceSpec};
+
+use crate::Result;
+
+/// Length of the sequence at `(tensor, row)` without decoding elements.
+pub fn sequence_len(ds: &Dataset, tensor: &str, row: u64) -> Result<u64> {
+    let meta = ds.tensor_meta(tensor)?;
+    if !meta.htype.is_sequence() {
+        return Err(CoreError::Corrupt(format!("{tensor} is not a sequence tensor")));
+    }
+    let shape = ds.get_shape(tensor, row)?;
+    Ok(shape.dims().first().copied().unwrap_or(0))
+}
+
+/// Fetch element `k` of the sequence at `(tensor, row)`.
+pub fn seek(ds: &Dataset, tensor: &str, row: u64, k: u64) -> Result<Sample> {
+    let len = sequence_len(ds, tensor, row)?;
+    if k >= len {
+        return Err(CoreError::RowOutOfRange { row: k, len });
+    }
+    let sample = ds.get(tensor, row)?;
+    Ok(slice_sample(&sample, &[SliceSpec::Index(k as i64)])?)
+}
+
+/// Fetch elements `[from, to)` of the sequence.
+pub fn seek_range(ds: &Dataset, tensor: &str, row: u64, from: u64, to: u64) -> Result<Sample> {
+    let len = sequence_len(ds, tensor, row)?;
+    if to > len || from > to {
+        return Err(CoreError::RowOutOfRange { row: to, len });
+    }
+    let sample = ds.get(tensor, row)?;
+    Ok(slice_sample(&sample, &[SliceSpec::range(from as i64, to as i64)])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeplake_core::dataset::TensorOptions;
+    use deeplake_storage::MemoryProvider;
+    use deeplake_tensor::{Dtype, Htype};
+    use std::sync::Arc;
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "seq").unwrap();
+        let mut opts = TensorOptions::new(Htype::parse("sequence[image]").unwrap());
+        opts.dtype = Some(Dtype::U8);
+        ds.create_tensor_opts("clips", opts).unwrap();
+        // 6 frames of 4x4x3, frame f filled with f*10
+        let mut data = Vec::new();
+        for f in 0..6u8 {
+            data.extend(std::iter::repeat(f * 10).take(4 * 4 * 3));
+        }
+        let clip = Sample::from_slice([6, 4, 4, 3], &data).unwrap();
+        ds.append_row(vec![("clips", clip)]).unwrap();
+        ds
+    }
+
+    #[test]
+    fn length_without_decode() {
+        let ds = dataset();
+        assert_eq!(sequence_len(&ds, "clips", 0).unwrap(), 6);
+    }
+
+    #[test]
+    fn seek_fetches_one_element() {
+        let ds = dataset();
+        let frame = seek(&ds, "clips", 0, 3).unwrap();
+        assert_eq!(frame.shape().dims(), &[4, 4, 3]);
+        assert_eq!(frame.to_vec::<u8>().unwrap()[0], 30);
+        assert!(seek(&ds, "clips", 0, 6).is_err());
+    }
+
+    #[test]
+    fn seek_range_fetches_window() {
+        let ds = dataset();
+        let window = seek_range(&ds, "clips", 0, 2, 5).unwrap();
+        assert_eq!(window.shape().dims(), &[3, 4, 4, 3]);
+        assert!(seek_range(&ds, "clips", 0, 4, 8).is_err());
+    }
+
+    #[test]
+    fn non_sequence_tensor_rejected() {
+        let mut ds = dataset();
+        ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+        assert!(sequence_len(&ds, "labels", 0).is_err());
+    }
+}

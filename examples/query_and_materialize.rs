@@ -1,0 +1,79 @@
+//! TQL + views + materialization (§4.4-4.5): run the paper's Fig. 5-style
+//! query, inspect the sparse view it produces, and materialize it into a
+//! dense dataset optimized for streaming.
+//!
+//! ```sh
+//! cargo run --example query_and_materialize
+//! ```
+
+use std::sync::Arc;
+
+use deeplake::prelude::*;
+
+fn main() {
+    // a detection-style dataset: images + predicted boxes + ground truth
+    let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "detection").unwrap();
+    ds.create_tensor_opts("images", {
+        let mut o = TensorOptions::new(Htype::Image);
+        o.sample_compression = Some(Compression::None);
+        o
+    })
+    .unwrap();
+    ds.create_tensor("boxes", Htype::BBox, None).unwrap();
+    ds.create_tensor("training/boxes", Htype::BBox, None).unwrap();
+    ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+
+    for i in 0..60u64 {
+        let img = Sample::from_slice([64, 64, 3], &vec![(i * 4 % 255) as u8; 64 * 64 * 3]).unwrap();
+        // predictions drift away from ground truth as i grows
+        let pred = Sample::from_slice([1, 4], &[(i % 12) as f32, 0.0, 20.0, 20.0]).unwrap();
+        let truth = Sample::from_slice([1, 4], &[0.0f32, 0.0, 20.0, 20.0]).unwrap();
+        ds.append_row(vec![
+            ("images", img),
+            ("boxes", pred),
+            ("training/boxes", truth),
+            ("labels", Sample::scalar((i % 5) as i32)),
+        ])
+        .unwrap();
+    }
+    ds.flush().unwrap();
+
+    // the paper's example query: crop images, normalize boxes, filter by
+    // IOU against ground truth, order by the error, group by label
+    let result = query(
+        &ds,
+        r#"SELECT images[8:56, 8:56, 0:2] AS crop,
+                  NORMALIZE(boxes, [0, 0, 48, 48]) AS box
+           FROM dataset
+           WHERE IOU(boxes, "training/boxes") > 0.6
+           ORDER BY IOU(boxes, "training/boxes")
+           ARRANGE BY labels"#,
+    )
+    .unwrap();
+    println!("query selected {} of {} rows", result.len(), ds.len());
+    println!("output columns: {:?}", result.columns);
+
+    // the result is a view — sparse relative to the source
+    let view = result.view(&ds);
+    println!("view sparseness: {:.2} (1.0 = contiguous)", view.sparseness());
+    view.save("high-iou").unwrap();
+
+    // materialize into a dense dataset: optimal chunk layout for training
+    let (dense, stats) =
+        materialize(&view, Arc::new(MemoryProvider::new()), "high-iou-dense", None).unwrap();
+    println!(
+        "materialized {} rows / {} bytes; dense sparseness: {:.2}",
+        stats.rows,
+        stats.bytes,
+        DatasetView::full(&dense).sparseness()
+    );
+
+    // stream the materialized dataset
+    let dense = Arc::new(dense);
+    let loader = DataLoader::builder(dense).batch_size(8).num_workers(2).build().unwrap();
+    let mut n = 0;
+    for batch in loader.epoch() {
+        n += batch.unwrap().len();
+    }
+    println!("streamed {n} dense rows");
+}

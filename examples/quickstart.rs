@@ -1,0 +1,74 @@
+//! Quickstart: the §5 "machine learning use case" end to end — create a
+//! dataset with `images` + `labels` tensors, append data, commit, query,
+//! stream, and write model predictions back.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use deeplake::prelude::*;
+
+fn main() {
+    // 1. an empty Deep Lake dataset on in-memory storage (swap in
+    //    LocalProvider or SimulatedCloudProvider freely)
+    let provider: DynProvider = Arc::new(MemoryProvider::new());
+    let mut ds = Dataset::create(provider, "quickstart").expect("create dataset");
+
+    // 2. declare tensors: images with JPEG-like sample compression,
+    //    labels with LZ4 chunk compression (the paper's §5 example)
+    ds.create_tensor("images", Htype::Image, None).unwrap();
+    ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+    println!("tensors: {:?}", ds.tensors());
+
+    // 3. append 100 rows; image shapes may vary per row (ragged tensors)
+    for i in 0..100u64 {
+        let side = 24 + (i % 3) * 4; // 24, 28, 32 px
+        let n = (side * side * 3) as usize;
+        let image = Sample::from_slice([side, side, 3], &vec![(i % 251) as u8; n]).unwrap();
+        ds.append_row(vec![
+            ("images", image),
+            ("labels", Sample::scalar((i % 10) as i32)),
+        ])
+        .unwrap();
+    }
+    ds.flush().unwrap();
+    println!("rows: {}", ds.len());
+
+    // 4. commit an immutable snapshot
+    let commit = ds.commit("initial 100 samples").unwrap();
+    println!("committed: {commit}");
+
+    // 5. query with TQL
+    let result = query(&ds, "SELECT * FROM ds WHERE labels = 3 ORDER BY MEAN(images) DESC")
+        .unwrap();
+    println!("label-3 rows (darkest first): {:?}", result.indices);
+
+    // 6. stream a training epoch (shuffled, 4 workers)
+    let ds = Arc::new(ds);
+    let loader = DataLoader::builder(ds.clone())
+        .batch_size(16)
+        .num_workers(4)
+        .shuffle(42)
+        .build()
+        .unwrap();
+    let mut images_seen = 0usize;
+    for batch in loader.epoch() {
+        let batch = batch.unwrap();
+        images_seen += batch.len();
+    }
+    println!("streamed {images_seen} images");
+    drop(loader); // release the loader's handle on the dataset
+
+    // 7. write model predictions back as a new tensor (§5: "stores the
+    //    output of the model in a new tensor called predictions")
+    let mut ds = Arc::try_unwrap(ds).ok().expect("sole owner");
+    ds.create_tensor("predictions", Htype::ClassLabel, None).unwrap();
+    for row in 0..ds.len() {
+        let fake_pred = (row % 10) as i32;
+        ds.update("predictions", row, &Sample::scalar(fake_pred)).unwrap();
+    }
+    ds.commit("added predictions").unwrap();
+    println!("history: {:?}", ds.log().unwrap().iter().map(|(_, m, _)| m.clone()).collect::<Vec<_>>());
+}

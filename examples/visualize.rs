@@ -1,0 +1,69 @@
+//! The visualizer's data layer (§4.3): htype-driven layout planning,
+//! downsampled pyramid tensors, overlay rendering to PPM, and sequence
+//! seeking.
+//!
+//! ```sh
+//! cargo run --example visualize
+//! ```
+
+use std::sync::Arc;
+
+use deeplake::prelude::*;
+use deeplake::viz;
+
+fn main() {
+    let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "viz-demo").unwrap();
+    ds.create_tensor_opts("images", {
+        let mut o = TensorOptions::new(Htype::Image);
+        o.sample_compression = Some(Compression::None);
+        o
+    })
+    .unwrap();
+    ds.create_tensor("boxes", Htype::BBox, None).unwrap();
+    ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+    let mut seq_opts = TensorOptions::new(Htype::parse("sequence[image]").unwrap());
+    seq_opts.dtype = Some(Dtype::U8);
+    ds.create_tensor_opts("clips", seq_opts).unwrap();
+
+    // one annotated frame + an 8-frame clip
+    let img = Sample::from_slice([64, 64, 3], &vec![90u8; 64 * 64 * 3]).unwrap();
+    let boxes = Sample::from_slice([2, 4], &[8.0f32, 8.0, 20.0, 16.0, 40.0, 30.0, 18.0, 24.0])
+        .unwrap();
+    let mut clip_data = Vec::new();
+    for f in 0..8u8 {
+        clip_data.extend(std::iter::repeat(f * 30).take(16 * 16 * 3));
+    }
+    let clip = Sample::from_slice([8, 16, 16, 3], &clip_data).unwrap();
+    ds.append_row(vec![
+        ("images", img),
+        ("boxes", boxes),
+        ("labels", Sample::scalar(2i32)),
+        ("clips", clip),
+    ])
+    .unwrap();
+    ds.flush().unwrap();
+
+    // 1. layout plan from htypes
+    let plan = viz::plan_layout(&ds);
+    println!("layout plan:\n{}", plan.to_json());
+
+    // 2. downsampled pyramid in hidden tensors
+    viz::build_pyramid(&mut ds, "images", 2).unwrap();
+    let thumb = viz::downsample::fetch_for_viewport(&ds, "images", 0, 16, 2).unwrap();
+    println!("viewport fetch for 16px thumbnail -> {} tensor", thumb.shape());
+
+    // 3. render the frame with overlays and write a PPM
+    let frame = viz::render_frame(&ds, &plan, 0).unwrap();
+    let path = std::env::temp_dir().join("deeplake_viz_frame.ppm");
+    std::fs::write(&path, frame.to_ppm()).unwrap();
+    println!("rendered {}x{} frame with captions {:?} -> {}", frame.w, frame.h, frame.captions, path.display());
+
+    // 4. sequence seeking without fetching the whole clip
+    let len = viz::sequence::sequence_len(&ds, "clips", 0).unwrap();
+    let frame5 = viz::sequence::seek(&ds, "clips", 0, 5).unwrap();
+    println!(
+        "clip has {len} frames; frame 5 is {} (first pixel {})",
+        frame5.shape(),
+        frame5.to_vec::<u8>().unwrap()[0]
+    );
+}

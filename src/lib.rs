@@ -1,0 +1,74 @@
+//! # Deep Lake (Rust reproduction)
+//!
+//! A from-scratch Rust implementation of **"Deep Lake: a Lakehouse for
+//! Deep Learning"** (Hambardzumyan et al., CIDR 2023): the Tensor Storage
+//! Format, Git-like dataset version control, the Tensor Query Language,
+//! the streaming dataloader, linked tensors and materialization, the
+//! visualization engine's data layer, and the full benchmark harness
+//! regenerating the paper's evaluation figures.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use deeplake::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // create a dataset on any storage provider
+//! let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "quick").unwrap();
+//! ds.create_tensor("images", Htype::Image, None).unwrap();
+//! ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+//!
+//! // append rows (ragged shapes are fine)
+//! ds.append_row(vec![
+//!     ("images", Sample::zeros(Dtype::U8, [32, 32, 3])),
+//!     ("labels", Sample::scalar(4i32)),
+//! ]).unwrap();
+//! ds.flush().unwrap();
+//!
+//! // version control
+//! let commit = ds.commit("first batch").unwrap();
+//!
+//! // query with TQL
+//! let result = deeplake::tql::query(&ds, "SELECT * FROM ds WHERE labels = 4").unwrap();
+//! assert_eq!(result.len(), 1);
+//!
+//! // stream to training
+//! let ds = Arc::new(ds);
+//! let loader = DataLoader::builder(ds).batch_size(8).build().unwrap();
+//! let batches: usize = loader.epoch().count();
+//! assert_eq!(batches, 1);
+//! let _ = commit;
+//! ```
+//!
+//! See the crate-level docs of each member for the subsystem details:
+//! [`tensor`], [`codec`], [`storage`], [`format`], [`core`], [`tql`],
+//! [`loader`], [`baselines`], [`sim`], [`viz`].
+
+pub use deeplake_baselines as baselines;
+pub use deeplake_codec as codec;
+pub use deeplake_core as core;
+pub use deeplake_format as format;
+pub use deeplake_loader as loader;
+pub use deeplake_sim as sim;
+pub use deeplake_storage as storage;
+pub use deeplake_tensor as tensor;
+pub use deeplake_tql as tql;
+pub use deeplake_viz as viz;
+
+/// The most commonly used types, in one import.
+pub mod prelude {
+    pub use deeplake_codec::Compression;
+    pub use deeplake_core::dataset::{Dataset, TensorOptions};
+    pub use deeplake_core::link::{make_link, LinkRegistry};
+    pub use deeplake_core::materialize::materialize;
+    pub use deeplake_core::transform::TransformPipeline;
+    pub use deeplake_core::version::MergePolicy;
+    pub use deeplake_core::{DatasetView, Row};
+    pub use deeplake_loader::{Batch, BatchColumn, DataLoader};
+    pub use deeplake_storage::{
+        DynProvider, LocalProvider, LruCacheProvider, MemoryProvider, NetworkProfile,
+        SimulatedCloudProvider, StorageProvider,
+    };
+    pub use deeplake_tensor::{Dtype, Htype, Sample, Shape, SliceSpec};
+    pub use deeplake_tql::query;
+}

@@ -1,0 +1,150 @@
+//! Cross-crate integration: the full ML loop of Fig. 2 — ingest with the
+//! parallel transform pipeline, version, query with TQL, stream with the
+//! dataloader, materialize the query view, visualize.
+
+use std::sync::Arc;
+
+use deeplake::prelude::*;
+use deeplake::tql;
+use deeplake::viz;
+use deeplake_core::transform::TransformPipeline;
+
+fn ingest_dataset() -> Dataset {
+    let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "lifecycle").unwrap();
+    ds.create_tensor_opts("images", {
+        let mut o = TensorOptions::new(Htype::Image);
+        o.sample_compression = Some(Compression::JPEG_LIKE);
+        o.chunk_target_bytes = Some(256 << 10);
+        o
+    })
+    .unwrap();
+    ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+
+    // ETL-style ingestion from an arbitrary row iterator (§4.1)
+    let rows = (0..120u64).map(|i| {
+        let side = 16 + (i % 4) * 4;
+        let n = (side * side * 3) as usize;
+        Row::new()
+            .with("images", Sample::from_slice([side, side, 3], &vec![(i % 200) as u8; n]).unwrap())
+            .with("labels", Sample::scalar((i % 6) as i32))
+    });
+    let stats = TransformPipeline::new().ingest(rows, &mut ds, 4).unwrap();
+    assert_eq!(stats.rows_out, 120);
+    ds.flush().unwrap();
+    ds
+}
+
+#[test]
+fn full_ml_loop() {
+    let mut ds = ingest_dataset();
+    let commit = ds.commit("ingested 120").unwrap();
+
+    // --- query: balance the dataset down to label 0-2 ---
+    let result = tql::query(&ds, "SELECT * FROM d WHERE labels < 3 ORDER BY labels").unwrap();
+    assert_eq!(result.len(), 60);
+
+    // --- stream the view, shuffled, through the loader ---
+    let ds_arc = Arc::new(ds);
+    let loader = DataLoader::builder(ds_arc.clone())
+        .indices(result.indices.clone())
+        .batch_size(16)
+        .num_workers(4)
+        .shuffle(99)
+        .build()
+        .unwrap();
+    let mut label_counts = [0u32; 6];
+    let mut rows_seen = 0;
+    for batch in loader.epoch() {
+        let batch = batch.unwrap();
+        rows_seen += batch.len();
+        let labels = batch.column("labels").unwrap();
+        for i in 0..labels.len() {
+            label_counts[labels.get(i).unwrap().get_f64(0).unwrap() as usize] += 1;
+        }
+    }
+    assert_eq!(rows_seen, 60);
+    assert_eq!(&label_counts[..3], &[20, 20, 20]);
+    assert_eq!(&label_counts[3..], &[0, 0, 0]);
+    drop(loader);
+    let mut ds = Arc::try_unwrap(ds_arc).ok().expect("loader released");
+
+    // --- materialize the balanced subset ---
+    let view = DatasetView::new(&ds, result.indices.clone());
+    let (dense, mstats) =
+        materialize(&view, Arc::new(MemoryProvider::new()), "balanced", None).unwrap();
+    assert_eq!(dense.len(), 60);
+    assert_eq!(mstats.rows, 60);
+    assert_eq!(DatasetView::full(&dense).sparseness(), 1.0);
+
+    // --- time travel still works after everything ---
+    ds.checkout(&commit).unwrap();
+    assert_eq!(ds.len(), 120);
+    assert!(ds.is_read_only());
+
+    // --- visualize a frame of the materialized dataset ---
+    let plan = viz::plan_layout(&dense);
+    assert_eq!(plan.primaries(), vec!["images"]);
+    let frame = viz::render_frame(&dense, &plan, 0).unwrap();
+    assert!(frame.w >= 16 && frame.h >= 16);
+}
+
+#[test]
+fn query_at_version_spans_history() {
+    let mut ds = ingest_dataset();
+    let v1 = ds.commit("v1").unwrap();
+    // second wave of data, labels shifted
+    for _ in 0..30 {
+        ds.append_row(vec![("labels", Sample::scalar(5i32))]).unwrap();
+    }
+    ds.flush().unwrap();
+
+    let now = tql::query(&ds, "SELECT * FROM d WHERE labels = 5").unwrap();
+    let q = format!("SELECT * FROM d AT VERSION \"{v1}\" WHERE labels = 5");
+    let then = tql::query(&ds, &q).unwrap();
+    assert_eq!(now.len() as u64, 20 + 30); // 120/6 originally + 30 new
+    assert_eq!(then.len(), 20);
+    // the historical view streams through the loader too
+    let hist = then.dataset.unwrap();
+    let loader = DataLoader::builder(Arc::new(hist))
+        .indices(then.indices.clone())
+        .batch_size(8)
+        .build()
+        .unwrap();
+    let n: usize = loader.epoch().map(|b| b.unwrap().len()).sum();
+    assert_eq!(n, 20);
+}
+
+#[test]
+fn transform_pipeline_feeds_new_dataset() {
+    let src = ingest_dataset();
+    let mut dest = Dataset::create(Arc::new(MemoryProvider::new()), "aug").unwrap();
+    dest.create_tensor_opts("images", {
+        let mut o = TensorOptions::new(Htype::Image);
+        o.sample_compression = Some(Compression::None);
+        o
+    })
+    .unwrap();
+    dest.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+
+    // augmentation: center-crop every image to 12x12 and duplicate rows
+    let crop = |row: &Row, emit: &mut dyn FnMut(Row)| {
+        let img = row.get("images").unwrap();
+        let cropped = deeplake_tensor::ops::slice_sample(
+            img,
+            &[SliceSpec::range(2, 14), SliceSpec::range(2, 14)],
+        )
+        .unwrap();
+        for _ in 0..2 {
+            emit(Row::new()
+                .with("images", cropped.clone())
+                .with("labels", row.get("labels").unwrap().clone()));
+        }
+        Ok(())
+    };
+    let stats = TransformPipeline::new().then(crop).apply(&src, &mut dest, 4).unwrap();
+    assert_eq!(stats.rows_in, 120);
+    assert_eq!(stats.rows_out, 240);
+    let meta = dest.tensor_meta("images").unwrap();
+    assert_eq!(meta.max_shape.dims(), &[12, 12, 3]);
+    assert!(meta.is_uniform());
+}

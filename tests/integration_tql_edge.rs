@@ -1,0 +1,146 @@
+//! TQL edge cases against real datasets: text comparisons, ragged
+//! tensors, combined clauses, degenerate inputs.
+
+use std::sync::Arc;
+
+use deeplake::prelude::*;
+use deeplake::tql::{self, Value};
+
+fn text_dataset() -> Dataset {
+    let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "texty").unwrap();
+    ds.create_tensor("captions", Htype::Text, None).unwrap();
+    ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+    for (i, caption) in ["a cat", "a dog", "two cats", "a bird", "cat and dog"]
+        .iter()
+        .enumerate()
+    {
+        ds.append_row(vec![
+            ("captions", Sample::from_text(caption)),
+            ("labels", Sample::scalar(i as i32)),
+        ])
+        .unwrap();
+    }
+    ds.flush().unwrap();
+    ds
+}
+
+#[test]
+fn text_equality_and_contains() {
+    let ds = text_dataset();
+    let r = tql::query(&ds, r#"SELECT * FROM d WHERE captions = "a dog""#).unwrap();
+    assert_eq!(r.indices, vec![1]);
+    let r = tql::query(&ds, r#"SELECT * FROM d WHERE CONTAINS(captions, "cat")"#).unwrap();
+    assert_eq!(r.indices, vec![0, 2, 4]);
+    let r = tql::query(&ds, r#"SELECT * FROM d WHERE NOT CONTAINS(captions, "cat")"#).unwrap();
+    assert_eq!(r.indices, vec![1, 3]);
+}
+
+#[test]
+fn string_ordering() {
+    let ds = text_dataset();
+    let r = tql::query(&ds, "SELECT captions FROM d ORDER BY captions LIMIT 2").unwrap();
+    let rows = r.rows.unwrap();
+    assert_eq!(rows[0][0], Value::Str("a bird".into()));
+}
+
+#[test]
+fn empty_dataset_queries_cleanly() {
+    let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "empty").unwrap();
+    ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+    ds.flush().unwrap();
+    let r = tql::query(&ds, "SELECT * FROM d WHERE labels = 1 ORDER BY labels LIMIT 5").unwrap();
+    assert!(r.is_empty());
+    let r = tql::query(&ds, "SELECT labels FROM d").unwrap();
+    assert!(r.rows.unwrap().is_empty());
+}
+
+#[test]
+fn ragged_tensor_queries_by_shape() {
+    let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "ragged").unwrap();
+    ds.create_tensor_opts("images", {
+        let mut o = TensorOptions::new(Htype::Image);
+        o.sample_compression = Some(Compression::None);
+        o
+    })
+    .unwrap();
+    for side in [8u64, 16, 8, 32, 16, 8] {
+        let n = (side * side * 3) as usize;
+        ds.append_row(vec![(
+            "images",
+            Sample::from_slice([side, side, 3], &vec![1u8; n]).unwrap(),
+        )])
+        .unwrap();
+    }
+    ds.flush().unwrap();
+    // filter by height via the SHAPE fast path
+    let r = tql::query(&ds, "SELECT * FROM d WHERE SHAPE(images)[0] = 8").unwrap();
+    assert_eq!(r.indices, vec![0, 2, 5]);
+    // SIZE counts elements
+    let r = tql::query(&ds, "SELECT * FROM d WHERE SIZE(images) > 700").unwrap();
+    assert_eq!(r.indices, vec![1, 3, 4]);
+}
+
+#[test]
+fn combined_order_arrange_limit_offset() {
+    let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "combo").unwrap();
+    ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+    ds.create_tensor("score", Htype::Generic, Some(Dtype::F64)).unwrap();
+    for i in 0..12 {
+        ds.append_row(vec![
+            ("labels", Sample::scalar((i % 3) as i32)),
+            ("score", Sample::scalar((12 - i) as f64)),
+        ])
+        .unwrap();
+    }
+    ds.flush().unwrap();
+    // order by score asc (reverses rows), then arrange by label, window
+    let r = tql::query(
+        &ds,
+        "SELECT * FROM d ORDER BY score ARRANGE BY labels LIMIT 4 OFFSET 2",
+    )
+    .unwrap();
+    assert_eq!(r.len(), 4);
+    // after ORDER BY score asc, rows are 11..0; ARRANGE groups label of
+    // row 11 (=2) first: [11, 8, 5, 2], then label 1: [10, 7, 4, 1], ...
+    assert_eq!(r.indices, vec![5, 2, 10, 7]);
+}
+
+#[test]
+fn arithmetic_on_tensors_in_projection() {
+    let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "arith").unwrap();
+    ds.create_tensor("v", Htype::Generic, Some(Dtype::F64)).unwrap();
+    ds.append_row(vec![("v", Sample::from_slice([3], &[1.0f64, 2.0, 3.0]).unwrap())]).unwrap();
+    ds.flush().unwrap();
+    let r = tql::query(&ds, "SELECT v * 2 + [1, 1, 1] AS scaled FROM d").unwrap();
+    let rows = r.rows.unwrap();
+    match &rows[0][0] {
+        Value::Tensor(t) => assert_eq!(t.to_f64_vec(), vec![3.0, 5.0, 7.0]),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn limit_beyond_result_is_clamped() {
+    let ds = text_dataset();
+    let r = tql::query(&ds, "SELECT * FROM d LIMIT 1000").unwrap();
+    assert_eq!(r.len(), 5);
+    let r = tql::query(&ds, "SELECT * FROM d LIMIT 5 OFFSET 100").unwrap();
+    assert!(r.is_empty());
+}
+
+#[test]
+fn rows_with_empty_markers_filterable() {
+    let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "sparse").unwrap();
+    ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+    ds.create_tensor("boxes", Htype::BBox, None).unwrap();
+    ds.append_row(vec![("labels", Sample::scalar(1i32))]).unwrap(); // no boxes
+    ds.append_row(vec![
+        ("labels", Sample::scalar(2i32)),
+        ("boxes", Sample::from_slice([1, 4], &[0.0f32, 0.0, 1.0, 1.0]).unwrap()),
+    ])
+    .unwrap();
+    ds.flush().unwrap();
+    // SIZE(boxes) = 0 finds the annotation-less row
+    let r = tql::query(&ds, "SELECT * FROM d WHERE SIZE(boxes) = 0").unwrap();
+    assert_eq!(r.indices, vec![0]);
+}

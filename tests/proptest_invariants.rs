@@ -1,0 +1,231 @@
+//! Property-based tests on the core invariants: codec roundtrips, chunk
+//! serialization, slicing semantics, index-map arithmetic, dataset
+//! append/read identity, and loader permutation delivery.
+
+use std::sync::Arc;
+
+use deeplake::prelude::*;
+use deeplake_codec::{lz4, rle};
+use deeplake_format::{Chunk, ChunkEncoder, SampleLocation};
+use deeplake_tensor::ops::slice_sample;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------------
+    // codecs: decompress(compress(x)) == x on arbitrary bytes
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn lz4_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = lz4::compress(&data);
+        prop_assert_eq!(lz4::decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn lz4_roundtrips_repetitive(
+        pattern in proptest::collection::vec(any::<u8>(), 1..16),
+        reps in 1usize..512,
+    ) {
+        let data: Vec<u8> = pattern.iter().cycle().take(pattern.len() * reps).copied().collect();
+        let c = lz4::compress(&data);
+        prop_assert!(c.len() <= data.len() + data.len() / 255 + 16);
+        prop_assert_eq!(lz4::decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = rle::compress(&data);
+        prop_assert_eq!(rle::decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn framed_codecs_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        for codec in [Compression::None, Compression::Lz4, Compression::Rle] {
+            let blob = codec.compress(&data);
+            prop_assert_eq!(Compression::decompress(&blob).unwrap(), data.clone());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // chunks: serialize/deserialize identity over ragged sample sets
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn chunk_roundtrips_ragged(
+        lens in proptest::collection::vec(0usize..200, 1..20),
+        chunk_lz4 in any::<bool>(),
+    ) {
+        let mut chunk = Chunk::new(Dtype::U8);
+        for (i, &len) in lens.iter().enumerate() {
+            let s = Sample::from_slice([len as u64], &vec![(i % 251) as u8; len]).unwrap();
+            chunk.append_sample(&s, Compression::None).unwrap();
+        }
+        let codec = if chunk_lz4 { Compression::Lz4 } else { Compression::None };
+        let blob = chunk.serialize(codec);
+        let back = Chunk::deserialize(&blob).unwrap();
+        prop_assert_eq!(back.sample_count(), lens.len());
+        for (i, &len) in lens.iter().enumerate() {
+            let s = back.sample(i).unwrap();
+            prop_assert_eq!(s.num_elements(), len as u64);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // slicing: matches a naive per-element reference implementation
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn slice_matches_reference(
+        h in 1u64..12, w in 1u64..12,
+        a0 in 0i64..12, b0 in 0i64..12,
+        a1 in 0i64..12, b1 in 0i64..12,
+    ) {
+        let n = (h * w) as usize;
+        let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+        let s = Sample::from_slice([h, w], &data).unwrap();
+        let specs = [SliceSpec::range(a0, b0), SliceSpec::range(a1, b1)];
+        let out = slice_sample(&s, &specs).unwrap();
+        // reference: iterate all (y, x), keep those inside the clamped ranges
+        let clamp = |a: i64, b: i64, len: u64| -> (u64, u64) {
+            let s = a.clamp(0, len as i64) as u64;
+            let e = b.clamp(0, len as i64) as u64;
+            (s, e.max(s))
+        };
+        let (ys, ye) = clamp(a0, b0, h);
+        let (xs, xe) = clamp(a1, b1, w);
+        let mut expect = Vec::new();
+        for y in ys..ye {
+            for x in xs..xe {
+                expect.push(data[(y * w + x) as usize]);
+            }
+        }
+        prop_assert_eq!(out.to_vec::<u8>().unwrap(), expect);
+        prop_assert_eq!(out.shape().dims(), &[ye - ys, xe - xs]);
+    }
+
+    // ------------------------------------------------------------------
+    // chunk encoder: locate agrees with a naive vector model under
+    // arbitrary append/replace interleavings
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn chunk_encoder_matches_model(
+        ops in proptest::collection::vec((any::<bool>(), 1u32..20, any::<u16>()), 1..40)
+    ) {
+        let mut enc = ChunkEncoder::new();
+        let mut model: Vec<(u64, u32)> = Vec::new(); // (chunk, local)
+        let mut next_chunk = 0u64;
+        for (is_append, count, pick) in ops {
+            if is_append || model.is_empty() {
+                let chunk = next_chunk;
+                next_chunk += 1;
+                enc.append_run(chunk, 0, count);
+                for local in 0..count {
+                    model.push((chunk, local));
+                }
+            } else {
+                let row = (pick as usize) % model.len();
+                let chunk = next_chunk;
+                next_chunk += 1;
+                enc.replace_row(row as u64, SampleLocation { chunk_id: chunk, local_index: 0 })
+                    .unwrap();
+                model[row] = (chunk, 0);
+            }
+        }
+        prop_assert_eq!(enc.num_rows(), model.len() as u64);
+        for (row, &(chunk, local)) in model.iter().enumerate() {
+            let loc = enc.locate(row as u64).unwrap();
+            prop_assert_eq!((loc.chunk_id, loc.local_index), (chunk, local));
+        }
+        // serialization preserves the mapping
+        let back = ChunkEncoder::deserialize(&enc.serialize()).unwrap();
+        prop_assert_eq!(back, enc);
+    }
+
+    // ------------------------------------------------------------------
+    // dataset: append/get identity over random ragged shapes + dtypes
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn dataset_append_get_identity(
+        shapes in proptest::collection::vec((1u64..20, 1u64..20), 1..12),
+        target in 256u64..4096,
+    ) {
+        let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "prop").unwrap();
+        let mut opts = TensorOptions::new(Htype::Generic);
+        opts.dtype = Some(Dtype::U16);
+        opts.chunk_target_bytes = Some(target);
+        ds.create_tensor_opts("x", opts).unwrap();
+        let mut expected = Vec::new();
+        for (i, &(a, b)) in shapes.iter().enumerate() {
+            let n = (a * b) as usize;
+            let vals: Vec<u16> = (0..n).map(|k| (k + i) as u16).collect();
+            let s = Sample::from_slice([a, b], &vals).unwrap();
+            ds.append_row(vec![("x", s.clone())]).unwrap();
+            expected.push(s);
+        }
+        ds.flush().unwrap();
+        for (row, want) in expected.iter().enumerate() {
+            prop_assert_eq!(&ds.get("x", row as u64).unwrap(), want);
+        }
+        // reopen from storage and verify again
+        let reopened = Dataset::open(ds.provider()).unwrap();
+        for (row, want) in expected.iter().enumerate() {
+            prop_assert_eq!(&reopened.get("x", row as u64).unwrap(), want);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // loader: any shuffle seed delivers each row exactly once
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn loader_delivers_exact_multiset(seed in any::<u64>(), batch in 1usize..16) {
+        let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "prop-loader").unwrap();
+        ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+        for i in 0..50 {
+            ds.append_row(vec![("labels", Sample::scalar(i as i32))]).unwrap();
+        }
+        ds.flush().unwrap();
+        let loader = DataLoader::builder(Arc::new(ds))
+            .batch_size(batch)
+            .num_workers(3)
+            .shuffle(seed)
+            .build()
+            .unwrap();
+        let mut seen = Vec::new();
+        for b in loader.epoch() {
+            let b = b.unwrap();
+            let col = b.column("labels").unwrap();
+            for i in 0..col.len() {
+                seen.push(col.get(i).unwrap().get_f64(0).unwrap() as i32);
+            }
+        }
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..50).collect::<Vec<i32>>());
+    }
+
+    // ------------------------------------------------------------------
+    // TQL: WHERE filter agrees with manual filtering
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn tql_filter_matches_manual(labels in proptest::collection::vec(0i32..8, 1..60), pick in 0i32..8) {
+        let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "prop-tql").unwrap();
+        ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+        for &l in &labels {
+            ds.append_row(vec![("labels", Sample::scalar(l))]).unwrap();
+        }
+        ds.flush().unwrap();
+        let r = deeplake::tql::query(&ds, &format!("SELECT * FROM d WHERE labels = {pick}")).unwrap();
+        let manual: Vec<u64> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == pick)
+            .map(|(i, _)| i as u64)
+            .collect();
+        prop_assert_eq!(r.indices, manual);
+    }
+}

@@ -34,7 +34,12 @@ pub trait FormatWriter: Send + Sync {
     ) -> Result<WriteReport>;
 }
 
-fn put(store: &dyn StorageProvider, key: &str, data: Vec<u8>, report: &mut WriteReport) -> Result<()> {
+fn put(
+    store: &dyn StorageProvider,
+    key: &str,
+    data: Vec<u8>,
+    report: &mut WriteReport,
+) -> Result<()> {
     report.bytes_written += data.len() as u64;
     report.objects += 1;
     store.put(key, Bytes::from(data))
@@ -59,10 +64,18 @@ impl FormatWriter for JpegDirWriter {
         prefix: &str,
         images: &[RawImage],
     ) -> Result<WriteReport> {
-        let mut report = WriteReport { samples: images.len() as u64, ..Default::default() };
+        let mut report = WriteReport {
+            samples: images.len() as u64,
+            ..Default::default()
+        };
         let mut labels = Vec::with_capacity(images.len() * 4);
         for (i, img) in images.iter().enumerate() {
-            put(store, &format!("{prefix}/{i:08}.img"), img.encode_jpeg_like(), &mut report)?;
+            put(
+                store,
+                &format!("{prefix}/{i:08}.img"),
+                img.encode_jpeg_like(),
+                &mut report,
+            )?;
             labels.extend_from_slice(&img.label.to_le_bytes());
         }
         put(store, &format!("{prefix}/labels.bin"), labels, &mut report)?;
@@ -86,7 +99,7 @@ pub fn npy_encode(img: &RawImage) -> Vec<u8> {
     let hlen = (header.len() + pad + 1) as u16;
     out.extend_from_slice(&hlen.to_le_bytes());
     out.extend_from_slice(header.as_bytes());
-    out.extend(std::iter::repeat(b' ').take(pad));
+    out.extend(std::iter::repeat_n(b' ', pad));
     out.push(b'\n');
     out.extend_from_slice(&img.pixels);
     out
@@ -123,9 +136,17 @@ impl FormatWriter for NpyDirWriter {
         prefix: &str,
         images: &[RawImage],
     ) -> Result<WriteReport> {
-        let mut report = WriteReport { samples: images.len() as u64, ..Default::default() };
+        let mut report = WriteReport {
+            samples: images.len() as u64,
+            ..Default::default()
+        };
         for (i, img) in images.iter().enumerate() {
-            put(store, &format!("{prefix}/{i:08}.npy"), npy_encode(img), &mut report)?;
+            put(
+                store,
+                &format!("{prefix}/{i:08}.npy"),
+                npy_encode(img),
+                &mut report,
+            )?;
         }
         Ok(report)
     }
@@ -154,13 +175,21 @@ impl FormatWriter for ZarrLikeWriter {
         prefix: &str,
         images: &[RawImage],
     ) -> Result<WriteReport> {
-        let mut report = WriteReport { samples: images.len() as u64, ..Default::default() };
+        let mut report = WriteReport {
+            samples: images.len() as u64,
+            ..Default::default()
+        };
         let (mh, mw, mc) = max_geometry(images);
         let meta = format!(
             "{{\"zarr_format\":2,\"shape\":[{},{},{},{}],\"chunks\":[{},{},{},{}],\"dtype\":\"|u1\"}}",
             images.len(), mh, mw, mc, self.batch_per_chunk, mh, mw, mc
         );
-        put(store, &format!("{prefix}/.zarray"), meta.into_bytes(), &mut report)?;
+        put(
+            store,
+            &format!("{prefix}/.zarray"),
+            meta.into_bytes(),
+            &mut report,
+        )?;
         let slot = (mh * mw * mc) as usize;
         for (ci, chunk) in images.chunks(self.batch_per_chunk).enumerate() {
             let mut buf = vec![0u8; slot * chunk.len()];
@@ -191,13 +220,22 @@ impl FormatWriter for N5LikeWriter {
         prefix: &str,
         images: &[RawImage],
     ) -> Result<WriteReport> {
-        let mut report = WriteReport { samples: images.len() as u64, ..Default::default() };
+        let mut report = WriteReport {
+            samples: images.len() as u64,
+            ..Default::default()
+        };
         let (mh, mw, mc) = max_geometry(images);
-        let attrs = format!(
+        let attrs =
+            format!(
             "{{\"dimensions\":[{},{},{},{}],\"blockSize\":[{},{},{},{}],\"dataType\":\"uint8\"}}",
             images.len(), mh, mw, mc, self.batch_per_chunk, mh, mw, mc
         );
-        put(store, &format!("{prefix}/attributes.json"), attrs.into_bytes(), &mut report)?;
+        put(
+            store,
+            &format!("{prefix}/attributes.json"),
+            attrs.into_bytes(),
+            &mut report,
+        )?;
         let slot = (mh * mw * mc) as usize;
         for (ci, chunk) in images.chunks(self.batch_per_chunk).enumerate() {
             let mut buf = Vec::with_capacity(slot * chunk.len() + 24);
@@ -224,7 +262,9 @@ impl FormatWriter for N5LikeWriter {
 }
 
 fn max_geometry(images: &[RawImage]) -> (u32, u32, u32) {
-    images.iter().fold((1, 1, 1), |(h, w, c), i| (h.max(i.h), w.max(i.w), c.max(i.c)))
+    images.iter().fold((1, 1, 1), |(h, w, c), i| {
+        (h.max(i.h), w.max(i.w), c.max(i.c))
+    })
 }
 
 fn pad_into(slot: &mut [u8], img: &RawImage, mh: u32, mw: u32, mc: u32) {
@@ -257,7 +297,10 @@ pub struct WebDatasetWriter {
 impl WebDatasetWriter {
     /// Encoded shards with the given target size (the common case).
     pub fn jpeg(shard_bytes: usize) -> Self {
-        WebDatasetWriter { shard_bytes, raw: false }
+        WebDatasetWriter {
+            shard_bytes,
+            raw: false,
+        }
     }
 }
 
@@ -272,22 +315,39 @@ impl FormatWriter for WebDatasetWriter {
         prefix: &str,
         images: &[RawImage],
     ) -> Result<WriteReport> {
-        let mut report = WriteReport { samples: images.len() as u64, ..Default::default() };
+        let mut report = WriteReport {
+            samples: images.len() as u64,
+            ..Default::default()
+        };
         let mut shard = Vec::new();
         let mut shard_no = 0usize;
         for (i, img) in images.iter().enumerate() {
-            tar::append_entry(&mut shard, &format!("{i:08}.img"), &img.encode_payload(self.raw));
+            tar::append_entry(
+                &mut shard,
+                &format!("{i:08}.img"),
+                &img.encode_payload(self.raw),
+            );
             tar::append_entry(&mut shard, &format!("{i:08}.cls"), &img.label.to_le_bytes());
             if shard.len() >= self.shard_bytes {
                 let mut done = std::mem::take(&mut shard);
                 tar::finish(&mut done);
-                put(store, &format!("{prefix}/shard-{shard_no:06}.tar"), done, &mut report)?;
+                put(
+                    store,
+                    &format!("{prefix}/shard-{shard_no:06}.tar"),
+                    done,
+                    &mut report,
+                )?;
                 shard_no += 1;
             }
         }
         if !shard.is_empty() {
             tar::finish(&mut shard);
-            put(store, &format!("{prefix}/shard-{shard_no:06}.tar"), shard, &mut report)?;
+            put(
+                store,
+                &format!("{prefix}/shard-{shard_no:06}.tar"),
+                shard,
+                &mut report,
+            )?;
         }
         Ok(report)
     }
@@ -316,7 +376,10 @@ impl FormatWriter for BetonWriter {
         prefix: &str,
         images: &[RawImage],
     ) -> Result<WriteReport> {
-        let mut report = WriteReport { samples: images.len() as u64, ..Default::default() };
+        let mut report = WriteReport {
+            samples: images.len() as u64,
+            ..Default::default()
+        };
         let blobs: Vec<Vec<u8>> = images.iter().map(|i| i.encode_payload(self.raw)).collect();
         let table_len = images.len() * 20;
         let payload_base = 16 + table_len;
@@ -358,7 +421,10 @@ impl FormatWriter for TfRecordWriter {
         prefix: &str,
         images: &[RawImage],
     ) -> Result<WriteReport> {
-        let mut report = WriteReport { samples: images.len() as u64, ..Default::default() };
+        let mut report = WriteReport {
+            samples: images.len() as u64,
+            ..Default::default()
+        };
         for (si, shard) in images.chunks(self.records_per_shard.max(1)).enumerate() {
             let mut out = Vec::new();
             for img in shard {
@@ -367,7 +433,12 @@ impl FormatWriter for TfRecordWriter {
                 out.extend_from_slice(&img.label.to_le_bytes());
                 out.extend_from_slice(&blob);
             }
-            put(store, &format!("{prefix}/part-{si:05}.tfrecord"), out, &mut report)?;
+            put(
+                store,
+                &format!("{prefix}/part-{si:05}.tfrecord"),
+                out,
+                &mut report,
+            )?;
         }
         Ok(report)
     }
@@ -393,7 +464,10 @@ impl FormatWriter for MsgpackShardWriter {
         prefix: &str,
         images: &[RawImage],
     ) -> Result<WriteReport> {
-        let mut report = WriteReport { samples: images.len() as u64, ..Default::default() };
+        let mut report = WriteReport {
+            samples: images.len() as u64,
+            ..Default::default()
+        };
         let mut index = Vec::new();
         for (si, shard) in images.chunks(self.records_per_shard.max(1)).enumerate() {
             let mut out = Vec::new();
@@ -406,9 +480,19 @@ impl FormatWriter for MsgpackShardWriter {
                 out.extend_from_slice(&blob);
             }
             index.push(format!("shard-{si:05}.msg:{}", shard.len()));
-            put(store, &format!("{prefix}/shard-{si:05}.msg"), out, &mut report)?;
+            put(
+                store,
+                &format!("{prefix}/shard-{si:05}.msg"),
+                out,
+                &mut report,
+            )?;
         }
-        put(store, &format!("{prefix}/index.txt"), index.join("\n").into_bytes(), &mut report)?;
+        put(
+            store,
+            &format!("{prefix}/index.txt"),
+            index.join("\n").into_bytes(),
+            &mut report,
+        )?;
         Ok(report)
     }
 }
@@ -436,10 +520,19 @@ mod tests {
             Box::new(NpyDirWriter),
             Box::new(ZarrLikeWriter { batch_per_chunk: 4 }),
             Box::new(N5LikeWriter { batch_per_chunk: 4 }),
-            Box::new(WebDatasetWriter { shard_bytes: 8192, raw: false }),
+            Box::new(WebDatasetWriter {
+                shard_bytes: 8192,
+                raw: false,
+            }),
             Box::new(BetonWriter::default()),
-            Box::new(TfRecordWriter { records_per_shard: 8, raw: false }),
-            Box::new(MsgpackShardWriter { records_per_shard: 8, raw: false }),
+            Box::new(TfRecordWriter {
+                records_per_shard: 8,
+                raw: false,
+            }),
+            Box::new(MsgpackShardWriter {
+                records_per_shard: 8,
+                raw: false,
+            }),
         ]
     }
 
@@ -464,11 +557,20 @@ mod tests {
         assert_eq!(JpegDirWriter.write(&store, "a", &imgs).unwrap().objects, 21);
         // zarr: meta + ceil(20/4) chunks
         assert_eq!(
-            ZarrLikeWriter { batch_per_chunk: 4 }.write(&store, "b", &imgs).unwrap().objects,
+            ZarrLikeWriter { batch_per_chunk: 4 }
+                .write(&store, "b", &imgs)
+                .unwrap()
+                .objects,
             6
         );
         // beton: single object
-        assert_eq!(BetonWriter::default().write(&store, "c", &imgs).unwrap().objects, 1);
+        assert_eq!(
+            BetonWriter::default()
+                .write(&store, "c", &imgs)
+                .unwrap()
+                .objects,
+            1
+        );
     }
 
     #[test]
@@ -492,7 +594,9 @@ mod tests {
             label: 1,
         });
         let store = MemoryProvider::new();
-        let report = ZarrLikeWriter { batch_per_chunk: 4 }.write(&store, "z", &imgs).unwrap();
+        let report = ZarrLikeWriter { batch_per_chunk: 4 }
+            .write(&store, "z", &imgs)
+            .unwrap();
         // padded bytes: every sample takes the max 8*8*3 slot
         assert!(report.bytes_written as usize >= 3 * 8 * 8 * 3);
     }
@@ -501,7 +605,12 @@ mod tests {
     fn webdataset_shards_split_by_size() {
         let imgs = images(50, 16);
         let store = MemoryProvider::new();
-        let report = WebDatasetWriter { shard_bytes: 4096, raw: false }.write(&store, "w", &imgs).unwrap();
+        let report = WebDatasetWriter {
+            shard_bytes: 4096,
+            raw: false,
+        }
+        .write(&store, "w", &imgs)
+        .unwrap();
         assert!(report.objects > 1, "should split into multiple shards");
         let shards = store.list("w/").unwrap();
         assert_eq!(shards.len() as u64, report.objects);

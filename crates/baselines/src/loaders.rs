@@ -161,7 +161,9 @@ pub struct BetonLoader {
 
 impl Default for BetonLoader {
     fn default() -> Self {
-        BetonLoader { records_per_read: 64 }
+        BetonLoader {
+            records_per_read: 64,
+        }
     }
 }
 
@@ -239,8 +241,7 @@ impl Loader for MsgpackLoader {
                 if data[pos] != 0x82 {
                     return Err(StorageError::Io("bad msgpack tag".into()));
                 }
-                let len =
-                    u32::from_le_bytes(data[pos + 1..pos + 5].try_into().unwrap()) as usize;
+                let len = u32::from_le_bytes(data[pos + 1..pos + 5].try_into().unwrap()) as usize;
                 let label = i32::from_le_bytes(data[pos + 5..pos + 9].try_into().unwrap());
                 let blob = &data[pos + 9..pos + 9 + len];
                 let img = RawImage::decode_any(blob, label)
@@ -284,9 +285,19 @@ mod tests {
         let imgs = images(60);
         let store = MemoryProvider::new();
         JpegDirWriter.write(&store, "pt", &imgs).unwrap();
-        WebDatasetWriter { shard_bytes: 8192, raw: false }.write(&store, "wd", &imgs).unwrap();
+        WebDatasetWriter {
+            shard_bytes: 8192,
+            raw: false,
+        }
+        .write(&store, "wd", &imgs)
+        .unwrap();
         BetonWriter::default().write(&store, "ff", &imgs).unwrap();
-        MsgpackShardWriter { records_per_shard: 16, raw: false }.write(&store, "sq", &imgs).unwrap();
+        MsgpackShardWriter {
+            records_per_shard: 16,
+            raw: false,
+        }
+        .write(&store, "sq", &imgs)
+        .unwrap();
 
         let loaders: Vec<(Box<dyn Loader>, &str)> = vec![
             (Box::new(FilePerSampleLoader), "pt"),
@@ -297,7 +308,12 @@ mod tests {
         for (loader, prefix) in loaders {
             let report = loader.epoch(&store, prefix, 4).unwrap();
             assert_eq!(report.samples, 60, "{}", loader.name());
-            assert_eq!(report.check.label_sum, expected_label_sum(60), "{}", loader.name());
+            assert_eq!(
+                report.check.label_sum,
+                expected_label_sum(60),
+                "{}",
+                loader.name()
+            );
             assert_eq!(report.bytes, 60 * 16 * 16 * 3, "{}", loader.name());
         }
     }
@@ -318,7 +334,11 @@ mod tests {
         let imgs = images(20);
         let store = MemoryProvider::new();
         BetonWriter::default().write(&store, "ff", &imgs).unwrap();
-        let report = BetonLoader { records_per_read: 3 }.epoch(&store, "ff", 2).unwrap();
+        let report = BetonLoader {
+            records_per_read: 3,
+        }
+        .epoch(&store, "ff", 2)
+        .unwrap();
         assert_eq!(report.samples, 20);
     }
 
@@ -336,7 +356,12 @@ mod tests {
         // roundtrip for Fig. 6's ingestion comparison
         let imgs = images(10);
         let store = MemoryProvider::new();
-        TfRecordWriter { records_per_shard: 4, raw: false }.write(&store, "tf", &imgs).unwrap();
+        TfRecordWriter {
+            records_per_shard: 4,
+            raw: false,
+        }
+        .write(&store, "tf", &imgs)
+        .unwrap();
         let mut seen = 0;
         for key in store.list("tf/").unwrap() {
             let data = store.get(&key).unwrap();
@@ -344,8 +369,7 @@ mod tests {
             while pos + 12 <= data.len() {
                 let len = u64::from_le_bytes(data[pos..pos + 8].try_into().unwrap()) as usize;
                 let label = i32::from_le_bytes(data[pos + 8..pos + 12].try_into().unwrap());
-                let img =
-                    RawImage::decode_any(&data[pos + 12..pos + 12 + len], label).unwrap();
+                let img = RawImage::decode_any(&data[pos + 12..pos + 12 + len], label).unwrap();
                 assert_eq!((img.h, img.w), (16, 16));
                 seen += 1;
                 pos += 12 + len;
@@ -358,7 +382,8 @@ mod tests {
     fn file_per_sample_issues_one_get_per_sample() {
         use deeplake_storage::{NetworkProfile, SimulatedCloudProvider};
         let imgs = images(25);
-        let sim = SimulatedCloudProvider::new("s3", MemoryProvider::new(), NetworkProfile::instant());
+        let sim =
+            SimulatedCloudProvider::new("s3", MemoryProvider::new(), NetworkProfile::instant());
         JpegDirWriter.write(&sim, "pt", &imgs).unwrap();
         sim.stats().reset();
         FilePerSampleLoader.epoch(&sim, "pt", 4).unwrap();
@@ -370,8 +395,14 @@ mod tests {
     fn webdataset_issues_one_get_per_shard() {
         use deeplake_storage::{NetworkProfile, SimulatedCloudProvider};
         let imgs = images(40);
-        let sim = SimulatedCloudProvider::new("s3", MemoryProvider::new(), NetworkProfile::instant());
-        WebDatasetWriter { shard_bytes: 16384, raw: false }.write(&sim, "wd", &imgs).unwrap();
+        let sim =
+            SimulatedCloudProvider::new("s3", MemoryProvider::new(), NetworkProfile::instant());
+        WebDatasetWriter {
+            shard_bytes: 16384,
+            raw: false,
+        }
+        .write(&sim, "wd", &imgs)
+        .unwrap();
         let shards = sim.inner().list("wd/").unwrap().len() as u64;
         sim.stats().reset();
         TarStreamLoader.epoch(&sim, "wd", 4).unwrap();

@@ -36,7 +36,13 @@ impl RawImage {
     pub fn decode_jpeg_like(blob: &[u8], label: i32) -> Option<RawImage> {
         let (pixels, geom) = Compression::decompress_image(blob).ok()?;
         let (h, w, c) = geom?;
-        Some(RawImage { pixels: Bytes::from(pixels), h, w, c, label })
+        Some(RawImage {
+            pixels: Bytes::from(pixels),
+            h,
+            w,
+            c,
+            label,
+        })
     }
 
     /// Encode either raw (`.npy`-framed, used when a format ingests
@@ -53,7 +59,13 @@ impl RawImage {
     /// framing.
     pub fn decode_any(blob: &[u8], label: i32) -> Option<RawImage> {
         if let Some((pixels, h, w, c)) = crate::formats::npy_decode(blob) {
-            return Some(RawImage { pixels, h, w, c, label });
+            return Some(RawImage {
+                pixels,
+                h,
+                w,
+                c,
+                label,
+            });
         }
         Self::decode_jpeg_like(blob, label)
     }
@@ -121,7 +133,13 @@ mod tests {
     use super::*;
 
     fn img(fill: u8) -> RawImage {
-        RawImage { pixels: Bytes::from(vec![fill; 16 * 16 * 3]), h: 16, w: 16, c: 3, label: 7 }
+        RawImage {
+            pixels: Bytes::from(vec![fill; 16 * 16 * 3]),
+            h: 16,
+            w: 16,
+            c: 3,
+            label: 7,
+        }
     }
 
     #[test]
@@ -148,8 +166,22 @@ mod tests {
 
     #[test]
     fn epoch_report_merges() {
-        let mut a = EpochReport { samples: 2, bytes: 100, check: DecodeCheck { pixel_sum: 5, label_sum: 3 } };
-        let b = EpochReport { samples: 1, bytes: 50, check: DecodeCheck { pixel_sum: 2, label_sum: 1 } };
+        let mut a = EpochReport {
+            samples: 2,
+            bytes: 100,
+            check: DecodeCheck {
+                pixel_sum: 5,
+                label_sum: 3,
+            },
+        };
+        let b = EpochReport {
+            samples: 1,
+            bytes: 50,
+            check: DecodeCheck {
+                pixel_sum: 2,
+                label_sum: 1,
+            },
+        };
         a.merge(&b);
         assert_eq!(a.samples, 3);
         assert_eq!(a.bytes, 150);

@@ -37,12 +37,12 @@ pub fn append_entry(out: &mut Vec<u8>, name: &str, data: &[u8]) {
     out.extend_from_slice(&header);
     out.extend_from_slice(data);
     let pad = (BLOCK - data.len() % BLOCK) % BLOCK;
-    out.extend(std::iter::repeat(0u8).take(pad));
+    out.extend(std::iter::repeat_n(0u8, pad));
 }
 
 /// Finish a tar stream (two zero blocks).
 pub fn finish(out: &mut Vec<u8>) {
-    out.extend(std::iter::repeat(0u8).take(2 * BLOCK));
+    out.extend(std::iter::repeat_n(0u8, 2 * BLOCK));
 }
 
 /// Iterate `(name, data)` entries of a tar byte stream sequentially.
@@ -74,8 +74,8 @@ impl Iterator for TarReader {
             let name = String::from_utf8_lossy(&header[..name_end]).to_string();
             let size_field = &header[124..135];
             let size_str = String::from_utf8_lossy(size_field);
-            let size = usize::from_str_radix(size_str.trim_matches(char::from(0)).trim(), 8)
-                .unwrap_or(0);
+            let size =
+                usize::from_str_radix(size_str.trim_matches(char::from(0)).trim(), 8).unwrap_or(0);
             let data_start = self.pos + BLOCK;
             if data_start + size > self.data.len() {
                 return None; // truncated

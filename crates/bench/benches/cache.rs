@@ -15,17 +15,15 @@ fn bench_cache(c: &mut Criterion) {
     let images = datagen::imagenet_like(200, 48, 7);
     let mut group = c.benchmark_group("ablation_lru_cache");
     group.sample_size(10);
-    for (name, capacity) in
-        [("no_cache", 0u64), ("cache_1mb", 1 << 20), ("cache_64mb", 64 << 20)]
-    {
+    for (name, capacity) in [
+        ("no_cache", 0u64),
+        ("cache_1mb", 1 << 20),
+        ("cache_64mb", 64 << 20),
+    ] {
         let backing = Arc::new(MemoryProvider::new());
         let ds = build_deeplake_dataset(backing.clone(), &images, true, 256 << 10);
         drop(ds);
-        let remote = SimulatedCloudProvider::new(
-            "s3",
-            backing,
-            NetworkProfile::s3().scaled(0.01),
-        );
+        let remote = SimulatedCloudProvider::new("s3", backing, NetworkProfile::s3().scaled(0.01));
         let provider: DynProvider = if capacity == 0 {
             Arc::new(remote)
         } else {

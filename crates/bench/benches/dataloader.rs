@@ -29,8 +29,14 @@ fn bench_dataloaders(c: &mut Criterion) {
 
     // baselines
     let cases: Vec<(Box<dyn FormatWriter>, Box<dyn Loader>)> = vec![
-        (Box::new(BetonWriter::default()), Box::new(BetonLoader::default())),
-        (Box::new(WebDatasetWriter::jpeg(1 << 20)), Box::new(TarStreamLoader)),
+        (
+            Box::new(BetonWriter::default()),
+            Box::new(BetonLoader::default()),
+        ),
+        (
+            Box::new(WebDatasetWriter::jpeg(1 << 20)),
+            Box::new(TarStreamLoader),
+        ),
         (Box::new(JpegDirWriter), Box::new(FilePerSampleLoader)),
     ];
     for (writer, loader) in cases {

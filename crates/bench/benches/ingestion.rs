@@ -26,7 +26,10 @@ fn bench_ingestion(c: &mut Criterion) {
         )
     });
     let writers: Vec<Box<dyn FormatWriter>> = vec![
-        Box::new(WebDatasetWriter { shard_bytes: 1 << 20, raw: true }),
+        Box::new(WebDatasetWriter {
+            shard_bytes: 1 << 20,
+            raw: true,
+        }),
         Box::new(BetonWriter { raw: true }),
         Box::new(ZarrLikeWriter { batch_per_chunk: 8 }),
         Box::new(NpyDirWriter),
@@ -53,7 +56,8 @@ fn bench_ingestion(c: &mut Criterion) {
                 o.chunk_compression = Some(codec);
                 ds.create_tensor_opts("labels", o).unwrap();
                 for i in 0..2000 {
-                    ds.append_row(vec![("labels", Sample::scalar((i % 10) as i32))]).unwrap();
+                    ds.append_row(vec![("labels", Sample::scalar(i % 10))])
+                        .unwrap();
                 }
                 ds.flush().unwrap();
                 ds

@@ -24,8 +24,9 @@ fn bench_shuffle(c: &mut Criterion) {
     for buffer in [0usize, 64, 256, 1024] {
         group.bench_function(format!("buffer_{buffer}"), |b| {
             b.iter(|| {
-                let mut builder =
-                    DataLoader::builder(ds.clone()).batch_size(32).num_workers(4);
+                let mut builder = DataLoader::builder(ds.clone())
+                    .batch_size(32)
+                    .num_workers(4);
                 if buffer > 0 {
                     builder = builder.shuffle_with(ShuffleConfig {
                         buffer_rows: buffer,

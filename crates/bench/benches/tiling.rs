@@ -5,8 +5,8 @@
 //! the intersecting tiles — far cheaper than reassembling everything.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use deeplake_core::dataset::{Dataset, TensorOptions};
 use deeplake_codec::Compression;
+use deeplake_core::dataset::{Dataset, TensorOptions};
 use deeplake_format::tile_encoder;
 use deeplake_storage::MemoryProvider;
 use deeplake_tensor::{Htype, Sample, SliceSpec};
@@ -60,7 +60,11 @@ fn bench_tiling(c: &mut Criterion) {
             // recompute the layout geometry (public tile API)
             let shape = deeplake_tensor::Shape::from([256, 256, 3]);
             let tile_shape = tile_encoder::compute_tile_shape(&shape, 1, 16 << 10);
-            tile_encoder::TileLayout { sample_shape: shape, tile_shape, tile_chunks: vec![] }
+            tile_encoder::TileLayout {
+                sample_shape: shape,
+                tile_shape,
+                tile_chunks: vec![],
+            }
         };
         let _ = store;
         b.iter(|| {

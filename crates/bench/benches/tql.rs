@@ -18,10 +18,14 @@ fn dataset(rows: u64) -> Dataset {
     .unwrap();
     ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
     ds.create_tensor("boxes", Htype::BBox, None).unwrap();
-    ds.create_tensor("training/boxes", Htype::BBox, None).unwrap();
+    ds.create_tensor("training/boxes", Htype::BBox, None)
+        .unwrap();
     for i in 0..rows {
         ds.append_row(vec![
-            ("images", Sample::from_slice([16, 16, 3], &vec![(i % 251) as u8; 768]).unwrap()),
+            (
+                "images",
+                Sample::from_slice([16, 16, 3], &vec![(i % 251) as u8; 768]).unwrap(),
+            ),
             ("labels", Sample::scalar((i % 10) as i32)),
             (
                 "boxes",
@@ -50,8 +54,11 @@ fn bench_tql(c: &mut Criterion) {
     });
     group.bench_function("order_by_mean_image", |b| {
         b.iter(|| {
-            let r = query(&ds, "SELECT * FROM d WHERE labels < 2 ORDER BY MEAN(images) DESC")
-                .unwrap();
+            let r = query(
+                &ds,
+                "SELECT * FROM d WHERE labels < 2 ORDER BY MEAN(images) DESC",
+            )
+            .unwrap();
             assert_eq!(r.len(), 400);
         })
     });

@@ -17,7 +17,11 @@ fn bench_training_modes(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("fig9_training_modes");
     group.sample_size(10);
-    for mode in [TrainMode::FileMode, TrainMode::FastFileMode, TrainMode::DeepLakeStream] {
+    for mode in [
+        TrainMode::FileMode,
+        TrainMode::FastFileMode,
+        TrainMode::DeepLakeStream,
+    ] {
         group.bench_function(mode.name(), |b| {
             b.iter(|| {
                 let r = run_training(mode, &cfg);

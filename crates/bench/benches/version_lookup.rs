@@ -15,12 +15,13 @@ fn dataset_with_depth(commits: usize) -> Dataset {
     let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "deep").unwrap();
     ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
     for i in 0..100 {
-        ds.append_row(vec![("labels", Sample::scalar(i as i32))]).unwrap();
+        ds.append_row(vec![("labels", Sample::scalar(i))]).unwrap();
     }
     ds.commit("base").unwrap();
     for k in 0..commits {
         // each commit touches one row so history stays relevant
-        ds.update("labels", (k % 100) as u64, &Sample::scalar(-1i32)).unwrap();
+        ds.update("labels", (k % 100) as u64, &Sample::scalar(-1i32))
+            .unwrap();
         ds.commit(&format!("touch {k}")).unwrap();
     }
     ds

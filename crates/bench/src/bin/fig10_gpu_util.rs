@@ -18,9 +18,7 @@ use deeplake_core::dataset::{Dataset, TensorOptions};
 use deeplake_core::link::{make_link, resolve, single_provider_registry};
 use deeplake_core::transform::TransformPipeline;
 use deeplake_sim::cluster::{run_cluster, ClusterConfig};
-use deeplake_storage::{
-    MemoryProvider, NetworkProfile, SimulatedCloudProvider, StorageProvider,
-};
+use deeplake_storage::{MemoryProvider, NetworkProfile, SimulatedCloudProvider, StorageProvider};
 use deeplake_tensor::Htype;
 
 fn main() {
@@ -99,7 +97,10 @@ fn ingest_comparison(n: usize, side: u32, scale: f64) {
     for (i, img) in images.iter().enumerate() {
         // bypass the simulated delay when seeding
         external
-            .put(&format!("seeded/{i}.bin"), bytes::Bytes::from(img.encode_jpeg_like()))
+            .put(
+                &format!("seeded/{i}.bin"),
+                bytes::Bytes::from(img.encode_jpeg_like()),
+            )
             .unwrap();
     }
 
@@ -122,7 +123,10 @@ fn ingest_comparison(n: usize, side: u32, scale: f64) {
         .unwrap();
     for i in 0..n {
         linked
-            .append_row(vec![("images", make_link("web", &format!("seeded/{i}.bin")))])
+            .append_row(vec![(
+                "images",
+                make_link("web", &format!("seeded/{i}.bin")),
+            )])
             .unwrap();
     }
     linked.flush().unwrap();

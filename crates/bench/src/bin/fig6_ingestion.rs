@@ -43,10 +43,19 @@ fn main() {
 
     // all formats ingest the same *uncompressed* arrays, as in the paper
     let writers: Vec<Box<dyn FormatWriter>> = vec![
-        Box::new(WebDatasetWriter { shard_bytes: 64 << 20, raw: true }),
+        Box::new(WebDatasetWriter {
+            shard_bytes: 64 << 20,
+            raw: true,
+        }),
         Box::new(BetonWriter { raw: true }),
-        Box::new(TfRecordWriter { records_per_shard: 256, raw: true }),
-        Box::new(MsgpackShardWriter { records_per_shard: 256, raw: true }),
+        Box::new(TfRecordWriter {
+            records_per_shard: 256,
+            raw: true,
+        }),
+        Box::new(MsgpackShardWriter {
+            records_per_shard: 256,
+            raw: true,
+        }),
         Box::new(ZarrLikeWriter { batch_per_chunk: 2 }),
         Box::new(N5LikeWriter { batch_per_chunk: 2 }),
         Box::new(NpyDirWriter),

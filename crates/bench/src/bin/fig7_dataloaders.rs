@@ -47,10 +47,19 @@ fn main() {
     }
 
     let cases: Vec<(Box<dyn FormatWriter>, Box<dyn Loader>)> = vec![
-        (Box::new(BetonWriter::default()), Box::new(BetonLoader::default())),
-        (Box::new(WebDatasetWriter::jpeg(16 << 20)), Box::new(TarStreamLoader)),
         (
-            Box::new(MsgpackShardWriter { records_per_shard: 512, raw: false }),
+            Box::new(BetonWriter::default()),
+            Box::new(BetonLoader::default()),
+        ),
+        (
+            Box::new(WebDatasetWriter::jpeg(16 << 20)),
+            Box::new(TarStreamLoader),
+        ),
+        (
+            Box::new(MsgpackShardWriter {
+                records_per_shard: 512,
+                raw: false,
+            }),
             Box::new(MsgpackLoader),
         ),
         (Box::new(JpegDirWriter), Box::new(FilePerSampleLoader)),

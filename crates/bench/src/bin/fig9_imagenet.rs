@@ -35,7 +35,11 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for mode in [TrainMode::FileMode, TrainMode::FastFileMode, TrainMode::DeepLakeStream] {
+    for mode in [
+        TrainMode::FileMode,
+        TrainMode::FastFileMode,
+        TrainMode::DeepLakeStream,
+    ] {
         let r = run_training(mode, &cfg);
         assert_eq!(r.gpu.images, n as u64, "{}", mode.name());
         rows.push(vec![

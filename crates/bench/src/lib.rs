@@ -23,12 +23,18 @@ use deeplake_tensor::{Htype, Sample, Shape};
 
 /// Read an integer knob from the environment.
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Read a float knob from the environment.
 pub fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Network time scale for the simulated cloud (defaults to 20× fast).
@@ -76,8 +82,11 @@ pub fn build_deeplake_dataset(
     let mut ds = Dataset::create(provider, "bench").unwrap();
     ds.create_tensor_opts("images", {
         let mut o = TensorOptions::new(Htype::Image);
-        o.sample_compression =
-            Some(if compress { Compression::JPEG_LIKE } else { Compression::None });
+        o.sample_compression = Some(if compress {
+            Compression::JPEG_LIKE
+        } else {
+            Compression::None
+        });
         o.chunk_target_bytes = Some(chunk_target);
         o
     })
@@ -90,21 +99,43 @@ pub fn build_deeplake_dataset(
             img.pixels.clone(),
         )
         .unwrap();
-        ds.append_row(vec![("images", sample), ("labels", Sample::scalar(img.label))]).unwrap();
+        ds.append_row(vec![
+            ("images", sample),
+            ("labels", Sample::scalar(img.label)),
+        ])
+        .unwrap();
     }
     ds.flush().unwrap();
     ds
 }
 
 /// One full Deep Lake loader epoch; returns `(samples, decoded_bytes,
-/// wall)`.
+/// wall)`. Uses the batched scatter-gather read path (the default).
 pub fn deeplake_epoch(
     ds: Arc<Dataset>,
     workers: usize,
     batch: usize,
     shuffle: bool,
 ) -> (u64, u64, Duration) {
-    let mut builder = DataLoader::builder(ds).batch_size(batch).num_workers(workers).prefetch(4);
+    deeplake_epoch_mode(ds, workers, batch, shuffle, true)
+}
+
+/// One full Deep Lake loader epoch with the I/O mode explicit:
+/// `batched = true` issues one coalesced storage call per task,
+/// `batched = false` pays one round trip per chunk (the pre-read-plan
+/// behaviour, kept for A/B comparison).
+pub fn deeplake_epoch_mode(
+    ds: Arc<Dataset>,
+    workers: usize,
+    batch: usize,
+    shuffle: bool,
+    batched: bool,
+) -> (u64, u64, Duration) {
+    let mut builder = DataLoader::builder(ds)
+        .batch_size(batch)
+        .num_workers(workers)
+        .prefetch(4)
+        .batched_io(batched);
     if shuffle {
         builder = builder.shuffle(7);
     }

@@ -23,7 +23,10 @@ impl std::fmt::Display for CodecError {
         match self {
             CodecError::Corrupt(what) => write!(f, "corrupt compressed stream: {what}"),
             CodecError::LengthMismatch { expected, actual } => {
-                write!(f, "decompressed length mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "decompressed length mismatch: expected {expected}, got {actual}"
+                )
             }
             CodecError::UnknownCodec(magic) => write!(f, "unknown codec magic byte {magic:#x}"),
             CodecError::InvalidParams(msg) => write!(f, "invalid codec parameters: {msg}"),
@@ -41,7 +44,10 @@ mod tests {
     fn display_non_empty() {
         for e in [
             CodecError::Corrupt("x"),
-            CodecError::LengthMismatch { expected: 1, actual: 2 },
+            CodecError::LengthMismatch {
+                expected: 1,
+                actual: 2,
+            },
             CodecError::UnknownCodec(9),
             CodecError::InvalidParams("p".into()),
         ] {

@@ -161,7 +161,9 @@ pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, CodecErr
         let mut lit_len = (token >> 4) as usize;
         if lit_len == 15 {
             loop {
-                let b = *input.get(pos).ok_or(CodecError::Corrupt("literal length"))?;
+                let b = *input
+                    .get(pos)
+                    .ok_or(CodecError::Corrupt("literal length"))?;
                 pos += 1;
                 lit_len += b as usize;
                 if b != 255 {
@@ -215,7 +217,10 @@ pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, CodecErr
     }
 
     if out.len() != expected_len {
-        return Err(CodecError::LengthMismatch { expected: expected_len, actual: out.len() });
+        return Err(CodecError::LengthMismatch {
+            expected: expected_len,
+            actual: out.len(),
+        });
     }
     Ok(out)
 }
@@ -301,7 +306,7 @@ mod tests {
     #[test]
     fn long_match_extension_bytes() {
         let mut data = b"0123456789abcdef".to_vec();
-        data.extend(std::iter::repeat(b'x').take(5000));
+        data.extend(std::iter::repeat_n(b'x', 5000));
         data.extend_from_slice(b"tail bytes here!");
         roundtrip(&data);
     }

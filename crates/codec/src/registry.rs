@@ -52,7 +52,11 @@ impl Compression {
             // accept the paper's names for the image codec
             "jpeg" | "synthimg" => Compression::JPEG_LIKE,
             "png" => Compression::SynthImg { bits: 8 },
-            other => return Err(CodecError::InvalidParams(format!("unknown codec {other:?}"))),
+            other => {
+                return Err(CodecError::InvalidParams(format!(
+                    "unknown codec {other:?}"
+                )))
+            }
         })
     }
 
@@ -115,7 +119,9 @@ impl Compression {
     /// The frame is self-describing, so this works regardless of which
     /// variant `self` is — `self` is only consulted for `None` passthrough.
     pub fn decompress(blob: &[u8]) -> Result<Vec<u8>, CodecError> {
-        let (&magic, rest) = blob.split_first().ok_or(CodecError::Corrupt("empty blob"))?;
+        let (&magic, rest) = blob
+            .split_first()
+            .ok_or(CodecError::Corrupt("empty blob"))?;
         match magic {
             MAGIC_NONE => Ok(rest.to_vec()),
             MAGIC_LZ4 => {
@@ -136,8 +142,10 @@ impl Compression {
     }
 
     /// Decompress an image blob, returning geometry when the blob carries it.
-    pub fn decompress_image(blob: &[u8]) -> Result<(Vec<u8>, Option<(u32, u32, u32)>), CodecError> {
-        let (&magic, rest) = blob.split_first().ok_or(CodecError::Corrupt("empty blob"))?;
+    pub fn decompress_image(blob: &[u8]) -> Result<DecodedImage, CodecError> {
+        let (&magic, rest) = blob
+            .split_first()
+            .ok_or(CodecError::Corrupt("empty blob"))?;
         if magic == MAGIC_SYNTHIMG {
             let (_, used) = read_varint(rest).ok_or(CodecError::Corrupt("frame len"))?;
             let (pixels, h, w, c) = synthimg::decompress(&rest[used..])?;
@@ -146,6 +154,9 @@ impl Compression {
         Ok((Self::decompress(blob)?, None))
     }
 }
+
+/// Decompressed pixels plus `(h, w, c)` geometry when the blob carries it.
+pub type DecodedImage = (Vec<u8>, Option<(u32, u32, u32)>);
 
 fn frame(magic: u8, expected_len: usize, body: Vec<u8>) -> Vec<u8> {
     let mut out = Vec::with_capacity(body.len() + 10);
@@ -191,7 +202,9 @@ mod tests {
     #[test]
     fn image_frame_roundtrip_carries_geometry() {
         let px = vec![128u8; 16 * 16 * 3];
-        let blob = Compression::JPEG_LIKE.compress_image(&px, 16, 16, 3).unwrap();
+        let blob = Compression::JPEG_LIKE
+            .compress_image(&px, 16, 16, 3)
+            .unwrap();
         let (out, geom) = Compression::decompress_image(&blob).unwrap();
         assert_eq!(geom, Some((16, 16, 3)));
         assert_eq!(out.len(), px.len());
@@ -222,7 +235,10 @@ mod tests {
         assert_eq!(Compression::parse("lz4").unwrap(), Compression::Lz4);
         assert_eq!(Compression::parse("jpeg").unwrap(), Compression::JPEG_LIKE);
         assert_eq!(Compression::parse("none").unwrap(), Compression::None);
-        assert_eq!(Compression::parse("png").unwrap(), Compression::SynthImg { bits: 8 });
+        assert_eq!(
+            Compression::parse("png").unwrap(),
+            Compression::SynthImg { bits: 8 }
+        );
         assert!(Compression::parse("brotli").is_err());
     }
 

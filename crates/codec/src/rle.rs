@@ -30,7 +30,9 @@ pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, CodecErr
     while pos < input.len() {
         let (run, used) = read_varint(&input[pos..]).ok_or(CodecError::Corrupt("varint"))?;
         pos += used;
-        let byte = *input.get(pos).ok_or(CodecError::Corrupt("missing run byte"))?;
+        let byte = *input
+            .get(pos)
+            .ok_or(CodecError::Corrupt("missing run byte"))?;
         pos += 1;
         if out.len() + run as usize > expected_len {
             return Err(CodecError::Corrupt("run overflows output"));
@@ -38,7 +40,10 @@ pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, CodecErr
         out.resize(out.len() + run as usize, byte);
     }
     if out.len() != expected_len {
-        return Err(CodecError::LengthMismatch { expected: expected_len, actual: out.len() });
+        return Err(CodecError::LengthMismatch {
+            expected: expected_len,
+            actual: out.len(),
+        });
     }
     Ok(out)
 }
@@ -113,7 +118,17 @@ mod tests {
 
     #[test]
     fn varint_roundtrip() {
-        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             write_varint(&mut buf, v);
             let (back, used) = read_varint(&buf).unwrap();

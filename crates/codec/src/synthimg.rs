@@ -50,7 +50,10 @@ pub fn compress(
     quality: Quality,
 ) -> Result<Vec<u8>, CodecError> {
     if quality.bits == 0 || quality.bits > 8 {
-        return Err(CodecError::InvalidParams(format!("bits={} out of 1..=8", quality.bits)));
+        return Err(CodecError::InvalidParams(format!(
+            "bits={} out of 1..=8",
+            quality.bits
+        )));
     }
     let expected = h as usize * w as usize * c as usize;
     if pixels.len() != expected {
@@ -72,7 +75,11 @@ pub fn compress(
             for ch in 0..c as usize {
                 let i = base + col * c as usize + ch;
                 let q = pixels[i] >> shift;
-                let left = if col == 0 { 0 } else { pixels[i - c as usize] >> shift };
+                let left = if col == 0 {
+                    0
+                } else {
+                    pixels[i - c as usize] >> shift
+                };
                 residual[i] = q.wrapping_sub(left);
             }
         }
@@ -109,7 +116,11 @@ pub fn decompress(blob: &[u8]) -> Result<(Vec<u8>, u32, u32, u32), CodecError> {
         for col in 0..w as usize {
             for ch in 0..c as usize {
                 let i = base + col * c as usize + ch;
-                let left = if col == 0 { 0 } else { pixels[i - c as usize] >> shift };
+                let left = if col == 0 {
+                    0
+                } else {
+                    pixels[i - c as usize] >> shift
+                };
                 let q = residual[i].wrapping_add(left);
                 // re-expand quantized value to full range (midpoint fill)
                 pixels[i] = q << shift | (if shift > 0 { 1u8 << (shift - 1) } else { 0 });

@@ -26,7 +26,7 @@ proptest! {
     fn rle_roundtrip_with_runs(
         runs in proptest::collection::vec((any::<u8>(), 1usize..100), 0..50)
     ) {
-        let data: Vec<u8> = runs.iter().flat_map(|&(b, n)| std::iter::repeat(b).take(n)).collect();
+        let data: Vec<u8> = runs.iter().flat_map(|&(b, n)| std::iter::repeat_n(b, n)).collect();
         let c = rle::compress(&data);
         prop_assert_eq!(rle::decompress(&c, data.len()).unwrap(), data);
     }
@@ -38,7 +38,8 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let n = (h * w * 3) as usize;
-        let pixels: Vec<u8> = (0..n).map(|i| ((seed as usize + i * 7) % 256) as u8).collect();
+        let pixels: Vec<u8> =
+            (0..n).map(|i| ((seed as usize).wrapping_add(i * 7) % 256) as u8).collect();
         let q = Quality { bits };
         let blob = synthimg::compress(&pixels, h, w, 3, q).unwrap();
         let (out, oh, ow, oc) = synthimg::decompress(&blob).unwrap();

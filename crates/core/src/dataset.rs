@@ -2,11 +2,12 @@
 //! built-in version control.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use deeplake_codec::Compression;
 use deeplake_format::TensorMeta;
-use deeplake_storage::{DynProvider, PrefixProvider, StorageProvider};
+use deeplake_storage::{DynProvider, PrefixProvider, ReadPlan, StorageProvider};
 use deeplake_tensor::{Dtype, Htype, Sample};
 use serde::{Deserialize, Serialize};
 
@@ -99,13 +100,28 @@ impl Dataset {
     pub fn create(root: DynProvider, name: impl Into<String>) -> Result<Self> {
         let name = name.into();
         if root.exists(DATASET_META_KEY)? {
-            return Err(CoreError::Corrupt("a dataset already exists at this location".into()));
+            return Err(CoreError::Corrupt(
+                "a dataset already exists at this location".into(),
+            ));
         }
         let tree = VersionTree::new();
         let head = tree.branch_tip("main")?.to_string();
-        let mut ds = Dataset { root, name, tree, head, read_only: false, tensors: BTreeMap::new() };
-        let meta = DatasetMeta { name: ds.name.clone(), created_ms: now_ms() };
-        ds.root.put(DATASET_META_KEY, Bytes::from(serde_json::to_vec_pretty(&meta)?))?;
+        let mut ds = Dataset {
+            root,
+            name,
+            tree,
+            head,
+            read_only: false,
+            tensors: BTreeMap::new(),
+        };
+        let meta = DatasetMeta {
+            name: ds.name.clone(),
+            created_ms: now_ms(),
+        };
+        ds.root.put(
+            DATASET_META_KEY,
+            Bytes::from(serde_json::to_vec_pretty(&meta)?),
+        )?;
         ds.persist_tree()?;
         // hidden id tensor powering merge (§4.2)
         let mut opts = TensorOptions::new(Htype::Generic);
@@ -123,16 +139,21 @@ impl Dataset {
     /// Open an existing dataset at a branch tip or a specific commit.
     /// Historical commits open read-only.
     pub fn open_at(root: DynProvider, reference: &str) -> Result<Self> {
-        let meta: DatasetMeta = serde_json::from_slice(
-            &root.get(DATASET_META_KEY).map_err(|_| {
+        let meta: DatasetMeta =
+            serde_json::from_slice(&root.get(DATASET_META_KEY).map_err(|_| {
                 CoreError::Corrupt("no dataset at this location (missing dataset.json)".into())
-            })?,
-        )?;
+            })?)?;
         let tree = VersionTree::from_json(&root.get(VERSION_INFO_KEY)?)?;
         let head = tree.resolve(reference)?;
         let read_only = tree.node(&head)?.committed;
-        let mut ds =
-            Dataset { root, name: meta.name, tree, head, read_only, tensors: BTreeMap::new() };
+        let mut ds = Dataset {
+            root,
+            name: meta.name,
+            tree,
+            head,
+            read_only,
+            tensors: BTreeMap::new(),
+        };
         ds.load_tensors()?;
         Ok(ds)
     }
@@ -163,14 +184,18 @@ impl Dataset {
     }
 
     fn persist_schema(&self) -> Result<()> {
-        let schema = Schema { tensors: self.tensors.keys().cloned().collect() };
+        let schema = Schema {
+            tensors: self.tensors.keys().cloned().collect(),
+        };
         let key = format!("versions/{}/{SCHEMA_KEY}", self.head);
-        self.root.put(&key, Bytes::from(serde_json::to_vec_pretty(&schema)?))?;
+        self.root
+            .put(&key, Bytes::from(serde_json::to_vec_pretty(&schema)?))?;
         Ok(())
     }
 
     fn persist_tree(&self) -> Result<()> {
-        self.root.put(VERSION_INFO_KEY, Bytes::from(self.tree.to_json()?))?;
+        self.root
+            .put(VERSION_INFO_KEY, Bytes::from(self.tree.to_json()?))?;
         Ok(())
     }
 
@@ -224,7 +249,11 @@ impl Dataset {
     }
 
     /// Create a tensor with explicit options.
-    pub fn create_tensor_opts(&mut self, name: impl Into<String>, opts: TensorOptions) -> Result<()> {
+    pub fn create_tensor_opts(
+        &mut self,
+        name: impl Into<String>,
+        opts: TensorOptions,
+    ) -> Result<()> {
         self.ensure_writable()?;
         let name = name.into();
         if name.is_empty() || name == SCHEMA_KEY || name.contains("..") {
@@ -245,8 +274,7 @@ impl Dataset {
         }
         meta.hidden = opts.hidden;
         meta.derived_from = opts.derived_from;
-        let head_dir =
-            PrefixProvider::new(self.root.clone(), tensor_prefix(&self.head, &name));
+        let head_dir = PrefixProvider::new(self.root.clone(), tensor_prefix(&self.head, &name));
         let mut store = TensorStore::create(meta, head_dir)?;
         // backfill empty rows so the new tensor aligns with existing rows
         // (schema evolution on a populated dataset)
@@ -277,7 +305,10 @@ impl Dataset {
     /// `group("camera")` lists `camera/left`, `camera/right`, ...
     pub fn group(&self, prefix: &str) -> Vec<&str> {
         let want = format!("{}/", prefix.trim_end_matches('/'));
-        self.tensors().into_iter().filter(|n| n.starts_with(&want)).collect()
+        self.tensors()
+            .into_iter()
+            .filter(|n| n.starts_with(&want))
+            .collect()
     }
 
     /// Metadata of a tensor.
@@ -288,11 +319,15 @@ impl Dataset {
     /// Borrow a tensor's storage engine (low-level access for the
     /// streaming and query layers).
     pub fn store(&self, name: &str) -> Result<&TensorStore> {
-        self.tensors.get(name).ok_or_else(|| CoreError::NoSuchTensor(name.to_string()))
+        self.tensors
+            .get(name)
+            .ok_or_else(|| CoreError::NoSuchTensor(name.to_string()))
     }
 
     fn store_mut(&mut self, name: &str) -> Result<&mut TensorStore> {
-        self.tensors.get_mut(name).ok_or_else(|| CoreError::NoSuchTensor(name.to_string()))
+        self.tensors
+            .get_mut(name)
+            .ok_or_else(|| CoreError::NoSuchTensor(name.to_string()))
     }
 
     // ------------------------------------------------------------------
@@ -333,8 +368,10 @@ impl Dataset {
     /// Append many rows.
     pub fn extend_rows(&mut self, rows: impl IntoIterator<Item = Row>) -> Result<()> {
         for row in rows {
-            let pairs: Vec<(String, Sample)> =
-                row.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+            let pairs: Vec<(String, Sample)> = row
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect();
             self.append_row(pairs.iter().map(|(k, v)| (k.as_str(), v.clone())))?;
         }
         Ok(())
@@ -354,7 +391,10 @@ impl Dataset {
     /// Read a whole row across visible tensors.
     pub fn get_row(&self, row: u64) -> Result<Row> {
         if row >= self.len() {
-            return Err(CoreError::RowOutOfRange { row, len: self.len() });
+            return Err(CoreError::RowOutOfRange {
+                row,
+                len: self.len(),
+            });
         }
         let mut out = Row::new();
         for (name, store) in &self.tensors {
@@ -364,6 +404,68 @@ impl Dataset {
             out.set(name.clone(), store.get(row)?);
         }
         Ok(out)
+    }
+
+    /// Read a block of rows with **one storage call** for all the chunks
+    /// they need (§3.5/§4.6 batched scatter-gather I/O).
+    ///
+    /// Builds a [`ReadPlan`] covering every not-yet-decoded chunk across
+    /// `tensors` for `rows`, executes it once on the root provider — which
+    /// coalesces and parallelizes/amortizes the fetches — then assembles
+    /// rows from the decoded chunks. This is what loader workers call per
+    /// task instead of N single-key reads; a chunk the plan could not
+    /// resolve (or whose fetch failed) transparently falls back to the
+    /// single-key path, so error reporting matches [`Dataset::get`].
+    pub fn get_rows_batch(&self, tensors: &[String], rows: &[u64]) -> Result<Vec<Row>> {
+        let len = self.len();
+        if let Some(&bad) = rows.iter().find(|&&r| r >= len) {
+            return Err(CoreError::RowOutOfRange { row: bad, len });
+        }
+        let mut plan = ReadPlan::new();
+        let mut admissions: Vec<(usize, u64, usize)> = Vec::new();
+        for (tensor_index, name) in tensors.iter().enumerate() {
+            let store = self.store(name)?;
+            for (chunk_id, key) in store.batch_fetches(rows) {
+                if let Some(key) = key {
+                    let index = plan.whole(key);
+                    admissions.push((tensor_index, chunk_id, index));
+                }
+            }
+        }
+        // Decoded chunks are *pinned* per tensor for the whole assembly:
+        // the shared memo is FIFO across all loader workers, so relying on
+        // it alone would let concurrent tasks evict this task's chunks and
+        // silently degrade back to per-chunk round trips.
+        let mut pinned: Vec<HashMap<u64, Arc<deeplake_format::Chunk>>> =
+            vec![HashMap::new(); tensors.len()];
+        if !plan.is_empty() {
+            let outcome = self.root.execute(&plan);
+            for (tensor_index, chunk_id, index) in admissions {
+                if let Ok(data) = &outcome.results[index] {
+                    // a corrupt blob is NOT an error here: the single-key
+                    // path below retries it and reports the row-level
+                    // error, matching `Dataset::get` semantics
+                    if let Ok(chunk) = self
+                        .store(&tensors[tensor_index])?
+                        .admit_chunk(chunk_id, data)
+                    {
+                        pinned[tensor_index].insert(chunk_id, chunk);
+                    }
+                }
+            }
+        }
+        rows.iter()
+            .map(|&row| {
+                let mut out = Row::new();
+                for (tensor_index, name) in tensors.iter().enumerate() {
+                    let sample = self
+                        .store(name)?
+                        .get_with_chunks(row, &pinned[tensor_index])?;
+                    out.set(name.clone(), sample);
+                }
+                Ok(out)
+            })
+            .collect()
     }
 
     /// Stable sample id of a row.
@@ -487,7 +589,13 @@ impl Dataset {
             .tree
             .log(&branch)?
             .into_iter()
-            .map(|n| (n.id.clone(), n.message.clone().unwrap_or_default(), n.timestamp_ms))
+            .map(|n| {
+                (
+                    n.id.clone(),
+                    n.message.clone().unwrap_or_default(),
+                    n.timestamp_ms,
+                )
+            })
             .collect())
     }
 
@@ -564,7 +672,11 @@ impl Dataset {
         let union_rows = |m: &HashMap<String, CommitDiff>, pick_updated: bool| -> BTreeSet<u64> {
             let mut s = BTreeSet::new();
             for d in m.values() {
-                s.extend(if pick_updated { d.updated.iter() } else { d.added.iter() });
+                s.extend(if pick_updated {
+                    d.updated.iter()
+                } else {
+                    d.added.iter()
+                });
             }
             s
         };
@@ -576,13 +688,14 @@ impl Dataset {
             .collect();
 
         let mut report = MergeReport::default();
-        let visible: Vec<String> =
-            self.tensors().into_iter().map(str::to_string).collect();
+        let visible: Vec<String> = self.tensors().into_iter().map(str::to_string).collect();
 
         // 1) conflicts + incoming updates
         let mut updates: Vec<(u64, u64)> = Vec::new(); // (our_row, other_row)
         for &(id, other_row) in &other_rows {
-            let Some(&our_row) = our_ids.get(&id) else { continue };
+            let Some(&our_row) = our_ids.get(&id) else {
+                continue;
+            };
             if !their_updated_rows.contains(&other_row) {
                 continue;
             }
@@ -647,7 +760,7 @@ mod tests {
     }
 
     fn image(fill: u8) -> Sample {
-        Sample::from_slice([4, 4, 3], &vec![fill; 48]).unwrap()
+        Sample::from_slice([4, 4, 3], &[fill; 48]).unwrap()
     }
 
     fn basic() -> Dataset {
@@ -695,7 +808,9 @@ mod tests {
         assert_ne!(id0, id1);
         assert_ne!(id0, 0);
         // hidden tensors can't be written through rows
-        assert!(ds.append_row(vec![(ID_TENSOR, Sample::scalar(1u64))]).is_err());
+        assert!(ds
+            .append_row(vec![(ID_TENSOR, Sample::scalar(1u64))])
+            .is_err());
     }
 
     #[test]
@@ -721,7 +836,7 @@ mod tests {
             let mut ds = Dataset::create(provider.clone(), "persist").unwrap();
             ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
             for i in 0..10 {
-                ds.append_row(vec![("labels", Sample::scalar(i as i32))]).unwrap();
+                ds.append_row(vec![("labels", Sample::scalar(i))]).unwrap();
             }
             ds.flush().unwrap();
         }
@@ -783,7 +898,10 @@ mod tests {
         assert_eq!(ds.get("labels", 1).unwrap().get_f64(0).unwrap(), 99.0);
         let d = ds.diff(&c1, "main").unwrap();
         assert_eq!(d.base, c1);
-        assert!(d.left.iter().all(|t| t.rows_added == 0 && t.rows_updated == 0));
+        assert!(d
+            .left
+            .iter()
+            .all(|t| t.rows_added == 0 && t.rows_updated == 0));
         let labels = d.right.iter().find(|t| t.tensor == "labels").unwrap();
         assert_eq!(labels.rows_updated, 1);
     }
@@ -875,7 +993,10 @@ mod tests {
         // new rows can fill it
         ds.append_row(vec![
             ("images", image(9)),
-            ("boxes", Sample::from_slice([1, 4], &[1.0f32, 2.0, 3.0, 4.0]).unwrap()),
+            (
+                "boxes",
+                Sample::from_slice([1, 4], &[1.0f32, 2.0, 3.0, 4.0]).unwrap(),
+            ),
         ])
         .unwrap();
         assert_eq!(ds.get("boxes", 3).unwrap().shape().dims(), &[1, 4]);
@@ -885,8 +1006,10 @@ mod tests {
     fn groups_list_members() {
         let mut ds = Dataset::create(mem(), "grouped").unwrap();
         ds.create_tensor("camera/left", Htype::Image, None).unwrap();
-        ds.create_tensor("camera/right", Htype::Image, None).unwrap();
-        ds.create_tensor("lidar", Htype::Generic, Some(Dtype::F32)).unwrap();
+        ds.create_tensor("camera/right", Htype::Image, None)
+            .unwrap();
+        ds.create_tensor("lidar", Htype::Generic, Some(Dtype::F32))
+            .unwrap();
         assert_eq!(ds.group("camera"), vec!["camera/left", "camera/right"]);
         assert!(ds.group("lidar").is_empty());
     }
@@ -913,7 +1036,10 @@ mod tests {
         }
         ds.flush().unwrap();
         let report = ds.optimize(1.1).unwrap();
-        assert!(report.iter().any(|(t, ..)| t == "labels"), "labels were fragmented");
+        assert!(
+            report.iter().any(|(t, ..)| t == "labels"),
+            "labels were fragmented"
+        );
         for (_, before, after) in &report {
             assert!(after <= before);
         }

@@ -59,7 +59,10 @@ impl std::fmt::Display for CoreError {
             CoreError::NoSuchVersion(v) => write!(f, "no such version: {v}"),
             CoreError::BranchExists(b) => write!(f, "branch already exists: {b}"),
             CoreError::ReadOnlyVersion => {
-                write!(f, "dataset is checked out at a historical commit (read-only)")
+                write!(
+                    f,
+                    "dataset is checked out at a historical commit (read-only)"
+                )
             }
             CoreError::MergeConflict { sample_ids } => {
                 write!(f, "merge conflict on {} sample(s)", sample_ids.len())
@@ -113,8 +116,10 @@ mod tests {
         assert!(e.to_string().contains("storage"));
         let e: CoreError = TensorError::UnknownName("q".into()).into();
         assert!(e.to_string().contains("tensor"));
-        assert!(CoreError::MergeConflict { sample_ids: vec![1, 2] }
-            .to_string()
-            .contains("2 sample"));
+        assert!(CoreError::MergeConflict {
+            sample_ids: vec![1, 2]
+        }
+        .to_string()
+        .contains("2 sample"));
     }
 }

@@ -52,13 +52,17 @@ impl LinkRegistry {
 
 impl std::fmt::Debug for LinkRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LinkRegistry").field("providers", &self.names()).finish()
+        f.debug_struct("LinkRegistry")
+            .field("providers", &self.names())
+            .finish()
     }
 }
 
 impl From<Vec<(String, DynProvider)>> for LinkRegistry {
     fn from(v: Vec<(String, DynProvider)>) -> Self {
-        LinkRegistry { providers: v.into_iter().collect() }
+        LinkRegistry {
+            providers: v.into_iter().collect(),
+        }
     }
 }
 
@@ -76,7 +80,9 @@ pub fn parse_link(sample: &Sample) -> Result<(String, String)> {
         .split_once("://")
         .ok_or_else(|| CoreError::LinkResolution(format!("malformed pointer {text:?}")))?;
     if provider.is_empty() || key.is_empty() {
-        return Err(CoreError::LinkResolution(format!("malformed pointer {text:?}")));
+        return Err(CoreError::LinkResolution(format!(
+            "malformed pointer {text:?}"
+        )));
     }
     Ok((provider.to_string(), key.to_string()))
 }
@@ -107,7 +113,11 @@ pub fn decode_external(blob: &[u8]) -> Result<Sample> {
         Err(_) => blob.to_vec(), // unframed external file: raw bytes
     };
     let len = raw.len() as u64;
-    Ok(Sample::from_bytes(Dtype::U8, Shape::from([len]), bytes::Bytes::from(raw))?)
+    Ok(Sample::from_bytes(
+        Dtype::U8,
+        Shape::from([len]),
+        bytes::Bytes::from(raw),
+    )?)
 }
 
 /// Convenience: a registry holding one in-memory provider, returned with
@@ -147,7 +157,9 @@ mod tests {
     fn resolve_framed_image_recovers_geometry() {
         let (reg, provider) = single_provider_registry("ext", MemoryProvider::new());
         let pixels = vec![99u8; 8 * 6 * 3];
-        let blob = Compression::JPEG_LIKE.compress_image(&pixels, 8, 6, 3).unwrap();
+        let blob = Compression::JPEG_LIKE
+            .compress_image(&pixels, 8, 6, 3)
+            .unwrap();
         provider.put("img.bin", bytes::Bytes::from(blob)).unwrap();
         let sample = resolve(&reg, &make_link("ext", "img.bin")).unwrap();
         assert_eq!(sample.shape(), &Shape::from([8, 6, 3]));
@@ -157,7 +169,9 @@ mod tests {
     #[test]
     fn resolve_raw_bytes_as_rank1() {
         let (reg, provider) = single_provider_registry("ext", MemoryProvider::new());
-        provider.put("file.txt", bytes::Bytes::from_static(b"hello!")).unwrap();
+        provider
+            .put("file.txt", bytes::Bytes::from_static(b"hello!"))
+            .unwrap();
         let sample = resolve(&reg, &make_link("ext", "file.txt")).unwrap();
         assert_eq!(sample.shape(), &Shape::from([6]));
         assert_eq!(sample.to_text().unwrap(), "hello!");

@@ -89,7 +89,11 @@ pub fn materialize(
     }
 
     out.flush()?;
-    out.commit(&format!("materialized from {} ({} rows)", source.name(), stats.rows))?;
+    out.commit(&format!(
+        "materialized from {} ({} rows)",
+        source.name(),
+        stats.rows
+    ))?;
     Ok((out, stats))
 }
 
@@ -119,7 +123,7 @@ mod tests {
         let mut ds = Dataset::create(mem(), "src").unwrap();
         ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
         for i in 0..10 {
-            ds.append_row(vec![("labels", Sample::scalar(i as i32))]).unwrap();
+            ds.append_row(vec![("labels", Sample::scalar(i))]).unwrap();
         }
         ds.flush().unwrap();
         let view = DatasetView::new(&ds, vec![8, 2, 5]);
@@ -139,15 +143,23 @@ mod tests {
         let (registry, external) = single_provider_registry("ext", MemoryProvider::new());
         for (key, fill) in [("a.bin", 10u8), ("b.bin", 20u8)] {
             let pixels = vec![fill; 4 * 4 * 3];
-            let blob = Compression::JPEG_LIKE.compress_image(&pixels, 4, 4, 3).unwrap();
+            let blob = Compression::JPEG_LIKE
+                .compress_image(&pixels, 4, 4, 3)
+                .unwrap();
             external.put(key, bytes::Bytes::from(blob)).unwrap();
         }
         // source dataset holds pointers only
         let mut ds = Dataset::create(mem(), "linked").unwrap();
-        ds.create_tensor("images", Htype::parse("link[image]").unwrap(), Some(Dtype::U8))
+        ds.create_tensor(
+            "images",
+            Htype::parse("link[image]").unwrap(),
+            Some(Dtype::U8),
+        )
+        .unwrap();
+        ds.append_row(vec![("images", make_link("ext", "a.bin"))])
             .unwrap();
-        ds.append_row(vec![("images", make_link("ext", "a.bin"))]).unwrap();
-        ds.append_row(vec![("images", make_link("ext", "b.bin"))]).unwrap();
+        ds.append_row(vec![("images", make_link("ext", "b.bin"))])
+            .unwrap();
         ds.flush().unwrap();
         // pointers resolve at materialization
         let view = DatasetView::full(&ds);
@@ -162,9 +174,14 @@ mod tests {
     #[test]
     fn materialize_links_without_registry_fails() {
         let mut ds = Dataset::create(mem(), "linked").unwrap();
-        ds.create_tensor("images", Htype::parse("link[image]").unwrap(), Some(Dtype::U8))
+        ds.create_tensor(
+            "images",
+            Htype::parse("link[image]").unwrap(),
+            Some(Dtype::U8),
+        )
+        .unwrap();
+        ds.append_row(vec![("images", make_link("ext", "a.bin"))])
             .unwrap();
-        ds.append_row(vec![("images", make_link("ext", "a.bin"))]).unwrap();
         ds.flush().unwrap();
         let view = DatasetView::full(&ds);
         assert!(materialize(&view, mem(), "fail", None).is_err());
@@ -175,7 +192,7 @@ mod tests {
         let mut ds = Dataset::create(mem(), "src").unwrap();
         ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
         for i in 0..100 {
-            ds.append_row(vec![("labels", Sample::scalar(i as i32))]).unwrap();
+            ds.append_row(vec![("labels", Sample::scalar(i))]).unwrap();
         }
         ds.flush().unwrap();
         // every 10th row: sparse in the source...

@@ -68,13 +68,17 @@ impl Row {
 
 impl FromIterator<(String, Sample)> for Row {
     fn from_iter<T: IntoIterator<Item = (String, Sample)>>(iter: T) -> Self {
-        Row { values: iter.into_iter().collect() }
+        Row {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 
 impl<'a> FromIterator<(&'a str, Sample)> for Row {
     fn from_iter<T: IntoIterator<Item = (&'a str, Sample)>>(iter: T) -> Self {
-        Row { values: iter.into_iter().map(|(k, v)| (k.to_string(), v)).collect() }
+        Row {
+            values: iter.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        }
     }
 }
 

@@ -22,10 +22,14 @@ pub fn generate() -> u64 {
     static SESSION: AtomicU64 = AtomicU64::new(0);
     let mut session = SESSION.load(Ordering::Relaxed);
     if session == 0 {
-        let nanos =
-            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.subsec_nanos()).unwrap_or(0);
-        let secs =
-            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let secs = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
         let seed = (secs << 30 | nanos as u64) & ((1 << 40) - 1);
         let seed = if seed == 0 { 1 } else { seed };
         // racy init is fine: any thread's seed works, first store wins

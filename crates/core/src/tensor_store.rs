@@ -6,14 +6,14 @@
 //! id by walking the chain toward the first commit and checking each
 //! version's `chunk_set` (§4.2) — copy-on-write at chunk granularity.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use deeplake_codec::Compression;
 use deeplake_format::chunk::{decode_sample, encode_sample};
 use deeplake_format::{
-    Chunk, ChunkBuilder, ChunkSizePolicy, ChunkEncoder, FlushReason, SampleLocation, TensorMeta,
+    Chunk, ChunkBuilder, ChunkEncoder, ChunkSizePolicy, FlushReason, SampleLocation, TensorMeta,
     TileEncoder, TileLayout,
 };
 use deeplake_storage::{PrefixProvider, StorageProvider};
@@ -42,10 +42,15 @@ impl VersionDir {
     /// Load a version dir, reading its chunk set if present.
     pub fn load(provider: PrefixProvider) -> Result<Self> {
         let chunk_set = match provider.get(CHUNK_SET_KEY) {
-            Ok(data) => serde_json::from_slice::<Vec<u64>>(&data)?.into_iter().collect(),
+            Ok(data) => serde_json::from_slice::<Vec<u64>>(&data)?
+                .into_iter()
+                .collect(),
             Err(_) => HashSet::new(),
         };
-        Ok(VersionDir { provider, chunk_set })
+        Ok(VersionDir {
+            provider,
+            chunk_set,
+        })
     }
 }
 
@@ -82,7 +87,10 @@ impl TensorStore {
             meta,
             encoder: ChunkEncoder::new(),
             tiles: TileEncoder::new(),
-            chain: vec![VersionDir { provider: head, chunk_set: HashSet::new() }],
+            chain: vec![VersionDir {
+                provider: head,
+                chunk_set: HashSet::new(),
+            }],
             diff: CommitDiff::new(),
             chunk_memo: Mutex::new(Vec::new()),
             dirty: true,
@@ -170,10 +178,12 @@ impl TensorStore {
             self.meta.htype.validate(sample)?;
         }
         if sample.dtype() != self.meta.dtype {
-            return Err(CoreError::Tensor(deeplake_tensor::TensorError::DtypeMismatch {
-                left: sample.dtype(),
-                right: self.meta.dtype,
-            }));
+            return Err(CoreError::Tensor(
+                deeplake_tensor::TensorError::DtypeMismatch {
+                    left: sample.dtype(),
+                    right: self.meta.dtype,
+                },
+            ));
         }
         let row = self.len();
         match self.builder.push(sample)? {
@@ -203,8 +213,7 @@ impl TensorStore {
             FlushReason::ChunkFull(chunk) => self.write_sealed_chunk(chunk)?,
             FlushReason::NeedsTiling { .. } => {
                 return Err(CoreError::Corrupt(
-                    "pre-encoded oversized blobs cannot be tiled; append the decoded sample"
-                        .into(),
+                    "pre-encoded oversized blobs cannot be tiled; append the decoded sample".into(),
                 ))
             }
         }
@@ -236,7 +245,11 @@ impl TensorStore {
         let first = tile_chunks[0];
         self.tiles.insert(
             row,
-            TileLayout { sample_shape: sample.shape().clone(), tile_shape, tile_chunks },
+            TileLayout {
+                sample_shape: sample.shape().clone(),
+                tile_shape,
+                tile_chunks,
+            },
         );
         // the encoder still owns row accounting: point the row at its first
         // tile chunk (readers consult the tile encoder before the map)
@@ -249,14 +262,19 @@ impl TensorStore {
     /// re-pointed.
     pub fn update(&mut self, row: u64, sample: &Sample) -> Result<()> {
         if row >= self.len() {
-            return Err(CoreError::RowOutOfRange { row, len: self.len() });
+            return Err(CoreError::RowOutOfRange {
+                row,
+                len: self.len(),
+            });
         }
         self.meta.htype.validate(sample)?;
         if sample.dtype() != self.meta.dtype {
-            return Err(CoreError::Tensor(deeplake_tensor::TensorError::DtypeMismatch {
-                left: sample.dtype(),
-                right: self.meta.dtype,
-            }));
+            return Err(CoreError::Tensor(
+                deeplake_tensor::TensorError::DtypeMismatch {
+                    left: sample.dtype(),
+                    right: self.meta.dtype,
+                },
+            ));
         }
         // rows still in the open chunk get sealed first so the encoder owns them
         if row >= self.encoder.num_rows() {
@@ -280,15 +298,31 @@ impl TensorStore {
             let first = tile_chunks[0];
             self.tiles.insert(
                 row,
-                TileLayout { sample_shape: sample.shape().clone(), tile_shape, tile_chunks },
+                TileLayout {
+                    sample_shape: sample.shape().clone(),
+                    tile_shape,
+                    tile_chunks,
+                },
             );
-            self.encoder.replace_row(row, SampleLocation { chunk_id: first, local_index: 0 })?;
+            self.encoder.replace_row(
+                row,
+                SampleLocation {
+                    chunk_id: first,
+                    local_index: 0,
+                },
+            )?;
         } else {
             let mut chunk = Chunk::new(self.meta.dtype);
             chunk.append_blob(&blob, sample.shape().clone());
             let id = self.put_chunk(&chunk)?;
             self.tiles.remove(row);
-            self.encoder.replace_row(row, SampleLocation { chunk_id: id, local_index: 0 })?;
+            self.encoder.replace_row(
+                row,
+                SampleLocation {
+                    chunk_id: id,
+                    local_index: 0,
+                },
+            )?;
         }
         self.meta.observe(sample);
         self.meta.length -= 1; // observe() counts a new row; updates do not add one
@@ -302,14 +336,37 @@ impl TensorStore {
 
     /// Read one sample.
     pub fn get(&self, row: u64) -> Result<Sample> {
+        self.get_inner(row, None)
+    }
+
+    /// Read one sample, preferring `pinned` decoded chunks over the
+    /// shared memo. The batched read path pins each task's chunks so
+    /// concurrent workers cannot evict them mid-assembly (the memo is
+    /// FIFO and shared across all workers).
+    pub fn get_with_chunks(&self, row: u64, pinned: &HashMap<u64, Arc<Chunk>>) -> Result<Sample> {
+        self.get_inner(row, Some(pinned))
+    }
+
+    fn get_inner(&self, row: u64, pinned: Option<&HashMap<u64, Arc<Chunk>>>) -> Result<Sample> {
+        let chunk_of = |id: u64| -> Result<Arc<Chunk>> {
+            if let Some(map) = pinned {
+                if let Some(chunk) = map.get(&id) {
+                    return Ok(chunk.clone());
+                }
+            }
+            self.read_chunk(id)
+        };
         if row >= self.len() {
-            return Err(CoreError::RowOutOfRange { row, len: self.len() });
+            return Err(CoreError::RowOutOfRange {
+                row,
+                len: self.len(),
+            });
         }
         if let Some(layout) = self.tiles.get(row) {
             let layout = layout.clone();
             let mut tiles = Vec::with_capacity(layout.tile_chunks.len());
             for &cid in &layout.tile_chunks {
-                let chunk = self.read_chunk(cid)?;
+                let chunk = chunk_of(cid)?;
                 tiles.push(chunk.sample(0)?);
             }
             return Ok(deeplake_format::tile_encoder::reassemble_tiles(
@@ -323,7 +380,7 @@ impl TensorStore {
             return Ok(self.builder.open_chunk().sample(local)?);
         }
         let loc = self.encoder.locate(row)?;
-        let chunk = self.read_chunk(loc.chunk_id)?;
+        let chunk = chunk_of(loc.chunk_id)?;
         Ok(chunk.sample(loc.local_index as usize)?)
     }
 
@@ -334,7 +391,10 @@ impl TensorStore {
             return Ok(layout.sample_shape.clone());
         }
         if row >= self.len() {
-            return Err(CoreError::RowOutOfRange { row, len: self.len() });
+            return Err(CoreError::RowOutOfRange {
+                row,
+                len: self.len(),
+            });
         }
         if row >= self.encoder.num_rows() {
             let local = (row - self.encoder.num_rows()) as usize;
@@ -350,8 +410,11 @@ impl TensorStore {
     /// chunk id `u64::MAX`.
     pub fn chunk_plan(&self, start: u64, end: u64) -> Result<Vec<(u64, u32, u32)>> {
         let sealed_end = end.min(self.encoder.num_rows());
-        let mut plan =
-            if start < sealed_end { self.encoder.locate_range(start, sealed_end)? } else { vec![] };
+        let mut plan = if start < sealed_end {
+            self.encoder.locate_range(start, sealed_end)?
+        } else {
+            vec![]
+        };
         if end > self.encoder.num_rows() {
             let open_start = start.max(self.encoder.num_rows()) - self.encoder.num_rows();
             let open_end = end - self.encoder.num_rows();
@@ -364,8 +427,11 @@ impl TensorStore {
 
     /// Fetch and decode a chunk by id, resolving through the version chain.
     pub fn read_chunk(&self, chunk_id: u64) -> Result<Arc<Chunk>> {
-        if let Some((_, chunk)) =
-            self.chunk_memo.lock().iter().find(|(id, _)| *id == chunk_id)
+        if let Some((_, chunk)) = self
+            .chunk_memo
+            .lock()
+            .iter()
+            .find(|(id, _)| *id == chunk_id)
         {
             return Ok(chunk.clone());
         }
@@ -386,12 +452,65 @@ impl TensorStore {
                 return Ok(chunk);
             }
         }
-        Err(CoreError::Corrupt(format!("chunk {chunk_id} not found in any version")))
+        Err(CoreError::Corrupt(format!(
+            "chunk {chunk_id} not found in any version"
+        )))
+    }
+
+    /// The chunks rows `rows` need that are not already decoded, as
+    /// `(chunk_id, absolute storage key)` pairs — the tensor's
+    /// contribution to a task-level [`deeplake_storage::ReadPlan`]. Rows
+    /// still in the open chunk need no fetch; a chunk whose owning
+    /// version cannot be resolved from the chunk sets reports `None` and
+    /// is left for [`read_chunk`](Self::read_chunk)'s probing fallback.
+    pub fn batch_fetches(&self, rows: &[u64]) -> Vec<(u64, Option<String>)> {
+        let sealed = self.encoder.num_rows();
+        let mut ids: Vec<u64> = Vec::new();
+        for &row in rows {
+            if let Some(layout) = self.tiles.get(row) {
+                ids.extend_from_slice(&layout.tile_chunks);
+            } else if row < sealed {
+                if let Ok(loc) = self.encoder.locate(row) {
+                    ids.push(loc.chunk_id);
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        let memo = self.chunk_memo.lock();
+        ids.retain(|id| !memo.iter().any(|(m, _)| m == id));
+        drop(memo);
+        ids.into_iter()
+            .map(|id| (id, self.resolve_chunk_key(id)))
+            .collect()
+    }
+
+    /// Absolute storage key of a chunk, resolved through the version
+    /// chain's chunk sets.
+    fn resolve_chunk_key(&self, chunk_id: u64) -> Option<String> {
+        let key = chunk_key(chunk_id);
+        self.chain
+            .iter()
+            .find(|dir| dir.chunk_set.contains(&chunk_id))
+            .map(|dir| dir.provider.absolute(&key))
+    }
+
+    /// Decode fetched chunk bytes into the memo so subsequent
+    /// [`get`](Self::get) calls on its rows hit memory. The batched read
+    /// path fetches bytes through one storage call and admits them here.
+    pub fn admit_chunk(&self, chunk_id: u64, data: &bytes::Bytes) -> Result<Arc<Chunk>> {
+        let chunk = Arc::new(Chunk::deserialize(data)?);
+        self.memoize(chunk_id, chunk.clone());
+        Ok(chunk)
     }
 
     /// Insert a decoded chunk into the bounded memo (FIFO eviction).
+    ///
+    /// Sized to hold every chunk one loader task touches (a shuffle block
+    /// of rows across a handful of tensors); overflow only costs a
+    /// refetch through the single-key path.
     fn memoize(&self, chunk_id: u64, chunk: Arc<Chunk>) {
-        const MEMO_SLOTS: usize = 16;
+        const MEMO_SLOTS: usize = 64;
         let mut memo = self.chunk_memo.lock();
         if memo.iter().any(|(id, _)| *id == chunk_id) {
             return;
@@ -439,8 +558,11 @@ impl TensorStore {
         // rebuild the layout from scratch
         self.encoder = ChunkEncoder::new();
         self.tiles = TileEncoder::new();
-        self.builder =
-            ChunkBuilder::new(self.meta.dtype, self.meta.sample_compression, policy_for(&self.meta));
+        self.builder = ChunkBuilder::new(
+            self.meta.dtype,
+            self.meta.sample_compression,
+            policy_for(&self.meta),
+        );
         self.chunk_memo.lock().clear();
         for s in &samples {
             match self.builder.push(s)? {
@@ -473,7 +595,9 @@ impl TensorStore {
         let id = self.meta.next_chunk_id;
         self.meta.next_chunk_id += 1;
         let blob = chunk.serialize(self.meta.chunk_compression);
-        self.chain[0].provider.put(&chunk_key(id), Bytes::from(blob))?;
+        self.chain[0]
+            .provider
+            .put(&chunk_key(id), Bytes::from(blob))?;
         self.chain[0].chunk_set.insert(id);
         self.dirty = true;
         Ok(id)
@@ -508,18 +632,20 @@ impl TensorStore {
     /// `new_head` with a fresh chunk set and diff.
     pub fn start_new_version(&mut self, new_head: PrefixProvider) -> Result<()> {
         self.flush()?;
-        self.chain.insert(0, VersionDir { provider: new_head, chunk_set: HashSet::new() });
+        self.chain.insert(
+            0,
+            VersionDir {
+                provider: new_head,
+                chunk_set: HashSet::new(),
+            },
+        );
         self.diff = CommitDiff::new();
         Ok(())
     }
 
     /// Decode a stored blob into a sample (helper for the streaming layer,
     /// which fetches chunk bytes itself).
-    pub fn decode(
-        &self,
-        blob: &[u8],
-        shape: deeplake_tensor::Shape,
-    ) -> Result<Sample> {
+    pub fn decode(&self, blob: &[u8], shape: deeplake_tensor::Shape) -> Result<Sample> {
         Ok(decode_sample(blob, self.meta.dtype, shape)?)
     }
 }
@@ -656,7 +782,8 @@ mod tests {
     #[test]
     fn get_shape_matches_get() {
         let mut t = TensorStore::create(small_meta("x", 1000), head()).unwrap();
-        t.append(&Sample::from_slice([3, 7], &vec![0u8; 21]).unwrap()).unwrap();
+        t.append(&Sample::from_slice([3, 7], &[0u8; 21]).unwrap())
+            .unwrap();
         t.append(&sample(9, 1)).unwrap();
         assert_eq!(t.get_shape(0).unwrap(), Shape::from([3, 7]));
         assert_eq!(t.get_shape(1).unwrap(), Shape::from([9]));
@@ -699,10 +826,8 @@ mod tests {
         assert_eq!(t.get(3).unwrap(), sample(100, 3));
         assert_eq!(t.get(4).unwrap(), sample(100, 4));
         // v0 directory still holds the original chunk for row 1's old data
-        let reopened = TensorStore::open(vec![
-            PrefixProvider::new(base.clone(), "versions/v0/x"),
-        ])
-        .unwrap();
+        let reopened =
+            TensorStore::open(vec![PrefixProvider::new(base.clone(), "versions/v0/x")]).unwrap();
         assert_eq!(reopened.get(1).unwrap(), sample(100, 1));
         assert_eq!(reopened.len(), 4);
     }
@@ -732,7 +857,10 @@ mod tests {
         let expect: Vec<Sample> = (0..20).map(|r| t.get(r).unwrap()).collect();
         let (before, after) = t.rechunk().unwrap();
         assert!(before > 1.0, "updates fragmented the layout: {before}");
-        assert!((after - 1.0).abs() < 1e-9, "rechunk must be sequential: {after}");
+        assert!(
+            (after - 1.0).abs() < 1e-9,
+            "rechunk must be sequential: {after}"
+        );
         assert_eq!(t.len(), 20);
         for (r, want) in expect.iter().enumerate() {
             assert_eq!(&t.get(r as u64).unwrap(), want);

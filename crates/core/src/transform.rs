@@ -99,7 +99,12 @@ impl TransformPipeline {
     /// Transform a dataset into `dest` using `workers` threads. Source
     /// rows are read in contiguous batches; output order matches input
     /// order (batch-stable).
-    pub fn apply(&self, source: &Dataset, dest: &mut Dataset, workers: usize) -> Result<TransformStats> {
+    pub fn apply(
+        &self,
+        source: &Dataset,
+        dest: &mut Dataset,
+        workers: usize,
+    ) -> Result<TransformStats> {
         let n = source.len();
         let rows: Result<Vec<Row>> = (0..n).map(|i| source.get_row(i)).collect();
         self.ingest_rows(rows?, dest, workers)
@@ -115,13 +120,15 @@ impl TransformPipeline {
         self.ingest_rows(rows.into_iter().collect(), dest, workers)
     }
 
-    fn ingest_rows(&self, rows: Vec<Row>, dest: &mut Dataset, workers: usize) -> Result<TransformStats> {
+    fn ingest_rows(
+        &self,
+        rows: Vec<Row>,
+        dest: &mut Dataset,
+        workers: usize,
+    ) -> Result<TransformStats> {
         let workers = workers.max(1);
         let rows_in = rows.len() as u64;
-        let batches: Vec<Vec<Row>> = rows
-            .chunks(BATCH)
-            .map(|c| c.to_vec())
-            .collect();
+        let batches: Vec<Vec<Row>> = rows.chunks(BATCH).map(|c| c.to_vec()).collect();
         let n_batches = batches.len();
         let results: Vec<Mutex<Option<Result<Vec<Row>>>>> =
             (0..n_batches).map(|_| Mutex::new(None)).collect();
@@ -151,13 +158,19 @@ impl TransformPipeline {
                 .take()
                 .ok_or_else(|| CoreError::Corrupt("transform batch missing".into()))??;
             for row in batch {
-                let pairs: Vec<(String, _)> =
-                    row.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+                let pairs: Vec<(String, _)> = row
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect();
                 dest.append_row(pairs.iter().map(|(k, v)| (k.as_str(), v.clone())))?;
                 rows_out += 1;
             }
         }
-        Ok(TransformStats { rows_in, rows_out, workers })
+        Ok(TransformStats {
+            rows_in,
+            rows_out,
+            workers,
+        })
     }
 
     /// Apply a strictly one-to-one pipeline in place ("the transformation
@@ -202,7 +215,11 @@ impl TransformPipeline {
                 ds.update(tensor, i as u64, sample)?;
             }
         }
-        Ok(TransformStats { rows_in: n, rows_out: n, workers })
+        Ok(TransformStats {
+            rows_in: n,
+            rows_out: n,
+            workers,
+        })
     }
 }
 
@@ -247,7 +264,10 @@ mod tests {
         assert_eq!(stats.rows_in, 10);
         assert_eq!(stats.rows_out, 10);
         for i in 0..10 {
-            assert_eq!(dest.get("labels", i).unwrap().get_f64(0).unwrap(), (i * 2) as f64);
+            assert_eq!(
+                dest.get("labels", i).unwrap().get_f64(0).unwrap(),
+                (i * 2) as f64
+            );
         }
     }
 
@@ -262,7 +282,10 @@ mod tests {
             }
             Ok(())
         };
-        let stats = TransformPipeline::new().then(fanout).apply(&src, &mut dest, 2).unwrap();
+        let stats = TransformPipeline::new()
+            .then(fanout)
+            .apply(&src, &mut dest, 2)
+            .unwrap();
         assert_eq!(stats.rows_out, 15);
         // order is batch-stable: row 0 fans out first
         assert_eq!(dest.get("labels", 0).unwrap().get_f64(0).unwrap(), 0.0);
@@ -297,14 +320,17 @@ mod tests {
             }
             Ok(())
         };
-        let stats = TransformPipeline::new().then(keep_even).apply(&src, &mut dest, 3).unwrap();
+        let stats = TransformPipeline::new()
+            .then(keep_even)
+            .apply(&src, &mut dest, 3)
+            .unwrap();
         assert_eq!(stats.rows_out, 5);
     }
 
     #[test]
     fn ingest_from_iterator() {
         let mut dest = labels_ds("dest");
-        let rows = (0..20).map(|i| Row::new().with("labels", Sample::scalar(i as i32)));
+        let rows = (0..20).map(|i| Row::new().with("labels", Sample::scalar(i)));
         let stats = TransformPipeline::new().ingest(rows, &mut dest, 4).unwrap();
         assert_eq!(stats.rows_out, 20);
         assert_eq!(dest.len(), 20);
@@ -317,16 +343,25 @@ mod tests {
         let failing = |_row: &Row, _emit: &mut dyn FnMut(Row)| -> Result<()> {
             Err(CoreError::Corrupt("boom".into()))
         };
-        assert!(TransformPipeline::new().then(failing).apply(&src, &mut dest, 2).is_err());
+        assert!(TransformPipeline::new()
+            .then(failing)
+            .apply(&src, &mut dest, 2)
+            .is_err());
     }
 
     #[test]
     fn in_place_transform_updates_rows() {
         let mut ds = filled(6);
         ds.commit("seal").unwrap();
-        TransformPipeline::new().then(double_stage()).apply_in_place(&mut ds, 3).unwrap();
+        TransformPipeline::new()
+            .then(double_stage())
+            .apply_in_place(&mut ds, 3)
+            .unwrap();
         for i in 0..6 {
-            assert_eq!(ds.get("labels", i).unwrap().get_f64(0).unwrap(), (i * 2) as f64);
+            assert_eq!(
+                ds.get("labels", i).unwrap().get_f64(0).unwrap(),
+                (i * 2) as f64
+            );
         }
         assert_eq!(ds.len(), 6);
     }
@@ -339,7 +374,10 @@ mod tests {
             emit(row.clone());
             Ok(())
         };
-        assert!(TransformPipeline::new().then(fanout).apply_in_place(&mut ds, 1).is_err());
+        assert!(TransformPipeline::new()
+            .then(fanout)
+            .apply_in_place(&mut ds, 1)
+            .is_err());
     }
 
     #[test]

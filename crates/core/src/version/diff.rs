@@ -75,8 +75,13 @@ pub struct DiffSummary {
 impl DiffSummary {
     /// Whether both sides are identical to the base.
     pub fn is_empty(&self) -> bool {
-        self.left.iter().all(|d| d.rows_added == 0 && d.rows_updated == 0)
-            && self.right.iter().all(|d| d.rows_added == 0 && d.rows_updated == 0)
+        self.left
+            .iter()
+            .all(|d| d.rows_added == 0 && d.rows_updated == 0)
+            && self
+                .right
+                .iter()
+                .all(|d| d.rows_added == 0 && d.rows_updated == 0)
     }
 }
 

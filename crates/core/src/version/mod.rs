@@ -37,6 +37,9 @@ mod tests {
     #[test]
     fn prefixes() {
         assert_eq!(version_prefix("v000001"), "versions/v000001");
-        assert_eq!(tensor_prefix("v000001", "images"), "versions/v000001/images");
+        assert_eq!(
+            tensor_prefix("v000001", "images"),
+            "versions/v000001/images"
+        );
     }
 }

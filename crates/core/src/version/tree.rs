@@ -46,7 +46,11 @@ fn now_ms() -> u64 {
 impl VersionTree {
     /// A fresh tree with an uncommitted root tip on `main`.
     pub fn new() -> Self {
-        let mut tree = VersionTree { nodes: BTreeMap::new(), branches: BTreeMap::new(), next_seq: 0 };
+        let mut tree = VersionTree {
+            nodes: BTreeMap::new(),
+            branches: BTreeMap::new(),
+            next_seq: 0,
+        };
         let root = tree.new_node(None, "main");
         tree.branches.insert("main".into(), root);
         tree
@@ -71,7 +75,9 @@ impl VersionTree {
 
     /// Node by id.
     pub fn node(&self, id: &str) -> Result<&VersionNode> {
-        self.nodes.get(id).ok_or_else(|| CoreError::NoSuchVersion(id.to_string()))
+        self.nodes
+            .get(id)
+            .ok_or_else(|| CoreError::NoSuchVersion(id.to_string()))
     }
 
     /// All branch names.
@@ -163,7 +169,9 @@ impl VersionTree {
             }
             path.push(node);
         }
-        Err(CoreError::NoSuchVersion(format!("{base} is not an ancestor of {tip}")))
+        Err(CoreError::NoSuchVersion(format!(
+            "{base} is not an ancestor of {tip}"
+        )))
     }
 
     /// Commit log of a branch: sealed nodes from tip to root.
@@ -226,7 +234,10 @@ mod tests {
         let tip = t.create_branch("exp", &c1).unwrap();
         assert_eq!(t.branch_tip("exp").unwrap(), tip);
         assert_eq!(t.node(&tip).unwrap().parent.as_deref(), Some(c1.as_str()));
-        assert!(matches!(t.create_branch("exp", &c1), Err(CoreError::BranchExists(_))));
+        assert!(matches!(
+            t.create_branch("exp", &c1),
+            Err(CoreError::BranchExists(_))
+        ));
         assert!(t.create_branch("bad", "nope").is_err());
     }
 
@@ -254,7 +265,10 @@ mod tests {
         let mut t = VersionTree::new();
         let (c1, _) = t.commit("main", "1").unwrap();
         let (c2, tip) = t.commit("main", "2").unwrap();
-        assert_eq!(t.path_since(&tip, &c1).unwrap(), vec![c2.clone(), tip.clone()]);
+        assert_eq!(
+            t.path_since(&tip, &c1).unwrap(),
+            vec![c2.clone(), tip.clone()]
+        );
         assert_eq!(t.path_since(&tip, &tip).unwrap(), Vec::<String>::new());
         assert!(t.path_since(&c1, &tip).is_err());
     }

@@ -39,7 +39,10 @@ impl<'d> DatasetView<'d> {
 
     /// A view of every row, in order.
     pub fn full(dataset: &'d Dataset) -> Self {
-        DatasetView { indices: (0..dataset.len()).collect(), dataset }
+        DatasetView {
+            indices: (0..dataset.len()).collect(),
+            dataset,
+        }
     }
 
     /// The underlying dataset.
@@ -79,7 +82,10 @@ impl<'d> DatasetView<'d> {
         self.indices
             .get(i as usize)
             .copied()
-            .ok_or(CoreError::RowOutOfRange { row: i, len: self.len() })
+            .ok_or(CoreError::RowOutOfRange {
+                row: i,
+                len: self.len(),
+            })
     }
 
     /// Sparseness: mean gap between consecutive source rows. 1.0 means the
@@ -102,7 +108,10 @@ impl<'d> DatasetView<'d> {
         for &p in positions {
             indices.push(self.source_row(p)?);
         }
-        Ok(DatasetView { dataset: self.dataset, indices })
+        Ok(DatasetView {
+            dataset: self.dataset,
+            indices,
+        })
     }
 
     /// Persist the view under `views/<name>.json`, pinned to the current
@@ -112,9 +121,10 @@ impl<'d> DatasetView<'d> {
             version: self.dataset.head_id().to_string(),
             indices: self.indices.clone(),
         };
-        self.dataset
-            .provider()
-            .put(&format!("views/{name}.json"), Bytes::from(serde_json::to_vec(&saved)?))?;
+        self.dataset.provider().put(
+            &format!("views/{name}.json"),
+            Bytes::from(serde_json::to_vec(&saved)?),
+        )?;
         Ok(())
     }
 
@@ -133,7 +143,10 @@ impl<'d> DatasetView<'d> {
                 dataset.head_id()
             )));
         }
-        Ok(DatasetView { dataset, indices: saved.indices })
+        Ok(DatasetView {
+            dataset,
+            indices: saved.indices,
+        })
     }
 }
 
@@ -148,7 +161,8 @@ mod tests {
         let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "v").unwrap();
         ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
         for i in 0..n {
-            ds.append_row(vec![("labels", Sample::scalar(i as i32))]).unwrap();
+            ds.append_row(vec![("labels", Sample::scalar(i as i32))])
+                .unwrap();
         }
         ds.flush().unwrap();
         ds

@@ -26,7 +26,8 @@ fn label_of(ds: &Dataset, row: u64) -> i32 {
 #[test]
 fn long_history_every_commit_readable() {
     let mut ds = labels_ds();
-    ds.append_row(vec![("labels", Sample::scalar(0i32))]).unwrap();
+    ds.append_row(vec![("labels", Sample::scalar(0i32))])
+        .unwrap();
     let mut commits = Vec::new();
     for k in 1..=15i32 {
         ds.update("labels", 0, &Sample::scalar(k)).unwrap();
@@ -53,7 +54,8 @@ fn three_way_branch_tree() {
     for (branch, offset) in [("b1", 10), ("b2", 20), ("b3", 30)] {
         ds.checkout("main").unwrap();
         ds.checkout_new_branch(branch).unwrap();
-        ds.append_row(vec![("labels", Sample::scalar(offset))]).unwrap();
+        ds.append_row(vec![("labels", Sample::scalar(offset))])
+            .unwrap();
         ds.commit(&format!("{branch} adds")).unwrap();
     }
     // merge all three into main
@@ -71,10 +73,12 @@ fn three_way_branch_tree() {
 #[test]
 fn merge_is_idempotent_for_already_merged_branch() {
     let mut ds = labels_ds();
-    ds.append_row(vec![("labels", Sample::scalar(1i32))]).unwrap();
+    ds.append_row(vec![("labels", Sample::scalar(1i32))])
+        .unwrap();
     ds.commit("base").unwrap();
     ds.checkout_new_branch("side").unwrap();
-    ds.append_row(vec![("labels", Sample::scalar(2i32))]).unwrap();
+    ds.append_row(vec![("labels", Sample::scalar(2i32))])
+        .unwrap();
     ds.commit("side").unwrap();
     ds.checkout("main").unwrap();
     let first = ds.merge("side", MergePolicy::Ours).unwrap();
@@ -87,10 +91,12 @@ fn merge_is_idempotent_for_already_merged_branch() {
 #[test]
 fn schema_evolution_is_branch_local_until_merge() {
     let mut ds = labels_ds();
-    ds.append_row(vec![("labels", Sample::scalar(1i32))]).unwrap();
+    ds.append_row(vec![("labels", Sample::scalar(1i32))])
+        .unwrap();
     ds.commit("base").unwrap();
     ds.checkout_new_branch("schema-exp").unwrap();
-    ds.create_tensor("scores", Htype::Generic, Some(deeplake_tensor::Dtype::F32)).unwrap();
+    ds.create_tensor("scores", Htype::Generic, Some(deeplake_tensor::Dtype::F32))
+        .unwrap();
     ds.update("scores", 0, &Sample::scalar(0.5f32)).unwrap();
     ds.commit("added scores").unwrap();
     assert!(ds.tensors().contains(&"scores"));
@@ -109,13 +115,15 @@ fn whole_tree_survives_reopen() {
     {
         let mut ds = Dataset::create(provider.clone(), "persist-tree").unwrap();
         ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
-        ds.append_row(vec![("labels", Sample::scalar(1i32))]).unwrap();
+        ds.append_row(vec![("labels", Sample::scalar(1i32))])
+            .unwrap();
         ds.commit("c1").unwrap();
         ds.checkout_new_branch("dev").unwrap();
         ds.update("labels", 0, &Sample::scalar(7i32)).unwrap();
         ds.commit("dev change").unwrap();
         ds.checkout("main").unwrap();
-        ds.append_row(vec![("labels", Sample::scalar(2i32))]).unwrap();
+        ds.append_row(vec![("labels", Sample::scalar(2i32))])
+            .unwrap();
         ds.flush().unwrap();
     }
     let mut ds = Dataset::open(provider).unwrap();
@@ -132,10 +140,12 @@ fn whole_tree_survives_reopen() {
 #[test]
 fn uncommitted_changes_survive_branch_round_trip() {
     let mut ds = labels_ds();
-    ds.append_row(vec![("labels", Sample::scalar(1i32))]).unwrap();
+    ds.append_row(vec![("labels", Sample::scalar(1i32))])
+        .unwrap();
     ds.commit("base").unwrap();
     // uncommitted append on main
-    ds.append_row(vec![("labels", Sample::scalar(2i32))]).unwrap();
+    ds.append_row(vec![("labels", Sample::scalar(2i32))])
+        .unwrap();
     // checkout flushes; jumping away and back must not lose the row
     ds.checkout_new_branch("elsewhere").unwrap();
     ds.checkout("main").unwrap();
@@ -151,7 +161,8 @@ fn diff_between_sibling_branches() {
     }
     ds.commit("base").unwrap();
     ds.checkout_new_branch("left").unwrap();
-    ds.append_row(vec![("labels", Sample::scalar(100i32))]).unwrap();
+    ds.append_row(vec![("labels", Sample::scalar(100i32))])
+        .unwrap();
     ds.commit("left adds").unwrap();
     ds.checkout("main").unwrap();
     ds.checkout_new_branch("right").unwrap();
@@ -176,7 +187,8 @@ fn merge_updates_and_adds_together() {
     ds.commit("base").unwrap();
     ds.checkout_new_branch("work").unwrap();
     ds.update("labels", 1, &Sample::scalar(50i32)).unwrap();
-    ds.append_row(vec![("labels", Sample::scalar(60i32))]).unwrap();
+    ds.append_row(vec![("labels", Sample::scalar(60i32))])
+        .unwrap();
     ds.commit("work done").unwrap();
     ds.checkout("main").unwrap();
     let report = ds.merge("work", MergePolicy::Fail).unwrap();

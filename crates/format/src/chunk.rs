@@ -53,7 +53,12 @@ pub struct Chunk {
 impl Chunk {
     /// New empty chunk for samples of `dtype`.
     pub fn new(dtype: Dtype) -> Self {
-        Chunk { dtype, records: Vec::new(), offsets: Vec::new(), payload: Vec::new() }
+        Chunk {
+            dtype,
+            records: Vec::new(),
+            offsets: Vec::new(),
+            payload: Vec::new(),
+        }
     }
 
     /// Element dtype of all samples in the chunk.
@@ -80,7 +85,10 @@ impl Chunk {
     /// its logical shape.
     pub fn append_blob(&mut self, blob: &[u8], shape: Shape) {
         self.offsets.push(self.payload.len() as u32);
-        self.records.push(SampleRecord { stored_len: blob.len() as u32, shape });
+        self.records.push(SampleRecord {
+            stored_len: blob.len() as u32,
+            shape,
+        });
         self.payload.extend_from_slice(blob);
     }
 
@@ -164,7 +172,12 @@ impl Chunk {
             offsets.push(acc);
             acc += r.stored_len;
         }
-        Ok(Chunk { dtype: header.dtype, records: header.records, offsets, payload })
+        Ok(Chunk {
+            dtype: header.dtype,
+            records: header.records,
+            offsets,
+            payload,
+        })
     }
 
     /// Parse only the header of a serialized chunk. Enables sub-chunk
@@ -207,7 +220,10 @@ impl ChunkHeader {
             return Err(FormatError::Corrupt("bad chunk magic".into()));
         }
         if data[4] != CHUNK_VERSION {
-            return Err(FormatError::Corrupt(format!("unsupported chunk version {}", data[4])));
+            return Err(FormatError::Corrupt(format!(
+                "unsupported chunk version {}",
+                data[4]
+            )));
         }
         let payload_codec = codec_from_tag(data[5])?;
         let dtype = dtype_from_tag(data[6])?;
@@ -232,9 +248,19 @@ impl ChunkHeader {
                 );
             }
             pos += rank * 4;
-            records.push(SampleRecord { stored_len, shape: Shape(dims) });
+            records.push(SampleRecord {
+                stored_len,
+                shape: Shape(dims),
+            });
         }
-        Ok((ChunkHeader { payload_codec, dtype, records }, pos))
+        Ok((
+            ChunkHeader {
+                payload_codec,
+                dtype,
+                records,
+            },
+            pos,
+        ))
     }
 }
 
@@ -335,8 +361,10 @@ mod tests {
     #[test]
     fn append_and_read_back() {
         let mut c = Chunk::new(Dtype::U8);
-        c.append_sample(&sample_u8([2, 3], 7), Compression::None).unwrap();
-        c.append_sample(&sample_u8([4], 9), Compression::None).unwrap();
+        c.append_sample(&sample_u8([2, 3], 7), Compression::None)
+            .unwrap();
+        c.append_sample(&sample_u8([4], 9), Compression::None)
+            .unwrap();
         assert_eq!(c.sample_count(), 2);
         assert_eq!(c.sample(0).unwrap(), sample_u8([2, 3], 7));
         assert_eq!(c.sample(1).unwrap(), sample_u8([4], 9));
@@ -346,13 +374,20 @@ mod tests {
     #[test]
     fn serialize_roundtrip_uncompressed() {
         let mut c = Chunk::new(Dtype::F32);
-        c.append_sample(&Sample::from_slice([3], &[1.0f32, 2.0, 3.0]).unwrap(), Compression::None)
+        c.append_sample(
+            &Sample::from_slice([3], &[1.0f32, 2.0, 3.0]).unwrap(),
+            Compression::None,
+        )
+        .unwrap();
+        c.append_sample(&Sample::scalar(9.0f32), Compression::None)
             .unwrap();
-        c.append_sample(&Sample::scalar(9.0f32), Compression::None).unwrap();
         let blob = c.serialize(Compression::None);
         let back = Chunk::deserialize(&blob).unwrap();
         assert_eq!(back.sample_count(), 2);
-        assert_eq!(back.sample(0).unwrap().to_vec::<f32>().unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(
+            back.sample(0).unwrap().to_vec::<f32>().unwrap(),
+            vec![1.0, 2.0, 3.0]
+        );
         assert_eq!(back.sample(1).unwrap().get_f64(0).unwrap(), 9.0);
     }
 
@@ -360,7 +395,8 @@ mod tests {
     fn serialize_roundtrip_lz4_chunk_compression() {
         let mut c = Chunk::new(Dtype::I32);
         for i in 0..1000 {
-            c.append_sample(&Sample::scalar(i % 10), Compression::None).unwrap();
+            c.append_sample(&Sample::scalar(i % 10), Compression::None)
+                .unwrap();
         }
         let blob = c.serialize(Compression::Lz4);
         let raw = c.serialize(Compression::None);
@@ -397,7 +433,12 @@ mod tests {
         assert_eq!(back.dtype(), Dtype::U8);
         // lossy: values within quantization error
         let err = deeplake_codec::synthimg::max_error(deeplake_codec::synthimg::Quality::MEDIUM);
-        for (a, b) in img.to_vec::<u8>().unwrap().iter().zip(back.to_vec::<u8>().unwrap()) {
+        for (a, b) in img
+            .to_vec::<u8>()
+            .unwrap()
+            .iter()
+            .zip(back.to_vec::<u8>().unwrap())
+        {
             assert!(a.abs_diff(b) <= err);
         }
     }
@@ -405,9 +446,12 @@ mod tests {
     #[test]
     fn header_only_parse_gives_ranges() {
         let mut c = Chunk::new(Dtype::U8);
-        c.append_sample(&sample_u8([10], 1), Compression::None).unwrap();
-        c.append_sample(&sample_u8([20], 2), Compression::None).unwrap();
-        c.append_sample(&sample_u8([5], 3), Compression::None).unwrap();
+        c.append_sample(&sample_u8([10], 1), Compression::None)
+            .unwrap();
+        c.append_sample(&sample_u8([20], 2), Compression::None)
+            .unwrap();
+        c.append_sample(&sample_u8([5], 3), Compression::None)
+            .unwrap();
         let blob = c.serialize(Compression::None);
         let (header, header_len) = Chunk::parse_header(&blob).unwrap();
         assert_eq!(header.records.len(), 3);
@@ -425,7 +469,8 @@ mod tests {
     fn deserialize_rejects_garbage() {
         assert!(Chunk::deserialize(b"nope").is_err());
         let mut c = Chunk::new(Dtype::U8);
-        c.append_sample(&sample_u8([4], 1), Compression::None).unwrap();
+        c.append_sample(&sample_u8([4], 1), Compression::None)
+            .unwrap();
         let mut blob = c.serialize(Compression::None);
         blob.truncate(blob.len() - 2);
         assert!(Chunk::deserialize(&blob).is_err());
@@ -443,7 +488,8 @@ mod tests {
             Shape::scalar(),
         ];
         for (i, sh) in shapes.iter().enumerate() {
-            c.append_sample(&sample_u8(sh.clone(), i as u8), Compression::None).unwrap();
+            c.append_sample(&sample_u8(sh.clone(), i as u8), Compression::None)
+                .unwrap();
         }
         let blob = c.serialize(Compression::None);
         let back = Chunk::deserialize(&blob).unwrap();

@@ -58,7 +58,10 @@ impl ChunkSizePolicy {
 
     /// Video policy: same bounds but oversized samples stay whole.
     pub fn video(target_bytes: usize) -> Self {
-        ChunkSizePolicy { allow_oversized: true, ..Self::with_target(target_bytes) }
+        ChunkSizePolicy {
+            allow_oversized: true,
+            ..Self::with_target(target_bytes)
+        }
     }
 }
 
@@ -90,7 +93,12 @@ impl ChunkBuilder {
     /// New builder for samples of `dtype`, compressing each sample with
     /// `sample_compression` before it enters a chunk.
     pub fn new(dtype: Dtype, sample_compression: Compression, policy: ChunkSizePolicy) -> Self {
-        ChunkBuilder { policy, sample_compression, dtype, open: Chunk::new(dtype) }
+        ChunkBuilder {
+            policy,
+            sample_compression,
+            dtype,
+            open: Chunk::new(dtype),
+        }
     }
 
     /// The size policy in force.
@@ -124,7 +132,9 @@ impl ChunkBuilder {
     /// pre-compressed raw files whose codec matches the tensor's).
     pub fn push_encoded(&mut self, blob: Vec<u8>, shape: Shape) -> Result<FlushReason> {
         if blob.len() > self.policy.max_bytes && !self.policy.allow_oversized {
-            return Ok(FlushReason::NeedsTiling { stored_len: blob.len() });
+            return Ok(FlushReason::NeedsTiling {
+                stored_len: blob.len(),
+            });
         }
         let would_be = self.open.payload_len() + blob.len();
         if self.open.sample_count() > 0
@@ -161,7 +171,11 @@ mod tests {
     use super::*;
 
     fn builder(target: usize) -> ChunkBuilder {
-        ChunkBuilder::new(Dtype::U8, Compression::None, ChunkSizePolicy::with_target(target))
+        ChunkBuilder::new(
+            Dtype::U8,
+            Compression::None,
+            ChunkSizePolicy::with_target(target),
+        )
     }
 
     fn sample(n: usize) -> Sample {
@@ -215,11 +229,7 @@ mod tests {
 
     #[test]
     fn video_policy_allows_oversized() {
-        let mut b = ChunkBuilder::new(
-            Dtype::U8,
-            Compression::None,
-            ChunkSizePolicy::video(1000),
-        );
+        let mut b = ChunkBuilder::new(Dtype::U8, Compression::None, ChunkSizePolicy::video(1000));
         assert_eq!(b.push(&sample(5000)).unwrap(), FlushReason::Buffered);
         assert_eq!(b.finish().unwrap().sample_count(), 1);
     }
@@ -269,7 +279,10 @@ mod tests {
         );
         for _ in 0..50 {
             let r = b.push(&sample(10_000)).unwrap(); // ~50 bytes compressed
-            assert!(matches!(r, FlushReason::Buffered | FlushReason::ChunkFull(_)));
+            assert!(matches!(
+                r,
+                FlushReason::Buffered | FlushReason::ChunkFull(_)
+            ));
         }
         let c = b.finish().unwrap();
         assert!(c.sample_count() > 5, "compression should pack many samples");

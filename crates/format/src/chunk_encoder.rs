@@ -78,14 +78,21 @@ impl ChunkEncoder {
             }
         }
         let end = self.num_rows() + n_samples as u64;
-        self.runs.push(Run { chunk_id, first_local, len: n_samples });
+        self.runs.push(Run {
+            chunk_id,
+            first_local,
+            len: n_samples,
+        });
         self.ends.push(end);
     }
 
     /// Locate the chunk and local index of a row.
     pub fn locate(&self, row: u64) -> Result<SampleLocation> {
         if row >= self.num_rows() {
-            return Err(FormatError::SampleOutOfRange { index: row, len: self.num_rows() });
+            return Err(FormatError::SampleOutOfRange {
+                index: row,
+                len: self.num_rows(),
+            });
         }
         // binary search over cumulative ends
         let i = self.ends.partition_point(|&e| e <= row);
@@ -102,7 +109,10 @@ impl ChunkEncoder {
     /// span into one range request.
     pub fn locate_range(&self, start: u64, end: u64) -> Result<Vec<(u64, u32, u32)>> {
         if end > self.num_rows() || start > end {
-            return Err(FormatError::SampleOutOfRange { index: end, len: self.num_rows() });
+            return Err(FormatError::SampleOutOfRange {
+                index: end,
+                len: self.num_rows(),
+            });
         }
         let mut out = Vec::new();
         let mut row = start;
@@ -123,7 +133,10 @@ impl ChunkEncoder {
     /// was written into a fresh chunk). Splits the containing run.
     pub fn replace_row(&mut self, row: u64, loc: SampleLocation) -> Result<()> {
         if row >= self.num_rows() {
-            return Err(FormatError::SampleOutOfRange { index: row, len: self.num_rows() });
+            return Err(FormatError::SampleOutOfRange {
+                index: row,
+                len: self.num_rows(),
+            });
         }
         let i = self.ends.partition_point(|&e| e <= row);
         let run = self.runs[i].clone();
@@ -132,9 +145,17 @@ impl ChunkEncoder {
 
         let mut new_runs = Vec::with_capacity(3);
         if offset > 0 {
-            new_runs.push(Run { chunk_id: run.chunk_id, first_local: run.first_local, len: offset });
+            new_runs.push(Run {
+                chunk_id: run.chunk_id,
+                first_local: run.first_local,
+                len: offset,
+            });
         }
-        new_runs.push(Run { chunk_id: loc.chunk_id, first_local: loc.local_index, len: 1 });
+        new_runs.push(Run {
+            chunk_id: loc.chunk_id,
+            first_local: loc.local_index,
+            len: 1,
+        });
         if offset + 1 < run.len {
             new_runs.push(Run {
                 chunk_id: run.chunk_id,
@@ -187,7 +208,11 @@ impl ChunkEncoder {
             let chunk_id = u64::from_le_bytes(data[pos..pos + 8].try_into().unwrap());
             let first_local = u32::from_le_bytes(data[pos + 8..pos + 12].try_into().unwrap());
             let len = u32::from_le_bytes(data[pos + 12..pos + 16].try_into().unwrap());
-            enc.runs.push(Run { chunk_id, first_local, len });
+            enc.runs.push(Run {
+                chunk_id,
+                first_local,
+                len,
+            });
             pos += 16;
         }
         enc.rebuild_ends();
@@ -216,10 +241,34 @@ mod tests {
         e.append_run(1, 0, 20);
         assert_eq!(e.num_rows(), 35);
         assert_eq!(e.num_runs(), 2);
-        assert_eq!(e.locate(0).unwrap(), SampleLocation { chunk_id: 0, local_index: 0 });
-        assert_eq!(e.locate(14).unwrap(), SampleLocation { chunk_id: 0, local_index: 14 });
-        assert_eq!(e.locate(15).unwrap(), SampleLocation { chunk_id: 1, local_index: 0 });
-        assert_eq!(e.locate(34).unwrap(), SampleLocation { chunk_id: 1, local_index: 19 });
+        assert_eq!(
+            e.locate(0).unwrap(),
+            SampleLocation {
+                chunk_id: 0,
+                local_index: 0
+            }
+        );
+        assert_eq!(
+            e.locate(14).unwrap(),
+            SampleLocation {
+                chunk_id: 0,
+                local_index: 14
+            }
+        );
+        assert_eq!(
+            e.locate(15).unwrap(),
+            SampleLocation {
+                chunk_id: 1,
+                local_index: 0
+            }
+        );
+        assert_eq!(
+            e.locate(34).unwrap(),
+            SampleLocation {
+                chunk_id: 1,
+                local_index: 19
+            }
+        );
         assert!(e.locate(35).is_err());
     }
 
@@ -247,22 +296,61 @@ mod tests {
     fn replace_row_splits_runs() {
         let mut e = ChunkEncoder::new();
         e.append_run(0, 0, 10);
-        e.replace_row(4, SampleLocation { chunk_id: 7, local_index: 0 }).unwrap();
+        e.replace_row(
+            4,
+            SampleLocation {
+                chunk_id: 7,
+                local_index: 0,
+            },
+        )
+        .unwrap();
         assert_eq!(e.num_rows(), 10);
         assert_eq!(e.num_runs(), 3);
         assert_eq!(e.locate(3).unwrap().chunk_id, 0);
-        assert_eq!(e.locate(4).unwrap(), SampleLocation { chunk_id: 7, local_index: 0 });
-        assert_eq!(e.locate(5).unwrap(), SampleLocation { chunk_id: 0, local_index: 5 });
+        assert_eq!(
+            e.locate(4).unwrap(),
+            SampleLocation {
+                chunk_id: 7,
+                local_index: 0
+            }
+        );
+        assert_eq!(
+            e.locate(5).unwrap(),
+            SampleLocation {
+                chunk_id: 0,
+                local_index: 5
+            }
+        );
     }
 
     #[test]
     fn replace_first_and_last_rows() {
         let mut e = ChunkEncoder::new();
         e.append_run(0, 0, 4);
-        e.replace_row(0, SampleLocation { chunk_id: 5, local_index: 2 }).unwrap();
-        e.replace_row(3, SampleLocation { chunk_id: 6, local_index: 1 }).unwrap();
+        e.replace_row(
+            0,
+            SampleLocation {
+                chunk_id: 5,
+                local_index: 2,
+            },
+        )
+        .unwrap();
+        e.replace_row(
+            3,
+            SampleLocation {
+                chunk_id: 6,
+                local_index: 1,
+            },
+        )
+        .unwrap();
         assert_eq!(e.locate(0).unwrap().chunk_id, 5);
-        assert_eq!(e.locate(1).unwrap(), SampleLocation { chunk_id: 0, local_index: 1 });
+        assert_eq!(
+            e.locate(1).unwrap(),
+            SampleLocation {
+                chunk_id: 0,
+                local_index: 1
+            }
+        );
         assert_eq!(e.locate(3).unwrap().chunk_id, 6);
         assert_eq!(e.num_rows(), 4);
     }
@@ -273,8 +361,14 @@ mod tests {
         e.append_run(0, 0, 100);
         assert_eq!(e.fragmentation(), 1.0);
         for i in 0..10 {
-            e.replace_row(i * 9 + 1, SampleLocation { chunk_id: 100 + i, local_index: 0 })
-                .unwrap();
+            e.replace_row(
+                i * 9 + 1,
+                SampleLocation {
+                    chunk_id: 100 + i,
+                    local_index: 0,
+                },
+            )
+            .unwrap();
         }
         assert!(e.fragmentation() > 1.5, "got {}", e.fragmentation());
     }
@@ -284,7 +378,14 @@ mod tests {
         let mut e = ChunkEncoder::new();
         e.append_run(3, 0, 7);
         e.append_run(9, 0, 2);
-        e.replace_row(1, SampleLocation { chunk_id: 42, local_index: 5 }).unwrap();
+        e.replace_row(
+            1,
+            SampleLocation {
+                chunk_id: 42,
+                local_index: 5,
+            },
+        )
+        .unwrap();
         let blob = e.serialize();
         let back = ChunkEncoder::deserialize(&blob).unwrap();
         assert_eq!(back, e);

@@ -28,7 +28,10 @@ impl std::fmt::Display for FormatError {
         match self {
             FormatError::Corrupt(msg) => write!(f, "corrupt format data: {msg}"),
             FormatError::SampleOutOfRange { index, len } => {
-                write!(f, "sample index {index} out of range for tensor of length {len}")
+                write!(
+                    f,
+                    "sample index {index} out of range for tensor of length {len}"
+                )
             }
             FormatError::Tensor(e) => write!(f, "tensor error: {e}"),
             FormatError::Codec(e) => write!(f, "codec error: {e}"),

@@ -50,7 +50,9 @@ impl TensorMeta {
     /// Fresh metadata for a tensor of `htype`. The dtype defaults from the
     /// htype when it has one.
     pub fn new(name: impl Into<String>, htype: Htype, dtype: Option<Dtype>) -> Self {
-        let dtype = dtype.or_else(|| htype.default_dtype()).unwrap_or(Dtype::F64);
+        let dtype = dtype
+            .or_else(|| htype.default_dtype())
+            .unwrap_or(Dtype::F64);
         let sample_compression = match htype.base() {
             Htype::Image => Compression::JPEG_LIKE,
             _ => Compression::None,

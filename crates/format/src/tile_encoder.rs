@@ -9,7 +9,7 @@
 //! of interest.
 
 use deeplake_tensor::ops::slice_sample;
-use deeplake_tensor::{Dtype, Sample, SliceSpec, Shape};
+use deeplake_tensor::{Dtype, Sample, Shape, SliceSpec};
 
 use crate::consts::TILE_MAGIC;
 use crate::error::FormatError;
@@ -67,10 +67,12 @@ impl TileLayout {
     pub fn tiles_for_roi(&self, roi: &[SliceSpec]) -> Result<Vec<Vec<u64>>> {
         let rank = self.sample_shape.rank();
         if roi.len() > rank {
-            return Err(FormatError::Tensor(deeplake_tensor::TensorError::RankMismatch {
-                expected: rank,
-                actual: roi.len(),
-            }));
+            return Err(FormatError::Tensor(
+                deeplake_tensor::TensorError::RankMismatch {
+                    expected: rank,
+                    actual: roi.len(),
+                },
+            ));
         }
         // per-axis tile coordinate ranges
         let mut ranges = Vec::with_capacity(rank);
@@ -260,8 +262,10 @@ pub fn split_into_tiles(sample: &Sample, tile_shape: &Shape) -> Result<Vec<(Vec<
     let mut coords = vec![0u64; grid.len()];
     loop {
         let bounds = layout.tile_bounds(&coords);
-        let specs: Vec<SliceSpec> =
-            bounds.iter().map(|&(s, e)| SliceSpec::range(s as i64, e as i64)).collect();
+        let specs: Vec<SliceSpec> = bounds
+            .iter()
+            .map(|&(s, e)| SliceSpec::range(s as i64, e as i64))
+            .collect();
         let tile = slice_sample(sample, &specs)?;
         out.push((coords.clone(), tile));
         // advance odometer
@@ -282,11 +286,7 @@ pub fn split_into_tiles(sample: &Sample, tile_shape: &Shape) -> Result<Vec<(Vec<
 
 /// Reassemble a full sample from its tiles (inverse of
 /// [`split_into_tiles`]). `tiles` must be in row-major grid order.
-pub fn reassemble_tiles(
-    layout: &TileLayout,
-    dtype: Dtype,
-    tiles: &[Sample],
-) -> Result<Sample> {
+pub fn reassemble_tiles(layout: &TileLayout, dtype: Dtype, tiles: &[Sample]) -> Result<Sample> {
     if tiles.len() as u64 != layout.num_tiles() {
         return Err(FormatError::Corrupt(format!(
             "expected {} tiles, got {}",
@@ -327,7 +327,11 @@ pub fn reassemble_tiles(
             coords[axis] = 0;
         }
     }
-    Ok(Sample::from_bytes(dtype, full_shape.clone(), bytes::Bytes::from(buf))?)
+    Ok(Sample::from_bytes(
+        dtype,
+        full_shape.clone(),
+        bytes::Bytes::from(buf),
+    )?)
 }
 
 /// Copy a tile's contiguous row-major bytes into the bounded sub-region of
@@ -528,14 +532,11 @@ mod tests {
             tile_chunks: vec![0, 1, 2, 3],
         };
         let t = Sample::zeros(Dtype::U8, [2, 2]);
-        assert!(reassemble_tiles(&layout, Dtype::U8, &[t.clone()]).is_err());
+        assert!(reassemble_tiles(&layout, Dtype::U8, std::slice::from_ref(&t)).is_err());
         let bad = Sample::zeros(Dtype::U8, [3, 2]);
-        assert!(reassemble_tiles(
-            &layout,
-            Dtype::U8,
-            &[t.clone(), t.clone(), t.clone(), bad]
-        )
-        .is_err());
+        assert!(
+            reassemble_tiles(&layout, Dtype::U8, &[t.clone(), t.clone(), t.clone(), bad]).is_err()
+        );
     }
 
     #[test]

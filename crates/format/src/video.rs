@@ -33,10 +33,14 @@ impl VideoIndex {
     /// Build an index from `(first_frame, byte_offset)` pairs plus totals.
     pub fn new(segments: &[(u64, u64)], num_frames: u64, blob_len: u64) -> Result<Self> {
         if segments.is_empty() {
-            return Err(FormatError::Corrupt("video index needs ≥1 key frame".into()));
+            return Err(FormatError::Corrupt(
+                "video index needs ≥1 key frame".into(),
+            ));
         }
         if segments[0].0 != 0 || segments[0].1 != 0 {
-            return Err(FormatError::Corrupt("first key frame must be frame 0 offset 0".into()));
+            return Err(FormatError::Corrupt(
+                "first key frame must be frame 0 offset 0".into(),
+            ));
         }
         for w in segments.windows(2) {
             if w[1].0 <= w[0].0 || w[1].1 <= w[0].1 {
@@ -68,11 +72,18 @@ impl VideoIndex {
     /// fetching the whole data" operation of §4.3.
     pub fn seek(&self, frame: u64) -> Result<(u64, u64, u64)> {
         if frame >= self.num_frames {
-            return Err(FormatError::SampleOutOfRange { index: frame, len: self.num_frames });
+            return Err(FormatError::SampleOutOfRange {
+                index: frame,
+                len: self.num_frames,
+            });
         }
         let i = self.key_frames.partition_point(|&f| f <= frame) - 1;
         let start = self.key_offsets[i];
-        let end = self.key_offsets.get(i + 1).copied().unwrap_or(self.blob_len);
+        let end = self
+            .key_offsets
+            .get(i + 1)
+            .copied()
+            .unwrap_or(self.blob_len);
         Ok((start, end, self.key_frames[i]))
     }
 
@@ -80,7 +91,10 @@ impl VideoIndex {
     /// contiguous `(start, end)` spans.
     pub fn ranges_for(&self, from: u64, to: u64) -> Result<Vec<(u64, u64)>> {
         if to > self.num_frames || from > to {
-            return Err(FormatError::SampleOutOfRange { index: to, len: self.num_frames });
+            return Err(FormatError::SampleOutOfRange {
+                index: to,
+                len: self.num_frames,
+            });
         }
         if from == to {
             return Ok(Vec::new());

@@ -70,8 +70,7 @@ impl Batch {
         }
         let names: Vec<String> = rows[0].tensors().map(str::to_string).collect();
         for name in names {
-            let samples: Vec<Sample> =
-                rows.iter().filter_map(|r| r.get(&name).cloned()).collect();
+            let samples: Vec<Sample> = rows.iter().filter_map(|r| r.get(&name).cloned()).collect();
             columns.insert(name, collate_column(samples));
         }
         Batch { columns, len }
@@ -139,16 +138,14 @@ mod tests {
     use deeplake_tensor::Dtype;
 
     fn row(label: i32, img_fill: u8, img_side: u64) -> Row {
-        Row::new()
-            .with("labels", Sample::scalar(label))
-            .with(
-                "images",
-                Sample::from_slice(
-                    [img_side, img_side],
-                    &vec![img_fill; (img_side * img_side) as usize],
-                )
-                .unwrap(),
+        Row::new().with("labels", Sample::scalar(label)).with(
+            "images",
+            Sample::from_slice(
+                [img_side, img_side],
+                &vec![img_fill; (img_side * img_side) as usize],
             )
+            .unwrap(),
+        )
     }
 
     #[test]

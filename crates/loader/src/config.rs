@@ -22,7 +22,11 @@ pub struct ShuffleConfig {
 
 impl Default for ShuffleConfig {
     fn default() -> Self {
-        ShuffleConfig { buffer_rows: 512, block_rows: 32, seed: 0x5EED }
+        ShuffleConfig {
+            buffer_rows: 512,
+            block_rows: 32,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -51,6 +55,11 @@ pub struct LoaderConfig {
     /// when tighter (§4.6 "predicting memory consumption to avoid
     /// breaking the training process").
     pub memory_budget_bytes: Option<u64>,
+    /// Fetch each task's chunks through one batched storage call
+    /// ([`deeplake_core::Dataset::get_rows_batch`]) instead of one
+    /// round trip per chunk. On: the §3.5 scatter-gather path (default).
+    /// Off: the legacy single-key path, kept for A/B benchmarks.
+    pub batched_io: bool,
 }
 
 impl Default for LoaderConfig {
@@ -64,6 +73,7 @@ impl Default for LoaderConfig {
             transform: None,
             drop_last: false,
             memory_budget_bytes: None,
+            batched_io: true,
         }
     }
 }
@@ -77,7 +87,11 @@ pub struct LoaderBuilder {
 
 impl LoaderBuilder {
     pub(crate) fn new(dataset: Arc<Dataset>) -> Self {
-        LoaderBuilder { dataset, indices: None, config: LoaderConfig::default() }
+        LoaderBuilder {
+            dataset,
+            indices: None,
+            config: LoaderConfig::default(),
+        }
     }
 
     /// Restrict to a view's row indices (e.g. a TQL result).
@@ -100,7 +114,10 @@ impl LoaderBuilder {
 
     /// Enable shuffling with defaults.
     pub fn shuffle(mut self, seed: u64) -> Self {
-        self.config.shuffle = Some(ShuffleConfig { seed, ..ShuffleConfig::default() });
+        self.config.shuffle = Some(ShuffleConfig {
+            seed,
+            ..ShuffleConfig::default()
+        });
         self
     }
 
@@ -137,6 +154,12 @@ impl LoaderBuilder {
     /// Cap in-flight memory.
     pub fn memory_budget(mut self, bytes: u64) -> Self {
         self.config.memory_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Toggle batched scatter-gather chunk fetching (default on).
+    pub fn batched_io(mut self, yes: bool) -> Self {
+        self.config.batched_io = yes;
         self
     }
 

@@ -58,7 +58,12 @@ impl DataLoader {
         if let Some(&bad) = indices.iter().find(|&&i| i >= max) {
             return Err(CoreError::RowOutOfRange { row: bad, len: max });
         }
-        Ok(DataLoader { dataset, indices, config, tensor_names: Arc::new(tensor_names) })
+        Ok(DataLoader {
+            dataset,
+            indices,
+            config,
+            tensor_names: Arc::new(tensor_names),
+        })
     }
 
     /// Rows per epoch.
@@ -100,7 +105,12 @@ impl DataLoader {
             .filter(|m| m.sample_compression != deeplake_codec::Compression::None)
             .map(|m| m.max_shape.num_elements() * m.dtype.size() as u64)
             .sum();
-        let block = self.config.shuffle.map(|s| s.block_rows).unwrap_or(32).max(1);
+        let block = self
+            .config
+            .shuffle
+            .map(|s| s.block_rows)
+            .unwrap_or(32)
+            .max(1);
         let scheduler = Arc::new(Scheduler::new(total, block, |_| cost_per_row));
 
         // 4. workers
@@ -113,9 +123,32 @@ impl DataLoader {
             let scheduler = scheduler.clone();
             let tensor_names = self.tensor_names.clone();
             let transform = self.config.transform.clone();
+            let batched_io = self.config.batched_io;
             let tx = tx.clone();
             handles.push(std::thread::spawn(move || {
                 while let Some(task) = scheduler.next() {
+                    let rows: Vec<u64> = (task.start..task.end).map(|pos| order[pos]).collect();
+                    // Batched path: ONE storage call covers every chunk
+                    // this task touches (§3.5 scatter-gather). A batch
+                    // failure falls back to single-key reads below so the
+                    // per-row error message stays precise.
+                    let batch: Option<Vec<Row>> = if batched_io {
+                        dataset.get_rows_batch(&tensor_names, &rows).ok()
+                    } else {
+                        None
+                    };
+                    if let Some(batch_rows) = batch {
+                        for (pos, row) in (task.start..task.end).zip(batch_rows) {
+                            let row = match &transform {
+                                Some(f) => f(row),
+                                None => row,
+                            };
+                            if tx.send(Ok((pos, row))).is_err() {
+                                return; // consumer hung up
+                            }
+                        }
+                        continue;
+                    }
                     for pos in task.start..task.end {
                         let row_idx = order[pos];
                         let fetched: std::result::Result<Row, String> = (|| {
@@ -127,7 +160,8 @@ impl DataLoader {
                                 row.set(name.clone(), sample);
                             }
                             Ok(row)
-                        })();
+                        })(
+                        );
                         let msg = match fetched {
                             Ok(row) => {
                                 let row = match &transform {
@@ -357,7 +391,10 @@ mod tests {
         ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
         for i in 0..rows {
             ds.append_row(vec![
-                ("images", Sample::from_slice([8, 8, 3], &vec![(i % 251) as u8; 192]).unwrap()),
+                (
+                    "images",
+                    Sample::from_slice([8, 8, 3], &[(i % 251) as u8; 192]).unwrap(),
+                ),
                 ("labels", Sample::scalar((i % 10) as i32)),
             ])
             .unwrap();
@@ -376,14 +413,18 @@ mod tests {
     #[test]
     fn sequential_epoch_is_ordered_and_complete() {
         let ds = dataset(100);
-        let loader = DataLoader::builder(ds).batch_size(16).num_workers(4).build().unwrap();
+        let loader = DataLoader::builder(ds)
+            .batch_size(16)
+            .num_workers(4)
+            .build()
+            .unwrap();
         assert_eq!(loader.len_rows(), 100);
         assert_eq!(loader.len_batches(), 7);
         let mut all = Vec::new();
         for batch in loader.epoch() {
             all.extend(labels_of(&batch.unwrap()));
         }
-        let expect: Vec<i32> = (0..100).map(|i| (i % 10) as i32).collect();
+        let expect: Vec<i32> = (0..100).map(|i| i % 10).collect();
         assert_eq!(all, expect, "multi-worker delivery must stay in order");
     }
 
@@ -396,7 +437,10 @@ mod tests {
                 .num_workers(workers)
                 .build()
                 .unwrap();
-            loader.epoch().flat_map(|b| labels_of(&b.unwrap())).collect()
+            loader
+                .epoch()
+                .flat_map(|b| labels_of(&b.unwrap()))
+                .collect()
         };
         assert_eq!(collect(1), collect(8));
     }
@@ -428,7 +472,11 @@ mod tests {
     #[test]
     fn batches_stack_uniform_tensors() {
         let ds = dataset(10);
-        let loader = DataLoader::builder(ds).batch_size(4).num_workers(2).build().unwrap();
+        let loader = DataLoader::builder(ds)
+            .batch_size(4)
+            .num_workers(2)
+            .build()
+            .unwrap();
         let first = loader.epoch().next().unwrap().unwrap();
         match first.column("images").unwrap() {
             crate::batch::BatchColumn::Stacked(s) => {
@@ -478,7 +526,10 @@ mod tests {
             })
             .build()
             .unwrap();
-        let all: Vec<i32> = loader.epoch().flat_map(|b| labels_of(&b.unwrap())).collect();
+        let all: Vec<i32> = loader
+            .epoch()
+            .flat_map(|b| labels_of(&b.unwrap()))
+            .collect();
         assert!(all.iter().all(|&v| v >= 100));
         assert_eq!(all.len(), 12);
     }
@@ -491,14 +542,20 @@ mod tests {
             .batch_size(2)
             .build()
             .unwrap();
-        let all: Vec<i32> = loader.epoch().flat_map(|b| labels_of(&b.unwrap())).collect();
+        let all: Vec<i32> = loader
+            .epoch()
+            .flat_map(|b| labels_of(&b.unwrap()))
+            .collect();
         assert_eq!(all, vec![5, 5, 5]);
     }
 
     #[test]
     fn invalid_indices_rejected_at_build() {
         let ds = dataset(5);
-        assert!(DataLoader::builder(ds.clone()).indices(vec![10]).build().is_err());
+        assert!(DataLoader::builder(ds.clone())
+            .indices(vec![10])
+            .build()
+            .is_err());
         assert!(DataLoader::builder(ds).tensors(["ghost"]).build().is_err());
     }
 
@@ -507,7 +564,7 @@ mod tests {
         let ds = dataset(40);
         let loader = DataLoader::builder(ds).batch_size(10).build().unwrap();
         let mut epoch = loader.epoch();
-        while let Some(b) = epoch.next() {
+        for b in epoch.by_ref() {
             b.unwrap();
         }
         let stats = epoch.stats();
@@ -520,7 +577,11 @@ mod tests {
     #[test]
     fn early_drop_joins_workers() {
         let ds = dataset(100);
-        let loader = DataLoader::builder(ds).batch_size(4).num_workers(4).build().unwrap();
+        let loader = DataLoader::builder(ds)
+            .batch_size(4)
+            .num_workers(4)
+            .build()
+            .unwrap();
         let mut epoch = loader.epoch();
         let _first = epoch.next().unwrap().unwrap();
         drop(epoch); // must not deadlock
@@ -541,7 +602,11 @@ mod tests {
     #[test]
     fn multiple_epochs_reuse_loader() {
         let ds = dataset(20);
-        let loader = DataLoader::builder(ds).batch_size(6).shuffle(7).build().unwrap();
+        let loader = DataLoader::builder(ds)
+            .batch_size(6)
+            .shuffle(7)
+            .build()
+            .unwrap();
         let a: usize = loader.epoch().map(|b| b.unwrap().len()).sum();
         let b: usize = loader.epoch().map(|b| b.unwrap().len()).sum();
         assert_eq!(a, 20);

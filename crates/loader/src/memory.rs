@@ -28,7 +28,9 @@ impl MemoryEstimator {
                 bytes += elems * meta.dtype.size() as u64;
             }
         }
-        MemoryEstimator { bytes_per_row: bytes.max(1) }
+        MemoryEstimator {
+            bytes_per_row: bytes.max(1),
+        }
     }
 
     /// Rows allowed in flight under `budget` bytes (at least one batch's
@@ -57,7 +59,10 @@ mod tests {
         .unwrap();
         ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
         ds.append_row(vec![
-            ("images", Sample::zeros(deeplake_tensor::Dtype::U8, [100, 100, 3])),
+            (
+                "images",
+                Sample::zeros(deeplake_tensor::Dtype::U8, [100, 100, 3]),
+            ),
             ("labels", Sample::scalar(1i32)),
         ])
         .unwrap();
@@ -81,7 +86,9 @@ mod tests {
 
     #[test]
     fn rows_in_flight_floor_is_batch() {
-        let est = MemoryEstimator { bytes_per_row: 1_000_000 };
+        let est = MemoryEstimator {
+            bytes_per_row: 1_000_000,
+        };
         assert_eq!(est.rows_in_flight(10, 8), 8);
         assert_eq!(est.rows_in_flight(64_000_000, 8), 64);
     }

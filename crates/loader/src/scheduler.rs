@@ -39,12 +39,19 @@ impl Scheduler {
         while start < total {
             let end = (start + block).min(total);
             let cpu_cost: u64 = (start..end).map(&cpu_cost_per_row).sum();
-            tasks.push(Task { start, end, cpu_cost });
+            tasks.push(Task {
+                start,
+                end,
+                cpu_cost,
+            });
             start = end;
         }
         // CPU-heavy first (stable so equal-cost tasks keep epoch order)
-        tasks.sort_by(|a, b| b.cpu_cost.cmp(&a.cpu_cost));
-        Scheduler { tasks, cursor: AtomicUsize::new(0) }
+        tasks.sort_by_key(|t| std::cmp::Reverse(t.cpu_cost));
+        Scheduler {
+            tasks,
+            cursor: AtomicUsize::new(0),
+        }
     }
 
     /// Claim the next task (thread-safe).
@@ -71,11 +78,11 @@ mod tests {
     #[test]
     fn covers_all_positions_once() {
         let s = Scheduler::new(100, 16, |_| 1);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         while let Some(t) = s.next() {
-            for p in t.start..t.end {
-                assert!(!seen[p], "position {p} scheduled twice");
-                seen[p] = true;
+            for (p, flag) in seen.iter_mut().enumerate().take(t.end).skip(t.start) {
+                assert!(!*flag, "position {p} scheduled twice");
+                *flag = true;
             }
         }
         assert!(seen.iter().all(|&s| s));
@@ -110,7 +117,10 @@ mod tests {
                 got
             }));
         }
-        let mut all: Vec<usize> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), s.len());

@@ -85,7 +85,11 @@ mod tests {
     use super::*;
 
     fn cfg(seed: u64, block: usize) -> ShuffleConfig {
-        ShuffleConfig { buffer_rows: 16, block_rows: block, seed }
+        ShuffleConfig {
+            buffer_rows: 16,
+            block_rows: block,
+            seed,
+        }
     }
 
     #[test]

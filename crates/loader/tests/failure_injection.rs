@@ -12,7 +12,8 @@ fn dataset(provider: DynProvider, rows: u64) -> Dataset {
     let mut ds = Dataset::create(provider, "inject").unwrap();
     ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
     for i in 0..rows {
-        ds.append_row(vec![("labels", Sample::scalar(i as i32))]).unwrap();
+        ds.append_row(vec![("labels", Sample::scalar(i as i32))])
+            .unwrap();
     }
     ds.flush().unwrap();
     ds
@@ -21,7 +22,7 @@ fn dataset(provider: DynProvider, rows: u64) -> Dataset {
 #[test]
 fn missing_chunk_surfaces_error_and_stops() {
     let provider = Arc::new(MemoryProvider::new());
-    let ds = dataset(provider.clone(), 50);
+    let _ds = dataset(provider.clone(), 50);
     // delete every chunk object behind the dataset's back
     for key in provider.list("").unwrap() {
         if key.contains("/chunks/") {
@@ -29,7 +30,11 @@ fn missing_chunk_surfaces_error_and_stops() {
         }
     }
     let ds = Arc::new(Dataset::open(provider).unwrap());
-    let loader = DataLoader::builder(ds).batch_size(8).num_workers(4).build().unwrap();
+    let loader = DataLoader::builder(ds)
+        .batch_size(8)
+        .num_workers(4)
+        .build()
+        .unwrap();
     let mut saw_error = false;
     for batch in loader.epoch() {
         match batch {
@@ -47,14 +52,20 @@ fn missing_chunk_surfaces_error_and_stops() {
 #[test]
 fn corrupted_chunk_bytes_surface_error() {
     let provider = Arc::new(MemoryProvider::new());
-    let ds = dataset(provider.clone(), 50);
+    let _ds = dataset(provider.clone(), 50);
     for key in provider.list("").unwrap() {
         if key.contains("/chunks/") {
-            provider.put(&key, bytes::Bytes::from_static(b"garbage")).unwrap();
+            provider
+                .put(&key, bytes::Bytes::from_static(b"garbage"))
+                .unwrap();
         }
     }
     let ds = Arc::new(Dataset::open(provider).unwrap());
-    let loader = DataLoader::builder(ds).batch_size(8).num_workers(2).build().unwrap();
+    let loader = DataLoader::builder(ds)
+        .batch_size(8)
+        .num_workers(2)
+        .build()
+        .unwrap();
     let results: Vec<_> = loader.epoch().collect();
     assert!(results.iter().any(|r| r.is_err()));
 }
@@ -62,14 +73,18 @@ fn corrupted_chunk_bytes_surface_error() {
 #[test]
 fn iterator_terminates_after_error() {
     let provider = Arc::new(MemoryProvider::new());
-    let ds = dataset(provider.clone(), 30);
+    let _ds = dataset(provider.clone(), 30);
     for key in provider.list("").unwrap() {
         if key.contains("/chunks/") {
             provider.delete(&key).unwrap();
         }
     }
     let ds = Arc::new(Dataset::open(provider).unwrap());
-    let loader = DataLoader::builder(ds).batch_size(4).num_workers(2).build().unwrap();
+    let loader = DataLoader::builder(ds)
+        .batch_size(4)
+        .num_workers(2)
+        .build()
+        .unwrap();
     let mut epoch = loader.epoch();
     // drain fully: after the first Err the iterator must return None soon
     // (not hang), and dropping it must join workers cleanly
@@ -93,7 +108,12 @@ fn empty_dataset_yields_no_batches() {
 #[test]
 fn single_row_dataset_single_batch() {
     let ds = Arc::new(dataset(Arc::new(MemoryProvider::new()), 1));
-    let loader = DataLoader::builder(ds).batch_size(64).num_workers(8).shuffle(1).build().unwrap();
+    let loader = DataLoader::builder(ds)
+        .batch_size(64)
+        .num_workers(8)
+        .shuffle(1)
+        .build()
+        .unwrap();
     let batches: Vec<_> = loader.epoch().map(|b| b.unwrap()).collect();
     assert_eq!(batches.len(), 1);
     assert_eq!(batches[0].len(), 1);

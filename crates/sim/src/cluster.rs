@@ -81,13 +81,20 @@ pub fn run_cluster(cfg: &ClusterConfig) -> ClusterReport {
             img.pixels.clone(),
         )
         .unwrap();
-        ds.append_row(vec![("images", sample), ("labels", Sample::scalar(img.label))]).unwrap();
+        ds.append_row(vec![
+            ("images", sample),
+            ("labels", Sample::scalar(img.label)),
+        ])
+        .unwrap();
     }
     ds.flush().unwrap();
     drop(ds);
     // stream through the billed cross-region link
-    let charged: DynProvider =
-        Arc::new(SimulatedCloudProvider::new("cross-region", backing, cfg.net));
+    let charged: DynProvider = Arc::new(SimulatedCloudProvider::new(
+        "cross-region",
+        backing,
+        cfg.net,
+    ));
     let ds = Arc::new(Dataset::open(charged).unwrap());
 
     let loader = DataLoader::builder(ds)

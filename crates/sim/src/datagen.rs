@@ -122,7 +122,10 @@ mod tests {
         let img = &imagenet_like(1, 128, 3)[0];
         let blob = img.encode_jpeg_like();
         let ratio = img.nbytes() as f64 / blob.len() as f64;
-        assert!(ratio > 3.0, "ratio {ratio:.1} too low for natural-ish content");
+        assert!(
+            ratio > 3.0,
+            "ratio {ratio:.1} too low for natural-ish content"
+        );
         assert!(ratio < 100.0, "ratio {ratio:.1} suspiciously high");
     }
 }

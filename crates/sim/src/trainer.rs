@@ -103,10 +103,19 @@ pub fn run_training(mode: TrainMode, cfg: &TrainingConfig) -> TrainingReport {
 /// fetch+decode with workers feeding the GPU.
 fn run_file_mode(images: &[RawImage], cfg: &TrainingConfig, copy_first: bool) -> TrainingReport {
     // populate the remote store (outside timing, like having data on S3)
-    let remote = Arc::new(SimulatedCloudProvider::new("s3", MemoryProvider::new(), cfg.net));
-    let keys: Vec<String> = (0..images.len()).map(|i| format!("train/{i:08}.img")).collect();
+    let remote = Arc::new(SimulatedCloudProvider::new(
+        "s3",
+        MemoryProvider::new(),
+        cfg.net,
+    ));
+    let keys: Vec<String> = (0..images.len())
+        .map(|i| format!("train/{i:08}.img"))
+        .collect();
     for (key, img) in keys.iter().zip(images) {
-        remote.inner().put(key, Bytes::from(img.encode_jpeg_like())).unwrap();
+        remote
+            .inner()
+            .put(key, Bytes::from(img.encode_jpeg_like()))
+            .unwrap();
     }
 
     let started = Instant::now();
@@ -173,7 +182,11 @@ fn run_file_mode(images: &[RawImage], cfg: &TrainingConfig, copy_first: bool) ->
 
     let report = gpu.report();
     TrainingReport {
-        mode: if copy_first { TrainMode::FileMode } else { TrainMode::FastFileMode },
+        mode: if copy_first {
+            TrainMode::FileMode
+        } else {
+            TrainMode::FastFileMode
+        },
         time_to_first_batch: report.time_to_first_batch,
         total_time: started.elapsed(),
         gpu: report,
@@ -183,8 +196,11 @@ fn run_file_mode(images: &[RawImage], cfg: &TrainingConfig, copy_first: bool) ->
 /// Deep Lake streaming: ingest once (outside timing), then stream with
 /// the prefetching loader.
 fn run_deeplake(images: &[RawImage], cfg: &TrainingConfig) -> TrainingReport {
-    let remote: DynProvider =
-        Arc::new(SimulatedCloudProvider::new("s3", MemoryProvider::new(), NetworkProfile::instant()));
+    let remote: DynProvider = Arc::new(SimulatedCloudProvider::new(
+        "s3",
+        MemoryProvider::new(),
+        NetworkProfile::instant(),
+    ));
     let mut ds = Dataset::create(remote, "imagenet-sim").unwrap();
     ds.create_tensor_opts("images", {
         let mut o = TensorOptions::new(Htype::Image);
@@ -201,15 +217,18 @@ fn run_deeplake(images: &[RawImage], cfg: &TrainingConfig) -> TrainingReport {
             img.pixels.clone(),
         )
         .unwrap();
-        ds.append_row(vec![("images", sample), ("labels", Sample::scalar(img.label))]).unwrap();
+        ds.append_row(vec![
+            ("images", sample),
+            ("labels", Sample::scalar(img.label)),
+        ])
+        .unwrap();
     }
     ds.flush().unwrap();
     // re-home the dataset behind the *billed* network profile: reopen the
     // same objects through a provider that charges cfg.net
     let inner = ds.provider();
     drop(ds);
-    let charged: DynProvider =
-        Arc::new(SimulatedCloudProvider::new("s3", inner, cfg.net));
+    let charged: DynProvider = Arc::new(SimulatedCloudProvider::new("s3", inner, cfg.net));
     let ds = Arc::new(Dataset::open(charged).unwrap());
 
     let started = Instant::now();
@@ -254,7 +273,11 @@ mod tests {
     #[test]
     fn all_modes_process_every_sample() {
         let c = cfg(NetworkProfile::instant());
-        for mode in [TrainMode::FileMode, TrainMode::FastFileMode, TrainMode::DeepLakeStream] {
+        for mode in [
+            TrainMode::FileMode,
+            TrainMode::FastFileMode,
+            TrainMode::DeepLakeStream,
+        ] {
             let r = run_training(mode, &c);
             assert_eq!(r.gpu.images, 60, "{}", mode.name());
             assert!(r.total_time > Duration::ZERO);

@@ -25,7 +25,10 @@ impl std::fmt::Display for StorageError {
         match self {
             StorageError::NotFound(key) => write!(f, "key not found: {key}"),
             StorageError::RangeOutOfBounds { start, end, len } => {
-                write!(f, "range {start}..{end} out of bounds for object of {len} bytes")
+                write!(
+                    f,
+                    "range {start}..{end} out of bounds for object of {len} bytes"
+                )
             }
             StorageError::Io(msg) => write!(f, "storage io error: {msg}"),
             StorageError::ReadOnly => write!(f, "storage is read-only"),
@@ -61,7 +64,11 @@ mod tests {
     fn display_non_empty() {
         for e in [
             StorageError::NotFound("k".into()),
-            StorageError::RangeOutOfBounds { start: 0, end: 5, len: 2 },
+            StorageError::RangeOutOfBounds {
+                start: 0,
+                end: 5,
+                len: 2,
+            },
             StorageError::Io("x".into()),
             StorageError::ReadOnly,
         ] {

@@ -19,11 +19,20 @@
 //!   path. Request/byte counters make benchmark assertions possible.
 //! * [`LruCacheProvider`] — read-through/write-through LRU chaining of two
 //!   providers, e.g. memory over simulated S3.
+//!
+//! Reads come in two granularities: the single-key `get`/`get_range`
+//! methods, and the **batched scatter-gather path** — build a
+//! [`ReadPlan`] covering every chunk a task needs and call
+//! [`StorageProvider::execute`] once. Providers coalesce
+//! adjacent/overlapping ranges per key and parallelize or amortize the
+//! merged fetches; [`StorageStats::round_trips`] vs
+//! [`StorageStats::logical_reads`] shows the saving.
 
 pub mod error;
 pub mod local;
 pub mod lru;
 pub mod memory;
+pub mod plan;
 pub mod prefix;
 pub mod provider;
 pub mod sim;
@@ -33,6 +42,7 @@ pub use error::StorageError;
 pub use local::LocalProvider;
 pub use lru::LruCacheProvider;
 pub use memory::MemoryProvider;
+pub use plan::{CoalescedFetch, FetchPart, ReadPlan, ReadRequest, ReadResult};
 pub use prefix::PrefixProvider;
 pub use provider::{DynProvider, StorageProvider};
 pub use sim::{NetworkProfile, SimulatedCloudProvider};

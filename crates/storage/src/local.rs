@@ -7,8 +7,13 @@ use std::path::{Path, PathBuf};
 use bytes::Bytes;
 
 use crate::error::StorageError;
+use crate::plan::{CoalescedFetch, ReadPlan, ReadResult};
 use crate::provider::StorageProvider;
 use crate::Result;
+
+/// Fan-out width for batched reads: one thread per in-flight fetch, like
+/// a dataloader worker's HTTP connection pool.
+const READ_PARALLELISM: usize = 8;
 
 /// A provider rooted at a directory on a POSIX filesystem. Keys map to
 /// relative paths; intermediate directories are created on write.
@@ -36,6 +41,14 @@ impl LocalProvider {
             .filter(|seg| !seg.is_empty() && *seg != "." && *seg != "..")
             .collect();
         self.root.join(sanitized)
+    }
+
+    /// Serve one coalesced fetch: open the file once, read the span.
+    fn read_fetch(&self, fetch: &CoalescedFetch) -> Result<Bytes> {
+        match fetch.range {
+            None => self.get(&fetch.key),
+            Some((start, end)) => self.get_range(&fetch.key, start, end),
+        }
     }
 }
 
@@ -112,6 +125,78 @@ impl StorageProvider for LocalProvider {
     fn describe(&self) -> String {
         format!("local({})", self.root.display())
     }
+
+    /// Coalesce, then fan the merged fetches out over scoped threads —
+    /// seek-heavy batches overlap their syscalls the way loader workers
+    /// overlap range requests against a remote store.
+    fn execute(&self, plan: &ReadPlan) -> ReadResult {
+        let fetches = plan.coalesce();
+        let n_fetches = fetches.len();
+        let mut fetched: Vec<Option<Result<Bytes>>> = Vec::new();
+        fetched.resize_with(n_fetches, || None);
+        if n_fetches <= 1 {
+            for (slot, fetch) in fetched.iter_mut().zip(&fetches) {
+                *slot = Some(self.read_fetch(fetch));
+            }
+        } else {
+            let workers = READ_PARALLELISM.min(n_fetches);
+            let per_worker = n_fetches.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (slot_chunk, fetch_chunk) in fetched
+                    .chunks_mut(per_worker)
+                    .zip(fetches.chunks(per_worker))
+                {
+                    scope.spawn(move || {
+                        for (slot, fetch) in slot_chunk.iter_mut().zip(fetch_chunk) {
+                            *slot = Some(self.read_fetch(fetch));
+                        }
+                    });
+                }
+            });
+        }
+        let mut out: Vec<Option<Result<Bytes>>> = vec![None; plan.len()];
+        for (fetch, result) in fetches.iter().zip(fetched) {
+            fetch.distribute(result.expect("every fetch ran"), &mut out);
+        }
+        ReadResult {
+            results: out
+                .into_iter()
+                .map(|slot| slot.expect("plan covered"))
+                .collect(),
+            fetches: n_fetches as u64,
+        }
+    }
+
+    /// Remove the subtree in one filesystem walk instead of per-key
+    /// stat+unlink round trips.
+    fn delete_prefix(&self, prefix: &str) -> Result<()> {
+        // Directory-aligned prefixes (the common case: `versions/v3/`)
+        // map to one recursive directory removal — but only when the
+        // string prefix and its sanitized path agree. A prefix like
+        // `a//` or `a/../` matches no keys under string semantics, and
+        // `path_of`'s segment filtering must not silently widen it into
+        // a whole-directory delete.
+        let trimmed = prefix.trim_end_matches('/');
+        let dir_aligned = !trimmed.is_empty()
+            && prefix.len() == trimmed.len() + 1 // exactly one trailing '/'
+            && trimmed
+                .split('/')
+                .all(|seg| !seg.is_empty() && seg != "." && seg != "..");
+        if dir_aligned {
+            let as_dir = self.path_of(trimmed);
+            if as_dir.is_dir() && as_dir != self.root {
+                return match fs::remove_dir_all(&as_dir) {
+                    Ok(()) => Ok(()),
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+                    Err(e) => Err(e.into()),
+                };
+            }
+        }
+        for key in self.list(prefix)? {
+            self.delete(&key)?;
+        }
+        Ok(())
+    }
 }
 
 fn collect_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<()> {
@@ -149,9 +234,16 @@ mod tests {
     #[test]
     fn roundtrip_with_nested_keys() {
         let p = LocalProvider::new(tmp()).unwrap();
-        p.put("ds/tensors/images/chunks/c0", Bytes::from_static(b"data")).unwrap();
-        assert_eq!(p.get("ds/tensors/images/chunks/c0").unwrap(), Bytes::from_static(b"data"));
-        assert_eq!(p.list("ds/tensors/").unwrap(), vec!["ds/tensors/images/chunks/c0"]);
+        p.put("ds/tensors/images/chunks/c0", Bytes::from_static(b"data"))
+            .unwrap();
+        assert_eq!(
+            p.get("ds/tensors/images/chunks/c0").unwrap(),
+            Bytes::from_static(b"data")
+        );
+        assert_eq!(
+            p.list("ds/tensors/").unwrap(),
+            vec!["ds/tensors/images/chunks/c0"]
+        );
         fs::remove_dir_all(p.root()).unwrap();
     }
 
@@ -160,7 +252,10 @@ mod tests {
         let p = LocalProvider::new(tmp()).unwrap();
         p.put("k", Bytes::from_static(b"0123456789")).unwrap();
         assert_eq!(p.get_range("k", 3, 7).unwrap(), Bytes::from_static(b"3456"));
-        assert_eq!(p.get_range("k", 5, 99).unwrap(), Bytes::from_static(b"56789"));
+        assert_eq!(
+            p.get_range("k", 5, 99).unwrap(),
+            Bytes::from_static(b"56789")
+        );
         assert!(p.get_range("k", 20, 25).is_err());
         fs::remove_dir_all(p.root()).unwrap();
     }
@@ -180,6 +275,22 @@ mod tests {
         p.put("../../escape", Bytes::from_static(b"x")).unwrap();
         // the object is stored under root, not outside it
         assert!(p.root().join("escape").is_file());
+        fs::remove_dir_all(p.root()).unwrap();
+    }
+
+    #[test]
+    fn delete_prefix_is_string_prefixed_not_path_normalized() {
+        let p = LocalProvider::new(tmp()).unwrap();
+        p.put("a/b", Bytes::from_static(b"x")).unwrap();
+        // these match no keys under string semantics; the sanitized-path
+        // fast path must not widen them into deleting directory `a`
+        p.delete_prefix("a//").unwrap();
+        p.delete_prefix("a/../").unwrap();
+        p.delete_prefix("a/./").unwrap();
+        assert!(p.exists("a/b").unwrap());
+        // the aligned form does delete
+        p.delete_prefix("a/").unwrap();
+        assert!(!p.exists("a/b").unwrap());
         fs::remove_dir_all(p.root()).unwrap();
     }
 

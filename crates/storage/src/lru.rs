@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
+use crate::plan::{ReadPlan, ReadRequest, ReadResult};
 use crate::provider::{clamp_range, StorageProvider};
 use crate::stats::StorageStats;
 use crate::Result;
@@ -39,7 +40,11 @@ impl<P: StorageProvider> LruCacheProvider<P> {
     pub fn new(base: P, capacity_bytes: u64) -> Self {
         LruCacheProvider {
             base,
-            state: Mutex::new(CacheState { entries: HashMap::new(), bytes: 0, tick: 0 }),
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+            }),
             capacity: capacity_bytes,
             stats: StorageStats::new(),
         }
@@ -108,6 +113,47 @@ impl<P: StorageProvider> LruCacheProvider<P> {
             st.bytes -= old.len() as u64;
         }
     }
+
+    /// Insert a whole batch of fetched objects under one lock, then run a
+    /// **single eviction pass** — instead of N insert+evict cycles, the
+    /// batch lands first and LRU order is enforced once.
+    fn insert_many(&self, batch: Vec<(String, Bytes)>) {
+        let mut st = self.state.lock();
+        for (key, data) in batch {
+            let size = data.len() as u64;
+            if size > self.capacity {
+                continue; // never cache objects bigger than the whole budget
+            }
+            st.tick += 1;
+            let tick = st.tick;
+            if let Some((old, _)) = st.entries.insert(key, (data, tick)) {
+                st.bytes -= old.len() as u64;
+            }
+            st.bytes += size;
+        }
+        while st.bytes > self.capacity {
+            let victim = st
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k.clone())
+                .expect("bytes > 0 implies entries");
+            if let Some((old, _)) = st.entries.remove(&victim) {
+                st.bytes -= old.len() as u64;
+            }
+        }
+    }
+
+    /// Serve one logical request out of a cached/fetched whole object.
+    fn slice_of(request: &ReadRequest, data: &Bytes) -> Result<Bytes> {
+        match request.range {
+            None => Ok(data.clone()),
+            Some((start, end)) => {
+                let (s, e) = clamp_range(start, end, data.len() as u64)?;
+                Ok(data.slice(s..e))
+            }
+        }
+    }
 }
 
 impl<P: StorageProvider> StorageProvider for LruCacheProvider<P> {
@@ -174,6 +220,169 @@ impl<P: StorageProvider> StorageProvider for LruCacheProvider<P> {
     fn describe(&self) -> String {
         format!("lru({} B, over {})", self.capacity, self.base.describe())
     }
+
+    /// Batched read-through: one lock pass resolves hits, misses fill
+    /// through a single base batch, then one insertion + eviction pass.
+    /// Missed objects that fit the budget are fetched whole (so later
+    /// ranges of the same chunks hit memory); objects larger than the
+    /// whole cache keep single-key semantics — their ranges pass through
+    /// untouched and nothing is cached (`get_range`'s `len_of` guard).
+    fn execute(&self, plan: &ReadPlan) -> ReadResult {
+        let requests = plan.requests();
+        let mut out: Vec<Option<Result<Bytes>>> = vec![None; requests.len()];
+        let mut miss_keys: Vec<String> = Vec::new();
+        let mut missed: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        {
+            let mut st = self.state.lock();
+            for (i, r) in requests.iter().enumerate() {
+                st.tick += 1;
+                let tick = st.tick;
+                if let Some((data, last)) = st.entries.get_mut(&r.key) {
+                    *last = tick;
+                    self.stats.record_hit();
+                    let data = data.clone();
+                    out[i] = Some(Self::slice_of(r, &data));
+                } else {
+                    self.stats.record_miss();
+                    if missed.insert(r.key.as_str()) {
+                        miss_keys.push(r.key.clone());
+                    }
+                }
+            }
+        }
+        drop(missed);
+        if miss_keys.is_empty() {
+            self.stats.record_batch(requests.len() as u64, 0, 0);
+            return ReadResult {
+                results: out.into_iter().map(|s| s.expect("all hits")).collect(),
+                fetches: 0,
+            };
+        }
+        // Promote a missed key to a whole-object fetch only when the
+        // object fits the budget (or a whole read was asked for anyway);
+        // oversized objects get their original ranges passed through.
+        // The loader's chunk plans request whole objects, so the size
+        // probes below only run for range-only keys — and in parallel,
+        // so they cost one metadata round trip of latency, not one per
+        // key.
+        let mut cacheable: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        let mut probe_keys: Vec<&str> = Vec::new();
+        for key in &miss_keys {
+            if requests.iter().any(|r| r.key == *key && r.range.is_none()) {
+                cacheable.insert(key.as_str());
+            } else {
+                probe_keys.push(key.as_str());
+            }
+        }
+        if !probe_keys.is_empty() {
+            let fits = |key: &str| match self.base.len_of(key) {
+                Ok(len) => len <= self.capacity,
+                Err(_) => true, // missing: let the fetch report it
+            };
+            let mut probe_fits: Vec<bool> = vec![false; probe_keys.len()];
+            if probe_keys.len() == 1 {
+                probe_fits[0] = fits(probe_keys[0]);
+            } else {
+                let per_worker = probe_keys.len().div_ceil(8);
+                std::thread::scope(|scope| {
+                    for (flags, keys) in probe_fits
+                        .chunks_mut(per_worker)
+                        .zip(probe_keys.chunks(per_worker))
+                    {
+                        let fits = &fits;
+                        scope.spawn(move || {
+                            for (flag, key) in flags.iter_mut().zip(keys) {
+                                *flag = fits(key);
+                            }
+                        });
+                    }
+                });
+            }
+            for (key, fit) in probe_keys.iter().zip(probe_fits) {
+                if fit {
+                    cacheable.insert(key);
+                }
+            }
+        }
+        let mut base_plan = ReadPlan::with_gap_tolerance(plan.gap_tolerance());
+        // positional map: which logical request each base request serves
+        // (usize::MAX = a whole-object fill keyed off `fill_keys`)
+        let mut passthrough_of: Vec<usize> = Vec::new();
+        let mut fill_keys: Vec<&str> = Vec::new();
+        for key in &miss_keys {
+            if cacheable.contains(key.as_str()) {
+                base_plan.whole(key.clone());
+                passthrough_of.push(usize::MAX);
+                fill_keys.push(key);
+                continue;
+            }
+            for (i, r) in requests.iter().enumerate() {
+                if r.key == *key && out[i].is_none() {
+                    base_plan.push(r.clone());
+                    passthrough_of.push(i);
+                    fill_keys.push(key);
+                }
+            }
+        }
+        let base_result = self.base.execute(&base_plan);
+        let mut by_key: HashMap<&str, &Result<Bytes>> = HashMap::new();
+        let mut to_cache: Vec<(String, Bytes)> = Vec::new();
+        let mut bytes_moved = 0u64;
+        for ((result, &target), key) in base_result
+            .results
+            .iter()
+            .zip(&passthrough_of)
+            .zip(&fill_keys)
+        {
+            if let Ok(data) = result {
+                bytes_moved += data.len() as u64;
+            }
+            if target == usize::MAX {
+                if let Ok(data) = result {
+                    to_cache.push((key.to_string(), data.clone()));
+                }
+                by_key.insert(*key, result);
+            } else {
+                out[target] = Some(result.clone());
+            }
+        }
+        self.insert_many(to_cache);
+        for (i, r) in requests.iter().enumerate() {
+            if out[i].is_none() {
+                out[i] = Some(match by_key.get(r.key.as_str()) {
+                    Some(Ok(data)) => Self::slice_of(r, data),
+                    Some(Err(e)) => Err(e.clone()),
+                    None => unreachable!("every miss key was fetched or passed through"),
+                });
+            }
+        }
+        self.stats
+            .record_batch(requests.len() as u64, base_result.fetches, bytes_moved);
+        ReadResult {
+            results: out.into_iter().map(|s| s.expect("hit or filled")).collect(),
+            fetches: base_result.fetches,
+        }
+    }
+
+    /// Drop every cached object under the prefix, then bulk-delete on the
+    /// base (one batched call instead of a list+delete loop here).
+    fn delete_prefix(&self, prefix: &str) -> Result<()> {
+        {
+            let mut st = self.state.lock();
+            let doomed: Vec<String> = st
+                .entries
+                .keys()
+                .filter(|k| k.starts_with(prefix))
+                .cloned()
+                .collect();
+            for key in doomed {
+                if let Some((old, _)) = st.entries.remove(&key) {
+                    st.bytes -= old.len() as u64;
+                }
+            }
+        }
+        self.base.delete_prefix(prefix)
+    }
 }
 
 #[cfg(test)]
@@ -204,7 +413,8 @@ mod tests {
     fn eviction_respects_capacity() {
         let base = MemoryProvider::new();
         for i in 0..10 {
-            base.put(&format!("k{i}"), Bytes::from(vec![0u8; 100])).unwrap();
+            base.put(&format!("k{i}"), Bytes::from(vec![0u8; 100]))
+                .unwrap();
         }
         let cache = LruCacheProvider::new(base, 350);
         for i in 0..10 {
@@ -235,7 +445,9 @@ mod tests {
     #[test]
     fn range_hit_after_whole_object_fetch() {
         let base = slow_base();
-        base.inner().put("chunk", Bytes::from((0..=255u8).collect::<Vec<_>>())).unwrap();
+        base.inner()
+            .put("chunk", Bytes::from((0..=255u8).collect::<Vec<_>>()))
+            .unwrap();
         let cache = LruCacheProvider::new(base, 10_000);
         let r1 = cache.get_range("chunk", 0, 16).unwrap();
         assert_eq!(r1.len(), 16);
@@ -256,6 +468,98 @@ mod tests {
         let r = cache.get_range("big", 10, 20).unwrap();
         assert_eq!(r.len(), 10);
         assert_eq!(cache.cached_objects(), 0);
+    }
+
+    #[test]
+    fn batched_fill_hits_base_once_then_serves_from_memory() {
+        use crate::plan::ReadPlan;
+        let base = slow_base();
+        for k in ["c0", "c1", "c2"] {
+            base.inner()
+                .put(k, Bytes::from((0..=255u8).collect::<Vec<_>>()))
+                .unwrap();
+        }
+        let cache = LruCacheProvider::new(base, 1 << 20);
+        // 6 logical reads over 3 missing keys → one base batch of 3 fetches
+        let mut plan = ReadPlan::new();
+        for k in ["c0", "c1", "c2"] {
+            plan.range(k, 0, 16);
+            plan.range(k, 100, 116);
+        }
+        let outcome = cache.execute(&plan);
+        assert!(outcome.results.iter().all(|r| r.is_ok()));
+        assert_eq!(outcome.results[1].as_ref().unwrap()[0], 100);
+        assert_eq!(outcome.fetches, 3);
+        assert_eq!(cache.stats().cache_misses(), 6);
+        assert_eq!(
+            cache.base().stats().round_trips(),
+            1,
+            "one batch to the base"
+        );
+        // the fill cached whole objects: a second batch is all hits
+        let outcome = cache.execute(&plan);
+        assert_eq!(outcome.fetches, 0);
+        assert_eq!(cache.stats().cache_hits(), 6);
+        assert_eq!(
+            cache.base().stats().round_trips(),
+            1,
+            "no further base traffic"
+        );
+    }
+
+    #[test]
+    fn batched_fill_evicts_once_within_capacity() {
+        let base = MemoryProvider::new();
+        for i in 0..8 {
+            base.put(&format!("k{i}"), Bytes::from(vec![i as u8; 100]))
+                .unwrap();
+        }
+        let cache = LruCacheProvider::new(base, 350);
+        let mut plan = crate::plan::ReadPlan::new();
+        for i in 0..8 {
+            plan.whole(format!("k{i}"));
+        }
+        let outcome = cache.execute(&plan);
+        assert!(outcome.results.iter().all(|r| r.is_ok()));
+        // single eviction pass leaves the cache within budget
+        assert!(cache.cached_bytes() <= 350);
+        assert!(cache.cached_objects() <= 3);
+    }
+
+    #[test]
+    fn batched_range_of_oversized_object_passes_through() {
+        // an object bigger than the whole cache must NOT be fetched whole
+        // on the batched path (the single-key `len_of` guard applies)
+        let base = slow_base();
+        base.inner()
+            .put("huge", Bytes::from(vec![7u8; 4096]))
+            .unwrap();
+        let cache = LruCacheProvider::new(base, 512); // budget < object
+                                                      // gap tolerance 0 so the two ranges stay separate fetches
+        let mut plan = crate::plan::ReadPlan::with_gap_tolerance(0);
+        plan.range("huge", 0, 64);
+        plan.range("huge", 100, 164);
+        let outcome = cache.execute(&plan);
+        assert_eq!(outcome.results[0].as_ref().unwrap().len(), 64);
+        assert_eq!(outcome.results[1].as_ref().unwrap().len(), 64);
+        // only the requested ranges moved, nothing was cached
+        assert_eq!(cache.base().stats().bytes_read(), 128);
+        assert_eq!(cache.cached_objects(), 0);
+    }
+
+    #[test]
+    fn batched_missing_key_does_not_poison_batch() {
+        let base = MemoryProvider::new();
+        base.put("real", Bytes::from_static(b"payload")).unwrap();
+        let cache = LruCacheProvider::new(base, 1 << 10);
+        let mut plan = crate::plan::ReadPlan::new();
+        plan.whole("real");
+        plan.whole("ghost");
+        let outcome = cache.execute(&plan);
+        assert!(outcome.results[0].is_ok());
+        assert!(outcome.results[1].is_err());
+        // the miss is not cached; the hit is
+        assert_eq!(cache.cached_objects(), 1);
     }
 
     #[test]

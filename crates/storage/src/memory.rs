@@ -6,6 +6,7 @@ use bytes::Bytes;
 use parking_lot::RwLock;
 
 use crate::error::StorageError;
+use crate::plan::{execute_coalesced, ReadPlan, ReadRequest, ReadResult};
 use crate::provider::{clamp_range, StorageProvider};
 use crate::Result;
 
@@ -45,7 +46,9 @@ impl StorageProvider for MemoryProvider {
 
     fn get_range(&self, key: &str, start: u64, end: u64) -> Result<Bytes> {
         let guard = self.objects.read();
-        let obj = guard.get(key).ok_or_else(|| StorageError::NotFound(key.to_string()))?;
+        let obj = guard
+            .get(key)
+            .ok_or_else(|| StorageError::NotFound(key.to_string()))?;
         let (s, e) = clamp_range(start, end, obj.len() as u64)?;
         Ok(obj.slice(s..e))
     }
@@ -84,6 +87,51 @@ impl StorageProvider for MemoryProvider {
 
     fn describe(&self) -> String {
         format!("memory({} objects)", self.object_count())
+    }
+
+    /// Batched reads under a single read lock — no per-request lock churn.
+    fn get_many(&self, requests: &[ReadRequest]) -> Vec<Result<Bytes>> {
+        let guard = self.objects.read();
+        requests
+            .iter()
+            .map(|r| {
+                let obj = guard
+                    .get(&r.key)
+                    .ok_or_else(|| StorageError::NotFound(r.key.clone()))?;
+                match r.range {
+                    None => Ok(obj.clone()),
+                    Some((start, end)) => {
+                        let (s, e) = clamp_range(start, end, obj.len() as u64)?;
+                        Ok(obj.slice(s..e))
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// The whole plan is served under a single read lock; coalescing
+    /// costs nothing here (slices share the stored buffer) and keeps the
+    /// reported fetch count consistent with the other providers.
+    fn execute(&self, plan: &ReadPlan) -> ReadResult {
+        let guard = self.objects.read();
+        execute_coalesced(plan, |f| {
+            let obj = guard
+                .get(&f.key)
+                .ok_or_else(|| StorageError::NotFound(f.key.clone()))?;
+            match f.range {
+                None => Ok(obj.clone()),
+                Some((start, end)) => {
+                    let (s, e) = clamp_range(start, end, obj.len() as u64)?;
+                    Ok(obj.slice(s..e))
+                }
+            }
+        })
+    }
+
+    /// One write-lock pass removes the whole subtree.
+    fn delete_prefix(&self, prefix: &str) -> Result<()> {
+        self.objects.write().retain(|k, _| !k.starts_with(prefix));
+        Ok(())
     }
 }
 

@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
+use crate::plan::{ReadPlan, ReadRequest, ReadResult};
 use crate::provider::{DynProvider, StorageProvider};
 use crate::Result;
 
@@ -94,6 +95,30 @@ impl StorageProvider for PrefixProvider {
     }
     fn describe(&self) -> String {
         format!("prefix({:?}, over {})", self.prefix, self.inner.describe())
+    }
+    fn get_many(&self, requests: &[ReadRequest]) -> Vec<Result<Bytes>> {
+        let rebased: Vec<ReadRequest> = requests
+            .iter()
+            .map(|r| ReadRequest {
+                key: self.absolute(&r.key),
+                range: r.range,
+            })
+            .collect();
+        self.inner.get_many(&rebased)
+    }
+    fn execute(&self, plan: &ReadPlan) -> ReadResult {
+        // results are positional, so only the keys need rebasing
+        let mut rebased = ReadPlan::with_gap_tolerance(plan.gap_tolerance());
+        for r in plan.requests() {
+            rebased.push(ReadRequest {
+                key: self.absolute(&r.key),
+                range: r.range,
+            });
+        }
+        self.inner.execute(&rebased)
+    }
+    fn delete_prefix(&self, prefix: &str) -> Result<()> {
+        self.inner.delete_prefix(&self.absolute(prefix))
     }
 }
 

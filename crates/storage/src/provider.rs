@@ -5,6 +5,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 
 use crate::error::StorageError;
+use crate::plan::{execute_coalesced, ReadPlan, ReadRequest, ReadResult};
 use crate::Result;
 
 /// Shared handle to a provider; everything above the storage layer trades
@@ -45,7 +46,47 @@ pub trait StorageProvider: Send + Sync {
     /// Human-readable provider description for diagnostics.
     fn describe(&self) -> String;
 
-    /// Remove every key under a prefix. Default loops over `list`.
+    /// Fetch a batch of reads, returning one outcome per request in
+    /// order. A missing key or out-of-bounds range fails only its own
+    /// slot — the rest of the batch still completes.
+    ///
+    /// The default loops over [`get`](Self::get) /
+    /// [`get_range`](Self::get_range), so third-party providers compile
+    /// (and behave correctly) unchanged; providers with a cheaper batch
+    /// path override this or [`execute`](Self::execute).
+    fn get_many(&self, requests: &[ReadRequest]) -> Vec<Result<Bytes>> {
+        requests
+            .iter()
+            .map(|r| match r.range {
+                None => self.get(&r.key),
+                Some((start, end)) => self.get_range(&r.key, start, end),
+            })
+            .collect()
+    }
+
+    /// Execute a [`ReadPlan`]: coalesce its requests into the minimal
+    /// backend fetches, issue them, and scatter bytes back per request.
+    ///
+    /// The default implementation coalesces with the shared planner and
+    /// issues each merged fetch through the single-key methods — so even
+    /// providers that override nothing see fewer backend calls. Providers
+    /// override this to parallelize ([`crate::LocalProvider`]), amortize
+    /// latency ([`crate::SimulatedCloudProvider`]), or batch cache fills
+    /// ([`crate::LruCacheProvider`]).
+    fn execute(&self, plan: &ReadPlan) -> ReadResult {
+        execute_coalesced(plan, |f| match f.range {
+            None => self.get(&f.key),
+            Some((start, end)) => self.get_range(&f.key, start, end),
+        })
+    }
+
+    /// Remove every key under a prefix: one `list`, then deletes.
+    ///
+    /// Contract (all providers): keys that vanish concurrently are not an
+    /// error (delete of a missing key is a no-op, S3 semantics); on an I/O
+    /// failure the prefix may be partially deleted — callers needing
+    /// atomicity must arrange it above this API. Providers with a cheaper
+    /// bulk path (single lock pass, amortized latency) override this.
     fn delete_prefix(&self, prefix: &str) -> Result<()> {
         for key in self.list(prefix)? {
             self.delete(&key)?;
@@ -87,6 +128,15 @@ impl<P: StorageProvider + ?Sized> StorageProvider for Arc<P> {
     }
     fn describe(&self) -> String {
         (**self).describe()
+    }
+    fn get_many(&self, requests: &[ReadRequest]) -> Vec<Result<Bytes>> {
+        (**self).get_many(requests)
+    }
+    fn execute(&self, plan: &ReadPlan) -> ReadResult {
+        (**self).execute(plan)
+    }
+    fn delete_prefix(&self, prefix: &str) -> Result<()> {
+        (**self).delete_prefix(prefix)
     }
 }
 

@@ -13,6 +13,11 @@ pub struct StorageStats {
     bytes_written: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    batch_requests: AtomicU64,
+    logical_reads: AtomicU64,
+    coalesced_fetches: AtomicU64,
+    round_trips: AtomicU64,
+    delete_requests: AtomicU64,
 }
 
 impl StorageStats {
@@ -25,12 +30,36 @@ impl StorageStats {
     pub fn record_get(&self, bytes: u64) {
         self.get_requests.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a range GET of `bytes`.
     pub fn record_range(&self, bytes: u64) {
         self.range_requests.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one executed batch: `logical` requests served by `fetches`
+    /// coalesced backend fetches moving `bytes` in total, paying a single
+    /// amortized round trip. A batch that issued no backend fetch at all
+    /// (fully cache-served or empty) pays no round trip.
+    pub fn record_batch(&self, logical: u64, fetches: u64, bytes: u64) {
+        self.batch_requests.fetch_add(1, Ordering::Relaxed);
+        self.logical_reads.fetch_add(logical, Ordering::Relaxed);
+        self.coalesced_fetches.fetch_add(fetches, Ordering::Relaxed);
+        if fetches > 0 {
+            self.round_trips.fetch_add(1, Ordering::Relaxed);
+        }
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record a batched prefix deletion of `keys` keys (one round trip).
+    pub fn record_delete_prefix(&self, keys: u64) {
+        self.delete_requests.fetch_add(keys, Ordering::Relaxed);
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a PUT of `bytes`.
@@ -89,6 +118,34 @@ impl StorageStats {
         self.cache_misses.load(Ordering::Relaxed)
     }
 
+    /// Executed batches ([`crate::StorageProvider::execute`] calls).
+    pub fn batch_requests(&self) -> u64 {
+        self.batch_requests.load(Ordering::Relaxed)
+    }
+
+    /// Logical read requests: single-key gets plus batch members.
+    pub fn logical_reads(&self) -> u64 {
+        self.logical_reads.load(Ordering::Relaxed)
+    }
+
+    /// Backend fetches issued on behalf of batches (after coalescing).
+    pub fn coalesced_fetches(&self) -> u64 {
+        self.coalesced_fetches.load(Ordering::Relaxed)
+    }
+
+    /// Latency-bearing round trips: one per single-key read, one per
+    /// batch, one per batched prefix delete. The headline number the
+    /// batched API drives down — compare against
+    /// [`logical_reads`](Self::logical_reads).
+    pub fn round_trips(&self) -> u64 {
+        self.round_trips.load(Ordering::Relaxed)
+    }
+
+    /// Keys removed through batched prefix deletion.
+    pub fn delete_requests(&self) -> u64 {
+        self.delete_requests.load(Ordering::Relaxed)
+    }
+
     /// Hit ratio in `[0, 1]`; 0 when no lookups happened.
     pub fn hit_ratio(&self) -> f64 {
         let h = self.cache_hits() as f64;
@@ -109,6 +166,11 @@ impl StorageStats {
         self.bytes_written.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
+        self.batch_requests.store(0, Ordering::Relaxed);
+        self.logical_reads.store(0, Ordering::Relaxed);
+        self.coalesced_fetches.store(0, Ordering::Relaxed);
+        self.round_trips.store(0, Ordering::Relaxed);
+        self.delete_requests.store(0, Ordering::Relaxed);
     }
 }
 
@@ -128,6 +190,27 @@ mod tests {
         s.reset();
         assert_eq!(s.requests(), 0);
         assert_eq!(s.bytes_read(), 0);
+    }
+
+    #[test]
+    fn batch_accounting() {
+        let s = StorageStats::new();
+        s.record_get(10); // one single-key read
+        s.record_batch(8, 2, 100); // 8 logical reads via 2 coalesced fetches
+        assert_eq!(s.logical_reads(), 9);
+        assert_eq!(s.round_trips(), 2);
+        assert_eq!(s.batch_requests(), 1);
+        assert_eq!(s.coalesced_fetches(), 2);
+        assert_eq!(s.bytes_read(), 110);
+        s.record_delete_prefix(5);
+        assert_eq!(s.delete_requests(), 5);
+        assert_eq!(s.round_trips(), 3);
+        // an all-hit or empty batch pays no round trip
+        s.record_batch(4, 0, 0);
+        assert_eq!(s.round_trips(), 3);
+        assert_eq!(s.batch_requests(), 2);
+        s.reset();
+        assert_eq!(s.logical_reads() + s.round_trips() + s.batch_requests(), 0);
     }
 
     #[test]

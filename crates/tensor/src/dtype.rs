@@ -121,7 +121,11 @@ impl Dtype {
         // Any float wins; wider float wins.
         match (self.is_float(), other.is_float()) {
             (true, true) => {
-                return if self == F64 || other == F64 { F64 } else { F32 };
+                return if self == F64 || other == F64 {
+                    F64
+                } else {
+                    F32
+                };
             }
             (true, false) => return self,
             (false, true) => return other,
@@ -138,13 +142,13 @@ impl Dtype {
         let unsigned = if a.is_unsigned_int() { a } else { b };
         let signed = if a.is_signed_int() { a } else { b };
         let needed = (unsigned.size() * 2).min(8);
-        let candidate = match needed.max(signed.size()) {
+
+        match needed.max(signed.size()) {
             1 => I8,
             2 => I16,
             4 => I32,
             _ => I64,
-        };
-        candidate
+        }
     }
 
     /// All dtypes, useful for exhaustive tests.

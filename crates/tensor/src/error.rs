@@ -63,14 +63,20 @@ impl std::fmt::Display for TensorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer length mismatch: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "buffer length mismatch: expected {expected} bytes, got {actual}"
+                )
             }
             TensorError::HtypeViolation { reason } => write!(f, "htype violation: {reason}"),
             TensorError::DtypeMismatch { left, right } => {
                 write!(f, "dtype mismatch: {left} vs {right}")
             }
             TensorError::IndexOutOfBounds { index, axis, len } => {
-                write!(f, "index {index} out of bounds for axis {axis} with length {len}")
+                write!(
+                    f,
+                    "index {index} out of bounds for axis {axis} with length {len}"
+                )
             }
             TensorError::RankMismatch { expected, actual } => {
                 write!(f, "rank mismatch: expected {expected}, got {actual}")
@@ -95,14 +101,35 @@ mod tests {
     #[test]
     fn display_covers_variants() {
         let cases: Vec<TensorError> = vec![
-            TensorError::LengthMismatch { expected: 4, actual: 2 },
-            TensorError::HtypeViolation { reason: "bad".into() },
-            TensorError::DtypeMismatch { left: Dtype::U8, right: Dtype::F32 },
-            TensorError::IndexOutOfBounds { index: 9, axis: 0, len: 3 },
-            TensorError::RankMismatch { expected: 3, actual: 1 },
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 2,
+            },
+            TensorError::HtypeViolation {
+                reason: "bad".into(),
+            },
+            TensorError::DtypeMismatch {
+                left: Dtype::U8,
+                right: Dtype::F32,
+            },
+            TensorError::IndexOutOfBounds {
+                index: 9,
+                axis: 0,
+                len: 3,
+            },
+            TensorError::RankMismatch {
+                expected: 3,
+                actual: 1,
+            },
             TensorError::UnknownName("wat".into()),
-            TensorError::ShapeMismatch { left: "[1]".into(), right: "[2]".into() },
-            TensorError::InvalidCast { from: Dtype::F64, to: Dtype::U8 },
+            TensorError::ShapeMismatch {
+                left: "[1]".into(),
+                right: "[2]".into(),
+            },
+            TensorError::InvalidCast {
+                from: Dtype::F64,
+                to: Dtype::U8,
+            },
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

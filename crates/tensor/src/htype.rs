@@ -15,9 +15,10 @@ use crate::error::TensorError;
 use crate::sample::Sample;
 
 /// Semantic type of a tensor.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Htype {
     /// No expectations: any dtype, any shape.
+    #[default]
     Generic,
     /// H×W×C `uint8` image. Defaults to lossy sample compression.
     Image,
@@ -49,7 +50,10 @@ impl Htype {
     /// `"sequence[image]"`, `"link[video]"`.
     pub fn parse(s: &str) -> Result<Self, TensorError> {
         let s = s.trim();
-        if let Some(inner) = s.strip_prefix("sequence[").and_then(|r| r.strip_suffix(']')) {
+        if let Some(inner) = s
+            .strip_prefix("sequence[")
+            .and_then(|r| r.strip_suffix(']'))
+        {
             return Ok(Htype::Sequence(Box::new(Htype::parse(inner)?)));
         }
         if let Some(inner) = s.strip_prefix("link[").and_then(|r| r.strip_suffix(']')) {
@@ -130,16 +134,56 @@ impl Htype {
     /// The spec (validation rules + defaults) for this htype.
     pub fn spec(&self) -> HtypeSpec {
         match self.base() {
-            Htype::Generic => HtypeSpec { dtype: None, ranks: &[], bool_only: false },
-            Htype::Image => HtypeSpec { dtype: Some(Dtype::U8), ranks: &[3], bool_only: false },
-            Htype::Video => HtypeSpec { dtype: Some(Dtype::U8), ranks: &[4], bool_only: false },
-            Htype::Audio => HtypeSpec { dtype: None, ranks: &[1, 2], bool_only: false },
-            Htype::BBox => HtypeSpec { dtype: Some(Dtype::F32), ranks: &[2], bool_only: false },
-            Htype::ClassLabel => HtypeSpec { dtype: None, ranks: &[0, 1], bool_only: false },
-            Htype::BinaryMask => HtypeSpec { dtype: Some(Dtype::Bool), ranks: &[2, 3], bool_only: true },
-            Htype::Text => HtypeSpec { dtype: Some(Dtype::U8), ranks: &[1], bool_only: false },
-            Htype::Embedding => HtypeSpec { dtype: Some(Dtype::F32), ranks: &[1], bool_only: false },
-            Htype::Dicom => HtypeSpec { dtype: None, ranks: &[3], bool_only: false },
+            Htype::Generic => HtypeSpec {
+                dtype: None,
+                ranks: &[],
+                bool_only: false,
+            },
+            Htype::Image => HtypeSpec {
+                dtype: Some(Dtype::U8),
+                ranks: &[3],
+                bool_only: false,
+            },
+            Htype::Video => HtypeSpec {
+                dtype: Some(Dtype::U8),
+                ranks: &[4],
+                bool_only: false,
+            },
+            Htype::Audio => HtypeSpec {
+                dtype: None,
+                ranks: &[1, 2],
+                bool_only: false,
+            },
+            Htype::BBox => HtypeSpec {
+                dtype: Some(Dtype::F32),
+                ranks: &[2],
+                bool_only: false,
+            },
+            Htype::ClassLabel => HtypeSpec {
+                dtype: None,
+                ranks: &[0, 1],
+                bool_only: false,
+            },
+            Htype::BinaryMask => HtypeSpec {
+                dtype: Some(Dtype::Bool),
+                ranks: &[2, 3],
+                bool_only: true,
+            },
+            Htype::Text => HtypeSpec {
+                dtype: Some(Dtype::U8),
+                ranks: &[1],
+                bool_only: false,
+            },
+            Htype::Embedding => HtypeSpec {
+                dtype: Some(Dtype::F32),
+                ranks: &[1],
+                bool_only: false,
+            },
+            Htype::Dicom => HtypeSpec {
+                dtype: None,
+                ranks: &[3],
+                bool_only: false,
+            },
             Htype::Sequence(_) | Htype::Link(_) => unreachable!("base() strips meta types"),
         }
     }
@@ -161,8 +205,7 @@ impl Htype {
                 }
                 // Validate element rank/dtype by synthesizing an element view.
                 let elem_shape: Vec<u64> = sample.shape().dims()[1..].to_vec();
-                let elem =
-                    Sample::zeros(sample.dtype(), crate::shape::Shape::from(elem_shape));
+                let elem = Sample::zeros(sample.dtype(), crate::shape::Shape::from(elem_shape));
                 inner.validate(&elem)
             }
             _ => {
@@ -202,10 +245,7 @@ impl Htype {
                 }
                 if *self.base() == Htype::BBox && sample.shape().dim(1) != 4 {
                     return Err(TensorError::HtypeViolation {
-                        reason: format!(
-                            "bbox expects shape [n, 4], got {}",
-                            sample.shape()
-                        ),
+                        reason: format!("bbox expects shape [n, 4], got {}", sample.shape()),
                     });
                 }
                 Ok(())
@@ -217,12 +257,6 @@ impl Htype {
 impl std::fmt::Display for Htype {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.name())
-    }
-}
-
-impl Default for Htype {
-    fn default() -> Self {
-        Htype::Generic
     }
 }
 
@@ -298,7 +332,9 @@ mod tests {
     fn class_label_scalar_or_vector() {
         let h = Htype::ClassLabel;
         assert!(h.validate(&Sample::scalar(3i32)).is_ok());
-        assert!(h.validate(&Sample::from_slice([2], &[1i32, 2]).unwrap()).is_ok());
+        assert!(h
+            .validate(&Sample::from_slice([2], &[1i32, 2]).unwrap())
+            .is_ok());
         assert!(h.validate(&Sample::zeros(Dtype::I32, [2, 2])).is_err());
     }
 
@@ -351,7 +387,9 @@ mod tests {
     fn generic_accepts_anything() {
         let h = Htype::Generic;
         assert!(h.validate(&Sample::scalar(1.5f64)).is_ok());
-        assert!(h.validate(&Sample::zeros(Dtype::U16, [1, 2, 3, 4, 5])).is_ok());
+        assert!(h
+            .validate(&Sample::zeros(Dtype::U16, [1, 2, 3, 4, 5]))
+            .is_ok());
     }
 
     #[test]

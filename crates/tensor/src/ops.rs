@@ -17,7 +17,10 @@ use crate::slice::SliceSpec;
 pub fn slice_sample(sample: &Sample, specs: &[SliceSpec]) -> Result<Sample, TensorError> {
     let rank = sample.shape().rank();
     if specs.len() > rank {
-        return Err(TensorError::RankMismatch { expected: rank, actual: specs.len() });
+        return Err(TensorError::RankMismatch {
+            expected: rank,
+            actual: specs.len(),
+        });
     }
     // Resolve every axis.
     let mut bounds = Vec::with_capacity(rank);
@@ -107,7 +110,11 @@ pub fn elementwise(
 
 /// Elementwise op between a sample and a scalar; keeps the sample's shape.
 pub fn elementwise_scalar(a: &Sample, scalar: f64, op: impl Fn(f64, f64) -> f64) -> Sample {
-    let out_dtype = if a.dtype().is_float() { a.dtype() } else { Dtype::F64 };
+    let out_dtype = if a.dtype().is_float() {
+        a.dtype()
+    } else {
+        Dtype::F64
+    };
     let values: Vec<f64> = a.to_f64_vec().into_iter().map(|x| op(x, scalar)).collect();
     from_f64_values(out_dtype, a.shape().clone(), &values)
 }
@@ -128,7 +135,10 @@ pub fn iou(a: &Sample, b: &Sample) -> Result<f64, TensorError> {
     }
     let mut total = 0.0;
     for ba in &boxes_a {
-        let best = boxes_b.iter().map(|bb| pair_iou(*ba, *bb)).fold(0.0, f64::max);
+        let best = boxes_b
+            .iter()
+            .map(|bb| pair_iou(*ba, *bb))
+            .fold(0.0, f64::max);
         total += best;
     }
     Ok(total / boxes_a.len() as f64)
@@ -164,7 +174,9 @@ fn boxes_of(s: &Sample) -> Result<Vec<[f64; 4]>, TensorError> {
         });
     }
     let v = s.to_f64_vec();
-    Ok(v.chunks_exact(4).map(|c| [c[0], c[1], c[2], c[3]]).collect())
+    Ok(v.chunks_exact(4)
+        .map(|c| [c[0], c[1], c[2], c[3]])
+        .collect())
 }
 
 fn pair_iou(a: [f64; 4], b: [f64; 4]) -> f64 {
@@ -227,12 +239,19 @@ mod tests {
         let s = Sample::from_slice([4, 4, 3], &vals).unwrap();
         let out = slice_sample(
             &s,
-            &[SliceSpec::range(1, 3), SliceSpec::range(0, 2), SliceSpec::range(0, 2)],
+            &[
+                SliceSpec::range(1, 3),
+                SliceSpec::range(0, 2),
+                SliceSpec::range(0, 2),
+            ],
         )
         .unwrap();
         assert_eq!(out.shape(), &Shape::from([2, 2, 2]));
         // row 1, col 0, ch 0..2 = offsets 12..14
-        assert_eq!(out.to_vec::<u8>().unwrap(), vec![12, 13, 15, 16, 24, 25, 27, 28]);
+        assert_eq!(
+            out.to_vec::<u8>().unwrap(),
+            vec![12, 13, 15, 16, 24, 25, 27, 28]
+        );
     }
 
     #[test]

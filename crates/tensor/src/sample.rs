@@ -25,13 +25,19 @@ impl Sample {
     pub fn from_bytes(dtype: Dtype, shape: Shape, data: Bytes) -> Result<Self, TensorError> {
         let expected = shape.num_elements() as usize * dtype.size();
         if data.len() != expected {
-            return Err(TensorError::LengthMismatch { expected, actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected,
+                actual: data.len(),
+            });
         }
         Ok(Sample { dtype, shape, data })
     }
 
     /// Construct from a typed slice, copying the elements.
-    pub fn from_slice<T: Element>(shape: impl Into<Shape>, values: &[T]) -> Result<Self, TensorError> {
+    pub fn from_slice<T: Element>(
+        shape: impl Into<Shape>,
+        values: &[T],
+    ) -> Result<Self, TensorError> {
         let shape = shape.into();
         if shape.num_elements() as usize != values.len() {
             return Err(TensorError::LengthMismatch {
@@ -43,7 +49,11 @@ impl Sample {
         for &v in values {
             v.write_le(&mut buf);
         }
-        Ok(Sample { dtype: T::DTYPE, shape, data: Bytes::from(buf) })
+        Ok(Sample {
+            dtype: T::DTYPE,
+            shape,
+            data: Bytes::from(buf),
+        })
     }
 
     /// A scalar sample holding a single value.
@@ -55,13 +65,21 @@ impl Sample {
     pub fn zeros(dtype: Dtype, shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let len = shape.num_elements() as usize * dtype.size();
-        Sample { dtype, shape, data: Bytes::from(vec![0u8; len]) }
+        Sample {
+            dtype,
+            shape,
+            data: Bytes::from(vec![0u8; len]),
+        }
     }
 
     /// An empty sample (shape `[0]`). Appending it keeps row counts aligned
     /// for tensors that have no value at some rows.
     pub fn empty(dtype: Dtype) -> Self {
-        Sample { dtype, shape: Shape::from([0]), data: Bytes::new() }
+        Sample {
+            dtype,
+            shape: Shape::from([0]),
+            data: Bytes::new(),
+        }
     }
 
     /// Encode a UTF-8 string as a rank-1 `u8` sample (the convention `text`
@@ -123,7 +141,11 @@ impl Sample {
     pub fn get_f64(&self, flat: usize) -> Result<f64, TensorError> {
         let n = self.num_elements() as usize;
         if flat >= n {
-            return Err(TensorError::IndexOutOfBounds { index: flat, axis: 0, len: n });
+            return Err(TensorError::IndexOutOfBounds {
+                index: flat,
+                axis: 0,
+                len: n,
+            });
         }
         let sz = self.dtype.size();
         let raw = &self.data[flat * sz..(flat + 1) * sz];
@@ -142,7 +164,10 @@ impl Sample {
     /// we decode rather than transmute.
     pub fn to_vec<T: Element>(&self) -> Result<Vec<T>, TensorError> {
         if T::DTYPE != self.dtype {
-            return Err(TensorError::DtypeMismatch { left: T::DTYPE, right: self.dtype });
+            return Err(TensorError::DtypeMismatch {
+                left: T::DTYPE,
+                right: self.dtype,
+            });
         }
         let sz = self.dtype.size();
         Ok(self.data.chunks_exact(sz).map(T::read_le).collect())
@@ -151,7 +176,10 @@ impl Sample {
     /// All elements converted to `f64`, in row-major order.
     pub fn to_f64_vec(&self) -> Vec<f64> {
         let sz = self.dtype.size();
-        self.data.chunks_exact(sz).map(|c| read_f64(self.dtype, c)).collect()
+        self.data
+            .chunks_exact(sz)
+            .map(|c| read_f64(self.dtype, c))
+            .collect()
     }
 
     /// Cast to another dtype, converting every element through `f64`.
@@ -196,7 +224,11 @@ impl Sample {
                 right: shape.render(),
             });
         }
-        Ok(Sample { dtype: self.dtype, shape, data: self.data.clone() })
+        Ok(Sample {
+            dtype: self.dtype,
+            shape,
+            data: self.data.clone(),
+        })
     }
 }
 

@@ -59,7 +59,10 @@ impl Scalar {
             (Scalar::Str(a), Scalar::Str(b)) => a.cmp(b),
             (Scalar::Null, Scalar::Null) => Equal,
             (a, b) => {
-                let (x, y) = (a.as_f64().unwrap_or(f64::NAN), b.as_f64().unwrap_or(f64::NAN));
+                let (x, y) = (
+                    a.as_f64().unwrap_or(f64::NAN),
+                    b.as_f64().unwrap_or(f64::NAN),
+                );
                 match (x.is_nan(), y.is_nan()) {
                     (true, true) => Equal,
                     (true, false) => Greater,
@@ -130,8 +133,14 @@ mod tests {
     #[test]
     fn ordering_classes() {
         assert_eq!(Scalar::Null.order_cmp(&Scalar::Int(0)), Ordering::Less);
-        assert_eq!(Scalar::Int(5).order_cmp(&Scalar::Str("a".into())), Ordering::Less);
-        assert_eq!(Scalar::Int(2).order_cmp(&Scalar::Float(1.5)), Ordering::Greater);
+        assert_eq!(
+            Scalar::Int(5).order_cmp(&Scalar::Str("a".into())),
+            Ordering::Less
+        );
+        assert_eq!(
+            Scalar::Int(2).order_cmp(&Scalar::Float(1.5)),
+            Ordering::Greater
+        );
         assert_eq!(
             Scalar::Str("a".into()).order_cmp(&Scalar::Str("b".into())),
             Ordering::Less
@@ -140,8 +149,14 @@ mod tests {
 
     #[test]
     fn nan_sorts_last_among_numbers() {
-        assert_eq!(Scalar::Float(f64::NAN).order_cmp(&Scalar::Float(1.0)), Ordering::Greater);
-        assert_eq!(Scalar::Float(1.0).order_cmp(&Scalar::Float(f64::NAN)), Ordering::Less);
+        assert_eq!(
+            Scalar::Float(f64::NAN).order_cmp(&Scalar::Float(1.0)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Scalar::Float(1.0).order_cmp(&Scalar::Float(f64::NAN)),
+            Ordering::Less
+        );
         assert_eq!(
             Scalar::Float(f64::NAN).order_cmp(&Scalar::Float(f64::NAN)),
             Ordering::Equal

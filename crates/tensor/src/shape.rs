@@ -62,7 +62,10 @@ impl Shape {
     /// Flatten a multi-dimensional index into a row-major linear offset.
     pub fn linear_index(&self, index: &[u64]) -> Result<u64, TensorError> {
         if index.len() != self.rank() {
-            return Err(TensorError::RankMismatch { expected: self.rank(), actual: index.len() });
+            return Err(TensorError::RankMismatch {
+                expected: self.rank(),
+                actual: index.len(),
+            });
         }
         let mut off = 0u64;
         let strides = self.strides();
@@ -170,7 +173,10 @@ mod tests {
             s.linear_index(&[2, 0]),
             Err(TensorError::IndexOutOfBounds { axis: 0, .. })
         ));
-        assert!(matches!(s.linear_index(&[0]), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            s.linear_index(&[0]),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]

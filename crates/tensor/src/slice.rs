@@ -28,7 +28,10 @@ pub enum SliceSpec {
 impl SliceSpec {
     /// Construct a `start..stop` range spec.
     pub fn range(start: i64, stop: i64) -> Self {
-        SliceSpec::Range { start: Some(start), stop: Some(stop) }
+        SliceSpec::Range {
+            start: Some(start),
+            stop: Some(stop),
+        }
     }
 
     /// Resolve this spec against an axis of length `len`.
@@ -104,17 +107,29 @@ mod tests {
     #[test]
     fn range_clamps() {
         assert_eq!(SliceSpec::range(2, 5).resolve(10, 0).unwrap(), (2, 5, true));
-        assert_eq!(SliceSpec::range(2, 50).resolve(10, 0).unwrap(), (2, 10, true));
-        assert_eq!(SliceSpec::range(-3, -1).resolve(10, 0).unwrap(), (7, 9, true));
+        assert_eq!(
+            SliceSpec::range(2, 50).resolve(10, 0).unwrap(),
+            (2, 10, true)
+        );
+        assert_eq!(
+            SliceSpec::range(-3, -1).resolve(10, 0).unwrap(),
+            (7, 9, true)
+        );
         // inverted ranges collapse to empty
         assert_eq!(SliceSpec::range(5, 2).resolve(10, 0).unwrap(), (5, 5, true));
     }
 
     #[test]
     fn open_ended_ranges() {
-        let s = SliceSpec::Range { start: None, stop: Some(4) };
+        let s = SliceSpec::Range {
+            start: None,
+            stop: Some(4),
+        };
         assert_eq!(s.resolve(10, 0).unwrap(), (0, 4, true));
-        let s = SliceSpec::Range { start: Some(6), stop: None };
+        let s = SliceSpec::Range {
+            start: Some(6),
+            stop: None,
+        };
         assert_eq!(s.resolve(10, 0).unwrap(), (6, 10, true));
     }
 
@@ -123,6 +138,13 @@ mod tests {
         assert_eq!(SliceSpec::Index(3).to_string(), "3");
         assert_eq!(SliceSpec::range(1, 2).to_string(), "1:2");
         assert_eq!(SliceSpec::Full.to_string(), ":");
-        assert_eq!(SliceSpec::Range { start: None, stop: Some(5) }.to_string(), ":5");
+        assert_eq!(
+            SliceSpec::Range {
+                start: None,
+                stop: Some(5)
+            }
+            .to_string(),
+            ":5"
+        );
     }
 }

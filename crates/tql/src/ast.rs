@@ -164,7 +164,10 @@ mod tests {
         };
         let mut cols = Vec::new();
         e.columns(&mut cols);
-        assert_eq!(cols, vec!["boxes".to_string(), "training/boxes".to_string()]);
+        assert_eq!(
+            cols,
+            vec!["boxes".to_string(), "training/boxes".to_string()]
+        );
     }
 
     #[test]

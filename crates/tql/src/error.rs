@@ -77,11 +77,19 @@ mod tests {
     #[test]
     fn display_non_empty() {
         for e in [
-            TqlError::Lex { position: 3, message: "x".into() },
-            TqlError::Parse { message: "y".into() },
+            TqlError::Lex {
+                position: 3,
+                message: "x".into(),
+            },
+            TqlError::Parse {
+                message: "y".into(),
+            },
             TqlError::UnknownColumn("c".into()),
             TqlError::UnknownFunction("F".into()),
-            TqlError::BadArguments { function: "IOU".into(), message: "m".into() },
+            TqlError::BadArguments {
+                function: "IOU".into(),
+                message: "m".into(),
+            },
             TqlError::Type("t".into()),
         ] {
             assert!(!e.to_string().is_empty());

@@ -69,7 +69,9 @@ impl QueryResult {
 
     /// View over the owned `AT VERSION` dataset, when present.
     pub fn view_versioned(&self) -> Option<DatasetView<'_>> {
-        self.dataset.as_ref().map(|ds| DatasetView::new(ds, self.indices.clone()))
+        self.dataset
+            .as_ref()
+            .map(|ds| DatasetView::new(ds, self.indices.clone()))
     }
 }
 
@@ -93,9 +95,7 @@ pub fn execute(ds: &Dataset, query: &Query, opts: &QueryOptions) -> Result<Query
     let mut selected: Vec<u64> = match &query.filter {
         None => (0..n).collect(),
         Some(filter) => {
-            let keep = parallel_eval(ds, n, workers, |row| {
-                Ok(eval(filter, ds, row)?.truthy())
-            })?;
+            let keep = parallel_eval(ds, n, workers, |row| Ok(eval(filter, ds, row)?.truthy()))?;
             (0..n).filter(|&r| keep[r as usize]).collect()
         }
     };
@@ -103,7 +103,8 @@ pub fn execute(ds: &Dataset, query: &Query, opts: &QueryOptions) -> Result<Query
     // -------- order stage --------
     if let Some((key_expr, dir)) = &query.order_by {
         let keys = eval_keys(ds, &selected, workers, key_expr)?;
-        let mut paired: Vec<(Scalar, u64)> = keys.into_iter().zip(selected.iter().copied()).collect();
+        let mut paired: Vec<(Scalar, u64)> =
+            keys.into_iter().zip(selected.iter().copied()).collect();
         paired.sort_by(|a, b| a.0.order_cmp(&b.0));
         if *dir == SortDir::Desc {
             paired.reverse();
@@ -153,7 +154,12 @@ pub fn execute(ds: &Dataset, query: &Query, opts: &QueryOptions) -> Result<Query
         (columns, Some(out))
     };
 
-    Ok(QueryResult { indices: selected, columns, rows, dataset: None })
+    Ok(QueryResult {
+        indices: selected,
+        columns,
+        rows,
+        dataset: None,
+    })
 }
 
 /// Evaluate `f` for rows `0..n` in parallel, preserving order.
@@ -176,9 +182,9 @@ fn parallel_eval(
                     break;
                 }
                 let end = (start + STRIDE).min(n as usize);
-                for row in start..end {
+                for (row, slot) in out.iter().enumerate().take(end).skip(start) {
                     match f(row as u64) {
-                        Ok(v) => *out[row].lock() = v,
+                        Ok(v) => *slot.lock() = v,
                         Err(e) => {
                             *error.lock() = Some(e);
                             return;
@@ -341,7 +347,9 @@ fn binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
             BinOp::Le => Ok(Value::Bool(a <= b)),
             BinOp::Gt => Ok(Value::Bool(a > b)),
             BinOp::Ge => Ok(Value::Bool(a >= b)),
-            _ => Err(TqlError::Type(format!("operator {op:?} not defined on strings"))),
+            _ => Err(TqlError::Type(format!(
+                "operator {op:?} not defined on strings"
+            ))),
         };
     }
     // text tensor vs string literal comparisons (`text_col = "dog"`)
@@ -357,8 +365,10 @@ fn binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     }
     // tensor-tensor elementwise arithmetic
     if let (Value::Tensor(a), Value::Tensor(b)) = (l, r) {
-        if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod)
-            && a.num_elements() > 1
+        if matches!(
+            op,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        ) && a.num_elements() > 1
             && b.num_elements() > 1
         {
             let f = arith_fn(op);
@@ -367,9 +377,16 @@ fn binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     }
     // tensor-scalar elementwise arithmetic
     if let (Value::Tensor(t), Some(s)) = (l, r.as_f64()) {
-        if t.num_elements() > 1 && matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod) {
+        if t.num_elements() > 1
+            && matches!(
+                op,
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+            )
+        {
             let f = arith_fn(op);
-            return Ok(Value::Tensor(deeplake_tensor::ops::elementwise_scalar(t, s, f)));
+            return Ok(Value::Tensor(deeplake_tensor::ops::elementwise_scalar(
+                t, s, f,
+            )));
         }
     }
     // scalar numeric

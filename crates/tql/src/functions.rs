@@ -29,7 +29,10 @@ pub fn call(name: &str, args: &[Value], row: u64) -> Result<Value> {
                     message: format!("region must have 4 values, got {}", r.len()),
                 });
             }
-            Ok(Value::Tensor(ops::normalize_boxes(boxes, [r[0], r[1], r[2], r[3]])?))
+            Ok(Value::Tensor(ops::normalize_boxes(
+                boxes,
+                [r[0], r[1], r[2], r[3]],
+            )?))
         }
         "MEAN" => Ok(Value::Num(tensor_arg(name, args, 0)?.mean())),
         "SUM" => Ok(Value::Num(tensor_arg(name, args, 0)?.sum())),
@@ -43,13 +46,11 @@ pub fn call(name: &str, args: &[Value], row: u64) -> Result<Value> {
         "SHAPE" => {
             let t = tensor_arg(name, args, 0)?;
             let dims: Vec<f64> = t.shape().dims().iter().map(|&d| d as f64).collect();
-            Ok(Value::Tensor(
-                deeplake_tensor::sample::from_f64_values(
-                    deeplake_tensor::Dtype::I64,
-                    deeplake_tensor::Shape::from([dims.len() as u64]),
-                    &dims,
-                ),
-            ))
+            Ok(Value::Tensor(deeplake_tensor::sample::from_f64_values(
+                deeplake_tensor::Dtype::I64,
+                deeplake_tensor::Shape::from([dims.len() as u64]),
+                &dims,
+            )))
         }
         "NDIM" => Ok(Value::Num(tensor_arg(name, args, 0)?.shape().rank() as f64)),
         "SIZE" => Ok(Value::Num(tensor_arg(name, args, 0)?.num_elements() as f64)),
@@ -70,7 +71,7 @@ pub fn call(name: &str, args: &[Value], row: u64) -> Result<Value> {
                         function: name.into(),
                         message: "needle must be a number or string".into(),
                     })?;
-                    Ok(Value::Bool(t.to_f64_vec().iter().any(|&x| x == v)))
+                    Ok(Value::Bool(t.to_f64_vec().contains(&v)))
                 }
             }
         }
@@ -80,13 +81,15 @@ pub fn call(name: &str, args: &[Value], row: u64) -> Result<Value> {
         }
         "ALL" => {
             let t = tensor_arg(name, args, 0)?;
-            Ok(Value::Bool(!t.is_empty() && t.to_f64_vec().iter().all(|&x| x != 0.0)))
+            Ok(Value::Bool(
+                !t.is_empty() && t.to_f64_vec().iter().all(|&x| x != 0.0),
+            ))
         }
         "ABS" => match args.first() {
             Some(Value::Num(n)) => Ok(Value::Num(n.abs())),
-            Some(Value::Tensor(t)) => {
-                Ok(Value::Tensor(ops::elementwise_scalar(t, 0.0, |x, _| x.abs())))
-            }
+            Some(Value::Tensor(t)) => Ok(Value::Tensor(ops::elementwise_scalar(t, 0.0, |x, _| {
+                x.abs()
+            }))),
             _ => Err(missing(name, 0)),
         },
         "SQRT" => {
@@ -97,7 +100,9 @@ pub fn call(name: &str, args: &[Value], row: u64) -> Result<Value> {
             // deterministic per-row pseudo-random in [0, 1): queries that
             // ORDER BY RANDOM() shuffle reproducibly (§3.5 custom-order
             // streaming)
-            let mut x = row.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xDEAD_BEEF);
+            let mut x = row
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(0xDEAD_BEEF);
             x ^= x >> 33;
             x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
             x ^= x >> 33;
@@ -135,7 +140,10 @@ fn scalar_arg(function: &str, args: &[Value], index: usize) -> Result<f64> {
 }
 
 fn two_tensors<'a>(function: &str, args: &'a [Value]) -> Result<(&'a Sample, &'a Sample)> {
-    Ok((tensor_arg(function, args, 0)?, tensor_arg(function, args, 1)?))
+    Ok((
+        tensor_arg(function, args, 0)?,
+        tensor_arg(function, args, 1)?,
+    ))
 }
 
 #[cfg(test)]
@@ -151,9 +159,7 @@ mod tests {
         let a = boxes(&[0.0, 0.0, 10.0, 10.0]);
         let v = call("IOU", &[a.clone(), a.clone()], 0).unwrap();
         assert_eq!(v, Value::Num(1.0));
-        let region = Value::Tensor(
-            Sample::from_slice([4], &[0.0f64, 0.0, 5.0, 5.0]).unwrap(),
-        );
+        let region = Value::Tensor(Sample::from_slice([4], &[0.0f64, 0.0, 5.0, 5.0]).unwrap());
         let out = call("NORMALIZE", &[a, region], 0).unwrap();
         match out {
             Value::Tensor(t) => assert_eq!(t.shape().dims(), &[1, 4]),
@@ -164,12 +170,30 @@ mod tests {
     #[test]
     fn aggregates() {
         let t = Value::Tensor(Sample::from_slice([4], &[1.0f64, 2.0, 3.0, 4.0]).unwrap());
-        assert_eq!(call("MEAN", &[t.clone()], 0).unwrap(), Value::Num(2.5));
-        assert_eq!(call("SUM", &[t.clone()], 0).unwrap(), Value::Num(10.0));
-        assert_eq!(call("MAX", &[t.clone()], 0).unwrap(), Value::Num(4.0));
-        assert_eq!(call("MIN", &[t.clone()], 0).unwrap(), Value::Num(1.0));
-        assert_eq!(call("SIZE", &[t.clone()], 0).unwrap(), Value::Num(4.0));
-        assert_eq!(call("NDIM", &[t.clone()], 0).unwrap(), Value::Num(1.0));
+        assert_eq!(
+            call("MEAN", std::slice::from_ref(&t), 0).unwrap(),
+            Value::Num(2.5)
+        );
+        assert_eq!(
+            call("SUM", std::slice::from_ref(&t), 0).unwrap(),
+            Value::Num(10.0)
+        );
+        assert_eq!(
+            call("MAX", std::slice::from_ref(&t), 0).unwrap(),
+            Value::Num(4.0)
+        );
+        assert_eq!(
+            call("MIN", std::slice::from_ref(&t), 0).unwrap(),
+            Value::Num(1.0)
+        );
+        assert_eq!(
+            call("SIZE", std::slice::from_ref(&t), 0).unwrap(),
+            Value::Num(4.0)
+        );
+        assert_eq!(
+            call("NDIM", std::slice::from_ref(&t), 0).unwrap(),
+            Value::Num(1.0)
+        );
         let l2 = call("L2", &[t], 0).unwrap();
         assert_eq!(l2, Value::Num(30.0f64.sqrt()));
     }
@@ -186,8 +210,14 @@ mod tests {
     #[test]
     fn contains_numeric_and_text() {
         let labels = Value::Tensor(Sample::from_slice([3], &[1i32, 5, 9]).unwrap());
-        assert_eq!(call("CONTAINS", &[labels.clone(), Value::Num(5.0)], 0).unwrap(), Value::Bool(true));
-        assert_eq!(call("CONTAINS", &[labels, Value::Num(2.0)], 0).unwrap(), Value::Bool(false));
+        assert_eq!(
+            call("CONTAINS", &[labels.clone(), Value::Num(5.0)], 0).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            call("CONTAINS", &[labels, Value::Num(2.0)], 0).unwrap(),
+            Value::Bool(false)
+        );
         let text = Value::Tensor(Sample::from_text("a cat sat"));
         assert_eq!(
             call("CONTAINS", &[text, Value::Str("cat".into())], 0).unwrap(),
@@ -198,7 +228,10 @@ mod tests {
     #[test]
     fn any_all() {
         let t = Value::Tensor(Sample::from_slice([3], &[0u8, 1, 0]).unwrap());
-        assert_eq!(call("ANY", &[t.clone()], 0).unwrap(), Value::Bool(true));
+        assert_eq!(
+            call("ANY", std::slice::from_ref(&t), 0).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(call("ALL", &[t], 0).unwrap(), Value::Bool(false));
         let empty = Value::Tensor(Sample::empty(deeplake_tensor::Dtype::U8));
         assert_eq!(call("ALL", &[empty], 0).unwrap(), Value::Bool(false));
@@ -206,7 +239,10 @@ mod tests {
 
     #[test]
     fn abs_scalar_and_tensor() {
-        assert_eq!(call("ABS", &[Value::Num(-3.0)], 0).unwrap(), Value::Num(3.0));
+        assert_eq!(
+            call("ABS", &[Value::Num(-3.0)], 0).unwrap(),
+            Value::Num(3.0)
+        );
         let t = Value::Tensor(Sample::from_slice([2], &[-1.0f32, 2.0]).unwrap());
         match call("ABS", &[t], 0).unwrap() {
             Value::Tensor(s) => assert_eq!(s.to_f64_vec(), vec![1.0, 2.0]),
@@ -228,7 +264,10 @@ mod tests {
 
     #[test]
     fn unknown_and_bad_args() {
-        assert!(matches!(call("EXPLODE", &[], 0), Err(TqlError::UnknownFunction(_))));
+        assert!(matches!(
+            call("EXPLODE", &[], 0),
+            Err(TqlError::UnknownFunction(_))
+        ));
         assert!(call("MEAN", &[Value::Num(1.0)], 0).is_err());
         assert!(call("IOU", &[Value::Num(1.0)], 0).is_err());
         assert!(call("SQRT", &[Value::Str("x".into())], 0).is_err());

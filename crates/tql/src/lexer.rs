@@ -217,7 +217,9 @@ fn next_is_digit(bytes: &[u8], i: usize) -> bool {
 }
 
 fn next_is_ident_char(bytes: &[u8], i: usize) -> bool {
-    bytes.get(i + 1).is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+    bytes
+        .get(i + 1)
+        .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
 }
 
 #[cfg(test)]
@@ -246,7 +248,11 @@ mod tests {
         let t = lex("a / b").unwrap();
         assert_eq!(
             t,
-            vec![Token::Ident("a".into()), Token::Slash, Token::Ident("b".into())]
+            vec![
+                Token::Ident("a".into()),
+                Token::Slash,
+                Token::Ident("b".into())
+            ]
         );
     }
 
@@ -270,7 +276,10 @@ mod tests {
         let t = lex(r#""training/boxes" 'single'"#).unwrap();
         assert_eq!(
             t,
-            vec![Token::Str("training/boxes".into()), Token::Str("single".into())]
+            vec![
+                Token::Str("training/boxes".into()),
+                Token::Str("single".into())
+            ]
         );
         assert!(lex("\"unterminated").is_err());
     }

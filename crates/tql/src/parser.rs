@@ -163,7 +163,17 @@ impl Parser {
             }
         }
 
-        Ok(Query { select_all, projections, from, version, filter, order_by, arrange_by, limit, offset })
+        Ok(Query {
+            select_all,
+            projections,
+            from,
+            version,
+            filter,
+            order_by,
+            arrange_by,
+            limit,
+            offset,
+        })
     }
 
     fn number_literal(&mut self) -> Result<f64> {
@@ -182,7 +192,11 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.eat_keyword("OR") {
             let right = self.and_expr()?;
-            left = Expr::Binary { op: BinOp::Or, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -191,7 +205,11 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat_keyword("AND") {
             let right = self.not_expr()?;
-            left = Expr::Binary { op: BinOp::And, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -216,7 +234,11 @@ impl Parser {
         };
         self.pos += 1;
         let right = self.add_expr()?;
-        Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) })
+        Ok(Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
     }
 
     fn add_expr(&mut self) -> Result<Expr> {
@@ -229,7 +251,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.mul_expr()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -245,7 +271,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.unary()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -264,7 +294,10 @@ impl Parser {
             self.pos += 1;
             let specs = self.subscripts()?;
             self.expect(Token::RBracket)?;
-            base = Expr::Subscript { base: Box::new(base), specs };
+            base = Expr::Subscript {
+                base: Box::new(base),
+                specs,
+            };
         }
         Ok(base)
     }
@@ -366,7 +399,10 @@ impl Parser {
                         }
                     }
                     self.expect(Token::RParen)?;
-                    Ok(Expr::Call { name: name.to_ascii_uppercase(), args })
+                    Ok(Expr::Call {
+                        name: name.to_ascii_uppercase(),
+                        args,
+                    })
                 } else {
                     Ok(Expr::Column(name))
                 }
@@ -453,7 +489,11 @@ mod tests {
         let e = parse_expr("1 + 2 * 3").unwrap();
         // must be 1 + (2 * 3)
         match e {
-            Expr::Binary { op: BinOp::Add, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -476,8 +516,20 @@ mod tests {
             Expr::Subscript { specs, .. } => {
                 assert_eq!(specs[0], SliceSpec::Full);
                 assert_eq!(specs[1], SliceSpec::Index(3));
-                assert_eq!(specs[2], SliceSpec::Range { start: Some(1), stop: None });
-                assert_eq!(specs[3], SliceSpec::Range { start: None, stop: Some(5) });
+                assert_eq!(
+                    specs[2],
+                    SliceSpec::Range {
+                        start: Some(1),
+                        stop: None
+                    }
+                );
+                assert_eq!(
+                    specs[3],
+                    SliceSpec::Range {
+                        start: None,
+                        stop: Some(5)
+                    }
+                );
                 assert_eq!(specs[4], SliceSpec::Index(-2));
             }
             other => panic!("unexpected {other:?}"),

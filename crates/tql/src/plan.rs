@@ -86,7 +86,10 @@ mod tests {
             p.filter_columns.iter().collect::<Vec<_>>(),
             vec!["boxes", "training/boxes"]
         );
-        assert_eq!(p.sort_columns.iter().collect::<Vec<_>>(), vec!["embeddings"]);
+        assert_eq!(
+            p.sort_columns.iter().collect::<Vec<_>>(),
+            vec!["embeddings"]
+        );
         assert_eq!(p.project_columns.iter().collect::<Vec<_>>(), vec!["images"]);
         assert_eq!(p.window, (Some(7), Some(2)));
         assert_eq!(p.sort, Some(SortDir::Asc));

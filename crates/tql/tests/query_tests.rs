@@ -20,9 +20,10 @@ fn build_dataset() -> Dataset {
     .unwrap();
     ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
     ds.create_tensor("boxes", Htype::BBox, None).unwrap();
-    ds.create_tensor("training/boxes", Htype::BBox, None).unwrap();
+    ds.create_tensor("training/boxes", Htype::BBox, None)
+        .unwrap();
     for i in 0..20u64 {
-        let img = Sample::from_slice([8, 8, 3], &vec![i as u8; 192]).unwrap();
+        let img = Sample::from_slice([8, 8, 3], &[i as u8; 192]).unwrap();
         let b = Sample::from_slice([1, 4], &[i as f32, 0.0, 10.0, 10.0]).unwrap();
         let tb = Sample::from_slice([1, 4], &[0.0f32, 0.0, 10.0, 10.0]).unwrap();
         ds.append_row(vec![
@@ -59,7 +60,11 @@ fn where_range_and_logic() {
 #[test]
 fn order_by_expression_desc() {
     let ds = build_dataset();
-    let r = query(&ds, "SELECT * FROM d WHERE labels < 3 ORDER BY MEAN(images) DESC").unwrap();
+    let r = query(
+        &ds,
+        "SELECT * FROM d WHERE labels < 3 ORDER BY MEAN(images) DESC",
+    )
+    .unwrap();
     // rows with labels <3: 0,1,2,10,11,12; ordered by image fill desc
     assert_eq!(r.indices, vec![12, 11, 10, 2, 1, 0]);
 }
@@ -132,10 +137,18 @@ fn order_by_random_is_reproducible_shuffle() {
     let a = query(&ds, "SELECT * FROM d ORDER BY RANDOM()").unwrap();
     let b = query(&ds, "SELECT * FROM d ORDER BY RANDOM()").unwrap();
     assert_eq!(a.indices, b.indices, "same query, same shuffle");
-    assert_ne!(a.indices, (0..20).collect::<Vec<u64>>(), "order is shuffled");
+    assert_ne!(
+        a.indices,
+        (0..20).collect::<Vec<u64>>(),
+        "order is shuffled"
+    );
     let mut sorted = a.indices.clone();
     sorted.sort_unstable();
-    assert_eq!(sorted, (0..20).collect::<Vec<u64>>(), "permutation covers all rows");
+    assert_eq!(
+        sorted,
+        (0..20).collect::<Vec<u64>>(),
+        "permutation covers all rows"
+    );
 }
 
 #[test]
@@ -144,7 +157,8 @@ fn at_version_queries_history() {
     let commit = ds.commit("twenty rows").unwrap();
     // append 5 more with label 7
     for _ in 0..5 {
-        ds.append_row(vec![("labels", Sample::scalar(7i32))]).unwrap();
+        ds.append_row(vec![("labels", Sample::scalar(7i32))])
+            .unwrap();
     }
     ds.flush().unwrap();
     // current sees 7 labels = 2 + 5
@@ -194,7 +208,9 @@ fn empty_result_is_ok() {
 #[test]
 fn single_worker_matches_parallel() {
     let ds = build_dataset();
-    let q = deeplake_tql::parser::parse("SELECT * FROM d WHERE labels % 2 = 0 ORDER BY labels DESC").unwrap();
+    let q =
+        deeplake_tql::parser::parse("SELECT * FROM d WHERE labels % 2 = 0 ORDER BY labels DESC")
+            .unwrap();
     let seq = deeplake_tql::execute(&ds, &q, &deeplake_tql::QueryOptions { workers: 1 }).unwrap();
     let par = deeplake_tql::execute(&ds, &q, &deeplake_tql::QueryOptions { workers: 8 }).unwrap();
     assert_eq!(seq.indices, par.indices);

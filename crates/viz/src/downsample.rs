@@ -140,11 +140,7 @@ mod tests {
 
     #[test]
     fn downsample_halves_dims_and_averages() {
-        let img = Sample::from_slice(
-            [2, 2, 1],
-            &[0u8, 100, 100, 200],
-        )
-        .unwrap();
+        let img = Sample::from_slice([2, 2, 1], &[0u8, 100, 100, 200]).unwrap();
         let out = downsample_2x(&img).unwrap();
         assert_eq!(out.shape().dims(), &[1, 1, 1]);
         assert_eq!(out.to_vec::<u8>().unwrap(), vec![100]);

@@ -84,7 +84,9 @@ pub fn plan_layout(ds: &Dataset) -> LayoutPlan {
     let mut primaries = Vec::new();
     let mut overlays = Vec::new();
     for name in &names {
-        let Ok(meta) = ds.tensor_meta(name) else { continue };
+        let Ok(meta) = ds.tensor_meta(name) else {
+            continue;
+        };
         let htype = &meta.htype;
         if htype.is_primary() {
             let playable =
@@ -100,10 +102,19 @@ pub fn plan_layout(ds: &Dataset) -> LayoutPlan {
             overlays.push((name.clone(), kind));
         }
     }
-    let first_primary = primaries.first().map(|(n, _)| n.clone()).unwrap_or_default();
+    let first_primary = primaries
+        .first()
+        .map(|(n, _)| n.clone())
+        .unwrap_or_default();
     let mut entries = primaries;
     for (name, kind) in overlays {
-        entries.push((name, TensorRole::Overlay { target: first_primary.clone(), kind }));
+        entries.push((
+            name,
+            TensorRole::Overlay {
+                target: first_primary.clone(),
+                kind,
+            },
+        ));
     }
     LayoutPlan { entries }
 }
@@ -118,13 +129,15 @@ mod tests {
     fn dataset() -> Dataset {
         let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "viz").unwrap();
         ds.create_tensor("images", Htype::Image, None).unwrap();
-        ds.create_tensor("clips", Htype::parse("sequence[image]").unwrap(), None).unwrap();
+        ds.create_tensor("clips", Htype::parse("sequence[image]").unwrap(), None)
+            .unwrap();
         ds.create_tensor("boxes", Htype::BBox, None).unwrap();
         ds.create_tensor("masks", Htype::BinaryMask, None).unwrap();
         ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
         ds.create_tensor("captions", Htype::Text, None).unwrap();
         ds.create_tensor("emb", Htype::Embedding, None).unwrap();
-        ds.create_tensor("scores", Htype::Generic, Some(Dtype::F32)).unwrap();
+        ds.create_tensor("scores", Htype::Generic, Some(Dtype::F32))
+            .unwrap();
         ds
     }
 
@@ -135,7 +148,10 @@ mod tests {
         assert_eq!(plan.primaries(), vec!["clips", "images"]);
         let overlays = plan.overlays_of("clips");
         let names: Vec<&str> = overlays.iter().map(|(n, _)| *n).collect();
-        assert_eq!(names, vec!["boxes", "captions", "emb", "labels", "masks", "scores"]);
+        assert_eq!(
+            names,
+            vec!["boxes", "captions", "emb", "labels", "masks", "scores"]
+        );
     }
 
     #[test]

@@ -47,10 +47,8 @@ pub fn render_frame(ds: &Dataset, plan: &LayoutPlan, row: u64) -> Result<Frame> 
     // sequence/video primaries render their first element (the player
     // seeks further frames through `sequence::seek`)
     if image.shape().rank() == 4 {
-        image = deeplake_tensor::ops::slice_sample(
-            &image,
-            &[deeplake_tensor::SliceSpec::Index(0)],
-        )?;
+        image =
+            deeplake_tensor::ops::slice_sample(&image, &[deeplake_tensor::SliceSpec::Index(0)])?;
     }
     let mut frame = to_rgb(&image)?;
 
@@ -58,7 +56,9 @@ pub fn render_frame(ds: &Dataset, plan: &LayoutPlan, row: u64) -> Result<Frame> 
     // top so annotations stay visible
     for boxes_pass in [false, true] {
         for (name, role) in &plan.entries {
-            let TensorRole::Overlay { target, kind } = role else { continue };
+            let TensorRole::Overlay { target, kind } = role else {
+                continue;
+            };
             if *target != primary || (matches!(kind, OverlayKind::Boxes) != boxes_pass) {
                 continue;
             }
@@ -76,7 +76,9 @@ pub fn render_frame(ds: &Dataset, plan: &LayoutPlan, row: u64) -> Result<Frame> 
                     frame.captions.push(text);
                 }
                 OverlayKind::Panel => {
-                    frame.captions.push(format!("{name}: {} values", sample.num_elements()));
+                    frame
+                        .captions
+                        .push(format!("{name}: {} values", sample.num_elements()));
                 }
             }
         }
@@ -103,7 +105,12 @@ fn to_rgb(image: &Sample) -> Result<Frame> {
             rgb[i * 3 + ch] = src[i * c + ch.min(c - 1)];
         }
     }
-    Ok(Frame { h, w, rgb, captions: Vec::new() })
+    Ok(Frame {
+        h,
+        w,
+        rgb,
+        captions: Vec::new(),
+    })
 }
 
 /// Draw `[n, 4]` `(x, y, w, h)` boxes as red outlines.
@@ -216,7 +223,7 @@ mod tests {
     fn empty_overlays_are_skipped() {
         let mut ds = dataset();
         // row with image only
-        let img = Sample::from_slice([8, 8, 3], &vec![10u8; 192]).unwrap();
+        let img = Sample::from_slice([8, 8, 3], &[10u8; 192]).unwrap();
         ds.append_row(vec![("images", img)]).unwrap();
         let plan = plan_layout(&ds);
         let frame = render_frame(&ds, &plan, 1).unwrap();
@@ -229,7 +236,8 @@ mod tests {
         let provider = Arc::new(MemoryProvider::new());
         let mut ds = Dataset::create(provider, "nop").unwrap();
         ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
-        ds.append_row(vec![("labels", Sample::scalar(1i32))]).unwrap();
+        ds.append_row(vec![("labels", Sample::scalar(1i32))])
+            .unwrap();
         let plan = plan_layout(&ds);
         assert!(render_frame(&ds, &plan, 0).is_err());
     }

@@ -16,7 +16,9 @@ use crate::Result;
 pub fn sequence_len(ds: &Dataset, tensor: &str, row: u64) -> Result<u64> {
     let meta = ds.tensor_meta(tensor)?;
     if !meta.htype.is_sequence() {
-        return Err(CoreError::Corrupt(format!("{tensor} is not a sequence tensor")));
+        return Err(CoreError::Corrupt(format!(
+            "{tensor} is not a sequence tensor"
+        )));
     }
     let shape = ds.get_shape(tensor, row)?;
     Ok(shape.dims().first().copied().unwrap_or(0))
@@ -39,7 +41,10 @@ pub fn seek_range(ds: &Dataset, tensor: &str, row: u64, from: u64, to: u64) -> R
         return Err(CoreError::RowOutOfRange { row: to, len });
     }
     let sample = ds.get(tensor, row)?;
-    Ok(slice_sample(&sample, &[SliceSpec::range(from as i64, to as i64)])?)
+    Ok(slice_sample(
+        &sample,
+        &[SliceSpec::range(from as i64, to as i64)],
+    )?)
 }
 
 #[cfg(test)]
@@ -58,7 +63,7 @@ mod tests {
         // 6 frames of 4x4x3, frame f filled with f*10
         let mut data = Vec::new();
         for f in 0..6u8 {
-            data.extend(std::iter::repeat(f * 10).take(4 * 4 * 3));
+            data.extend(std::iter::repeat_n(f * 10, 4 * 4 * 3));
         }
         let clip = Sample::from_slice([6, 4, 4, 3], &data).unwrap();
         ds.append_row(vec![("clips", clip)]).unwrap();

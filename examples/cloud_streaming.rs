@@ -2,6 +2,14 @@
 //! GPU utilization stay high, then add an LRU cache tier (§3.6 provider
 //! chaining) and watch the second epoch run at local speed.
 //!
+//! Loader workers use the **batched read path** by default: every task
+//! builds one `ReadPlan` covering all the chunks its rows touch and the
+//! provider chain executes it as a single round trip — the LRU tier fills
+//! all misses with one base batch, and the simulated S3 below charges one
+//! amortized first-byte latency per batch instead of one per chunk
+//! (compare `.batched_io(false)`, or see `benches/streaming.rs` for the
+//! A/B numbers).
+//!
 //! ```sh
 //! cargo run --release --example cloud_streaming
 //! ```
@@ -35,8 +43,11 @@ fn main() {
                 img.pixels.clone(),
             )
             .unwrap();
-            ds.append_row(vec![("images", sample), ("labels", Sample::scalar(img.label))])
-                .unwrap();
+            ds.append_row(vec![
+                ("images", sample),
+                ("labels", Sample::scalar(img.label)),
+            ])
+            .unwrap();
         }
         ds.flush().unwrap();
         ds.commit("ingested").unwrap();
@@ -61,12 +72,16 @@ fn main() {
             gpu.consume(batch.unwrap().len());
         }
         let report = gpu.report();
+        let stats = cached.stats();
         println!(
-            "epoch {epoch_no}: {:>5.2}s wall, {:>4.0} img/s, GPU util {:>3.0}%, cache hit {:>3.0}%",
+            "epoch {epoch_no}: {:>5.2}s wall, {:>4.0} img/s, GPU util {:>3.0}%, cache hit {:>3.0}%, \
+             {} chunk reads in {} batches",
             start.elapsed().as_secs_f64(),
             report.images_per_sec(),
             report.utilization() * 100.0,
-            cached.stats().hit_ratio() * 100.0,
+            stats.hit_ratio() * 100.0,
+            stats.logical_reads(),
+            stats.batch_requests(),
         );
     }
     println!(

@@ -20,7 +20,8 @@ fn main() {
     })
     .unwrap();
     ds.create_tensor("boxes", Htype::BBox, None).unwrap();
-    ds.create_tensor("training/boxes", Htype::BBox, None).unwrap();
+    ds.create_tensor("training/boxes", Htype::BBox, None)
+        .unwrap();
     ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
 
     for i in 0..60u64 {
@@ -55,12 +56,20 @@ fn main() {
 
     // the result is a view — sparse relative to the source
     let view = result.view(&ds);
-    println!("view sparseness: {:.2} (1.0 = contiguous)", view.sparseness());
+    println!(
+        "view sparseness: {:.2} (1.0 = contiguous)",
+        view.sparseness()
+    );
     view.save("high-iou").unwrap();
 
     // materialize into a dense dataset: optimal chunk layout for training
-    let (dense, stats) =
-        materialize(&view, Arc::new(MemoryProvider::new()), "high-iou-dense", None).unwrap();
+    let (dense, stats) = materialize(
+        &view,
+        Arc::new(MemoryProvider::new()),
+        "high-iou-dense",
+        None,
+    )
+    .unwrap();
     println!(
         "materialized {} rows / {} bytes; dense sparseness: {:.2}",
         stats.rows,
@@ -70,7 +79,11 @@ fn main() {
 
     // stream the materialized dataset
     let dense = Arc::new(dense);
-    let loader = DataLoader::builder(dense).batch_size(8).num_workers(2).build().unwrap();
+    let loader = DataLoader::builder(dense)
+        .batch_size(8)
+        .num_workers(2)
+        .build()
+        .unwrap();
     let mut n = 0;
     for batch in loader.epoch() {
         n += batch.unwrap().len();

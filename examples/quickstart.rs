@@ -41,8 +41,11 @@ fn main() {
     println!("committed: {commit}");
 
     // 5. query with TQL
-    let result = query(&ds, "SELECT * FROM ds WHERE labels = 3 ORDER BY MEAN(images) DESC")
-        .unwrap();
+    let result = query(
+        &ds,
+        "SELECT * FROM ds WHERE labels = 3 ORDER BY MEAN(images) DESC",
+    )
+    .unwrap();
     println!("label-3 rows (darkest first): {:?}", result.indices);
 
     // 6. stream a training epoch (shuffled, 4 workers)
@@ -64,11 +67,20 @@ fn main() {
     // 7. write model predictions back as a new tensor (§5: "stores the
     //    output of the model in a new tensor called predictions")
     let mut ds = Arc::try_unwrap(ds).ok().expect("sole owner");
-    ds.create_tensor("predictions", Htype::ClassLabel, None).unwrap();
+    ds.create_tensor("predictions", Htype::ClassLabel, None)
+        .unwrap();
     for row in 0..ds.len() {
         let fake_pred = (row % 10) as i32;
-        ds.update("predictions", row, &Sample::scalar(fake_pred)).unwrap();
+        ds.update("predictions", row, &Sample::scalar(fake_pred))
+            .unwrap();
     }
     ds.commit("added predictions").unwrap();
-    println!("history: {:?}", ds.log().unwrap().iter().map(|(_, m, _)| m.clone()).collect::<Vec<_>>());
+    println!(
+        "history: {:?}",
+        ds.log()
+            .unwrap()
+            .iter()
+            .map(|(_, m, _)| m.clone())
+            .collect::<Vec<_>>()
+    );
 }

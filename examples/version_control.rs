@@ -36,7 +36,8 @@ fn main() {
 
     // meanwhile main gets more data and one conflicting edit
     ds.checkout("main").unwrap();
-    ds.append_row(vec![("labels", Sample::scalar(9i32))]).unwrap();
+    ds.append_row(vec![("labels", Sample::scalar(9i32))])
+        .unwrap();
     ds.update("labels", 0, &Sample::scalar(2i32)).unwrap(); // conflicts with A
     ds.commit("main added a row and relabelled row 0").unwrap();
 
@@ -44,10 +45,16 @@ fn main() {
     let diff = ds.diff("main", "annotator-a").unwrap();
     println!("diff base {}:", diff.base);
     for d in &diff.left {
-        println!("  main      {}: +{} rows, ~{} rows", d.tensor, d.rows_added, d.rows_updated);
+        println!(
+            "  main      {}: +{} rows, ~{} rows",
+            d.tensor, d.rows_added, d.rows_updated
+        );
     }
     for d in &diff.right {
-        println!("  annotator {}: +{} rows, ~{} rows", d.tensor, d.rows_added, d.rows_updated);
+        println!(
+            "  annotator {}: +{} rows, ~{} rows",
+            d.tensor, d.rows_added, d.rows_updated
+        );
     }
 
     // merge A's work; row 0 conflicts -> keep theirs (the annotator wins)

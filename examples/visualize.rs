@@ -27,11 +27,11 @@ fn main() {
 
     // one annotated frame + an 8-frame clip
     let img = Sample::from_slice([64, 64, 3], &vec![90u8; 64 * 64 * 3]).unwrap();
-    let boxes = Sample::from_slice([2, 4], &[8.0f32, 8.0, 20.0, 16.0, 40.0, 30.0, 18.0, 24.0])
-        .unwrap();
+    let boxes =
+        Sample::from_slice([2, 4], &[8.0f32, 8.0, 20.0, 16.0, 40.0, 30.0, 18.0, 24.0]).unwrap();
     let mut clip_data = Vec::new();
     for f in 0..8u8 {
-        clip_data.extend(std::iter::repeat(f * 30).take(16 * 16 * 3));
+        clip_data.extend(std::iter::repeat_n(f * 30, 16 * 16 * 3));
     }
     let clip = Sample::from_slice([8, 16, 16, 3], &clip_data).unwrap();
     ds.append_row(vec![
@@ -50,13 +50,22 @@ fn main() {
     // 2. downsampled pyramid in hidden tensors
     viz::build_pyramid(&mut ds, "images", 2).unwrap();
     let thumb = viz::downsample::fetch_for_viewport(&ds, "images", 0, 16, 2).unwrap();
-    println!("viewport fetch for 16px thumbnail -> {} tensor", thumb.shape());
+    println!(
+        "viewport fetch for 16px thumbnail -> {} tensor",
+        thumb.shape()
+    );
 
     // 3. render the frame with overlays and write a PPM
     let frame = viz::render_frame(&ds, &plan, 0).unwrap();
     let path = std::env::temp_dir().join("deeplake_viz_frame.ppm");
     std::fs::write(&path, frame.to_ppm()).unwrap();
-    println!("rendered {}x{} frame with captions {:?} -> {}", frame.w, frame.h, frame.captions, path.display());
+    println!(
+        "rendered {}x{} frame with captions {:?} -> {}",
+        frame.w,
+        frame.h,
+        frame.captions,
+        path.display()
+    );
 
     // 4. sequence seeking without fetching the whole clip
     let len = viz::sequence::sequence_len(&ds, "clips", 0).unwrap();

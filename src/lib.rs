@@ -32,12 +32,38 @@
 //! let result = deeplake::tql::query(&ds, "SELECT * FROM ds WHERE labels = 4").unwrap();
 //! assert_eq!(result.len(), 1);
 //!
-//! // stream to training
+//! // stream to training — loader workers fetch each task's chunks with
+//! // ONE batched storage call (a ReadPlan the provider coalesces and
+//! // parallelizes; pass .batched_io(false) for the single-key path)
 //! let ds = Arc::new(ds);
 //! let loader = DataLoader::builder(ds).batch_size(8).build().unwrap();
 //! let batches: usize = loader.epoch().count();
 //! assert_eq!(batches, 1);
 //! let _ = commit;
+//! ```
+//!
+//! ## Batched scatter-gather reads
+//!
+//! Every [`storage::StorageProvider`] speaks two granularities: single
+//! keys (`get`, `get_range`) and **read plans** — batches of
+//! whole-object and byte-range requests the provider may *coalesce*
+//! (adjacent/overlapping ranges on one key merge into one fetch) and
+//! *parallelize or amortize* (scoped-thread fan-out on local disk, one
+//! amortized latency charge per batch on the simulated cloud, a single
+//! fill + eviction pass in the LRU tier):
+//!
+//! ```
+//! use deeplake::prelude::*;
+//! use deeplake::storage::ReadPlan;
+//!
+//! let store = MemoryProvider::new();
+//! store.put("chunk", bytes::Bytes::from(vec![0u8; 1024])).unwrap();
+//! let mut plan = ReadPlan::new();
+//! plan.range("chunk", 0, 256);
+//! plan.range("chunk", 256, 512); // adjacent → coalesces with the first
+//! let outcome = store.execute(&plan);
+//! assert_eq!(outcome.results.len(), 2);
+//! assert_eq!(outcome.fetches, 1); // one backend fetch served both
 //! ```
 //!
 //! See the crate-level docs of each member for the subsystem details:

@@ -19,8 +19,11 @@ fn seed_dataset(provider: DynProvider, rows: u64) {
     ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
     for i in 0..rows {
         let img = Sample::from_slice([24, 24, 3], &vec![(i % 251) as u8; 1728]).unwrap();
-        ds.append_row(vec![("images", img), ("labels", Sample::scalar((i % 7) as i32))])
-            .unwrap();
+        ds.append_row(vec![
+            ("images", img),
+            ("labels", Sample::scalar((i % 7) as i32)),
+        ])
+        .unwrap();
     }
     ds.flush().unwrap();
 }
@@ -37,13 +40,31 @@ fn chunked_reads_beat_per_sample_requests() {
     let ds = Arc::new(Dataset::open(sim.clone()).unwrap());
     sim.stats().reset();
 
-    let loader = DataLoader::builder(ds).batch_size(25).num_workers(4).build().unwrap();
+    let loader = DataLoader::builder(ds)
+        .batch_size(25)
+        .num_workers(4)
+        .build()
+        .unwrap();
     let rows: usize = loader.epoch().map(|b| b.unwrap().len()).sum();
     assert_eq!(rows, 100);
-    // 100 samples must arrive in far fewer storage requests than samples —
-    // the whole point of 8MB-ish chunks (§3.5)
-    let requests = sim.stats().requests();
-    assert!(requests < 50, "expected chunked fetches, got {requests} requests");
+    // 100 samples must arrive in far fewer storage round trips than
+    // samples — chunked layout (§3.5) plus batched task reads. With the
+    // batched default the loader goes through `execute`, so the numbers
+    // to watch are round_trips/logical_reads, not single-key requests().
+    // round_trips counts both single-key reads and amortized batches
+    let round_trips = sim.stats().round_trips();
+    assert!(
+        round_trips > 0,
+        "the epoch must have touched the provider at all"
+    );
+    assert!(
+        round_trips < 50,
+        "expected chunked, batched fetches, got {round_trips} round trips"
+    );
+    assert!(
+        sim.stats().logical_reads() < 100,
+        "chunked layout must need fewer chunk reads than samples"
+    );
 }
 
 #[test]
@@ -54,7 +75,11 @@ fn lru_cache_eliminates_second_epoch_traffic() {
     let cached = Arc::new(LruCacheProvider::new(sim, 512 << 20));
     let ds = Arc::new(Dataset::open(cached.clone()).unwrap());
 
-    let loader = DataLoader::builder(ds).batch_size(16).num_workers(2).build().unwrap();
+    let loader = DataLoader::builder(ds)
+        .batch_size(16)
+        .num_workers(2)
+        .build()
+        .unwrap();
     let first: usize = loader.epoch().map(|b| b.unwrap().len()).sum();
     let miss_after_first = cached.stats().cache_misses();
     let second: usize = loader.epoch().map(|b| b.unwrap().len()).sum();
@@ -87,7 +112,11 @@ fn oversized_samples_tile_across_cloud_chunks() {
     assert!(ds.store("scan").unwrap().is_tiled(0));
 
     // reopen through a provider that counts traffic and reassemble
-    let sim = Arc::new(SimulatedCloudProvider::new("s3", backing, NetworkProfile::instant()));
+    let sim = Arc::new(SimulatedCloudProvider::new(
+        "s3",
+        backing,
+        NetworkProfile::instant(),
+    ));
     let ds = Dataset::open(sim.clone()).unwrap();
     let back = ds.get("scan", 0).unwrap();
     assert_eq!(back, big);
@@ -104,7 +133,9 @@ fn linked_tensors_resolve_across_providers() {
     registry.register("prov-b", ext_b.clone());
     for (store, key, fill) in [(&ext_a, "x.bin", 10u8), (&ext_b, "y.bin", 20u8)] {
         let pixels = vec![fill; 12 * 12 * 3];
-        let blob = Compression::JPEG_LIKE.compress_image(&pixels, 12, 12, 3).unwrap();
+        let blob = Compression::JPEG_LIKE
+            .compress_image(&pixels, 12, 12, 3)
+            .unwrap();
         store.put(key, bytes::Bytes::from(blob)).unwrap();
     }
 
@@ -112,13 +143,20 @@ fn linked_tensors_resolve_across_providers() {
     let mut opts = TensorOptions::new(Htype::parse("link[image]").unwrap());
     opts.dtype = Some(Dtype::U8);
     ds.create_tensor_opts("images", opts).unwrap();
-    ds.append_row(vec![("images", make_link("prov-a", "x.bin"))]).unwrap();
-    ds.append_row(vec![("images", make_link("prov-b", "y.bin"))]).unwrap();
+    ds.append_row(vec![("images", make_link("prov-a", "x.bin"))])
+        .unwrap();
+    ds.append_row(vec![("images", make_link("prov-b", "y.bin"))])
+        .unwrap();
     ds.flush().unwrap();
 
     let view = DatasetView::full(&ds);
-    let (out, stats) =
-        materialize(&view, Arc::new(MemoryProvider::new()), "inlined", Some(&registry)).unwrap();
+    let (out, stats) = materialize(
+        &view,
+        Arc::new(MemoryProvider::new()),
+        "inlined",
+        Some(&registry),
+    )
+    .unwrap();
     assert_eq!(stats.links_resolved, 2);
     assert_eq!(out.tensor_meta("images").unwrap().htype, Htype::Image);
     assert_eq!(out.get("images", 0).unwrap().shape().dims(), &[12, 12, 3]);
@@ -140,8 +178,11 @@ fn branches_persist_across_reopen_on_cloud() {
         ds.commit("exp edit").unwrap();
     }
     // reopen through a fresh simulated-cloud handle
-    let sim: DynProvider =
-        Arc::new(SimulatedCloudProvider::new("s3", backing, NetworkProfile::instant()));
+    let sim: DynProvider = Arc::new(SimulatedCloudProvider::new(
+        "s3",
+        backing,
+        NetworkProfile::instant(),
+    ));
     let mut ds = Dataset::open(sim).unwrap();
     assert_eq!(ds.get("labels", 0).unwrap().get_f64(0).unwrap(), 0.0);
     ds.checkout("exp").unwrap();

@@ -25,7 +25,10 @@ fn ingest_dataset() -> Dataset {
         let side = 16 + (i % 4) * 4;
         let n = (side * side * 3) as usize;
         Row::new()
-            .with("images", Sample::from_slice([side, side, 3], &vec![(i % 200) as u8; n]).unwrap())
+            .with(
+                "images",
+                Sample::from_slice([side, side, 3], &vec![(i % 200) as u8; n]).unwrap(),
+            )
             .with("labels", Sample::scalar((i % 6) as i32))
     });
     let stats = TransformPipeline::new().ingest(rows, &mut ds, 4).unwrap();
@@ -94,7 +97,8 @@ fn query_at_version_spans_history() {
     let v1 = ds.commit("v1").unwrap();
     // second wave of data, labels shifted
     for _ in 0..30 {
-        ds.append_row(vec![("labels", Sample::scalar(5i32))]).unwrap();
+        ds.append_row(vec![("labels", Sample::scalar(5i32))])
+            .unwrap();
     }
     ds.flush().unwrap();
 
@@ -124,7 +128,8 @@ fn transform_pipeline_feeds_new_dataset() {
         o
     })
     .unwrap();
-    dest.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+    dest.create_tensor("labels", Htype::ClassLabel, None)
+        .unwrap();
 
     // augmentation: center-crop every image to 12x12 and duplicate rows
     let crop = |row: &Row, emit: &mut dyn FnMut(Row)| {
@@ -135,13 +140,18 @@ fn transform_pipeline_feeds_new_dataset() {
         )
         .unwrap();
         for _ in 0..2 {
-            emit(Row::new()
-                .with("images", cropped.clone())
-                .with("labels", row.get("labels").unwrap().clone()));
+            emit(
+                Row::new()
+                    .with("images", cropped.clone())
+                    .with("labels", row.get("labels").unwrap().clone()),
+            );
         }
         Ok(())
     };
-    let stats = TransformPipeline::new().then(crop).apply(&src, &mut dest, 4).unwrap();
+    let stats = TransformPipeline::new()
+        .then(crop)
+        .apply(&src, &mut dest, 4)
+        .unwrap();
     assert_eq!(stats.rows_in, 120);
     assert_eq!(stats.rows_out, 240);
     let meta = dest.tensor_meta("images").unwrap();

@@ -31,7 +31,11 @@ fn text_equality_and_contains() {
     assert_eq!(r.indices, vec![1]);
     let r = tql::query(&ds, r#"SELECT * FROM d WHERE CONTAINS(captions, "cat")"#).unwrap();
     assert_eq!(r.indices, vec![0, 2, 4]);
-    let r = tql::query(&ds, r#"SELECT * FROM d WHERE NOT CONTAINS(captions, "cat")"#).unwrap();
+    let r = tql::query(
+        &ds,
+        r#"SELECT * FROM d WHERE NOT CONTAINS(captions, "cat")"#,
+    )
+    .unwrap();
     assert_eq!(r.indices, vec![1, 3]);
 }
 
@@ -48,7 +52,11 @@ fn empty_dataset_queries_cleanly() {
     let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "empty").unwrap();
     ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
     ds.flush().unwrap();
-    let r = tql::query(&ds, "SELECT * FROM d WHERE labels = 1 ORDER BY labels LIMIT 5").unwrap();
+    let r = tql::query(
+        &ds,
+        "SELECT * FROM d WHERE labels = 1 ORDER BY labels LIMIT 5",
+    )
+    .unwrap();
     assert!(r.is_empty());
     let r = tql::query(&ds, "SELECT labels FROM d").unwrap();
     assert!(r.rows.unwrap().is_empty());
@@ -84,10 +92,11 @@ fn ragged_tensor_queries_by_shape() {
 fn combined_order_arrange_limit_offset() {
     let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "combo").unwrap();
     ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
-    ds.create_tensor("score", Htype::Generic, Some(Dtype::F64)).unwrap();
+    ds.create_tensor("score", Htype::Generic, Some(Dtype::F64))
+        .unwrap();
     for i in 0..12 {
         ds.append_row(vec![
-            ("labels", Sample::scalar((i % 3) as i32)),
+            ("labels", Sample::scalar(i % 3)),
             ("score", Sample::scalar((12 - i) as f64)),
         ])
         .unwrap();
@@ -108,8 +117,13 @@ fn combined_order_arrange_limit_offset() {
 #[test]
 fn arithmetic_on_tensors_in_projection() {
     let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "arith").unwrap();
-    ds.create_tensor("v", Htype::Generic, Some(Dtype::F64)).unwrap();
-    ds.append_row(vec![("v", Sample::from_slice([3], &[1.0f64, 2.0, 3.0]).unwrap())]).unwrap();
+    ds.create_tensor("v", Htype::Generic, Some(Dtype::F64))
+        .unwrap();
+    ds.append_row(vec![(
+        "v",
+        Sample::from_slice([3], &[1.0f64, 2.0, 3.0]).unwrap(),
+    )])
+    .unwrap();
     ds.flush().unwrap();
     let r = tql::query(&ds, "SELECT v * 2 + [1, 1, 1] AS scaled FROM d").unwrap();
     let rows = r.rows.unwrap();
@@ -133,10 +147,14 @@ fn rows_with_empty_markers_filterable() {
     let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "sparse").unwrap();
     ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
     ds.create_tensor("boxes", Htype::BBox, None).unwrap();
-    ds.append_row(vec![("labels", Sample::scalar(1i32))]).unwrap(); // no boxes
+    ds.append_row(vec![("labels", Sample::scalar(1i32))])
+        .unwrap(); // no boxes
     ds.append_row(vec![
         ("labels", Sample::scalar(2i32)),
-        ("boxes", Sample::from_slice([1, 4], &[0.0f32, 0.0, 1.0, 1.0]).unwrap()),
+        (
+            "boxes",
+            Sample::from_slice([1, 4], &[0.0f32, 0.0, 1.0, 1.0]).unwrap(),
+        ),
     ])
     .unwrap();
     ds.flush().unwrap();

@@ -186,7 +186,7 @@ proptest! {
         let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "prop-loader").unwrap();
         ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
         for i in 0..50 {
-            ds.append_row(vec![("labels", Sample::scalar(i as i32))]).unwrap();
+            ds.append_row(vec![("labels", Sample::scalar(i))]).unwrap();
         }
         ds.flush().unwrap();
         let loader = DataLoader::builder(Arc::new(ds))

@@ -1,0 +1,289 @@
+//! The [`Strategy`] trait and the built-in strategy implementations:
+//! integer ranges, tuples of strategies, and regex-like string patterns.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SampleUniform};
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of random values for property tests.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform + Copy> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(*self.start()..=*self.end())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// regex-like string strategies
+// ---------------------------------------------------------------------
+
+/// One atom of a pattern plus its repetition bounds.
+struct Atom {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+enum CharSet {
+    /// Explicit ranges, e.g. `[a-z0-9_]`.
+    Ranges(Vec<(char, char)>),
+    /// `\PC` — any non-control character.
+    NotControl,
+    /// A single literal character.
+    Literal(char),
+}
+
+impl CharSet {
+    fn sample(&self, rng: &mut StdRng) -> char {
+        match self {
+            CharSet::Literal(c) => *c,
+            CharSet::Ranges(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                    .sum();
+                let mut pick = rng.random_range(0..total);
+                for &(lo, hi) in ranges {
+                    let span = hi as u32 - lo as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(lo as u32 + pick).unwrap_or(lo);
+                    }
+                    pick -= span;
+                }
+                unreachable!("pick bounded by total")
+            }
+            CharSet::NotControl => {
+                // mostly printable ASCII with occasional multi-byte chars to
+                // keep lexers honest about UTF-8
+                match rng.random_range(0u32..20) {
+                    0 => char::from_u32(rng.random_range(0xA1u32..0x2FF)).unwrap_or('¡'),
+                    1 => '😀',
+                    2 => 'é',
+                    _ => char::from_u32(rng.random_range(0x20u32..0x7F)).unwrap_or(' '),
+                }
+            }
+        }
+    }
+}
+
+/// Parse the regex subset: a sequence of `[class]`, `\PC`, or literal
+/// atoms, each optionally followed by `{m}` / `{m,n}`.
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                let mut members: Vec<char> = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        let e = chars[i];
+                        match e {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            other => other,
+                        }
+                    } else {
+                        chars[i]
+                    };
+                    // range like `a-z` (a `-` that is not last and follows a member)
+                    if !members.is_empty()
+                        && c == '-'
+                        && i + 1 < chars.len()
+                        && chars[i + 1] != ']'
+                        && chars[i] == '-'
+                    {
+                        let lo = members.pop().expect("checked non-empty");
+                        i += 1;
+                        let hi = if chars[i] == '\\' {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        ranges.push((lo, hi));
+                        i += 1;
+                        continue;
+                    }
+                    members.push(c);
+                    i += 1;
+                }
+                i += 1; // closing `]`
+                ranges.extend(members.into_iter().map(|c| (c, c)));
+                CharSet::Ranges(ranges)
+            }
+            '\\' => {
+                // `\PC` (non-control) or an escaped literal
+                if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    CharSet::NotControl
+                } else {
+                    i += 1;
+                    let c = chars[i];
+                    i += 1;
+                    CharSet::Literal(c)
+                }
+            }
+            c => {
+                i += 1;
+                CharSet::Literal(c)
+            }
+        };
+        // optional quantifier
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            i += 1;
+            let mut min_s = String::new();
+            while chars[i].is_ascii_digit() {
+                min_s.push(chars[i]);
+                i += 1;
+            }
+            let min: usize = min_s.parse().expect("quantifier lower bound");
+            let max = if chars[i] == ',' {
+                i += 1;
+                let mut max_s = String::new();
+                while chars[i].is_ascii_digit() {
+                    max_s.push(chars[i]);
+                    i += 1;
+                }
+                max_s.parse().expect("quantifier upper bound")
+            } else {
+                min
+            };
+            assert_eq!(chars[i], '}', "malformed quantifier in pattern {pattern:?}");
+            i += 1;
+            (min, max)
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.random_range(atom.min..=atom.max);
+            for _ in 0..n {
+                out.push(atom.set.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (3u32..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+            let w = (-5i64..=5).generate(&mut r);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn class_pattern_generates_matching_strings() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z][a-z0-9_]{0,10}".generate(&mut r);
+            assert!(!s.is_empty() && s.len() <= 11);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn escaped_class_members() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-zA-Z0-9 ,.:*()\\[\\]<>=!'\"+-/%_]{0,120}".generate(&mut r);
+            assert!(s.len() <= 120);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn not_control_pattern() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = "\\PC{0,200}".generate(&mut r);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut r = rng();
+        let (a, b) = (crate::any::<u8>(), 1usize..100).generate(&mut r);
+        let _: u8 = a;
+        assert!((1..100).contains(&b));
+    }
+}

@@ -1,0 +1,215 @@
+//! Offline stand-in for `rand`.
+//!
+//! Deterministic PRNG support for the subset of the API this workspace
+//! uses: `StdRng::seed_from_u64`, `random_range` over integer ranges
+//! (via [`RngExt`]), and `SliceRandom::shuffle`. The generator is
+//! xoshiro256++ seeded through splitmix64 — high-quality enough for
+//! synthetic data and shuffle orders, not for cryptography.
+
+use std::ops::{Bound, RangeBounds};
+
+/// Core interface: a stream of uniform 64-bit words.
+pub trait RngCore {
+    /// Next uniform `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Uniform sample from an integer range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// Panics on an empty range, like the real crate.
+    fn random_range<T: SampleUniform, R: RangeBounds<T>>(&mut self, range: R) -> T {
+        T::sample(self, &range)
+    }
+
+    /// Uniform `bool`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> RngExt for T {}
+
+/// Types samplable uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Sample uniformly from `range` using `rng`.
+    fn sample<G: RngCore + ?Sized, R: RangeBounds<Self>>(rng: &mut G, range: &R) -> Self;
+}
+
+fn sample_span<G: RngCore + ?Sized>(rng: &mut G, lo: i128, hi: i128) -> i128 {
+    assert!(lo < hi, "cannot sample from an empty range");
+    let span = (hi - lo) as u128;
+    // rejection sampling over the widest zone divisible by span
+    let zone = (u128::from(u64::MAX) + 1) / span * span;
+    loop {
+        let v = rng.next_u64() as u128;
+        if v < zone {
+            return lo + (v % span) as i128;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<G: RngCore + ?Sized, R: RangeBounds<Self>>(rng: &mut G, range: &R) -> Self {
+                let lo: i128 = match range.start_bound() {
+                    Bound::Included(&n) => n as i128,
+                    Bound::Excluded(&n) => n as i128 + 1,
+                    Bound::Unbounded => <$t>::MIN as i128,
+                };
+                let hi: i128 = match range.end_bound() {
+                    Bound::Included(&n) => n as i128 + 1,
+                    Bound::Excluded(&n) => n as i128,
+                    Bound::Unbounded => <$t>::MAX as i128 + 1,
+                };
+                sample_span(rng, lo, hi) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<G: RngCore + ?Sized, R: RangeBounds<Self>>(rng: &mut G, range: &R) -> Self {
+                let lo = match range.start_bound() {
+                    Bound::Included(&n) | Bound::Excluded(&n) => n,
+                    Bound::Unbounded => 0.0,
+                };
+                let hi = match range.end_bound() {
+                    Bound::Included(&n) | Bound::Excluded(&n) => n,
+                    Bound::Unbounded => 1.0,
+                };
+                assert!(lo < hi, "cannot sample from an empty range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                (lo as f64 + unit * (hi as f64 - lo as f64)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Shuffling for slices.
+pub mod seq {
+    use super::{RngCore, RngExt};
+
+    /// Slice extension: in-place Fisher–Yates shuffle.
+    pub trait SliceRandom {
+        /// Shuffle the slice in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256++ seeded via splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // xoshiro forbids the all-zero state
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E3779B97F4A7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u32> = (0..16).map(|_| a.random_range(0u32..1000)).collect();
+        let ys: Vec<u32> = (0..16).map(|_| b.random_range(0u32..1000)).collect();
+        let zs: Vec<u32> = (0..16).map(|_| c.random_range(0u32..1000)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(3usize..=5);
+            assert!((3..=5).contains(&w));
+        }
+        assert_eq!(rng.random_range(4u32..5), 4);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut v: Vec<usize> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        v.shuffle(&mut rng);
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

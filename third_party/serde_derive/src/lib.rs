@@ -1,0 +1,558 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of this workspace's `serde::Serialize` /
+//! `serde::Deserialize` traits (a collapsed JSON-value data model) for
+//! structs and enums. The parser walks raw token trees — no `syn`/`quote`
+//! available offline — and supports exactly the shapes this codebase
+//! declares: named/tuple/unit structs, enums with unit/newtype/tuple/
+//! struct variants, `#[serde(rename_all = "lowercase")]`,
+//! `#[serde(default)]` and `#[serde(default = "path")]`. Generics are
+//! rejected with a clear error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum DefaultAttr {
+    None,
+    Std,
+    Path(String),
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: DefaultAttr,
+}
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    rename_all: Option<String>,
+    kind: ItemKind,
+}
+
+// ---------------------------------------------------------------------
+// token-tree parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Skip attributes, returning serde `(key, value)` metas found in them.
+    fn take_attrs(&mut self) -> Vec<(String, Option<String>)> {
+        let mut metas = Vec::new();
+        while self.is_punct('#') {
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde_derive: malformed attribute: {other:?}"),
+            };
+            let mut inner = Cursor::new(group.stream());
+            if inner.is_ident("serde") {
+                inner.next();
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    metas.extend(parse_serde_metas(args.stream()));
+                }
+            }
+        }
+        metas
+    }
+
+    fn skip_visibility(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    /// Consume type tokens until a top-level `,` (angle-bracket aware).
+    fn skip_type(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+/// Parse `rename_all = "lowercase"`, `default`, `default = "path"`, ...
+fn parse_serde_metas(stream: TokenStream) -> Vec<(String, Option<String>)> {
+    let mut cur = Cursor::new(stream);
+    let mut out = Vec::new();
+    while !cur.at_end() {
+        let key = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(_) => continue,
+            None => break,
+        };
+        let mut value = None;
+        if cur.is_punct('=') {
+            cur.next();
+            if let Some(TokenTree::Literal(lit)) = cur.next() {
+                value = Some(strip_quotes(&lit.to_string()));
+            }
+        }
+        out.push((key, value));
+        if cur.is_punct(',') {
+            cur.next();
+        }
+    }
+    out
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn field_default(metas: &[(String, Option<String>)]) -> DefaultAttr {
+    for (key, value) in metas {
+        if key == "default" {
+            return match value {
+                Some(path) => DefaultAttr::Path(path.clone()),
+                None => DefaultAttr::Std,
+            };
+        }
+    }
+    DefaultAttr::None
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let metas = cur.take_attrs();
+        cur.skip_visibility();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident("field name");
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        cur.skip_type();
+        if cur.is_punct(',') {
+            cur.next();
+        }
+        fields.push(Field {
+            name,
+            default: field_default(&metas),
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    if cur.at_end() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    while let Some(t) = cur.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p)
+                if p.as_char() == ',' && angle == 0
+                // trailing comma adds no field
+                && !cur.at_end() =>
+            {
+                count += 1;
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        let _metas = cur.take_attrs(); // #[default] etc. — inert here
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident("variant name");
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                cur.next();
+                Fields::Named(f)
+            }
+            _ => Fields::Unit,
+        };
+        if cur.is_punct(',') {
+            cur.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    let container_metas = cur.take_attrs();
+    let rename_all = container_metas
+        .iter()
+        .find(|(k, _)| k == "rename_all")
+        .and_then(|(_, v)| v.clone());
+    cur.skip_visibility();
+    let keyword = cur.expect_ident("`struct` or `enum`");
+    let name = cur.expect_ident("type name");
+    if cur.is_punct('<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the offline stand-in");
+    }
+    match keyword.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                rename_all,
+                kind: ItemKind::Struct(Fields::Named(parse_named_fields(g.stream()))),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                rename_all,
+                kind: ItemKind::Struct(Fields::Tuple(count_tuple_fields(g.stream()))),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                rename_all,
+                kind: ItemKind::Struct(Fields::Unit),
+            },
+            other => panic!("serde_derive: unexpected token after struct name: {other:?}"),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                rename_all,
+                kind: ItemKind::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn rename(name: &str, rule: &Option<String>) -> String {
+    match rule.as_deref() {
+        Some("lowercase") => name.to_lowercase(),
+        Some("UPPERCASE") => name.to_uppercase(),
+        Some(other) => panic!("serde_derive: unsupported rename_all rule {other:?}"),
+        None => name.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// codegen
+// ---------------------------------------------------------------------
+
+fn gen_named_to_value(fields: &[Field], access: &str, rule: &Option<String>) -> String {
+    let mut s = String::from("{ let mut __obj: Vec<(String, ::serde::Value)> = Vec::new(); ");
+    for f in fields {
+        let key = rename(&f.name, rule);
+        s.push_str(&format!(
+            "__obj.push((\"{key}\".to_string(), ::serde::Serialize::to_value({access}{field})));",
+            field = f.name
+        ));
+    }
+    s.push_str(" ::serde::Value::Object(__obj) }");
+    s
+}
+
+fn gen_named_from_value(
+    type_path: &str,
+    fields: &[Field],
+    source: &str,
+    rule: &Option<String>,
+) -> String {
+    let mut s = format!("{type_path} {{ ");
+    for f in fields {
+        let key = rename(&f.name, rule);
+        let missing = match &f.default {
+            DefaultAttr::None => {
+                format!("::serde::Deserialize::from_missing_field(\"{key}\")?")
+            }
+            DefaultAttr::Std => "::std::default::Default::default()".to_string(),
+            DefaultAttr::Path(p) => format!("{p}()"),
+        };
+        s.push_str(&format!(
+            "{field}: match {source}.get(\"{key}\") {{ \
+               Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+               None => {missing} }}, ",
+            field = f.name
+        ));
+    }
+    s.push('}');
+    s
+}
+
+fn derive_serialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            gen_named_to_value(fields, "&self.", &item.rename_all)
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        ItemKind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = rename(&v.name, &item.rename_all);
+                let arm = match &v.fields {
+                    Fields::Unit => format!(
+                        "{name}::{var} => ::serde::Value::String(\"{tag}\".to_string()),",
+                        var = v.name
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{var}(__f0) => ::serde::Value::Object(vec![(\"{tag}\".to_string(), ::serde::Serialize::to_value(__f0))]),",
+                        var = v.name
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{var}({binds}) => ::serde::Value::Object(vec![(\"{tag}\".to_string(), ::serde::Value::Array(vec![{vals}]))]),",
+                            var = v.name,
+                            binds = binds.join(", "),
+                            vals = vals.join(", ")
+                        )
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = gen_named_to_value(fields, "", &None);
+                        format!(
+                            "{name}::{var} {{ {binds} }} => ::serde::Value::Object(vec![(\"{tag}\".to_string(), {inner})]),",
+                            var = v.name,
+                            binds = binds.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn derive_deserialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let build = gen_named_from_value(name, fields, "__v", &item.rename_all);
+            format!(
+                "if __v.as_object().is_none() {{ \
+                   return ::std::result::Result::Err(::serde::Error::custom(format!( \
+                     \"expected object for {name}, got {{}}\", __v.kind()))); \
+                 }} \
+                 ::std::result::Result::Ok({build})"
+            )
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| ::serde::Error::custom( \
+                   \"expected array for {name}\"))?; \
+                 if __items.len() != {n} {{ \
+                   return ::std::result::Result::Err(::serde::Error::custom( \
+                     format!(\"expected {n} elements for {name}, got {{}}\", __items.len()))); \
+                 }} \
+                 ::std::result::Result::Ok({name}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        ItemKind::Struct(Fields::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let tag = rename(&v.name, &item.rename_all);
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{tag}\" => ::std::result::Result::Ok({name}::{var}),",
+                        var = v.name
+                    )),
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{tag}\" => ::std::result::Result::Ok({name}::{var}(::serde::Deserialize::from_value(__content)?)),",
+                        var = v.name
+                    )),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{tag}\" => {{ \
+                               let __items = __content.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for {name}::{var}\"))?; \
+                               if __items.len() != {n} {{ \
+                                 return ::std::result::Result::Err(::serde::Error::custom( \
+                                   \"wrong tuple arity for {name}::{var}\")); \
+                               }} \
+                               ::std::result::Result::Ok({name}::{var}({elems})) }},",
+                            var = v.name,
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let build = gen_named_from_value(
+                            &format!("{name}::{var}", var = v.name),
+                            fields,
+                            "__content",
+                            &None,
+                        );
+                        data_arms.push_str(&format!(
+                            "\"{tag}\" => {{ \
+                               if __content.as_object().is_none() {{ \
+                                 return ::std::result::Result::Err(::serde::Error::custom( \
+                                   \"expected object for {name}::{var}\")); \
+                               }} \
+                               ::std::result::Result::Ok({build}) }},",
+                            var = v.name,
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{ \
+                   ::serde::Value::String(__s) => match __s.as_str() {{ \
+                     {unit_arms} \
+                     __other => ::std::result::Result::Err(::serde::Error::custom( \
+                       format!(\"unknown variant {{__other:?}} of {name}\"))), \
+                   }}, \
+                   ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{ \
+                     let (__tag, __content) = &__pairs[0]; \
+                     match __tag.as_str() {{ \
+                       {data_arms} \
+                       __other => ::std::result::Result::Err(::serde::Error::custom( \
+                         format!(\"unknown variant {{__other:?}} of {name}\"))), \
+                     }} \
+                   }}, \
+                   __other => ::std::result::Result::Err(::serde::Error::custom( \
+                     format!(\"expected {name} variant, got {{}}\", __other.kind()))), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
+
+/// Derive `serde::Serialize` (offline stand-in).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_serialize_impl(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` (offline stand-in).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_deserialize_impl(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}

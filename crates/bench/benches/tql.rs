@@ -1,11 +1,12 @@
-//! TQL query performance: filter, order, and the paper's Fig. 5 query.
+//! TQL query performance: filter, order, the paper's Fig. 5 query, and
+//! chunk-statistics pruning vs. the naive full scan across selectivities.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use deeplake_codec::Compression;
 use deeplake_core::dataset::{Dataset, TensorOptions};
 use deeplake_storage::MemoryProvider;
 use deeplake_tensor::{Htype, Sample};
-use deeplake_tql::query;
+use deeplake_tql::{execute, parser, query, QueryOptions};
 use std::sync::Arc;
 
 fn dataset(rows: u64) -> Dataset {
@@ -86,5 +87,60 @@ fn bench_tql(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tql);
+/// 4000 rows with *sorted* labels 0..100 over tiny label chunks, so
+/// chunk statistics can decide most spans outright.
+fn sorted_dataset(rows: u64) -> Dataset {
+    let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "tql-prune").unwrap();
+    ds.create_tensor_opts("labels", {
+        let mut o = TensorOptions::new(Htype::ClassLabel);
+        o.chunk_target_bytes = Some(128);
+        o
+    })
+    .unwrap();
+    for i in 0..rows {
+        ds.append_row(vec![("labels", Sample::scalar((i * 100 / rows) as i32))])
+            .unwrap();
+    }
+    ds.flush().unwrap();
+    ds
+}
+
+/// Pruned vs. full-scan filter at 1% / 10% / 90% selectivity. The pruned
+/// path must win big on selective filters and stay competitive on
+/// unselective ones (spans decide whole instead of per-row).
+fn bench_pruning(c: &mut Criterion) {
+    let rows = 4000u64;
+    let ds = sorted_dataset(rows);
+    let mut group = c.benchmark_group("tql_pruning");
+    group.sample_size(10);
+    for (name, percent) in [("sel_1pct", 1u64), ("sel_10pct", 10), ("sel_90pct", 90)] {
+        let q = parser::parse(&format!("SELECT * FROM d WHERE labels < {percent}")).unwrap();
+        let expect = (rows * percent / 100) as usize;
+        group.bench_function(format!("pruned_{name}"), |b| {
+            b.iter(|| {
+                let r = execute(&ds, &q, &QueryOptions::default()).unwrap();
+                assert_eq!(r.len(), expect);
+                assert!(r.stats.chunks_pruned + r.stats.chunks_matched > 0);
+            })
+        });
+        group.bench_function(format!("full_{name}"), |b| {
+            b.iter(|| {
+                let r = execute(
+                    &ds,
+                    &q,
+                    &QueryOptions {
+                        pruning: false,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(r.len(), expect);
+                assert_eq!(r.stats.chunks_pruned, 0);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tql, bench_pruning);
 criterion_main!(benches);

@@ -73,6 +73,36 @@ impl TensorOptions {
     }
 }
 
+/// Decoded chunks pinned per tensor by [`Dataset::prefetch_chunks`],
+/// plus the storage round trips the prefetch cost.
+pub struct PrefetchedChunks {
+    by_tensor: HashMap<String, HashMap<u64, Arc<deeplake_format::Chunk>>>,
+    round_trips: u64,
+}
+
+impl PrefetchedChunks {
+    /// Storage round trips the prefetch issued (0 when everything was
+    /// already decoded, 1 for the single batched call).
+    pub fn round_trips(&self) -> u64 {
+        self.round_trips
+    }
+
+    /// The pinned chunks of one tensor (`None` when the tensor was
+    /// unknown at prefetch time).
+    pub fn pinned(&self, tensor: &str) -> Option<&HashMap<u64, Arc<deeplake_format::Chunk>>> {
+        self.by_tensor.get(tensor)
+    }
+
+    /// Read one sample through the pinned chunks, falling back to the
+    /// dataset's single-key path for anything not prefetched.
+    pub fn get(&self, ds: &Dataset, tensor: &str, row: u64) -> Result<Sample> {
+        match self.by_tensor.get(tensor) {
+            Some(p) => ds.get_with_pinned(tensor, row, p),
+            None => ds.get(tensor, row),
+        }
+    }
+}
+
 /// A Deep Lake dataset handle.
 ///
 /// Reads take `&self` and are safe to share across loader threads; all
@@ -409,22 +439,53 @@ impl Dataset {
     /// Read a block of rows with **one storage call** for all the chunks
     /// they need (§3.5/§4.6 batched scatter-gather I/O).
     ///
-    /// Builds a [`ReadPlan`] covering every not-yet-decoded chunk across
-    /// `tensors` for `rows`, executes it once on the root provider — which
-    /// coalesces and parallelizes/amortizes the fetches — then assembles
-    /// rows from the decoded chunks. This is what loader workers call per
-    /// task instead of N single-key reads; a chunk the plan could not
-    /// resolve (or whose fetch failed) transparently falls back to the
-    /// single-key path, so error reporting matches [`Dataset::get`].
+    /// Prefetches every not-yet-decoded chunk across `tensors` for `rows`
+    /// through [`Dataset::prefetch_chunks`], then assembles rows from the
+    /// decoded chunks. This is what loader workers call per task instead
+    /// of N single-key reads; a chunk the plan could not resolve (or
+    /// whose fetch failed) transparently falls back to the single-key
+    /// path, so error reporting matches [`Dataset::get`].
     pub fn get_rows_batch(&self, tensors: &[String], rows: &[u64]) -> Result<Vec<Row>> {
         let len = self.len();
         if let Some(&bad) = rows.iter().find(|&&r| r >= len) {
             return Err(CoreError::RowOutOfRange { row: bad, len });
         }
+        for name in tensors {
+            self.store(name)?; // validate up front: whole-batch error
+        }
+        let prefetched = self.prefetch_chunks(tensors, rows)?;
+        rows.iter()
+            .map(|&row| {
+                let mut out = Row::new();
+                for name in tensors {
+                    out.set(name.clone(), prefetched.get(self, name, row)?);
+                }
+                Ok(out)
+            })
+            .collect()
+    }
+
+    /// Fetch and decode, in **one batched storage call**, every chunk the
+    /// given `tensors` need to serve `rows` — the chunk-granular scan
+    /// primitive shared by the loader's task reads and TQL's pushdown
+    /// executor. Returns the decoded chunks *pinned* per tensor (the
+    /// shared chunk memo is FIFO across worker threads; pinning keeps a
+    /// task's chunks alive for its whole assembly) plus the number of
+    /// storage round trips issued (0 or 1).
+    ///
+    /// Tensors that don't exist are skipped — readers hitting them later
+    /// report the per-row error exactly like [`Dataset::get`]. Fetch or
+    /// decode failures are likewise deferred to the single-key fallback.
+    pub fn prefetch_chunks(&self, tensors: &[String], rows: &[u64]) -> Result<PrefetchedChunks> {
         let mut plan = ReadPlan::new();
         let mut admissions: Vec<(usize, u64, usize)> = Vec::new();
+        let mut pinned: HashMap<String, HashMap<u64, Arc<deeplake_format::Chunk>>> =
+            HashMap::with_capacity(tensors.len());
         for (tensor_index, name) in tensors.iter().enumerate() {
-            let store = self.store(name)?;
+            let Ok(store) = self.store(name) else {
+                continue;
+            };
+            pinned.entry(name.clone()).or_default();
             for (chunk_id, key) in store.batch_fetches(rows) {
                 if let Some(key) = key {
                     let index = plan.whole(key);
@@ -432,40 +493,60 @@ impl Dataset {
                 }
             }
         }
-        // Decoded chunks are *pinned* per tensor for the whole assembly:
-        // the shared memo is FIFO across all loader workers, so relying on
-        // it alone would let concurrent tasks evict this task's chunks and
-        // silently degrade back to per-chunk round trips.
-        let mut pinned: Vec<HashMap<u64, Arc<deeplake_format::Chunk>>> =
-            vec![HashMap::new(); tensors.len()];
+        let mut round_trips = 0;
         if !plan.is_empty() {
+            round_trips = 1;
             let outcome = self.root.execute(&plan);
             for (tensor_index, chunk_id, index) in admissions {
                 if let Ok(data) = &outcome.results[index] {
                     // a corrupt blob is NOT an error here: the single-key
-                    // path below retries it and reports the row-level
-                    // error, matching `Dataset::get` semantics
-                    if let Ok(chunk) = self
-                        .store(&tensors[tensor_index])?
-                        .admit_chunk(chunk_id, data)
-                    {
-                        pinned[tensor_index].insert(chunk_id, chunk);
+                    // path retries it and reports the row-level error,
+                    // matching `Dataset::get` semantics
+                    let name = &tensors[tensor_index];
+                    if let Ok(chunk) = self.store(name)?.admit_chunk(chunk_id, data) {
+                        pinned
+                            .get_mut(name)
+                            .expect("entry created above")
+                            .insert(chunk_id, chunk);
                     }
                 }
             }
         }
-        rows.iter()
-            .map(|&row| {
-                let mut out = Row::new();
-                for (tensor_index, name) in tensors.iter().enumerate() {
-                    let sample = self
-                        .store(name)?
-                        .get_with_chunks(row, &pinned[tensor_index])?;
-                    out.set(name.clone(), sample);
-                }
-                Ok(out)
-            })
-            .collect()
+        Ok(PrefetchedChunks {
+            by_tensor: pinned,
+            round_trips,
+        })
+    }
+
+    /// Read one sample, preferring pinned decoded chunks over the shared
+    /// memo (see [`Dataset::prefetch_chunks`]).
+    pub fn get_with_pinned(
+        &self,
+        tensor: &str,
+        row: u64,
+        pinned: &HashMap<u64, Arc<deeplake_format::Chunk>>,
+    ) -> Result<Sample> {
+        self.store(tensor)?.get_with_chunks(row, pinned)
+    }
+
+    /// Conservative scalar summary of `tensor`'s rows `[start, end)`, or
+    /// `None` when any covering chunk lacks statistics (see
+    /// [`TensorStore::stats_for_rows`]). Unknown tensors report `None`
+    /// rather than erroring — the pruning layer treats both as "cannot
+    /// prune" and lets row-level evaluation surface the real error.
+    pub fn chunk_stats_for_rows(
+        &self,
+        tensor: &str,
+        start: u64,
+        end: u64,
+    ) -> Option<deeplake_format::ChunkStats> {
+        self.tensors.get(tensor)?.stats_for_rows(start, end)
+    }
+
+    /// `tensor`'s row space as chunk-aligned spans (see
+    /// [`TensorStore::chunk_spans`]).
+    pub fn chunk_spans(&self, tensor: &str) -> Result<Vec<(Option<u64>, u64, u64)>> {
+        Ok(self.store(tensor)?.chunk_spans())
     }
 
     /// Stable sample id of a row.

@@ -36,10 +36,14 @@ pub mod transform;
 pub mod version;
 pub mod view;
 
-pub use dataset::Dataset;
+pub use dataset::{Dataset, PrefetchedChunks};
 pub use error::CoreError;
 pub use row::Row;
 pub use view::DatasetView;
+
+// Re-exported for layers (query planning, streaming) that reason about
+// chunks without depending on the format crate directly.
+pub use deeplake_format::{Chunk, ChunkStats};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

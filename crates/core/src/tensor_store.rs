@@ -13,8 +13,8 @@ use bytes::Bytes;
 use deeplake_codec::Compression;
 use deeplake_format::chunk::{decode_sample, encode_sample};
 use deeplake_format::{
-    Chunk, ChunkBuilder, ChunkEncoder, ChunkSizePolicy, FlushReason, SampleLocation, TensorMeta,
-    TileEncoder, TileLayout,
+    Chunk, ChunkBuilder, ChunkEncoder, ChunkSizePolicy, ChunkStats, ChunkStatsIndex, FlushReason,
+    SampleLocation, TensorMeta, TileEncoder, TileLayout,
 };
 use deeplake_storage::{PrefixProvider, StorageProvider};
 use deeplake_tensor::{Htype, Sample};
@@ -26,6 +26,7 @@ use crate::Result;
 
 const META_KEY: &str = "meta.json";
 const ENCODER_KEY: &str = "chunk_encoder";
+const STATS_KEY: &str = "chunk_stats";
 const TILES_KEY: &str = "tile_encoder";
 const CHUNK_SET_KEY: &str = "chunk_set.json";
 const DIFF_KEY: &str = "commit_diff.json";
@@ -58,6 +59,11 @@ impl VersionDir {
 pub struct TensorStore {
     meta: TensorMeta,
     encoder: ChunkEncoder,
+    /// Per-chunk scalar statistics (the TQL pushdown index). Empty for
+    /// datasets written before statistics existed or tensors whose
+    /// samples are not scalars — readers treat a missing entry as
+    /// "cannot prune".
+    stats: ChunkStatsIndex,
     tiles: TileEncoder,
     builder: ChunkBuilder,
     /// HEAD first, root last.
@@ -86,6 +92,7 @@ impl TensorStore {
             builder,
             meta,
             encoder: ChunkEncoder::new(),
+            stats: ChunkStatsIndex::new(),
             tiles: TileEncoder::new(),
             chain: vec![VersionDir {
                 provider: head,
@@ -114,6 +121,12 @@ impl TensorStore {
             Ok(data) => ChunkEncoder::deserialize(&data)?,
             Err(_) => ChunkEncoder::new(),
         };
+        // pre-statistics datasets have no stats file: open with an empty
+        // index (pruning silently disabled)
+        let stats = match state_dir.provider.get(STATS_KEY) {
+            Ok(data) => ChunkStatsIndex::deserialize(&data)?,
+            Err(_) => ChunkStatsIndex::new(),
+        };
         let tiles = match state_dir.provider.get(TILES_KEY) {
             Ok(data) => TileEncoder::deserialize(&data)?,
             Err(_) => TileEncoder::new(),
@@ -127,6 +140,7 @@ impl TensorStore {
             builder,
             meta,
             encoder,
+            stats,
             tiles,
             chain: dirs,
             diff,
@@ -315,6 +329,11 @@ impl TensorStore {
             let mut chunk = Chunk::new(self.meta.dtype);
             chunk.append_blob(&blob, sample.shape().clone());
             let id = self.put_chunk(&chunk)?;
+            if sample.num_elements() == 1 {
+                if let Ok(v) = sample.get_f64(0) {
+                    self.record_stats(id, ChunkStats::single(v));
+                }
+            }
             self.tiles.remove(row);
             self.encoder.replace_row(
                 row,
@@ -403,6 +422,47 @@ impl TensorStore {
         let loc = self.encoder.locate(row)?;
         let chunk = self.read_chunk(loc.chunk_id)?;
         Ok(chunk.records()[loc.local_index as usize].shape.clone())
+    }
+
+    /// Recorded statistics of one chunk, if any.
+    pub fn chunk_stats(&self, chunk_id: u64) -> Option<ChunkStats> {
+        self.stats.get(chunk_id)
+    }
+
+    /// Number of chunks with recorded statistics.
+    pub fn stats_coverage(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Conservative scalar summary of rows `[start, end)`, or `None` when
+    /// any covering chunk lacks statistics (stat-less dataset, non-scalar
+    /// samples, tiled rows, or rows still in the open chunk). The query
+    /// planner prunes a row span only when this returns `Some` and the
+    /// filter provably rejects the whole interval.
+    pub fn stats_for_rows(&self, start: u64, end: u64) -> Option<ChunkStats> {
+        if start >= end || end > self.encoder.num_rows() {
+            return None;
+        }
+        let spans = self.encoder.locate_range(start, end).ok()?;
+        self.stats.merge_all(spans.into_iter().map(|(id, _, _)| id))
+    }
+
+    /// The tensor's row space as chunk-aligned spans `(chunk_id, start,
+    /// len)` in row order; rows still in the open chunk report
+    /// `chunk_id = None`. One span = one decodable unit — the task
+    /// skeleton for chunk-granular query execution.
+    pub fn chunk_spans(&self) -> Vec<(Option<u64>, u64, u64)> {
+        let mut out: Vec<(Option<u64>, u64, u64)> = self
+            .encoder
+            .spans()
+            .into_iter()
+            .map(|(id, start, len)| (Some(id), start, len as u64))
+            .collect();
+        let open = self.builder.open_samples() as u64;
+        if open > 0 {
+            out.push((None, self.encoder.num_rows(), open));
+        }
+        out
     }
 
     /// Per-chunk spans covering rows `[start, end)` — the streaming
@@ -557,6 +617,7 @@ impl TensorStore {
         }
         // rebuild the layout from scratch
         self.encoder = ChunkEncoder::new();
+        self.stats.clear();
         self.tiles = TileEncoder::new();
         self.builder = ChunkBuilder::new(
             self.meta.dtype,
@@ -586,9 +647,22 @@ impl TensorStore {
 
     fn write_sealed_chunk(&mut self, chunk: Chunk) -> Result<()> {
         let n = chunk.sample_count() as u32;
+        let stats = self.builder.sealed_stats();
         let id = self.put_chunk(&chunk)?;
+        self.record_stats(id, stats);
         self.encoder.append_run(id, 0, n);
         Ok(())
+    }
+
+    /// Record a sealed chunk's statistics when the tensor opted in
+    /// (pre-statistics tensors keep recording off so their layout stays
+    /// byte-identical to what an old writer would produce).
+    fn record_stats(&mut self, chunk_id: u64, stats: Option<ChunkStats>) {
+        if self.meta.chunk_stats {
+            if let Some(s) = stats {
+                self.stats.insert(chunk_id, s);
+            }
+        }
     }
 
     fn put_chunk(&mut self, chunk: &Chunk) -> Result<u64> {
@@ -613,6 +687,9 @@ impl TensorStore {
         let head = &self.chain[0].provider;
         head.put(META_KEY, Bytes::from(self.meta.to_json()?))?;
         head.put(ENCODER_KEY, Bytes::from(self.encoder.serialize()))?;
+        if self.meta.chunk_stats {
+            head.put(STATS_KEY, Bytes::from(self.stats.serialize()))?;
+        }
         if !self.tiles.is_empty() {
             head.put(TILES_KEY, Bytes::from(self.tiles.serialize()))?;
         }
@@ -884,6 +961,116 @@ mod tests {
         assert_eq!(t.get(1).unwrap(), big);
         assert!(t.is_tiled(1));
         assert_eq!(t.get(2).unwrap(), sample(100, 3));
+    }
+
+    #[test]
+    fn scalar_chunks_record_stats_and_survive_reopen() {
+        let base = StdArc::new(MemoryProvider::new());
+        let p = PrefixProvider::new(base.clone(), "versions/v000000/labels");
+        let mut m = TensorMeta::new("labels", Htype::ClassLabel, None);
+        m.chunk_target_bytes = 40; // a handful of scalars per chunk
+        let mut t = TensorStore::create(m, p.clone()).unwrap();
+        for i in 0..32 {
+            t.append(&Sample::scalar(i % 8)).unwrap();
+        }
+        t.flush().unwrap();
+        assert!(t.stats_coverage() > 1, "labels span several chunks");
+        let all = t.stats_for_rows(0, 32).unwrap();
+        assert_eq!((all.min, all.max, all.samples), (0.0, 7.0, 32));
+
+        let back = TensorStore::open(vec![p]).unwrap();
+        assert_eq!(back.stats_coverage(), t.stats_coverage());
+        let s = back.stats_for_rows(0, 32).unwrap();
+        assert_eq!((s.min, s.max), (0.0, 7.0));
+        // every sealed chunk of a scalar tensor has stats
+        for (id, start, len) in back.chunk_spans() {
+            let id = id.expect("flushed tensor has no open chunk");
+            let cs = back.chunk_stats(id).expect("scalar chunk has stats");
+            assert_eq!(cs.samples, len);
+            assert!(start < 32);
+        }
+    }
+
+    #[test]
+    fn non_scalar_tensors_have_no_stats() {
+        let mut t = TensorStore::create(small_meta("x", 500), head()).unwrap();
+        for i in 0..10 {
+            t.append(&sample(100, i)).unwrap();
+        }
+        t.flush().unwrap();
+        assert_eq!(t.stats_coverage(), 0);
+        assert!(t.stats_for_rows(0, 10).is_none());
+    }
+
+    #[test]
+    fn stats_disabled_tensors_write_no_index() {
+        let base = StdArc::new(MemoryProvider::new());
+        let p = PrefixProvider::new(base.clone(), "versions/v000000/labels");
+        let mut m = TensorMeta::new("labels", Htype::ClassLabel, None);
+        m.chunk_stats = false; // a pre-statistics dataset
+        let mut t = TensorStore::create(m, p.clone()).unwrap();
+        for i in 0..8 {
+            t.append(&Sample::scalar(i)).unwrap();
+        }
+        t.flush().unwrap();
+        assert!(!p.exists(STATS_KEY).unwrap());
+        let back = TensorStore::open(vec![p]).unwrap();
+        assert_eq!(back.stats_coverage(), 0);
+        assert!(back.stats_for_rows(0, 8).is_none());
+    }
+
+    #[test]
+    fn open_chunk_rows_are_not_summarized() {
+        let mut m = TensorMeta::new("labels", Htype::ClassLabel, None);
+        m.chunk_target_bytes = 40;
+        let mut t = TensorStore::create(m, head()).unwrap();
+        for i in 0..9 {
+            t.append(&Sample::scalar(i)).unwrap();
+        }
+        // unflushed: trailing rows live in the open chunk
+        let spans = t.chunk_spans();
+        assert_eq!(spans.last().unwrap().0, None);
+        let total: u64 = spans.iter().map(|&(_, _, n)| n).sum();
+        assert_eq!(total, 9);
+        assert!(t.stats_for_rows(0, 9).is_none(), "open rows block summary");
+        if t.sealed_rows() > 0 {
+            assert!(t.stats_for_rows(0, t.sealed_rows()).is_some());
+        }
+    }
+
+    #[test]
+    fn update_keeps_stats_conservative() {
+        let mut m = TensorMeta::new("labels", Htype::ClassLabel, None);
+        m.chunk_target_bytes = 40;
+        let mut t = TensorStore::create(m, head()).unwrap();
+        for _ in 0..16 {
+            t.append(&Sample::scalar(2i32)).unwrap();
+        }
+        t.flush().unwrap();
+        t.update(5, &Sample::scalar(99i32)).unwrap();
+        // the span holding row 5 must now admit 99
+        let s = t.stats_for_rows(5, 6).unwrap();
+        assert!(s.min <= 99.0 && s.max >= 99.0);
+        // the merged whole-tensor summary still covers both values
+        let all = t.stats_for_rows(0, 16).unwrap();
+        assert!(all.min <= 2.0 && all.max >= 99.0);
+    }
+
+    #[test]
+    fn rechunk_rebuilds_stats() {
+        let mut m = TensorMeta::new("labels", Htype::ClassLabel, None);
+        m.chunk_target_bytes = 40;
+        let mut t = TensorStore::create(m, head()).unwrap();
+        for i in 0..20 {
+            t.append(&Sample::scalar(i % 4)).unwrap();
+        }
+        t.flush().unwrap();
+        for row in [3u64, 9, 15] {
+            t.update(row, &Sample::scalar(50i32)).unwrap();
+        }
+        t.rechunk().unwrap();
+        let s = t.stats_for_rows(0, 20).unwrap();
+        assert_eq!((s.min, s.max, s.samples), (0.0, 50.0, 20));
     }
 
     #[test]

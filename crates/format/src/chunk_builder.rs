@@ -17,6 +17,7 @@ use deeplake_codec::Compression;
 use deeplake_tensor::{Dtype, Sample, Shape};
 
 use crate::chunk::{encode_sample, Chunk};
+use crate::chunk_stats::{ChunkStats, StatsAccumulator};
 use crate::consts::{DEFAULT_CHUNK_MAX, DEFAULT_CHUNK_MIN, DEFAULT_CHUNK_TARGET};
 use crate::Result;
 
@@ -82,11 +83,20 @@ pub enum FlushReason {
 }
 
 /// Accumulates samples into size-bounded chunks.
+///
+/// Alongside the bytes, the builder tracks [`ChunkStats`] for the open
+/// chunk: scalar (single-element) samples feed a min/max/constant
+/// accumulator; any non-scalar sample — or a pre-encoded blob whose value
+/// the builder cannot see — marks the chunk stat-less. When a chunk
+/// seals, its stats are parked in [`ChunkBuilder::sealed_stats`] for the
+/// caller to record in the tensor's statistics index.
 pub struct ChunkBuilder {
     policy: ChunkSizePolicy,
     sample_compression: Compression,
     dtype: Dtype,
     open: Chunk,
+    open_stats: StatsAccumulator,
+    sealed_stats: Option<ChunkStats>,
 }
 
 impl ChunkBuilder {
@@ -98,6 +108,8 @@ impl ChunkBuilder {
             sample_compression,
             dtype,
             open: Chunk::new(dtype),
+            open_stats: StatsAccumulator::new(),
+            sealed_stats: None,
         }
     }
 
@@ -125,33 +137,47 @@ impl ChunkBuilder {
     /// Push one sample. Returns what happened; see [`FlushReason`].
     pub fn push(&mut self, sample: &Sample) -> Result<FlushReason> {
         let blob = encode_sample(sample, self.sample_compression)?;
-        self.push_encoded(blob, sample.shape().clone())
+        let scalar = (sample.num_elements() == 1)
+            .then(|| sample.get_f64(0).ok())
+            .flatten();
+        self.push_blob(blob, sample.shape().clone(), scalar)
     }
 
     /// Push an already-encoded blob (the §5 verbatim-copy path for
-    /// pre-compressed raw files whose codec matches the tensor's).
+    /// pre-compressed raw files whose codec matches the tensor's). The
+    /// builder never decodes the blob, so the open chunk loses statistics
+    /// eligibility — conservative, not an error.
     pub fn push_encoded(&mut self, blob: Vec<u8>, shape: Shape) -> Result<FlushReason> {
+        self.push_blob(blob, shape, None)
+    }
+
+    fn push_blob(
+        &mut self,
+        blob: Vec<u8>,
+        shape: Shape,
+        scalar: Option<f64>,
+    ) -> Result<FlushReason> {
         if blob.len() > self.policy.max_bytes && !self.policy.allow_oversized {
             return Ok(FlushReason::NeedsTiling {
                 stored_len: blob.len(),
             });
         }
         let would_be = self.open.payload_len() + blob.len();
-        if self.open.sample_count() > 0
-            && would_be > self.policy.target_bytes
-            && self.open.payload_len() >= self.policy.min_bytes.min(self.policy.target_bytes)
-        {
+        let must_close = self.open.sample_count() > 0
+            && ((would_be > self.policy.target_bytes
+                && self.open.payload_len() >= self.policy.min_bytes.min(self.policy.target_bytes))
+                // even below min_bytes we must not blow past the hard cap
+                || would_be > self.policy.max_bytes);
+        if must_close {
             // close the open chunk, start fresh with this sample
             let full = std::mem::replace(&mut self.open, Chunk::new(self.dtype));
+            self.sealed_stats = self.open_stats.finish();
+            self.open_stats = StatsAccumulator::new();
+            self.open_stats.observe(scalar);
             self.open.append_blob(&blob, shape);
             return Ok(FlushReason::ChunkFull(full));
         }
-        if self.open.sample_count() > 0 && would_be > self.policy.max_bytes {
-            // even below min_bytes we must not blow past the hard cap
-            let full = std::mem::replace(&mut self.open, Chunk::new(self.dtype));
-            self.open.append_blob(&blob, shape);
-            return Ok(FlushReason::ChunkFull(full));
-        }
+        self.open_stats.observe(scalar);
         self.open.append_blob(&blob, shape);
         Ok(FlushReason::Buffered)
     }
@@ -161,8 +187,18 @@ impl ChunkBuilder {
         if self.open.sample_count() == 0 {
             None
         } else {
+            self.sealed_stats = self.open_stats.finish();
+            self.open_stats = StatsAccumulator::new();
             Some(std::mem::replace(&mut self.open, Chunk::new(self.dtype)))
         }
+    }
+
+    /// Statistics of the most recently sealed chunk (set by the
+    /// [`FlushReason::ChunkFull`] path and by [`ChunkBuilder::finish`];
+    /// `None` when that chunk held non-scalar samples). Read it right
+    /// after receiving the sealed chunk — the next seal overwrites it.
+    pub fn sealed_stats(&self) -> Option<ChunkStats> {
+        self.sealed_stats
     }
 }
 
@@ -267,6 +303,73 @@ mod tests {
         assert_eq!(p.target_bytes, 8 * 1024 * 1024);
         assert_eq!(p.min_bytes, 4 * 1024 * 1024);
         assert_eq!(p.max_bytes, 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn scalar_chunks_carry_stats() {
+        let mut b = ChunkBuilder::new(
+            Dtype::I32,
+            Compression::None,
+            ChunkSizePolicy::with_target(40),
+        );
+        // 5-byte framed blobs: 8 scalars per ~40-byte chunk
+        let mut sealed = Vec::new();
+        for i in 0..20 {
+            if let FlushReason::ChunkFull(_) = b.push(&Sample::scalar(i % 7)).unwrap() {
+                sealed.push(b.sealed_stats());
+            }
+        }
+        if b.finish().is_some() {
+            sealed.push(b.sealed_stats());
+        }
+        assert!(!sealed.is_empty());
+        for s in &sealed {
+            let s = s.expect("scalar chunks must have stats");
+            assert!(s.min >= 0.0 && s.max <= 6.0 && s.samples > 0);
+        }
+        let total: u64 = sealed.iter().map(|s| s.unwrap().samples).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn non_scalar_samples_disable_stats() {
+        let mut b = builder(1000);
+        for _ in 0..5 {
+            b.push(&sample(50)).unwrap(); // 50-element samples: not scalars
+        }
+        b.finish().unwrap();
+        assert!(b.sealed_stats().is_none());
+    }
+
+    #[test]
+    fn verbatim_blob_disables_stats_for_its_chunk() {
+        let mut b = ChunkBuilder::new(
+            Dtype::I32,
+            Compression::None,
+            ChunkSizePolicy::with_target(1000),
+        );
+        b.push(&Sample::scalar(1i32)).unwrap();
+        let blob = Compression::None.compress(&2i32.to_le_bytes());
+        b.push_encoded(blob, deeplake_tensor::Shape::scalar())
+            .unwrap();
+        b.finish().unwrap();
+        assert!(b.sealed_stats().is_none(), "opaque blob poisons the chunk");
+    }
+
+    #[test]
+    fn constant_chunk_flagged() {
+        let mut b = ChunkBuilder::new(
+            Dtype::I32,
+            Compression::None,
+            ChunkSizePolicy::with_target(1000),
+        );
+        for _ in 0..4 {
+            b.push(&Sample::scalar(9i32)).unwrap();
+        }
+        b.finish().unwrap();
+        let s = b.sealed_stats().unwrap();
+        assert!(s.constant);
+        assert_eq!((s.min, s.max, s.samples), (9.0, 9.0, 4));
     }
 
     #[test]

@@ -129,6 +129,19 @@ impl ChunkEncoder {
         Ok(out)
     }
 
+    /// The full run list as row-space spans: `(chunk_id, start_row, len)`
+    /// in row order. This is the scan skeleton for chunk-granular query
+    /// execution — one span per run, each decodable from a single chunk.
+    pub fn spans(&self) -> Vec<(u64, u64, u32)> {
+        let mut out = Vec::with_capacity(self.runs.len());
+        let mut start = 0u64;
+        for (r, &end) in self.runs.iter().zip(&self.ends) {
+            out.push((r.chunk_id, start, r.len));
+            start = end;
+        }
+        out
+    }
+
     /// Re-point one row at a new location (in-place update: the new value
     /// was written into a fresh chunk). Splits the containing run.
     pub fn replace_row(&mut self, row: u64, loc: SampleLocation) -> Result<()> {
@@ -290,6 +303,28 @@ mod tests {
         assert_eq!(spans, vec![(0, 5, 5), (1, 0, 10), (2, 0, 5)]);
         assert_eq!(e.locate_range(0, 0).unwrap(), vec![]);
         assert!(e.locate_range(0, 31).is_err());
+    }
+
+    #[test]
+    fn spans_cover_rows_in_order() {
+        let mut e = ChunkEncoder::new();
+        e.append_run(3, 0, 10);
+        e.append_run(5, 0, 4);
+        assert_eq!(e.spans(), vec![(3, 0, 10), (5, 10, 4)]);
+        e.replace_row(
+            2,
+            SampleLocation {
+                chunk_id: 9,
+                local_index: 0,
+            },
+        )
+        .unwrap();
+        let spans = e.spans();
+        assert_eq!(spans.len(), 4);
+        let total: u64 = spans.iter().map(|&(_, _, n)| n as u64).sum();
+        assert_eq!(total, e.num_rows());
+        assert_eq!(spans[1], (9, 2, 1));
+        assert!(ChunkEncoder::new().spans().is_empty());
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! Per-chunk scalar statistics — the pushdown index for TQL.
+//!
+//! The columnar chunk layout (§3.1, §3.5) exists so queries can skip data
+//! they cannot match. For that the reader needs, *without fetching the
+//! chunk*, a conservative summary of what the chunk holds. We record one
+//! [`ChunkStats`] per sealed chunk whose samples are all single-element
+//! scalars (class labels, numeric metadata columns): the min/max value,
+//! the sample count, and whether every sample equals the same constant.
+//!
+//! Statistics are **optional and conservative**: a chunk without stats —
+//! written by an older version of the library, holding non-scalar samples
+//! (images, boxes, tiles), or fed through the §5 verbatim-copy path — is
+//! simply never pruned. Datasets written before statistics existed open
+//! and query unchanged; the planner just reports zero pruned chunks.
+//!
+//! The [`ChunkStatsIndex`] maps chunk id → stats for one tensor and is
+//! serialized alongside the chunk encoder (`<tensor>/chunk_stats`), so the
+//! whole index loads in one small read when the tensor opens.
+
+use std::collections::BTreeMap;
+
+use crate::consts::STATS_MAGIC;
+use crate::error::FormatError;
+use crate::Result;
+
+/// Conservative summary of the scalar values stored in one chunk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkStats {
+    /// Minimum scalar value across the chunk's samples.
+    pub min: f64,
+    /// Maximum scalar value across the chunk's samples.
+    pub max: f64,
+    /// Number of samples the stats cover (every sample in the chunk).
+    pub samples: u64,
+    /// Whether every sample holds the same value (`min == max`).
+    pub constant: bool,
+}
+
+impl ChunkStats {
+    /// Stats for a single scalar value.
+    pub fn single(value: f64) -> Option<Self> {
+        if value.is_nan() {
+            return None;
+        }
+        Some(ChunkStats {
+            min: value,
+            max: value,
+            samples: 1,
+            constant: true,
+        })
+    }
+
+    /// Merge two summaries into one covering both chunks' rows.
+    pub fn merge(&self, other: &ChunkStats) -> ChunkStats {
+        ChunkStats {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            samples: self.samples + other.samples,
+            constant: self.constant && other.constant && self.min == other.min,
+        }
+    }
+}
+
+/// Incremental accumulator used by the chunk builder while a chunk is
+/// open. A non-scalar or NaN sample invalidates the whole chunk's stats
+/// (conservative: the chunk will never be pruned).
+#[derive(Debug, Clone, Copy)]
+pub struct StatsAccumulator {
+    min: f64,
+    max: f64,
+    samples: u64,
+    valid: bool,
+}
+
+impl Default for StatsAccumulator {
+    fn default() -> Self {
+        StatsAccumulator {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            samples: 0,
+            valid: true,
+        }
+    }
+}
+
+impl StatsAccumulator {
+    /// Fresh accumulator for a new open chunk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe one appended sample: `Some(v)` for a single-element scalar,
+    /// `None` for anything whose value the writer cannot (cheaply) know.
+    pub fn observe(&mut self, scalar: Option<f64>) {
+        self.samples += 1;
+        match scalar {
+            Some(v) if !v.is_nan() => {
+                self.min = self.min.min(v);
+                self.max = self.max.max(v);
+            }
+            _ => self.valid = false,
+        }
+    }
+
+    /// Finish the chunk: stats if every sample was an observable scalar.
+    pub fn finish(&self) -> Option<ChunkStats> {
+        if !self.valid || self.samples == 0 {
+            return None;
+        }
+        Some(ChunkStats {
+            min: self.min,
+            max: self.max,
+            samples: self.samples,
+            constant: self.min == self.max,
+        })
+    }
+}
+
+/// Chunk id → stats for one tensor.
+///
+/// Sparse by design: only chunks with valid scalar stats appear. Lookups
+/// for absent chunks return `None`, which readers treat as "cannot
+/// prune".
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChunkStatsIndex {
+    map: BTreeMap<u64, ChunkStats>,
+}
+
+impl ChunkStatsIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of chunks with recorded stats.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no chunk has stats.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Record stats for a chunk (replacing any previous entry).
+    pub fn insert(&mut self, chunk_id: u64, stats: ChunkStats) {
+        self.map.insert(chunk_id, stats);
+    }
+
+    /// Stats for a chunk, if recorded.
+    pub fn get(&self, chunk_id: u64) -> Option<ChunkStats> {
+        self.map.get(&chunk_id).copied()
+    }
+
+    /// Drop every entry (used when a re-chunking pass rewrites the
+    /// layout from scratch).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Merge the stats of several chunks; `None` if any chunk lacks stats.
+    pub fn merge_all(&self, chunk_ids: impl IntoIterator<Item = u64>) -> Option<ChunkStats> {
+        let mut acc: Option<ChunkStats> = None;
+        for id in chunk_ids {
+            let s = self.get(id)?;
+            acc = Some(match acc {
+                None => s,
+                Some(a) => a.merge(&s),
+            });
+        }
+        acc
+    }
+
+    /// Serialize: `[magic][n u64] n × [chunk_id u64][min f64][max f64][samples u64][constant u8]`.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.map.len() * 33);
+        out.extend_from_slice(&STATS_MAGIC);
+        out.extend_from_slice(&(self.map.len() as u64).to_le_bytes());
+        for (id, s) in &self.map {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&s.min.to_le_bytes());
+            out.extend_from_slice(&s.max.to_le_bytes());
+            out.extend_from_slice(&s.samples.to_le_bytes());
+            out.push(s.constant as u8);
+        }
+        out
+    }
+
+    /// Deserialize (inverse of [`ChunkStatsIndex::serialize`]).
+    pub fn deserialize(data: &[u8]) -> Result<Self> {
+        if data.len() < 12 || data[..4] != STATS_MAGIC {
+            return Err(FormatError::Corrupt("bad chunk stats magic".into()));
+        }
+        let n = u64::from_le_bytes(data[4..12].try_into().unwrap()) as usize;
+        if data.len() != 12 + n * 33 {
+            return Err(FormatError::Corrupt("chunk stats length mismatch".into()));
+        }
+        let mut index = ChunkStatsIndex::new();
+        let mut pos = 12;
+        for _ in 0..n {
+            let id = u64::from_le_bytes(data[pos..pos + 8].try_into().unwrap());
+            let min = f64::from_le_bytes(data[pos + 8..pos + 16].try_into().unwrap());
+            let max = f64::from_le_bytes(data[pos + 16..pos + 24].try_into().unwrap());
+            let samples = u64::from_le_bytes(data[pos + 24..pos + 32].try_into().unwrap());
+            let constant = data[pos + 32] != 0;
+            index.map.insert(
+                id,
+                ChunkStats {
+                    min,
+                    max,
+                    samples,
+                    constant,
+                },
+            );
+            pos += 33;
+        }
+        Ok(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_tracks_scalars() {
+        let mut acc = StatsAccumulator::new();
+        acc.observe(Some(3.0));
+        acc.observe(Some(-1.0));
+        acc.observe(Some(7.0));
+        let s = acc.finish().unwrap();
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.samples, 3);
+        assert!(!s.constant);
+    }
+
+    #[test]
+    fn accumulator_constant_flag() {
+        let mut acc = StatsAccumulator::new();
+        acc.observe(Some(5.0));
+        acc.observe(Some(5.0));
+        let s = acc.finish().unwrap();
+        assert!(s.constant);
+        assert_eq!((s.min, s.max), (5.0, 5.0));
+    }
+
+    #[test]
+    fn non_scalar_or_nan_invalidates() {
+        let mut acc = StatsAccumulator::new();
+        acc.observe(Some(1.0));
+        acc.observe(None);
+        assert!(acc.finish().is_none());
+
+        let mut acc = StatsAccumulator::new();
+        acc.observe(Some(f64::NAN));
+        assert!(acc.finish().is_none());
+    }
+
+    #[test]
+    fn empty_accumulator_has_no_stats() {
+        assert!(StatsAccumulator::new().finish().is_none());
+    }
+
+    #[test]
+    fn merge_is_conservative() {
+        let a = ChunkStats {
+            min: 1.0,
+            max: 1.0,
+            samples: 4,
+            constant: true,
+        };
+        let b = ChunkStats {
+            min: 1.0,
+            max: 3.0,
+            samples: 2,
+            constant: false,
+        };
+        let m = a.merge(&b);
+        assert_eq!((m.min, m.max, m.samples), (1.0, 3.0, 6));
+        assert!(!m.constant);
+        // two constants of the same value stay constant
+        let m = a.merge(&a);
+        assert!(m.constant);
+        assert_eq!(m.samples, 8);
+        // two constants of different values do not
+        let c = ChunkStats {
+            min: 2.0,
+            max: 2.0,
+            samples: 1,
+            constant: true,
+        };
+        assert!(!a.merge(&c).constant);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let mut idx = ChunkStatsIndex::new();
+        idx.insert(
+            0,
+            ChunkStats {
+                min: 0.0,
+                max: 9.0,
+                samples: 100,
+                constant: false,
+            },
+        );
+        idx.insert(
+            7,
+            ChunkStats {
+                min: -2.5,
+                max: -2.5,
+                samples: 3,
+                constant: true,
+            },
+        );
+        let blob = idx.serialize();
+        let back = ChunkStatsIndex::deserialize(&blob).unwrap();
+        assert_eq!(back, idx);
+        assert_eq!(back.get(7).unwrap().min, -2.5);
+        assert!(back.get(1).is_none());
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        assert!(ChunkStatsIndex::deserialize(b"zz").is_err());
+        let mut blob = ChunkStatsIndex::new().serialize();
+        blob[0] = b'Q';
+        assert!(ChunkStatsIndex::deserialize(&blob).is_err());
+        let mut idx = ChunkStatsIndex::new();
+        idx.insert(1, ChunkStats::single(1.0).unwrap());
+        let mut blob = idx.serialize();
+        blob.pop();
+        assert!(ChunkStatsIndex::deserialize(&blob).is_err());
+    }
+
+    #[test]
+    fn merge_all_requires_full_coverage() {
+        let mut idx = ChunkStatsIndex::new();
+        idx.insert(0, ChunkStats::single(1.0).unwrap());
+        idx.insert(1, ChunkStats::single(4.0).unwrap());
+        let m = idx.merge_all([0, 1]).unwrap();
+        assert_eq!((m.min, m.max), (1.0, 4.0));
+        assert!(idx.merge_all([0, 2]).is_none());
+        assert!(idx.merge_all([]).is_none());
+    }
+
+    #[test]
+    fn single_rejects_nan() {
+        assert!(ChunkStats::single(f64::NAN).is_none());
+        assert!(ChunkStats::single(2.0).unwrap().constant);
+    }
+}

@@ -25,3 +25,6 @@ pub const TILE_MAGIC: [u8; 4] = *b"DLTE";
 
 /// Magic bytes identifying a serialized video index.
 pub const VIDEO_MAGIC: [u8; 4] = *b"DLVI";
+
+/// Magic bytes identifying a serialized chunk statistics index.
+pub const STATS_MAGIC: [u8; 4] = *b"DLCS";

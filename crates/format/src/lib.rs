@@ -15,9 +15,15 @@
 //! ```text
 //! <tensor>/meta.json            TensorMeta
 //! <tensor>/chunk_encoder        serialized ChunkEncoder
+//! <tensor>/chunk_stats          serialized ChunkStatsIndex (scalar tensors)
 //! <tensor>/tile_encoder         serialized TileEncoder (only when tiling)
 //! <tensor>/chunks/<chunk-id>    Chunk blobs
 //! ```
+//!
+//! `chunk_stats` records per-chunk min/max/count/constant summaries for
+//! all-scalar chunks — the predicate-pushdown index TQL uses to skip
+//! chunks a filter cannot match. It is optional: stat-less datasets (or
+//! tensors with non-scalar samples) open and query unchanged.
 //!
 //! Chunks are built with lower/upper byte-size bounds around a target
 //! (default 8 MB, §3.5) — the paper's "optimized trade-off between file
@@ -26,6 +32,7 @@
 pub mod chunk;
 pub mod chunk_builder;
 pub mod chunk_encoder;
+pub mod chunk_stats;
 pub mod consts;
 pub mod error;
 pub mod meta;
@@ -35,6 +42,7 @@ pub mod video;
 pub use chunk::{Chunk, SampleRecord};
 pub use chunk_builder::{ChunkBuilder, ChunkSizePolicy, FlushReason};
 pub use chunk_encoder::{ChunkEncoder, SampleLocation};
+pub use chunk_stats::{ChunkStats, ChunkStatsIndex};
 pub use error::FormatError;
 pub use meta::TensorMeta;
 pub use tile_encoder::{TileEncoder, TileLayout};

@@ -40,6 +40,13 @@ pub struct TensorMeta {
     /// written on one branch never shadows another's.
     #[serde(default)]
     pub next_chunk_id: u64,
+    /// Whether the writer records per-chunk scalar statistics (the TQL
+    /// pushdown index). Defaults to `false` on deserialization so
+    /// datasets written before statistics existed keep their stat-less
+    /// layout — pruning is silently disabled for them; new tensors
+    /// default to `true`.
+    #[serde(default)]
+    pub chunk_stats: bool,
 }
 
 fn default_chunk_target() -> u64 {
@@ -75,6 +82,7 @@ impl TensorMeta {
             derived_from: None,
             chunk_target_bytes: default_chunk_target(),
             next_chunk_id: 0,
+            chunk_stats: true,
         }
     }
 
@@ -161,5 +169,24 @@ mod tests {
     #[test]
     fn from_json_rejects_garbage() {
         assert!(TensorMeta::from_json(b"{not json").is_err());
+    }
+
+    #[test]
+    fn pre_statistics_metadata_opens_with_stats_off() {
+        // a meta.json written before chunk statistics existed has no
+        // `chunk_stats` field: it must deserialize with the flag off
+        let m = TensorMeta::new("labels", Htype::ClassLabel, None);
+        assert!(m.chunk_stats, "new tensors record stats");
+        let blob = String::from_utf8(m.to_json().unwrap()).unwrap();
+        let legacy: String = blob
+            .lines()
+            .filter(|l| !l.contains("chunk_stats"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        // drop the dangling comma the removed field leaves behind
+        let legacy = legacy.replace(",\n}", "\n}");
+        let back = TensorMeta::from_json(legacy.as_bytes()).unwrap();
+        assert!(!back.chunk_stats, "legacy metadata keeps stats disabled");
+        assert_eq!(back.name, m.name);
     }
 }

@@ -100,6 +100,15 @@ impl LoaderBuilder {
         self
     }
 
+    /// Stream a [`DatasetView`](deeplake_core::DatasetView)'s rows — the
+    /// §4.4–4.5 path where a (possibly chunk-pruned) query result feeds
+    /// straight into training. Only the view's row indices are taken;
+    /// the loader streams them from *its own* dataset handle, which must
+    /// be positioned at the same version the view was computed at.
+    pub fn view(self, view: &deeplake_core::DatasetView<'_>) -> Self {
+        self.indices(view.indices().to_vec())
+    }
+
     /// Rows per batch.
     pub fn batch_size(mut self, n: usize) -> Self {
         self.config.batch_size = n.max(1);

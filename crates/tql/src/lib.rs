@@ -14,12 +14,35 @@
 //! ARRANGE BY labels
 //! ```
 //!
-//! Pipeline: [`lexer`] → [`parser`] → [`plan`] (logical plan + the
-//! column-pruning optimization) → [`exec`] (parallel row evaluation over
-//! worker threads). Query results are index [`views`](deeplake_core::view)
-//! that stream to the dataloader or materialize (§4.5); `AT VERSION`
-//! queries run against historical commits (§4.4: "TQL allows querying data
-//! on specific versions").
+//! Pipeline: [`lexer`] → [`parser`] → [`plan`] (a physical plan: per-stage
+//! column sets plus the filter lowered onto chunk statistics) → [`exec`]
+//! (a chunk-granular pipeline over worker threads). Query results are
+//! index [`views`](deeplake_core::view) that stream to the dataloader or
+//! materialize (§4.5); `AT VERSION` queries run against historical
+//! commits (§4.4: "TQL allows querying data on specific versions").
+//!
+//! ## Predicate pushdown
+//!
+//! The write path records per-chunk min/max/count/constant statistics
+//! for all-scalar tensors (class labels, numeric metadata). At query
+//! time the filter is analyzed into a tri-state [`PruneExpr`]; the
+//! executor walks the driving column's chunk spans and, per span,
+//! decides from statistics alone whether the span can be **pruned** (no
+//! row can match — zero I/O), **matched whole** (every row matches —
+//! zero I/O), or must be **scanned** (one batched storage call fetches
+//! the span's chunks, each decoded once and evaluated across its rows).
+//! Anything the analyzer cannot bound — arbitrary expressions, text
+//! columns, stat-less legacy datasets — scans exactly like before, so
+//! pruned execution is always result-identical to a naive full scan.
+//! [`QueryResult::stats`] reports `chunks_pruned` / `chunks_matched` /
+//! `chunks_scanned` / `round_trips`:
+//!
+//! ```text
+//! let r = query(&ds, "SELECT * FROM d WHERE labels = 3")?;
+//! assert!(r.stats.chunks_pruned > 0);   // chunks skipped without I/O
+//! assert!(r.stats.round_trips < r.stats.chunks_pruned
+//!         + r.stats.chunks_scanned);    // batched fetches, not per-chunk
+//! ```
 
 pub mod ast;
 pub mod error;
@@ -32,7 +55,8 @@ pub mod value;
 
 pub use ast::{Expr, Query};
 pub use error::TqlError;
-pub use exec::{execute, QueryOptions, QueryResult};
+pub use exec::{execute, QueryOptions, QueryResult, QueryStats};
+pub use plan::{Plan, PruneExpr};
 pub use value::Value;
 
 /// Crate-wide result alias.

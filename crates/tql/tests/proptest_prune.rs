@@ -1,0 +1,157 @@
+//! Property test: chunk-statistics pruned execution is result-identical
+//! to the naive row-at-a-time full scan — same indices, same order, same
+//! projected rows — over randomized datasets and generated queries.
+
+use std::sync::Arc;
+
+use deeplake_core::dataset::{Dataset, TensorOptions};
+use deeplake_storage::MemoryProvider;
+use deeplake_tensor::{Htype, Sample};
+use deeplake_tql::{execute, parser, QueryOptions};
+use proptest::prelude::*;
+
+/// Dataset with a scalar `labels` tensor (small chunks so queries span
+/// many of them), a scalar `score` tensor, and a small image tensor —
+/// flushed or not, optionally with in-place updates fragmenting runs.
+fn build_dataset(labels: &[i32], updates: &[(usize, i32)], flush: bool) -> Dataset {
+    let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "prop").unwrap();
+    ds.create_tensor_opts("labels", {
+        let mut o = TensorOptions::new(Htype::ClassLabel);
+        o.chunk_target_bytes = Some(40); // a handful of rows per chunk
+        o
+    })
+    .unwrap();
+    ds.create_tensor_opts("score", {
+        let mut o = TensorOptions::new(Htype::Generic);
+        o.dtype = Some(deeplake_tensor::Dtype::F64);
+        o.chunk_target_bytes = Some(64);
+        o
+    })
+    .unwrap();
+    ds.create_tensor_opts("images", {
+        let mut o = TensorOptions::new(Htype::Image);
+        o.sample_compression = Some(deeplake_codec::Compression::None);
+        o.chunk_target_bytes = Some(256);
+        o
+    })
+    .unwrap();
+    for (i, &label) in labels.iter().enumerate() {
+        ds.append_row(vec![
+            ("labels", Sample::scalar(label)),
+            ("score", Sample::scalar(label as f64 * 1.5 - i as f64 % 3.0)),
+            (
+                "images",
+                Sample::from_slice([4, 4, 3], &[(i % 251) as u8; 48]).unwrap(),
+            ),
+        ])
+        .unwrap();
+    }
+    for &(row, value) in updates {
+        if (row as u64) < ds.len() {
+            ds.update("labels", row as u64, &Sample::scalar(value))
+                .unwrap();
+        }
+    }
+    if flush {
+        ds.flush().unwrap();
+    }
+    ds
+}
+
+fn assert_equivalent(ds: &Dataset, text: &str) {
+    let q = parser::parse(text).unwrap();
+    let naive = execute(
+        ds,
+        &q,
+        &QueryOptions {
+            workers: 3,
+            pruning: false,
+        },
+    );
+    let pruned = execute(
+        ds,
+        &q,
+        &QueryOptions {
+            workers: 3,
+            pruning: true,
+        },
+    );
+    match (naive, pruned) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.indices, b.indices, "indices diverged for {text:?}");
+            assert_eq!(a.columns, b.columns);
+            assert_eq!(a.rows, b.rows, "projected rows diverged for {text:?}");
+        }
+        (Err(_), Err(_)) => {} // both error: equally acceptable
+        (a, b) => panic!(
+            "pruned/naive disagreed on success for {text:?}: naive ok={}, pruned ok={}",
+            a.is_ok(),
+            b.is_ok()
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pruned_equals_naive_over_random_queries(
+        labels in proptest::collection::vec(0i32..10, 1..120),
+        updates in proptest::collection::vec((0usize..120, 0i32..10), 0..4),
+        flush in any::<bool>(),
+        column in proptest::sample::select(vec!["labels", "score"]),
+        op in proptest::sample::select(vec!["=", "!=", "<", "<=", ">", ">="]),
+        threshold in 0i32..10,
+        combine in proptest::sample::select(vec!["", "AND", "OR", "NOT"]),
+        second_op in proptest::sample::select(vec!["<", ">="]),
+        second_threshold in 0i32..10,
+        order in proptest::sample::select(vec!["", "ORDER BY labels", "ORDER BY score DESC"]),
+        limit in proptest::sample::select(vec!["", "LIMIT 5", "LIMIT 7 OFFSET 3"]),
+    ) {
+        let ds = build_dataset(&labels, &updates, flush);
+        let clause = match combine {
+            "AND" | "OR" => format!(
+                "{column} {op} {threshold} {combine} labels {second_op} {second_threshold}"
+            ),
+            "NOT" => format!("NOT {column} {op} {threshold}"),
+            _ => format!("{column} {op} {threshold}"),
+        };
+        let query = format!("SELECT * FROM d WHERE {clause} {order} {limit}");
+        assert_equivalent(&ds, &query);
+    }
+
+    #[test]
+    fn pruned_equals_naive_on_projections(
+        labels in proptest::collection::vec(0i32..6, 1..60),
+        threshold in 0i32..6,
+    ) {
+        let ds = build_dataset(&labels, &[], true);
+        assert_equivalent(
+            &ds,
+            &format!("SELECT labels * 2 + 1 AS s FROM d WHERE labels < {threshold}"),
+        );
+        // opaque filters (function calls) must also agree
+        assert_equivalent(
+            &ds,
+            &format!("SELECT labels AS l FROM d WHERE CONTAINS(labels, {threshold}) ORDER BY MEAN(images)"),
+        );
+    }
+
+    #[test]
+    fn pruned_equals_naive_at_version(
+        labels in proptest::collection::vec(0i32..5, 2..40),
+        extra in proptest::collection::vec(0i32..5, 1..10),
+        threshold in 0i32..5,
+    ) {
+        let mut ds = build_dataset(&labels, &[], true);
+        let commit = ds.commit("base").unwrap();
+        for &l in &extra {
+            ds.append_row(vec![("labels", Sample::scalar(l))]).unwrap();
+        }
+        ds.flush().unwrap();
+        assert_equivalent(
+            &ds,
+            &format!("SELECT * FROM d AT VERSION \"{commit}\" WHERE labels = {threshold}"),
+        );
+    }
+}

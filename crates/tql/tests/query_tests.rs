@@ -211,7 +211,11 @@ fn single_worker_matches_parallel() {
     let q =
         deeplake_tql::parser::parse("SELECT * FROM d WHERE labels % 2 = 0 ORDER BY labels DESC")
             .unwrap();
-    let seq = deeplake_tql::execute(&ds, &q, &deeplake_tql::QueryOptions { workers: 1 }).unwrap();
-    let par = deeplake_tql::execute(&ds, &q, &deeplake_tql::QueryOptions { workers: 8 }).unwrap();
+    let opts = |workers| deeplake_tql::QueryOptions {
+        workers,
+        ..Default::default()
+    };
+    let seq = deeplake_tql::execute(&ds, &q, &opts(1)).unwrap();
+    let par = deeplake_tql::execute(&ds, &q, &opts(8)).unwrap();
     assert_eq!(seq.indices, par.indices);
 }

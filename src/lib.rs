@@ -66,6 +66,32 @@
 //! assert_eq!(outcome.fetches, 1); // one backend fetch served both
 //! ```
 //!
+//! ## Chunk-statistics predicate pushdown
+//!
+//! Scalar tensors record per-chunk min/max/constant statistics at write
+//! time; TQL lowers `WHERE` clauses onto them and skips chunks (and the
+//! storage round trips behind them) that provably cannot match, while
+//! staying result-identical to a naive scan:
+//!
+//! ```
+//! use deeplake::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "p").unwrap();
+//! ds.create_tensor_opts("labels", {
+//!     let mut o = TensorOptions::new(Htype::ClassLabel);
+//!     o.chunk_target_bytes = Some(64); // small chunks for the demo
+//!     o
+//! }).unwrap();
+//! for i in 0..100u64 {
+//!     ds.append_row(vec![("labels", Sample::scalar((i / 10) as i32))]).unwrap();
+//! }
+//! ds.flush().unwrap();
+//! let r = deeplake::tql::query(&ds, "SELECT * FROM p WHERE labels = 3").unwrap();
+//! assert_eq!(r.len(), 10);
+//! assert!(r.stats.chunks_pruned > 0); // most chunks never fetched
+//! ```
+//!
 //! See the crate-level docs of each member for the subsystem details:
 //! [`tensor`], [`codec`], [`storage`], [`format`], [`core`], [`tql`],
 //! [`loader`], [`baselines`], [`sim`], [`viz`].

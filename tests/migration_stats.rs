@@ -1,0 +1,109 @@
+//! Back-compat migration: datasets written before chunk statistics
+//! existed — no `chunk_stats` files, no `chunk_stats` field in meta.json
+//! — must open, query correctly, and simply report zero pruned chunks.
+
+use std::sync::Arc;
+
+use deeplake::prelude::*;
+
+/// Build a dataset with the current writer, then strip every trace of
+/// chunk statistics from storage, exactly as an old writer would have
+/// left it.
+fn legacy_dataset() -> DynProvider {
+    let provider: DynProvider = Arc::new(MemoryProvider::new());
+    {
+        let mut ds = Dataset::create(provider.clone(), "legacy").unwrap();
+        ds.create_tensor_opts("labels", {
+            let mut o = TensorOptions::new(Htype::ClassLabel);
+            o.chunk_target_bytes = Some(64); // many small chunks
+            o
+        })
+        .unwrap();
+        ds.create_tensor_opts("images", {
+            let mut o = TensorOptions::new(Htype::Image);
+            o.sample_compression = Some(Compression::None);
+            o
+        })
+        .unwrap();
+        for i in 0..100u64 {
+            ds.append_row(vec![
+                ("labels", Sample::scalar((i / 10) as i32)),
+                (
+                    "images",
+                    Sample::from_slice([4, 4, 3], &[i as u8; 48]).unwrap(),
+                ),
+            ])
+            .unwrap();
+        }
+        ds.flush().unwrap();
+    }
+    // erase the statistics index files
+    for key in provider.list("").unwrap() {
+        if key.ends_with("/chunk_stats") {
+            provider.delete(&key).unwrap();
+        }
+    }
+    // rewrite each meta.json without the chunk_stats field (old writers
+    // never emitted it)
+    for key in provider.list("").unwrap() {
+        if key.ends_with("/meta.json") {
+            let text = String::from_utf8(provider.get(&key).unwrap().to_vec()).unwrap();
+            let stripped: String = text
+                .lines()
+                .filter(|l| !l.contains("chunk_stats"))
+                .collect::<Vec<_>>()
+                .join("\n")
+                .replace(",\n}", "\n}");
+            assert_ne!(stripped, text, "fixture must actually strip the field");
+            provider.put(&key, bytes::Bytes::from(stripped)).unwrap();
+        }
+    }
+    provider
+}
+
+#[test]
+fn legacy_dataset_opens_and_queries_without_pruning() {
+    let provider = legacy_dataset();
+    let ds = Dataset::open(provider).unwrap();
+    assert_eq!(ds.len(), 100);
+    assert!(
+        !ds.tensor_meta("labels").unwrap().chunk_stats,
+        "stripped metadata must deserialize with statistics off"
+    );
+
+    // point reads and full rows still work
+    assert_eq!(ds.get("labels", 55).unwrap().get_f64(0).unwrap(), 5.0);
+    assert_eq!(ds.get("images", 7).unwrap().shape().dims(), &[4, 4, 3]);
+
+    // a selective query returns correct results with pruning silently
+    // disabled: zero pruned, zero matched-whole, everything scanned
+    let r = deeplake_tql::query(&ds, "SELECT * FROM d WHERE labels = 5").unwrap();
+    assert_eq!(r.indices, (50..60).collect::<Vec<u64>>());
+    assert_eq!(r.stats.chunks_pruned, 0, "no stats, nothing to prune");
+    assert_eq!(r.stats.chunks_matched, 0);
+    assert!(r.stats.chunks_scanned > 0, "every span scanned the old way");
+}
+
+#[test]
+fn legacy_dataset_stays_stat_less_across_writes() {
+    let provider = legacy_dataset();
+    let mut ds = Dataset::open(provider.clone()).unwrap();
+    // appending through a new writer must not start half-covering the
+    // tensor with stats: the meta flag keeps the layout legacy-identical
+    for i in 0..20u64 {
+        ds.append_row(vec![("labels", Sample::scalar((10 + i / 10) as i32))])
+            .unwrap();
+    }
+    ds.flush().unwrap();
+    assert!(provider
+        .list("")
+        .unwrap()
+        .iter()
+        .all(|k| !k.ends_with("/chunk_stats")));
+
+    let reopened = Dataset::open(provider).unwrap();
+    assert_eq!(reopened.len(), 120);
+    let r = deeplake_tql::query(&reopened, "SELECT * FROM d WHERE labels = 11").unwrap();
+    assert_eq!(r.indices, (110..120).collect::<Vec<u64>>());
+    assert_eq!(r.stats.chunks_pruned, 0);
+}

@@ -1,0 +1,97 @@
+//! Vector similarity search: exact flat top-k vs IVF index-probed top-k
+//! at 10k and 100k rows, dim 128 — the candidate-pruning payoff of the
+//! `crates/index` subsystem measured end to end through TQL.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deeplake_core::dataset::{Dataset, TensorOptions};
+use deeplake_core::IndexSpec;
+use deeplake_storage::MemoryProvider;
+use deeplake_tensor::{Htype, Sample};
+use deeplake_tql::{execute, parser, QueryOptions};
+use std::sync::Arc;
+
+const DIM: usize = 128;
+const CLUSTERS: u64 = 32;
+
+/// `rows` embeddings in `CLUSTERS` blobs, grouped by blob, plus an IVF
+/// index over them.
+fn dataset(rows: u64) -> Dataset {
+    let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "vecbench").unwrap();
+    ds.create_tensor_opts("emb", {
+        let mut o = TensorOptions::new(Htype::Embedding);
+        o.chunk_target_bytes = Some(64 << 10);
+        o
+    })
+    .unwrap();
+    let per = rows / CLUSTERS;
+    let mut v = vec![0.0f32; DIM];
+    for i in 0..rows {
+        let c = (i / per.max(1)).min(CLUSTERS - 1) as f32;
+        v[0] = c * 30.0;
+        v[1] = c * 30.0 + (i % 13) as f32 * 0.01;
+        v[2] = (i % 7) as f32 * 0.05;
+        v[DIM - 1] = 1.0;
+        ds.append_row(vec![("emb", Sample::from_slice([DIM as u64], &v).unwrap())])
+            .unwrap();
+    }
+    ds.flush().unwrap();
+    ds.build_vector_index(
+        "emb",
+        &IndexSpec {
+            nlist: Some(CLUSTERS as usize),
+            ..IndexSpec::default()
+        },
+    )
+    .unwrap();
+    ds
+}
+
+fn query_text() -> String {
+    let mut q = vec![0.0f64; DIM];
+    q[0] = 210.0; // dead-center of cluster 7
+    q[1] = 210.0;
+    q[DIM - 1] = 1.0;
+    let parts: Vec<String> = q.iter().map(|x| format!("{x}")).collect();
+    format!(
+        "SELECT * FROM d ORDER BY L2_DISTANCE(emb, [{}]) LIMIT 10",
+        parts.join(", ")
+    )
+}
+
+fn bench_scale(c: &mut Criterion, rows: u64, tag: &str) {
+    let ds = dataset(rows);
+    let q = parser::parse(&query_text()).unwrap();
+    let mut group = c.benchmark_group("vector_search");
+    group.sample_size(10);
+    group.bench_function(format!("flat_top10_{tag}"), |b| {
+        b.iter(|| {
+            let r = execute(&ds, &q, &QueryOptions::default()).unwrap();
+            assert_eq!(r.len(), 10);
+        })
+    });
+    group.bench_function(format!("ivf_top10_{tag}"), |b| {
+        b.iter(|| {
+            let r = execute(
+                &ds,
+                &q,
+                &QueryOptions {
+                    ann: true,
+                    nprobe: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(r.len(), 10);
+            assert!(r.stats.clusters_probed > 0);
+        })
+    });
+    group.finish();
+}
+
+fn bench_vector_search(c: &mut Criterion) {
+    bench_scale(c, 10_000, "10k");
+    bench_scale(c, 100_000, "100k");
+}
+
+criterion_group!(benches, bench_vector_search);
+criterion_main!(benches);

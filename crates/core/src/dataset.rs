@@ -7,8 +7,10 @@ use std::sync::Arc;
 use bytes::Bytes;
 use deeplake_codec::Compression;
 use deeplake_format::TensorMeta;
+use deeplake_index::{IndexKind, IndexSpec, VectorIndex};
 use deeplake_storage::{DynProvider, PrefixProvider, ReadPlan, StorageProvider};
 use deeplake_tensor::{Dtype, Htype, Sample};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
@@ -103,6 +105,21 @@ impl PrefetchedChunks {
     }
 }
 
+/// What [`Dataset::build_vector_index`] built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexBuildReport {
+    /// Indexed tensor.
+    pub tensor: String,
+    /// Rows covered by the index.
+    pub rows: u64,
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Structure built.
+    pub kind: IndexKind,
+    /// IVF cluster count (0 for flat).
+    pub clusters: usize,
+}
+
 /// A Deep Lake dataset handle.
 ///
 /// Reads take `&self` and are safe to share across loader threads; all
@@ -115,6 +132,10 @@ pub struct Dataset {
     head: String,
     read_only: bool,
     tensors: BTreeMap<String, TensorStore>,
+    /// Per-tensor vector index memo: `Some(idx)` = loaded, `None` =
+    /// known absent/stale. Entries drop on any mutation that can
+    /// invalidate them and on checkout.
+    vindex_cache: Mutex<HashMap<String, Option<Arc<VectorIndex>>>>,
 }
 
 fn now_ms() -> u64 {
@@ -143,6 +164,7 @@ impl Dataset {
             head,
             read_only: false,
             tensors: BTreeMap::new(),
+            vindex_cache: Mutex::new(HashMap::new()),
         };
         let meta = DatasetMeta {
             name: ds.name.clone(),
@@ -183,6 +205,7 @@ impl Dataset {
             head,
             read_only,
             tensors: BTreeMap::new(),
+            vindex_cache: Mutex::new(HashMap::new()),
         };
         ds.load_tensors()?;
         Ok(ds)
@@ -190,6 +213,7 @@ impl Dataset {
 
     fn load_tensors(&mut self) -> Result<()> {
         self.tensors.clear();
+        self.vindex_cache.lock().clear();
         let chain = self.tree.chain(&self.head)?;
         let schema = self.load_schema(&chain)?;
         for tensor in schema.tensors {
@@ -549,6 +573,111 @@ impl Dataset {
         Ok(self.store(tensor)?.chunk_spans())
     }
 
+    // ------------------------------------------------------------------
+    // vector (embedding) search index
+    // ------------------------------------------------------------------
+
+    /// Build (or rebuild) a vector similarity index over `tensor` and
+    /// persist it under the tensor's `vector_index/` key family in the
+    /// HEAD version. The tensor must hold fixed-shape rank-1 `F32`/`F64`
+    /// vectors in every row.
+    ///
+    /// The index covers the rows present at build time; later appends
+    /// leave it valid (consumers exact-scan the unindexed tail), while
+    /// in-place updates and re-chunking tombstone it so it can never
+    /// serve wrong rows — rebuild after such mutations to regain the
+    /// approximate path.
+    pub fn build_vector_index(
+        &mut self,
+        tensor: &str,
+        spec: &IndexSpec,
+    ) -> Result<IndexBuildReport> {
+        self.ensure_writable()?;
+        let meta = self.tensor_meta(tensor)?;
+        if !matches!(meta.dtype, Dtype::F32 | Dtype::F64) {
+            return Err(CoreError::Index(deeplake_index::IndexError::Unsupported(
+                format!("tensor {tensor:?} has dtype {:?}, need F32/F64", meta.dtype),
+            )));
+        }
+        if meta.length == 0 {
+            return Err(CoreError::Index(deeplake_index::IndexError::Unsupported(
+                format!("tensor {tensor:?} has no rows to index"),
+            )));
+        }
+        if !meta.is_uniform() || meta.max_shape.rank() != 1 || meta.max_shape.dims()[0] == 0 {
+            return Err(CoreError::Index(deeplake_index::IndexError::Unsupported(
+                format!(
+                    "tensor {tensor:?} is not fixed-shape rank-1 (shapes {:?}..{:?})",
+                    meta.min_shape, meta.max_shape
+                ),
+            )));
+        }
+        let dim = meta.max_shape.dims()[0] as usize;
+        let n = self.store(tensor)?.len();
+
+        // batched read of every vector: block-prefetch the chunks, decode
+        // each once, flatten to f32
+        let tensors = [tensor.to_string()];
+        let mut vectors: Vec<f32> = Vec::with_capacity(n as usize * dim);
+        const BLOCK: u64 = 1024;
+        let mut start = 0u64;
+        while start < n {
+            let rows: Vec<u64> = (start..(start + BLOCK).min(n)).collect();
+            let prefetched = self.prefetch_chunks(&tensors, &rows)?;
+            for &row in &rows {
+                let sample = prefetched.get(self, tensor, row)?;
+                let values = sample.to_f64_vec();
+                if values.len() != dim {
+                    return Err(CoreError::Index(deeplake_index::IndexError::Unsupported(
+                        format!(
+                            "row {row} of {tensor:?} has {} elements, expected {dim}",
+                            values.len()
+                        ),
+                    )));
+                }
+                vectors.extend(values.iter().map(|&v| v as f32));
+            }
+            start += BLOCK;
+        }
+
+        let index = VectorIndex::build(&vectors, dim, spec)?;
+        let report = IndexBuildReport {
+            tensor: tensor.to_string(),
+            rows: index.rows(),
+            dim,
+            kind: index.kind(),
+            clusters: match &index {
+                VectorIndex::Ivf(ivf) => ivf.nlist(),
+                VectorIndex::Flat { .. } => 0,
+            },
+        };
+        let shared = Arc::new(index);
+        self.store_mut(tensor)?.save_vector_index(&shared)?;
+        self.vindex_cache
+            .lock()
+            .insert(tensor.to_string(), Some(shared));
+        Ok(report)
+    }
+
+    /// The tensor's vector index, if a valid one is resolvable through
+    /// the version chain (`None` when never built, tombstoned by an
+    /// update/re-chunk, unreadable, or the dataset predates the
+    /// `vector_index/` key family). Loaded once per handle and memoized.
+    pub fn vector_index(&self, tensor: &str) -> Option<Arc<VectorIndex>> {
+        if let Some(cached) = self.vindex_cache.lock().get(tensor) {
+            return cached.clone();
+        }
+        let loaded = self
+            .tensors
+            .get(tensor)
+            .and_then(|store| store.load_vector_index().ok().flatten())
+            .map(Arc::new);
+        self.vindex_cache
+            .lock()
+            .insert(tensor.to_string(), loaded.clone());
+        loaded
+    }
+
     /// Stable sample id of a row.
     pub fn sample_id(&self, row: u64) -> Result<u64> {
         let s = self.store(ID_TENSOR)?.get(row)?;
@@ -562,6 +691,7 @@ impl Dataset {
         if tensor == ID_TENSOR {
             return Err(CoreError::Corrupt("sample ids are immutable".into()));
         }
+        self.vindex_cache.lock().remove(tensor);
         self.store_mut(tensor)?.update(row, sample)
     }
 
@@ -571,6 +701,7 @@ impl Dataset {
     /// `(tensor, before, after)` for each re-chunked tensor.
     pub fn optimize(&mut self, threshold: f64) -> Result<Vec<(String, f64, f64)>> {
         self.ensure_writable()?;
+        self.vindex_cache.lock().clear();
         let mut out = Vec::new();
         let names: Vec<String> = self.tensors.keys().cloned().collect();
         for name in names {
@@ -732,6 +863,7 @@ impl Dataset {
     /// the base) resolve per `policy`.
     pub fn merge(&mut self, branch: &str, policy: MergePolicy) -> Result<MergeReport> {
         self.ensure_writable()?;
+        self.vindex_cache.lock().clear();
         self.flush()?;
         let other_tip = self.tree.resolve(branch)?;
         let base = self.tree.lca(&self.head, &other_tip)?;
@@ -1137,5 +1269,112 @@ mod tests {
         let mut ds = basic();
         append_n(&mut ds, 1, 0);
         assert!(ds.update(ID_TENSOR, 0, &Sample::scalar(1u64)).is_err());
+    }
+
+    fn embedding_ds(n: u64) -> Dataset {
+        let mut ds = Dataset::create(mem(), "emb").unwrap();
+        ds.create_tensor("emb", Htype::Embedding, None).unwrap();
+        for i in 0..n {
+            let v = [(i % 4) as f32 * 10.0, i as f32 * 0.01];
+            ds.append_row(vec![("emb", Sample::from_slice([2], &v).unwrap())])
+                .unwrap();
+        }
+        ds.flush().unwrap();
+        ds
+    }
+
+    #[test]
+    fn build_vector_index_and_reload() {
+        let mut ds = embedding_ds(32);
+        let report = ds
+            .build_vector_index(
+                "emb",
+                &IndexSpec {
+                    nlist: Some(4),
+                    ..IndexSpec::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(report.rows, 32);
+        assert_eq!(report.dim, 2);
+        assert_eq!(report.kind, IndexKind::Ivf);
+        assert_eq!(report.clusters, 4);
+        let idx = ds.vector_index("emb").expect("cached");
+        assert_eq!(idx.rows(), 32);
+        // a fresh handle resolves the persisted index through storage
+        ds.flush().unwrap();
+        let reopened = Dataset::open(ds.provider()).unwrap();
+        let idx = reopened.vector_index("emb").expect("persisted");
+        assert_eq!(idx.dim(), 2);
+    }
+
+    #[test]
+    fn build_vector_index_rejects_unsuitable_tensors() {
+        let mut ds = basic();
+        append_n(&mut ds, 3, 0);
+        // wrong dtype (u8 images), wrong rank
+        assert!(matches!(
+            ds.build_vector_index("images", &IndexSpec::default()),
+            Err(CoreError::Index(_))
+        ));
+        // unknown tensor
+        assert!(ds
+            .build_vector_index("ghost", &IndexSpec::default())
+            .is_err());
+        // empty tensor
+        let mut ds = Dataset::create(mem(), "empty").unwrap();
+        ds.create_tensor("emb", Htype::Embedding, None).unwrap();
+        assert!(matches!(
+            ds.build_vector_index("emb", &IndexSpec::default()),
+            Err(CoreError::Index(_))
+        ));
+        // ragged shapes
+        let mut ds = Dataset::create(mem(), "ragged").unwrap();
+        ds.create_tensor("emb", Htype::Embedding, None).unwrap();
+        ds.append_row(vec![(
+            "emb",
+            Sample::from_slice([2], &[1.0f32, 2.0]).unwrap(),
+        )])
+        .unwrap();
+        ds.append_row(vec![(
+            "emb",
+            Sample::from_slice([3], &[1.0f32, 2.0, 3.0]).unwrap(),
+        )])
+        .unwrap();
+        assert!(matches!(
+            ds.build_vector_index("emb", &IndexSpec::default()),
+            Err(CoreError::Index(_))
+        ));
+    }
+
+    #[test]
+    fn update_invalidates_vector_index_commit_keeps_it() {
+        let mut ds = embedding_ds(16);
+        ds.build_vector_index("emb", &IndexSpec::default()).unwrap();
+        assert!(ds.vector_index("emb").is_some());
+        ds.commit("indexed").unwrap();
+        assert!(ds.vector_index("emb").is_some(), "commit keeps the index");
+        ds.update("emb", 0, &Sample::from_slice([2], &[9.0f32, 9.0]).unwrap())
+            .unwrap();
+        assert!(ds.vector_index("emb").is_none(), "update tombstones it");
+        // the tombstone survives flush + reopen
+        ds.flush().unwrap();
+        let reopened = Dataset::open(ds.provider()).unwrap();
+        assert!(reopened.vector_index("emb").is_none());
+        // rebuild clears the tombstone
+        let mut ds = Dataset::open(reopened.provider()).unwrap();
+        ds.build_vector_index("emb", &IndexSpec::default()).unwrap();
+        assert!(ds.vector_index("emb").is_some());
+    }
+
+    #[test]
+    fn build_vector_index_requires_writable_head() {
+        let mut ds = embedding_ds(8);
+        let c = ds.commit("sealed").unwrap();
+        ds.checkout(&c).unwrap();
+        assert!(matches!(
+            ds.build_vector_index("emb", &IndexSpec::default()),
+            Err(CoreError::ReadOnlyVersion)
+        ));
     }
 }

@@ -44,6 +44,8 @@ pub enum CoreError {
     Tensor(TensorError),
     /// Codec failure.
     Codec(CodecError),
+    /// Vector index failure.
+    Index(deeplake_index::IndexError),
     /// Metadata JSON failure.
     Json(String),
 }
@@ -73,6 +75,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Format(e) => write!(f, "format error: {e}"),
             CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
             CoreError::Codec(e) => write!(f, "codec error: {e}"),
+            CoreError::Index(e) => write!(f, "vector index error: {e}"),
             CoreError::Json(msg) => write!(f, "json error: {msg}"),
         }
     }
@@ -98,6 +101,11 @@ impl From<TensorError> for CoreError {
 impl From<CodecError> for CoreError {
     fn from(e: CodecError) -> Self {
         CoreError::Codec(e)
+    }
+}
+impl From<deeplake_index::IndexError> for CoreError {
+    fn from(e: deeplake_index::IndexError) -> Self {
+        CoreError::Index(e)
     }
 }
 impl From<serde_json::Error> for CoreError {

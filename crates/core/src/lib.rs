@@ -36,7 +36,7 @@ pub mod transform;
 pub mod version;
 pub mod view;
 
-pub use dataset::{Dataset, PrefetchedChunks};
+pub use dataset::{Dataset, IndexBuildReport, PrefetchedChunks};
 pub use error::CoreError;
 pub use row::Row;
 pub use view::DatasetView;
@@ -44,6 +44,10 @@ pub use view::DatasetView;
 // Re-exported for layers (query planning, streaming) that reason about
 // chunks without depending on the format crate directly.
 pub use deeplake_format::{Chunk, ChunkStats};
+
+// Re-exported so consumers configure and probe vector indexes without a
+// direct dependency on the index crate.
+pub use deeplake_index::{IndexKind, IndexSpec, Metric, VectorIndex};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

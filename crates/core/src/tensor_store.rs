@@ -16,6 +16,7 @@ use deeplake_format::{
     Chunk, ChunkBuilder, ChunkEncoder, ChunkSizePolicy, ChunkStats, ChunkStatsIndex, FlushReason,
     SampleLocation, TensorMeta, TileEncoder, TileLayout,
 };
+use deeplake_index::{VectorIndex, VECTOR_INDEX_KEY, VECTOR_INDEX_STALE_KEY};
 use deeplake_storage::{PrefixProvider, StorageProvider};
 use deeplake_tensor::{Htype, Sample};
 use parking_lot::Mutex;
@@ -72,6 +73,10 @@ pub struct TensorStore {
     /// Small decoded-chunk cache (keyed by chunk id) giving each loader
     /// worker read locality without thrashing across threads.
     chunk_memo: Mutex<Vec<(u64, Arc<Chunk>)>>,
+    /// Whether this handle already invalidated (or verified the absence
+    /// of) the tensor's vector index — makes repeated updates write at
+    /// most one tombstone.
+    vector_index_invalidated: bool,
     dirty: bool,
 }
 
@@ -100,6 +105,7 @@ impl TensorStore {
             }],
             diff: CommitDiff::new(),
             chunk_memo: Mutex::new(Vec::new()),
+            vector_index_invalidated: false,
             dirty: true,
         };
         Ok(store)
@@ -145,6 +151,7 @@ impl TensorStore {
             chain: dirs,
             diff,
             chunk_memo: Mutex::new(Vec::new()),
+            vector_index_invalidated: false,
             dirty: false,
         })
     }
@@ -290,6 +297,7 @@ impl TensorStore {
                 },
             ));
         }
+        self.invalidate_vector_index()?;
         // rows still in the open chunk get sealed first so the encoder owns them
         if row >= self.encoder.num_rows() {
             self.seal_open_chunk()?;
@@ -432,6 +440,84 @@ impl TensorStore {
     /// Number of chunks with recorded statistics.
     pub fn stats_coverage(&self) -> usize {
         self.stats.len()
+    }
+
+    /// Load the tensor's vector (embedding) index, resolving through the
+    /// version chain: the most recent version that wrote either the
+    /// index or a stale tombstone decides. Returns `None` for tensors
+    /// that never built one, whose index was invalidated by an in-place
+    /// update or re-chunk, or datasets written before the
+    /// `vector_index/` key family existed.
+    pub fn load_vector_index(&self) -> Result<Option<VectorIndex>> {
+        for dir in &self.chain {
+            // a storage error probing the tombstone means "unknown":
+            // treated as stale, mirroring the write path's conservatism
+            // — never resolve an ancestor index past a tombstone we
+            // could not rule out
+            match dir.provider.exists(VECTOR_INDEX_STALE_KEY) {
+                Ok(false) => {}
+                Ok(true) | Err(_) => return Ok(None),
+            }
+            if let Ok(data) = dir.provider.get(VECTOR_INDEX_KEY) {
+                let index = VectorIndex::deserialize(&data)
+                    .map_err(|e| CoreError::Corrupt(format!("vector index: {e}")))?;
+                return Ok(Some(index));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Persist a freshly built vector index into the HEAD version
+    /// (clearing any stale tombstone there).
+    pub fn save_vector_index(&mut self, index: &VectorIndex) -> Result<()> {
+        let head = &self.chain[0].provider;
+        head.put(VECTOR_INDEX_KEY, Bytes::from(index.serialize()))?;
+        head.delete(VECTOR_INDEX_STALE_KEY)?;
+        self.vector_index_invalidated = false;
+        Ok(())
+    }
+
+    /// Invalidate the tensor's vector index: called by every mutation
+    /// that can change the value behind an already-indexed row (in-place
+    /// update, re-chunk). Deletes the HEAD copy and writes a tombstone
+    /// so an index persisted in an *ancestor* version directory cannot
+    /// be resolved either; a stale index can never serve wrong rows.
+    /// Appends don't invalidate — indexed rows keep their values and the
+    /// consumer exact-scans the unindexed tail.
+    fn invalidate_vector_index(&mut self) -> Result<()> {
+        if self.vector_index_invalidated {
+            return Ok(());
+        }
+        // decide whether a tombstone is needed; a storage error while
+        // probing means "unknown", which must count as "an index might
+        // exist" — skipping on error could leave a stale index live
+        let mut must_tombstone = false;
+        'walk: for dir in &self.chain {
+            match dir.provider.exists(VECTOR_INDEX_STALE_KEY) {
+                Ok(true) => break 'walk, // already tombstoned this recently
+                Ok(false) => {}
+                Err(_) => {
+                    must_tombstone = true;
+                    break 'walk;
+                }
+            }
+            match dir.provider.exists(VECTOR_INDEX_KEY) {
+                Ok(true) | Err(_) => {
+                    must_tombstone = true;
+                    break 'walk;
+                }
+                Ok(false) => {}
+            }
+        }
+        if must_tombstone {
+            let head = &self.chain[0].provider;
+            head.delete(VECTOR_INDEX_KEY)?;
+            head.put(VECTOR_INDEX_STALE_KEY, Bytes::from_static(b"1"))?;
+        }
+        // memoized only on success: a failed tombstone write (the `?`
+        // above) leaves the flag clear so the next mutation retries
+        self.vector_index_invalidated = true;
+        Ok(())
     }
 
     /// Conservative scalar summary of rows `[start, end)`, or `None` when
@@ -607,6 +693,7 @@ impl TensorStore {
     /// fragmentation_after)`. Old chunks stay in their version
     /// directories, so history remains readable.
     pub fn rechunk(&mut self) -> Result<(f64, f64)> {
+        self.invalidate_vector_index()?;
         self.seal_open_chunk()?;
         let before = self.fragmentation();
         let rows = self.encoder.num_rows();

@@ -28,3 +28,9 @@ pub const VIDEO_MAGIC: [u8; 4] = *b"DLVI";
 
 /// Magic bytes identifying a serialized chunk statistics index.
 pub const STATS_MAGIC: [u8; 4] = *b"DLCS";
+
+/// Magic bytes identifying a serialized vector (embedding) index.
+pub const VECTOR_INDEX_MAGIC: [u8; 4] = *b"DLVX";
+
+/// Vector index serialization format version.
+pub const VECTOR_INDEX_VERSION: u8 = 1;

@@ -1,0 +1,33 @@
+//! Vector index error type.
+
+/// Errors from building, serializing, or probing a vector index.
+#[derive(Debug)]
+pub enum IndexError {
+    /// The tensor's data cannot back a vector index (wrong dtype, ragged
+    /// shapes, wrong rank, no rows).
+    Unsupported(String),
+    /// A serialized index failed to deserialize.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::Unsupported(msg) => write!(f, "unsupported index input: {msg}"),
+            IndexError::Corrupt(msg) => write!(f, "corrupt vector index: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_non_empty() {
+        assert!(!IndexError::Unsupported("x".into()).to_string().is_empty());
+        assert!(!IndexError::Corrupt("y".into()).to_string().is_empty());
+    }
+}

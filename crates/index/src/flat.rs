@@ -1,0 +1,140 @@
+//! Exact flat scanner: brute-force top-k over every vector.
+//!
+//! The self-contained reference implementation for consumers holding
+//! vectors in memory (and for this crate's own recall measurements) —
+//! no training, no serialized structure, perfect recall. Note: the TQL
+//! executor's exact path does *not* call this; it re-ranks through the
+//! query engine's row evaluator so its ordering contract (stable sort,
+//! DESC reversal) matches the naive sort stage. This module's contract
+//! is its own: closest first, ties toward the smaller row id in both
+//! directions, NaN scores last.
+
+use crate::metric::Metric;
+
+/// One scored row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scored {
+    /// Row id.
+    pub row: u64,
+    /// Metric score (similarity or distance, per the metric).
+    pub score: f64,
+}
+
+/// Exact top-k: score every `(row, vector)` against `query` and keep the
+/// `k` closest, best first; ties break toward the smaller row id. Rows
+/// whose vector length differs from the query's are skipped (the caller
+/// decides whether that is an error — TQL surfaces it per row).
+pub fn top_k<'a>(
+    items: impl IntoIterator<Item = (u64, &'a [f64])>,
+    query: &[f64],
+    metric: Metric,
+    k: usize,
+) -> Vec<Scored> {
+    let mut scored: Vec<Scored> = items
+        .into_iter()
+        .filter(|(_, v)| v.len() == query.len())
+        .map(|(row, v)| Scored {
+            row,
+            score: metric.score(v, query),
+        })
+        .collect();
+    sort_closest_first(&mut scored, metric);
+    scored.truncate(k);
+    scored
+}
+
+/// Sort scored rows closest-first under `metric`, ties toward smaller
+/// row ids; NaN scores sort last.
+pub fn sort_closest_first(scored: &mut [Scored], metric: Metric) {
+    scored.sort_by(|a, b| {
+        let cmp = match (a.score.is_nan(), b.score.is_nan()) {
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => std::cmp::Ordering::Greater,
+            (false, true) => std::cmp::Ordering::Less,
+            (false, false) => {
+                let o = a.score.partial_cmp(&b.score).unwrap();
+                if metric.higher_is_closer() {
+                    o.reverse()
+                } else {
+                    o
+                }
+            }
+        };
+        cmp.then(a.row.cmp(&b.row))
+    });
+}
+
+/// Recall@k of `got` against the exact `expected` top-k: the fraction of
+/// expected rows present in `got`.
+pub fn recall(expected: &[Scored], got: &[Scored]) -> f64 {
+    if expected.is_empty() {
+        return 1.0;
+    }
+    let hits = expected
+        .iter()
+        .filter(|e| got.iter().any(|g| g.row == e.row))
+        .count();
+    hits as f64 / expected.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(vectors: &[Vec<f64>]) -> Vec<(u64, &[f64])> {
+        vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u64, v.as_slice()))
+            .collect()
+    }
+
+    #[test]
+    fn l2_top_k_orders_by_distance() {
+        let vs = vec![vec![5.0], vec![1.0], vec![3.0], vec![0.5]];
+        let top = top_k(items(&vs), &[0.0], Metric::L2, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].row, 3);
+        assert_eq!(top[1].row, 1);
+    }
+
+    #[test]
+    fn cosine_top_k_orders_by_similarity() {
+        let vs = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![-1.0, 0.0],
+        ];
+        let top = top_k(items(&vs), &[1.0, 0.0], Metric::Cosine, 3);
+        assert_eq!(top[0].row, 0); // identical direction
+        assert_eq!(top[1].row, 2); // 45 degrees
+        assert_eq!(top[2].row, 1); // orthogonal
+    }
+
+    #[test]
+    fn ties_break_toward_smaller_row() {
+        let vs = vec![vec![2.0], vec![2.0], vec![2.0]];
+        let top = top_k(items(&vs), &[0.0], Metric::L2, 2);
+        assert_eq!(top[0].row, 0);
+        assert_eq!(top[1].row, 1);
+    }
+
+    #[test]
+    fn mismatched_lengths_skipped() {
+        let a = vec![1.0, 2.0];
+        let b = vec![1.0];
+        let list: Vec<(u64, &[f64])> = vec![(0, a.as_slice()), (1, b.as_slice())];
+        let top = top_k(list, &[0.0, 0.0], Metric::L2, 5);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].row, 0);
+    }
+
+    #[test]
+    fn recall_fraction() {
+        let exp = [Scored { row: 1, score: 0.0 }, Scored { row: 2, score: 0.0 }];
+        let got = [Scored { row: 2, score: 0.0 }, Scored { row: 9, score: 0.0 }];
+        assert_eq!(recall(&exp, &got), 0.5);
+        assert_eq!(recall(&[], &got), 1.0);
+    }
+}

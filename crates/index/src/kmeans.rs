@@ -1,0 +1,174 @@
+//! Deterministic Lloyd's k-means over flat `f32` vector arrays — the IVF
+//! index's training step.
+//!
+//! Small and self-contained on purpose: centroids are trained once per
+//! index build over a bounded sample, so an O(sample × k × dim) loop per
+//! iteration is plenty. Seeded through the deterministic PRNG so the same
+//! data always produces the same index.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Index of the centroid nearest to `v` under squared L2.
+pub fn nearest_centroid(v: &[f32], centroids: &[f32], dim: usize) -> usize {
+    let k = centroids.len() / dim;
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for c in 0..k {
+        let centroid = &centroids[c * dim..(c + 1) * dim];
+        let mut d = 0.0f64;
+        for (&x, &y) in v.iter().zip(centroid) {
+            let diff = (x - y) as f64;
+            d += diff * diff;
+        }
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Train `k` centroids over `n` vectors of `dim` floats (`vectors.len()
+/// == n * dim`), running `iters` Lloyd iterations. `k` is clamped to `n`;
+/// empty clusters re-seed from a deterministic pick of the data.
+pub fn train(vectors: &[f32], dim: usize, n: usize, k: usize, iters: usize, seed: u64) -> Vec<f32> {
+    assert_eq!(vectors.len(), n * dim, "flat vector array shape mismatch");
+    assert!(n > 0 && dim > 0, "k-means needs data");
+    let k = k.clamp(1, n);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // farthest-point init (k-center greedy): a random first pick, then
+    // each next centroid is the row farthest from its nearest chosen one
+    // — deterministic and robust for well-separated clusters, where pure
+    // random picks can seed two centroids inside one blob.
+    let sq_dist = |a: &[f32], b: &[f32]| -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| {
+                let d = (x - y) as f64;
+                d * d
+            })
+            .sum()
+    };
+    let first = rng.random_range(0..n);
+    let mut centroids: Vec<f32> = vectors[first * dim..(first + 1) * dim].to_vec();
+    let mut nearest_sq: Vec<f64> = (0..n)
+        .map(|i| sq_dist(&vectors[i * dim..(i + 1) * dim], &centroids[..dim]))
+        .collect();
+    while centroids.len() < k * dim {
+        let far = nearest_sq
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let picked = &vectors[far * dim..(far + 1) * dim];
+        centroids.extend_from_slice(picked);
+        for (i, slot) in nearest_sq.iter_mut().enumerate() {
+            let d = sq_dist(&vectors[i * dim..(i + 1) * dim], picked);
+            if d < *slot {
+                *slot = d;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for _ in 0..iters {
+        // assign
+        for (i, slot) in assignment.iter_mut().enumerate() {
+            *slot = nearest_centroid(&vectors[i * dim..(i + 1) * dim], &centroids, dim);
+        }
+        // recompute means for non-empty clusters
+        let mut sums = vec![0.0f64; k * dim];
+        let mut counts = vec![0u64; k];
+        for (i, &c) in assignment.iter().enumerate() {
+            counts[c] += 1;
+            for d in 0..dim {
+                sums[c * dim + d] += vectors[i * dim + d] as f64;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for d in 0..dim {
+                    centroids[c * dim + d] = (sums[c * dim + d] / counts[c] as f64) as f32;
+                }
+            }
+        }
+        // re-seed empty clusters: each steals the row farthest from its
+        // (freshly updated) centroid among donors that can spare one.
+        // Every stolen row is used at most once per iteration, so two
+        // empty clusters can never end up with duplicate centroids.
+        let mut stolen: Vec<usize> = Vec::new();
+        for c in 0..k {
+            if counts[c] > 0 {
+                continue;
+            }
+            let mut pick: Option<(usize, f64)> = None;
+            for (i, &a) in assignment.iter().enumerate() {
+                if counts[a] <= 1 || stolen.contains(&i) {
+                    continue;
+                }
+                let d = sq_dist(
+                    &vectors[i * dim..(i + 1) * dim],
+                    &centroids[a * dim..(a + 1) * dim],
+                );
+                if pick.map(|(_, best)| d > best).unwrap_or(true) {
+                    pick = Some((i, d));
+                }
+            }
+            // no eligible donor (every cluster holds <= 1 row): the
+            // centroid keeps its previous position
+            if let Some((i, _)) = pick {
+                counts[assignment[i]] -= 1;
+                stolen.push(i);
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(&vectors[i * dim..(i + 1) * dim]);
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated 1-D blobs must end up with one centroid each.
+    #[test]
+    fn separates_two_blobs() {
+        let mut vectors = Vec::new();
+        for i in 0..10 {
+            vectors.push(i as f32 * 0.01); // blob around 0
+        }
+        for i in 0..10 {
+            vectors.push(100.0 + i as f32 * 0.01); // blob around 100
+        }
+        let centroids = train(&vectors, 1, 20, 2, 10, 42);
+        let mut cs = [centroids[0], centroids[1]];
+        cs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(cs[0] < 1.0, "low blob centroid: {}", cs[0]);
+        assert!(cs[1] > 99.0, "high blob centroid: {}", cs[1]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let vectors: Vec<f32> = (0..64).map(|i| (i % 7) as f32).collect();
+        let a = train(&vectors, 2, 32, 4, 5, 7);
+        let b = train(&vectors, 2, 32, 4, 5, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let vectors = [1.0f32, 2.0];
+        let centroids = train(&vectors, 1, 2, 16, 3, 0);
+        assert_eq!(centroids.len(), 2);
+    }
+
+    #[test]
+    fn nearest_is_nearest() {
+        let centroids = [0.0f32, 0.0, 10.0, 10.0];
+        assert_eq!(nearest_centroid(&[1.0, 1.0], &centroids, 2), 0);
+        assert_eq!(nearest_centroid(&[9.0, 9.0], &centroids, 2), 1);
+    }
+}

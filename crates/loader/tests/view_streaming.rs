@@ -78,6 +78,63 @@ fn pruned_query_view_streams_batched() {
     );
 }
 
+/// A top-k similarity result streams through `LoaderBuilder::view()` in
+/// result (similarity) order — the §4.4–4.5 consumption path for the
+/// vector search subsystem.
+#[test]
+fn top_k_query_view_streams_in_result_order() {
+    let backing = Arc::new(MemoryProvider::new());
+    {
+        let mut ds = Dataset::create(backing.clone(), "topk").unwrap();
+        ds.create_tensor_opts("emb", {
+            let mut o = TensorOptions::new(deeplake_tensor::Htype::Embedding);
+            o.chunk_target_bytes = Some(256);
+            o
+        })
+        .unwrap();
+        ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+        for i in 0..100u64 {
+            // row i sits at distance |i - 40| from the query point
+            let v = [i as f32, 0.0];
+            ds.append_row(vec![
+                ("emb", Sample::from_slice([2], &v).unwrap()),
+                ("labels", Sample::scalar(i as i32)),
+            ])
+            .unwrap();
+        }
+        ds.flush().unwrap();
+    }
+    let ds = Arc::new(Dataset::open(backing).unwrap());
+    let result = deeplake_tql::query(
+        &ds,
+        "SELECT * FROM d ORDER BY L2_DISTANCE(emb, [40, 0]) LIMIT 5",
+    )
+    .unwrap();
+    assert_eq!(result.indices, vec![40, 39, 41, 38, 42]);
+    let view = result.view(&ds);
+
+    let streamed: Vec<i32> = DataLoader::builder(ds.clone())
+        .view(&view)
+        .batch_size(2)
+        .num_workers(2)
+        .build()
+        .unwrap()
+        .epoch()
+        .flat_map(|b| {
+            let b = b.unwrap();
+            let col = b.column("labels").unwrap();
+            (0..col.len())
+                .map(|i| col.get(i).unwrap().get_f64(0).unwrap() as i32)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    assert_eq!(
+        streamed,
+        vec![40, 39, 41, 38, 42],
+        "loader preserves similarity order"
+    );
+}
+
 #[test]
 fn view_builder_matches_indices_builder() {
     let backing = Arc::new(MemoryProvider::new());

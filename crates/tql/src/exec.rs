@@ -41,7 +41,7 @@ use parking_lot::Mutex;
 use crate::ast::{BinOp, Expr, Query, SortDir};
 use crate::error::TqlError;
 use crate::functions;
-use crate::plan::{plan, Plan};
+use crate::plan::{plan, Plan, TopKPlan};
 use crate::value::Value;
 use crate::Result;
 
@@ -52,8 +52,24 @@ pub struct QueryOptions {
     pub workers: usize,
     /// Chunk-statistics predicate pushdown (on by default). Off forces
     /// the naive row-at-a-time full scan — kept as the reference
-    /// implementation pruned execution must match exactly.
+    /// implementation pruned execution must match exactly. Also gates
+    /// the physical top-k similarity operator and the `LIMIT`
+    /// short-circuit, so `pruning: false` is *the* naive reference for
+    /// every optimized path.
     pub pruning: bool,
+    /// Approximate nearest-neighbor execution for top-k similarity
+    /// queries (off by default). On, the executor probes the column's
+    /// IVF vector index for candidate rows and exact-re-ranks only
+    /// those; recall is governed by `nprobe`. Silently falls back to
+    /// the exact flat scan when no valid index exists (never built,
+    /// invalidated by updates, dimension mismatch, or a dataset written
+    /// before the index key family existed) and when the sort direction
+    /// asks for the *farthest* rows, which an index probe cannot answer.
+    pub ann: bool,
+    /// Clusters to probe per ANN query; higher = better recall, more
+    /// chunks fetched. `nprobe >= nlist` degrades to the exact scan's
+    /// candidate set.
+    pub nprobe: usize,
 }
 
 impl Default for QueryOptions {
@@ -61,6 +77,8 @@ impl Default for QueryOptions {
         QueryOptions {
             workers: 4,
             pruning: true,
+            ann: false,
+            nprobe: 4,
         }
     }
 }
@@ -87,6 +105,13 @@ pub struct QueryStats {
     /// worker task, and spans served from already-decoded chunks cost
     /// none.
     pub round_trips: u64,
+    /// IVF clusters probed by the top-k similarity operator (0 unless an
+    /// ANN query actually used an index).
+    pub clusters_probed: u64,
+    /// Candidate rows the top-k operator exact-re-ranked — every row for
+    /// the flat path, the probed clusters' union (plus any unindexed
+    /// tail) for ANN.
+    pub candidates_reranked: u64,
 }
 
 /// The result of executing a query.
@@ -140,6 +165,8 @@ struct StatsAcc {
     chunks_pruned: AtomicU64,
     chunks_matched: AtomicU64,
     round_trips: AtomicU64,
+    clusters_probed: AtomicU64,
+    candidates_reranked: AtomicU64,
 }
 
 impl StatsAcc {
@@ -149,6 +176,8 @@ impl StatsAcc {
             chunks_pruned: self.chunks_pruned.load(Ordering::Relaxed),
             chunks_matched: self.chunks_matched.load(Ordering::Relaxed),
             round_trips: self.round_trips.load(Ordering::Relaxed),
+            clusters_probed: self.clusters_probed.load(Ordering::Relaxed),
+            candidates_reranked: self.candidates_reranked.load(Ordering::Relaxed),
         }
     }
 }
@@ -192,39 +221,77 @@ pub fn execute(ds: &Dataset, query: &Query, opts: &QueryOptions) -> Result<Query
     let workers = opts.workers.max(1);
     let stats = StatsAcc::default();
 
-    // -------- filter stage (parallel, chunk-granular) --------
-    let mut selected: Vec<u64> = match &query.filter {
-        None => (0..n).collect(),
-        Some(filter) => filter_stage(ds, filter, &plan, n, workers, opts.pruning, &stats)?,
-    };
+    // -------- physical top-k similarity operator --------
+    //
+    // `ORDER BY <similarity>(col, [..]) LIMIT k` (no filter/arrange)
+    // bypasses the generic sort: candidates (index-probed under `ann`,
+    // every row otherwise) are scored through the same row evaluator in
+    // chunk-span tasks with one batched fetch each, and only the best
+    // `LIMIT + OFFSET` survive. Gated on `pruning` so `pruning: false`
+    // stays the byte-identical naive reference; an unknown column falls
+    // through so the generic path reports the error exactly as before.
+    let top_k = plan
+        .top_k
+        .as_ref()
+        .filter(|tk| opts.pruning && ds.tensor_meta(&tk.column).is_ok());
 
-    // -------- order stage --------
-    if let Some((key_expr, dir)) = &query.order_by {
-        let keys = eval_keys(ds, &selected, workers, key_expr, &plan, &stats)?;
-        let mut paired: Vec<(Scalar, u64)> =
-            keys.into_iter().zip(selected.iter().copied()).collect();
-        paired.sort_by(|a, b| a.0.order_cmp(&b.0));
-        if *dir == SortDir::Desc {
-            paired.reverse();
-        }
-        selected = paired.into_iter().map(|(_, r)| r).collect();
-    }
+    let mut selected: Vec<u64>;
+    if let Some(tk) = top_k {
+        let (key_expr, dir) = query.order_by.as_ref().expect("top-k implies ORDER BY");
+        selected = topk_stage(ds, key_expr, *dir, tk, &plan, opts, workers, &stats)?;
+    } else {
+        // -------- filter stage (parallel, chunk-granular) --------
+        // `LIMIT k` with no ORDER BY / ARRANGE BY lets the span scan
+        // stop at the k-th match instead of scanning everything
+        let stop_after = if query.order_by.is_none() && query.arrange_by.is_none() && opts.pruning {
+            query
+                .limit
+                .map(|l| l.saturating_add(query.offset.unwrap_or(0)))
+        } else {
+            None
+        };
+        selected = match &query.filter {
+            None => (0..n).collect(),
+            Some(filter) => filter_stage(
+                ds,
+                filter,
+                &plan,
+                n,
+                workers,
+                opts.pruning,
+                stop_after,
+                &stats,
+            )?,
+        };
 
-    // -------- arrange stage: group rows by key, groups ordered by first
-    // appearance (Fig. 5's ARRANGE BY labels) --------
-    if let Some(key_expr) = &query.arrange_by {
-        let keys = eval_keys(ds, &selected, workers, key_expr, &plan, &stats)?;
-        let mut groups: Vec<(Scalar, Vec<u64>)> = Vec::new();
-        for (key, row) in keys.into_iter().zip(selected.iter().copied()) {
-            match groups
-                .iter_mut()
-                .find(|(k, _)| k.order_cmp(&key) == std::cmp::Ordering::Equal)
-            {
-                Some((_, bucket)) => bucket.push(row),
-                None => groups.push((key, vec![row])),
+        // -------- order stage --------
+        if let Some((key_expr, dir)) = &query.order_by {
+            let keys = eval_keys(ds, &selected, workers, key_expr, &plan, &stats)?;
+            let mut paired: Vec<(Scalar, u64)> =
+                keys.into_iter().zip(selected.iter().copied()).collect();
+            paired.sort_by(|a, b| a.0.order_cmp(&b.0));
+            if *dir == SortDir::Desc {
+                paired.reverse();
             }
+            selected = paired.into_iter().map(|(_, r)| r).collect();
         }
-        selected = groups.into_iter().flat_map(|(_, rows)| rows).collect();
+
+        // -------- arrange stage: group rows by key, groups ordered by
+        // first appearance (Fig. 5's ARRANGE BY labels) --------
+        if let Some(key_expr) = &query.arrange_by {
+            let keys = eval_keys(ds, &selected, workers, key_expr, &plan, &stats)?;
+            let mut groups: Vec<(Scalar, Vec<u64>)> = Vec::new();
+            for (key, row) in keys.into_iter().zip(selected.iter().copied()) {
+                match groups
+                    .iter_mut()
+                    .find(|(k, _)| k.order_cmp(&key) == std::cmp::Ordering::Equal)
+                {
+                    Some((_, bucket)) => bucket.push(row),
+                    None => groups.push((key, vec![row])),
+                }
+            }
+            selected = groups.into_iter().flat_map(|(_, rows)| rows).collect();
+        }
     }
 
     // -------- window stage --------
@@ -299,7 +366,17 @@ fn span_stats(
 ///    *all* its spans' chunks through one batched call, decoding each
 ///    chunk once, and evaluating the predicate across its rows.
 ///
+/// `stop_after` (set for `LIMIT k` queries with no ORDER BY / ARRANGE
+/// BY) short-circuits phase 2: spans are scanned **in row order**, in
+/// smaller task increments, and scanning stops as soon as the decided
+/// contiguous prefix of spans holds `k` matching rows — the window stage
+/// truncates inside that prefix, so results are identical while the
+/// spans past the k-th match never fetch. Like statistics pruning, the
+/// skipped spans' storage faults or evaluation errors go unnoticed where
+/// the naive scan would have surfaced them.
+///
 /// Returns kept row indices ascending.
+#[allow(clippy::too_many_arguments)]
 fn filter_stage(
     ds: &Dataset,
     filter: &Expr,
@@ -307,6 +384,7 @@ fn filter_stage(
     n: u64,
     workers: usize,
     pruning: bool,
+    stop_after: Option<u64>,
     stats: &StatsAcc,
 ) -> Result<Vec<u64>> {
     // The driving column partitions the row space into chunk spans.
@@ -327,24 +405,13 @@ fn filter_stage(
         return Ok((0..n).filter(|&r| keep[r as usize]).collect());
     };
 
-    let mut spans = ds.chunk_spans(driving)?;
-    // clamp to the dataset's row count and cover any shortfall with an
-    // unprunable tail span (defensive; tensors normally align exactly)
-    spans.retain(|&(_, start, _)| start < n);
-    for s in &mut spans {
-        if s.1 + s.2 > n {
-            s.2 = n - s.1;
-        }
-    }
-    let covered: u64 = spans.iter().map(|&(_, _, len)| len).sum();
-    if covered < n {
-        spans.push((None, covered, n - covered));
-    }
-
+    let spans = clamped_spans(ds, driving, n)?;
     let filter_columns: Vec<String> = plan.filter_columns.iter().cloned().collect();
     let slots: Vec<Mutex<Vec<u64>>> = spans.iter().map(|_| Mutex::new(Vec::new())).collect();
 
     // ---- phase 1: decide spans from statistics alone (no I/O) ----
+    let mut decided: Vec<bool> = vec![false; spans.len()];
+    let mut kept: Vec<u64> = vec![0; spans.len()];
     let mut undecided: Vec<usize> = Vec::new();
     for (i, &(_, start, len)) in spans.iter().enumerate() {
         let end = start + len;
@@ -352,11 +419,14 @@ fn filter_stage(
             Some(false) => {
                 // statistics prove no row matches: the slot stays empty
                 stats.chunks_pruned.fetch_add(1, Ordering::Relaxed);
+                decided[i] = true;
             }
             Some(true) => {
                 // statistics prove every row matches: take the span whole
                 stats.chunks_matched.fetch_add(1, Ordering::Relaxed);
                 *slots[i].lock() = (start..end).collect();
+                decided[i] = true;
+                kept[i] = len;
             }
             None => undecided.push(i),
         }
@@ -367,16 +437,147 @@ fn filter_stage(
     // One batched storage call per task, not per span: fragmented runs
     // and small chunks amortize into a handful of round trips. The caps
     // bound a task's pinned-chunk working set.
-    const TASK_MAX_ROWS: u64 = 4096;
-    const TASK_MAX_SPANS: usize = 64;
+    if let Some(target) = stop_after {
+        // Early-exit scan: task caps start small and double toward the
+        // full batch size, and tasks run in parallel waves that also
+        // grow (1, 2, 4, … up to `workers`), re-checking between waves
+        // whether the decided contiguous prefix of spans already holds
+        // `target` matching rows (later spans' rows would be truncated
+        // by the window stage anyway). An early k-th match fetches
+        // little past the frontier; a late or absent one converges to
+        // the parallel full scan's batching and thread usage.
+        let mut tasks: Vec<Vec<usize>> = Vec::new();
+        {
+            let (mut max_rows, mut max_spans) = (512u64, 8usize);
+            let mut current: Vec<usize> = Vec::new();
+            let mut current_rows = 0u64;
+            for &i in &undecided {
+                let len = spans[i].2;
+                if !current.is_empty()
+                    && (current_rows + len > max_rows || current.len() >= max_spans)
+                {
+                    tasks.push(std::mem::take(&mut current));
+                    current_rows = 0;
+                    max_rows = (max_rows * 2).min(4096);
+                    max_spans = (max_spans * 2).min(64);
+                }
+                current.push(i);
+                current_rows += len;
+            }
+            if !current.is_empty() {
+                tasks.push(current);
+            }
+        }
+        let prefix = |decided: &[bool], kept: &[u64]| -> u64 {
+            decided
+                .iter()
+                .zip(kept)
+                .take_while(|(&d, _)| d)
+                .map(|(_, &k)| k)
+                .sum()
+        };
+        let mut done = 0usize;
+        let mut wave_len = 1usize;
+        while done < tasks.len() {
+            if prefix(&decided, &kept) >= target {
+                break;
+            }
+            let wave = &tasks[done..(done + wave_len).min(tasks.len())];
+            let results: Vec<Mutex<Vec<(usize, u64)>>> =
+                wave.iter().map(|_| Mutex::new(Vec::new())).collect();
+            run_tasks(workers.min(wave.len()), wave.len(), |t| {
+                let counts =
+                    scan_task(ds, filter, &filter_columns, &spans, &wave[t], &slots, stats)?;
+                *results[t].lock() = counts;
+                Ok(())
+            })?;
+            for m in results {
+                for (i, count) in m.into_inner() {
+                    decided[i] = true;
+                    kept[i] = count;
+                }
+            }
+            done += wave.len();
+            wave_len = (wave_len * 2).min(workers.max(1));
+        }
+    } else {
+        let sizes: Vec<u64> = undecided.iter().map(|&i| spans[i].2).collect();
+        let tasks: Vec<Vec<usize>> = group_into_tasks(&sizes, 4096, 64)
+            .into_iter()
+            .map(|task| task.into_iter().map(|j| undecided[j]).collect())
+            .collect();
+        run_tasks(workers, tasks.len(), |t| {
+            scan_task(
+                ds,
+                filter,
+                &filter_columns,
+                &spans,
+                &tasks[t],
+                &slots,
+                stats,
+            )
+            .map(|_| ())
+        })?;
+    }
+    // spans are ascending and disjoint: concatenation is row order
+    Ok(slots.into_iter().flat_map(|m| m.into_inner()).collect())
+}
+
+/// A column's chunk spans clamped to the dataset's `n` rows, with any
+/// shortfall covered by an unprunable tail span (defensive; tensors
+/// normally align exactly) — the span skeleton both scan stages walk.
+fn clamped_spans(ds: &Dataset, column: &str, n: u64) -> Result<Vec<(Option<u64>, u64, u64)>> {
+    let mut spans = ds.chunk_spans(column)?;
+    spans.retain(|&(_, start, _)| start < n);
+    for s in &mut spans {
+        if s.1 + s.2 > n {
+            s.2 = n - s.1;
+        }
+    }
+    let covered: u64 = spans.iter().map(|&(_, _, len)| len).sum();
+    if covered < n {
+        spans.push((None, covered, n - covered));
+    }
+    Ok(spans)
+}
+
+/// Run task indices `0..count` through a scoped worker pool, stopping at
+/// (and returning) the first error — the scan stages' shared dispatch
+/// scaffold.
+fn run_tasks(workers: usize, count: usize, f: impl Fn(usize) -> Result<()> + Sync) -> Result<()> {
+    let error: Mutex<Option<TqlError>> = Mutex::new(None);
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            scope.spawn(|_| loop {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                if t >= count || error.lock().is_some() {
+                    break;
+                }
+                if let Err(e) = f(t) {
+                    *error.lock() = Some(e);
+                    return;
+                }
+            });
+        }
+    })
+    .map_err(|_| TqlError::Type("query worker panicked".into()))?;
+    match error.into_inner() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// The scan stages' shared batching policy: walk per-span row counts in
+/// order, accumulating spans into a task until it would exceed
+/// `max_rows` rows or `max_spans` spans, then flush. Returns tasks of
+/// indices into `sizes`, preserving order.
+fn group_into_tasks(sizes: &[u64], max_rows: u64, max_spans: usize) -> Vec<Vec<usize>> {
     let mut tasks: Vec<Vec<usize>> = Vec::new();
     let mut current: Vec<usize> = Vec::new();
     let mut current_rows = 0u64;
-    for &i in &undecided {
-        let len = spans[i].2;
-        if !current.is_empty()
-            && (current_rows + len > TASK_MAX_ROWS || current.len() >= TASK_MAX_SPANS)
-        {
+    for (i, &len) in sizes.iter().enumerate() {
+        if !current.is_empty() && (current_rows + len > max_rows || current.len() >= max_spans) {
             tasks.push(std::mem::take(&mut current));
             current_rows = 0;
         }
@@ -386,42 +587,13 @@ fn filter_stage(
     if !current.is_empty() {
         tasks.push(current);
     }
-
-    let error: Mutex<Option<TqlError>> = Mutex::new(None);
-    let next = AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let t = next.fetch_add(1, Ordering::Relaxed);
-                if t >= tasks.len() || error.lock().is_some() {
-                    break;
-                }
-                if let Err(e) = scan_task(
-                    ds,
-                    filter,
-                    &filter_columns,
-                    &spans,
-                    &tasks[t],
-                    &slots,
-                    stats,
-                ) {
-                    *error.lock() = Some(e);
-                    return;
-                }
-            });
-        }
-    })
-    .map_err(|_| TqlError::Type("query worker panicked".into()))?;
-    if let Some(e) = error.into_inner() {
-        return Err(e);
-    }
-    // spans are ascending and disjoint: concatenation is row order
-    Ok(slots.into_iter().flat_map(|m| m.into_inner()).collect())
+    tasks
 }
 
 /// Scan one task's spans: one batched fetch for every chunk its rows
 /// need across the filter columns, then per-row evaluation over the
-/// pinned, decoded chunks.
+/// pinned, decoded chunks. Returns `(span index, matching rows)` per
+/// span for the short-circuiting LIMIT scan's progress accounting.
 fn scan_task(
     ds: &Dataset,
     filter: &Expr,
@@ -430,7 +602,7 @@ fn scan_task(
     task: &[usize],
     slots: &[Mutex<Vec<u64>>],
     stats: &StatsAcc,
-) -> Result<()> {
+) -> Result<Vec<(usize, u64)>> {
     let rows: Vec<u64> = task
         .iter()
         .flat_map(|&i| spans[i].1..spans[i].1 + spans[i].2)
@@ -446,6 +618,7 @@ fn scan_task(
         ds,
         pinned: Some(&prefetched),
     };
+    let mut counts = Vec::with_capacity(task.len());
     for &i in task {
         let (_, start, len) = spans[i];
         let mut kept = Vec::new();
@@ -454,9 +627,156 @@ fn scan_task(
                 kept.push(row);
             }
         }
+        counts.push((i, kept.len() as u64));
         *slots[i].lock() = kept;
     }
-    Ok(())
+    Ok(counts)
+}
+
+/// The physical top-k similarity operator (index-probe → candidate chunk
+/// spans → one batched read per worker task → exact re-rank).
+///
+/// Candidates are every row on the exact path, or — under `ann` with a
+/// valid index of matching dimensionality — the probed IVF clusters'
+/// posting-list union plus the exact-scanned unindexed tail (rows
+/// appended after the index was built). Candidate rows group into
+/// chunk-span tasks of the driving column; each task fetches all its
+/// chunks in one batched call and evaluates the *original* ORDER BY key
+/// expression through the shared row evaluator, so scores, type errors,
+/// and tie-breaking are identical to the naive sort stage. The merged
+/// scores order exactly like that stage (stable ascending sort, whole
+/// list reversed for DESC) and truncate to `LIMIT + OFFSET`.
+#[allow(clippy::too_many_arguments)]
+fn topk_stage(
+    ds: &Dataset,
+    key_expr: &Expr,
+    dir: SortDir,
+    tk: &TopKPlan,
+    plan: &Plan,
+    opts: &QueryOptions,
+    workers: usize,
+    stats: &StatsAcc,
+) -> Result<Vec<u64>> {
+    let n = ds.len();
+
+    // candidate rows: IVF probe under `ann`, every row otherwise. The
+    // index only answers "nearest first" — a direction asking for the
+    // FARTHEST rows (L2_DISTANCE DESC, COSINE_SIMILARITY ASC) would
+    // probe exactly the wrong clusters, so it keeps the exact scan.
+    let seeks_nearest = tk.metric.higher_is_closer() == (dir == SortDir::Desc);
+    let mut candidates: Option<Vec<u64>> = None;
+    if opts.ann && seeks_nearest {
+        if let Some(index) = ds.vector_index(&tk.column) {
+            // only a clustered index can narrow the candidate set; a
+            // stored Flat marker is equivalent to the no-index fallback
+            // (and probing it would just materialize every row id)
+            if matches!(index.as_ref(), deeplake_core::VectorIndex::Ivf(_))
+                && index.dim() == tk.query.len()
+            {
+                let probe = index.probe(&tk.query, tk.metric, opts.nprobe.max(1));
+                let mut rows = probe.rows;
+                rows.retain(|&r| r < n);
+                // rows appended after the build are unindexed: exact-scan
+                // them into the candidate set
+                rows.extend(index.rows().min(n)..n);
+                // an underfull probe (degenerate tiny clusters) cannot
+                // fill the result: fall back to the exact scan rather
+                // than silently return fewer than LIMIT rows
+                if rows.len() as u64 >= tk.fetch.min(n) {
+                    stats
+                        .clusters_probed
+                        .fetch_add(probe.clusters_probed as u64, Ordering::Relaxed);
+                    candidates = Some(rows);
+                }
+            }
+        }
+    }
+    let candidates = candidates.unwrap_or_else(|| (0..n).collect());
+    stats
+        .candidates_reranked
+        .fetch_add(candidates.len() as u64, Ordering::Relaxed);
+    if candidates.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    // chunk-span partition of the driving column's row space
+    let spans = clamped_spans(ds, &tk.column, n)?;
+
+    // per-span candidate sublists (spans and candidates both ascending)
+    let mut groups: Vec<Vec<u64>> = Vec::new();
+    let mut ci = 0usize;
+    for &(_, start, len) in &spans {
+        let end = start + len;
+        let from = ci;
+        while ci < candidates.len() && candidates[ci] < end {
+            ci += 1;
+        }
+        if ci > from {
+            groups.push(candidates[from..ci].to_vec());
+        }
+    }
+
+    // group the spans' candidates into worker tasks, one batched fetch each
+    let sizes: Vec<u64> = groups.iter().map(|g| g.len() as u64).collect();
+    let tasks = group_into_tasks(&sizes, 4096, 64);
+
+    let sort_columns: Vec<String> = plan.sort_columns.iter().cloned().collect();
+    let slots: Vec<Mutex<Vec<(Scalar, u64)>>> =
+        groups.iter().map(|_| Mutex::new(Vec::new())).collect();
+    run_tasks(workers, tasks.len(), |t| {
+        let task = &tasks[t];
+        let rows: Vec<u64> = task
+            .iter()
+            .flat_map(|&g| groups[g].iter().copied())
+            .collect();
+        let prefetched = ds.prefetch_chunks(&sort_columns, &rows)?;
+        stats
+            .round_trips
+            .fetch_add(prefetched.round_trips(), Ordering::Relaxed);
+        stats
+            .chunks_scanned
+            .fetch_add(task.len() as u64, Ordering::Relaxed);
+        let ctx = EvalCtx {
+            ds,
+            pinned: Some(&prefetched),
+        };
+        let mut scored: Vec<(Scalar, u64)> =
+            Vec::with_capacity(task.iter().map(|&g| groups[g].len()).sum());
+        for &g in task {
+            for &row in &groups[g] {
+                scored.push((eval_in(&ctx, key_expr, row)?.to_scalar(), row));
+            }
+        }
+        // bounded selection: keep only the task's best `fetch` under
+        // the final total order (key then row, reversed whole for
+        // DESC) — any row dropped here is provably outside the global
+        // top `fetch`, so the merge below stays byte-identical while
+        // memory is O(tasks × fetch) instead of O(candidates)
+        scored.sort_by(|a, b| {
+            let o = a.0.order_cmp(&b.0).then(a.1.cmp(&b.1));
+            if dir == SortDir::Desc {
+                o.reverse()
+            } else {
+                o
+            }
+        });
+        scored.truncate(tk.fetch as usize);
+        // survivors back in ascending row order so the merge's stable
+        // sort breaks ties exactly like the naive stage
+        scored.sort_by_key(|&(_, row)| row);
+        *slots[task[0]].lock() = scored;
+        Ok(())
+    })?;
+
+    // merge in row order, then order exactly like the naive sort stage:
+    // stable ascending sort by key, whole list reversed for DESC
+    let mut paired: Vec<(Scalar, u64)> = slots.into_iter().flat_map(|m| m.into_inner()).collect();
+    paired.sort_by(|a, b| a.0.order_cmp(&b.0));
+    if dir == SortDir::Desc {
+        paired.reverse();
+    }
+    paired.truncate(tk.fetch as usize);
+    Ok(paired.into_iter().map(|(_, r)| r).collect())
 }
 
 /// Evaluate `f` for rows `0..n` in parallel, preserving order — the

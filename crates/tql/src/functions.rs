@@ -2,6 +2,7 @@
 //! to work with arrays, many of which are common operations supported in
 //! NumPy", §4.4).
 
+use deeplake_core::Metric;
 use deeplake_tensor::ops;
 use deeplake_tensor::Sample;
 
@@ -33,6 +34,14 @@ pub fn call(name: &str, args: &[Value], row: u64) -> Result<Value> {
                 boxes,
                 [r[0], r[1], r[2], r[3]],
             )?))
+        }
+        "COSINE_SIMILARITY" => {
+            let (a, b) = vector_pair(name, args)?;
+            Ok(Value::Num(Metric::Cosine.score(&a, &b)))
+        }
+        "L2_DISTANCE" => {
+            let (a, b) = vector_pair(name, args)?;
+            Ok(Value::Num(Metric::L2.score(&a, &b)))
         }
         "MEAN" => Ok(Value::Num(tensor_arg(name, args, 0)?.mean())),
         "SUM" => Ok(Value::Num(tensor_arg(name, args, 0)?.sum())),
@@ -144,6 +153,44 @@ fn two_tensors<'a>(function: &str, args: &'a [Value]) -> Result<(&'a Sample, &'a
         tensor_arg(function, args, 0)?,
         tensor_arg(function, args, 1)?,
     ))
+}
+
+/// Strict argument validation for the similarity functions: exactly two
+/// non-empty numeric vectors of equal length. Violations surface as
+/// typed [`TqlError::BadArguments`] naming the function and the precise
+/// problem, never a generic failure.
+fn vector_pair(function: &str, args: &[Value]) -> Result<(Vec<f64>, Vec<f64>)> {
+    if args.len() != 2 {
+        return Err(TqlError::BadArguments {
+            function: function.to_string(),
+            message: format!(
+                "expects exactly 2 arguments (vector, query vector), got {}",
+                args.len()
+            ),
+        });
+    }
+    let vector = |index: usize| -> Result<Vec<f64>> {
+        match &args[index] {
+            Value::Tensor(t) if !t.is_empty() => Ok(t.to_f64_vec()),
+            Value::Tensor(_) => Err(TqlError::BadArguments {
+                function: function.to_string(),
+                message: format!("argument {index} is an empty tensor"),
+            }),
+            other => Err(TqlError::BadArguments {
+                function: function.to_string(),
+                message: format!("argument {index} must be a numeric vector, got {other:?}"),
+            }),
+        }
+    };
+    let a = vector(0)?;
+    let b = vector(1)?;
+    if a.len() != b.len() {
+        return Err(TqlError::BadArguments {
+            function: function.to_string(),
+            message: format!("vector lengths differ: {} vs {}", a.len(), b.len()),
+        });
+    }
+    Ok((a, b))
 }
 
 #[cfg(test)]
@@ -259,6 +306,80 @@ mod tests {
         assert_ne!(a, c);
         if let Value::Num(v) = a {
             assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn similarity_functions() {
+        let a = Value::Tensor(Sample::from_slice([3], &[1.0f32, 0.0, 0.0]).unwrap());
+        let b = Value::Tensor(Sample::from_slice([3], &[0.0f64, 1.0, 0.0]).unwrap());
+        match call("COSINE_SIMILARITY", &[a.clone(), a.clone()], 0).unwrap() {
+            Value::Num(v) => assert!((v - 1.0).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+        match call("COSINE_SIMILARITY", &[a.clone(), b.clone()], 0).unwrap() {
+            Value::Num(v) => assert!(v.abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            call("L2_DISTANCE", &[a.clone(), b], 0).unwrap(),
+            Value::Num(2.0f64.sqrt())
+        );
+        assert_eq!(
+            call("L2_DISTANCE", &[a.clone(), a], 0).unwrap(),
+            Value::Num(0.0)
+        );
+    }
+
+    #[test]
+    fn similarity_wrong_arity_is_typed_error() {
+        let v = Value::Tensor(Sample::from_slice([2], &[1.0f32, 2.0]).unwrap());
+        for name in ["COSINE_SIMILARITY", "L2_DISTANCE"] {
+            for bad in [
+                vec![],
+                vec![v.clone()],
+                vec![v.clone(), v.clone(), v.clone()],
+            ] {
+                match call(name, &bad, 0) {
+                    Err(TqlError::BadArguments { function, message }) => {
+                        assert_eq!(function, name);
+                        assert!(message.contains("exactly 2"), "message: {message}");
+                    }
+                    other => panic!("expected BadArguments, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_non_numeric_is_typed_error() {
+        let v = Value::Tensor(Sample::from_slice([2], &[1.0f32, 2.0]).unwrap());
+        for bad in [
+            Value::Str("dog".into()),
+            Value::Num(3.0),
+            Value::Bool(true),
+            Value::Null,
+            Value::Tensor(Sample::empty(deeplake_tensor::Dtype::F32)),
+        ] {
+            match call("COSINE_SIMILARITY", &[v.clone(), bad.clone()], 0) {
+                Err(TqlError::BadArguments { function, .. }) => {
+                    assert_eq!(function, "COSINE_SIMILARITY");
+                }
+                other => panic!("expected BadArguments for {bad:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_length_mismatch_is_typed_error() {
+        let a = Value::Tensor(Sample::from_slice([2], &[1.0f32, 2.0]).unwrap());
+        let b = Value::Tensor(Sample::from_slice([3], &[1.0f32, 2.0, 3.0]).unwrap());
+        match call("L2_DISTANCE", &[a, b], 0) {
+            Err(TqlError::BadArguments { function, message }) => {
+                assert_eq!(function, "L2_DISTANCE");
+                assert!(message.contains("lengths differ"), "message: {message}");
+            }
+            other => panic!("expected BadArguments, got {other:?}"),
         }
     }
 

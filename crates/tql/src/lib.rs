@@ -43,6 +43,24 @@
 //! assert!(r.stats.round_trips < r.stats.chunks_pruned
 //!         + r.stats.chunks_scanned);    // batched fetches, not per-chunk
 //! ```
+//!
+//! ## Vector similarity top-k
+//!
+//! `COSINE_SIMILARITY(col, [..])` / `L2_DISTANCE(col, [..])` score
+//! embedding columns against a literal query vector, and the planner
+//! lowers `ORDER BY <similarity> LIMIT k` (no filter/arrange) onto a
+//! physical top-k operator: candidate rows → chunk spans → one batched
+//! [`ReadPlan`] per worker task → exact re-rank through the shared row
+//! evaluator, so results (order, ties, errors) are identical to the
+//! naive sort stage. With [`QueryOptions::ann`] the operator probes the
+//! column's IVF vector index ([`deeplake_index`](deeplake_core::VectorIndex))
+//! for candidates — [`QueryOptions::nprobe`] trades recall for fetched
+//! chunks — and silently falls back to the exact flat scan when no valid
+//! index exists. [`QueryResult::stats`] reports `clusters_probed` and
+//! `candidates_reranked`.
+//!
+//! `LIMIT k` without `ORDER BY` short-circuits the filter scan: spans
+//! are scanned in row order and fetching stops at the k-th match.
 
 pub mod ast;
 pub mod error;
@@ -56,7 +74,7 @@ pub mod value;
 pub use ast::{Expr, Query};
 pub use error::TqlError;
 pub use exec::{execute, QueryOptions, QueryResult, QueryStats};
-pub use plan::{Plan, PruneExpr};
+pub use plan::{Plan, PruneExpr, TopKPlan};
 pub use value::Value;
 
 /// Crate-wide result alias.

@@ -24,7 +24,7 @@
 
 use std::collections::BTreeSet;
 
-use deeplake_core::ChunkStats;
+use deeplake_core::{ChunkStats, Metric};
 
 use crate::ast::{BinOp, Expr, Query, SortDir};
 
@@ -234,6 +234,53 @@ fn cmp_interval(op: CmpOp, s: &ChunkStats, v: f64) -> Option<bool> {
     }
 }
 
+/// A query lowered onto the physical top-k similarity operator:
+/// `ORDER BY COSINE_SIMILARITY(col, [..]) / L2_DISTANCE(col, [..])`
+/// with a `LIMIT`, no filter and no arrange. The executor probes the
+/// column's vector index (when enabled and valid) for candidate rows,
+/// fetches their chunk spans in batched reads, exact-re-ranks with the
+/// same row evaluator the naive path uses, and keeps the best `fetch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKPlan {
+    /// The embedding column the similarity key reads.
+    pub column: String,
+    /// The literal query vector.
+    pub query: Vec<f64>,
+    /// Similarity metric of the key function.
+    pub metric: Metric,
+    /// Rows the operator must produce: `LIMIT + OFFSET`.
+    pub fetch: u64,
+}
+
+/// Lower a query onto [`TopKPlan`] when it has the recognized shape.
+fn analyze_top_k(query: &Query) -> Option<TopKPlan> {
+    if query.filter.is_some() || query.arrange_by.is_some() {
+        return None;
+    }
+    let limit = query.limit?;
+    let (key, _) = query.order_by.as_ref()?;
+    let Expr::Call { name, args } = key else {
+        return None;
+    };
+    let metric = match name.as_str() {
+        "COSINE_SIMILARITY" => Metric::Cosine,
+        "L2_DISTANCE" => Metric::L2,
+        _ => return None,
+    };
+    let [Expr::Column(column), Expr::Array(values)] = args.as_slice() else {
+        return None;
+    };
+    if values.is_empty() {
+        return None;
+    }
+    Some(TopKPlan {
+        column: column.clone(),
+        query: values.clone(),
+        metric,
+        fetch: limit.saturating_add(query.offset.unwrap_or(0)),
+    })
+}
+
 /// The planned stages of a query, in execution order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
@@ -254,6 +301,9 @@ pub struct Plan {
     pub has_arrange: bool,
     /// `LIMIT`/`OFFSET` window.
     pub window: (Option<u64>, Option<u64>),
+    /// The query lowered onto the top-k similarity operator, when it has
+    /// the recognized `ORDER BY <similarity> LIMIT k` shape.
+    pub top_k: Option<TopKPlan>,
 }
 
 /// Build the plan for a query.
@@ -294,6 +344,7 @@ pub fn plan(query: &Query) -> Plan {
         sort: query.order_by.as_ref().map(|(_, d)| *d),
         has_arrange: query.arrange_by.is_some(),
         window: (query.limit, query.offset),
+        top_k: analyze_top_k(query),
     }
 }
 
@@ -404,6 +455,68 @@ mod tests {
         let p = prune_of("SELECT * FROM d WHERE NOT labels >= 4");
         assert_eq!(p.evaluate(&|_| Some(stats(4.0, 9.0))), Some(false));
         assert_eq!(p.evaluate(&|_| Some(stats(0.0, 3.0))), Some(true));
+    }
+
+    #[test]
+    fn top_k_lowering_recognizes_similarity_order_by() {
+        let p = plan(
+            &parse("SELECT * FROM d ORDER BY COSINE_SIMILARITY(emb, [1, 2, 3]) DESC LIMIT 5")
+                .unwrap(),
+        );
+        let tk = p.top_k.expect("lowered");
+        assert_eq!(tk.column, "emb");
+        assert_eq!(tk.query, vec![1.0, 2.0, 3.0]);
+        assert_eq!(tk.metric, Metric::Cosine);
+        assert_eq!(tk.fetch, 5);
+
+        let p = plan(
+            &parse("SELECT * FROM d ORDER BY L2_DISTANCE(emb, [0, 0]) LIMIT 3 OFFSET 2").unwrap(),
+        );
+        let tk = p.top_k.expect("lowered");
+        assert_eq!(tk.metric, Metric::L2);
+        assert_eq!(tk.fetch, 5, "fetch covers LIMIT + OFFSET");
+    }
+
+    #[test]
+    fn top_k_lowering_rejects_other_shapes() {
+        // no LIMIT
+        assert!(
+            plan(&parse("SELECT * FROM d ORDER BY L2_DISTANCE(e, [1])").unwrap())
+                .top_k
+                .is_none()
+        );
+        // a filter forces the general pipeline
+        assert!(plan(
+            &parse("SELECT * FROM d WHERE labels = 1 ORDER BY L2_DISTANCE(e, [1]) LIMIT 2")
+                .unwrap()
+        )
+        .top_k
+        .is_none());
+        // ARRANGE BY forces the general pipeline
+        assert!(plan(
+            &parse("SELECT * FROM d ORDER BY L2_DISTANCE(e, [1]) ARRANGE BY labels LIMIT 2")
+                .unwrap()
+        )
+        .top_k
+        .is_none());
+        // non-similarity key
+        assert!(
+            plan(&parse("SELECT * FROM d ORDER BY MEAN(e) LIMIT 2").unwrap())
+                .top_k
+                .is_none()
+        );
+        // non-literal query vector
+        assert!(
+            plan(&parse("SELECT * FROM d ORDER BY L2_DISTANCE(e, f) LIMIT 2").unwrap())
+                .top_k
+                .is_none()
+        );
+        // empty query vector
+        assert!(
+            plan(&parse("SELECT * FROM d ORDER BY L2_DISTANCE(e, []) LIMIT 2").unwrap())
+                .top_k
+                .is_none()
+        );
     }
 
     #[test]

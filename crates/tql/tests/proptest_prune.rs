@@ -66,6 +66,7 @@ fn assert_equivalent(ds: &Dataset, text: &str) {
         &QueryOptions {
             workers: 3,
             pruning: false,
+            ..Default::default()
         },
     );
     let pruned = execute(
@@ -74,6 +75,7 @@ fn assert_equivalent(ds: &Dataset, text: &str) {
         &QueryOptions {
             workers: 3,
             pruning: true,
+            ..Default::default()
         },
     );
     match (naive, pruned) {

@@ -1,0 +1,335 @@
+//! End-to-end top-k similarity queries: the physical operator against
+//! the naive reference, the ANN path against the exact one, and the
+//! `LIMIT`-without-`ORDER BY` short-circuit.
+
+use std::sync::Arc;
+
+use deeplake_core::dataset::{Dataset, TensorOptions};
+use deeplake_core::IndexSpec;
+use deeplake_storage::MemoryProvider;
+use deeplake_tensor::{Htype, Sample};
+use deeplake_tql::{execute, parser, query, QueryOptions};
+
+/// `n` rows of dim-4 embeddings in `clusters` well-separated blobs, rows
+/// grouped by blob (row i belongs to blob `i / (n/clusters)`), plus a
+/// scalar label column. Small chunks so queries span many of them.
+fn embedding_dataset(n: u64, clusters: u64) -> Dataset {
+    let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "vec").unwrap();
+    ds.create_tensor_opts("emb", {
+        let mut o = TensorOptions::new(Htype::Embedding);
+        o.chunk_target_bytes = Some(128); // a handful of vectors per chunk
+        o
+    })
+    .unwrap();
+    ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+    let per = n / clusters;
+    for i in 0..n {
+        let c = (i / per).min(clusters - 1) as f32;
+        let jitter = (i % 7) as f32 * 0.01;
+        let v = [c * 10.0 + jitter, c * 10.0 - jitter, jitter, 1.0];
+        ds.append_row(vec![
+            ("emb", Sample::from_slice([4], &v).unwrap()),
+            ("labels", Sample::scalar((i % 5) as i32)),
+        ])
+        .unwrap();
+    }
+    ds.flush().unwrap();
+    ds
+}
+
+fn naive(ds: &Dataset, text: &str) -> Vec<u64> {
+    let q = parser::parse(text).unwrap();
+    execute(
+        ds,
+        &q,
+        &QueryOptions {
+            pruning: false,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .indices
+}
+
+#[test]
+fn flat_top_k_equals_naive_order_by_limit() {
+    let ds = embedding_dataset(120, 4);
+    for text in [
+        "SELECT * FROM d ORDER BY COSINE_SIMILARITY(emb, [10, 10, 0, 1]) DESC LIMIT 7",
+        "SELECT * FROM d ORDER BY L2_DISTANCE(emb, [20, 20, 0, 1]) LIMIT 9",
+        "SELECT * FROM d ORDER BY L2_DISTANCE(emb, [0, 0, 0, 1]) LIMIT 5 OFFSET 3",
+        "SELECT * FROM d ORDER BY COSINE_SIMILARITY(emb, [30, 30, 0, 1]) LIMIT 4",
+    ] {
+        let r = query(&ds, text).unwrap();
+        assert_eq!(r.indices, naive(&ds, text), "diverged for {text}");
+        assert!(
+            r.stats.candidates_reranked >= r.indices.len() as u64,
+            "operator records its re-rank work"
+        );
+    }
+}
+
+#[test]
+fn top_k_projection_rows_match_naive() {
+    let ds = embedding_dataset(60, 3);
+    let text = "SELECT COSINE_SIMILARITY(emb, [10, 10, 0, 1]) AS score, labels \
+                FROM d ORDER BY COSINE_SIMILARITY(emb, [10, 10, 0, 1]) DESC LIMIT 6";
+    let q = parser::parse(text).unwrap();
+    let fast = execute(&ds, &q, &QueryOptions::default()).unwrap();
+    let slow = execute(
+        &ds,
+        &q,
+        &QueryOptions {
+            pruning: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(fast.indices, slow.indices);
+    assert_eq!(
+        fast.columns,
+        vec!["score".to_string(), "labels".to_string()]
+    );
+    assert_eq!(fast.rows, slow.rows);
+}
+
+#[test]
+fn ann_probes_index_and_finds_nearest_cluster() {
+    let mut ds = embedding_dataset(160, 4);
+    let report = ds
+        .build_vector_index(
+            "emb",
+            &IndexSpec {
+                nlist: Some(4),
+                ..IndexSpec::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(report.rows, 160);
+    assert_eq!(report.dim, 4);
+    assert_eq!(report.clusters, 4);
+
+    // query dead-center of blob 2 (rows 80..120)
+    let text = "SELECT * FROM d ORDER BY L2_DISTANCE(emb, [20, 20, 0, 1]) LIMIT 10";
+    let q = parser::parse(text).unwrap();
+    let ann = execute(
+        &ds,
+        &q,
+        &QueryOptions {
+            ann: true,
+            nprobe: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let exact = query(&ds, text).unwrap();
+    assert_eq!(ann.indices, exact.indices, "blob is separable at nprobe=1");
+    assert_eq!(ann.stats.clusters_probed, 1);
+    assert!(
+        ann.stats.candidates_reranked < 160,
+        "ANN re-ranked only the probed cluster, got {}",
+        ann.stats.candidates_reranked
+    );
+    assert_eq!(exact.stats.clusters_probed, 0, "exact path never probes");
+    assert_eq!(exact.stats.candidates_reranked, 160);
+}
+
+/// The index answers "nearest first" only: a direction asking for the
+/// FARTHEST rows (L2 DESC, cosine ASC) must not probe — it would fetch
+/// exactly the wrong clusters — and keeps the exact scan instead.
+#[test]
+fn ann_with_farthest_direction_keeps_exact_scan() {
+    let mut ds = embedding_dataset(160, 4);
+    ds.build_vector_index(
+        "emb",
+        &IndexSpec {
+            nlist: Some(4),
+            ..IndexSpec::default()
+        },
+    )
+    .unwrap();
+    for text in [
+        // farthest-from-blob-0: the right answer lives in blob 3
+        "SELECT * FROM d ORDER BY L2_DISTANCE(emb, [0, 0, 0, 1]) DESC LIMIT 5",
+        "SELECT * FROM d ORDER BY COSINE_SIMILARITY(emb, [1, -1, 0, 0]) LIMIT 5",
+    ] {
+        let q = parser::parse(text).unwrap();
+        let ann = execute(
+            &ds,
+            &q,
+            &QueryOptions {
+                ann: true,
+                nprobe: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(ann.indices, naive(&ds, text), "diverged for {text}");
+        assert_eq!(ann.stats.clusters_probed, 0, "must not probe for {text}");
+        assert_eq!(ann.stats.candidates_reranked, 160);
+    }
+}
+
+#[test]
+fn ann_without_index_falls_back_to_flat() {
+    let ds = embedding_dataset(80, 4);
+    let text = "SELECT * FROM d ORDER BY COSINE_SIMILARITY(emb, [10, 10, 0, 1]) DESC LIMIT 5";
+    let q = parser::parse(text).unwrap();
+    let r = execute(
+        &ds,
+        &q,
+        &QueryOptions {
+            ann: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(r.indices, naive(&ds, text));
+    assert_eq!(r.stats.clusters_probed, 0);
+    assert_eq!(r.stats.candidates_reranked, 80, "fell back to every row");
+}
+
+#[test]
+fn ann_with_mismatched_dimension_falls_back_to_flat() {
+    let mut ds = embedding_dataset(80, 4);
+    ds.build_vector_index("emb", &IndexSpec::default()).unwrap();
+    // dim-2 query against a dim-4 index: probe impossible, exact scan
+    // surfaces the same typed error the naive path raises
+    let text = "SELECT * FROM d ORDER BY L2_DISTANCE(emb, [1, 2]) LIMIT 3";
+    let q = parser::parse(text).unwrap();
+    let r = execute(
+        &ds,
+        &q,
+        &QueryOptions {
+            ann: true,
+            ..Default::default()
+        },
+    );
+    assert!(matches!(
+        r,
+        Err(deeplake_tql::TqlError::BadArguments { .. })
+    ));
+}
+
+#[test]
+fn top_k_on_unknown_column_errors_like_naive() {
+    let ds = embedding_dataset(20, 2);
+    let text = "SELECT * FROM d ORDER BY L2_DISTANCE(ghost, [1]) LIMIT 3";
+    let q = parser::parse(text).unwrap();
+    let fast = execute(&ds, &q, &QueryOptions::default());
+    assert!(matches!(
+        fast,
+        Err(deeplake_tql::TqlError::UnknownColumn(_))
+    ));
+}
+
+#[test]
+fn appended_tail_after_build_is_still_searched_exactly() {
+    let mut ds = embedding_dataset(100, 4);
+    ds.build_vector_index(
+        "emb",
+        &IndexSpec {
+            nlist: Some(4),
+            ..IndexSpec::default()
+        },
+    )
+    .unwrap();
+    // append a row closer to the query than anything indexed
+    ds.append_row(vec![
+        (
+            "emb",
+            Sample::from_slice([4], &[100.0f32, 100.0, 0.0, 1.0]).unwrap(),
+        ),
+        ("labels", Sample::scalar(0i32)),
+    ])
+    .unwrap();
+    ds.flush().unwrap();
+    let text = "SELECT * FROM d ORDER BY L2_DISTANCE(emb, [100, 100, 0, 1]) LIMIT 1";
+    let q = parser::parse(text).unwrap();
+    let r = execute(
+        &ds,
+        &q,
+        &QueryOptions {
+            ann: true,
+            nprobe: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(r.indices, vec![100], "unindexed tail row must be found");
+}
+
+// ---------------------------------------------------------------------
+// LIMIT-without-ORDER-BY short-circuit
+// ---------------------------------------------------------------------
+
+/// Interleaved labels defeat statistics pruning (every chunk holds
+/// matching and non-matching rows), so without the short-circuit every
+/// span scans. With `LIMIT k` the scan must stop near the k-th match.
+#[test]
+fn limit_without_order_by_short_circuits_span_scan() {
+    let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "lim").unwrap();
+    ds.create_tensor_opts("labels", {
+        let mut o = TensorOptions::new(Htype::ClassLabel);
+        o.chunk_target_bytes = Some(64);
+        o
+    })
+    .unwrap();
+    for i in 0..400u64 {
+        ds.append_row(vec![("labels", Sample::scalar((i % 10) as i32))])
+            .unwrap();
+    }
+    ds.flush().unwrap();
+
+    let full = query(&ds, "SELECT * FROM d WHERE labels = 3").unwrap();
+    assert_eq!(full.len(), 40);
+    let total_spans = full.stats.chunks_scanned + full.stats.chunks_pruned;
+    assert!(total_spans > 10, "labels span many chunks: {total_spans}");
+
+    let limited = query(&ds, "SELECT * FROM d WHERE labels = 3 LIMIT 4").unwrap();
+    assert_eq!(limited.indices, vec![3, 13, 23, 33]);
+    assert!(
+        limited.stats.chunks_scanned * 2 < full.stats.chunks_scanned,
+        "LIMIT 4 must scan far fewer spans: {} vs {}",
+        limited.stats.chunks_scanned,
+        full.stats.chunks_scanned
+    );
+
+    // the naive reference is unaffected and returns the same rows
+    let q = parser::parse("SELECT * FROM d WHERE labels = 3 LIMIT 4").unwrap();
+    let slow = execute(
+        &ds,
+        &q,
+        &QueryOptions {
+            pruning: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(slow.indices, limited.indices);
+}
+
+/// LIMIT + OFFSET must keep scanning until offset+limit matches exist.
+#[test]
+fn limit_offset_short_circuit_is_result_identical() {
+    let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "limoff").unwrap();
+    ds.create_tensor_opts("labels", {
+        let mut o = TensorOptions::new(Htype::ClassLabel);
+        o.chunk_target_bytes = Some(64);
+        o
+    })
+    .unwrap();
+    for i in 0..300u64 {
+        ds.append_row(vec![("labels", Sample::scalar((i % 7) as i32))])
+            .unwrap();
+    }
+    ds.flush().unwrap();
+    for text in [
+        "SELECT * FROM d WHERE labels = 2 LIMIT 5 OFFSET 6",
+        "SELECT * FROM d WHERE labels = 2 LIMIT 1000",
+        "SELECT * FROM d WHERE labels > 4 LIMIT 3",
+    ] {
+        let fast = query(&ds, text).unwrap();
+        assert_eq!(fast.indices, naive(&ds, text), "diverged for {text}");
+    }
+}

@@ -92,14 +92,49 @@
 //! assert!(r.stats.chunks_pruned > 0); // most chunks never fetched
 //! ```
 //!
+//! ## Vector similarity search
+//!
+//! Embedding columns answer "the k most similar samples" queries: build
+//! an IVF index (k-means centroids + posting lists, persisted under the
+//! tensor's `vector_index/` key family), then `ORDER BY
+//! COSINE_SIMILARITY(col, [..]) LIMIT k` runs as a physical top-k
+//! operator — exact by default, index-probed with `QueryOptions { ann:
+//! true, nprobe, .. }`:
+//!
+//! ```
+//! use deeplake::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let mut ds = Dataset::create(Arc::new(MemoryProvider::new()), "v").unwrap();
+//! ds.create_tensor("emb", Htype::Embedding, None).unwrap();
+//! for i in 0..64u64 {
+//!     let v = [(i % 8) as f32, 1.0];
+//!     ds.append_row(vec![("emb", Sample::from_slice([2], &v).unwrap())]).unwrap();
+//! }
+//! ds.flush().unwrap();
+//! ds.build_vector_index("emb", &IndexSpec::default()).unwrap();
+//!
+//! let r = deeplake::tql::query(
+//!     &ds,
+//!     "SELECT * FROM v ORDER BY L2_DISTANCE(emb, [3, 1]) LIMIT 5",
+//! ).unwrap();
+//! assert_eq!(r.len(), 5);
+//! assert_eq!(r.indices[0] % 8, 3); // nearest rows hold [3, 1]
+//! ```
+//!
+//! Updates and re-chunking invalidate the index through the version
+//! layer (queries fall back to the exact scan until a rebuild); commits
+//! keep it readable for historical `AT VERSION` queries.
+//!
 //! See the crate-level docs of each member for the subsystem details:
 //! [`tensor`], [`codec`], [`storage`], [`format`], [`core`], [`tql`],
-//! [`loader`], [`baselines`], [`sim`], [`viz`].
+//! [`loader`], [`baselines`], [`sim`], [`viz`], [`index`].
 
 pub use deeplake_baselines as baselines;
 pub use deeplake_codec as codec;
 pub use deeplake_core as core;
 pub use deeplake_format as format;
+pub use deeplake_index as index;
 pub use deeplake_loader as loader;
 pub use deeplake_sim as sim;
 pub use deeplake_storage as storage;
@@ -115,12 +150,13 @@ pub mod prelude {
     pub use deeplake_core::materialize::materialize;
     pub use deeplake_core::transform::TransformPipeline;
     pub use deeplake_core::version::MergePolicy;
-    pub use deeplake_core::{DatasetView, Row};
+    pub use deeplake_core::{DatasetView, IndexBuildReport, Row};
+    pub use deeplake_index::{IndexKind, IndexSpec, Metric, VectorIndex};
     pub use deeplake_loader::{Batch, BatchColumn, DataLoader};
     pub use deeplake_storage::{
         DynProvider, LocalProvider, LruCacheProvider, MemoryProvider, NetworkProfile,
         SimulatedCloudProvider, StorageProvider,
     };
     pub use deeplake_tensor::{Dtype, Htype, Sample, Shape, SliceSpec};
-    pub use deeplake_tql::query;
+    pub use deeplake_tql::{query, QueryOptions};
 }

@@ -1,0 +1,108 @@
+//! Back-compat migration: datasets written before the `vector_index/`
+//! key family existed — no index files, no tombstones — must open
+//! cleanly, and `ann: true` queries silently fall back to the exact
+//! flat path with identical results.
+
+use std::sync::Arc;
+
+use deeplake::prelude::*;
+use deeplake_tql::{execute, parser};
+
+/// Build a dataset with the current writer, then strip every trace of
+/// the vector index key family from storage, exactly as a pre-index
+/// writer would have left it.
+fn legacy_dataset() -> DynProvider {
+    let provider: DynProvider = Arc::new(MemoryProvider::new());
+    {
+        let mut ds = Dataset::create(provider.clone(), "legacy").unwrap();
+        ds.create_tensor_opts("emb", {
+            let mut o = TensorOptions::new(Htype::Embedding);
+            o.chunk_target_bytes = Some(256);
+            o
+        })
+        .unwrap();
+        ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+        for i in 0..120u64 {
+            let v = [(i / 40) as f32 * 10.0, (i % 9) as f32 * 0.1, 1.0];
+            ds.append_row(vec![
+                ("emb", Sample::from_slice([3], &v).unwrap()),
+                ("labels", Sample::scalar((i % 4) as i32)),
+            ])
+            .unwrap();
+        }
+        // exercise the writer's index machinery, then erase its output:
+        // the fixture must look like the key family never existed
+        ds.build_vector_index("emb", &IndexSpec::default()).unwrap();
+        ds.flush().unwrap();
+    }
+    for key in provider.list("").unwrap() {
+        if key.contains("/vector_index/") {
+            provider.delete(&key).unwrap();
+        }
+    }
+    assert!(
+        provider
+            .list("")
+            .unwrap()
+            .iter()
+            .all(|k| !k.contains("vector_index")),
+        "fixture must hold no index keys"
+    );
+    provider
+}
+
+#[test]
+fn pre_index_dataset_opens_and_ann_falls_back_to_flat() {
+    let provider = legacy_dataset();
+    let ds = Dataset::open(provider).unwrap();
+    assert_eq!(ds.len(), 120);
+    assert!(
+        ds.vector_index("emb").is_none(),
+        "no key family, no index to resolve"
+    );
+
+    let text = "SELECT * FROM d ORDER BY L2_DISTANCE(emb, [20, 0, 1]) LIMIT 8";
+    let q = parser::parse(text).unwrap();
+    let ann = execute(
+        &ds,
+        &q,
+        &QueryOptions {
+            ann: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let exact = execute(&ds, &q, &QueryOptions::default()).unwrap();
+    assert_eq!(ann.indices, exact.indices, "silent flat fallback");
+    assert_eq!(ann.stats.clusters_probed, 0);
+    assert_eq!(ann.stats.candidates_reranked, 120, "every row re-ranked");
+    assert!(ann.indices.iter().all(|&r| (80..120).contains(&r)));
+}
+
+#[test]
+fn legacy_dataset_updates_and_queries_still_work() {
+    let provider = legacy_dataset();
+    let mut ds = Dataset::open(provider.clone()).unwrap();
+    // updates on an index-less tensor must not fail or write tombstones
+    ds.update(
+        "emb",
+        5,
+        &Sample::from_slice([3], &[99.0f32, 0.0, 1.0]).unwrap(),
+    )
+    .unwrap();
+    ds.flush().unwrap();
+    assert!(
+        provider
+            .list("")
+            .unwrap()
+            .iter()
+            .all(|k| !k.contains("vector_index")),
+        "no index anywhere: invalidation must not create keys"
+    );
+    let r = deeplake_tql::query(
+        &ds,
+        "SELECT * FROM d ORDER BY L2_DISTANCE(emb, [99, 0, 1]) LIMIT 1",
+    )
+    .unwrap();
+    assert_eq!(r.indices, vec![5]);
+}

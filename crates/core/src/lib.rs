@@ -6,6 +6,12 @@
 //! sample-wise transforms (§4.1.2), linked tensors (§4.5), dataset views
 //! and materialization (§4.4-4.5).
 //!
+//! "Any storage provider" includes a *remote* one: a dataset opens over
+//! a served mount (`deeplake-remote`'s `RemoteProvider`) with the same
+//! `Dataset::open(provider)` call, and every read path below —
+//! including the batched [`Dataset::prefetch_chunks`] scatter-gather —
+//! then travels as single wire frames.
+//!
 //! ```
 //! use deeplake_core::dataset::Dataset;
 //! use deeplake_storage::MemoryProvider;

@@ -8,6 +8,13 @@
 //! buffer for shuffled stream access (§3.5), and deterministic delivery
 //! order independent of worker count.
 //!
+//! The loader is transport-agnostic: pointed at a dataset opened over a
+//! served mount (`deeplake-remote`), each worker task's single batched
+//! storage call becomes a single network frame — N≥8 clients streaming
+//! one server concurrently is exercised in
+//! `crates/server/tests/loopback.rs` and `deeplake-sim`'s serving
+//! scenario.
+//!
 //! ```
 //! use deeplake_core::Dataset;
 //! use deeplake_loader::DataLoader;

@@ -1,0 +1,821 @@
+//! The wire protocol shared by the remote client and the dataset server.
+//!
+//! **Framing.** Every message is one length-prefixed frame: a `u32`
+//! little-endian payload length followed by that many payload bytes.
+//! The decoder is hardened like the `DLVX` index reader: a length
+//! beyond [`MAX_FRAME`] is rejected before any allocation, and the
+//! payload buffer grows only as bytes actually arrive (in
+//! [`READ_CHUNK`]-sized steps), so a lying length on a truncated or
+//! malicious stream can never drive a huge allocation or a panic.
+//!
+//! **Requests.** A request payload is `[opcode u8][body]`; see
+//! [`Request`]. The batched opcodes are the point of the protocol: one
+//! `GetMany`/`Execute` frame carries an entire [`ReadPlan`]'s requests,
+//! so a loader task or query scan that needs dozens of chunks pays ONE
+//! network round trip, and one `Query` frame ships TQL text so a pruned
+//! or ANN query pays one round trip *total*.
+//!
+//! **Responses.** A response payload is `[status u8][body]`. Storage
+//! errors serialize losslessly — a remote `NotFound` decodes into the
+//! same [`StorageError::NotFound`] (naming the same key) the mounted
+//! provider would have returned locally.
+
+use bytes::Bytes;
+use deeplake_storage::{ReadRequest, StorageError};
+use deeplake_tql::wire::{decode_options, decode_result, encode_options, encode_result, WireError};
+use deeplake_tql::wire::{put_bytes, put_str, put_u32, put_u64, WireReader, WireResult};
+use deeplake_tql::{QueryOptions, QueryResult};
+
+/// Hard upper bound on one frame's payload (1 GiB). Far above any chunk
+/// batch the loader issues, far below an allocation that could take the
+/// process down.
+pub const MAX_FRAME: usize = 1 << 30;
+
+/// Incremental read granularity while receiving a frame body (64 KiB):
+/// memory grows with bytes received, not with the claimed length.
+pub const READ_CHUNK: usize = 64 * 1024;
+
+// request opcodes
+const OP_PING: u8 = 0;
+const OP_GET: u8 = 1;
+const OP_GET_RANGE: u8 = 2;
+const OP_PUT: u8 = 3;
+const OP_DELETE: u8 = 4;
+const OP_EXISTS: u8 = 5;
+const OP_LEN_OF: u8 = 6;
+const OP_LIST: u8 = 7;
+const OP_DELETE_PREFIX: u8 = 8;
+const OP_GET_MANY: u8 = 9;
+const OP_EXECUTE: u8 = 10;
+const OP_QUERY: u8 = 11;
+const OP_DESCRIBE: u8 = 12;
+
+// response status bytes
+/// Success; body is op-specific.
+pub const STATUS_OK: u8 = 0;
+/// A [`StorageError`] follows, losslessly encoded.
+pub const STATUS_STORAGE_ERR: u8 = 1;
+/// A query failed server-side; body is the rendered error message.
+pub const STATUS_QUERY_ERR: u8 = 2;
+/// The server could not understand the request; body is a message.
+pub const STATUS_PROTO_ERR: u8 = 3;
+
+/// One decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness / handshake probe.
+    Ping,
+    /// Whole-object read.
+    Get {
+        /// Object key.
+        key: String,
+    },
+    /// Byte-range read (end exclusive, clamped like the provider trait).
+    GetRange {
+        /// Object key.
+        key: String,
+        /// Range start.
+        start: u64,
+        /// Range end (exclusive).
+        end: u64,
+    },
+    /// Store an object.
+    Put {
+        /// Object key.
+        key: String,
+        /// Object bytes.
+        value: Bytes,
+    },
+    /// Delete an object (idempotent).
+    Delete {
+        /// Object key.
+        key: String,
+    },
+    /// Existence check.
+    Exists {
+        /// Object key.
+        key: String,
+    },
+    /// Object length.
+    LenOf {
+        /// Object key.
+        key: String,
+    },
+    /// Sorted keys under a prefix.
+    List {
+        /// Key prefix.
+        prefix: String,
+    },
+    /// Bulk-delete a subtree.
+    DeletePrefix {
+        /// Key prefix.
+        prefix: String,
+    },
+    /// Batched reads: one outcome per request, one round trip total.
+    GetMany {
+        /// The logical reads.
+        requests: Vec<ReadRequest>,
+    },
+    /// Execute a [`deeplake_storage::ReadPlan`] server-side: the mounted
+    /// provider coalesces and parallelizes, the wire carries one frame
+    /// each way.
+    Execute {
+        /// The plan's merge gap.
+        gap_tolerance: u64,
+        /// The plan's logical reads.
+        requests: Vec<ReadRequest>,
+    },
+    /// Offload a TQL query: the server opens its mounted dataset at
+    /// `reference` and streams back only result rows.
+    Query {
+        /// Branch or commit to open (normally `main`).
+        reference: String,
+        /// TQL text.
+        text: String,
+        /// Execution options (the server honors pruning/ann/nprobe).
+        options: QueryOptions,
+    },
+    /// Human-readable description of the mounted provider.
+    Describe,
+}
+
+/// Encode a request payload (opcode + body).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match req {
+        Request::Ping => out.push(OP_PING),
+        Request::Get { key } => {
+            out.push(OP_GET);
+            put_str(&mut out, key);
+        }
+        Request::GetRange { key, start, end } => {
+            out.push(OP_GET_RANGE);
+            put_str(&mut out, key);
+            put_u64(&mut out, *start);
+            put_u64(&mut out, *end);
+        }
+        Request::Put { key, value } => {
+            out.push(OP_PUT);
+            put_str(&mut out, key);
+            put_bytes(&mut out, value);
+        }
+        Request::Delete { key } => {
+            out.push(OP_DELETE);
+            put_str(&mut out, key);
+        }
+        Request::Exists { key } => {
+            out.push(OP_EXISTS);
+            put_str(&mut out, key);
+        }
+        Request::LenOf { key } => {
+            out.push(OP_LEN_OF);
+            put_str(&mut out, key);
+        }
+        Request::List { prefix } => {
+            out.push(OP_LIST);
+            put_str(&mut out, prefix);
+        }
+        Request::DeletePrefix { prefix } => {
+            out.push(OP_DELETE_PREFIX);
+            put_str(&mut out, prefix);
+        }
+        Request::GetMany { requests } => {
+            out.push(OP_GET_MANY);
+            put_read_requests(&mut out, requests);
+        }
+        Request::Execute {
+            gap_tolerance,
+            requests,
+        } => {
+            out.push(OP_EXECUTE);
+            put_u64(&mut out, *gap_tolerance);
+            put_read_requests(&mut out, requests);
+        }
+        Request::Query {
+            reference,
+            text,
+            options,
+        } => {
+            out.push(OP_QUERY);
+            put_str(&mut out, reference);
+            put_str(&mut out, text);
+            encode_options(options, &mut out);
+        }
+        Request::Describe => out.push(OP_DESCRIBE),
+    }
+    out
+}
+
+/// Decode a request payload.
+pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
+    let mut r = WireReader::new(payload);
+    let req = match r.u8()? {
+        OP_PING => Request::Ping,
+        OP_GET => Request::Get { key: r.str()? },
+        OP_GET_RANGE => Request::GetRange {
+            key: r.str()?,
+            start: r.u64()?,
+            end: r.u64()?,
+        },
+        OP_PUT => Request::Put {
+            key: r.str()?,
+            value: r.bytes()?,
+        },
+        OP_DELETE => Request::Delete { key: r.str()? },
+        OP_EXISTS => Request::Exists { key: r.str()? },
+        OP_LEN_OF => Request::LenOf { key: r.str()? },
+        OP_LIST => Request::List { prefix: r.str()? },
+        OP_DELETE_PREFIX => Request::DeletePrefix { prefix: r.str()? },
+        OP_GET_MANY => Request::GetMany {
+            requests: take_read_requests(&mut r)?,
+        },
+        OP_EXECUTE => Request::Execute {
+            gap_tolerance: r.u64()?,
+            requests: take_read_requests(&mut r)?,
+        },
+        OP_QUERY => Request::Query {
+            reference: r.str()?,
+            text: r.str()?,
+            options: decode_options(&mut r)?,
+        },
+        OP_DESCRIBE => Request::Describe,
+        other => return Err(WireError(format!("unknown opcode {other}"))),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+fn put_read_requests(out: &mut Vec<u8>, requests: &[ReadRequest]) {
+    put_u32(out, requests.len() as u32);
+    for req in requests {
+        put_str(out, &req.key);
+        match req.range {
+            None => out.push(0),
+            Some((start, end)) => {
+                out.push(1);
+                put_u64(out, start);
+                put_u64(out, end);
+            }
+        }
+    }
+}
+
+fn take_read_requests(r: &mut WireReader<'_>) -> WireResult<Vec<ReadRequest>> {
+    let count = r.u32()? as usize;
+    // each request costs at least 5 bytes (length header + range flag)
+    if count > r.remaining() / 5 {
+        return Err(WireError(format!(
+            "request count {count} exceeds remaining bytes"
+        )));
+    }
+    let mut requests = Vec::with_capacity(count);
+    for _ in 0..count {
+        let key = r.str()?;
+        let range = match r.u8()? {
+            0 => None,
+            1 => Some((r.u64()?, r.u64()?)),
+            other => return Err(WireError(format!("bad range flag {other}"))),
+        };
+        requests.push(ReadRequest { key, range });
+    }
+    Ok(requests)
+}
+
+// ---------------------------------------------------------------------
+// storage error codec (lossless)
+// ---------------------------------------------------------------------
+
+const ERR_NOT_FOUND: u8 = 0;
+const ERR_RANGE: u8 = 1;
+const ERR_IO: u8 = 2;
+const ERR_READ_ONLY: u8 = 3;
+
+/// Encode a [`StorageError`] body.
+pub fn put_storage_err(out: &mut Vec<u8>, e: &StorageError) {
+    match e {
+        StorageError::NotFound(key) => {
+            out.push(ERR_NOT_FOUND);
+            put_str(out, key);
+        }
+        StorageError::RangeOutOfBounds { start, end, len } => {
+            out.push(ERR_RANGE);
+            put_u64(out, *start);
+            put_u64(out, *end);
+            put_u64(out, *len);
+        }
+        StorageError::Io(msg) => {
+            out.push(ERR_IO);
+            put_str(out, msg);
+        }
+        StorageError::ReadOnly => out.push(ERR_READ_ONLY),
+    }
+}
+
+/// Decode a [`StorageError`] body.
+pub fn take_storage_err(r: &mut WireReader<'_>) -> WireResult<StorageError> {
+    Ok(match r.u8()? {
+        ERR_NOT_FOUND => StorageError::NotFound(r.str()?),
+        ERR_RANGE => StorageError::RangeOutOfBounds {
+            start: r.u64()?,
+            end: r.u64()?,
+            len: r.u64()?,
+        },
+        ERR_IO => StorageError::Io(r.str()?),
+        ERR_READ_ONLY => StorageError::ReadOnly,
+        other => return Err(WireError(format!("unknown error kind {other}"))),
+    })
+}
+
+// ---------------------------------------------------------------------
+// response builders (server side)
+// ---------------------------------------------------------------------
+
+/// `STATUS_OK` with an empty body.
+pub fn resp_unit() -> Vec<u8> {
+    vec![STATUS_OK]
+}
+
+/// `STATUS_OK` carrying raw object bytes.
+pub fn resp_bytes(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 8 + data.len());
+    out.push(STATUS_OK);
+    put_bytes(&mut out, data);
+    out
+}
+
+/// `STATUS_OK` carrying a boolean.
+pub fn resp_bool(v: bool) -> Vec<u8> {
+    vec![STATUS_OK, v as u8]
+}
+
+/// `STATUS_OK` carrying a `u64`.
+pub fn resp_u64(v: u64) -> Vec<u8> {
+    let mut out = vec![STATUS_OK];
+    put_u64(&mut out, v);
+    out
+}
+
+/// `STATUS_OK` carrying a string.
+pub fn resp_str(s: &str) -> Vec<u8> {
+    let mut out = vec![STATUS_OK];
+    put_str(&mut out, s);
+    out
+}
+
+/// `STATUS_OK` carrying a key listing.
+pub fn resp_list(keys: &[String]) -> Vec<u8> {
+    let mut out = vec![STATUS_OK];
+    put_u32(&mut out, keys.len() as u32);
+    for k in keys {
+        put_str(&mut out, k);
+    }
+    out
+}
+
+/// `STATUS_OK` carrying per-slot outcomes (the `GetMany` response).
+pub fn resp_results(results: &[Result<Bytes, StorageError>]) -> Vec<u8> {
+    let mut out = vec![STATUS_OK];
+    put_u32(&mut out, results.len() as u32);
+    for slot in results {
+        match slot {
+            Ok(data) => {
+                out.push(0);
+                put_bytes(&mut out, data);
+            }
+            Err(e) => {
+                out.push(1);
+                put_storage_err(&mut out, e);
+            }
+        }
+    }
+    out
+}
+
+/// `STATUS_OK` carrying an executed plan's outcome (fetch count + slots).
+pub fn resp_execute(fetches: u64, results: &[Result<Bytes, StorageError>]) -> Vec<u8> {
+    let mut out = resp_results(results);
+    put_u64(&mut out, fetches);
+    out
+}
+
+/// `STATUS_OK` carrying an offloaded query's result.
+pub fn resp_query(result: &QueryResult) -> Vec<u8> {
+    let mut out = vec![STATUS_OK];
+    encode_result(result, &mut out);
+    out
+}
+
+/// `STATUS_STORAGE_ERR` carrying a lossless [`StorageError`].
+pub fn resp_storage_err(e: &StorageError) -> Vec<u8> {
+    let mut out = vec![STATUS_STORAGE_ERR];
+    put_storage_err(&mut out, e);
+    out
+}
+
+/// `STATUS_QUERY_ERR` carrying the rendered query error.
+pub fn resp_query_err(message: &str) -> Vec<u8> {
+    let mut out = vec![STATUS_QUERY_ERR];
+    put_str(&mut out, message);
+    out
+}
+
+/// `STATUS_PROTO_ERR` carrying a protocol violation message.
+pub fn resp_proto_err(message: &str) -> Vec<u8> {
+    let mut out = vec![STATUS_PROTO_ERR];
+    put_str(&mut out, message);
+    out
+}
+
+// ---------------------------------------------------------------------
+// response decoders (client side)
+// ---------------------------------------------------------------------
+
+fn proto_err(msg: impl std::fmt::Display) -> StorageError {
+    StorageError::Io(format!("remote protocol: {msg}"))
+}
+
+/// Split a response into `Ok(body reader)` or the decoded error. The
+/// storage-error status decodes losslessly; query/protocol statuses map
+/// to [`StorageError::Io`] (they have no storage-level meaning).
+fn open_response(payload: &[u8]) -> Result<WireReader<'_>, StorageError> {
+    let mut r = WireReader::new(payload);
+    match r.u8().map_err(proto_err)? {
+        STATUS_OK => Ok(r),
+        STATUS_STORAGE_ERR => Err(take_storage_err(&mut r).map_err(proto_err)?),
+        STATUS_QUERY_ERR => Err(proto_err(format!(
+            "unexpected query error: {}",
+            r.str().map_err(proto_err)?
+        ))),
+        STATUS_PROTO_ERR => Err(proto_err(r.str().map_err(proto_err)?)),
+        other => Err(proto_err(format!("unknown status {other}"))),
+    }
+}
+
+/// Decode an empty-body response.
+pub fn expect_unit(payload: &[u8]) -> Result<(), StorageError> {
+    open_response(payload)?.finish().map_err(proto_err)
+}
+
+/// Decode an object-bytes response.
+pub fn expect_bytes(payload: &[u8]) -> Result<Bytes, StorageError> {
+    let mut r = open_response(payload)?;
+    let data = r.bytes().map_err(proto_err)?;
+    r.finish().map_err(proto_err)?;
+    Ok(data)
+}
+
+/// Decode a boolean response.
+pub fn expect_bool(payload: &[u8]) -> Result<bool, StorageError> {
+    let mut r = open_response(payload)?;
+    let v = r.u8().map_err(proto_err)?;
+    r.finish().map_err(proto_err)?;
+    Ok(v != 0)
+}
+
+/// Decode a `u64` response.
+pub fn expect_u64(payload: &[u8]) -> Result<u64, StorageError> {
+    let mut r = open_response(payload)?;
+    let v = r.u64().map_err(proto_err)?;
+    r.finish().map_err(proto_err)?;
+    Ok(v)
+}
+
+/// Decode a string response.
+pub fn expect_str(payload: &[u8]) -> Result<String, StorageError> {
+    let mut r = open_response(payload)?;
+    let s = r.str().map_err(proto_err)?;
+    r.finish().map_err(proto_err)?;
+    Ok(s)
+}
+
+/// Decode a key-listing response.
+pub fn expect_list(payload: &[u8]) -> Result<Vec<String>, StorageError> {
+    let mut r = open_response(payload)?;
+    let count = r.u32().map_err(proto_err)? as usize;
+    if count > r.remaining() / 4 {
+        return Err(proto_err("listing count exceeds frame"));
+    }
+    let mut keys = Vec::with_capacity(count);
+    for _ in 0..count {
+        keys.push(r.str().map_err(proto_err)?);
+    }
+    r.finish().map_err(proto_err)?;
+    Ok(keys)
+}
+
+fn take_results(
+    r: &mut WireReader<'_>,
+    expected: usize,
+) -> Result<Vec<Result<Bytes, StorageError>>, StorageError> {
+    let count = r.u32().map_err(proto_err)? as usize;
+    if count != expected {
+        return Err(proto_err(format!(
+            "server answered {count} slots for {expected} requests"
+        )));
+    }
+    if count > r.remaining() {
+        return Err(proto_err("slot count exceeds frame"));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        match r.u8().map_err(proto_err)? {
+            0 => out.push(Ok(r.bytes().map_err(proto_err)?)),
+            1 => out.push(Err(take_storage_err(r).map_err(proto_err)?)),
+            other => return Err(proto_err(format!("bad slot flag {other}"))),
+        }
+    }
+    Ok(out)
+}
+
+/// Decode a `GetMany` response (`expected` = requests sent).
+pub fn expect_results(
+    payload: &[u8],
+    expected: usize,
+) -> Result<Vec<Result<Bytes, StorageError>>, StorageError> {
+    let mut r = open_response(payload)?;
+    let out = take_results(&mut r, expected)?;
+    r.finish().map_err(proto_err)?;
+    Ok(out)
+}
+
+/// Decode an `Execute` response: per-slot outcomes plus the backend
+/// fetch count the mounted provider reported.
+pub fn expect_execute(
+    payload: &[u8],
+    expected: usize,
+) -> Result<(Vec<Result<Bytes, StorageError>>, u64), StorageError> {
+    let mut r = open_response(payload)?;
+    let results = take_results(&mut r, expected)?;
+    let fetches = r.u64().map_err(proto_err)?;
+    r.finish().map_err(proto_err)?;
+    Ok((results, fetches))
+}
+
+/// Decode a `Query` response into the [`QueryResult`] the server
+/// computed (query errors surface as [`deeplake_tql::TqlError::Remote`]).
+pub fn expect_query(payload: &[u8]) -> deeplake_tql::Result<QueryResult> {
+    let mut r = WireReader::new(payload);
+    match r.u8()? {
+        STATUS_OK => {
+            let result = decode_result(&mut r)?;
+            r.finish()?;
+            Ok(result)
+        }
+        STATUS_QUERY_ERR => Err(deeplake_tql::TqlError::Remote(r.str()?)),
+        STATUS_STORAGE_ERR => {
+            let e = take_storage_err(&mut r)?;
+            Err(deeplake_tql::TqlError::Remote(format!("storage: {e}")))
+        }
+        STATUS_PROTO_ERR => Err(deeplake_tql::TqlError::Remote(r.str()?)),
+        other => Err(deeplake_tql::TqlError::Remote(format!(
+            "unknown status {other}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// framing
+// ---------------------------------------------------------------------
+
+/// Write one frame (length prefix + payload) and flush. A payload over
+/// [`MAX_FRAME`] is refused up front — truncating the length header
+/// would desynchronize the stream for every later frame.
+pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "payload of {} bytes exceeds the {MAX_FRAME}-byte frame cap",
+                payload.len()
+            ),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame's payload. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary (the peer closed between frames); any other shortfall
+/// is an error. A length header beyond [`MAX_FRAME`] is rejected before
+/// allocation, and the buffer grows in [`READ_CHUNK`] steps so memory
+/// tracks bytes actually received.
+pub fn read_frame(r: &mut impl std::io::Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    read_frame_after(r, first[0]).map(Some)
+}
+
+/// Read the remainder of a frame whose first header byte has already
+/// been consumed (see the server's idle/read-timeout handling: only the
+/// wait for a frame's *first* byte may time out recoverably — once any
+/// byte is consumed, a timeout must fail the connection, because the
+/// partial read cannot be resumed without desynchronizing the stream).
+pub fn read_frame_after(r: &mut impl std::io::Read, first: u8) -> std::io::Result<Vec<u8>> {
+    let mut header = [first, 0, 0, 0];
+    let mut filled = 1;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    let mut buf = [0u8; 8192];
+    while payload.len() < len {
+        let want = (len - payload.len()).min(buf.len());
+        match r.read(&mut buf[..want]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("eof inside frame body ({}/{len} bytes)", payload.len()),
+                ))
+            }
+            Ok(n) => payload.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(req: &Request) -> Request {
+        decode_request(&encode_request(req)).unwrap()
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in [
+            Request::Ping,
+            Request::Get { key: "a/b".into() },
+            Request::GetRange {
+                key: "k".into(),
+                start: 3,
+                end: 9,
+            },
+            Request::Put {
+                key: "k".into(),
+                value: Bytes::from_static(b"payload"),
+            },
+            Request::Delete { key: "k".into() },
+            Request::Exists { key: "k".into() },
+            Request::LenOf { key: "k".into() },
+            Request::List {
+                prefix: "t/".into(),
+            },
+            Request::DeletePrefix {
+                prefix: "t/".into(),
+            },
+            Request::GetMany {
+                requests: vec![
+                    ReadRequest::whole("a"),
+                    ReadRequest::range("b", 0, 10),
+                    ReadRequest::whole(""),
+                ],
+            },
+            Request::Execute {
+                gap_tolerance: 4096,
+                requests: vec![ReadRequest::range("c", 5, 5)],
+            },
+            Request::Query {
+                reference: "main".into(),
+                text: "SELECT * FROM ds WHERE labels = 3".into(),
+                options: QueryOptions::default(),
+            },
+            Request::Describe,
+        ] {
+            let back = roundtrip(&req);
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn storage_errors_roundtrip_losslessly() {
+        for e in [
+            StorageError::NotFound("some/key".into()),
+            StorageError::RangeOutOfBounds {
+                start: 5,
+                end: 10,
+                len: 3,
+            },
+            StorageError::Io("disk on fire".into()),
+            StorageError::ReadOnly,
+        ] {
+            let mut buf = Vec::new();
+            put_storage_err(&mut buf, &e);
+            let back = take_storage_err(&mut WireReader::new(&buf)).unwrap();
+            assert_eq!(back, e);
+            // and through a full response frame
+            let resp = resp_storage_err(&e);
+            assert_eq!(expect_unit(&resp).unwrap_err(), e);
+        }
+    }
+
+    #[test]
+    fn response_decoders_roundtrip() {
+        assert!(expect_unit(&resp_unit()).is_ok());
+        assert_eq!(
+            expect_bytes(&resp_bytes(b"hello")).unwrap(),
+            Bytes::from_static(b"hello")
+        );
+        assert!(expect_bool(&resp_bool(true)).unwrap());
+        assert_eq!(expect_u64(&resp_u64(42)).unwrap(), 42);
+        assert_eq!(expect_str(&resp_str("desc")).unwrap(), "desc");
+        assert_eq!(
+            expect_list(&resp_list(&["a".into(), "b".into()])).unwrap(),
+            vec!["a", "b"]
+        );
+        let slots = vec![
+            Ok(Bytes::from_static(b"x")),
+            Err(StorageError::NotFound("k".into())),
+        ];
+        let back = expect_results(&resp_results(&slots), 2).unwrap();
+        assert_eq!(back[0].as_ref().unwrap(), &Bytes::from_static(b"x"));
+        assert_eq!(
+            back[1].clone().unwrap_err(),
+            StorageError::NotFound("k".into())
+        );
+        let (back, fetches) = expect_execute(&resp_execute(7, &slots), 2).unwrap();
+        assert_eq!(fetches, 7);
+        assert_eq!(back.len(), 2);
+        // slot-count mismatch is a protocol error
+        assert!(expect_results(&resp_results(&slots), 3).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"alpha").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, &[7u8; 100_000]).unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"alpha");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().unwrap(),
+            vec![7u8; 100_000]
+        );
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut std::io::Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        // torn header
+        let err = read_frame(&mut std::io::Cursor::new(vec![1, 0])).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        // body shorter than the (in-bounds) claimed length: errors after
+        // consuming what arrived, no up-front allocation of the claim
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(10_000_000u32).to_le_bytes());
+        wire.extend_from_slice(b"only this");
+        let err = read_frame(&mut std::io::Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn corrupt_requests_rejected() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[200]).is_err());
+        // trailing garbage after a valid request
+        let mut buf = encode_request(&Request::Ping);
+        buf.push(0);
+        assert!(decode_request(&buf).is_err());
+        // lying request count
+        let mut buf = vec![OP_GET_MANY];
+        put_u32(&mut buf, u32::MAX);
+        assert!(decode_request(&buf).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! [`RemoteProvider`] — a [`StorageProvider`] whose backend is a dataset
+//! server across the network.
+//!
+//! Because it implements the provider trait, everything above the
+//! storage layer — `Dataset`, TQL, the vector index, the dataloader —
+//! works over the network *unchanged*. The batched trait methods map
+//! 1:1 onto batched protocol frames, so a loader task's whole
+//! [`ReadPlan`] stays one round trip end to end; [`RemoteProvider::query`]
+//! skips chunk traffic entirely by shipping the TQL text to the server.
+//!
+//! Connections are pooled: each round trip checks a socket out, writes
+//! one request frame, reads one response frame, and returns the socket.
+//! Concurrent callers (loader workers) ride separate sockets, so the
+//! provider is fully `Sync`. A socket that sees any transport error is
+//! dropped, never returned to the pool.
+//!
+//! For benchmarks and tests, [`RemoteOptions::latency`] injects a
+//! deterministic [`NetworkProfile`] charge per round trip (first-byte
+//! latency + wire bytes ÷ bandwidth) — the same cost model
+//! [`deeplake_storage::SimulatedCloudProvider`] uses — so round-trip
+//! counts translate into wall-clock differences without real WAN links.
+
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use bytes::Bytes;
+use deeplake_storage::{
+    NetworkProfile, ReadPlan, ReadRequest, ReadResult, StorageError, StorageProvider, StorageStats,
+};
+use deeplake_tql::{QueryOptions, QueryResult};
+use parking_lot::Mutex;
+
+use crate::proto::{self, Request};
+
+/// Client configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteOptions {
+    /// Idle sockets kept for reuse (concurrency is unbounded — extra
+    /// round trips dial extra sockets; this only caps what is retained).
+    pub pool_size: usize,
+    /// Deterministic per-round-trip network cost to inject (`None` = the
+    /// real transport's latency only). The charge is
+    /// `first_byte_latency + (request + response bytes) / bandwidth`,
+    /// paid by the calling thread.
+    pub latency: Option<NetworkProfile>,
+    /// Socket read timeout (`None` = block forever). Guards callers
+    /// against a hung server.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for RemoteOptions {
+    fn default() -> Self {
+        RemoteOptions {
+            pool_size: 8,
+            latency: None,
+            read_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// A storage provider backed by a remote dataset server.
+pub struct RemoteProvider {
+    addr: SocketAddr,
+    pool: Mutex<Vec<TcpStream>>,
+    opts: RemoteOptions,
+    stats: StorageStats,
+}
+
+impl RemoteProvider {
+    /// Connect with default options, verifying the server answers a ping.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<RemoteProvider> {
+        Self::connect_with(addr, RemoteOptions::default())
+    }
+
+    /// Connect with explicit options, verifying the server answers a ping.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        opts: RemoteOptions,
+    ) -> std::io::Result<RemoteProvider> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address resolved")
+        })?;
+        let provider = RemoteProvider {
+            addr,
+            pool: Mutex::new(Vec::new()),
+            opts,
+            stats: StorageStats::new(),
+        };
+        let mut conn = provider.dial()?;
+        let payload = proto::encode_request(&Request::Ping);
+        proto::write_frame(&mut conn, &payload)?;
+        match proto::read_frame(&mut conn)? {
+            Some(resp) if proto::expect_unit(&resp).is_ok() => {}
+            _ => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    "server did not answer ping",
+                ))
+            }
+        }
+        provider.pool.lock().push(conn);
+        Ok(provider)
+    }
+
+    /// The server address this client talks to.
+    pub fn server_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Client-observed wire traffic: one [`StorageStats::round_trips`]
+    /// per frame exchange, request bytes in
+    /// [`StorageStats::bytes_written`], response bytes in
+    /// [`StorageStats::bytes_read`] (frame headers included). The
+    /// numbers the round-trip-elimination claims are asserted against.
+    pub fn stats(&self) -> &StorageStats {
+        &self.stats
+    }
+
+    /// Offload a TQL query to the server's `main` branch: the server
+    /// runs the pruning/top-k executor against its mounted storage and
+    /// streams back only result rows — one round trip for the whole
+    /// query, instead of one per chunk batch.
+    pub fn query(&self, text: &str, options: &QueryOptions) -> deeplake_tql::Result<QueryResult> {
+        self.query_at("main", text, options)
+    }
+
+    /// Offload a TQL query against an explicit branch or commit.
+    pub fn query_at(
+        &self,
+        reference: &str,
+        text: &str,
+        options: &QueryOptions,
+    ) -> deeplake_tql::Result<QueryResult> {
+        let payload = proto::encode_request(&Request::Query {
+            reference: reference.to_string(),
+            text: text.to_string(),
+            options: *options,
+        });
+        let resp = self
+            .round_trip(&payload)
+            .map_err(|e| deeplake_tql::TqlError::Remote(e.to_string()))?;
+        proto::expect_query(&resp)
+    }
+
+    /// The server's description of its mounted provider.
+    pub fn server_describe(&self) -> Result<String, StorageError> {
+        let resp = self.round_trip(&proto::encode_request(&Request::Describe))?;
+        proto::expect_str(&resp)
+    }
+
+    fn dial(&self) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.opts.read_timeout)?;
+        // a server that stops draining must not hang the caller forever
+        stream.set_write_timeout(self.opts.read_timeout)?;
+        Ok(stream)
+    }
+
+    /// One request/response exchange: check a socket out, frame the
+    /// request, read the response, account the traffic, pay any injected
+    /// latency, return the socket. An erroring socket is dropped.
+    fn round_trip(&self, payload: &[u8]) -> Result<Vec<u8>, StorageError> {
+        let mut conn = match self.pool.lock().pop() {
+            Some(conn) => conn,
+            None => self
+                .dial()
+                .map_err(|e| StorageError::Io(format!("remote dial {}: {e}", self.addr)))?,
+        };
+        let outcome = (|| {
+            proto::write_frame(&mut conn, payload)?;
+            match proto::read_frame(&mut conn)? {
+                Some(resp) => Ok(resp),
+                None => Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )),
+            }
+        })();
+        match outcome {
+            Ok(resp) => {
+                let sent = payload.len() as u64 + 4;
+                let received = resp.len() as u64 + 4;
+                self.stats.record_wire(sent, received);
+                if let Some(profile) = &self.opts.latency {
+                    let cost = profile.get_cost(sent + received);
+                    if !cost.is_zero() {
+                        std::thread::sleep(cost);
+                    }
+                }
+                let mut pool = self.pool.lock();
+                if pool.len() < self.opts.pool_size {
+                    pool.push(conn);
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                // the socket is in an unknown framing state: drop it
+                Err(StorageError::Io(format!(
+                    "remote transport {}: {e}",
+                    self.addr
+                )))
+            }
+        }
+    }
+}
+
+impl StorageProvider for RemoteProvider {
+    fn get(&self, key: &str) -> Result<Bytes, StorageError> {
+        let resp = self.round_trip(&proto::encode_request(&Request::Get {
+            key: key.to_string(),
+        }))?;
+        proto::expect_bytes(&resp)
+    }
+
+    fn get_range(&self, key: &str, start: u64, end: u64) -> Result<Bytes, StorageError> {
+        let resp = self.round_trip(&proto::encode_request(&Request::GetRange {
+            key: key.to_string(),
+            start,
+            end,
+        }))?;
+        proto::expect_bytes(&resp)
+    }
+
+    fn put(&self, key: &str, value: Bytes) -> Result<(), StorageError> {
+        let resp = self.round_trip(&proto::encode_request(&Request::Put {
+            key: key.to_string(),
+            value,
+        }))?;
+        proto::expect_unit(&resp)
+    }
+
+    fn delete(&self, key: &str) -> Result<(), StorageError> {
+        let resp = self.round_trip(&proto::encode_request(&Request::Delete {
+            key: key.to_string(),
+        }))?;
+        proto::expect_unit(&resp)
+    }
+
+    fn exists(&self, key: &str) -> Result<bool, StorageError> {
+        let resp = self.round_trip(&proto::encode_request(&Request::Exists {
+            key: key.to_string(),
+        }))?;
+        proto::expect_bool(&resp)
+    }
+
+    fn len_of(&self, key: &str) -> Result<u64, StorageError> {
+        let resp = self.round_trip(&proto::encode_request(&Request::LenOf {
+            key: key.to_string(),
+        }))?;
+        proto::expect_u64(&resp)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, StorageError> {
+        let resp = self.round_trip(&proto::encode_request(&Request::List {
+            prefix: prefix.to_string(),
+        }))?;
+        proto::expect_list(&resp)
+    }
+
+    fn describe(&self) -> String {
+        format!("remote({})", self.addr)
+    }
+
+    /// One `GetMany` frame for the whole batch — N logical reads, one
+    /// network round trip.
+    fn get_many(&self, requests: &[ReadRequest]) -> Vec<Result<Bytes, StorageError>> {
+        let payload = proto::encode_request(&Request::GetMany {
+            requests: requests.to_vec(),
+        });
+        match self
+            .round_trip(&payload)
+            .and_then(|resp| proto::expect_results(&resp, requests.len()))
+        {
+            Ok(results) => results,
+            // a transport failure fails every slot, like a batch-wide fetch error
+            Err(e) => requests.iter().map(|_| Err(e.clone())).collect(),
+        }
+    }
+
+    /// Ship the whole [`ReadPlan`] to the server in one frame; the
+    /// *mounted* provider coalesces and parallelizes it there, next to
+    /// the data. The wire cost is one round trip regardless of how many
+    /// chunks the plan touches.
+    fn execute(&self, plan: &ReadPlan) -> ReadResult {
+        let payload = proto::encode_request(&Request::Execute {
+            gap_tolerance: plan.gap_tolerance(),
+            requests: plan.requests().to_vec(),
+        });
+        match self
+            .round_trip(&payload)
+            .and_then(|resp| proto::expect_execute(&resp, plan.len()))
+        {
+            Ok((results, fetches)) => ReadResult { results, fetches },
+            Err(e) => ReadResult {
+                results: plan.requests().iter().map(|_| Err(e.clone())).collect(),
+                fetches: 0,
+            },
+        }
+    }
+
+    /// One `DeletePrefix` frame; the server lists and deletes locally.
+    fn delete_prefix(&self, prefix: &str) -> Result<(), StorageError> {
+        let resp = self.round_trip(&proto::encode_request(&Request::DeletePrefix {
+            prefix: prefix.to_string(),
+        }))?;
+        proto::expect_unit(&resp)
+    }
+}

@@ -1,0 +1,41 @@
+//! # deeplake-server
+//!
+//! The serving half of the Deep Lake remote tier: mount any
+//! [`StorageProvider`](deeplake_storage::StorageProvider) — local disk,
+//! memory, an LRU chain over simulated S3 — and serve it to a fleet of
+//! [`RemoteProvider`](deeplake_remote::RemoteProvider) clients over the
+//! length-prefixed binary protocol in [`deeplake_remote::proto`].
+//!
+//! Architecture (client → server → storage):
+//!
+//! ```text
+//! loader / TQL / Dataset           DatasetServer
+//!        │                              │
+//!   RemoteProvider ──one frame──▶ connection thread ──▶ mounted provider
+//!        ▲                              │                    (coalesce,
+//!        └────────one frame─────────────┘                     parallelize)
+//! ```
+//!
+//! Two round-trip eliminations make serving practical:
+//!
+//! * a client `ReadPlan` travels as ONE `Execute` frame and is
+//!   coalesced/parallelized *server-side*, next to the data;
+//! * a TQL query travels as ONE `Query` frame — the server runs the
+//!   pruning/top-k executor locally and returns only result rows, so a
+//!   1%-selectivity query moves ~1% of the data instead of every
+//!   undecided chunk.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use deeplake_server::DatasetServer;
+//! use deeplake_storage::MemoryProvider;
+//!
+//! let server = DatasetServer::bind("127.0.0.1:0", Arc::new(MemoryProvider::new())).unwrap();
+//! println!("serving on {}", server.addr());
+//! // ... clients connect with RemoteProvider::connect(server.addr()) ...
+//! drop(server); // graceful: drains in-flight requests
+//! ```
+
+pub mod server;
+
+pub use server::{DatasetServer, ServerHandle, ServerOptions, ServerStats};

@@ -1,0 +1,334 @@
+//! The serving loop: mount a provider, answer frames.
+//!
+//! One accept thread hands each TCP connection to its own handler
+//! thread (the thread-per-connection model the paper's C++ dataloader
+//! uses per worker — loader clients hold few, long-lived connections,
+//! so threads stay cheap). Handlers answer one request frame at a time;
+//! concurrency across clients comes from the connection fan-out, and
+//! the mounted [`StorageProvider`] is already thread-safe.
+//!
+//! **Shutdown** is graceful by construction: [`ServerHandle::shutdown`]
+//! flips a flag, the accept loop stops taking connections, and every
+//! handler finishes the request it is currently serving — the response
+//! frame is always written — before exiting. Handlers blocked waiting
+//! for a *new* request notice the flag at the next idle poll tick.
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use deeplake_core::Dataset;
+use deeplake_remote::proto::{self, Request};
+use deeplake_storage::{DynProvider, ReadPlan, StorageStats};
+use parking_lot::Mutex;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOptions {
+    /// How often idle handler threads wake to check for shutdown. Also
+    /// bounds how long shutdown waits for an idle connection.
+    pub idle_poll: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            idle_poll: Duration::from_millis(50),
+        }
+    }
+}
+
+/// How long a connection may stall *inside* a frame (reading a started
+/// request, or writing a response the peer isn't draining) before the
+/// server gives up on it. Generous for slow links, finite so a dead
+/// peer can neither desynchronize a handler nor hang shutdown.
+const IN_FRAME_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Served-traffic counters.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    requests: AtomicU64,
+    queries: AtomicU64,
+    wire: StorageStats,
+}
+
+impl ServerStats {
+    /// Frames answered (all opcodes).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Offloaded queries executed.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Wire traffic: one round trip per frame answered, request bytes in
+    /// `bytes_read`, response bytes in `bytes_written` (mirror-image of
+    /// the client's view).
+    pub fn wire(&self) -> &StorageStats {
+        &self.wire
+    }
+}
+
+struct Shared {
+    provider: DynProvider,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+    opts: ServerOptions,
+}
+
+/// The Deep Lake dataset server: binds a TCP address and serves a
+/// mounted [`StorageProvider`] — batched storage ops plus TQL query
+/// offload — to any number of [`deeplake_remote::RemoteProvider`]
+/// clients.
+pub struct DatasetServer;
+
+impl DatasetServer {
+    /// Bind `addr` (use port 0 for an ephemeral port), mount `provider`,
+    /// and start serving. Returns immediately; the accept loop runs on a
+    /// background thread until [`ServerHandle::shutdown`].
+    pub fn bind(addr: impl ToSocketAddrs, provider: DynProvider) -> std::io::Result<ServerHandle> {
+        Self::bind_with(addr, provider, ServerOptions::default())
+    }
+
+    /// [`DatasetServer::bind`] with explicit options.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        provider: DynProvider,
+        opts: ServerOptions,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            provider,
+            stats: ServerStats::default(),
+            shutdown: AtomicBool::new(false),
+            opts,
+        });
+        let handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = shared.clone();
+            let handlers = handlers.clone();
+            std::thread::spawn(move || loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let shared = shared.clone();
+                        let mut guard = handlers.lock();
+                        // reap finished handlers so a long-lived server
+                        // doesn't hold one JoinHandle per connection
+                        // ever served
+                        guard.retain(|h| !h.is_finished());
+                        guard.push(std::thread::spawn(move || {
+                            serve_connection(stream, &shared)
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(shared.opts.idle_poll.min(Duration::from_millis(5)));
+                    }
+                    Err(_) => break,
+                }
+            })
+        };
+        Ok(ServerHandle {
+            addr: local_addr,
+            shared,
+            accept: Some(accept),
+            handlers,
+        })
+    }
+}
+
+/// A running server. Dropping the handle shuts it down gracefully.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Served-traffic counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Description of the mounted provider.
+    pub fn describe(&self) -> String {
+        format!(
+            "serving {} at {}",
+            self.shared.provider.describe(),
+            self.addr
+        )
+    }
+
+    /// Stop gracefully: no new connections are accepted, every handler
+    /// finishes (and answers) the request it is currently serving, then
+    /// all threads are joined. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handlers: Vec<_> = std::mem::take(&mut *self.handlers.lock());
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serve one connection until the peer closes, an unrecoverable
+/// transport error occurs, or shutdown is requested between requests.
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    if stream.set_nodelay(true).is_err() {
+        return;
+    }
+    // a stalled response write must not hang shutdown forever
+    if stream.set_write_timeout(Some(IN_FRAME_TIMEOUT)).is_err() {
+        return;
+    }
+    loop {
+        // Wait for the next frame's FIRST byte under the short idle
+        // timeout (the shutdown poll tick). Only this wait may time out
+        // recoverably: no frame bytes have been consumed yet, so
+        // looping re-reads from a clean boundary. Once the first byte
+        // arrives, the rest of the frame is read under the long
+        // in-frame timeout, and any stall there fails the *connection*
+        // — resuming a half-read frame would desynchronize the stream.
+        if stream
+            .set_read_timeout(Some(shared.opts.idle_poll))
+            .is_err()
+        {
+            return;
+        }
+        let mut first = [0u8; 1];
+        let first = loop {
+            match std::io::Read::read(&mut stream, &mut first) {
+                Ok(0) => return, // clean close at a frame boundary
+                Ok(_) => break first[0],
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        };
+        if stream.set_read_timeout(Some(IN_FRAME_TIMEOUT)).is_err() {
+            return;
+        }
+        let payload = match proto::read_frame_after(&mut stream, first) {
+            Ok(payload) => payload,
+            Err(_) => return,
+        };
+        // From here to the response write, shutdown is NOT checked:
+        // an in-flight request always drains to a written response.
+        let response = dispatch(shared, &payload);
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .wire
+            .record_wire(payload.len() as u64 + 4, response.len() as u64 + 4);
+        if proto::write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+/// Answer one request against the mounted provider.
+fn dispatch(shared: &Shared, payload: &[u8]) -> Vec<u8> {
+    let request = match proto::decode_request(payload) {
+        Ok(r) => r,
+        Err(e) => return proto::resp_proto_err(&e.to_string()),
+    };
+    let p = &shared.provider;
+    match request {
+        Request::Ping => proto::resp_unit(),
+        Request::Get { key } => match p.get(&key) {
+            Ok(data) => proto::resp_bytes(&data),
+            Err(e) => proto::resp_storage_err(&e),
+        },
+        Request::GetRange { key, start, end } => match p.get_range(&key, start, end) {
+            Ok(data) => proto::resp_bytes(&data),
+            Err(e) => proto::resp_storage_err(&e),
+        },
+        Request::Put { key, value } => match p.put(&key, value) {
+            Ok(()) => proto::resp_unit(),
+            Err(e) => proto::resp_storage_err(&e),
+        },
+        Request::Delete { key } => match p.delete(&key) {
+            Ok(()) => proto::resp_unit(),
+            Err(e) => proto::resp_storage_err(&e),
+        },
+        Request::Exists { key } => match p.exists(&key) {
+            Ok(v) => proto::resp_bool(v),
+            Err(e) => proto::resp_storage_err(&e),
+        },
+        Request::LenOf { key } => match p.len_of(&key) {
+            Ok(v) => proto::resp_u64(v),
+            Err(e) => proto::resp_storage_err(&e),
+        },
+        Request::List { prefix } => match p.list(&prefix) {
+            Ok(keys) => proto::resp_list(&keys),
+            Err(e) => proto::resp_storage_err(&e),
+        },
+        Request::DeletePrefix { prefix } => match p.delete_prefix(&prefix) {
+            Ok(()) => proto::resp_unit(),
+            Err(e) => proto::resp_storage_err(&e),
+        },
+        Request::GetMany { requests } => proto::resp_results(&p.get_many(&requests)),
+        Request::Execute {
+            gap_tolerance,
+            requests,
+        } => {
+            let mut plan = ReadPlan::with_gap_tolerance(gap_tolerance);
+            for r in requests {
+                plan.push(r);
+            }
+            let outcome = p.execute(&plan);
+            proto::resp_execute(outcome.fetches, &outcome.results)
+        }
+        Request::Query {
+            reference,
+            text,
+            options,
+        } => {
+            shared.stats.queries.fetch_add(1, Ordering::Relaxed);
+            // a fresh handle per query: always serves the storage's
+            // current state, and queries from many clients never share
+            // mutable dataset state
+            match Dataset::open_at(p.clone(), &reference) {
+                Ok(ds) => match deeplake_tql::query_opts(&ds, &text, &options) {
+                    Ok(result) => proto::resp_query(&result),
+                    Err(e) => proto::resp_query_err(&e.to_string()),
+                },
+                Err(e) => proto::resp_query_err(&format!("open {reference:?}: {e}")),
+            }
+        }
+        Request::Describe => proto::resp_str(&p.describe()),
+    }
+}

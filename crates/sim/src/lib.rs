@@ -15,13 +15,19 @@
 //!   reads), and Deep Lake streaming.
 //! * [`cluster`] — the Fig. 10 multi-GPU consumer fed by one streaming
 //!   loader across a cross-region link.
+//! * [`serving`] — the serving-tier scenario: one dataset server, N
+//!   concurrent loader clients over the sim-latency transport
+//!   (`RemoteProvider` with a [`deeplake_storage::NetworkProfile`]
+//!   charged per wire round trip).
 
 pub mod cluster;
 pub mod datagen;
 pub mod gpu;
+pub mod serving;
 pub mod trainer;
 
 pub use cluster::{run_cluster, ClusterReport};
 pub use datagen::{ffhq_like, imagenet_like, web_images, DataGenConfig};
 pub use gpu::{GpuConsumer, GpuReport};
+pub use serving::{run_served_loaders, ClientReport, ServingConfig, ServingReport};
 pub use trainer::{run_training, TrainMode, TrainingReport};

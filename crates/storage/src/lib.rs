@@ -28,6 +28,7 @@
 //! merged fetches; [`StorageStats::round_trips`] vs
 //! [`StorageStats::logical_reads`] shows the saving.
 
+pub mod contract;
 pub mod error;
 pub mod local;
 pub mod lru;

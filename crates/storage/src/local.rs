@@ -9,6 +9,7 @@ use bytes::Bytes;
 use crate::error::StorageError;
 use crate::plan::{CoalescedFetch, ReadPlan, ReadResult};
 use crate::provider::StorageProvider;
+use crate::stats::StorageStats;
 use crate::Result;
 
 /// Fan-out width for batched reads: one thread per in-flight fetch, like
@@ -19,6 +20,7 @@ const READ_PARALLELISM: usize = 8;
 /// relative paths; intermediate directories are created on write.
 pub struct LocalProvider {
     root: PathBuf,
+    stats: StorageStats,
 }
 
 impl LocalProvider {
@@ -26,12 +28,20 @@ impl LocalProvider {
     pub fn new(root: impl Into<PathBuf>) -> Result<Self> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(LocalProvider { root })
+        Ok(LocalProvider {
+            root,
+            stats: StorageStats::new(),
+        })
     }
 
     /// Root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Traffic counters (successful reads/writes; errors are not counted).
+    pub fn stats(&self) -> &StorageStats {
+        &self.stats
     }
 
     fn path_of(&self, key: &str) -> PathBuf {
@@ -44,16 +54,15 @@ impl LocalProvider {
     }
 
     /// Serve one coalesced fetch: open the file once, read the span.
+    /// Unrecorded — the batched path accounts once per batch.
     fn read_fetch(&self, fetch: &CoalescedFetch) -> Result<Bytes> {
         match fetch.range {
-            None => self.get(&fetch.key),
-            Some((start, end)) => self.get_range(&fetch.key, start, end),
+            None => self.get_raw(&fetch.key),
+            Some((start, end)) => self.get_range_raw(&fetch.key, start, end),
         }
     }
-}
 
-impl StorageProvider for LocalProvider {
-    fn get(&self, key: &str) -> Result<Bytes> {
+    fn get_raw(&self, key: &str) -> Result<Bytes> {
         match fs::read(self.path_of(key)) {
             Ok(data) => Ok(Bytes::from(data)),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -63,7 +72,7 @@ impl StorageProvider for LocalProvider {
         }
     }
 
-    fn get_range(&self, key: &str, start: u64, end: u64) -> Result<Bytes> {
+    fn get_range_raw(&self, key: &str, start: u64, end: u64) -> Result<Bytes> {
         let path = self.path_of(key);
         let mut file = match fs::File::open(&path) {
             Ok(f) => f,
@@ -82,6 +91,20 @@ impl StorageProvider for LocalProvider {
         file.read_exact(&mut buf)?;
         Ok(Bytes::from(buf))
     }
+}
+
+impl StorageProvider for LocalProvider {
+    fn get(&self, key: &str) -> Result<Bytes> {
+        let data = self.get_raw(key)?;
+        self.stats.record_get(data.len() as u64);
+        Ok(data)
+    }
+
+    fn get_range(&self, key: &str, start: u64, end: u64) -> Result<Bytes> {
+        let data = self.get_range_raw(key, start, end)?;
+        self.stats.record_range(data.len() as u64);
+        Ok(data)
+    }
 
     fn put(&self, key: &str, value: Bytes) -> Result<()> {
         let path = self.path_of(key);
@@ -89,6 +112,7 @@ impl StorageProvider for LocalProvider {
             fs::create_dir_all(parent)?;
         }
         fs::write(path, &value)?;
+        self.stats.record_put(value.len() as u64);
         Ok(())
     }
 
@@ -155,9 +179,16 @@ impl StorageProvider for LocalProvider {
             });
         }
         let mut out: Vec<Option<Result<Bytes>>> = vec![None; plan.len()];
+        let mut bytes_moved = 0u64;
         for (fetch, result) in fetches.iter().zip(fetched) {
-            fetch.distribute(result.expect("every fetch ran"), &mut out);
+            let result = result.expect("every fetch ran");
+            if let Ok(data) = &result {
+                bytes_moved += data.len() as u64;
+            }
+            fetch.distribute(result, &mut out);
         }
+        self.stats
+            .record_batch(plan.len() as u64, n_fetches as u64, bytes_moved);
         ReadResult {
             results: out
                 .into_iter()
@@ -291,6 +322,24 @@ mod tests {
         // the aligned form does delete
         p.delete_prefix("a/").unwrap();
         assert!(!p.exists("a/b").unwrap());
+        fs::remove_dir_all(p.root()).unwrap();
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let p = LocalProvider::new(tmp()).unwrap();
+        p.put("k", Bytes::from(vec![1u8; 64])).unwrap();
+        assert_eq!(p.stats().bytes_written(), 64);
+        p.get("k").unwrap();
+        p.get_range("k", 0, 16).unwrap();
+        assert_eq!(p.stats().bytes_read(), 80);
+        let mut plan = ReadPlan::new();
+        plan.whole("k");
+        plan.range("k", 0, 8);
+        p.execute(&plan);
+        // batched reads count once per batch, not per single-key call
+        assert_eq!(p.stats().batch_requests(), 1);
+        assert_eq!(p.stats().requests(), 2);
         fs::remove_dir_all(p.root()).unwrap();
     }
 

@@ -50,9 +50,17 @@ impl<P: StorageProvider> LruCacheProvider<P> {
         }
     }
 
-    /// Cache hit/miss counters.
+    /// Cache hit/miss counters, plus bytes moved from the base on fills
+    /// (`bytes_read`) and written through (`bytes_written`).
     pub fn stats(&self) -> &StorageStats {
         &self.stats
+    }
+
+    /// Fraction of lookups served from memory, in `[0, 1]` (0 when no
+    /// lookups have happened yet). The single number cache sizing is
+    /// tuned against.
+    pub fn hit_ratio(&self) -> f64 {
+        self.stats.hit_ratio()
     }
 
     /// The wrapped base provider.
@@ -164,6 +172,7 @@ impl<P: StorageProvider> StorageProvider for LruCacheProvider<P> {
         }
         self.stats.record_miss();
         let data = self.base.get(key)?;
+        self.stats.record_get(data.len() as u64);
         self.insert(key, data.clone());
         Ok(data)
     }
@@ -180,16 +189,22 @@ impl<P: StorageProvider> StorageProvider for LruCacheProvider<P> {
         match self.base.len_of(key) {
             Ok(len) if len <= self.capacity => {
                 let data = self.base.get(key)?;
+                self.stats.record_get(data.len() as u64);
                 self.insert(key, data.clone());
                 let (s, e) = clamp_range(start, end, data.len() as u64)?;
                 Ok(data.slice(s..e))
             }
-            _ => self.base.get_range(key, start, end),
+            _ => {
+                let data = self.base.get_range(key, start, end)?;
+                self.stats.record_range(data.len() as u64);
+                Ok(data)
+            }
         }
     }
 
     fn put(&self, key: &str, value: Bytes) -> Result<()> {
         self.base.put(key, value.clone())?;
+        self.stats.record_put(value.len() as u64);
         self.insert(key, value);
         Ok(())
     }
@@ -440,6 +455,22 @@ mod tests {
         assert_eq!(cache.stats().cache_hits(), 1);
         cache.get("b").unwrap();
         assert_eq!(cache.stats().cache_misses(), 1);
+    }
+
+    #[test]
+    fn hit_ratio_and_fill_bytes_surface() {
+        let base = slow_base();
+        base.inner().put("k", Bytes::from(vec![7u8; 100])).unwrap();
+        let cache = LruCacheProvider::new(base, 1_000);
+        assert_eq!(cache.hit_ratio(), 0.0);
+        cache.get("k").unwrap(); // miss: fills 100 bytes from base
+        cache.get("k").unwrap();
+        cache.get("k").unwrap();
+        cache.get("k").unwrap();
+        assert!((cache.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(cache.stats().bytes_read(), 100, "hits move no base bytes");
+        cache.put("w", Bytes::from(vec![1u8; 40])).unwrap();
+        assert_eq!(cache.stats().bytes_written(), 40);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use parking_lot::RwLock;
 use crate::error::StorageError;
 use crate::plan::{execute_coalesced, ReadPlan, ReadRequest, ReadResult};
 use crate::provider::{clamp_range, StorageProvider};
+use crate::stats::StorageStats;
 use crate::Result;
 
 /// The simplest provider: a thread-safe ordered map. Also serves as the
@@ -16,6 +17,7 @@ use crate::Result;
 #[derive(Default)]
 pub struct MemoryProvider {
     objects: RwLock<BTreeMap<String, Bytes>>,
+    stats: StorageStats,
 }
 
 impl MemoryProvider {
@@ -33,15 +35,23 @@ impl MemoryProvider {
     pub fn total_bytes(&self) -> u64 {
         self.objects.read().values().map(|v| v.len() as u64).sum()
     }
+
+    /// Traffic counters (successful reads/writes; errors are not counted).
+    pub fn stats(&self) -> &StorageStats {
+        &self.stats
+    }
 }
 
 impl StorageProvider for MemoryProvider {
     fn get(&self, key: &str) -> Result<Bytes> {
-        self.objects
+        let data = self
+            .objects
             .read()
             .get(key)
             .cloned()
-            .ok_or_else(|| StorageError::NotFound(key.to_string()))
+            .ok_or_else(|| StorageError::NotFound(key.to_string()))?;
+        self.stats.record_get(data.len() as u64);
+        Ok(data)
     }
 
     fn get_range(&self, key: &str, start: u64, end: u64) -> Result<Bytes> {
@@ -50,10 +60,13 @@ impl StorageProvider for MemoryProvider {
             .get(key)
             .ok_or_else(|| StorageError::NotFound(key.to_string()))?;
         let (s, e) = clamp_range(start, end, obj.len() as u64)?;
-        Ok(obj.slice(s..e))
+        let data = obj.slice(s..e);
+        self.stats.record_range(data.len() as u64);
+        Ok(data)
     }
 
     fn put(&self, key: &str, value: Bytes) -> Result<()> {
+        self.stats.record_put(value.len() as u64);
         self.objects.write().insert(key.to_string(), value);
         Ok(())
     }
@@ -91,46 +104,68 @@ impl StorageProvider for MemoryProvider {
 
     /// Batched reads under a single read lock — no per-request lock churn.
     fn get_many(&self, requests: &[ReadRequest]) -> Vec<Result<Bytes>> {
-        let guard = self.objects.read();
-        requests
-            .iter()
-            .map(|r| {
-                let obj = guard
-                    .get(&r.key)
-                    .ok_or_else(|| StorageError::NotFound(r.key.clone()))?;
-                match r.range {
-                    None => Ok(obj.clone()),
-                    Some((start, end)) => {
-                        let (s, e) = clamp_range(start, end, obj.len() as u64)?;
-                        Ok(obj.slice(s..e))
-                    }
-                }
-            })
-            .collect()
+        let mut bytes_moved = 0u64;
+        let out: Vec<Result<Bytes>> = {
+            let guard = self.objects.read();
+            requests
+                .iter()
+                .map(|r| {
+                    let obj = guard
+                        .get(&r.key)
+                        .ok_or_else(|| StorageError::NotFound(r.key.clone()))?;
+                    let data = match r.range {
+                        None => obj.clone(),
+                        Some((start, end)) => {
+                            let (s, e) = clamp_range(start, end, obj.len() as u64)?;
+                            obj.slice(s..e)
+                        }
+                    };
+                    bytes_moved += data.len() as u64;
+                    Ok(data)
+                })
+                .collect()
+        };
+        self.stats
+            .record_batch(requests.len() as u64, requests.len() as u64, bytes_moved);
+        out
     }
 
     /// The whole plan is served under a single read lock; coalescing
     /// costs nothing here (slices share the stored buffer) and keeps the
     /// reported fetch count consistent with the other providers.
     fn execute(&self, plan: &ReadPlan) -> ReadResult {
-        let guard = self.objects.read();
-        execute_coalesced(plan, |f| {
-            let obj = guard
-                .get(&f.key)
-                .ok_or_else(|| StorageError::NotFound(f.key.clone()))?;
-            match f.range {
-                None => Ok(obj.clone()),
-                Some((start, end)) => {
-                    let (s, e) = clamp_range(start, end, obj.len() as u64)?;
-                    Ok(obj.slice(s..e))
-                }
-            }
-        })
+        let mut bytes_moved = 0u64;
+        let result = {
+            let guard = self.objects.read();
+            execute_coalesced(plan, |f| {
+                let obj = guard
+                    .get(&f.key)
+                    .ok_or_else(|| StorageError::NotFound(f.key.clone()))?;
+                let data = match f.range {
+                    None => obj.clone(),
+                    Some((start, end)) => {
+                        let (s, e) = clamp_range(start, end, obj.len() as u64)?;
+                        obj.slice(s..e)
+                    }
+                };
+                bytes_moved += data.len() as u64;
+                Ok(data)
+            })
+        };
+        self.stats
+            .record_batch(plan.len() as u64, result.fetches, bytes_moved);
+        result
     }
 
     /// One write-lock pass removes the whole subtree.
     fn delete_prefix(&self, prefix: &str) -> Result<()> {
-        self.objects.write().retain(|k, _| !k.starts_with(prefix));
+        let mut removed = 0u64;
+        self.objects.write().retain(|k, _| {
+            let doomed = k.starts_with(prefix);
+            removed += doomed as u64;
+            !doomed
+        });
+        self.stats.record_delete_prefix(removed);
         Ok(())
     }
 }
@@ -203,6 +238,25 @@ mod tests {
         p.put("y", Bytes::from(vec![0u8; 20])).unwrap();
         assert_eq!(p.object_count(), 2);
         assert_eq!(p.total_bytes(), 30);
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let p = MemoryProvider::new();
+        p.put("k", Bytes::from(vec![0u8; 100])).unwrap();
+        assert_eq!(p.stats().bytes_written(), 100);
+        p.get("k").unwrap();
+        p.get_range("k", 0, 40).unwrap();
+        assert_eq!(p.stats().bytes_read(), 140);
+        assert_eq!(p.stats().requests(), 2);
+        let mut plan = ReadPlan::new();
+        plan.whole("k");
+        p.execute(&plan);
+        assert_eq!(p.stats().bytes_read(), 240);
+        assert_eq!(p.stats().batch_requests(), 1);
+        // a failed read moves (and counts) nothing
+        assert!(p.get("missing").is_err());
+        assert_eq!(p.stats().bytes_read(), 240);
     }
 
     #[test]

@@ -4,14 +4,20 @@
 //! dataset exist in the same storage, separated by sub-directories") and
 //! per-tensor folders are all expressed as prefixes of one underlying
 //! provider. [`PrefixProvider`] rebases every key under a fixed prefix so
-//! higher layers can work with local names.
+//! higher layers can work with local names — *including inside errors*: a
+//! [`StorageError::NotFound`] surfacing through a scoped provider names
+//! the key the caller asked for, not the absolute key, so errors
+//! round-trip identically whether the provider is scoped, remote, or
+//! bare (the loader and the remote error frames rely on this).
 
 use std::sync::Arc;
 
 use bytes::Bytes;
 
+use crate::error::StorageError;
 use crate::plan::{ReadPlan, ReadRequest, ReadResult};
 use crate::provider::{DynProvider, StorageProvider};
+use crate::stats::StorageStats;
 use crate::Result;
 
 /// A view of a provider rooted at `prefix`.
@@ -19,6 +25,7 @@ use crate::Result;
 pub struct PrefixProvider {
     inner: DynProvider,
     prefix: String,
+    stats: Arc<StorageStats>,
 }
 
 impl PrefixProvider {
@@ -29,7 +36,11 @@ impl PrefixProvider {
         if !prefix.is_empty() && !prefix.ends_with('/') {
             prefix.push('/');
         }
-        PrefixProvider { inner, prefix }
+        PrefixProvider {
+            inner,
+            prefix,
+            stats: Arc::new(StorageStats::new()),
+        }
     }
 
     /// Nest a further prefix under this one.
@@ -51,6 +62,25 @@ impl PrefixProvider {
     pub fn prefix(&self) -> &str {
         &self.prefix
     }
+
+    /// Traffic through *this scope* (clones share the counters). The
+    /// per-dataset / per-tensor slice of the underlying provider's total.
+    pub fn stats(&self) -> &StorageStats {
+        &self.stats
+    }
+
+    /// Rebase an error's absolute key back to the scoped name the caller
+    /// used, so scoped errors match what an unscoped provider rooted here
+    /// would have reported.
+    fn rebase_err(&self, e: StorageError) -> StorageError {
+        match e {
+            StorageError::NotFound(abs) => match abs.strip_prefix(&self.prefix) {
+                Some(local) => StorageError::NotFound(local.to_string()),
+                None => StorageError::NotFound(abs),
+            },
+            other => other,
+        }
+    }
 }
 
 impl From<DynProvider> for PrefixProvider {
@@ -67,28 +97,48 @@ impl From<crate::MemoryProvider> for PrefixProvider {
 
 impl StorageProvider for PrefixProvider {
     fn get(&self, key: &str) -> Result<Bytes> {
-        self.inner.get(&self.absolute(key))
+        let data = self
+            .inner
+            .get(&self.absolute(key))
+            .map_err(|e| self.rebase_err(e))?;
+        self.stats.record_get(data.len() as u64);
+        Ok(data)
     }
     fn get_range(&self, key: &str, start: u64, end: u64) -> Result<Bytes> {
-        self.inner.get_range(&self.absolute(key), start, end)
+        let data = self
+            .inner
+            .get_range(&self.absolute(key), start, end)
+            .map_err(|e| self.rebase_err(e))?;
+        self.stats.record_range(data.len() as u64);
+        Ok(data)
     }
     fn put(&self, key: &str, value: Bytes) -> Result<()> {
-        self.inner.put(&self.absolute(key), value)
+        self.stats.record_put(value.len() as u64);
+        self.inner
+            .put(&self.absolute(key), value)
+            .map_err(|e| self.rebase_err(e))
     }
     fn delete(&self, key: &str) -> Result<()> {
-        self.inner.delete(&self.absolute(key))
+        self.inner
+            .delete(&self.absolute(key))
+            .map_err(|e| self.rebase_err(e))
     }
     fn exists(&self, key: &str) -> Result<bool> {
-        self.inner.exists(&self.absolute(key))
+        self.inner
+            .exists(&self.absolute(key))
+            .map_err(|e| self.rebase_err(e))
     }
     fn len_of(&self, key: &str) -> Result<u64> {
-        self.inner.len_of(&self.absolute(key))
+        self.inner
+            .len_of(&self.absolute(key))
+            .map_err(|e| self.rebase_err(e))
     }
     fn list(&self, prefix: &str) -> Result<Vec<String>> {
         let abs = self.absolute(prefix);
         Ok(self
             .inner
-            .list(&abs)?
+            .list(&abs)
+            .map_err(|e| self.rebase_err(e))?
             .into_iter()
             .filter_map(|k| k.strip_prefix(&self.prefix).map(str::to_string))
             .collect())
@@ -104,7 +154,22 @@ impl StorageProvider for PrefixProvider {
                 range: r.range,
             })
             .collect();
-        self.inner.get_many(&rebased)
+        let mut bytes_moved = 0u64;
+        let out: Vec<Result<Bytes>> = self
+            .inner
+            .get_many(&rebased)
+            .into_iter()
+            .map(|r| match r {
+                Ok(data) => {
+                    bytes_moved += data.len() as u64;
+                    Ok(data)
+                }
+                Err(e) => Err(self.rebase_err(e)),
+            })
+            .collect();
+        self.stats
+            .record_batch(requests.len() as u64, requests.len() as u64, bytes_moved);
+        out
     }
     fn execute(&self, plan: &ReadPlan) -> ReadResult {
         // results are positional, so only the keys need rebasing
@@ -115,10 +180,30 @@ impl StorageProvider for PrefixProvider {
                 range: r.range,
             });
         }
-        self.inner.execute(&rebased)
+        let outcome = self.inner.execute(&rebased);
+        let mut bytes_moved = 0u64;
+        let results: Vec<Result<Bytes>> = outcome
+            .results
+            .into_iter()
+            .map(|r| match r {
+                Ok(data) => {
+                    bytes_moved += data.len() as u64;
+                    Ok(data)
+                }
+                Err(e) => Err(self.rebase_err(e)),
+            })
+            .collect();
+        self.stats
+            .record_batch(plan.len() as u64, outcome.fetches, bytes_moved);
+        ReadResult {
+            results,
+            fetches: outcome.fetches,
+        }
     }
     fn delete_prefix(&self, prefix: &str) -> Result<()> {
-        self.inner.delete_prefix(&self.absolute(prefix))
+        self.inner
+            .delete_prefix(&self.absolute(prefix))
+            .map_err(|e| self.rebase_err(e))
     }
 }
 
@@ -176,5 +261,51 @@ mod tests {
         assert_eq!(p.len_of("k").unwrap(), 10);
         p.delete("k").unwrap();
         assert!(!p.exists("k").unwrap());
+    }
+
+    #[test]
+    fn errors_report_scoped_keys() {
+        let (_, p) = scoped();
+        // the caller asked for "gone", not "ds1/gone"
+        assert_eq!(
+            p.get("gone").unwrap_err(),
+            StorageError::NotFound("gone".into())
+        );
+        assert_eq!(
+            p.get_range("gone", 0, 4).unwrap_err(),
+            StorageError::NotFound("gone".into())
+        );
+        assert_eq!(
+            p.len_of("gone").unwrap_err(),
+            StorageError::NotFound("gone".into())
+        );
+        // batched paths agree
+        let mut plan = ReadPlan::new();
+        plan.whole("gone");
+        let outcome = p.execute(&plan);
+        assert_eq!(
+            outcome.results[0].clone().unwrap_err(),
+            StorageError::NotFound("gone".into())
+        );
+        let many = p.get_many(&[ReadRequest::whole("gone")]);
+        assert_eq!(
+            many[0].clone().unwrap_err(),
+            StorageError::NotFound("gone".into())
+        );
+    }
+
+    #[test]
+    fn scoped_stats_count_scoped_traffic() {
+        let (base, p) = scoped();
+        p.put("k", Bytes::from(vec![0u8; 10])).unwrap();
+        p.get("k").unwrap();
+        assert_eq!(p.stats().bytes_written(), 10);
+        assert_eq!(p.stats().bytes_read(), 10);
+        // clones share the counters (same scope, same accounting)
+        let q = p.clone();
+        q.get("k").unwrap();
+        assert_eq!(p.stats().bytes_read(), 20);
+        // the base saw the same traffic under absolute keys
+        assert_eq!(base.stats().bytes_read(), 20);
     }
 }

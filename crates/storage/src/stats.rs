@@ -62,6 +62,17 @@ impl StorageStats {
         self.round_trips.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one request/response round trip over a wire transport:
+    /// `sent` request bytes written, `received` response bytes read. Used
+    /// by remote storage clients and servers, where every frame exchange
+    /// is exactly one network round trip regardless of how many logical
+    /// reads it carried.
+    pub fn record_wire(&self, sent: u64, received: u64) {
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(sent, Ordering::Relaxed);
+        self.bytes_read.fetch_add(received, Ordering::Relaxed);
+    }
+
     /// Record a PUT of `bytes`.
     pub fn record_put(&self, bytes: u64) {
         self.put_requests.fetch_add(1, Ordering::Relaxed);
@@ -211,6 +222,17 @@ mod tests {
         assert_eq!(s.batch_requests(), 2);
         s.reset();
         assert_eq!(s.logical_reads() + s.round_trips() + s.batch_requests(), 0);
+    }
+
+    #[test]
+    fn wire_accounting() {
+        let s = StorageStats::new();
+        s.record_wire(100, 4000);
+        s.record_wire(50, 10);
+        assert_eq!(s.round_trips(), 2);
+        assert_eq!(s.bytes_written(), 150);
+        assert_eq!(s.bytes_read(), 4010);
+        assert_eq!(s.requests(), 0, "wire frames are not single-key GETs");
     }
 
     #[test]

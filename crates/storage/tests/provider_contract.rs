@@ -1,12 +1,17 @@
 //! Contract tests: every storage provider must satisfy the same semantics
 //! (the dataloader and format layers rely on them interchangeably, §3.6).
+//!
+//! The check bodies live in [`deeplake_storage::contract`] so other
+//! crates (notably the remote client served over loopback TCP) run the
+//! *identical* suite; this file instantiates them for the five in-crate
+//! providers.
 
 use std::sync::Arc;
 
-use bytes::Bytes;
+use deeplake_storage::contract;
 use deeplake_storage::{
-    LocalProvider, LruCacheProvider, MemoryProvider, NetworkProfile, PrefixProvider, ReadPlan,
-    ReadRequest, SimulatedCloudProvider, StorageError, StorageProvider,
+    LocalProvider, LruCacheProvider, MemoryProvider, NetworkProfile, PrefixProvider,
+    SimulatedCloudProvider, StorageProvider,
 };
 
 fn providers() -> Vec<(&'static str, Box<dyn StorageProvider>)> {
@@ -41,300 +46,55 @@ fn providers() -> Vec<(&'static str, Box<dyn StorageProvider>)> {
     ]
 }
 
-#[test]
-fn put_get_roundtrip_all_providers() {
-    for (name, p) in providers() {
-        p.put("a/b/c", Bytes::from_static(b"payload")).unwrap();
-        assert_eq!(
-            p.get("a/b/c").unwrap(),
-            Bytes::from_static(b"payload"),
-            "{name}"
-        );
-        assert_eq!(p.len_of("a/b/c").unwrap(), 7, "{name}");
-        assert!(p.exists("a/b/c").unwrap(), "{name}");
-    }
-}
-
-#[test]
-fn missing_keys_not_found_all_providers() {
-    for (name, p) in providers() {
-        assert!(
-            matches!(p.get("missing"), Err(StorageError::NotFound(_))),
-            "{name}"
-        );
-        assert!(!p.exists("missing").unwrap(), "{name}");
-        assert!(
-            matches!(p.len_of("missing"), Err(StorageError::NotFound(_))),
-            "{name}"
-        );
-        p.delete("missing").unwrap(); // idempotent everywhere
-    }
-}
-
-#[test]
-fn range_semantics_all_providers() {
-    for (name, p) in providers() {
-        p.put("obj", Bytes::from_static(b"0123456789")).unwrap();
-        assert_eq!(
-            p.get_range("obj", 2, 6).unwrap(),
-            Bytes::from_static(b"2345"),
-            "{name}"
-        );
-        // over-long end clamps (S3 semantics)
-        assert_eq!(
-            p.get_range("obj", 7, 1000).unwrap(),
-            Bytes::from_static(b"789"),
-            "{name}"
-        );
-        // empty range at the boundary
-        assert_eq!(p.get_range("obj", 10, 10).unwrap().len(), 0, "{name}");
-        // start past end errors
-        assert!(p.get_range("obj", 11, 12).is_err(), "{name}");
-    }
-}
-
-#[test]
-fn overwrite_and_delete_all_providers() {
-    for (name, p) in providers() {
-        p.put("k", Bytes::from_static(b"one")).unwrap();
-        p.put("k", Bytes::from_static(b"twotwo")).unwrap();
-        assert_eq!(p.len_of("k").unwrap(), 6, "{name}");
-        p.delete("k").unwrap();
-        assert!(!p.exists("k").unwrap(), "{name}");
-    }
-}
-
-#[test]
-fn list_prefix_sorted_all_providers() {
-    for (name, p) in providers() {
-        for key in ["t/2", "t/1", "t/10", "u/1"] {
-            p.put(key, Bytes::new()).unwrap();
+macro_rules! contract_test {
+    ($test_name:ident, $check:ident) => {
+        #[test]
+        fn $test_name() {
+            for (name, p) in providers() {
+                contract::$check(name, p.as_ref());
+            }
         }
-        let listed = p.list("t/").unwrap();
-        assert_eq!(listed, vec!["t/1", "t/10", "t/2"], "{name}");
-        p.delete_prefix("t/").unwrap();
-        assert!(p.list("t/").unwrap().is_empty(), "{name}");
-        assert!(p.exists("u/1").unwrap(), "{name}");
-    }
+    };
 }
 
-#[test]
-fn get_many_matches_single_key_reads_all_providers() {
-    for (name, p) in providers() {
-        p.put("batch/a", Bytes::from_static(b"alpha")).unwrap();
-        p.put("batch/b", Bytes::from_static(b"0123456789")).unwrap();
-        let requests = vec![
-            ReadRequest::whole("batch/a"),
-            ReadRequest::range("batch/b", 2, 6),
-            ReadRequest::whole("batch/b"),
-            ReadRequest::range("batch/a", 0, 2),
-        ];
-        let results = p.get_many(&requests);
-        assert_eq!(results.len(), 4, "{name}");
-        assert_eq!(
-            results[0].as_ref().unwrap(),
-            &Bytes::from_static(b"alpha"),
-            "{name}"
-        );
-        assert_eq!(
-            results[1].as_ref().unwrap(),
-            &Bytes::from_static(b"2345"),
-            "{name}"
-        );
-        assert_eq!(
-            results[2].as_ref().unwrap(),
-            &Bytes::from_static(b"0123456789"),
-            "{name}"
-        );
-        assert_eq!(
-            results[3].as_ref().unwrap(),
-            &Bytes::from_static(b"al"),
-            "{name}"
-        );
-    }
-}
-
-#[test]
-fn execute_preserves_request_order_all_providers() {
-    for (name, p) in providers() {
-        p.put("obj", Bytes::from_static(b"abcdefghij")).unwrap();
-        let mut plan = ReadPlan::new();
-        plan.range("obj", 6, 9);
-        plan.range("obj", 0, 3);
-        plan.whole("obj");
-        let outcome = p.execute(&plan);
-        assert_eq!(outcome.results.len(), 3, "{name}");
-        assert_eq!(
-            outcome.results[0].as_ref().unwrap(),
-            &Bytes::from_static(b"ghi"),
-            "{name}"
-        );
-        assert_eq!(
-            outcome.results[1].as_ref().unwrap(),
-            &Bytes::from_static(b"abc"),
-            "{name}"
-        );
-        assert_eq!(
-            outcome.results[2].as_ref().unwrap(),
-            &Bytes::from_static(b"abcdefghij"),
-            "{name}"
-        );
-        assert!(
-            outcome.fetches <= 3,
-            "{name}: coalescing must never add fetches"
-        );
-    }
-}
-
-#[test]
-fn execute_clamps_over_long_ranges_in_batch_all_providers() {
-    for (name, p) in providers() {
-        p.put("obj", Bytes::from_static(b"0123456789")).unwrap();
-        let mut plan = ReadPlan::new();
-        plan.range("obj", 8, 1000); // over-long end clamps, S3 style
-        plan.range("obj", 10, 10); // empty range at the boundary
-        plan.range("obj", 11, 12); // start past end errors
-        plan.range("obj", 0, 4); // and an in-bounds request still succeeds
-        let outcome = p.execute(&plan);
-        assert_eq!(
-            outcome.results[0].as_ref().unwrap(),
-            &Bytes::from_static(b"89"),
-            "{name}"
-        );
-        assert_eq!(outcome.results[1].as_ref().unwrap().len(), 0, "{name}");
-        assert!(
-            matches!(
-                outcome.results[2],
-                Err(StorageError::RangeOutOfBounds { .. })
-            ),
-            "{name}: got {:?}",
-            outcome.results[2]
-        );
-        assert_eq!(
-            outcome.results[3].as_ref().unwrap(),
-            &Bytes::from_static(b"0123"),
-            "{name}"
-        );
-    }
-}
-
-#[test]
-fn execute_rejects_inverted_ranges_like_single_key_all_providers() {
-    for (name, p) in providers() {
-        p.put("obj", Bytes::from_static(b"0123456789")).unwrap();
-        // single-key ground truth
-        assert!(p.get_range("obj", 8, 3).is_err(), "{name}");
-        let mut plan = ReadPlan::new();
-        plan.range("obj", 8, 3); // inverted: must fail
-        plan.range("obj", 0, 4); // valid neighbour: must still succeed
-        let outcome = p.execute(&plan);
-        assert!(
-            matches!(
-                outcome.results[0],
-                Err(StorageError::RangeOutOfBounds { .. })
-            ),
-            "{name}: got {:?}",
-            outcome.results[0]
-        );
-        assert_eq!(
-            outcome.results[1].as_ref().unwrap(),
-            &Bytes::from_static(b"0123"),
-            "{name}"
-        );
-    }
-}
-
-#[test]
-fn execute_isolates_missing_keys_in_batch_all_providers() {
-    for (name, p) in providers() {
-        p.put("have", Bytes::from_static(b"data")).unwrap();
-        let mut plan = ReadPlan::new();
-        plan.whole("have");
-        plan.whole("ghost");
-        plan.range("ghost", 0, 2);
-        plan.range("have", 1, 3);
-        let outcome = p.execute(&plan);
-        assert_eq!(
-            outcome.results[0].as_ref().unwrap(),
-            &Bytes::from_static(b"data"),
-            "{name}"
-        );
-        assert!(
-            matches!(outcome.results[1], Err(StorageError::NotFound(_))),
-            "{name}"
-        );
-        assert!(
-            matches!(outcome.results[2], Err(StorageError::NotFound(_))),
-            "{name}"
-        );
-        assert_eq!(
-            outcome.results[3].as_ref().unwrap(),
-            &Bytes::from_static(b"at"),
-            "{name}"
-        );
-        // get_many agrees with execute on the same shape
-        let via_get_many = p.get_many(plan.requests());
-        assert_eq!(via_get_many.len(), 4, "{name}");
-        assert!(via_get_many[0].is_ok() && via_get_many[3].is_ok(), "{name}");
-        assert!(
-            via_get_many[1].is_err() && via_get_many[2].is_err(),
-            "{name}"
-        );
-    }
-}
-
-#[test]
-fn execute_coalesces_same_key_ranges_all_providers() {
-    for (name, p) in providers() {
-        let payload: Vec<u8> = (0..=255).collect();
-        p.put("chunk", Bytes::from(payload)).unwrap();
-        // 8 adjacent 32-byte reads of one object coalesce into one fetch
-        let mut plan = ReadPlan::new();
-        for i in 0..8u64 {
-            plan.range("chunk", i * 32, (i + 1) * 32);
-        }
-        let outcome = p.execute(&plan);
-        for (i, r) in outcome.results.iter().enumerate() {
-            let data = r.as_ref().unwrap();
-            assert_eq!(data.len(), 32, "{name}");
-            assert_eq!(data[0], (i * 32) as u8, "{name}");
-        }
-        assert!(
-            outcome.fetches <= 1,
-            "{name}: adjacent ranges on one key must merge (got {} fetches)",
-            outcome.fetches
-        );
-    }
-}
-
-#[test]
-fn empty_plan_is_a_no_op_all_providers() {
-    for (name, p) in providers() {
-        let outcome = p.execute(&ReadPlan::new());
-        assert!(outcome.results.is_empty(), "{name}");
-        assert_eq!(outcome.fetches, 0, "{name}");
-        assert!(p.get_many(&[]).is_empty(), "{name}");
-    }
-}
-
-#[test]
-fn concurrent_writers_all_providers() {
-    for (name, p) in providers() {
-        let p = Arc::new(p);
-        let mut handles = Vec::new();
-        for t in 0..4 {
-            let p = Arc::clone(&p);
-            handles.push(std::thread::spawn(move || {
-                for i in 0..50 {
-                    let key = format!("c{t}/{i}");
-                    p.put(&key, Bytes::from(vec![t as u8; 32])).unwrap();
-                    assert_eq!(p.get(&key).unwrap().len(), 32);
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert_eq!(p.list("c").unwrap().len(), 200, "{name}");
-    }
-}
+contract_test!(put_get_roundtrip_all_providers, check_put_get_roundtrip);
+contract_test!(
+    missing_keys_not_found_all_providers,
+    check_missing_keys_not_found
+);
+contract_test!(
+    not_found_names_requested_key_all_providers,
+    check_not_found_names_requested_key
+);
+contract_test!(range_semantics_all_providers, check_range_semantics);
+contract_test!(
+    overwrite_and_delete_all_providers,
+    check_overwrite_and_delete
+);
+contract_test!(list_prefix_sorted_all_providers, check_list_prefix_sorted);
+contract_test!(
+    get_many_matches_single_key_reads_all_providers,
+    check_get_many_matches_single_key
+);
+contract_test!(
+    execute_preserves_request_order_all_providers,
+    check_execute_preserves_order
+);
+contract_test!(
+    execute_clamps_over_long_ranges_in_batch_all_providers,
+    check_execute_clamps_like_single_key
+);
+contract_test!(
+    execute_rejects_inverted_ranges_like_single_key_all_providers,
+    check_execute_rejects_inverted_ranges
+);
+contract_test!(
+    execute_isolates_missing_keys_in_batch_all_providers,
+    check_execute_isolates_missing_keys
+);
+contract_test!(
+    execute_coalesces_same_key_ranges_all_providers,
+    check_execute_coalesces_same_key
+);
+contract_test!(empty_plan_is_a_no_op_all_providers, check_empty_plan_noop);
+contract_test!(concurrent_writers_all_providers, check_concurrent_writers);

@@ -35,6 +35,11 @@ pub enum TqlError {
     Core(CoreError),
     /// Error from the tensor layer.
     Tensor(TensorError),
+    /// A query offloaded to a dataset server failed on the far side, or
+    /// its wire encoding could not be decoded. Carries the remote
+    /// error's rendering — the query layers' error *types* don't cross
+    /// the wire, only storage errors do (see `deeplake_storage`).
+    Remote(String),
 }
 
 impl std::fmt::Display for TqlError {
@@ -52,6 +57,7 @@ impl std::fmt::Display for TqlError {
             TqlError::Type(msg) => write!(f, "type error: {msg}"),
             TqlError::Core(e) => write!(f, "dataset error: {e}"),
             TqlError::Tensor(e) => write!(f, "tensor error: {e}"),
+            TqlError::Remote(msg) => write!(f, "remote query error: {msg}"),
         }
     }
 }

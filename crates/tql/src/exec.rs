@@ -46,7 +46,7 @@ use crate::value::Value;
 use crate::Result;
 
 /// Execution options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueryOptions {
     /// Worker threads for parallel evaluation.
     pub workers: usize,
@@ -127,8 +127,29 @@ pub struct QueryResult {
     /// When the query ran `AT VERSION`, the reopened read-only dataset the
     /// indices refer to.
     pub dataset: Option<Dataset>,
+    /// Head node id of the dataset the indices refer to when that is
+    /// *not* the handle the query was issued against (`AT VERSION`
+    /// queries). Serializable where `dataset` is not — a query-offload
+    /// client uses it to reopen the right version remotely.
+    pub version: Option<String>,
     /// Pruning and I/O counters for this execution.
     pub stats: QueryStats,
+}
+
+impl std::fmt::Debug for QueryResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryResult")
+            .field("indices", &self.indices)
+            .field("columns", &self.columns)
+            .field("rows", &self.rows)
+            .field(
+                "dataset",
+                &self.dataset.as_ref().map(|d| d.name().to_string()),
+            )
+            .field("version", &self.version)
+            .field("stats", &self.stats)
+            .finish()
+    }
 }
 
 impl QueryResult {
@@ -212,6 +233,7 @@ pub fn execute(ds: &Dataset, query: &Query, opts: &QueryOptions) -> Result<Query
         let mut stripped = query.clone();
         stripped.version = None;
         let mut result = execute(&reopened, &stripped, opts)?;
+        result.version = Some(reopened.head_id().to_string());
         result.dataset = Some(reopened);
         return Ok(result);
     }
@@ -336,6 +358,7 @@ pub fn execute(ds: &Dataset, query: &Query, opts: &QueryOptions) -> Result<Query
         columns,
         rows,
         dataset: None,
+        version: None,
         stats: stats.snapshot(),
     })
 }

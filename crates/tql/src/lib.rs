@@ -70,6 +70,7 @@ pub mod lexer;
 pub mod parser;
 pub mod plan;
 pub mod value;
+pub mod wire;
 
 pub use ast::{Expr, Query};
 pub use error::TqlError;
@@ -82,6 +83,17 @@ pub type Result<T> = std::result::Result<T, TqlError>;
 
 /// Parse and execute a query against a dataset with default options.
 pub fn query(ds: &deeplake_core::Dataset, text: &str) -> Result<QueryResult> {
+    query_opts(ds, text, &QueryOptions::default())
+}
+
+/// Parse and execute a query with explicit options — the entry point a
+/// serving tier calls to run an offloaded query text against its mounted
+/// dataset (see [`wire`] for the serialized forms it ships back).
+pub fn query_opts(
+    ds: &deeplake_core::Dataset,
+    text: &str,
+    opts: &QueryOptions,
+) -> Result<QueryResult> {
     let q = parser::parse(text)?;
-    exec::execute(ds, &q, &QueryOptions::default())
+    exec::execute(ds, &q, opts)
 }

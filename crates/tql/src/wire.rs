@@ -1,0 +1,586 @@
+//! Wire serialization for query offload.
+//!
+//! A serving tier ships TQL text + [`QueryOptions`] to a dataset server
+//! and gets a [`QueryResult`] back — so a pruned or ANN query costs
+//! O(results) network traffic instead of O(chunks). This module defines
+//! the binary forms of everything that crosses that boundary: options,
+//! stats, projected [`Value`]s (including full tensors), and the result
+//! itself. The transport framing lives in the remote crate; this module
+//! only encodes/decodes payload bodies.
+//!
+//! Encoding is little-endian and length-prefixed throughout, and the
+//! decoder follows the same hardening discipline as the `DLVX` vector
+//! index reader: every size header is bounded against the bytes actually
+//! present *before* any allocation, so truncated or corrupt input yields
+//! `Err`, never a panic or a huge allocation.
+
+use bytes::Bytes;
+use deeplake_tensor::{Dtype, Sample, Shape};
+
+use crate::exec::{QueryOptions, QueryResult, QueryStats};
+use crate::value::Value;
+
+/// Decode failure: corrupt, truncated, or oversized wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for crate::TqlError {
+    fn from(e: WireError) -> Self {
+        crate::TqlError::Remote(e.to_string())
+    }
+}
+
+/// Result alias for decoding.
+pub type WireResult<T> = std::result::Result<T, WireError>;
+
+/// Maximum rank a wire-decoded tensor may claim. Generous (the format
+/// layer tops out far lower) while keeping a corrupt rank header from
+/// driving a large dims allocation.
+pub const MAX_WIRE_RANK: usize = 64;
+
+// ---------------------------------------------------------------------
+// writer helpers
+// ---------------------------------------------------------------------
+
+/// Append a `u32` (little-endian).
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` (little-endian).
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` (little-endian IEEE 754).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u32`-length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Append a `u64`-length-prefixed byte blob.
+pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+// ---------------------------------------------------------------------
+// bounds-checked reader
+// ---------------------------------------------------------------------
+
+/// Bounds-checked little-endian reader over wire bytes.
+pub struct WireReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Read from the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        WireReader { data, pos: 0 }
+    }
+
+    /// Take `n` raw bytes, erroring on truncation.
+    pub fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.data.len())
+            .ok_or_else(|| WireError("truncated".into()))?;
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> WireResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> WireResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64`.
+    pub fn f64(&mut self) -> WireResult<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string. The length is bounded
+    /// by the remaining bytes before anything is copied.
+    pub fn str(&mut self) -> WireResult<String> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(WireError(format!(
+                "string of {len} bytes exceeds remaining {}",
+                self.remaining()
+            )));
+        }
+        std::str::from_utf8(self.take(len)?)
+            .map(str::to_string)
+            .map_err(|_| WireError("invalid utf-8 in string".into()))
+    }
+
+    /// Read a `u64`-length-prefixed byte blob, bounded by the remaining
+    /// bytes before allocation.
+    pub fn bytes(&mut self) -> WireResult<Bytes> {
+        let len = self.u64()?;
+        if len > self.remaining() as u64 {
+            return Err(WireError(format!(
+                "blob of {len} bytes exceeds remaining {}",
+                self.remaining()
+            )));
+        }
+        Ok(Bytes::copy_from_slice(self.take(len as usize)?))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Error unless every byte was consumed.
+    pub fn finish(&self) -> WireResult<()> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(WireError(format!(
+                "{} trailing bytes",
+                self.data.len() - self.pos
+            )))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// dtype codes
+// ---------------------------------------------------------------------
+
+fn dtype_code(d: Dtype) -> u8 {
+    Dtype::ALL
+        .iter()
+        .position(|&x| x == d)
+        .expect("every dtype is in ALL") as u8
+}
+
+fn dtype_from_code(code: u8) -> WireResult<Dtype> {
+    Dtype::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| WireError(format!("unknown dtype code {code}")))
+}
+
+// ---------------------------------------------------------------------
+// options / stats
+// ---------------------------------------------------------------------
+
+/// Encode [`QueryOptions`].
+pub fn encode_options(opts: &QueryOptions, out: &mut Vec<u8>) {
+    put_u32(out, opts.workers as u32);
+    out.push(opts.pruning as u8);
+    out.push(opts.ann as u8);
+    put_u32(out, opts.nprobe as u32);
+}
+
+/// Decode [`QueryOptions`].
+pub fn decode_options(r: &mut WireReader<'_>) -> WireResult<QueryOptions> {
+    Ok(QueryOptions {
+        workers: r.u32()? as usize,
+        pruning: r.u8()? != 0,
+        ann: r.u8()? != 0,
+        nprobe: r.u32()? as usize,
+    })
+}
+
+/// Encode [`QueryStats`].
+pub fn encode_stats(stats: &QueryStats, out: &mut Vec<u8>) {
+    for v in [
+        stats.chunks_scanned,
+        stats.chunks_pruned,
+        stats.chunks_matched,
+        stats.round_trips,
+        stats.clusters_probed,
+        stats.candidates_reranked,
+    ] {
+        put_u64(out, v);
+    }
+}
+
+/// Decode [`QueryStats`].
+pub fn decode_stats(r: &mut WireReader<'_>) -> WireResult<QueryStats> {
+    Ok(QueryStats {
+        chunks_scanned: r.u64()?,
+        chunks_pruned: r.u64()?,
+        chunks_matched: r.u64()?,
+        round_trips: r.u64()?,
+        clusters_probed: r.u64()?,
+        candidates_reranked: r.u64()?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// values
+// ---------------------------------------------------------------------
+
+const TAG_NUM: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_STR: u8 = 2;
+const TAG_TENSOR: u8 = 3;
+const TAG_NULL: u8 = 4;
+
+/// Encode one projected [`Value`] (tensors travel as dtype + shape + raw
+/// little-endian payload, exactly the layout [`Sample`] stores).
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Num(n) => {
+            out.push(TAG_NUM);
+            put_f64(out, *n);
+        }
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(*b as u8);
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            put_str(out, s);
+        }
+        Value::Tensor(t) => {
+            out.push(TAG_TENSOR);
+            out.push(dtype_code(t.dtype()));
+            let dims = t.shape().dims();
+            put_u32(out, dims.len() as u32);
+            for &d in dims {
+                put_u64(out, d);
+            }
+            put_bytes(out, t.bytes());
+        }
+        Value::Null => out.push(TAG_NULL),
+    }
+}
+
+/// Decode one [`Value`]. A tensor whose dims and payload disagree is
+/// rejected ([`Sample::from_bytes`] validates the element count).
+pub fn decode_value(r: &mut WireReader<'_>) -> WireResult<Value> {
+    match r.u8()? {
+        TAG_NUM => Ok(Value::Num(r.f64()?)),
+        TAG_BOOL => Ok(Value::Bool(r.u8()? != 0)),
+        TAG_STR => Ok(Value::Str(r.str()?)),
+        TAG_TENSOR => {
+            let dtype = dtype_from_code(r.u8()?)?;
+            let rank = r.u32()? as usize;
+            if rank > MAX_WIRE_RANK {
+                return Err(WireError(format!("tensor rank {rank} exceeds maximum")));
+            }
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                dims.push(r.u64()?);
+            }
+            let data = r.bytes()?;
+            let sample = Sample::from_bytes(dtype, Shape::from(dims), data)
+                .map_err(|e| WireError(format!("tensor shape/payload mismatch: {e}")))?;
+            Ok(Value::Tensor(sample))
+        }
+        TAG_NULL => Ok(Value::Null),
+        other => Err(WireError(format!("unknown value tag {other}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// results
+// ---------------------------------------------------------------------
+
+/// Encode a [`QueryResult`] for the wire. The `dataset` handle does not
+/// travel — `AT VERSION` results carry [`QueryResult::version`] instead,
+/// which a client resolves against its own remote-backed handle.
+pub fn encode_result(result: &QueryResult, out: &mut Vec<u8>) {
+    put_u64(out, result.indices.len() as u64);
+    for &i in &result.indices {
+        put_u64(out, i);
+    }
+    put_u32(out, result.columns.len() as u32);
+    for c in &result.columns {
+        put_str(out, c);
+    }
+    match &result.rows {
+        None => out.push(0),
+        Some(rows) => {
+            out.push(1);
+            put_u64(out, rows.len() as u64);
+            for row in rows {
+                put_u32(out, row.len() as u32);
+                for v in row {
+                    encode_value(v, out);
+                }
+            }
+        }
+    }
+    match &result.version {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_str(out, v);
+        }
+    }
+    encode_stats(&result.stats, out);
+}
+
+/// Decode a [`QueryResult`] (with `dataset: None`; see
+/// [`encode_result`]). Every count is bounded against the remaining
+/// bytes before its vector is allocated.
+pub fn decode_result(r: &mut WireReader<'_>) -> WireResult<QueryResult> {
+    let n = r.u64()?;
+    if n > r.remaining() as u64 / 8 {
+        return Err(WireError(format!(
+            "index count {n} exceeds remaining bytes"
+        )));
+    }
+    let mut indices = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        indices.push(r.u64()?);
+    }
+    let cols = r.u32()? as usize;
+    // each column costs at least its 4-byte length header
+    if cols > r.remaining() / 4 {
+        return Err(WireError(format!(
+            "column count {cols} exceeds remaining bytes"
+        )));
+    }
+    let mut columns = Vec::with_capacity(cols);
+    for _ in 0..cols {
+        columns.push(r.str()?);
+    }
+    let rows = match r.u8()? {
+        0 => None,
+        1 => {
+            let count = r.u64()?;
+            // a row costs at least its 4-byte value-count header
+            if count > r.remaining() as u64 / 4 {
+                return Err(WireError(format!(
+                    "row count {count} exceeds remaining bytes"
+                )));
+            }
+            let mut rows = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let values = r.u32()? as usize;
+                if values > r.remaining() {
+                    return Err(WireError(format!(
+                        "value count {values} exceeds remaining bytes"
+                    )));
+                }
+                let mut row = Vec::with_capacity(values);
+                for _ in 0..values {
+                    row.push(decode_value(r)?);
+                }
+                rows.push(row);
+            }
+            Some(rows)
+        }
+        other => return Err(WireError(format!("bad rows flag {other}"))),
+    };
+    let version = match r.u8()? {
+        0 => None,
+        1 => Some(r.str()?),
+        other => return Err(WireError(format!("bad version flag {other}"))),
+    };
+    let stats = decode_stats(r)?;
+    Ok(QueryResult {
+        indices,
+        columns,
+        rows,
+        dataset: None,
+        version,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_value(v: &Value) -> Value {
+        let mut buf = Vec::new();
+        encode_value(v, &mut buf);
+        let mut r = WireReader::new(&buf);
+        let out = decode_value(&mut r).unwrap();
+        r.finish().unwrap();
+        out
+    }
+
+    #[test]
+    fn values_roundtrip() {
+        for v in [
+            Value::Num(3.5),
+            Value::Num(f64::NEG_INFINITY),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Str("hello Ω".into()),
+            Value::Str(String::new()),
+            Value::Null,
+            Value::Tensor(Sample::scalar(7i32)),
+            Value::Tensor(Sample::from_slice([2, 3], &[1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()),
+            Value::Tensor(Sample::empty(Dtype::U8)),
+        ] {
+            assert_eq!(roundtrip_value(&v), v);
+        }
+        // NaN round-trips bitwise even though NaN != NaN
+        let mut buf = Vec::new();
+        encode_value(&Value::Num(f64::NAN), &mut buf);
+        match decode_value(&mut WireReader::new(&buf)).unwrap() {
+            Value::Num(n) => assert!(n.is_nan()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_dtype_has_a_code() {
+        for d in Dtype::ALL {
+            assert_eq!(dtype_from_code(dtype_code(d)).unwrap(), d);
+        }
+        assert!(dtype_from_code(200).is_err());
+    }
+
+    #[test]
+    fn options_and_stats_roundtrip() {
+        let opts = QueryOptions {
+            workers: 7,
+            pruning: false,
+            ann: true,
+            nprobe: 12,
+        };
+        let mut buf = Vec::new();
+        encode_options(&opts, &mut buf);
+        let back = decode_options(&mut WireReader::new(&buf)).unwrap();
+        assert_eq!(back.workers, 7);
+        assert!(!back.pruning);
+        assert!(back.ann);
+        assert_eq!(back.nprobe, 12);
+
+        let stats = QueryStats {
+            chunks_scanned: 1,
+            chunks_pruned: 2,
+            chunks_matched: 3,
+            round_trips: 4,
+            clusters_probed: 5,
+            candidates_reranked: 6,
+        };
+        let mut buf = Vec::new();
+        encode_stats(&stats, &mut buf);
+        assert_eq!(decode_stats(&mut WireReader::new(&buf)).unwrap(), stats);
+    }
+
+    fn sample_result() -> QueryResult {
+        QueryResult {
+            indices: vec![4, 1, 9],
+            columns: vec!["a".into(), "crop".into()],
+            rows: Some(vec![
+                vec![Value::Num(1.0), Value::Tensor(Sample::scalar(3u8))],
+                vec![Value::Str("x".into()), Value::Null],
+                vec![
+                    Value::Bool(true),
+                    Value::Tensor(Sample::from_slice([3], &[1i64, 2, 3]).unwrap()),
+                ],
+            ]),
+            dataset: None,
+            version: Some("abc123".into()),
+            stats: QueryStats {
+                chunks_scanned: 2,
+                chunks_pruned: 8,
+                chunks_matched: 1,
+                round_trips: 3,
+                clusters_probed: 0,
+                candidates_reranked: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn results_roundtrip() {
+        let result = sample_result();
+        let mut buf = Vec::new();
+        encode_result(&result, &mut buf);
+        let mut r = WireReader::new(&buf);
+        let back = decode_result(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.indices, result.indices);
+        assert_eq!(back.columns, result.columns);
+        assert_eq!(back.rows, result.rows);
+        assert_eq!(back.version, result.version);
+        assert_eq!(back.stats, result.stats);
+        assert!(back.dataset.is_none());
+
+        // lazy SELECT * form: no rows, no version
+        let lazy = QueryResult {
+            rows: None,
+            version: None,
+            ..sample_result()
+        };
+        let mut buf = Vec::new();
+        encode_result(&lazy, &mut buf);
+        let back = decode_result(&mut WireReader::new(&buf)).unwrap();
+        assert!(back.rows.is_none());
+        assert!(back.version.is_none());
+    }
+
+    #[test]
+    fn truncated_and_corrupt_input_errors_cleanly() {
+        let mut buf = Vec::new();
+        encode_result(&sample_result(), &mut buf);
+        // every truncation point errors, never panics
+        for cut in 0..buf.len() {
+            assert!(
+                decode_result(&mut WireReader::new(&buf[..cut])).is_err(),
+                "cut at {cut} must error"
+            );
+        }
+        // a lying index count must not allocate gigabytes
+        let mut lying = Vec::new();
+        put_u64(&mut lying, u64::MAX);
+        assert!(decode_result(&mut WireReader::new(&lying)).is_err());
+        // unknown value tag
+        assert!(decode_value(&mut WireReader::new(&[99])).is_err());
+        // tensor whose payload disagrees with its dims
+        let mut bad = vec![TAG_TENSOR, dtype_code(Dtype::F64)];
+        put_u32(&mut bad, 1);
+        put_u64(&mut bad, 10); // claims 10 elements = 80 bytes
+        put_bytes(&mut bad, &[0u8; 8]); // only one element present
+        assert!(decode_value(&mut WireReader::new(&bad)).is_err());
+        // oversized rank
+        let mut deep = vec![TAG_TENSOR, dtype_code(Dtype::U8)];
+        put_u32(&mut deep, (MAX_WIRE_RANK + 1) as u32);
+        assert!(decode_value(&mut WireReader::new(&deep)).is_err());
+        // invalid utf-8 in a string value
+        let mut bad_str = vec![TAG_STR];
+        put_u32(&mut bad_str, 2);
+        bad_str.extend_from_slice(&[0xff, 0xfe]);
+        assert!(decode_value(&mut WireReader::new(&bad_str)).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut buf = Vec::new();
+        encode_value(&Value::Null, &mut buf);
+        buf.push(0);
+        let mut r = WireReader::new(&buf);
+        decode_value(&mut r).unwrap();
+        assert!(r.finish().is_err());
+    }
+}

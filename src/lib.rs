@@ -126,9 +126,42 @@
 //! layer (queries fall back to the exact scan until a rebuild); commits
 //! keep it readable for historical `AT VERSION` queries.
 //!
+//! ## Serving datasets
+//!
+//! One dataset can feed a fleet of loaders: mount any provider in a
+//! [`server::DatasetServer`] and point [`remote::RemoteProvider`]
+//! clients at it. The remote provider implements
+//! [`storage::StorageProvider`], so datasets, TQL and the dataloader
+//! work over the network unchanged — batched reads travel as single
+//! frames, and [`remote::RemoteProvider::query`] offloads whole TQL
+//! queries to the server (one round trip, only result rows on the
+//! wire):
+//!
+//! ```
+//! use deeplake::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // serve an (empty) in-memory store on an ephemeral loopback port
+//! let server = DatasetServer::bind("127.0.0.1:0", Arc::new(MemoryProvider::new())).unwrap();
+//! let remote = Arc::new(RemoteProvider::connect(server.addr()).unwrap());
+//!
+//! // everything works over the wire, unchanged
+//! let mut ds = Dataset::create(remote.clone(), "served").unwrap();
+//! ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+//! ds.append_row(vec![("labels", Sample::scalar(7i32))]).unwrap();
+//! ds.flush().unwrap();
+//!
+//! // query offload: the server executes, the client gets result rows
+//! let r = remote.query("SELECT labels FROM served WHERE labels = 7",
+//!                      &QueryOptions::default()).unwrap();
+//! assert_eq!(r.indices, vec![0]);
+//! drop(server); // graceful shutdown drains in-flight requests
+//! ```
+//!
 //! See the crate-level docs of each member for the subsystem details:
 //! [`tensor`], [`codec`], [`storage`], [`format`], [`core`], [`tql`],
-//! [`loader`], [`baselines`], [`sim`], [`viz`], [`index`].
+//! [`loader`], [`baselines`], [`sim`], [`viz`], [`index`],
+//! [`remote`], [`server`].
 
 pub use deeplake_baselines as baselines;
 pub use deeplake_codec as codec;
@@ -136,6 +169,8 @@ pub use deeplake_core as core;
 pub use deeplake_format as format;
 pub use deeplake_index as index;
 pub use deeplake_loader as loader;
+pub use deeplake_remote as remote;
+pub use deeplake_server as server;
 pub use deeplake_sim as sim;
 pub use deeplake_storage as storage;
 pub use deeplake_tensor as tensor;
@@ -153,6 +188,8 @@ pub mod prelude {
     pub use deeplake_core::{DatasetView, IndexBuildReport, Row};
     pub use deeplake_index::{IndexKind, IndexSpec, Metric, VectorIndex};
     pub use deeplake_loader::{Batch, BatchColumn, DataLoader};
+    pub use deeplake_remote::{RemoteOptions, RemoteProvider};
+    pub use deeplake_server::{DatasetServer, ServerHandle};
     pub use deeplake_storage::{
         DynProvider, LocalProvider, LruCacheProvider, MemoryProvider, NetworkProfile,
         SimulatedCloudProvider, StorageProvider,

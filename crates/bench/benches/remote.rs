@@ -9,6 +9,7 @@
 //! round-trip gap.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use deeplake_bench::BenchReport;
 use deeplake_core::dataset::{Dataset, TensorOptions};
 use deeplake_core::IndexSpec;
 use deeplake_remote::{RemoteOptions, RemoteProvider};
@@ -79,21 +80,40 @@ fn ann_text() -> String {
     )
 }
 
-fn report_case(server: &ServerHandle, tag: &str, text: &str, opts: &QueryOptions) {
+fn report_case(
+    server: &ServerHandle,
+    report: &mut BenchReport,
+    tag: &str,
+    text: &str,
+    opts: &QueryOptions,
+) {
     let pull = Arc::new(RemoteProvider::connect_with(server.addr(), transport()).unwrap());
     let ds = Dataset::open(pull.clone()).unwrap();
     let r = deeplake_tql::query_opts(&ds, text, opts).unwrap();
     let off = RemoteProvider::connect_with(server.addr(), transport()).unwrap();
     let o = off.query(text, opts).unwrap();
     assert_eq!(r.indices, o.indices);
+    let pull_bytes = pull.stats().bytes_read() + pull.stats().bytes_written();
+    let off_bytes = off.stats().bytes_read() + off.stats().bytes_written();
     eprintln!(
         "remote/{tag}: chunk-pull {} round trips / {} wire bytes → offload {} round trip / {} wire bytes ({} result rows)",
         pull.stats().round_trips(),
-        pull.stats().bytes_read() + pull.stats().bytes_written(),
+        pull_bytes,
         off.stats().round_trips(),
-        off.stats().bytes_read() + off.stats().bytes_written(),
+        off_bytes,
         o.len(),
     );
+    report
+        .metric(
+            format!("{tag}_chunk_pull_round_trips"),
+            pull.stats().round_trips() as f64,
+        )
+        .metric(format!("{tag}_chunk_pull_wire_bytes"), pull_bytes as f64)
+        .metric(
+            format!("{tag}_offload_round_trips"),
+            off.stats().round_trips() as f64,
+        )
+        .metric(format!("{tag}_offload_wire_bytes"), off_bytes as f64);
 }
 
 fn bench_remote(c: &mut Criterion) {
@@ -110,13 +130,31 @@ fn bench_remote(c: &mut Criterion) {
         ..QueryOptions::default()
     };
 
+    let mut json = BenchReport::new("remote");
     report_case(
         &server,
-        "pruned-1pct",
+        &mut json,
+        "pruned_1pct",
         pruned_text,
         &QueryOptions::default(),
     );
-    report_case(&server, "ann-top10", &ann_text, &ann_opts);
+    report_case(&server, &mut json, "ann_top10", &ann_text, &ann_opts);
+    // offloaded queries per second on the sim-latency transport
+    {
+        let client = RemoteProvider::connect_with(addr, transport()).unwrap();
+        const N: u32 = 20;
+        let t = std::time::Instant::now();
+        for _ in 0..N {
+            let r = client.query(pruned_text, &QueryOptions::default()).unwrap();
+            assert_eq!(r.len(), 100);
+        }
+        json.metric(
+            "pruned_offload_queries_per_sec",
+            N as f64 / t.elapsed().as_secs_f64(),
+        );
+    }
+    let path = json.write().expect("write BENCH_remote.json");
+    eprintln!("remote: wrote {}", path.display());
 
     let mut group = c.benchmark_group("remote_serving");
     group.sample_size(10);

@@ -172,6 +172,74 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (out, start.elapsed())
 }
 
+/// A machine-readable benchmark record, written as `BENCH_<name>.json`
+/// so the perf trajectory accumulates run over run instead of living
+/// only in scrollback. Metrics are flat `key → number` pairs (ops/s,
+/// round trips, bytes); the JSON is hand-rolled so the emission path has
+/// zero serializer dependencies and a stable field order.
+///
+/// The output directory defaults to the current working directory and
+/// can be redirected with `DL_BENCH_JSON_DIR`.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    name: String,
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// Start a record for `BENCH_<name>.json`.
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchReport {
+            name: name.into(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Add one metric (insertion order is preserved in the JSON).
+    pub fn metric(&mut self, key: impl Into<String>, value: f64) -> &mut Self {
+        self.metrics.push((key.into(), value));
+        self
+    }
+
+    /// Render the record as JSON.
+    pub fn to_json(&self) -> String {
+        fn escape(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => vec!['\\', '"'],
+                    '\\' => vec!['\\', '\\'],
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        fn number(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string() // JSON has no NaN/Infinity
+            }
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"name\": \"{}\",\n", escape(&self.name)));
+        out.push_str("  \"metrics\": {\n");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            out.push_str(&format!("    \"{}\": {}{comma}\n", escape(k), number(*v)));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Write `BENCH_<name>.json` and return its path.
+    pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::env::var("DL_BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +261,19 @@ mod tests {
     fn env_knobs_default() {
         assert_eq!(env_usize("DL_NO_SUCH_VAR", 7), 7);
         assert_eq!(env_f64("DL_NO_SUCH_VAR", 0.5), 0.5);
+    }
+
+    #[test]
+    fn bench_report_json_shape() {
+        let mut r = BenchReport::new("unit");
+        r.metric("ops_per_sec", 1234.5).metric("round_trips", 3.0);
+        r.metric("weird \"key\"", f64::NAN);
+        let json = r.to_json();
+        assert!(json.contains("\"name\": \"unit\""));
+        assert!(json.contains("\"ops_per_sec\": 1234.5,"));
+        assert!(json.contains("\"round_trips\": 3,"));
+        assert!(json.contains("\\\"key\\\"") && json.contains("null"));
+        // last metric has no trailing comma (valid JSON)
+        assert!(!json.contains("null,"));
     }
 }

@@ -1,0 +1,301 @@
+//! The version-pinned query-result cache.
+//!
+//! Every offloaded query result is pinned to an immutable dataset
+//! version (`QueryResult::version` — PR 4), so a repeated query against
+//! the same version is *perfectly* cacheable: the hub keys entries by
+//! `(dataset, resolved version, canonical TQL text, QueryOptions)` and
+//! stores the **already-encoded response frame**, so a hit is a pure
+//! frame copy — zero parse, zero plan, zero storage round trips.
+//!
+//! Three facts keep the cache correct:
+//!
+//! * the *text* component is [`deeplake_tql::canonical_text`], so
+//!   whitespace/case/alias variants of one query share one entry;
+//! * the *version* component is the resolved head node, and entries are
+//!   flagged **pinned** only when that node is a committed (immutable)
+//!   version — results computed against a *mutable* branch tip are
+//!   dropped by [`ResultCache::invalidate_mutable`] whenever the hub
+//!   routes a write into the dataset, because an uncommitted tip mutates
+//!   *without changing its id*;
+//! * eviction is byte-budgeted LRU, with [`StorageStats::evictions`]
+//!   counted per dropped entry so budget pressure is observable (the
+//!   same counter contract the storage-tier LRU exposes).
+
+use std::collections::HashMap;
+
+use deeplake_storage::StorageStats;
+use deeplake_tql::QueryOptions;
+use parking_lot::Mutex;
+
+/// Cache key: one logical query against one immutable dataset version.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Registry name of the dataset.
+    pub dataset: String,
+    /// Resolved head node the query executed against.
+    pub version: String,
+    /// Canonical query text ([`deeplake_tql::canonical_text`]).
+    pub text: String,
+    /// Execution options (they select pruned/ANN paths, which report
+    /// different [`deeplake_tql::QueryStats`] in the cached frame).
+    pub options: QueryOptions,
+}
+
+impl CacheKey {
+    fn cost(&self, frame_len: usize) -> u64 {
+        // entry footprint: the frame plus the owned key strings
+        (frame_len + self.dataset.len() + self.version.len() + self.text.len() + 64) as u64
+    }
+}
+
+struct Entry {
+    frame: Vec<u8>,
+    /// True when the result can never change (committed version inside
+    /// and out): survives write invalidation.
+    pinned: bool,
+    tick: u64,
+    cost: u64,
+}
+
+struct CacheState {
+    entries: HashMap<CacheKey, Entry>,
+    bytes: u64,
+    tick: u64,
+}
+
+/// Byte-budgeted LRU over encoded query-response frames.
+pub struct ResultCache {
+    state: Mutex<CacheState>,
+    budget: u64,
+    stats: StorageStats,
+}
+
+impl ResultCache {
+    /// Cache up to `budget_bytes` of encoded result frames. A budget of
+    /// zero disables caching (every lookup misses, nothing is stored).
+    pub fn new(budget_bytes: u64) -> Self {
+        ResultCache {
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+            }),
+            budget: budget_bytes,
+            stats: StorageStats::new(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> &StorageStats {
+        &self.stats
+    }
+
+    /// Fraction of lookups served from memory.
+    pub fn hit_ratio(&self) -> f64 {
+        self.stats.hit_ratio()
+    }
+
+    /// Entries evicted to stay within the byte budget.
+    pub fn evictions(&self) -> u64 {
+        self.stats.evictions()
+    }
+
+    /// Bytes currently held (frames + key strings).
+    pub fn cached_bytes(&self) -> u64 {
+        self.state.lock().bytes
+    }
+
+    /// Entries currently held.
+    pub fn cached_entries(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    /// Look one query up; a hit returns a copy of the encoded response
+    /// frame, ready to write to the wire.
+    pub fn lookup(&self, key: &CacheKey) -> Option<Vec<u8>> {
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        match st.entries.get_mut(key) {
+            Some(entry) => {
+                entry.tick = tick;
+                self.stats.record_hit();
+                Some(entry.frame.clone())
+            }
+            None => {
+                self.stats.record_miss();
+                None
+            }
+        }
+    }
+
+    /// Store one encoded response frame. `pinned` marks results whose
+    /// version can never mutate (committed inside and out); unpinned
+    /// entries are dropped on the next write to the dataset. Frames
+    /// larger than the whole budget are never stored.
+    pub fn insert(&self, key: CacheKey, frame: Vec<u8>, pinned: bool) {
+        self.insert_if(key, frame, pinned, || true);
+    }
+
+    /// [`ResultCache::insert`] gated on `still_valid`, evaluated *under
+    /// the cache lock*. The hub passes an epoch check here so an insert
+    /// racing a write invalidation can never install a stale entry: the
+    /// invalidation bumps the epoch before it scans the cache, so either
+    /// the predicate observes the bump and refuses, or the insert lands
+    /// first and the scan drops it.
+    pub fn insert_if(
+        &self,
+        key: CacheKey,
+        frame: Vec<u8>,
+        pinned: bool,
+        still_valid: impl FnOnce() -> bool,
+    ) {
+        let cost = key.cost(frame.len());
+        if cost > self.budget {
+            return;
+        }
+        let mut st = self.state.lock();
+        if !still_valid() {
+            return;
+        }
+        st.tick += 1;
+        let tick = st.tick;
+        if let Some(old) = st.entries.insert(
+            key,
+            Entry {
+                frame,
+                pinned,
+                tick,
+                cost,
+            },
+        ) {
+            st.bytes -= old.cost;
+        }
+        st.bytes += cost;
+        while st.bytes > self.budget {
+            let victim = st
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+                .expect("bytes > 0 implies entries");
+            if let Some(old) = st.entries.remove(&victim) {
+                st.bytes -= old.cost;
+                self.stats.record_eviction();
+            }
+        }
+    }
+
+    /// Drop every entry for `dataset` — mount/unmount and explicit
+    /// out-of-band invalidation.
+    pub fn invalidate_dataset(&self, dataset: &str) {
+        self.retain(|k, _| k.dataset != dataset);
+    }
+
+    /// Drop the entries for `dataset` whose results could change under a
+    /// write (unpinned — resolved against a mutable branch tip). Entries
+    /// pinned to committed versions survive: committed nodes are
+    /// immutable by construction.
+    pub fn invalidate_mutable(&self, dataset: &str) {
+        self.retain(|k, e| k.dataset != dataset || e.pinned);
+    }
+
+    fn retain(&self, keep: impl Fn(&CacheKey, &Entry) -> bool) {
+        let mut st = self.state.lock();
+        let doomed: Vec<CacheKey> = st
+            .entries
+            .iter()
+            .filter(|(k, e)| !keep(k, e))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in doomed {
+            if let Some(old) = st.entries.remove(&key) {
+                st.bytes -= old.cost;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(dataset: &str, version: &str, text: &str) -> CacheKey {
+        CacheKey {
+            dataset: dataset.into(),
+            version: version.into(),
+            text: text.into(),
+            options: QueryOptions::default(),
+        }
+    }
+
+    #[test]
+    fn hit_is_a_frame_copy() {
+        let cache = ResultCache::new(1 << 20);
+        let k = key("d", "v1", "SELECT * FROM d");
+        assert!(cache.lookup(&k).is_none());
+        cache.insert(k.clone(), vec![1, 2, 3], true);
+        assert_eq!(cache.lookup(&k).unwrap(), vec![1, 2, 3]);
+        assert_eq!(cache.stats().cache_hits(), 1);
+        assert_eq!(cache.stats().cache_misses(), 1);
+    }
+
+    #[test]
+    fn distinct_options_are_distinct_entries() {
+        let cache = ResultCache::new(1 << 20);
+        let k1 = key("d", "v1", "q");
+        let mut k2 = k1.clone();
+        k2.options.ann = true;
+        cache.insert(k1.clone(), vec![1], true);
+        assert!(cache.lookup(&k2).is_none());
+        cache.insert(k2.clone(), vec![2], true);
+        assert_eq!(cache.lookup(&k1).unwrap(), vec![1]);
+        assert_eq!(cache.lookup(&k2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_and_counts() {
+        // each entry costs 64 overhead + strings (~3+2+2=7) + 100 frame
+        let cache = ResultCache::new(400);
+        for i in 0..4 {
+            cache.insert(key("d", "v", &format!("q{i}")), vec![0u8; 100], true);
+        }
+        assert!(cache.cached_bytes() <= 400);
+        assert!(cache.cached_entries() <= 2);
+        assert_eq!(cache.evictions(), 2);
+        // oversized frames are never stored
+        cache.insert(key("d", "v", "huge"), vec![0u8; 1000], true);
+        assert!(cache.lookup(&key("d", "v", "huge")).is_none());
+    }
+
+    #[test]
+    fn write_invalidation_spares_pinned_entries() {
+        let cache = ResultCache::new(1 << 20);
+        let head = key("d", "tip", "q1");
+        let committed = key("d", "commit1", "q2");
+        let other = key("e", "tip", "q3");
+        cache.insert(head.clone(), vec![1], false);
+        cache.insert(committed.clone(), vec![2], true);
+        cache.insert(other.clone(), vec![3], false);
+        cache.invalidate_mutable("d");
+        assert!(cache.lookup(&head).is_none(), "mutable entry dropped");
+        assert!(cache.lookup(&committed).is_some(), "pinned entry survives");
+        assert!(cache.lookup(&other).is_some(), "other dataset untouched");
+        cache.invalidate_dataset("d");
+        assert!(cache.lookup(&committed).is_none());
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let cache = ResultCache::new(0);
+        let k = key("d", "v", "q");
+        cache.insert(k.clone(), vec![1], true);
+        assert!(cache.lookup(&k).is_none());
+        assert_eq!(cache.cached_bytes(), 0);
+    }
+}

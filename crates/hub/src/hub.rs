@@ -1,0 +1,964 @@
+//! The hub runtime: one listener, many datasets, a bounded worker pool.
+//!
+//! ## Staged concurrency (vs PR 4's thread-per-connection)
+//!
+//! Each accepted connection gets a lightweight *reader* whose only jobs
+//! are framing, decoding, and the cheap control ops (`Hello`, `Attach`,
+//! registry management). Everything that touches storage or runs a
+//! query — the work whose parallelism must be *bounded* — is pushed as a
+//! decoded job onto one bounded queue that `workers` pool threads drain.
+//! A thousand idle loader connections therefore cost a thousand parked
+//! readers (blocked in `read`, cheap) but storage/query concurrency
+//! never exceeds the pool size.
+//!
+//! ## Overload is an answer, not a stall
+//!
+//! When a connection exceeds its in-flight cap, or the shared queue is
+//! full, the reader answers that request immediately with a `Busy` frame
+//! instead of enqueueing it. The response slot is preserved in request
+//! order — the stream never desynchronizes, which is what makes the
+//! rejection *lossless*: the client sees exactly one response per
+//! request and can back off and retry.
+//!
+//! ## Pipelining and response order
+//!
+//! The protocol allows a client to pipeline frames. Workers may finish
+//! out of order, so each connection keeps a reorder buffer: responses
+//! are deposited under the connection's sequence number and written
+//! strictly in request order.
+//!
+//! Workers perform the response write themselves, so a peer that stops
+//! draining its socket can pin the worker in `write` — but only once:
+//! the write times out after [`IN_FRAME_TIMEOUT`], the connection is
+//! declared dead and its pending responses are dropped, so each
+//! misbehaving connection costs the pool at most one bounded stall
+//! (size the pool above the number of simultaneously-dying peers you
+//! care about).
+//!
+//! ## Shutdown
+//!
+//! Graceful by construction, in stages: the accept loop stops, readers
+//! stop taking frames (any request already read is still enqueued), the
+//! workers drain the queue to its last response, and only then does
+//! [`HubHandle::shutdown`] return. An in-flight request always drains to
+//! a written response.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Duration;
+
+use deeplake_core::Dataset;
+use deeplake_remote::proto::{self, Request};
+use deeplake_storage::{DynProvider, PrefixProvider, ReadPlan, StorageError, StorageStats};
+use deeplake_tql::{canonical, parser, QueryOptions};
+use parking_lot::Mutex;
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::registry::{DatasetRegistry, Mounted};
+
+/// How long a connection may stall *inside* a frame (reading a started
+/// request, or writing a response the peer isn't draining) before the
+/// hub gives up on it. Generous for slow links, finite so a dead peer
+/// can neither desynchronize a reader nor hang shutdown.
+const IN_FRAME_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Key prefix wire-`Mount`ed datasets are namespaced under on the hub's
+/// backing store.
+const WIRE_MOUNT_PREFIX: &str = "datasets";
+
+/// Hub tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct HubOptions {
+    /// Worker threads executing storage ops and queries. This — not the
+    /// connection count — bounds the hub's storage/query concurrency.
+    pub workers: usize,
+    /// Decoded requests the shared queue holds before readers start
+    /// answering `Busy`.
+    pub queue_depth: usize,
+    /// Requests one connection may have queued + executing before its
+    /// reader answers `Busy`. Well-behaved request/response clients
+    /// never exceed 1; the cap exists so one pipelining client cannot
+    /// monopolize the pool.
+    pub max_inflight_per_conn: usize,
+    /// Byte budget of the version-pinned query-result cache (0 disables
+    /// it). Sizing guidance: roughly `hot queries × mean result frame`;
+    /// watch `cache().evictions()` climb to spot a budget that is too
+    /// small for the hot set.
+    pub cache_bytes: u64,
+    /// How often idle readers/workers wake to check for shutdown. Also
+    /// bounds how long shutdown waits for an idle connection.
+    pub idle_poll: Duration,
+}
+
+impl Default for HubOptions {
+    fn default() -> Self {
+        HubOptions {
+            workers: 4,
+            queue_depth: 64,
+            max_inflight_per_conn: 16,
+            cache_bytes: 64 << 20,
+            idle_poll: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Served-traffic counters.
+#[derive(Debug, Default)]
+pub struct HubStats {
+    requests: AtomicU64,
+    queries: AtomicU64,
+    busy_rejections: AtomicU64,
+    wire: StorageStats,
+}
+
+impl HubStats {
+    /// Frames answered (all opcodes, `Busy` rejections included).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Offloaded queries executed *or served from the result cache*.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Requests refused with a `Busy` frame (queue full or per-connection
+    /// in-flight cap hit). The back-pressure signal to watch when sizing
+    /// [`HubOptions::workers`] and [`HubOptions::queue_depth`].
+    pub fn busy_rejections(&self) -> u64 {
+        self.busy_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Wire traffic: one round trip per frame answered, request bytes in
+    /// `bytes_read`, response bytes in `bytes_written` (mirror-image of
+    /// the client's view).
+    pub fn wire(&self) -> &StorageStats {
+        &self.wire
+    }
+}
+
+// ---------------------------------------------------------------------
+// bounded job queue
+// ---------------------------------------------------------------------
+
+struct Job {
+    conn: Arc<ConnState>,
+    seq: u64,
+    request_len: u64,
+    mount: Arc<Mounted>,
+    request: Request,
+}
+
+/// Bounded MPMC queue with non-blocking push (overload answers `Busy`
+/// instead of blocking the reader) and timed pop (workers poll the
+/// shutdown flag between waits).
+struct JobQueue {
+    state: StdMutex<VecDeque<Job>>,
+    capacity: usize,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: StdMutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// `false` when the queue is full — the caller answers `Busy`.
+    fn try_push(&self, job: Job) -> bool {
+        let mut q = self.state.lock().unwrap();
+        if q.len() >= self.capacity {
+            return false;
+        }
+        q.push_back(job);
+        drop(q);
+        self.ready.notify_one();
+        true
+    }
+
+    fn pop_timeout(&self, timeout: Duration) -> Option<Job> {
+        let mut q = self.state.lock().unwrap();
+        if let Some(job) = q.pop_front() {
+            return Some(job);
+        }
+        let (mut q, _) = self.ready.wait_timeout(q, timeout).unwrap();
+        q.pop_front()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.state.lock().unwrap().is_empty()
+    }
+
+    fn notify_all(&self) {
+        self.ready.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// per-connection state
+// ---------------------------------------------------------------------
+
+struct OutState {
+    stream: TcpStream,
+    /// Responses finished out of order, keyed by sequence number.
+    pending: BTreeMap<u64, (Vec<u8>, u64)>,
+    /// Next sequence number to write.
+    next: u64,
+}
+
+struct ConnState {
+    out: Mutex<OutState>,
+    /// Requests queued or executing for this connection.
+    inflight: AtomicUsize,
+    /// Dataset this connection attached to (`None` = default mount).
+    attached: Mutex<Option<String>>,
+    /// Set on a write failure; the reader stops taking frames.
+    dead: AtomicBool,
+}
+
+/// Deposit a finished response and flush every response that is now
+/// next-in-order. Writing under the same lock that orders the buffer
+/// keeps responses strictly in request order.
+fn deposit(shared: &Shared, conn: &ConnState, seq: u64, request_len: u64, frame: Vec<u8>) {
+    let mut out = conn.out.lock();
+    out.pending.insert(seq, (frame, request_len));
+    loop {
+        let next = out.next;
+        let Some((frame, req_len)) = out.pending.remove(&next) else {
+            break;
+        };
+        out.next += 1;
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .wire
+            .record_wire(req_len + 4, frame.len() as u64 + 4);
+        if proto::write_frame(&mut out.stream, &frame).is_err() {
+            conn.dead.store(true, Ordering::Release);
+            out.pending.clear();
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// the hub
+// ---------------------------------------------------------------------
+
+struct Shared {
+    registry: DatasetRegistry,
+    cache: ResultCache,
+    /// Backing store wire-`Mount`s are namespaced on (`None` = wire
+    /// mounts refused; server-side mounts always work).
+    backing: Option<DynProvider>,
+    /// Names created by wire `Mount` requests. A wire mount is fully
+    /// determined by its name (a fixed prefix on the backing store), so
+    /// a racing re-`Mount` of a name in this set is idempotent success —
+    /// while a name bound to any *other* backend must never be aliased.
+    wire_mounts: Mutex<std::collections::HashSet<String>>,
+    stats: HubStats,
+    queue: JobQueue,
+    /// Readers stop taking new frames.
+    shutdown: AtomicBool,
+    /// Workers exit once the queue is empty (set after readers joined).
+    drain: AtomicBool,
+    opts: HubOptions,
+}
+
+/// Builder for a serving hub.
+pub struct HubBuilder {
+    mounts: Vec<(String, DynProvider)>,
+    default: Option<DynProvider>,
+    backing: Option<DynProvider>,
+    opts: HubOptions,
+}
+
+/// The multi-dataset serving hub. See the [crate docs](crate) for the
+/// architecture; construct with [`Hub::builder`].
+pub struct Hub;
+
+impl Hub {
+    /// Start building a hub.
+    pub fn builder() -> HubBuilder {
+        HubBuilder {
+            mounts: Vec::new(),
+            default: None,
+            backing: None,
+            opts: HubOptions::default(),
+        }
+    }
+}
+
+impl HubBuilder {
+    /// Mount `provider` under `name` (panics on an invalid name — use
+    /// [`HubHandle::mount`] for fallible runtime mounts).
+    pub fn mount(mut self, name: &str, provider: DynProvider) -> Self {
+        DatasetRegistry::valid_name(name).expect("valid dataset name");
+        self.mounts.push((name.to_string(), provider));
+        self
+    }
+
+    /// Mount `provider` under the name `"default"` and make it the
+    /// mount unattached connections resolve to — the single-dataset
+    /// `DatasetServer` behaviour.
+    pub fn default_mount(mut self, provider: DynProvider) -> Self {
+        self.default = Some(provider);
+        self
+    }
+
+    /// Backing store for wire-`Mount` requests: each wire mount becomes
+    /// a [`PrefixProvider`] namespaced `datasets/<name>/` on this store.
+    pub fn backing(mut self, provider: DynProvider) -> Self {
+        self.backing = Some(provider);
+        self
+    }
+
+    /// Tuning knobs.
+    pub fn options(mut self, opts: HubOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Bind `addr` (port 0 for ephemeral) and start serving. Returns
+    /// immediately; the hub runs on background threads until
+    /// [`HubHandle::shutdown`].
+    pub fn bind(self, addr: impl ToSocketAddrs) -> std::io::Result<HubHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let registry = DatasetRegistry::new();
+        for (name, provider) in self.mounts {
+            if let Err(e) = registry.mount(&name, provider) {
+                return Err(std::io::Error::new(std::io::ErrorKind::InvalidInput, e));
+            }
+        }
+        if let Some(provider) = self.default {
+            let mounted = registry
+                .mount("default", provider)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+            registry.set_default(mounted);
+        }
+        let shared = Arc::new(Shared {
+            registry,
+            cache: ResultCache::new(self.opts.cache_bytes),
+            backing: self.backing,
+            wire_mounts: Mutex::new(std::collections::HashSet::new()),
+            stats: HubStats::default(),
+            queue: JobQueue::new(self.opts.queue_depth),
+            shutdown: AtomicBool::new(false),
+            drain: AtomicBool::new(false),
+            opts: self.opts,
+        });
+        let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let workers: Vec<std::thread::JoinHandle<()>> = (0..self.opts.workers.max(1))
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let accept = {
+            let shared = shared.clone();
+            let readers = readers.clone();
+            std::thread::spawn(move || loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let shared = shared.clone();
+                        let mut guard = readers.lock();
+                        // reap finished readers so a long-lived hub does
+                        // not hold one JoinHandle per connection ever
+                        // served
+                        guard.retain(|h| !h.is_finished());
+                        guard.push(std::thread::spawn(move || {
+                            reader_loop(stream, &shared);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(shared.opts.idle_poll.min(Duration::from_millis(5)));
+                    }
+                    Err(_) => break,
+                }
+            })
+        };
+        Ok(HubHandle {
+            addr: local_addr,
+            shared,
+            accept: Some(accept),
+            readers,
+            workers,
+        })
+    }
+}
+
+/// A running hub. Dropping the handle shuts it down gracefully.
+pub struct HubHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl HubHandle {
+    /// The bound address (with the ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Served-traffic counters.
+    pub fn stats(&self) -> &HubStats {
+        &self.shared.stats
+    }
+
+    /// The query-result cache (hit ratio, evictions, cached bytes).
+    pub fn cache(&self) -> &ResultCache {
+        &self.shared.cache
+    }
+
+    /// Mount `provider` under `name` at runtime.
+    pub fn mount(&self, name: &str, provider: DynProvider) -> Result<(), StorageError> {
+        self.shared
+            .registry
+            .mount(name, provider)
+            .map(|_| ())
+            .map_err(StorageError::Io)
+    }
+
+    /// Unmount `name` (storage untouched); returns whether it existed.
+    /// Cached results and head memos for the dataset are dropped.
+    pub fn unmount(&self, name: &str) -> bool {
+        let existed = self.shared.registry.unmount(name);
+        if let Some(mounted) = &existed {
+            mounted.invalidate();
+            self.shared.cache.invalidate_dataset(name);
+            self.shared.wire_mounts.lock().remove(name);
+        }
+        existed.is_some()
+    }
+
+    /// Sorted names of every mounted dataset.
+    pub fn datasets(&self) -> Vec<String> {
+        self.shared.registry.list()
+    }
+
+    /// Drop every cached result and head memo for `name`. Call after
+    /// writing to a mounted dataset *out of band* (directly on its
+    /// provider rather than through the hub) — the hub sees writes it
+    /// routes itself, but cannot see yours.
+    pub fn invalidate(&self, name: &str) {
+        if let Some(mounted) = self.shared.registry.get(name) {
+            mounted.invalidate();
+        }
+        self.shared.cache.invalidate_dataset(name);
+    }
+
+    /// Description of the hub and its mounts.
+    pub fn describe(&self) -> String {
+        match self.shared.registry.default_mount() {
+            Some(mounted) => format!("serving {} at {}", mounted.provider.describe(), self.addr),
+            None => format!(
+                "hub serving {} datasets at {}",
+                self.shared.registry.len(),
+                self.addr
+            ),
+        }
+    }
+
+    /// Stop gracefully: no new connections, readers stop taking frames,
+    /// the worker pool drains every queued request to a written
+    /// response, then all threads are joined. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let readers: Vec<_> = std::mem::take(&mut *self.readers.lock());
+        for h in readers {
+            let _ = h.join();
+        }
+        // only after every reader is gone can no new job appear; now the
+        // workers may exit on empty
+        self.shared.drain.store(true, Ordering::Release);
+        self.shared.queue.notify_all();
+        for h in std::mem::take(&mut self.workers) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HubHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------
+// reader stage
+// ---------------------------------------------------------------------
+
+/// Which stage answers a request. Control ops are cheap (no storage
+/// I/O) and order-sensitive (`Attach` changes what later requests mean),
+/// so the reader answers them inline; data ops go to the pool.
+fn is_control(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Ping
+            | Request::Hello { .. }
+            | Request::Attach { .. }
+            | Request::Mount { .. }
+            | Request::Unmount { .. }
+            | Request::ListDatasets
+            | Request::Describe
+    )
+}
+
+fn reader_loop(stream: TcpStream, shared: &Shared) {
+    if stream.set_nodelay(true).is_err() {
+        return;
+    }
+    // a stalled response write must not hang shutdown forever
+    if stream.set_write_timeout(Some(IN_FRAME_TIMEOUT)).is_err() {
+        return;
+    }
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut read_half = stream;
+    let conn = Arc::new(ConnState {
+        out: Mutex::new(OutState {
+            stream: write_half,
+            pending: BTreeMap::new(),
+            next: 0,
+        }),
+        inflight: AtomicUsize::new(0),
+        attached: Mutex::new(None),
+        dead: AtomicBool::new(false),
+    });
+    let mut seq = 0u64;
+    loop {
+        if conn.dead.load(Ordering::Acquire) {
+            return;
+        }
+        // Wait for the next frame's FIRST byte under the short idle
+        // timeout (the shutdown poll tick). Only this wait may time out
+        // recoverably: no frame bytes have been consumed yet, so looping
+        // re-reads from a clean boundary. Once the first byte arrives,
+        // the rest of the frame is read under the long in-frame timeout,
+        // and any stall there fails the *connection* — resuming a
+        // half-read frame would desynchronize the stream.
+        if read_half
+            .set_read_timeout(Some(shared.opts.idle_poll))
+            .is_err()
+        {
+            return;
+        }
+        let mut first = [0u8; 1];
+        let first = loop {
+            match std::io::Read::read(&mut read_half, &mut first) {
+                Ok(0) => return, // clean close at a frame boundary
+                Ok(_) => break first[0],
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if shared.shutdown.load(Ordering::Acquire) || conn.dead.load(Ordering::Acquire)
+                    {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        };
+        if read_half.set_read_timeout(Some(IN_FRAME_TIMEOUT)).is_err() {
+            return;
+        }
+        let payload = match proto::read_frame_after(&mut read_half, first) {
+            Ok(payload) => payload,
+            Err(_) => return,
+        };
+        let this_seq = seq;
+        seq += 1;
+        let request_len = payload.len() as u64;
+        // From here until the response is deposited, shutdown is NOT
+        // checked: a request that was read always drains to a response.
+        let request = match proto::decode_request(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                deposit(
+                    shared,
+                    &conn,
+                    this_seq,
+                    request_len,
+                    proto::resp_proto_err(&e.to_string()),
+                );
+                continue;
+            }
+        };
+        if is_control(&request) {
+            let version_mismatch = matches!(
+                &request,
+                Request::Hello { version } if *version != proto::PROTO_VERSION
+            );
+            let response = dispatch_control(shared, &conn, request);
+            deposit(shared, &conn, this_seq, request_len, response);
+            if version_mismatch {
+                // an incompatible client's later frames could decode to
+                // nonsense; the lossless rejection above is the last
+                // frame this connection gets
+                return;
+            }
+            continue;
+        }
+        // data op: resolve the namespace snapshot now, so an Attach
+        // later in the pipeline cannot retroactively change it
+        let attached = conn.attached.lock().clone();
+        let mount = match &attached {
+            Some(name) => match shared.registry.get(name) {
+                Some(m) => m,
+                None => {
+                    deposit(
+                        shared,
+                        &conn,
+                        this_seq,
+                        request_len,
+                        proto::resp_storage_err(&StorageError::NotFound(format!(
+                            "dataset {name:?} is not mounted"
+                        ))),
+                    );
+                    continue;
+                }
+            },
+            None => match shared.registry.default_mount() {
+                Some(m) => m,
+                None => {
+                    deposit(
+                        shared,
+                        &conn,
+                        this_seq,
+                        request_len,
+                        proto::resp_proto_err(
+                            "no dataset attached and the hub has no default mount; send Attach",
+                        ),
+                    );
+                    continue;
+                }
+            },
+        };
+        // lossless back-pressure: over-cap or queue-full answers Busy in
+        // this request's response slot instead of blocking the reader
+        let cap = shared.opts.max_inflight_per_conn.max(1);
+        if conn.inflight.load(Ordering::Acquire) >= cap {
+            shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            deposit(
+                shared,
+                &conn,
+                this_seq,
+                request_len,
+                proto::resp_busy(&format!(
+                    "connection has {cap} requests in flight; back off and retry"
+                )),
+            );
+            continue;
+        }
+        conn.inflight.fetch_add(1, Ordering::AcqRel);
+        let job = Job {
+            conn: conn.clone(),
+            seq: this_seq,
+            request_len,
+            mount,
+            request,
+        };
+        if !shared.queue.try_push(job) {
+            conn.inflight.fetch_sub(1, Ordering::AcqRel);
+            shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            deposit(
+                shared,
+                &conn,
+                this_seq,
+                request_len,
+                proto::resp_busy(&format!(
+                    "worker queue of {} is full; back off and retry",
+                    shared.opts.queue_depth
+                )),
+            );
+        }
+    }
+}
+
+/// Answer a control op inline on the reader.
+fn dispatch_control(shared: &Shared, conn: &ConnState, request: Request) -> Vec<u8> {
+    match request {
+        Request::Ping => proto::resp_unit(),
+        Request::Hello { version } => proto::hello_response(version),
+        Request::Attach { dataset } => match shared.registry.get(&dataset) {
+            Some(_) => {
+                *conn.attached.lock() = Some(dataset);
+                proto::resp_unit()
+            }
+            None => proto::resp_storage_err(&StorageError::NotFound(format!(
+                "dataset {dataset:?} is not mounted"
+            ))),
+        },
+        Request::Mount { dataset } => match &shared.backing {
+            Some(backing) => {
+                let scoped: DynProvider = match DatasetRegistry::valid_name(&dataset) {
+                    Ok(()) => Arc::new(PrefixProvider::new(
+                        backing.clone(),
+                        format!("{WIRE_MOUNT_PREFIX}/{dataset}"),
+                    )),
+                    Err(e) => return proto::resp_storage_err(&StorageError::Io(e)),
+                };
+                match shared.registry.mount(&dataset, scoped) {
+                    Ok(_) => {
+                        shared.wire_mounts.lock().insert(dataset);
+                        proto::resp_unit()
+                    }
+                    // two clients racing the same wire mount define the
+                    // IDENTICAL namespace (name → fixed prefix on the
+                    // backing store), so the loser's re-mount is success
+                    // — but a name bound to some other backend must not
+                    // be silently aliased
+                    Err(_) if shared.wire_mounts.lock().contains(&dataset) => proto::resp_unit(),
+                    Err(e) => proto::resp_storage_err(&StorageError::Io(e)),
+                }
+            }
+            None => proto::resp_storage_err(&StorageError::Io(
+                "this hub has no backing store for wire mounts".into(),
+            )),
+        },
+        Request::Unmount { dataset } => {
+            if let Some(mounted) = shared.registry.unmount(&dataset) {
+                mounted.invalidate();
+                shared.cache.invalidate_dataset(&dataset);
+                shared.wire_mounts.lock().remove(&dataset);
+            }
+            proto::resp_unit()
+        }
+        Request::ListDatasets => proto::resp_list(&shared.registry.list()),
+        Request::Describe => match conn.attached.lock().clone() {
+            Some(name) => match shared.registry.get(&name) {
+                Some(m) => proto::resp_str(&m.provider.describe()),
+                None => proto::resp_storage_err(&StorageError::NotFound(format!(
+                    "dataset {name:?} is not mounted"
+                ))),
+            },
+            None => match shared.registry.default_mount() {
+                Some(m) => proto::resp_str(&m.provider.describe()),
+                None => proto::resp_str(&format!(
+                    "hub({} datasets, no default)",
+                    shared.registry.len()
+                )),
+            },
+        },
+        other => proto::resp_proto_err(&format!("{other:?} is not a control op")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// worker stage
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        match shared.queue.pop_timeout(shared.opts.idle_poll) {
+            Some(job) => {
+                let response = dispatch_data(shared, &job.mount, job.request);
+                deposit(shared, &job.conn, job.seq, job.request_len, response);
+                job.conn.inflight.fetch_sub(1, Ordering::AcqRel);
+            }
+            None => {
+                if shared.drain.load(Ordering::Acquire) && shared.queue.is_empty() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A write was routed into `mount`: forget head memos and drop cached
+/// results that were computed against a mutable tip. Entries pinned to
+/// committed versions survive (committed nodes are immutable).
+fn invalidate_for_write(shared: &Shared, mount: &Mounted) {
+    mount.invalidate();
+    shared.cache.invalidate_mutable(&mount.name);
+}
+
+/// Answer a data op against the resolved mount, on a pool worker.
+fn dispatch_data(shared: &Shared, mount: &Arc<Mounted>, request: Request) -> Vec<u8> {
+    let p = &mount.provider;
+    match request {
+        Request::Get { key } => match p.get(&key) {
+            Ok(data) => proto::resp_bytes(&data),
+            Err(e) => proto::resp_storage_err(&e),
+        },
+        Request::GetRange { key, start, end } => match p.get_range(&key, start, end) {
+            Ok(data) => proto::resp_bytes(&data),
+            Err(e) => proto::resp_storage_err(&e),
+        },
+        Request::Put { key, value } => {
+            let outcome = p.put(&key, value);
+            invalidate_for_write(shared, mount);
+            match outcome {
+                Ok(()) => proto::resp_unit(),
+                Err(e) => proto::resp_storage_err(&e),
+            }
+        }
+        Request::Delete { key } => {
+            let outcome = p.delete(&key);
+            invalidate_for_write(shared, mount);
+            match outcome {
+                Ok(()) => proto::resp_unit(),
+                Err(e) => proto::resp_storage_err(&e),
+            }
+        }
+        Request::Exists { key } => match p.exists(&key) {
+            Ok(v) => proto::resp_bool(v),
+            Err(e) => proto::resp_storage_err(&e),
+        },
+        Request::LenOf { key } => match p.len_of(&key) {
+            Ok(v) => proto::resp_u64(v),
+            Err(e) => proto::resp_storage_err(&e),
+        },
+        Request::List { prefix } => match p.list(&prefix) {
+            Ok(keys) => proto::resp_list(&keys),
+            Err(e) => proto::resp_storage_err(&e),
+        },
+        Request::DeletePrefix { prefix } => {
+            let outcome = p.delete_prefix(&prefix);
+            invalidate_for_write(shared, mount);
+            match outcome {
+                Ok(()) => proto::resp_unit(),
+                Err(e) => proto::resp_storage_err(&e),
+            }
+        }
+        Request::GetMany { requests } => proto::resp_results(&p.get_many(&requests)),
+        Request::Execute {
+            gap_tolerance,
+            requests,
+        } => {
+            let mut plan = ReadPlan::with_gap_tolerance(gap_tolerance);
+            for r in requests {
+                plan.push(r);
+            }
+            let outcome = p.execute(&plan);
+            proto::resp_execute(outcome.fetches, &outcome.results)
+        }
+        Request::Query {
+            reference,
+            text,
+            options,
+        } => handle_query(shared, mount, &reference, &text, options),
+        other => proto::resp_proto_err(&format!("{other:?} is not a data op")),
+    }
+}
+
+/// Resolve `reference` to its head node id with ONE storage read (the
+/// version tree), instead of a full `Dataset::open_at` — the difference
+/// between a cache hit costing one round trip after a memo invalidation
+/// and costing a whole re-execution.
+fn resolve_reference(provider: &DynProvider, reference: &str) -> Result<String, String> {
+    let raw = provider
+        .get(deeplake_core::version::VERSION_INFO_KEY)
+        .map_err(|e| e.to_string())?;
+    let tree = deeplake_core::version::VersionTree::from_json(&raw).map_err(|e| e.to_string())?;
+    tree.resolve(reference).map_err(|e| e.to_string())
+}
+
+/// Execute (or serve from cache) one offloaded query.
+///
+/// The fast path is the whole point of the hub cache: `head memo →
+/// canonical-text key → frame copy`, with **zero** storage round trips
+/// and zero query planning (one round trip to re-resolve the head when
+/// a write cleared the memo). The slow path executes exactly as PR 4's
+/// server did, then installs the memo + cache entry — both gated on the
+/// mount's invalidation epoch so a racing write can never trap a stale
+/// result in the cache.
+fn handle_query(
+    shared: &Shared,
+    mount: &Arc<Mounted>,
+    reference: &str,
+    text: &str,
+    options: QueryOptions,
+) -> Vec<u8> {
+    shared.stats.queries.fetch_add(1, Ordering::Relaxed);
+    let epoch = mount.epoch();
+    // one parse serves canonicalization, cacheability analysis and (via
+    // the canonical text) every whitespace/case variant of this query
+    let parsed = parser::parse(text).ok();
+    let text_key = parsed
+        .as_ref()
+        .and_then(|q| canonical::render_query(q).ok());
+    let resolved = match mount.head_memo(reference) {
+        Some(memo) => Some(memo),
+        None => match resolve_reference(&mount.provider, reference) {
+            Ok(head) => {
+                mount.memoize_head(reference, head.clone(), epoch);
+                Some(head)
+            }
+            // let the dataset open below render the error (a hub can be
+            // queried before any dataset exists under the mount)
+            Err(_) => None,
+        },
+    };
+    if let (Some(tk), Some(head)) = (&text_key, &resolved) {
+        let key = CacheKey {
+            dataset: mount.name.clone(),
+            version: head.clone(),
+            text: tk.clone(),
+            options,
+        };
+        if let Some(frame) = shared.cache.lookup(&key) {
+            return frame; // a pure frame copy
+        }
+    }
+    // a fresh handle per query: always serves the storage's current
+    // state, and queries from many clients never share mutable dataset
+    // state
+    let ds = match Dataset::open_at(mount.provider.clone(), reference) {
+        Ok(ds) => ds,
+        Err(e) => return proto::resp_query_err(&format!("open {reference:?}: {e}")),
+    };
+    let head = ds.head_id().to_string();
+    let outer_committed = ds.is_read_only();
+    mount.memoize_head(reference, head.clone(), epoch);
+    match deeplake_tql::query_opts(&ds, text, &options) {
+        Ok(result) => {
+            let frame = proto::resp_query(&result);
+            if let (Some(tk), Some(q)) = (text_key, parsed) {
+                // pinned = the result can never change: the version the
+                // rows refer to is a committed (immutable) node — the
+                // outer reference for plain queries, the reopened
+                // AT-VERSION dataset otherwise
+                let pinned = match q.version {
+                    None => outer_committed,
+                    Some(_) => result
+                        .dataset
+                        .as_ref()
+                        .map(|d| d.is_read_only())
+                        .unwrap_or(false),
+                };
+                let key = CacheKey {
+                    dataset: mount.name.clone(),
+                    version: head,
+                    text: tk,
+                    options,
+                };
+                shared
+                    .cache
+                    .insert_if(key, frame.clone(), pinned, || mount.epoch() == epoch);
+            }
+            frame
+        }
+        Err(e) => proto::resp_query_err(&e.to_string()),
+    }
+}

@@ -1,0 +1,69 @@
+//! # deeplake-hub
+//!
+//! The multi-dataset serving hub: one deployment serving many datasets
+//! to many concurrent training jobs — the paper's lakehouse positioning
+//! ("heavy traffic from millions of users") applied to the PR-4 serving
+//! tier, which mounted exactly one dataset per server and spent one OS
+//! thread per connection.
+//!
+//! Three subsystems, layered between storage and the wire:
+//!
+//! ```text
+//!  clients (RemoteProvider)          deeplake-hub
+//!        │  Hello/Attach      ┌───────────────────────────┐
+//!        ├────── frame ──────▶│ reader (per conn, framing) │
+//!        │                    │     │ bounded job queue    │──Busy on overload
+//!        │                    │     ▼                      │
+//!        │                    │ worker pool (N threads)    │
+//!        │                    │     │                      │
+//!        │                    │ ┌───┴────────┐ ┌─────────┐ │
+//!        ◀────── frame ───────│ │  registry  │ │ result  │ │
+//!                             │ │ name→store │ │  cache  │ │
+//!                             │ └───┬────────┘ └────┬────┘ │
+//!                             └─────┼───────────────┼──────┘
+//!                                mounted providers  └─ (dataset, version,
+//!                               (PrefixProvider        canonical TQL,
+//!                                namespaces, any       options) → encoded
+//!                                backend)              response frame
+//! ```
+//!
+//! * **[`registry`]** — named datasets behind one listener. Clients
+//!   `Attach(name)` once per connection and then use every existing
+//!   provider method, TQL offload and loader *unchanged*; unattached
+//!   connections fall back to a default mount, which is how the
+//!   single-dataset `DatasetServer` facade is now a two-line wrapper
+//!   over the hub runtime.
+//! * **[`hub`]** — the bounded worker pool. Readers only frame/decode;
+//!   N pool workers execute storage ops and queries, so concurrency is
+//!   bounded by configuration, not by connection count. Overload is
+//!   answered with a lossless `Busy` frame in the request's response
+//!   slot — clients back off, streams never desynchronize.
+//! * **[`cache`]** — the version-pinned query-result cache. Keyed by
+//!   `(dataset, resolved version, canonical TQL text, options)`, storing
+//!   the already-encoded response frame: a hit is a pure frame copy with
+//!   **zero** storage round trips. Writes routed through the hub
+//!   invalidate mutable-tip entries; results pinned to committed
+//!   versions survive, because committed versions are immutable.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use deeplake_hub::Hub;
+//! use deeplake_storage::MemoryProvider;
+//!
+//! let hub = Hub::builder()
+//!     .mount("mnist", Arc::new(MemoryProvider::new()))
+//!     .mount("laion", Arc::new(MemoryProvider::new()))
+//!     .bind("127.0.0.1:0")
+//!     .unwrap();
+//! println!("{}", hub.describe());
+//! // clients: RemoteProvider::connect(hub.addr()) then .attach("mnist")
+//! drop(hub); // graceful: drains every in-flight request
+//! ```
+
+pub mod cache;
+pub mod hub;
+pub mod registry;
+
+pub use cache::{CacheKey, ResultCache};
+pub use hub::{Hub, HubBuilder, HubHandle, HubOptions, HubStats};
+pub use registry::{DatasetRegistry, Mounted};

@@ -1,0 +1,234 @@
+//! The dataset registry: many named datasets behind one listener.
+//!
+//! Each mount pairs a name with a [`DynProvider`] — usually a
+//! [`PrefixProvider`](deeplake_storage::PrefixProvider) namespacing one
+//! backing store, but any provider works (server-side mounts can point
+//! different datasets at different backends). Connections `Attach` to a
+//! name; unattached connections fall back to the *default* mount, which
+//! is how the single-dataset `DatasetServer` facade keeps its exact PR-4
+//! behaviour on the hub runtime.
+//!
+//! A mount also owns the serving-side memoization that makes repeated
+//! query offload cheap: `reference → (resolved head, committed)` — the
+//! lookup that would otherwise cost storage reads per query — plus an
+//! invalidation epoch bumped on every write routed into the dataset, so
+//! a query racing a write can never install a stale memo or cache entry.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use deeplake_storage::DynProvider;
+use parking_lot::{Mutex, RwLock};
+
+/// One mounted dataset.
+pub struct Mounted {
+    /// Registry name.
+    pub name: String,
+    /// The dataset's (namespaced) storage.
+    pub provider: DynProvider,
+    /// `reference → resolved head node` memo. Resolving a branch name
+    /// costs storage reads; memoizing it is what lets a cache hit
+    /// answer with *zero* storage round trips. Cleared on every write
+    /// into the dataset (an uncommitted tip mutates without changing
+    /// its id, and a commit moves the branch).
+    heads: Mutex<HashMap<String, String>>,
+    /// Bumped on every invalidation; queries capture it before resolving
+    /// and refuse to install memo/cache entries if it moved meanwhile.
+    epoch: AtomicU64,
+}
+
+impl Mounted {
+    fn new(name: String, provider: DynProvider) -> Arc<Self> {
+        Arc::new(Mounted {
+            name,
+            provider,
+            heads: Mutex::new(HashMap::new()),
+            epoch: AtomicU64::new(0),
+        })
+    }
+
+    /// Current invalidation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Memoized resolution of `reference`, if still valid.
+    pub fn head_memo(&self, reference: &str) -> Option<String> {
+        self.heads.lock().get(reference).cloned()
+    }
+
+    /// Install a resolution memo, unless the dataset was invalidated
+    /// since `seen_epoch` was captured (a concurrent write may have
+    /// moved the head the resolution observed).
+    pub fn memoize_head(&self, reference: &str, head: String, seen_epoch: u64) {
+        let mut memo = self.heads.lock();
+        if self.epoch.load(Ordering::Acquire) == seen_epoch {
+            memo.insert(reference.to_string(), head);
+        }
+    }
+
+    /// Forget every memoized resolution and advance the epoch.
+    pub fn invalidate(&self) {
+        let mut memo = self.heads.lock();
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        memo.clear();
+    }
+}
+
+/// Named mounts plus the default for unattached connections.
+#[derive(Default)]
+pub struct DatasetRegistry {
+    mounts: RwLock<BTreeMap<String, Arc<Mounted>>>,
+    default: RwLock<Option<Arc<Mounted>>>,
+}
+
+impl DatasetRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Validate a registry name: non-empty, no `/` and not a dot
+    /// segment (names become key prefixes on wire mounts; a slash — or
+    /// `.`/`..`, which path-backed providers collapse — would escape
+    /// the namespace), printable ASCII.
+    pub fn valid_name(name: &str) -> Result<(), String> {
+        if name.is_empty() {
+            return Err("dataset name must not be empty".into());
+        }
+        if name.chars().all(|c| c == '.') {
+            return Err(format!(
+                "dataset name {name:?} is a path dot-segment and could escape its namespace"
+            ));
+        }
+        if let Some(bad) = name
+            .chars()
+            .find(|c| *c == '/' || !c.is_ascii() || c.is_ascii_control())
+        {
+            return Err(format!("dataset name may not contain {bad:?}"));
+        }
+        Ok(())
+    }
+
+    /// Register `provider` under `name`. Errors if the name is invalid
+    /// or already taken — repointing a live name would silently keep
+    /// serving the old provider to attached clients, so the caller must
+    /// [`unmount`](Self::unmount) first, explicitly.
+    pub fn mount(&self, name: &str, provider: DynProvider) -> Result<Arc<Mounted>, String> {
+        Self::valid_name(name)?;
+        let mut mounts = self.mounts.write();
+        if mounts.contains_key(name) {
+            return Err(format!("dataset {name:?} is already mounted"));
+        }
+        let mounted = Mounted::new(name.to_string(), provider);
+        mounts.insert(name.to_string(), mounted.clone());
+        Ok(mounted)
+    }
+
+    /// Remove `name`; returns the mount if it existed. Storage is left
+    /// untouched. The default mount cannot be unmounted by name removal
+    /// alone — it stays reachable by unattached connections.
+    pub fn unmount(&self, name: &str) -> Option<Arc<Mounted>> {
+        self.mounts.write().remove(name)
+    }
+
+    /// Look a mount up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Mounted>> {
+        self.mounts.read().get(name).cloned()
+    }
+
+    /// Sorted names of every mount.
+    pub fn list(&self) -> Vec<String> {
+        self.mounts.read().keys().cloned().collect()
+    }
+
+    /// Number of mounts.
+    pub fn len(&self) -> usize {
+        self.mounts.read().len()
+    }
+
+    /// Whether no dataset is mounted.
+    pub fn is_empty(&self) -> bool {
+        self.mounts.read().is_empty()
+    }
+
+    /// The mount unattached connections resolve to.
+    pub fn default_mount(&self) -> Option<Arc<Mounted>> {
+        self.default.read().clone()
+    }
+
+    /// Set the default mount.
+    pub fn set_default(&self, mounted: Arc<Mounted>) {
+        *self.default.write() = Some(mounted);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeplake_storage::MemoryProvider;
+
+    fn provider() -> DynProvider {
+        Arc::new(MemoryProvider::new())
+    }
+
+    #[test]
+    fn mount_list_unmount() {
+        let reg = DatasetRegistry::new();
+        reg.mount("b", provider()).unwrap();
+        reg.mount("a", provider()).unwrap();
+        assert_eq!(reg.list(), vec!["a", "b"], "sorted listing");
+        assert!(reg.get("a").is_some());
+        assert!(reg.unmount("a").is_some());
+        assert!(reg.get("a").is_none());
+        assert!(reg.unmount("a").is_none(), "idempotent");
+    }
+
+    #[test]
+    fn remount_taken_name_errors_instead_of_silently_keeping_old() {
+        let reg = DatasetRegistry::new();
+        let first = reg.mount("d", provider()).unwrap();
+        let err = reg.mount("d", provider()).err().expect("re-mount refused");
+        assert!(err.contains("already mounted"), "{err:?}");
+        assert!(
+            Arc::ptr_eq(&first, &reg.get("d").unwrap()),
+            "original mount untouched"
+        );
+        // explicit unmount-then-mount repoints the name
+        reg.unmount("d");
+        reg.mount("d", provider()).unwrap();
+    }
+
+    #[test]
+    fn names_are_validated() {
+        assert!(DatasetRegistry::valid_name("mnist-v2.1_x").is_ok());
+        assert!(DatasetRegistry::valid_name("").is_err());
+        assert!(DatasetRegistry::valid_name("a/b").is_err());
+        assert!(DatasetRegistry::valid_name("ünïcode").is_err());
+        assert!(DatasetRegistry::valid_name("tab\there").is_err());
+        // dot segments collapse on path-backed providers → escape risk
+        assert!(DatasetRegistry::valid_name(".").is_err());
+        assert!(DatasetRegistry::valid_name("..").is_err());
+        assert!(DatasetRegistry::valid_name("...").is_err());
+    }
+
+    #[test]
+    fn head_memo_respects_epochs() {
+        let reg = DatasetRegistry::new();
+        let m = reg.mount("d", provider()).unwrap();
+        let e0 = m.epoch();
+        m.memoize_head("main", "h1".into(), e0);
+        assert_eq!(m.head_memo("main").unwrap(), "h1");
+        // a write invalidates: memo gone, epoch moved
+        m.invalidate();
+        assert!(m.head_memo("main").is_none());
+        // a stale installer (captured epoch before the write) is refused
+        m.memoize_head("main", "h1-stale".into(), e0);
+        assert!(m.head_memo("main").is_none());
+        // a fresh installer lands
+        m.memoize_head("main", "h2".into(), m.epoch());
+        assert_eq!(m.head_memo("main").unwrap(), "h2");
+    }
+}

@@ -26,6 +26,14 @@ use deeplake_tql::wire::{decode_options, decode_result, encode_options, encode_r
 use deeplake_tql::wire::{put_bytes, put_str, put_u32, put_u64, WireReader, WireResult};
 use deeplake_tql::{QueryOptions, QueryResult};
 
+/// The protocol generation this build speaks. Negotiated by the
+/// [`Request::Hello`] handshake: the client's first frame carries its
+/// version byte, and a server that speaks a different generation answers
+/// a lossless [`STATUS_PROTO_ERR`] naming both versions — instead of
+/// silently mis-decoding frames whose layout changed between
+/// generations. Bump on any wire-incompatible change.
+pub const PROTO_VERSION: u8 = 2;
+
 /// Hard upper bound on one frame's payload (1 GiB). Far above any chunk
 /// batch the loader issues, far below an allocation that could take the
 /// process down.
@@ -49,6 +57,11 @@ const OP_GET_MANY: u8 = 9;
 const OP_EXECUTE: u8 = 10;
 const OP_QUERY: u8 = 11;
 const OP_DESCRIBE: u8 = 12;
+const OP_HELLO: u8 = 13;
+const OP_ATTACH: u8 = 14;
+const OP_MOUNT: u8 = 15;
+const OP_UNMOUNT: u8 = 16;
+const OP_LIST_DATASETS: u8 = 17;
 
 // response status bytes
 /// Success; body is op-specific.
@@ -59,6 +72,12 @@ pub const STATUS_STORAGE_ERR: u8 = 1;
 pub const STATUS_QUERY_ERR: u8 = 2;
 /// The server could not understand the request; body is a message.
 pub const STATUS_PROTO_ERR: u8 = 3;
+/// The server is at capacity (worker queue full or per-connection
+/// in-flight cap hit); body is a human-readable hint. The request was
+/// NOT executed, and the response slot is preserved in order — the
+/// stream stays synchronized, so the client can simply back off and
+/// retry.
+pub const STATUS_BUSY: u8 = 4;
 
 /// One decoded client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -137,6 +156,34 @@ pub enum Request {
     },
     /// Human-readable description of the mounted provider.
     Describe,
+    /// Protocol version negotiation — the client's first frame on every
+    /// connection. The server answers its own version byte on a match
+    /// and a lossless [`STATUS_PROTO_ERR`] on a mismatch (see
+    /// [`hello_response`]).
+    Hello {
+        /// The client's [`PROTO_VERSION`].
+        version: u8,
+    },
+    /// Bind this connection to a named dataset in the hub's registry.
+    /// Every later request on the connection resolves against that
+    /// dataset's namespace, so the provider methods work unchanged.
+    Attach {
+        /// Registry name of the dataset.
+        dataset: String,
+    },
+    /// Register a dataset namespace in the hub's registry, backed by a
+    /// `PrefixProvider` over the hub's backing store.
+    Mount {
+        /// Name to register.
+        dataset: String,
+    },
+    /// Remove a dataset from the registry (storage is untouched).
+    Unmount {
+        /// Name to remove.
+        dataset: String,
+    },
+    /// Sorted names of every mounted dataset.
+    ListDatasets,
 }
 
 /// Encode a request payload (opcode + body).
@@ -202,6 +249,23 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             encode_options(options, &mut out);
         }
         Request::Describe => out.push(OP_DESCRIBE),
+        Request::Hello { version } => {
+            out.push(OP_HELLO);
+            out.push(*version);
+        }
+        Request::Attach { dataset } => {
+            out.push(OP_ATTACH);
+            put_str(&mut out, dataset);
+        }
+        Request::Mount { dataset } => {
+            out.push(OP_MOUNT);
+            put_str(&mut out, dataset);
+        }
+        Request::Unmount { dataset } => {
+            out.push(OP_UNMOUNT);
+            put_str(&mut out, dataset);
+        }
+        Request::ListDatasets => out.push(OP_LIST_DATASETS),
     }
     out
 }
@@ -239,6 +303,11 @@ pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
             options: decode_options(&mut r)?,
         },
         OP_DESCRIBE => Request::Describe,
+        OP_HELLO => Request::Hello { version: r.u8()? },
+        OP_ATTACH => Request::Attach { dataset: r.str()? },
+        OP_MOUNT => Request::Mount { dataset: r.str()? },
+        OP_UNMOUNT => Request::Unmount { dataset: r.str()? },
+        OP_LIST_DATASETS => Request::ListDatasets,
         other => return Err(WireError(format!("unknown opcode {other}"))),
     };
     r.finish()?;
@@ -289,6 +358,7 @@ const ERR_NOT_FOUND: u8 = 0;
 const ERR_RANGE: u8 = 1;
 const ERR_IO: u8 = 2;
 const ERR_READ_ONLY: u8 = 3;
+const ERR_BUSY: u8 = 4;
 
 /// Encode a [`StorageError`] body.
 pub fn put_storage_err(out: &mut Vec<u8>, e: &StorageError) {
@@ -308,6 +378,10 @@ pub fn put_storage_err(out: &mut Vec<u8>, e: &StorageError) {
             put_str(out, msg);
         }
         StorageError::ReadOnly => out.push(ERR_READ_ONLY),
+        StorageError::Busy(hint) => {
+            out.push(ERR_BUSY);
+            put_str(out, hint);
+        }
     }
 }
 
@@ -322,6 +396,7 @@ pub fn take_storage_err(r: &mut WireReader<'_>) -> WireResult<StorageError> {
         },
         ERR_IO => StorageError::Io(r.str()?),
         ERR_READ_ONLY => StorageError::ReadOnly,
+        ERR_BUSY => StorageError::Busy(r.str()?),
         other => return Err(WireError(format!("unknown error kind {other}"))),
     })
 }
@@ -426,6 +501,40 @@ pub fn resp_proto_err(message: &str) -> Vec<u8> {
     out
 }
 
+/// `STATUS_BUSY` carrying a back-off hint. The request this answers was
+/// not executed; the response slot is preserved so the stream never
+/// desynchronizes.
+pub fn resp_busy(hint: &str) -> Vec<u8> {
+    let mut out = vec![STATUS_BUSY];
+    put_str(&mut out, hint);
+    out
+}
+
+/// Answer a [`Request::Hello`]: the server's own version byte on a
+/// match, a lossless protocol error naming both generations on a
+/// mismatch. Shared by every server implementation so the negotiation
+/// semantics cannot drift.
+pub fn hello_response(client_version: u8) -> Vec<u8> {
+    if client_version == PROTO_VERSION {
+        vec![STATUS_OK, PROTO_VERSION]
+    } else {
+        resp_proto_err(&format!(
+            "protocol version {client_version} unsupported (server speaks {PROTO_VERSION})"
+        ))
+    }
+}
+
+/// Decode a `Hello` response into the server's version byte. A mismatch
+/// rejected by the server surfaces as the lossless error message
+/// [`hello_response`] produced — never as a garbled decode of a
+/// misunderstood frame.
+pub fn expect_hello(payload: &[u8]) -> Result<u8, StorageError> {
+    let mut r = open_response(payload)?;
+    let version = r.u8().map_err(proto_err)?;
+    r.finish().map_err(proto_err)?;
+    Ok(version)
+}
+
 // ---------------------------------------------------------------------
 // response decoders (client side)
 // ---------------------------------------------------------------------
@@ -447,6 +556,7 @@ fn open_response(payload: &[u8]) -> Result<WireReader<'_>, StorageError> {
             r.str().map_err(proto_err)?
         ))),
         STATUS_PROTO_ERR => Err(proto_err(r.str().map_err(proto_err)?)),
+        STATUS_BUSY => Err(StorageError::Busy(r.str().map_err(proto_err)?)),
         other => Err(proto_err(format!("unknown status {other}"))),
     }
 }
@@ -567,6 +677,10 @@ pub fn expect_query(payload: &[u8]) -> deeplake_tql::Result<QueryResult> {
             Err(deeplake_tql::TqlError::Remote(format!("storage: {e}")))
         }
         STATUS_PROTO_ERR => Err(deeplake_tql::TqlError::Remote(r.str()?)),
+        STATUS_BUSY => Err(deeplake_tql::TqlError::Remote(format!(
+            "server busy: {}",
+            r.str()?
+        ))),
         other => Err(deeplake_tql::TqlError::Remote(format!(
             "unknown status {other}"
         ))),
@@ -708,9 +822,55 @@ mod tests {
                 options: QueryOptions::default(),
             },
             Request::Describe,
+            Request::Hello {
+                version: PROTO_VERSION,
+            },
+            Request::Hello { version: 0 },
+            Request::Attach {
+                dataset: "mnist".into(),
+            },
+            Request::Mount {
+                dataset: "laion".into(),
+            },
+            Request::Unmount {
+                dataset: "laion".into(),
+            },
+            Request::ListDatasets,
         ] {
             let back = roundtrip(&req);
             assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn hello_negotiation_is_lossless() {
+        // matching version: server answers its own version byte
+        assert_eq!(
+            expect_hello(&hello_response(PROTO_VERSION)).unwrap(),
+            PROTO_VERSION
+        );
+        // any mismatch: a decodable error naming both generations
+        for bad in [0u8, PROTO_VERSION + 1, u8::MAX] {
+            let err = expect_hello(&hello_response(bad)).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(&format!("version {bad}")) && msg.contains(&PROTO_VERSION.to_string()),
+                "unexpected message {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn busy_frames_decode_to_busy_errors() {
+        let resp = resp_busy("queue full; retry");
+        assert_eq!(
+            expect_unit(&resp).unwrap_err(),
+            StorageError::Busy("queue full; retry".into())
+        );
+        // and through the query decoder
+        match expect_query(&resp).unwrap_err() {
+            deeplake_tql::TqlError::Remote(msg) => assert!(msg.contains("busy"), "{msg:?}"),
+            other => panic!("unexpected {other:?}"),
         }
     }
 
@@ -725,6 +885,7 @@ mod tests {
             },
             StorageError::Io("disk on fire".into()),
             StorageError::ReadOnly,
+            StorageError::Busy("32 in flight".into()),
         ] {
             let mut buf = Vec::new();
             put_storage_err(&mut buf, &e);

@@ -46,6 +46,14 @@ pub struct RemoteOptions {
     /// Socket read timeout (`None` = block forever). Guards callers
     /// against a hung server.
     pub read_timeout: Option<Duration>,
+    /// How many times a request answered with a `Busy` frame (hub
+    /// overload — the request was NOT executed) is retried before the
+    /// [`StorageError::Busy`] surfaces to the caller. Retries back off
+    /// linearly by [`RemoteOptions::busy_backoff`] per attempt.
+    pub busy_retries: usize,
+    /// Base back-off between `Busy` retries (attempt `n` sleeps
+    /// `n × busy_backoff`).
+    pub busy_backoff: Duration,
 }
 
 impl Default for RemoteOptions {
@@ -54,6 +62,8 @@ impl Default for RemoteOptions {
             pool_size: 8,
             latency: None,
             read_timeout: Some(Duration::from_secs(30)),
+            busy_retries: 4,
+            busy_backoff: Duration::from_millis(20),
         }
     }
 }
@@ -61,9 +71,24 @@ impl Default for RemoteOptions {
 /// A storage provider backed by a remote dataset server.
 pub struct RemoteProvider {
     addr: SocketAddr,
-    pool: Mutex<Vec<TcpStream>>,
+    pool: Mutex<PoolState>,
     opts: RemoteOptions,
     stats: StorageStats,
+    /// Dataset this client is attached to in a multi-dataset hub.
+    /// `None` targets the hub's default mount (the single-dataset
+    /// `DatasetServer` behaviour). Every socket the pool dials re-plays
+    /// the attach, so all connections agree on the namespace.
+    attached: Mutex<Option<String>>,
+}
+
+/// The socket pool plus its namespace generation. [`RemoteProvider::attach`]
+/// bumps the generation; a socket checked out under an older generation
+/// (possibly bound to the previous namespace) is dropped instead of
+/// returned, so the pool can never serve a stale-namespace socket — even
+/// when attach races an in-flight round trip on another thread.
+struct PoolState {
+    generation: u64,
+    sockets: Vec<TcpStream>,
 }
 
 impl RemoteProvider {
@@ -82,23 +107,19 @@ impl RemoteProvider {
         })?;
         let provider = RemoteProvider {
             addr,
-            pool: Mutex::new(Vec::new()),
+            pool: Mutex::new(PoolState {
+                generation: 0,
+                sockets: Vec::new(),
+            }),
             opts,
             stats: StorageStats::new(),
+            attached: Mutex::new(None),
         };
-        let mut conn = provider.dial()?;
-        let payload = proto::encode_request(&Request::Ping);
-        proto::write_frame(&mut conn, &payload)?;
-        match proto::read_frame(&mut conn)? {
-            Some(resp) if proto::expect_unit(&resp).is_ok() => {}
-            _ => {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::ConnectionRefused,
-                    "server did not answer ping",
-                ))
-            }
-        }
-        provider.pool.lock().push(conn);
+        // the dial handshake (Hello) doubles as the liveness probe: a
+        // server speaking a different protocol generation is rejected
+        // here with its lossless error, never by a garbled decode later
+        let conn = provider.dial()?;
+        provider.pool.lock().sockets.push(conn);
         Ok(provider)
     }
 
@@ -148,20 +169,149 @@ impl RemoteProvider {
         proto::expect_str(&resp)
     }
 
-    fn dial(&self) -> std::io::Result<TcpStream> {
-        let stream = TcpStream::connect(self.addr)?;
+    /// Attach this client to dataset `dataset` in the server's registry.
+    /// After a successful attach every provider method, offloaded query
+    /// and loader built on this client resolves against that dataset's
+    /// namespace — the layers above notice nothing. Pooled sockets bound
+    /// to the previous namespace are dropped; fresh dials re-play the
+    /// attach during their handshake.
+    pub fn attach(&self, dataset: &str) -> Result<(), StorageError> {
+        let mut stream = self
+            .dial_handshake()
+            .map_err(|e| StorageError::Io(format!("remote dial {}: {e}", self.addr)))?;
+        Self::attach_on(&mut stream, dataset)?;
+        *self.attached.lock() = Some(dataset.to_string());
+        let mut pool = self.pool.lock();
+        // old sockets answer for the old namespace: drop them, and bump
+        // the generation so one checked out by a concurrent round trip
+        // is dropped on return instead of re-pooled
+        pool.generation += 1;
+        pool.sockets.clear();
+        pool.sockets.push(stream);
+        Ok(())
+    }
+
+    /// The dataset name this client is attached to (`None` = the
+    /// server's default mount).
+    pub fn attached(&self) -> Option<String> {
+        self.attached.lock().clone()
+    }
+
+    /// Sorted names of every dataset the server has mounted.
+    pub fn list_datasets(&self) -> Result<Vec<String>, StorageError> {
+        let resp = self.round_trip(&proto::encode_request(&Request::ListDatasets))?;
+        proto::expect_list(&resp)
+    }
+
+    /// Register a dataset namespace on the server (a `PrefixProvider`
+    /// over the hub's backing store). Storage under the name becomes
+    /// addressable via [`RemoteProvider::attach`].
+    pub fn remote_mount(&self, dataset: &str) -> Result<(), StorageError> {
+        let resp = self.round_trip(&proto::encode_request(&Request::Mount {
+            dataset: dataset.to_string(),
+        }))?;
+        proto::expect_unit(&resp)
+    }
+
+    /// Remove a dataset from the server's registry. Storage is left
+    /// untouched; attached clients start seeing errors.
+    pub fn remote_unmount(&self, dataset: &str) -> Result<(), StorageError> {
+        let resp = self.round_trip(&proto::encode_request(&Request::Unmount {
+            dataset: dataset.to_string(),
+        }))?;
+        proto::expect_unit(&resp)
+    }
+
+    /// Open a socket and negotiate the protocol version (the `Hello`
+    /// handshake). Handshake frames are connection setup — like the TCP
+    /// handshake itself they are not recorded in [`RemoteProvider::stats`]
+    /// and pay no injected latency.
+    fn dial_handshake(&self) -> std::io::Result<TcpStream> {
+        let mut stream = TcpStream::connect(self.addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(self.opts.read_timeout)?;
         // a server that stops draining must not hang the caller forever
         stream.set_write_timeout(self.opts.read_timeout)?;
+        let hello = proto::encode_request(&Request::Hello {
+            version: proto::PROTO_VERSION,
+        });
+        proto::write_frame(&mut stream, &hello)?;
+        match proto::read_frame(&mut stream)? {
+            Some(resp) => {
+                proto::expect_hello(&resp).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::ConnectionRefused, e.to_string())
+                })?;
+            }
+            None => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    "server closed during version negotiation",
+                ))
+            }
+        }
         Ok(stream)
+    }
+
+    /// One attach exchange on an already-negotiated socket.
+    fn attach_on(stream: &mut TcpStream, dataset: &str) -> Result<(), StorageError> {
+        let io_err = |e: std::io::Error| StorageError::Io(format!("remote attach: {e}"));
+        let payload = proto::encode_request(&Request::Attach {
+            dataset: dataset.to_string(),
+        });
+        proto::write_frame(stream, &payload).map_err(io_err)?;
+        match proto::read_frame(stream).map_err(io_err)? {
+            Some(resp) => proto::expect_unit(&resp),
+            None => Err(StorageError::Io(
+                "server closed during attach handshake".into(),
+            )),
+        }
+    }
+
+    /// Dial + handshake + (if this client is attached) re-play the
+    /// attach, so every pooled socket answers for the same namespace.
+    fn dial(&self) -> std::io::Result<TcpStream> {
+        let mut stream = self.dial_handshake()?;
+        let attached = self.attached.lock().clone();
+        if let Some(dataset) = attached {
+            Self::attach_on(&mut stream, &dataset).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::ConnectionRefused, e.to_string())
+            })?;
+        }
+        Ok(stream)
+    }
+
+    /// One exchange with automatic, bounded retry of `Busy` rejections.
+    /// A `Busy` frame means the hub did **not** execute the request (the
+    /// response slot was answered from the reader stage), so resending
+    /// is always safe; attempt `n` backs off `n × busy_backoff` first.
+    /// When retries are exhausted the [`StorageError::Busy`] surfaces
+    /// through the response decoders so callers can apply their own
+    /// policy.
+    fn round_trip(&self, payload: &[u8]) -> Result<Vec<u8>, StorageError> {
+        let mut attempt = 0;
+        loop {
+            let resp = self.round_trip_once(payload)?;
+            if resp.first() == Some(&proto::STATUS_BUSY) && attempt < self.opts.busy_retries {
+                attempt += 1;
+                let backoff = self.opts.busy_backoff.saturating_mul(attempt as u32);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                continue;
+            }
+            return Ok(resp);
+        }
     }
 
     /// One request/response exchange: check a socket out, frame the
     /// request, read the response, account the traffic, pay any injected
     /// latency, return the socket. An erroring socket is dropped.
-    fn round_trip(&self, payload: &[u8]) -> Result<Vec<u8>, StorageError> {
-        let mut conn = match self.pool.lock().pop() {
+    fn round_trip_once(&self, payload: &[u8]) -> Result<Vec<u8>, StorageError> {
+        let (generation, pooled) = {
+            let mut pool = self.pool.lock();
+            (pool.generation, pool.sockets.pop())
+        };
+        let mut conn = match pooled {
             Some(conn) => conn,
             None => self
                 .dial()
@@ -189,8 +339,10 @@ impl RemoteProvider {
                     }
                 }
                 let mut pool = self.pool.lock();
-                if pool.len() < self.opts.pool_size {
-                    pool.push(conn);
+                // a generation bump while we were in flight means this
+                // socket may be bound to the previous namespace: drop it
+                if pool.generation == generation && pool.sockets.len() < self.opts.pool_size {
+                    pool.sockets.push(conn);
                 }
                 Ok(resp)
             }

@@ -101,6 +101,44 @@ proptest! {
         prop_assert!(decode_request(&full[..cut]).is_err());
     }
 
+    /// Version negotiation: every matching hello succeeds, every
+    /// mismatching version byte is rejected with a LOSSLESS error that
+    /// decodes to a message naming both generations — never a garbled
+    /// frame, never a panic.
+    #[test]
+    fn hello_mismatch_rejected_losslessly(version in any::<u8>()) {
+        // the request itself round-trips whatever the version byte is
+        let req = Request::Hello { version };
+        prop_assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        let resp = proto::hello_response(version);
+        if version == proto::PROTO_VERSION {
+            prop_assert_eq!(proto::expect_hello(&resp).unwrap(), proto::PROTO_VERSION);
+        } else {
+            let err = proto::expect_hello(&resp).unwrap_err();
+            let msg = err.to_string();
+            prop_assert!(msg.contains(&format!("version {version}")), "{}", msg);
+            prop_assert!(msg.contains(&proto::PROTO_VERSION.to_string()), "{}", msg);
+        }
+    }
+
+    /// The registry opcodes round-trip any dataset name the wire can
+    /// carry, and expect_hello never panics on garbage.
+    #[test]
+    fn registry_requests_roundtrip(
+        name in "[a-zA-Z0-9._-]{0,48}",
+        garbage in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        for req in [
+            Request::Attach { dataset: name.clone() },
+            Request::Mount { dataset: name.clone() },
+            Request::Unmount { dataset: name.clone() },
+            Request::ListDatasets,
+        ] {
+            prop_assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        }
+        let _ = proto::expect_hello(&garbage);
+    }
+
     #[test]
     fn storage_errors_roundtrip(key in "[a-z0-9/ .]{0,64}", a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
         for e in [
@@ -108,6 +146,7 @@ proptest! {
             StorageError::Io(key.clone()),
             StorageError::RangeOutOfBounds { start: a, end: b, len: c },
             StorageError::ReadOnly,
+            StorageError::Busy(key.clone()),
         ] {
             let mut buf = Vec::new();
             proto::put_storage_err(&mut buf, &e);

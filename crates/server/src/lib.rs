@@ -1,19 +1,26 @@
 //! # deeplake-server
 //!
-//! The serving half of the Deep Lake remote tier: mount any
-//! [`StorageProvider`](deeplake_storage::StorageProvider) — local disk,
-//! memory, an LRU chain over simulated S3 — and serve it to a fleet of
-//! [`RemoteProvider`](deeplake_remote::RemoteProvider) clients over the
-//! length-prefixed binary protocol in [`deeplake_remote::proto`].
+//! The single-dataset facade over the [`deeplake_hub`] runtime: mount
+//! any [`StorageProvider`](deeplake_storage::StorageProvider) — local
+//! disk, memory, an LRU chain over simulated S3 — and serve it to a
+//! fleet of [`RemoteProvider`](deeplake_remote::RemoteProvider) clients
+//! over the length-prefixed binary protocol in
+//! [`deeplake_remote::proto`].
 //!
-//! Architecture (client → server → storage):
+//! Since PR 5 the serving loop itself lives in `deeplake-hub`:
+//! [`DatasetServer::bind`] builds a hub whose *default mount* is the
+//! given provider, so unattached clients see exactly the PR-4
+//! single-dataset behaviour — while the same process also gets the
+//! hub's bounded worker pool, lossless `Busy` back-pressure, and the
+//! version-pinned query-result cache, and can mount further datasets at
+//! runtime via [`ServerHandle::mount`].
 //!
 //! ```text
-//! loader / TQL / Dataset           DatasetServer
-//!        │                              │
-//!   RemoteProvider ──one frame──▶ connection thread ──▶ mounted provider
-//!        ▲                              │                    (coalesce,
-//!        └────────one frame─────────────┘                     parallelize)
+//! loader / TQL / Dataset               DatasetServer (= hub facade)
+//!        │                                   │
+//!   RemoteProvider ──one frame──▶ reader → worker pool ──▶ mounted provider
+//!        ▲                                   │ result cache   (coalesce,
+//!        └────────one frame──────────────────┘                 parallelize)
 //! ```
 //!
 //! Two round-trip eliminations make serving practical:
@@ -23,7 +30,8 @@
 //! * a TQL query travels as ONE `Query` frame — the server runs the
 //!   pruning/top-k executor locally and returns only result rows, so a
 //!   1%-selectivity query moves ~1% of the data instead of every
-//!   undecided chunk.
+//!   undecided chunk. Repeats of a version-pinned query are answered
+//!   from the result cache without touching storage at all.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -36,6 +44,47 @@
 //! drop(server); // graceful: drains in-flight requests
 //! ```
 
-pub mod server;
+use deeplake_hub::Hub;
+use deeplake_storage::DynProvider;
+use std::net::ToSocketAddrs;
 
-pub use server::{DatasetServer, ServerHandle, ServerOptions, ServerStats};
+/// A running server — a [`deeplake_hub::HubHandle`] whose default mount
+/// is the provider given to [`DatasetServer::bind`].
+pub use deeplake_hub::HubHandle as ServerHandle;
+/// The hub's tuning knobs, re-exported under the server facade's name.
+pub use deeplake_hub::HubOptions as ServerOptions;
+/// Served-traffic counters (requests, queries, busy rejections, wire).
+pub use deeplake_hub::HubStats as ServerStats;
+
+/// The Deep Lake dataset server: binds a TCP address and serves a
+/// mounted [`StorageProvider`](deeplake_storage::StorageProvider) —
+/// batched storage ops plus TQL query offload — to any number of
+/// [`deeplake_remote::RemoteProvider`] clients.
+pub struct DatasetServer;
+
+impl DatasetServer {
+    /// Bind `addr` (use port 0 for an ephemeral port), mount `provider`
+    /// as the hub's default dataset, and start serving. Returns
+    /// immediately; the hub runs on background threads until
+    /// [`ServerHandle::shutdown`].
+    pub fn bind(addr: impl ToSocketAddrs, provider: DynProvider) -> std::io::Result<ServerHandle> {
+        Self::bind_with(addr, provider, ServerOptions::default())
+    }
+
+    /// [`DatasetServer::bind`] with explicit options.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        provider: DynProvider,
+        opts: ServerOptions,
+    ) -> std::io::Result<ServerHandle> {
+        // note: no wire-mount backing store — a facade-served provider
+        // holds exactly one dataset, and nesting wire mounts inside its
+        // keyspace would let writes through one mount dodge the other
+        // mount's cache invalidation. Build a `Hub` directly (with an
+        // explicit `.backing(...)`) for multi-dataset serving.
+        Hub::builder()
+            .default_mount(provider)
+            .options(opts)
+            .bind(addr)
+    }
+}

@@ -1,0 +1,251 @@
+//! Multi-dataset hub serving scenario: one hub, many datasets, many
+//! query clients with *skewed* query popularity.
+//!
+//! Real serving traffic is never uniform — a handful of hot queries
+//! (dashboard panels, popular training filters) dominate, which is
+//! exactly the regime a version-pinned result cache converts from
+//! storage scans into frame copies. This scenario makes that claim
+//! reproducible: `datasets` datasets mounted on one hub, `clients`
+//! concurrent clients attached round-robin, each issuing queries drawn
+//! from a Zipf-like popularity distribution over `distinct_queries`
+//! templates. Every result is validated against the known data layout,
+//! and the report carries the cache hit ratio, evictions, busy
+//! rejections and the *backing-storage* round trips actually paid —
+//! the numbers the hub bench turns into `BENCH_hub.json`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use deeplake_core::dataset::TensorOptions;
+use deeplake_core::Dataset;
+use deeplake_hub::{Hub, HubOptions};
+use deeplake_remote::{RemoteOptions, RemoteProvider};
+use deeplake_storage::{
+    DynProvider, MemoryProvider, NetworkProfile, SimulatedCloudProvider, StorageStats,
+};
+use deeplake_tensor::{Htype, Sample};
+use deeplake_tql::QueryOptions;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// One hub-serving experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct HubScenarioConfig {
+    /// Datasets mounted on the hub.
+    pub datasets: usize,
+    /// Concurrent query clients (attached round-robin to the datasets).
+    pub clients: usize,
+    /// Queries each client issues.
+    pub queries_per_client: usize,
+    /// Distinct query templates per dataset (the popularity universe).
+    pub distinct_queries: usize,
+    /// Zipf exponent for query popularity (0 = uniform; ~1 = realistic
+    /// hot-head skew).
+    pub skew: f64,
+    /// Rows per dataset.
+    pub rows_per_dataset: u64,
+    /// Hub result-cache budget in bytes (0 disables caching).
+    pub cache_bytes: u64,
+    /// Network cost charged per client round trip.
+    pub profile: NetworkProfile,
+    /// Base RNG seed (each client derives its own stream).
+    pub seed: u64,
+}
+
+impl Default for HubScenarioConfig {
+    fn default() -> Self {
+        HubScenarioConfig {
+            datasets: 2,
+            clients: 8,
+            queries_per_client: 32,
+            distinct_queries: 8,
+            skew: 1.0,
+            rows_per_dataset: 64,
+            cache_bytes: 16 << 20,
+            profile: NetworkProfile::instant(),
+            seed: 7,
+        }
+    }
+}
+
+/// What the experiment observed.
+#[derive(Debug)]
+pub struct HubScenarioReport {
+    /// Queries issued (and validated) across all clients.
+    pub total_queries: u64,
+    /// Hub result-cache hit ratio over the run.
+    pub cache_hit_ratio: f64,
+    /// Hub result-cache evictions (budget pressure).
+    pub cache_evictions: u64,
+    /// Requests the hub refused with `Busy`.
+    pub busy_rejections: u64,
+    /// Round trips the *backing storage* paid for all query executions —
+    /// the number the cache drives toward zero on a skewed workload.
+    pub storage_round_trips: u64,
+    /// Wire round trips per client.
+    pub per_client_round_trips: Vec<u64>,
+    /// Wall time of the whole experiment.
+    pub wall: Duration,
+}
+
+/// Draw from a Zipf-like distribution over `0..n` with exponent `skew`.
+fn zipf_draw(rng: &mut StdRng, cumulative: &[f64]) -> usize {
+    let total = *cumulative.last().expect("non-empty universe");
+    let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * total;
+    cumulative
+        .partition_point(|&c| c <= u)
+        .min(cumulative.len() - 1)
+}
+
+/// Build one labelled dataset where `labels[i] = i % distinct`, so the
+/// query `labels = k` has a known answer.
+fn build_dataset(provider: DynProvider, rows: u64, distinct: usize) {
+    let mut ds = Dataset::create(provider, "hub_sim").unwrap();
+    ds.create_tensor_opts("labels", {
+        let mut o = TensorOptions::new(Htype::ClassLabel);
+        o.chunk_target_bytes = Some(256);
+        o
+    })
+    .unwrap();
+    for i in 0..rows {
+        ds.append_row(vec![(
+            "labels",
+            Sample::scalar((i % distinct as u64) as i32),
+        )])
+        .unwrap();
+    }
+    ds.flush().unwrap();
+}
+
+/// Run the scenario: mount, attach, fire skewed queries, validate every
+/// result, shut the hub down gracefully.
+pub fn run_hub_queries(cfg: &HubScenarioConfig) -> HubScenarioReport {
+    assert!(cfg.datasets > 0 && cfg.clients > 0 && cfg.distinct_queries > 0);
+    // per-dataset sim-cloud storage so backing round trips are countable
+    let storages: Vec<Arc<SimulatedCloudProvider<MemoryProvider>>> = (0..cfg.datasets)
+        .map(|_| {
+            Arc::new(SimulatedCloudProvider::new(
+                "s3",
+                MemoryProvider::new(),
+                NetworkProfile::instant(),
+            ))
+        })
+        .collect();
+    let mut builder = Hub::builder().options(HubOptions {
+        cache_bytes: cfg.cache_bytes,
+        ..HubOptions::default()
+    });
+    for (d, storage) in storages.iter().enumerate() {
+        build_dataset(storage.clone(), cfg.rows_per_dataset, cfg.distinct_queries);
+        storage.stats().reset();
+        builder = builder.mount(&format!("ds{d}"), storage.clone());
+    }
+    let hub = builder.bind("127.0.0.1:0").unwrap();
+    let addr = hub.addr();
+
+    // popularity: weight 1/(rank+1)^skew, shared by every client
+    let cumulative: Vec<f64> = {
+        let mut acc = 0.0;
+        (0..cfg.distinct_queries)
+            .map(|r| {
+                acc += 1.0 / ((r + 1) as f64).powf(cfg.skew);
+                acc
+            })
+            .collect()
+    };
+
+    let started = Instant::now();
+    let per_client_round_trips: Vec<u64> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..cfg.clients {
+            let cumulative = &cumulative;
+            joins.push(scope.spawn(move || {
+                let dataset = format!("ds{}", c % cfg.datasets);
+                let client = RemoteProvider::connect_with(
+                    addr,
+                    RemoteOptions {
+                        latency: Some(cfg.profile),
+                        ..RemoteOptions::default()
+                    },
+                )
+                .expect("connect");
+                client.attach(&dataset).expect("attach");
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ (c as u64).wrapping_mul(0x9e37));
+                let expected_rows = |k: usize| {
+                    (0..cfg.rows_per_dataset)
+                        .filter(|i| i % cfg.distinct_queries as u64 == k as u64)
+                        .collect::<Vec<u64>>()
+                };
+                for _ in 0..cfg.queries_per_client {
+                    let k = zipf_draw(&mut rng, cumulative);
+                    let result = client
+                        .query(
+                            &format!("SELECT labels FROM d WHERE labels = {k}"),
+                            &QueryOptions::default(),
+                        )
+                        .expect("offloaded query");
+                    assert_eq!(
+                        result.indices,
+                        expected_rows(k),
+                        "client {c} got wrong rows for labels = {k}"
+                    );
+                }
+                client.stats().round_trips()
+            }));
+        }
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+
+    let storage_round_trips = storages
+        .iter()
+        .map(|s| s.stats().round_trips())
+        .sum::<u64>();
+    let cache: &StorageStats = hub.cache().stats();
+    let report = HubScenarioReport {
+        total_queries: (cfg.clients * cfg.queries_per_client) as u64,
+        cache_hit_ratio: cache.hit_ratio(),
+        cache_evictions: cache.evictions(),
+        busy_rejections: hub.stats().busy_rejections(),
+        storage_round_trips,
+        per_client_round_trips,
+        wall: started.elapsed(),
+    };
+    drop(hub); // graceful shutdown
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_hub_serving_validates_and_caches() {
+        let cached = run_hub_queries(&HubScenarioConfig::default());
+        assert_eq!(cached.total_queries, 8 * 32);
+        // 8 distinct queries × 2 datasets vs 256 issued: the tail of the
+        // run must be nearly all hits
+        assert!(
+            cached.cache_hit_ratio > 0.5,
+            "hit ratio {} too low for a skewed workload",
+            cached.cache_hit_ratio
+        );
+        assert_eq!(cached.per_client_round_trips.len(), 8);
+        for rts in &cached.per_client_round_trips {
+            // attach + 32 queries: wire round trips are per-request
+            assert!(*rts >= 32, "client paid {rts} wire round trips");
+        }
+        // the control: the identical skewed workload with the cache
+        // disabled pays storage for every query, not per distinct query
+        let uncached = run_hub_queries(&HubScenarioConfig {
+            cache_bytes: 0,
+            ..HubScenarioConfig::default()
+        });
+        assert_eq!(uncached.cache_hit_ratio, 0.0);
+        assert!(
+            cached.storage_round_trips * 3 < uncached.storage_round_trips,
+            "cache saved too little: {} vs {} storage round trips",
+            cached.storage_round_trips,
+            uncached.storage_round_trips
+        );
+    }
+}

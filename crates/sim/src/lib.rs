@@ -19,15 +19,21 @@
 //!   concurrent loader clients over the sim-latency transport
 //!   (`RemoteProvider` with a [`deeplake_storage::NetworkProfile`]
 //!   charged per wire round trip).
+//! * [`hub`] — the multi-dataset hub scenario: many datasets behind one
+//!   listener, many query clients with Zipf-skewed query popularity;
+//!   reports the result-cache hit ratio and the backing-storage round
+//!   trips the cache eliminated.
 
 pub mod cluster;
 pub mod datagen;
 pub mod gpu;
+pub mod hub;
 pub mod serving;
 pub mod trainer;
 
 pub use cluster::{run_cluster, ClusterReport};
 pub use datagen::{ffhq_like, imagenet_like, web_images, DataGenConfig};
 pub use gpu::{GpuConsumer, GpuReport};
+pub use hub::{run_hub_queries, HubScenarioConfig, HubScenarioReport};
 pub use serving::{run_served_loaders, ClientReport, ServingConfig, ServingReport};
 pub use trainer::{run_training, TrainMode, TrainingReport};

@@ -18,6 +18,11 @@ pub enum StorageError {
     Io(String),
     /// The provider is read-only (e.g. a checked-out historical commit).
     ReadOnly,
+    /// A serving tier refused the request because it is at capacity
+    /// (bounded worker queue full or the connection's in-flight cap
+    /// reached). The request was NOT executed; the caller should back
+    /// off and retry. Carries the server's human-readable hint.
+    Busy(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -32,6 +37,7 @@ impl std::fmt::Display for StorageError {
             }
             StorageError::Io(msg) => write!(f, "storage io error: {msg}"),
             StorageError::ReadOnly => write!(f, "storage is read-only"),
+            StorageError::Busy(hint) => write!(f, "server busy: {hint}"),
         }
     }
 }

@@ -63,6 +63,15 @@ impl<P: StorageProvider> LruCacheProvider<P> {
         self.stats.hit_ratio()
     }
 
+    /// Entries evicted to stay within the byte budget. Read next to
+    /// [`hit_ratio`](Self::hit_ratio) when sizing: a high hit ratio with
+    /// climbing evictions means the working set barely fits and the
+    /// budget is doing real work; zero evictions means the budget could
+    /// shrink.
+    pub fn evictions(&self) -> u64 {
+        self.stats.evictions()
+    }
+
     /// The wrapped base provider.
     pub fn base(&self) -> &P {
         &self.base
@@ -111,6 +120,7 @@ impl<P: StorageProvider> LruCacheProvider<P> {
                 .expect("bytes > 0 implies entries");
             if let Some((old, _)) = st.entries.remove(&victim) {
                 st.bytes -= old.len() as u64;
+                self.stats.record_eviction();
             }
         }
     }
@@ -148,6 +158,7 @@ impl<P: StorageProvider> LruCacheProvider<P> {
                 .expect("bytes > 0 implies entries");
             if let Some((old, _)) = st.entries.remove(&victim) {
                 st.bytes -= old.len() as u64;
+                self.stats.record_eviction();
             }
         }
     }
@@ -437,6 +448,8 @@ mod tests {
         }
         assert!(cache.cached_bytes() <= 350);
         assert!(cache.cached_objects() <= 3);
+        // 10 fills into a 3-object budget: exactly 7 entries were evicted
+        assert_eq!(cache.evictions(), 7);
     }
 
     #[test]
@@ -555,6 +568,30 @@ mod tests {
         // single eviction pass leaves the cache within budget
         assert!(cache.cached_bytes() <= 350);
         assert!(cache.cached_objects() <= 3);
+        // 8 batched fills into a 3-object budget: 5 evicted, counted
+        assert_eq!(cache.evictions(), 5);
+    }
+
+    #[test]
+    fn evictions_counter_tracks_budget_pressure() {
+        let base = MemoryProvider::new();
+        for i in 0..4 {
+            base.put(&format!("k{i}"), Bytes::from(vec![0u8; 100]))
+                .unwrap();
+        }
+        // everything fits: no evictions, only fills
+        let roomy = LruCacheProvider::new(base, 1_000);
+        for i in 0..4 {
+            roomy.get(&format!("k{i}")).unwrap();
+        }
+        assert_eq!(roomy.evictions(), 0);
+        assert_eq!(roomy.stats().evictions(), 0);
+        // re-reading hits never evict
+        for i in 0..4 {
+            roomy.get(&format!("k{i}")).unwrap();
+        }
+        assert_eq!(roomy.evictions(), 0);
+        assert_eq!(roomy.stats().cache_hits(), 4);
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub struct StorageStats {
     bytes_written: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    evictions: AtomicU64,
     batch_requests: AtomicU64,
     logical_reads: AtomicU64,
     coalesced_fetches: AtomicU64,
@@ -89,6 +90,14 @@ impl StorageStats {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one evicted cache entry. Byte-budgeted caches (the LRU
+    /// storage tier, the hub's query-result cache) bump this once per
+    /// entry dropped to stay within budget — the counter that shows a
+    /// cache is *churning*, which hit ratio alone cannot.
+    pub fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total GET requests (whole + range).
     pub fn requests(&self) -> u64 {
         self.get_requests.load(Ordering::Relaxed) + self.range_requests.load(Ordering::Relaxed)
@@ -127,6 +136,11 @@ impl StorageStats {
     /// Cache misses.
     pub fn cache_misses(&self) -> u64 {
         self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to stay within a byte budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Executed batches ([`crate::StorageProvider::execute`] calls).
@@ -177,6 +191,7 @@ impl StorageStats {
         self.bytes_written.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
         self.batch_requests.store(0, Ordering::Relaxed);
         self.logical_reads.store(0, Ordering::Relaxed);
         self.coalesced_fetches.store(0, Ordering::Relaxed);

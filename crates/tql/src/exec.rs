@@ -46,7 +46,7 @@ use crate::value::Value;
 use crate::Result;
 
 /// Execution options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QueryOptions {
     /// Worker threads for parallel evaluation.
     pub workers: usize,

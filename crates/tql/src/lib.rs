@@ -63,6 +63,7 @@
 //! are scanned in row order and fetching stops at the k-th match.
 
 pub mod ast;
+pub mod canonical;
 pub mod error;
 pub mod exec;
 pub mod functions;
@@ -73,6 +74,7 @@ pub mod value;
 pub mod wire;
 
 pub use ast::{Expr, Query};
+pub use canonical::canonical_text;
 pub use error::TqlError;
 pub use exec::{execute, QueryOptions, QueryResult, QueryStats};
 pub use plan::{Plan, PruneExpr, TopKPlan};

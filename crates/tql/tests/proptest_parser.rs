@@ -67,4 +67,47 @@ proptest! {
             other => prop_assert!(false, "unexpected {other:?}"),
         }
     }
+
+    /// Canonicalization is stable (the canonical text re-parses to the
+    /// identical AST) and idempotent (canonicalizing twice is a no-op) —
+    /// the properties the hub's query-result cache key relies on.
+    #[test]
+    fn canonical_text_stable_and_idempotent(
+        cols in proptest::collection::vec("[a-z][a-z0-9_]{0,8}", 1..4),
+        filter_col in "[a-z][a-z0-9_]{0,8}",
+        value in -1000i64..1000,
+        op in proptest::sample::select(vec!["=", "!=", "<", "<=", ">", ">="]),
+        gap in proptest::sample::select(vec!["", " ", "  ", "\n", "\t "]),
+        upper in any::<bool>(),
+        limit in 0u64..100, // 0 = no LIMIT clause
+        desc in any::<bool>(),
+    ) {
+        let select_kw = if upper { "SELECT" } else { "select" };
+        let q = format!(
+            "{select_kw}{gap} {} FROM d WHERE{gap} {filter_col} {op} {value} ORDER BY {}{}{}",
+            cols.join(", "),
+            cols[0],
+            if desc { " desc" } else { "" },
+            if limit > 0 { format!(" LIMIT {limit}") } else { String::new() },
+        );
+        let canonical = deeplake_tql::canonical_text(&q).unwrap();
+        prop_assert_eq!(parse(&canonical).unwrap(), parse(&q).unwrap());
+        prop_assert_eq!(deeplake_tql::canonical_text(&canonical).unwrap(), canonical);
+    }
+
+    /// Whatever whitespace/case variant of the same query comes in, the
+    /// cache key (canonical text) is the same.
+    #[test]
+    fn canonical_text_collapses_variants(
+        col in "[a-z][a-z0-9_]{0,8}",
+        value in -50i64..50,
+        pad in proptest::sample::select(vec![" ", "  ", "\n ", " \t "]),
+    ) {
+        let a = format!("SELECT * FROM d WHERE {col} = {value}");
+        let b = format!("select{pad}*{pad}from{pad}d{pad}where{pad}{col}{pad}={pad}{value}");
+        prop_assert_eq!(
+            deeplake_tql::canonical_text(&a).unwrap(),
+            deeplake_tql::canonical_text(&b).unwrap()
+        );
+    }
 }

@@ -158,15 +158,25 @@
 //! drop(server); // graceful shutdown drains in-flight requests
 //! ```
 //!
+//! Since PR 5 the server is a facade over the multi-dataset [`hub`]:
+//! one deployment mounts many named datasets (`Hub::builder()
+//! .mount("mnist", p1).mount("laion", p2)`), clients bind a connection
+//! with `remote.attach("mnist")`, a bounded worker pool caps
+//! storage/query concurrency (overload answers a lossless `Busy` frame),
+//! and repeated version-pinned queries are served from a result cache
+//! keyed by `(dataset, version, canonical TQL text, options)` — a hit
+//! is a frame copy with zero storage round trips.
+//!
 //! See the crate-level docs of each member for the subsystem details:
 //! [`tensor`], [`codec`], [`storage`], [`format`], [`core`], [`tql`],
 //! [`loader`], [`baselines`], [`sim`], [`viz`], [`index`],
-//! [`remote`], [`server`].
+//! [`remote`], [`server`], [`hub`].
 
 pub use deeplake_baselines as baselines;
 pub use deeplake_codec as codec;
 pub use deeplake_core as core;
 pub use deeplake_format as format;
+pub use deeplake_hub as hub;
 pub use deeplake_index as index;
 pub use deeplake_loader as loader;
 pub use deeplake_remote as remote;
@@ -186,6 +196,7 @@ pub mod prelude {
     pub use deeplake_core::transform::TransformPipeline;
     pub use deeplake_core::version::MergePolicy;
     pub use deeplake_core::{DatasetView, IndexBuildReport, Row};
+    pub use deeplake_hub::{Hub, HubHandle, HubOptions};
     pub use deeplake_index::{IndexKind, IndexSpec, Metric, VectorIndex};
     pub use deeplake_loader::{Batch, BatchColumn, DataLoader};
     pub use deeplake_remote::{RemoteOptions, RemoteProvider};

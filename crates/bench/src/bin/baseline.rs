@@ -1,0 +1,99 @@
+//! Regenerate `BENCH_baseline.json`: the committed snapshot of the
+//! single-node serving numbers (PR 4's remote offload + PR 5's hub)
+//! that the cluster results are judged against. Run with
+//! `cargo run --release -p deeplake-bench --bin baseline`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use deeplake_bench::BenchReport;
+use deeplake_core::dataset::{Dataset, TensorOptions};
+use deeplake_hub::Hub;
+use deeplake_remote::RemoteProvider;
+use deeplake_sim::{run_hub_queries, HubScenarioConfig};
+use deeplake_storage::{DynProvider, MemoryProvider, NetworkProfile, SimulatedCloudProvider};
+use deeplake_tensor::{Htype, Sample};
+use deeplake_tql::QueryOptions;
+
+const ROWS: u64 = 10_000;
+
+fn build_dataset(provider: DynProvider) {
+    let mut ds = Dataset::create(provider, "baseline").unwrap();
+    ds.create_tensor_opts("labels", {
+        let mut o = TensorOptions::new(Htype::ClassLabel);
+        o.chunk_target_bytes = Some(256);
+        o
+    })
+    .unwrap();
+    for i in 0..ROWS {
+        ds.append_row(vec![("labels", Sample::scalar((i / 100) as i32))])
+            .unwrap();
+    }
+    ds.flush().unwrap();
+}
+
+fn main() {
+    let storage = Arc::new(SimulatedCloudProvider::new(
+        "s3",
+        MemoryProvider::new(),
+        NetworkProfile::instant(),
+    ));
+    build_dataset(storage.clone());
+    let hub = Hub::builder()
+        .mount("baseline", storage.clone())
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let client = RemoteProvider::connect(hub.addr()).unwrap();
+    client.attach("baseline").unwrap();
+    let text = "SELECT labels FROM baseline WHERE labels = 7";
+
+    // first offloaded execution: the full storage cost
+    storage.stats().reset();
+    let t = Instant::now();
+    let first = client.query(text, &QueryOptions::default()).unwrap();
+    let first_wall = t.elapsed();
+    assert_eq!(first.len(), 100);
+    let first_rts = storage.stats().round_trips();
+
+    // hot repeats through the result cache: the single-node ceiling the
+    // cluster's aggregate throughput is compared to
+    const REPEATS: u32 = 500;
+    storage.stats().reset();
+    let t = Instant::now();
+    for _ in 0..REPEATS {
+        let r = client.query(text, &QueryOptions::default()).unwrap();
+        assert_eq!(r.len(), 100);
+    }
+    let cached_qps = REPEATS as f64 / t.elapsed().as_secs_f64();
+    let repeat_rts = storage.stats().round_trips();
+
+    // the skewed multi-client scenario on ONE hub — apples-to-apples
+    // with the cluster sim at fleet sizes > 1
+    let skewed = run_hub_queries(&HubScenarioConfig::default());
+
+    let mut report = BenchReport::new("baseline");
+    report
+        .metric(
+            "single_hub_first_query_storage_round_trips",
+            first_rts as f64,
+        )
+        .metric("single_hub_first_query_secs", first_wall.as_secs_f64())
+        .metric("single_hub_cached_queries_per_sec", cached_qps)
+        .metric(
+            "single_hub_repeat_storage_round_trips_per_query",
+            repeat_rts as f64 / REPEATS as f64,
+        )
+        .metric("skewed_hub_cache_hit_ratio", skewed.cache_hit_ratio)
+        .metric(
+            "skewed_hub_storage_round_trips",
+            skewed.storage_round_trips as f64,
+        )
+        .metric("skewed_hub_total_queries", skewed.total_queries as f64)
+        .metric(
+            "skewed_hub_queries_per_sec",
+            skewed.total_queries as f64 / skewed.wall.as_secs_f64().max(1e-9),
+        );
+    let path = report.write().expect("write BENCH_baseline.json");
+    println!("{}", report.to_json());
+    println!("baseline: wrote {}", path.display());
+}

@@ -1,0 +1,526 @@
+//! Client-side placement routing: discover once, route reads to an
+//! owning replica, write through to all of them, fail over when a node
+//! dies mid-request.
+//!
+//! A [`ClusterClient`] holds only a *seed list* of node addresses.
+//! Opening a dataset asks any reachable seed `WhereIs(name)` and caches
+//! the answer — `(epoch, live replica addresses)` — in the returned
+//! [`ClusterMount`]. From then on every operation is routed directly to
+//! a replica that owns the data; no proxy hop, no per-request metadata
+//! lookup. The mount implements [`StorageProvider`], so datasets, TQL
+//! offload and loaders run against a cluster *unchanged*.
+//!
+//! Routing policy, per operation:
+//!
+//! * **Reads** rotate round-robin over the replica set (spreading load),
+//!   and on a *transport* error — connection refused, mid-stream drop,
+//!   `Busy` after the remote client's own bounded retries — move to the
+//!   next replica. Reads are pure and idempotent, so retrying elsewhere
+//!   is always safe. Only when every replica fails does the mount
+//!   refresh its placement (the map may have changed under it) and try
+//!   one more round; *semantic* errors (`NotFound`, range errors) are
+//!   returned immediately — another replica holds the same bytes and
+//!   would say the same thing.
+//! * **Writes** go to **all** R replicas. At least one ack is required;
+//!   replicas that failed are dropped from this mount's read rotation
+//!   (read-your-writes: a subsequent read can only land on a replica
+//!   that took the write) until the next placement refresh, when the
+//!   map's view — and, in a full system, re-replication — takes over.
+//! * **Queries** ship TQL text to one owning replica and fail over like
+//!   reads; each node's version-pinned result cache makes repeated hot
+//!   queries a frame copy.
+//!
+//! The epoch rides along so stale placements are detected instead of
+//! trusted: any refresh answering with a newer epoch replaces the
+//! cached one; an older answer (a node that has not heard the news yet)
+//! is ignored.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use deeplake_remote::{RemoteOptions, RemoteProvider};
+use deeplake_storage::{ReadPlan, ReadRequest, ReadResult, StorageError, StorageProvider};
+use deeplake_tql::{QueryOptions, QueryResult, TqlError};
+use parking_lot::Mutex;
+
+/// Routing-client configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterClientOptions {
+    /// Per-connection transport options (pool size, injected latency,
+    /// `Busy` retry budget) for every replica connection.
+    pub remote: RemoteOptions,
+    /// Placement-refresh rounds after every replica in the cached
+    /// placement failed: each extra round re-asks the seeds `WhereIs`
+    /// and retries the whole replica set once. 1 is enough to survive
+    /// any single membership change between refreshes.
+    pub refresh_rounds: usize,
+}
+
+impl Default for ClusterClientOptions {
+    fn default() -> Self {
+        ClusterClientOptions {
+            remote: RemoteOptions::default(),
+            refresh_rounds: 1,
+        }
+    }
+}
+
+/// `Io` and `Busy` mean the *node* failed, not the request — another
+/// replica can serve it. Everything else is a property of the data and
+/// will be identical on every replica.
+fn is_transport(e: &StorageError) -> bool {
+    matches!(e, StorageError::Io(_) | StorageError::Busy(_))
+}
+
+/// The TQL equivalent: [`RemoteProvider::query`] folds transport
+/// failures into [`TqlError::Remote`] with messages naming the
+/// transport ("remote transport", "remote dial", "busy"); genuine query
+/// errors (parse, unknown column) come back verbatim and fail over
+/// nowhere.
+fn tql_is_transport(e: &TqlError) -> bool {
+    match e {
+        TqlError::Remote(msg) => {
+            msg.contains("remote transport") || msg.contains("remote dial") || msg.contains("busy")
+        }
+        _ => false,
+    }
+}
+
+/// Connection cache + seed list shared by every mount of one client.
+struct Shared {
+    seeds: Vec<String>,
+    options: ClusterClientOptions,
+    /// `(address, dataset)` → attached connection. The empty dataset is
+    /// the un-attached control connection used for `WhereIs`.
+    conns: Mutex<HashMap<(String, String), Arc<RemoteProvider>>>,
+}
+
+impl Shared {
+    /// An attached connection to `addr` (cached; a fresh dial performs
+    /// the version handshake and attach replay).
+    fn conn(&self, addr: &str, dataset: &str) -> Result<Arc<RemoteProvider>, StorageError> {
+        let key = (addr.to_string(), dataset.to_string());
+        if let Some(conn) = self.conns.lock().get(&key) {
+            return Ok(Arc::clone(conn));
+        }
+        let provider = RemoteProvider::connect_with(addr, self.options.remote)
+            .map_err(|e| StorageError::Io(format!("cluster dial {addr}: {e}")))?;
+        if !dataset.is_empty() {
+            provider.attach(dataset)?;
+        }
+        let provider = Arc::new(provider);
+        self.conns.lock().insert(key, Arc::clone(&provider));
+        Ok(provider)
+    }
+
+    /// Forget a connection whose node misbehaved; the next use re-dials.
+    fn drop_conn(&self, addr: &str, dataset: &str) {
+        self.conns
+            .lock()
+            .remove(&(addr.to_string(), dataset.to_string()));
+    }
+
+    /// Ask the seeds where `dataset` lives; the highest-epoch answer
+    /// wins (a seed that has not heard about a death yet answers with a
+    /// lower epoch and is outvoted). Transport-dead seeds are skipped;
+    /// a semantic answer (`NotFound`) is returned only when no seed
+    /// gave a placement.
+    fn where_is_any(&self, dataset: &str) -> Result<(u64, Vec<String>), StorageError> {
+        let mut best: Option<(u64, Vec<String>)> = None;
+        let mut last_err: Option<StorageError> = None;
+        for addr in &self.seeds {
+            let conn = match self.conn(addr, "") {
+                Ok(conn) => conn,
+                Err(e) => {
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            match conn.where_is(dataset) {
+                Ok((epoch, replicas)) => {
+                    if best.as_ref().is_none_or(|(e, _)| epoch > *e) {
+                        best = Some((epoch, replicas));
+                    }
+                }
+                Err(e) => {
+                    if is_transport(&e) {
+                        self.drop_conn(addr, "");
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        best.ok_or_else(|| {
+            last_err.unwrap_or_else(|| StorageError::Io("cluster has no reachable seed".into()))
+        })
+    }
+}
+
+/// Entry point: connects to a cluster by seed list and opens datasets.
+pub struct ClusterClient {
+    shared: Arc<Shared>,
+}
+
+impl ClusterClient {
+    /// A client over `seeds` (any subset of the cluster's addresses —
+    /// every node answers placement for every dataset). Connections are
+    /// dialed lazily.
+    pub fn connect(seeds: Vec<String>) -> io::Result<ClusterClient> {
+        Self::connect_with(seeds, ClusterClientOptions::default())
+    }
+
+    /// A client with explicit options.
+    pub fn connect_with(
+        seeds: Vec<String>,
+        options: ClusterClientOptions,
+    ) -> io::Result<ClusterClient> {
+        if seeds.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a cluster client needs at least one seed address",
+            ));
+        }
+        Ok(ClusterClient {
+            shared: Arc::new(Shared {
+                seeds,
+                options,
+                conns: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// Discover where `dataset` lives and return a routing mount for
+    /// it. Fails with the placement's lossless error for unknown names,
+    /// or `Io` when no replica is live.
+    pub fn open(&self, dataset: &str) -> Result<ClusterMount, StorageError> {
+        let (epoch, replicas) = self.shared.where_is_any(dataset)?;
+        if replicas.is_empty() {
+            return Err(StorageError::Io(format!(
+                "dataset '{dataset}': no live replica (map epoch {epoch})"
+            )));
+        }
+        Ok(ClusterMount {
+            shared: Arc::clone(&self.shared),
+            dataset: dataset.to_string(),
+            placement: Mutex::new(Placement { epoch, replicas }),
+            cursor: AtomicUsize::new(0),
+            failovers: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
+        })
+    }
+
+    /// Sorted dataset names served by the cluster: the UNION over every
+    /// reachable seed. A single node's `ListDatasets` answer is only
+    /// its own shard — no node mounts datasets it doesn't own — so one
+    /// seed's view understates the catalog whenever the fleet is wider
+    /// than the replication factor. Errs only when NO seed is
+    /// reachable.
+    pub fn list_datasets(&self) -> Result<Vec<String>, StorageError> {
+        let mut names = std::collections::BTreeSet::new();
+        let mut reachable = false;
+        let mut last_err: Option<StorageError> = None;
+        for addr in &self.shared.seeds {
+            match self
+                .shared
+                .conn(addr, "")
+                .and_then(|conn| conn.list_datasets())
+            {
+                Ok(shard) => {
+                    reachable = true;
+                    names.extend(shard);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if reachable {
+            return Ok(names.into_iter().collect());
+        }
+        Err(last_err.unwrap_or_else(|| StorageError::Io("cluster has no reachable seed".into())))
+    }
+}
+
+/// The placement one mount currently routes by.
+struct Placement {
+    epoch: u64,
+    replicas: Vec<String>,
+}
+
+/// One dataset, routed: a [`StorageProvider`] whose backend is
+/// whichever live replica answers. Failover and placement refresh are
+/// internal; callers see at most the final error.
+pub struct ClusterMount {
+    shared: Arc<Shared>,
+    dataset: String,
+    placement: Mutex<Placement>,
+    /// Round-robin read cursor across the replica set.
+    cursor: AtomicUsize,
+    failovers: AtomicU64,
+    refreshes: AtomicU64,
+}
+
+impl ClusterMount {
+    /// The dataset this mount routes for.
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    /// The placement currently routed by: `(epoch, replica addresses)`.
+    pub fn placement(&self) -> (u64, Vec<String>) {
+        let p = self.placement.lock();
+        (p.epoch, p.replicas.clone())
+    }
+
+    /// Requests that moved to another replica after a transport error.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Placement refreshes performed (all-replica failure or explicit).
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes.load(Ordering::Relaxed)
+    }
+
+    /// Re-ask the seeds where the dataset lives; a newer epoch replaces
+    /// the cached placement, an older one is ignored.
+    pub fn refresh(&self) -> Result<(), StorageError> {
+        let (epoch, replicas) = self.shared.where_is_any(&self.dataset)?;
+        self.refreshes.fetch_add(1, Ordering::Relaxed);
+        let mut p = self.placement.lock();
+        if epoch >= p.epoch {
+            p.epoch = epoch;
+            p.replicas = replicas;
+        }
+        Ok(())
+    }
+
+    /// Offload a TQL query to an owning replica (`main` branch),
+    /// failing over exactly like a read.
+    pub fn query(&self, text: &str, options: &QueryOptions) -> deeplake_tql::Result<QueryResult> {
+        self.query_at("main", text, options)
+    }
+
+    /// Offload a TQL query against an explicit branch or commit.
+    pub fn query_at(
+        &self,
+        reference: &str,
+        text: &str,
+        options: &QueryOptions,
+    ) -> deeplake_tql::Result<QueryResult> {
+        let mut last_err: Option<TqlError> = None;
+        for round in 0..=self.shared.options.refresh_rounds {
+            if round > 0 && self.refresh().is_err() {
+                break;
+            }
+            let replicas = self.placement.lock().replicas.clone();
+            let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+            for offset in 0..replicas.len() {
+                let addr = &replicas[(start + offset) % replicas.len()];
+                let conn = match self.shared.conn(addr, &self.dataset) {
+                    Ok(conn) => conn,
+                    Err(e) => {
+                        self.failovers.fetch_add(1, Ordering::Relaxed);
+                        last_err = Some(TqlError::Remote(e.to_string()));
+                        continue;
+                    }
+                };
+                match conn.query_at(reference, text, options) {
+                    Ok(result) => return Ok(result),
+                    Err(e) if tql_is_transport(&e) => {
+                        self.shared.drop_conn(addr, &self.dataset);
+                        self.failovers.fetch_add(1, Ordering::Relaxed);
+                        last_err = Some(e);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            TqlError::Remote(format!("dataset '{}': no live replica", self.dataset))
+        }))
+    }
+
+    /// Read routing: round-robin over the replica set, failover on
+    /// transport errors, one placement-refresh round when the whole set
+    /// fails, semantic errors immediate.
+    fn with_read<T>(
+        &self,
+        op: &dyn Fn(&RemoteProvider) -> Result<T, StorageError>,
+    ) -> Result<T, StorageError> {
+        let mut last_err: Option<StorageError> = None;
+        for round in 0..=self.shared.options.refresh_rounds {
+            if round > 0 && self.refresh().is_err() {
+                break;
+            }
+            let replicas = self.placement.lock().replicas.clone();
+            let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+            for offset in 0..replicas.len() {
+                let addr = &replicas[(start + offset) % replicas.len()];
+                let conn = match self.shared.conn(addr, &self.dataset) {
+                    Ok(conn) => conn,
+                    Err(e) => {
+                        self.failovers.fetch_add(1, Ordering::Relaxed);
+                        last_err = Some(e);
+                        continue;
+                    }
+                };
+                match op(&conn) {
+                    Ok(value) => return Ok(value),
+                    Err(e) if is_transport(&e) => {
+                        self.shared.drop_conn(addr, &self.dataset);
+                        self.failovers.fetch_add(1, Ordering::Relaxed);
+                        last_err = Some(e);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            StorageError::Io(format!("dataset '{}': no live replica", self.dataset))
+        }))
+    }
+
+    /// Write routing: the operation runs on **every** replica in the
+    /// placement; at least one ack is success. Replicas that failed on
+    /// transport are removed from this mount's rotation until the next
+    /// refresh, so later reads only land where the write did.
+    fn with_write(
+        &self,
+        op: &dyn Fn(&RemoteProvider) -> Result<(), StorageError>,
+    ) -> Result<(), StorageError> {
+        let mut last_err: Option<StorageError> = None;
+        for round in 0..=self.shared.options.refresh_rounds {
+            if round > 0 && self.refresh().is_err() {
+                break;
+            }
+            let replicas = self.placement.lock().replicas.clone();
+            let mut acked: Vec<String> = Vec::with_capacity(replicas.len());
+            for addr in &replicas {
+                let outcome = self
+                    .shared
+                    .conn(addr, &self.dataset)
+                    .and_then(|conn| op(&conn));
+                match outcome {
+                    Ok(()) => acked.push(addr.clone()),
+                    Err(e) if is_transport(&e) => {
+                        self.shared.drop_conn(addr, &self.dataset);
+                        self.failovers.fetch_add(1, Ordering::Relaxed);
+                        last_err = Some(e);
+                    }
+                    // deterministic across replicas (same bytes): no
+                    // point asking the others
+                    Err(e) => return Err(e),
+                }
+            }
+            if !acked.is_empty() {
+                if acked.len() < replicas.len() {
+                    let mut p = self.placement.lock();
+                    p.replicas = acked;
+                }
+                return Ok(());
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            StorageError::Io(format!("dataset '{}': no live replica", self.dataset))
+        }))
+    }
+}
+
+/// Batch calls report transport death as every-slot-failed; detect that
+/// so the batch fails over as a unit instead of surfacing N copies of
+/// the same dead-node error.
+fn batch_transport_error(results: &[Result<Bytes, StorageError>]) -> Option<StorageError> {
+    if results.is_empty() {
+        return None;
+    }
+    let mut first: Option<&StorageError> = None;
+    for result in results {
+        match result {
+            Err(e) if is_transport(e) => first = first.or(Some(e)),
+            _ => return None,
+        }
+    }
+    first.cloned()
+}
+
+impl StorageProvider for ClusterMount {
+    fn get(&self, key: &str) -> Result<Bytes, StorageError> {
+        self.with_read(&|conn| conn.get(key))
+    }
+
+    fn get_range(&self, key: &str, start: u64, end: u64) -> Result<Bytes, StorageError> {
+        self.with_read(&|conn| conn.get_range(key, start, end))
+    }
+
+    fn put(&self, key: &str, value: Bytes) -> Result<(), StorageError> {
+        self.with_write(&|conn| conn.put(key, value.clone()))
+    }
+
+    fn delete(&self, key: &str) -> Result<(), StorageError> {
+        self.with_write(&|conn| conn.delete(key))
+    }
+
+    fn exists(&self, key: &str) -> Result<bool, StorageError> {
+        self.with_read(&|conn| conn.exists(key))
+    }
+
+    fn len_of(&self, key: &str) -> Result<u64, StorageError> {
+        self.with_read(&|conn| conn.len_of(key))
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, StorageError> {
+        self.with_read(&|conn| conn.list(prefix))
+    }
+
+    fn describe(&self) -> String {
+        let p = self.placement.lock();
+        format!(
+            "cluster('{}' @ {} replicas, epoch {})",
+            self.dataset,
+            p.replicas.len(),
+            p.epoch
+        )
+    }
+
+    /// The whole batch stays one frame to one replica; a dead node
+    /// fails the batch over as a unit.
+    fn get_many(&self, requests: &[ReadRequest]) -> Vec<Result<Bytes, StorageError>> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let attempt = self.with_read(&|conn| {
+            let results = conn.get_many(requests);
+            match batch_transport_error(&results) {
+                Some(e) => Err(e),
+                None => Ok(results),
+            }
+        });
+        attempt.unwrap_or_else(|e| requests.iter().map(|_| Err(e.clone())).collect())
+    }
+
+    fn execute(&self, plan: &ReadPlan) -> ReadResult {
+        if plan.requests().is_empty() {
+            return ReadResult {
+                results: Vec::new(),
+                fetches: 0,
+            };
+        }
+        let attempt = self.with_read(&|conn| {
+            let result = conn.execute(plan);
+            match batch_transport_error(&result.results) {
+                Some(e) => Err(e),
+                None => Ok(result),
+            }
+        });
+        attempt.unwrap_or_else(|e| ReadResult {
+            results: plan.requests().iter().map(|_| Err(e.clone())).collect(),
+            fetches: 0,
+        })
+    }
+
+    fn delete_prefix(&self, prefix: &str) -> Result<(), StorageError> {
+        self.with_write(&|conn| conn.delete_prefix(prefix))
+    }
+}

@@ -1,0 +1,330 @@
+//! The epoch-versioned cluster map: which nodes exist, which are live,
+//! and which datasets the cluster serves.
+//!
+//! Every placement decision flows through [`ClusterMap::placement`]:
+//! the [`HashRing`] assigns a dataset's R owners over **all** registered
+//! nodes — dead ones included — and only then is the live filter
+//! applied. This ordering is load-bearing: a dead node's datasets keep
+//! resolving to the *surviving members of the same replica set* (which
+//! hold the data), rather than being consistently re-hashed onto a live
+//! node that has never seen a byte of them. The cluster degrades to
+//! fewer replicas honestly; re-replicating onto new owners is a
+//! deliberate non-goal of this layer (see README — it needs data
+//! movement, not just map arithmetic).
+//!
+//! Assignment is consistent hashing **with bounded loads**: each node
+//! accepts at most `⌈replica slots ÷ nodes⌉` replicas, and a dataset
+//! whose ring walk hits a full node keeps walking. Plain consistent
+//! hashing balances well only in the many-keys limit; a fleet serves
+//! *tens* of datasets, where multinomial spread would happily hand one
+//! node half the replicas and cap the whole fleet's throughput at that
+//! straggler. The cap makes per-node load provably within one replica
+//! of fair while the ring still keeps assignments mostly stable under
+//! membership change. Assignments are recomputed only when the dataset
+//! set changes, never on liveness flips — a death must not silently
+//! reshuffle who owns what.
+//!
+//! The `epoch` bumps on every membership or dataset change. Placements
+//! carry the epoch they were computed at, so a client holding a stale
+//! placement can detect it the moment any response advertises a newer
+//! epoch, and refresh instead of hammering a dead address.
+//!
+//! In this reproduction the map is shared between in-process nodes as an
+//! `Arc<RwLock<ClusterMap>>` — a stand-in for the gossip/consensus
+//! membership service a multi-host deployment would use. The *interface*
+//! (epoch + placement queries over the wire) is the part the paper's
+//! architecture needs; the transport for membership updates is not.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use deeplake_storage::StorageError;
+
+use crate::ring::HashRing;
+
+/// One cluster member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeEntry {
+    /// The node's serving address (`host:port`), also its ring identity.
+    pub addr: String,
+    /// Whether the failure detector currently believes the node serves.
+    pub live: bool,
+}
+
+/// The shared membership + placement state.
+#[derive(Debug, Clone)]
+pub struct ClusterMap {
+    epoch: u64,
+    replication: usize,
+    nodes: Vec<NodeEntry>,
+    datasets: BTreeSet<String>,
+    ring: HashRing,
+    /// Bounded-load assignment: dataset → node indices, recomputed when
+    /// the dataset set changes (NOT on liveness flips).
+    assignments: BTreeMap<String, Vec<usize>>,
+}
+
+impl ClusterMap {
+    /// A map over `addrs` with `replication` copies of each dataset.
+    /// `replication` is clamped to at least 1; it may exceed the node
+    /// count (each dataset then lands on every node).
+    pub fn new(addrs: Vec<String>, replication: usize) -> ClusterMap {
+        let ring = HashRing::new(&addrs);
+        ClusterMap {
+            epoch: 1,
+            replication: replication.max(1),
+            nodes: addrs
+                .into_iter()
+                .map(|addr| NodeEntry { addr, live: true })
+                .collect(),
+            datasets: BTreeSet::new(),
+            ring,
+            assignments: BTreeMap::new(),
+        }
+    }
+
+    /// Recompute every dataset's owners with bounded loads: walk each
+    /// dataset's ring order (sorted dataset order, so every node
+    /// computes the identical answer) and skip nodes already holding
+    /// their fair share `⌈slots ÷ nodes⌉`. If a tight cap leaves a
+    /// replica unplaced after a full circle, the least-loaded remaining
+    /// nodes take the overflow deterministically.
+    fn recompute(&mut self) {
+        self.assignments.clear();
+        let n = self.nodes.len();
+        if n == 0 {
+            return;
+        }
+        let r = self.replication.min(n);
+        let cap = (r * self.datasets.len()).div_ceil(n);
+        let mut load = vec![0usize; n];
+        for name in &self.datasets {
+            let mut owners: Vec<usize> = Vec::with_capacity(r);
+            for index in self.ring.replicas_for(name, n) {
+                if owners.len() == r {
+                    break;
+                }
+                if load[index] < cap {
+                    owners.push(index);
+                    load[index] += 1;
+                }
+            }
+            if owners.len() < r {
+                let mut rest: Vec<usize> = (0..n).filter(|i| !owners.contains(i)).collect();
+                rest.sort_by_key(|&i| (load[i], i));
+                for index in rest.into_iter().take(r - owners.len()) {
+                    load[index] += 1;
+                    owners.push(index);
+                }
+            }
+            self.assignments.insert(name.clone(), owners);
+        }
+    }
+
+    /// The map's version. Bumps on every membership or dataset change.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Copies of each dataset the map places.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Every registered node, dead ones included.
+    pub fn nodes(&self) -> &[NodeEntry] {
+        &self.nodes
+    }
+
+    /// Addresses the failure detector believes are serving.
+    pub fn live_addrs(&self) -> Vec<String> {
+        self.nodes
+            .iter()
+            .filter(|n| n.live)
+            .map(|n| n.addr.clone())
+            .collect()
+    }
+
+    /// Sorted names of every dataset the cluster serves.
+    pub fn datasets(&self) -> Vec<String> {
+        self.datasets.iter().cloned().collect()
+    }
+
+    /// Register a dataset. Returns `false` (and leaves the epoch alone)
+    /// if it was already registered.
+    pub fn add_dataset(&mut self, name: &str) -> bool {
+        let added = self.datasets.insert(name.to_string());
+        if added {
+            self.epoch += 1;
+            self.recompute();
+        }
+        added
+    }
+
+    /// Remove a dataset from the map.
+    pub fn remove_dataset(&mut self, name: &str) -> bool {
+        let removed = self.datasets.remove(name);
+        if removed {
+            self.epoch += 1;
+            self.recompute();
+        }
+        removed
+    }
+
+    /// Record `addr` as dead. Returns `false` if the address is unknown
+    /// or already dead.
+    pub fn mark_dead(&mut self, addr: &str) -> bool {
+        self.set_live(addr, false)
+    }
+
+    /// Record `addr` as serving again.
+    pub fn mark_live(&mut self, addr: &str) -> bool {
+        self.set_live(addr, true)
+    }
+
+    fn set_live(&mut self, addr: &str, live: bool) -> bool {
+        match self.nodes.iter_mut().find(|n| n.addr == addr) {
+            Some(node) if node.live != live => {
+                node.live = live;
+                self.epoch += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The dataset's full replica set in bounded-load ring order — dead
+    /// owners included. This is the *assignment*;
+    /// [`ClusterMap::placement`] is the routable view. Empty for
+    /// unregistered datasets.
+    pub fn owners(&self, dataset: &str) -> Vec<&NodeEntry> {
+        self.assignments
+            .get(dataset)
+            .map(|owners| owners.iter().map(|&index| &self.nodes[index]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Where clients should send requests for `dataset`: the live
+    /// members of its replica set, in ring order, tagged with the epoch
+    /// the answer was computed at. Unknown datasets are a lossless
+    /// [`StorageError::NotFound`]; a fully-dead replica set returns an
+    /// empty list (the epoch still lets the client cache the bad news
+    /// briefly instead of re-asking in a hot loop).
+    pub fn placement(&self, dataset: &str) -> Result<(u64, Vec<String>), StorageError> {
+        if !self.datasets.contains(dataset) {
+            return Err(StorageError::NotFound(format!(
+                "dataset '{dataset}' is not served by this cluster"
+            )));
+        }
+        let live = self
+            .owners(dataset)
+            .into_iter()
+            .filter(|n| n.live)
+            .map(|n| n.addr.clone())
+            .collect();
+        Ok((self.epoch, live))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(n: usize, r: usize) -> ClusterMap {
+        let addrs = (0..n).map(|i| format!("10.0.0.{i}:7700")).collect();
+        let mut m = ClusterMap::new(addrs, r);
+        for name in ["mnist", "laion", "ffhq", "places"] {
+            m.add_dataset(name);
+        }
+        m
+    }
+
+    #[test]
+    fn placement_returns_r_live_owners() {
+        let m = map(4, 2);
+        let (epoch, replicas) = m.placement("mnist").unwrap();
+        assert_eq!(epoch, m.epoch());
+        assert_eq!(replicas.len(), 2);
+        assert_ne!(replicas[0], replicas[1]);
+    }
+
+    #[test]
+    fn unknown_dataset_is_not_found() {
+        let m = map(3, 2);
+        assert!(matches!(
+            m.placement("nope"),
+            Err(StorageError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn dead_owner_is_filtered_but_assignment_is_stable() {
+        let mut m = map(4, 2);
+        let (_, before) = m.placement("mnist").unwrap();
+        let victim = before[0].clone();
+        let epoch_before = m.epoch();
+        assert!(m.mark_dead(&victim));
+        assert!(m.epoch() > epoch_before, "death bumps the epoch");
+
+        let (_, after) = m.placement("mnist").unwrap();
+        // the survivor of the original replica set still serves — the
+        // dataset is NOT re-hashed onto a node without the data
+        assert_eq!(after, vec![before[1].clone()]);
+
+        // revival restores the original assignment
+        assert!(m.mark_live(&victim));
+        let (_, revived) = m.placement("mnist").unwrap();
+        assert_eq!(revived, before);
+    }
+
+    #[test]
+    fn fully_dead_replica_set_is_empty_not_an_error() {
+        let mut m = map(2, 2);
+        for addr in m.live_addrs() {
+            m.mark_dead(&addr);
+        }
+        let (_, replicas) = m.placement("mnist").unwrap();
+        assert!(replicas.is_empty());
+    }
+
+    #[test]
+    fn epoch_tracks_every_change() {
+        let mut m = map(3, 2);
+        let e0 = m.epoch();
+        assert!(!m.add_dataset("mnist"), "duplicate add is a no-op");
+        assert_eq!(m.epoch(), e0);
+        assert!(m.add_dataset("fresh"));
+        assert!(m.remove_dataset("fresh"));
+        assert!(!m.mark_dead("10.9.9.9:1"), "unknown addr is a no-op");
+        assert_eq!(m.epoch(), e0 + 2);
+    }
+
+    #[test]
+    fn bounded_loads_keep_every_node_within_its_fair_share() {
+        let addrs: Vec<String> = (0..4).map(|i| format!("10.0.0.{i}:7700")).collect();
+        let mut m = ClusterMap::new(addrs.clone(), 2);
+        for d in 0..16 {
+            m.add_dataset(&format!("ds{d}"));
+        }
+        let mut load = vec![0usize; 4];
+        for d in 0..16 {
+            for owner in m.owners(&format!("ds{d}")) {
+                load[addrs.iter().position(|a| *a == owner.addr).unwrap()] += 1;
+            }
+        }
+        // 32 replica slots over 4 nodes: fair share is 8; the replica-
+        // distinctness overflow can push a single node one past the cap
+        // (the "within one replica of fair" guarantee), never further
+        assert_eq!(load.iter().sum::<usize>(), 32);
+        assert!(
+            load.iter().all(|&l| l <= 9),
+            "a node exceeded fair share + 1: {load:?}"
+        );
+    }
+
+    #[test]
+    fn replication_clamps_to_node_count_naturally() {
+        let m = map(2, 5);
+        let (_, replicas) = m.placement("mnist").unwrap();
+        assert_eq!(replicas.len(), 2, "only 2 nodes exist");
+    }
+}

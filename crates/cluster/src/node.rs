@@ -1,0 +1,298 @@
+//! The cluster runtime: N hub nodes behind one shared [`ClusterMap`].
+//!
+//! [`ClusterBuilder`] spawns each node as a full [`deeplake_hub::Hub`]
+//! (its own listener, worker pool, result cache) wired to the shared
+//! map through the hub's placement hook — so *every* node answers
+//! `WhereIs` for *every* dataset, and a client can bootstrap from any
+//! address it knows. Datasets are placed by the map's consistent-hash
+//! assignment and mounted only on their owning nodes; each replica gets
+//! its own backing store, seeded byte-for-byte from the builder's seed
+//! provider so replicas agree on every chunk and commit id.
+//!
+//! [`Cluster::kill`] models a node failure: the hub is shut down (new
+//! dials are refused, in-flight requests drain) and the map marks the
+//! address dead — the in-process stand-in for the failure detector a
+//! multi-host deployment runs. Clients holding the old placement fail
+//! over on their own (see [`crate::client`]); the map update only stops
+//! *new* placements from mentioning the corpse.
+
+use std::io;
+use std::sync::Arc;
+
+use deeplake_hub::{Hub, HubHandle, HubOptions, PlacementFn};
+use deeplake_storage::{DynProvider, MemoryProvider, StorageError, StorageProvider};
+use parking_lot::RwLock;
+
+use crate::client::{ClusterClient, ClusterClientOptions};
+use crate::map::ClusterMap;
+
+/// Makes the backing store for one replica: `(dataset, node addr) →
+/// provider`. The default returns a fresh [`MemoryProvider`]; sims
+/// substitute latency-modelled stores here.
+pub type StoreFactory = Arc<dyn Fn(&str, &str) -> DynProvider + Send + Sync>;
+
+/// Builds a [`Cluster`].
+pub struct ClusterBuilder {
+    nodes: usize,
+    replication: usize,
+    options: HubOptions,
+    datasets: Vec<(String, Option<DynProvider>)>,
+    externals: Vec<String>,
+    store_factory: StoreFactory,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            nodes: 1,
+            replication: 1,
+            options: HubOptions::default(),
+            datasets: Vec::new(),
+            externals: Vec::new(),
+            store_factory: Arc::new(|_, _| Arc::new(MemoryProvider::new())),
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Number of hub nodes to spawn (each on its own `127.0.0.1` port).
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.nodes = n.max(1);
+        self
+    }
+
+    /// Replicas per dataset (clamped to ≥ 1; capped by the node count
+    /// naturally — a 2-node cluster holds at most 2 copies).
+    pub fn replication(mut self, r: usize) -> Self {
+        self.replication = r.max(1);
+        self
+    }
+
+    /// Tuning for every node's hub (worker pool, queue depth, cache).
+    pub fn hub_options(mut self, options: HubOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Serve `name`, with each replica's store seeded byte-for-byte
+    /// from `seed` — replicas must agree on every key (chunks, commit
+    /// ids), which independent rebuilds would not guarantee.
+    pub fn dataset_from(mut self, name: &str, seed: DynProvider) -> Self {
+        self.datasets.push((name.to_string(), Some(seed)));
+        self
+    }
+
+    /// Serve `name` starting empty (each replica gets a fresh store
+    /// from the factory).
+    pub fn dataset(mut self, name: &str) -> Self {
+        self.datasets.push((name.to_string(), None));
+        self
+    }
+
+    /// How replica backing stores are made. Sims pass latency-modelled
+    /// providers; the default is plain in-memory.
+    pub fn store_factory(mut self, factory: StoreFactory) -> Self {
+        self.store_factory = factory;
+        self
+    }
+
+    /// Register an address on the ring that this builder does NOT
+    /// spawn — a node managed elsewhere (tests use it to plant a
+    /// wrong-protocol-version listener in the replica set). Datasets
+    /// assigned to it are not mounted anywhere by this builder.
+    pub fn external_node(mut self, addr: &str) -> Self {
+        self.externals.push(addr.to_string());
+        self
+    }
+
+    /// Spawn the nodes, build the shared map, place and seed every
+    /// dataset.
+    pub fn build(self) -> io::Result<Cluster> {
+        // the map starts empty behind its final Arc so each hub's
+        // placement hook can capture it before any address is known;
+        // placements are computed per call, never cached at bind time
+        let map = Arc::new(RwLock::new(ClusterMap::new(Vec::new(), self.replication)));
+
+        let mut nodes = Vec::with_capacity(self.nodes);
+        for _ in 0..self.nodes {
+            let resolver: PlacementFn = {
+                let map = Arc::clone(&map);
+                Arc::new(move |dataset: &str| map.read().placement(dataset))
+            };
+            let hub = Hub::builder()
+                .placement(resolver)
+                .options(self.options)
+                .bind("127.0.0.1:0")?;
+            nodes.push(ClusterNode {
+                addr: hub.addr().to_string(),
+                hub: Some(hub),
+                datasets: Vec::new(),
+            });
+        }
+
+        let mut addrs: Vec<String> = nodes.iter().map(|n| n.addr.clone()).collect();
+        addrs.extend(self.externals.iter().cloned());
+        *map.write() = ClusterMap::new(addrs, self.replication);
+
+        // register every dataset BEFORE mounting any: bounded-load
+        // assignment may shift an earlier dataset's owners when a later
+        // one lands on a nearly-full node, and mounts must match the
+        // final assignment
+        {
+            let mut map = map.write();
+            for (name, _) in &self.datasets {
+                map.add_dataset(name);
+            }
+        }
+        for (name, seed) in &self.datasets {
+            let owners: Vec<String> = map
+                .read()
+                .owners(name)
+                .into_iter()
+                .map(|n| n.addr.clone())
+                .collect();
+            for addr in owners {
+                let Some(node) = nodes.iter_mut().find(|n| n.addr == addr) else {
+                    continue; // an external node: nothing to mount here
+                };
+                let store = (self.store_factory)(name, &addr);
+                if let Some(seed) = seed {
+                    copy_all(seed, &store).map_err(|e| {
+                        io::Error::other(format!("seeding '{name}' onto {addr}: {e}"))
+                    })?;
+                }
+                node.hub
+                    .as_ref()
+                    .expect("hub is live during build")
+                    .mount(name, Arc::clone(&store))
+                    .map_err(|e| io::Error::other(format!("mounting '{name}' on {addr}: {e}")))?;
+                node.datasets.push((name.clone(), store));
+            }
+        }
+
+        Ok(Cluster { map, nodes })
+    }
+}
+
+/// Byte-for-byte copy of every key — replica seeding.
+fn copy_all(from: &DynProvider, to: &DynProvider) -> Result<(), StorageError> {
+    for key in from.list("")? {
+        to.put(&key, from.get(&key)?)?;
+    }
+    Ok(())
+}
+
+struct ClusterNode {
+    addr: String,
+    /// `None` once killed.
+    hub: Option<HubHandle>,
+    /// Replica stores this node serves: `(dataset, backing store)`.
+    datasets: Vec<(String, DynProvider)>,
+}
+
+/// A running hub cluster: N nodes, one shared map.
+pub struct Cluster {
+    map: Arc<RwLock<ClusterMap>>,
+    nodes: Vec<ClusterNode>,
+}
+
+impl Cluster {
+    /// Start building a cluster.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
+    /// Every node address on the ring (spawned and external, dead or
+    /// alive) — what a client uses as its seed list.
+    pub fn addrs(&self) -> Vec<String> {
+        self.map
+            .read()
+            .nodes()
+            .iter()
+            .map(|n| n.addr.clone())
+            .collect()
+    }
+
+    /// The shared membership map (the in-process stand-in for the
+    /// membership service).
+    pub fn map(&self) -> Arc<RwLock<ClusterMap>> {
+        Arc::clone(&self.map)
+    }
+
+    /// Current map epoch.
+    pub fn epoch(&self) -> u64 {
+        self.map.read().epoch()
+    }
+
+    /// A routing client seeded with every node address.
+    pub fn client(&self) -> io::Result<ClusterClient> {
+        self.client_with(ClusterClientOptions::default())
+    }
+
+    /// A routing client with explicit options.
+    pub fn client_with(&self, options: ClusterClientOptions) -> io::Result<ClusterClient> {
+        ClusterClient::connect_with(self.addrs(), options)
+    }
+
+    /// Kill node `index`: shut its hub down (dials refused, in-flight
+    /// requests drained) and mark it dead in the map — the failure
+    /// detector noticing. Returns `false` if already dead.
+    pub fn kill(&mut self, index: usize) -> bool {
+        let Some(node) = self.nodes.get_mut(index) else {
+            return false;
+        };
+        let Some(hub) = node.hub.take() else {
+            return false;
+        };
+        drop(hub); // shutdown on drop: stops accepting, drains workers
+        self.map.write().mark_dead(&node.addr);
+        true
+    }
+
+    /// The hub handle of a live node (stats, cache introspection).
+    pub fn hub(&self, index: usize) -> Option<&HubHandle> {
+        self.nodes.get(index).and_then(|n| n.hub.as_ref())
+    }
+
+    /// Node `index`'s backing store for `dataset`, if it holds a
+    /// replica — lets tests assert on replica contents directly.
+    pub fn store(&self, index: usize, dataset: &str) -> Option<DynProvider> {
+        self.nodes.get(index).and_then(|n| {
+            n.datasets
+                .iter()
+                .find(|(name, _)| name == dataset)
+                .map(|(_, store)| Arc::clone(store))
+        })
+    }
+
+    /// Indices of the live spawned nodes holding a replica of `dataset`.
+    pub fn replica_nodes(&self, dataset: &str) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.hub.is_some() && n.datasets.iter().any(|(name, _)| name == dataset))
+            .map(|(index, _)| index)
+            .collect()
+    }
+
+    /// One line per node: address, liveness, datasets held.
+    pub fn describe(&self) -> String {
+        let map = self.map.read();
+        let mut out = format!(
+            "cluster(epoch {}, r={}, {} nodes)\n",
+            map.epoch(),
+            map.replication(),
+            map.nodes().len()
+        );
+        for node in &self.nodes {
+            let held: Vec<&str> = node.datasets.iter().map(|(n, _)| n.as_str()).collect();
+            out.push_str(&format!(
+                "  {} [{}] {}\n",
+                node.addr,
+                if node.hub.is_some() { "live" } else { "dead" },
+                held.join(", ")
+            ));
+        }
+        out
+    }
+}

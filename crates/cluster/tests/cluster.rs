@@ -1,0 +1,332 @@
+//! End-to-end cluster tests: real TCP hub nodes on 127.0.0.1, a real
+//! routing client, real kills.
+
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use deeplake_cluster::{Cluster, ClusterClient};
+use deeplake_remote::{proto, RemoteProvider};
+use deeplake_storage::{contract, DynProvider, MemoryProvider, StorageError, StorageProvider};
+
+fn seeded(keys: &[(&str, &[u8])]) -> DynProvider {
+    let p = MemoryProvider::new();
+    for (key, value) in keys {
+        p.put(key, Bytes::copy_from_slice(value)).unwrap();
+    }
+    Arc::new(p)
+}
+
+/// The full storage-provider contract — the suite every local provider,
+/// the PR-4 server and the PR-5 hub pass — against a replicated,
+/// client-routed cluster mount.
+#[test]
+fn cluster_mount_passes_full_contract() {
+    let cluster = Cluster::builder()
+        .nodes(3)
+        .replication(2)
+        .dataset("contract-ds")
+        .build()
+        .unwrap();
+    let mount = cluster.client().unwrap().open("contract-ds").unwrap();
+    contract::check_provider_contract_arc("cluster(contract-ds)", Arc::new(mount));
+}
+
+/// Every replica starts byte-identical to the seed provider — chunk
+/// layout, commit ids, everything.
+#[test]
+fn replicas_are_seeded_byte_identically() {
+    let seed = seeded(&[("a/0", b"alpha"), ("b/1", b"beta"), ("c", b"\x00\xff")]);
+    let cluster = Cluster::builder()
+        .nodes(3)
+        .replication(2)
+        .dataset_from("mirrored", seed.clone())
+        .build()
+        .unwrap();
+    let replicas = cluster.replica_nodes("mirrored");
+    assert_eq!(replicas.len(), 2);
+    for index in replicas {
+        let store = cluster.store(index, "mirrored").unwrap();
+        assert_eq!(store.list("").unwrap(), seed.list("").unwrap());
+        for key in seed.list("").unwrap() {
+            assert_eq!(store.get(&key).unwrap(), seed.get(&key).unwrap());
+        }
+    }
+}
+
+/// `WhereIs` placement answers: known datasets resolve on every node
+/// (any seed can bootstrap a client), unknown names are a lossless
+/// `NotFound`, and a hub outside any cluster says so in plain words.
+#[test]
+fn where_is_resolves_on_every_node_and_rejects_unknowns() {
+    let cluster = Cluster::builder()
+        .nodes(3)
+        .replication(2)
+        .dataset("known")
+        .build()
+        .unwrap();
+    let mut placements = Vec::new();
+    for addr in cluster.addrs() {
+        let conn = RemoteProvider::connect(&*addr).unwrap();
+        let (epoch, replicas) = conn.where_is("known").unwrap();
+        assert_eq!(replicas.len(), 2);
+        placements.push((epoch, replicas));
+        let err = conn.where_is("never-mounted").unwrap_err();
+        assert!(
+            matches!(&err, StorageError::NotFound(msg) if msg.contains("never-mounted")),
+            "unexpected {err:?}"
+        );
+    }
+    // all nodes agree — same map, same epoch, same replica set
+    assert!(placements.windows(2).all(|w| w[0] == w[1]));
+
+    // a standalone hub has no placement to answer with
+    let lone = deeplake_hub::Hub::builder()
+        .mount("solo", Arc::new(MemoryProvider::new()))
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let conn = RemoteProvider::connect(lone.addr()).unwrap();
+    let err = conn.where_is("solo").unwrap_err();
+    assert!(
+        err.to_string().contains("not part of a cluster"),
+        "unexpected {err:?}"
+    );
+}
+
+#[test]
+fn open_unknown_dataset_is_not_found() {
+    let cluster = Cluster::builder().nodes(2).dataset("real").build().unwrap();
+    let err = match cluster.client().unwrap().open("imaginary") {
+        Err(e) => e,
+        Ok(_) => panic!("opening an unknown dataset must fail"),
+    };
+    assert!(matches!(err, StorageError::NotFound(_)), "{err:?}");
+}
+
+/// Writes go through to every replica (verified against the backing
+/// stores directly), and after a replica dies mid-stream the surviving
+/// one keeps serving reads *and* writes — read-your-writes holds.
+#[test]
+fn writes_replicate_and_survive_a_kill() {
+    let mut cluster = Cluster::builder()
+        .nodes(3)
+        .replication(2)
+        .dataset("wal")
+        .build()
+        .unwrap();
+    let mount = cluster.client().unwrap().open("wal").unwrap();
+
+    mount.put("k1", Bytes::from_static(b"v1")).unwrap();
+    let replicas = cluster.replica_nodes("wal");
+    assert_eq!(replicas.len(), 2);
+    for &index in &replicas {
+        let store = cluster.store(index, "wal").unwrap();
+        assert_eq!(&store.get("k1").unwrap()[..], b"v1", "replica {index}");
+    }
+
+    // kill one owning node; the stale client placement still names it
+    cluster.kill(replicas[0]);
+    mount.put("k2", Bytes::from_static(b"v2")).unwrap();
+    // the write acked on the survivor only; reads must see it
+    assert_eq!(&mount.get("k2").unwrap()[..], b"v2");
+    assert_eq!(&mount.get("k1").unwrap()[..], b"v1");
+    let (_, routed) = mount.placement();
+    assert_eq!(
+        routed.len(),
+        1,
+        "degraded write narrows the read set to acked replicas"
+    );
+    let survivor = cluster.store(replicas[1], "wal").unwrap();
+    assert_eq!(&survivor.get("k2").unwrap()[..], b"v2");
+}
+
+/// Kill an owning node while a client hammers reads: zero
+/// client-visible failures, failover counted, and a refreshed placement
+/// stops naming the corpse.
+#[test]
+fn reads_fail_over_with_zero_client_visible_failures() {
+    let seed = seeded(&[("hot", b"data")]);
+    let mut cluster = Cluster::builder()
+        .nodes(3)
+        .replication(2)
+        .dataset_from("served", seed)
+        .build()
+        .unwrap();
+    let mount = cluster.client().unwrap().open("served").unwrap();
+    for _ in 0..10 {
+        assert_eq!(&mount.get("hot").unwrap()[..], b"data");
+    }
+
+    let victim = cluster.replica_nodes("served")[0];
+    cluster.kill(victim);
+
+    // round-robin guarantees the dead address is tried within two ops;
+    // every one of these must still succeed
+    for _ in 0..20 {
+        assert_eq!(&mount.get("hot").unwrap()[..], b"data");
+    }
+    assert!(
+        mount.failovers() >= 1,
+        "the dead replica was never routed to"
+    );
+
+    mount.refresh().unwrap();
+    let (_, replicas) = mount.placement();
+    assert_eq!(replicas.len(), 1, "refreshed placement drops the dead node");
+    assert_eq!(mount.get("hot").unwrap(), Bytes::from_static(b"data"));
+}
+
+/// Batched reads (`get_many`) fail over as a unit — a dead node fails
+/// the batch to the next replica instead of surfacing N dead-node
+/// errors.
+#[test]
+fn batched_reads_fail_over_as_a_unit() {
+    let seed = seeded(&[("x", b"1"), ("y", b"22"), ("z", b"333")]);
+    let mut cluster = Cluster::builder()
+        .nodes(3)
+        .replication(2)
+        .dataset_from("batched", seed)
+        .build()
+        .unwrap();
+    let mount = cluster.client().unwrap().open("batched").unwrap();
+    let victim = cluster.replica_nodes("batched")[0];
+    cluster.kill(victim);
+    for _ in 0..6 {
+        let reqs = [
+            deeplake_storage::ReadRequest::whole("x"),
+            deeplake_storage::ReadRequest::range("z", 0, 2),
+        ];
+        let results = mount.get_many(&reqs);
+        assert_eq!(&results[0].as_ref().unwrap()[..], b"1");
+        assert_eq!(&results[1].as_ref().unwrap()[..], b"33");
+    }
+}
+
+/// A fake node that speaks an older protocol generation: every client
+/// handshake is rejected with the lossless version message, and the
+/// routing client treats the node as dead — requests succeed on the
+/// compatible replicas, nothing hangs, nothing desynchronizes.
+#[test]
+fn version_mismatched_node_is_skipped_not_hung() {
+    // the impostor answers every Hello with the v1-server rejection
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let fake_addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { break };
+            if proto::read_frame(&mut stream).ok().flatten().is_some() {
+                let reject = proto::resp_proto_err(&format!(
+                    "protocol version {} unsupported (server speaks 1)",
+                    proto::PROTO_VERSION
+                ));
+                let _ = proto::write_frame(&mut stream, &reject);
+                let _ = stream.flush();
+            }
+        }
+    });
+
+    // the mismatch is lossless on a direct dial
+    let err = match RemoteProvider::connect(&*fake_addr) {
+        Err(e) => e,
+        Ok(_) => panic!("the impostor must reject the handshake"),
+    };
+    assert!(
+        err.to_string().contains("protocol version"),
+        "unexpected {err}"
+    );
+
+    // R=3 over 2 real nodes + the impostor puts it in every replica set
+    let seed = seeded(&[("k", b"v")]);
+    let cluster = Cluster::builder()
+        .nodes(2)
+        .replication(3)
+        .external_node(&fake_addr)
+        .dataset_from("mixed", seed)
+        .build()
+        .unwrap();
+    let mount = cluster.client().unwrap().open("mixed").unwrap();
+    let (_, replicas) = mount.placement();
+    assert!(
+        replicas.contains(&fake_addr),
+        "impostor is in the placement"
+    );
+    for _ in 0..9 {
+        assert_eq!(&mount.get("k").unwrap()[..], b"v");
+    }
+    assert!(
+        mount.failovers() >= 1,
+        "rotation must have tried the impostor and moved on"
+    );
+}
+
+/// When every replica of a dataset is dead, the client reports one
+/// clean error (after refreshing the map) instead of hanging or
+/// panicking.
+#[test]
+fn losing_every_replica_is_a_clean_error() {
+    let seed = seeded(&[("k", b"v")]);
+    let mut cluster = Cluster::builder()
+        .nodes(3)
+        .replication(2)
+        .dataset_from("doomed", seed)
+        .build()
+        .unwrap();
+    let mount = cluster.client().unwrap().open("doomed").unwrap();
+    assert!(mount.get("k").is_ok());
+    for index in cluster.replica_nodes("doomed") {
+        cluster.kill(index);
+    }
+    let err = mount.get("k").unwrap_err();
+    assert!(matches!(err, StorageError::Io(_)), "{err:?}");
+    assert!(
+        mount.refreshes() >= 1,
+        "the whole-set failure forced a refresh"
+    );
+}
+
+/// The seed list only needs ONE live address: a client seeded with two
+/// dead nodes and one live one still bootstraps.
+#[test]
+fn client_bootstraps_from_any_live_seed() {
+    let mut cluster = Cluster::builder()
+        .nodes(3)
+        .replication(3)
+        .dataset("everywhere")
+        .build()
+        .unwrap();
+    cluster.kill(0);
+    cluster.kill(1);
+    let client = ClusterClient::connect(cluster.addrs()).unwrap();
+    let mount = client.open("everywhere").unwrap();
+    mount.put("k", Bytes::from_static(b"v")).unwrap();
+    assert_eq!(&mount.get("k").unwrap()[..], b"v");
+    assert_eq!(client.list_datasets().unwrap(), vec!["everywhere"]);
+}
+
+/// `list_datasets` must return the whole catalog, not one node's shard:
+/// with R=1 over 3 nodes no single node mounts every dataset, so the
+/// client has to union the answers of every reachable seed.
+#[test]
+fn list_datasets_unions_shards_across_the_fleet() {
+    let names = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"];
+    let mut builder = Cluster::builder().nodes(3).replication(1);
+    for name in names {
+        builder = builder.dataset(name);
+    }
+    let mut cluster = builder.build().unwrap();
+    let client = cluster.client().unwrap();
+    let mut want: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+    want.sort();
+    assert_eq!(client.list_datasets().unwrap(), want);
+
+    // a dead seed is skipped, not fatal — the union shrinks to what the
+    // survivors mount (an honest partial catalog beats an error)
+    cluster.kill(0);
+    let listed = ClusterClient::connect(cluster.addrs())
+        .unwrap()
+        .list_datasets()
+        .unwrap();
+    assert!(!listed.is_empty() && listed.len() < names.len());
+    assert!(listed.iter().all(|n| want.contains(n)));
+}

@@ -68,6 +68,16 @@ const IN_FRAME_TIMEOUT: Duration = Duration::from_secs(30);
 /// backing store.
 const WIRE_MOUNT_PREFIX: &str = "datasets";
 
+/// Cluster placement resolver a hub node consults to answer `WhereIs`
+/// requests: `dataset name → (map epoch, live replica addresses)`.
+/// Installed by [`HubBuilder::placement`] when the hub is one node of a
+/// cluster (the resolver typically closes over the cluster's shared
+/// map); a hub without one answers `WhereIs` with a lossless protocol
+/// error. An unknown dataset must return
+/// [`StorageError::NotFound`] so clients can distinguish "not in this
+/// cluster" from "node down".
+pub type PlacementFn = Arc<dyn Fn(&str) -> Result<(u64, Vec<String>), StorageError> + Send + Sync>;
+
 /// Hub tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct HubOptions {
@@ -261,6 +271,9 @@ struct Shared {
     /// a racing re-`Mount` of a name in this set is idempotent success —
     /// while a name bound to any *other* backend must never be aliased.
     wire_mounts: Mutex<std::collections::HashSet<String>>,
+    /// Cluster placement resolver (`None` = this hub is not a cluster
+    /// node; `WhereIs` answers a lossless protocol error).
+    placement: Option<PlacementFn>,
     stats: HubStats,
     queue: JobQueue,
     /// Readers stop taking new frames.
@@ -275,6 +288,7 @@ pub struct HubBuilder {
     mounts: Vec<(String, DynProvider)>,
     default: Option<DynProvider>,
     backing: Option<DynProvider>,
+    placement: Option<PlacementFn>,
     opts: HubOptions,
 }
 
@@ -289,6 +303,7 @@ impl Hub {
             mounts: Vec::new(),
             default: None,
             backing: None,
+            placement: None,
             opts: HubOptions::default(),
         }
     }
@@ -315,6 +330,15 @@ impl HubBuilder {
     /// a [`PrefixProvider`] namespaced `datasets/<name>/` on this store.
     pub fn backing(mut self, provider: DynProvider) -> Self {
         self.backing = Some(provider);
+        self
+    }
+
+    /// Install the cluster placement resolver this node answers
+    /// `WhereIs` requests from. The resolver is consulted on the reader
+    /// (it must not perform storage I/O) and typically closes over a
+    /// cluster's shared, epoch-versioned map.
+    pub fn placement(mut self, resolver: PlacementFn) -> Self {
+        self.placement = Some(resolver);
         self
     }
 
@@ -348,6 +372,7 @@ impl HubBuilder {
             cache: ResultCache::new(self.opts.cache_bytes),
             backing: self.backing,
             wire_mounts: Mutex::new(std::collections::HashSet::new()),
+            placement: self.placement,
             stats: HubStats::default(),
             queue: JobQueue::new(self.opts.queue_depth),
             shutdown: AtomicBool::new(false),
@@ -517,6 +542,7 @@ fn is_control(req: &Request) -> bool {
             | Request::Unmount { .. }
             | Request::ListDatasets
             | Request::Describe
+            | Request::WhereIs { .. }
     )
 }
 
@@ -745,6 +771,15 @@ fn dispatch_control(shared: &Shared, conn: &ConnState, request: Request) -> Vec<
             proto::resp_unit()
         }
         Request::ListDatasets => proto::resp_list(&shared.registry.list()),
+        Request::WhereIs { dataset } => match &shared.placement {
+            Some(resolve) => match resolve(&dataset) {
+                Ok((epoch, replicas)) => proto::resp_placement(epoch, &replicas),
+                Err(e) => proto::resp_storage_err(&e),
+            },
+            None => proto::resp_proto_err(
+                "this hub is not part of a cluster; WhereIs has no placement to answer",
+            ),
+        },
         Request::Describe => match conn.attached.lock().clone() {
             Some(name) => match shared.registry.get(&name) {
                 Some(m) => proto::resp_str(&m.provider.describe()),

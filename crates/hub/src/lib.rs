@@ -65,5 +65,5 @@ pub mod hub;
 pub mod registry;
 
 pub use cache::{CacheKey, ResultCache};
-pub use hub::{Hub, HubBuilder, HubHandle, HubOptions, HubStats};
+pub use hub::{Hub, HubBuilder, HubHandle, HubOptions, HubStats, PlacementFn};
 pub use registry::{DatasetRegistry, Mounted};

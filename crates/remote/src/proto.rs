@@ -62,6 +62,7 @@ const OP_ATTACH: u8 = 14;
 const OP_MOUNT: u8 = 15;
 const OP_UNMOUNT: u8 = 16;
 const OP_LIST_DATASETS: u8 = 17;
+const OP_WHERE_IS: u8 = 18;
 
 // response status bytes
 /// Success; body is op-specific.
@@ -184,6 +185,16 @@ pub enum Request {
     },
     /// Sorted names of every mounted dataset.
     ListDatasets,
+    /// Cluster placement lookup: which nodes own replicas of `dataset`?
+    /// Served by every node of a hub cluster (the shared cluster map is
+    /// consulted, no storage I/O); the response carries the map's epoch
+    /// so clients can detect a stale cached placement. A hub that is not
+    /// part of a cluster answers a lossless protocol error; an unknown
+    /// dataset answers a lossless `NotFound`.
+    WhereIs {
+        /// Registry name of the dataset.
+        dataset: String,
+    },
 }
 
 /// Encode a request payload (opcode + body).
@@ -266,6 +277,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_str(&mut out, dataset);
         }
         Request::ListDatasets => out.push(OP_LIST_DATASETS),
+        Request::WhereIs { dataset } => {
+            out.push(OP_WHERE_IS);
+            put_str(&mut out, dataset);
+        }
     }
     out
 }
@@ -308,6 +323,7 @@ pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
         OP_MOUNT => Request::Mount { dataset: r.str()? },
         OP_UNMOUNT => Request::Unmount { dataset: r.str()? },
         OP_LIST_DATASETS => Request::ListDatasets,
+        OP_WHERE_IS => Request::WhereIs { dataset: r.str()? },
         other => return Err(WireError(format!("unknown opcode {other}"))),
     };
     r.finish()?;
@@ -473,6 +489,19 @@ pub fn resp_execute(fetches: u64, results: &[Result<Bytes, StorageError>]) -> Ve
     out
 }
 
+/// `STATUS_OK` carrying a cluster placement: the map epoch the answer
+/// was computed under, then the addresses of the live replicas owning
+/// the dataset (in ring order — clients rotate over them).
+pub fn resp_placement(epoch: u64, replicas: &[String]) -> Vec<u8> {
+    let mut out = vec![STATUS_OK];
+    put_u64(&mut out, epoch);
+    put_u32(&mut out, replicas.len() as u32);
+    for addr in replicas {
+        put_str(&mut out, addr);
+    }
+    out
+}
+
 /// `STATUS_OK` carrying an offloaded query's result.
 pub fn resp_query(result: &QueryResult) -> Vec<u8> {
     let mut out = vec![STATUS_OK];
@@ -611,6 +640,25 @@ pub fn expect_list(payload: &[u8]) -> Result<Vec<String>, StorageError> {
     }
     r.finish().map_err(proto_err)?;
     Ok(keys)
+}
+
+/// Decode a `WhereIs` response into `(map epoch, replica addresses)`.
+/// An unknown dataset surfaces as the lossless [`StorageError::NotFound`]
+/// the serving node produced; a non-clustered hub as a protocol error.
+pub fn expect_placement(payload: &[u8]) -> Result<(u64, Vec<String>), StorageError> {
+    let mut r = open_response(payload)?;
+    let epoch = r.u64().map_err(proto_err)?;
+    let count = r.u32().map_err(proto_err)? as usize;
+    // each address costs at least a 4-byte length header
+    if count > r.remaining() / 4 {
+        return Err(proto_err("replica count exceeds frame"));
+    }
+    let mut replicas = Vec::with_capacity(count);
+    for _ in 0..count {
+        replicas.push(r.str().map_err(proto_err)?);
+    }
+    r.finish().map_err(proto_err)?;
+    Ok((epoch, replicas))
 }
 
 fn take_results(
@@ -836,10 +884,32 @@ mod tests {
                 dataset: "laion".into(),
             },
             Request::ListDatasets,
+            Request::WhereIs {
+                dataset: "mnist".into(),
+            },
         ] {
             let back = roundtrip(&req);
             assert_eq!(back, req);
         }
+    }
+
+    #[test]
+    fn placement_roundtrips() {
+        let replicas = vec!["127.0.0.1:4000".to_string(), "127.0.0.1:4001".to_string()];
+        let (epoch, back) = expect_placement(&resp_placement(7, &replicas)).unwrap();
+        assert_eq!(epoch, 7);
+        assert_eq!(back, replicas);
+        // empty placement (all replicas dead) still decodes
+        let (_, none) = expect_placement(&resp_placement(0, &[])).unwrap();
+        assert!(none.is_empty());
+        // an unknown dataset decodes to the lossless NotFound the node sent
+        let err = expect_placement(&resp_storage_err(&StorageError::NotFound("ds".into())));
+        assert_eq!(err.unwrap_err(), StorageError::NotFound("ds".into()));
+        // lying replica count is rejected
+        let mut bad = vec![STATUS_OK];
+        put_u64(&mut bad, 1);
+        put_u32(&mut bad, u32::MAX);
+        assert!(expect_placement(&bad).is_err());
     }
 
     #[test]

@@ -197,6 +197,18 @@ impl RemoteProvider {
         self.attached.lock().clone()
     }
 
+    /// Ask the server which cluster nodes own replicas of `dataset`.
+    /// Returns `(map epoch, replica addresses in ring order)` — the
+    /// client-side routing primitive of a hub cluster. A hub that is not
+    /// part of a cluster answers a lossless protocol error; an unknown
+    /// dataset a lossless [`StorageError::NotFound`].
+    pub fn where_is(&self, dataset: &str) -> Result<(u64, Vec<String>), StorageError> {
+        let resp = self.round_trip(&proto::encode_request(&Request::WhereIs {
+            dataset: dataset.to_string(),
+        }))?;
+        proto::expect_placement(&resp)
+    }
+
     /// Sorted names of every dataset the server has mounted.
     pub fn list_datasets(&self) -> Result<Vec<String>, StorageError> {
         let resp = self.round_trip(&proto::encode_request(&Request::ListDatasets))?;

@@ -133,10 +133,26 @@ proptest! {
             Request::Mount { dataset: name.clone() },
             Request::Unmount { dataset: name.clone() },
             Request::ListDatasets,
+            Request::WhereIs { dataset: name.clone() },
         ] {
             prop_assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
         }
         let _ = proto::expect_hello(&garbage);
+    }
+
+    /// Placement responses round-trip any epoch and address list, and the
+    /// decoder never panics on garbage.
+    #[test]
+    fn placements_roundtrip(
+        epoch in any::<u64>(),
+        addrs in proptest::collection::vec("[a-z0-9.:]{0,24}", 0..8),
+        garbage in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let (back_epoch, back_addrs) =
+            proto::expect_placement(&proto::resp_placement(epoch, &addrs)).unwrap();
+        prop_assert_eq!(back_epoch, epoch);
+        prop_assert_eq!(back_addrs, addrs);
+        let _ = proto::expect_placement(&garbage);
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Serving-cluster scenario: a fleet of hub nodes behind client-side
+//! placement routing, under Zipf-skewed query traffic — with an
+//! optional mid-run node kill.
+//!
+//! Two claims this scenario makes reproducible:
+//!
+//! * **Scaling** — with per-node worker pools and latency-modelled
+//!   backing storage, aggregate query throughput grows near-linearly
+//!   from 1 to 4 nodes because datasets (and therefore queries) spread
+//!   across the ring instead of serializing behind one worker pool. The
+//!   result caches are disabled so every query pays its storage cost —
+//!   the scaling measured is capacity, not cache luck.
+//! * **Failover** — killing a replica-bearing node mid-run loses ZERO
+//!   client requests: in-flight frames drain during graceful shutdown,
+//!   and every later request routed at the corpse fails over to the
+//!   surviving replica of the same set, which holds identical bytes.
+//!
+//! Every query result is validated against the known data layout, so a
+//! wrong-replica read or a half-seeded replica fails the run loudly
+//! rather than skewing a number.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use deeplake_cluster::{Cluster, ClusterMount};
+use deeplake_core::dataset::{Dataset, TensorOptions};
+use deeplake_hub::HubOptions;
+use deeplake_storage::{DynProvider, MemoryProvider, NetworkProfile, SimulatedCloudProvider};
+use deeplake_tensor::{Htype, Sample};
+use deeplake_tql::QueryOptions;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// One serving-cluster experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterQueryConfig {
+    /// Hub nodes in the fleet.
+    pub nodes: usize,
+    /// Replicas per dataset.
+    pub replication: usize,
+    /// Datasets sharded over the fleet.
+    pub datasets: usize,
+    /// Concurrent query clients (each opens one dataset, round-robin).
+    pub clients: usize,
+    /// Queries each client issues.
+    pub queries_per_client: usize,
+    /// Distinct query templates per dataset (the popularity universe).
+    pub distinct_queries: usize,
+    /// Zipf exponent for template popularity (0 = uniform).
+    pub skew: f64,
+    /// Rows per dataset.
+    pub rows_per_dataset: u64,
+    /// Worker threads per node — the per-node capacity being scaled.
+    pub workers_per_node: usize,
+    /// Latency model of every replica's backing storage.
+    pub storage: NetworkProfile,
+    /// Kill one replica-bearing node after this many total queries
+    /// (`None` = nobody dies).
+    pub kill_after: Option<u64>,
+    /// Base RNG seed (each client derives its own stream).
+    pub seed: u64,
+}
+
+impl Default for ClusterQueryConfig {
+    fn default() -> Self {
+        ClusterQueryConfig {
+            nodes: 3,
+            replication: 2,
+            datasets: 6,
+            clients: 12,
+            queries_per_client: 24,
+            distinct_queries: 8,
+            skew: 1.0,
+            rows_per_dataset: 64,
+            workers_per_node: 2,
+            storage: NetworkProfile::minio_lan().scaled(0.25),
+            kill_after: None,
+            seed: 11,
+        }
+    }
+}
+
+/// What the experiment observed.
+#[derive(Debug)]
+pub struct ClusterQueryReport {
+    /// Nodes the fleet ran.
+    pub nodes: usize,
+    /// Queries issued and validated across all clients.
+    pub total_queries: u64,
+    /// Queries that surfaced an error to a client (the failover claim
+    /// is that this stays 0 even with a mid-run kill).
+    pub failed_queries: u64,
+    /// Requests that moved to another replica after a transport error.
+    pub failovers: u64,
+    /// Placement refreshes clients performed.
+    pub refreshes: u64,
+    /// Frames served per node (dead nodes report what they served
+    /// before dying as 0 — their stats die with them).
+    pub per_node_requests: Vec<u64>,
+    /// Wall time of the query phase.
+    pub wall: Duration,
+    /// Aggregate queries per second over the query phase.
+    pub queries_per_sec: f64,
+}
+
+/// Draw from a Zipf-like distribution via its cumulative weights.
+fn zipf_draw(rng: &mut StdRng, cumulative: &[f64]) -> usize {
+    let total = *cumulative.last().expect("non-empty universe");
+    let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * total;
+    cumulative
+        .partition_point(|&c| c <= u)
+        .min(cumulative.len() - 1)
+}
+
+/// Build one labelled dataset where `labels[i] = i % distinct`, so the
+/// query `labels = k` has a known answer.
+fn build_dataset(provider: DynProvider, rows: u64, distinct: usize) {
+    let mut ds = Dataset::create(provider, "cluster_sim").unwrap();
+    ds.create_tensor_opts("labels", {
+        let mut o = TensorOptions::new(Htype::ClassLabel);
+        o.chunk_target_bytes = Some(256);
+        o
+    })
+    .unwrap();
+    for i in 0..rows {
+        ds.append_row(vec![(
+            "labels",
+            Sample::scalar((i % distinct as u64) as i32),
+        )])
+        .unwrap();
+    }
+    ds.flush().unwrap();
+}
+
+/// Run the scenario: build the fleet, seed replicas, fire skewed
+/// queries through routing mounts, optionally kill a node mid-run,
+/// validate every result.
+pub fn run_cluster_queries(cfg: &ClusterQueryConfig) -> ClusterQueryReport {
+    assert!(cfg.nodes > 0 && cfg.datasets > 0 && cfg.clients > 0 && cfg.distinct_queries > 0);
+
+    // each dataset is built ONCE in a scratch store and byte-copied to
+    // its replicas — independent rebuilds could disagree on commit ids
+    let mut builder = Cluster::builder()
+        .nodes(cfg.nodes)
+        .replication(cfg.replication)
+        .hub_options(HubOptions {
+            workers: cfg.workers_per_node,
+            cache_bytes: 0, // measure capacity, not cache luck
+            ..HubOptions::default()
+        })
+        .store_factory({
+            let storage = cfg.storage;
+            Arc::new(move |dataset, addr| {
+                Arc::new(SimulatedCloudProvider::new(
+                    format!("{dataset}@{addr}"),
+                    MemoryProvider::new(),
+                    storage,
+                ))
+            })
+        });
+    for d in 0..cfg.datasets {
+        let seed: DynProvider = Arc::new(MemoryProvider::new());
+        build_dataset(seed.clone(), cfg.rows_per_dataset, cfg.distinct_queries);
+        builder = builder.dataset_from(&format!("ds{d}"), seed);
+    }
+    let mut cluster = builder.build().expect("cluster build");
+    let client = cluster.client().expect("cluster client");
+    let mounts: Vec<Arc<ClusterMount>> = (0..cfg.datasets)
+        .map(|d| Arc::new(client.open(&format!("ds{d}")).expect("open dataset")))
+        .collect();
+
+    // popularity: weight 1/(rank+1)^skew, shared by every client
+    let cumulative: Vec<f64> = {
+        let mut acc = 0.0;
+        (0..cfg.distinct_queries)
+            .map(|r| {
+                acc += 1.0 / ((r + 1) as f64).powf(cfg.skew);
+                acc
+            })
+            .collect()
+    };
+
+    let issued = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..cfg.clients {
+            let mounts = &mounts;
+            let (cumulative, issued, failed) = (&cumulative, &issued, &failed);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ (c as u64).wrapping_mul(0x9e37));
+                let expected_rows = |k: usize| {
+                    (0..cfg.rows_per_dataset)
+                        .filter(|i| i % cfg.distinct_queries as u64 == k as u64)
+                        .collect::<Vec<u64>>()
+                };
+                for q in 0..cfg.queries_per_client {
+                    // cycle over every dataset so no client is pinned to
+                    // one replica set: load spreads dynamically and a
+                    // slow node delays everyone a little instead of a
+                    // few clients a lot
+                    let mount = &mounts[(c + q) % mounts.len()];
+                    let k = zipf_draw(&mut rng, cumulative);
+                    match mount.query(
+                        &format!("SELECT labels FROM d WHERE labels = {k}"),
+                        &QueryOptions::default(),
+                    ) {
+                        Ok(result) => assert_eq!(
+                            result.indices,
+                            expected_rows(k),
+                            "client {c} got wrong rows for labels = {k}"
+                        ),
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    issued.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // the assassin: wait for the threshold, then kill a node that
+        // holds a replica of ds0 while traffic is still flowing
+        if let Some(threshold) = cfg.kill_after {
+            let victim = cluster.replica_nodes("ds0")[0];
+            while issued.load(Ordering::Relaxed) < threshold {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            cluster.kill(victim);
+        }
+    });
+    let wall = started.elapsed();
+
+    let total_queries = issued.load(Ordering::Relaxed);
+    ClusterQueryReport {
+        nodes: cfg.nodes,
+        total_queries,
+        failed_queries: failed.load(Ordering::Relaxed),
+        failovers: mounts.iter().map(|m| m.failovers()).sum(),
+        refreshes: mounts.iter().map(|m| m.refreshes()).sum(),
+        per_node_requests: (0..cfg.nodes)
+            .map(|i| cluster.hub(i).map(|h| h.stats().requests()).unwrap_or(0))
+            .collect(),
+        wall,
+        queries_per_sec: total_queries as f64 / wall.as_secs_f64().max(1e-9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_validate_and_spread_across_the_fleet() {
+        let report = run_cluster_queries(&ClusterQueryConfig {
+            clients: 6,
+            queries_per_client: 8,
+            storage: NetworkProfile::instant(),
+            ..ClusterQueryConfig::default()
+        });
+        assert_eq!(report.total_queries, 48);
+        assert_eq!(report.failed_queries, 0);
+        // with 6 datasets over 3 nodes every node should see traffic
+        assert!(
+            report.per_node_requests.iter().all(|&r| r > 0),
+            "idle node in {:?}",
+            report.per_node_requests
+        );
+    }
+
+    #[test]
+    fn killing_a_replica_bearing_node_loses_nothing() {
+        let report = run_cluster_queries(&ClusterQueryConfig {
+            clients: 8,
+            queries_per_client: 16,
+            storage: NetworkProfile::minio_lan().scaled(0.1),
+            kill_after: Some(30),
+            ..ClusterQueryConfig::default()
+        });
+        assert_eq!(report.total_queries, 128);
+        assert_eq!(
+            report.failed_queries, 0,
+            "a replicated dataset must survive one node kill ({} failovers)",
+            report.failovers
+        );
+    }
+}

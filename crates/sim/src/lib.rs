@@ -19,6 +19,10 @@
 //!   concurrent loader clients over the sim-latency transport
 //!   (`RemoteProvider` with a [`deeplake_storage::NetworkProfile`]
 //!   charged per wire round trip).
+//! * [`hubcluster`] — the distributed serving-cluster scenario: a
+//!   fleet of hub nodes behind client-side placement routing, Zipf
+//!   query skew, optional mid-run node kill; reports aggregate
+//!   queries/s scaling and failover counts.
 //! * [`hub`] — the multi-dataset hub scenario: many datasets behind one
 //!   listener, many query clients with Zipf-skewed query popularity;
 //!   reports the result-cache hit ratio and the backing-storage round
@@ -28,6 +32,7 @@ pub mod cluster;
 pub mod datagen;
 pub mod gpu;
 pub mod hub;
+pub mod hubcluster;
 pub mod serving;
 pub mod trainer;
 
@@ -35,5 +40,6 @@ pub use cluster::{run_cluster, ClusterReport};
 pub use datagen::{ffhq_like, imagenet_like, web_images, DataGenConfig};
 pub use gpu::{GpuConsumer, GpuReport};
 pub use hub::{run_hub_queries, HubScenarioConfig, HubScenarioReport};
+pub use hubcluster::{run_cluster_queries, ClusterQueryConfig, ClusterQueryReport};
 pub use serving::{run_served_loaders, ClientReport, ServingConfig, ServingReport};
 pub use trainer::{run_training, TrainMode, TrainingReport};

@@ -30,6 +30,7 @@
 
 pub mod contract;
 pub mod error;
+pub mod fault;
 pub mod local;
 pub mod lru;
 pub mod memory;
@@ -40,6 +41,7 @@ pub mod sim;
 pub mod stats;
 
 pub use error::StorageError;
+pub use fault::{FaultPlan, FaultProvider};
 pub use local::LocalProvider;
 pub use lru::LruCacheProvider;
 pub use memory::MemoryProvider;

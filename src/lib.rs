@@ -167,12 +167,37 @@
 //! keyed by `(dataset, version, canonical TQL text, options)` — a hit
 //! is a frame copy with zero storage round trips.
 //!
+//! Since PR 6 hubs also form **clusters**: a [`cluster::ClusterMap`]
+//! shards datasets over N nodes by bounded-load consistent hashing with
+//! R replicas, every node answers `WhereIs` placement queries, and
+//! [`cluster::ClusterClient`] routes each dataset's traffic to its
+//! owning replicas — reads round-robin and fail over on dead or busy
+//! nodes, writes go through to every replica. Killing one node of a
+//! replicated fleet mid-run costs clients zero visible failures:
+//!
+//! ```
+//! use deeplake::prelude::*;
+//!
+//! let mut cluster = Cluster::builder()
+//!     .nodes(3)
+//!     .replication(2)
+//!     .dataset("mnist")
+//!     .build()
+//!     .unwrap();
+//! let client = cluster.client().unwrap();
+//! let mount = client.open("mnist").unwrap(); // placement resolved once
+//! mount.put("hot", bytes::Bytes::from_static(b"v")).unwrap(); // → both replicas
+//! cluster.kill(0); // whichever node this was, the data survives
+//! assert_eq!(&mount.get("hot").unwrap()[..], b"v");
+//! ```
+//!
 //! See the crate-level docs of each member for the subsystem details:
 //! [`tensor`], [`codec`], [`storage`], [`format`], [`core`], [`tql`],
 //! [`loader`], [`baselines`], [`sim`], [`viz`], [`index`],
-//! [`remote`], [`server`], [`hub`].
+//! [`remote`], [`server`], [`hub`], [`cluster`].
 
 pub use deeplake_baselines as baselines;
+pub use deeplake_cluster as cluster;
 pub use deeplake_codec as codec;
 pub use deeplake_core as core;
 pub use deeplake_format as format;
@@ -189,6 +214,7 @@ pub use deeplake_viz as viz;
 
 /// The most commonly used types, in one import.
 pub mod prelude {
+    pub use deeplake_cluster::{Cluster, ClusterClient, ClusterMount};
     pub use deeplake_codec::Compression;
     pub use deeplake_core::dataset::{Dataset, TensorOptions};
     pub use deeplake_core::link::{make_link, LinkRegistry};

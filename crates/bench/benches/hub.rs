@@ -127,7 +127,7 @@ fn bench_hub(c: &mut Criterion) {
             uncached.storage_round_trips as f64,
         )
         .metric("skewed_busy_rejections", skewed.busy_rejections as f64);
-    let path = report.write().expect("write BENCH_hub.json");
+    let path = report.write_merged().expect("write BENCH_hub.json");
     eprintln!("hub: wrote {}", path.display());
 
     let mut group = c.benchmark_group("hub_serving");

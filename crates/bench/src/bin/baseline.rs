@@ -6,12 +6,16 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use bytes::Bytes;
+use deeplake_bench::c10k::{run_c10k, C10kConfig};
 use deeplake_bench::BenchReport;
 use deeplake_core::dataset::{Dataset, TensorOptions};
-use deeplake_hub::Hub;
+use deeplake_hub::{Hub, HubOptions};
 use deeplake_remote::RemoteProvider;
 use deeplake_sim::{run_hub_queries, HubScenarioConfig};
-use deeplake_storage::{DynProvider, MemoryProvider, NetworkProfile, SimulatedCloudProvider};
+use deeplake_storage::{
+    DynProvider, MemoryProvider, NetworkProfile, SimulatedCloudProvider, StorageProvider,
+};
 use deeplake_tensor::{Htype, Sample};
 use deeplake_tql::QueryOptions;
 
@@ -71,6 +75,34 @@ fn main() {
     // with the cluster sim at fleet sizes > 1
     let skewed = run_hub_queries(&HubScenarioConfig::default());
 
+    // the C10K condition: 1000 standing connections on a 2-thread
+    // event-loop reader tier and 4 pool workers, every response
+    // byte-verified (the full bench lives in benches/c10k.rs; this is
+    // the committed trajectory snapshot)
+    let c10k_cfg = C10kConfig {
+        clients: 1000,
+        requests_per_client: 5,
+        ..C10kConfig::default()
+    };
+    let c10k_storage = Arc::new(MemoryProvider::new());
+    for i in 0..c10k_cfg.keys {
+        c10k_storage
+            .put(&c10k_cfg.key_of(i), Bytes::from(c10k_cfg.value()))
+            .unwrap();
+    }
+    let c10k_hub = Hub::builder()
+        .default_mount(c10k_storage)
+        .options(HubOptions {
+            workers: 4,
+            reader_threads: 2,
+            queue_depth: 256,
+            ..HubOptions::default()
+        })
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let c10k = run_c10k(c10k_hub.addr(), &c10k_cfg);
+    assert_eq!(c10k.failures, 0, "C10K baseline must serve every request");
+
     let mut report = BenchReport::new("baseline");
     report
         .metric(
@@ -92,6 +124,16 @@ fn main() {
         .metric(
             "skewed_hub_queries_per_sec",
             skewed.total_queries as f64 / skewed.wall.as_secs_f64().max(1e-9),
+        )
+        .metric("c10k_clients", c10k.clients as f64)
+        .metric("c10k_reader_threads", c10k_hub.reader_threads() as f64)
+        .metric("c10k_queries_per_sec", c10k.queries_per_sec())
+        .metric("c10k_p50_ms", c10k.p50.as_secs_f64() * 1e3)
+        .metric("c10k_p99_ms", c10k.p99.as_secs_f64() * 1e3)
+        .metric("c10k_busy_retries", c10k.busy_retries as f64)
+        .metric(
+            "c10k_peak_conn_buffered_bytes",
+            c10k_hub.stats().peak_conn_buffered() as f64,
         );
     let path = report.write().expect("write BENCH_baseline.json");
     println!("{}", report.to_json());

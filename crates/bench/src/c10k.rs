@@ -1,0 +1,312 @@
+//! C10K driver: thousands of concurrent protocol clients from ONE
+//! thread.
+//!
+//! The whole point of the measurement is connection count, not request
+//! rate — so the driver must not spend a thread per simulated client
+//! either. It multiplexes every client socket through the same
+//! `polling` readiness API the hub's reader tier uses: each client is a
+//! tiny state machine (write one request frame, accumulate one response
+//! frame, verify, repeat), and one driver thread steps whichever
+//! clients the poller reports ready. Every response is checked against
+//! the expected bytes — `failures` must be zero for a valid run; `Busy`
+//! is the one admissible rejection and is retried, counted in
+//! [`C10kReport::busy_retries`].
+//!
+//! Latency is recorded per *logical request* — from first send to the
+//! verified response, `Busy` retries included — so p50/p99 reflect what
+//! a caller would observe, not just the happy path.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use polling::{Event, Interest, Poller};
+
+use deeplake_remote::proto::{self, Request};
+
+/// Scenario knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct C10kConfig {
+    /// Concurrent client connections, all open before the first request.
+    pub clients: usize,
+    /// Request/response cycles each client runs.
+    pub requests_per_client: usize,
+    /// Size of each value fetched (response payload).
+    pub value_bytes: usize,
+    /// Distinct keys preloaded on the server (clients spread round-robin).
+    pub keys: usize,
+    /// Abort guard for the whole run.
+    pub deadline: Duration,
+}
+
+impl Default for C10kConfig {
+    fn default() -> Self {
+        C10kConfig {
+            clients: 1000,
+            requests_per_client: 5,
+            value_bytes: 512,
+            keys: 64,
+            deadline: Duration::from_secs(120),
+        }
+    }
+}
+
+impl C10kConfig {
+    /// The key a client reads, by client index.
+    pub fn key_of(&self, client: usize) -> String {
+        format!("c10k/{}", client % self.keys.max(1))
+    }
+
+    /// The value stored under every key.
+    pub fn value(&self) -> Vec<u8> {
+        vec![0xA5; self.value_bytes]
+    }
+}
+
+/// What a run measured.
+#[derive(Debug, Clone)]
+pub struct C10kReport {
+    pub clients: usize,
+    /// Verified responses (excludes `Busy` rejections, which are retried).
+    pub responses: u64,
+    /// `Busy` frames received and retried.
+    pub busy_retries: u64,
+    /// Wrong-byte responses plus requests still unanswered at the
+    /// deadline. Zero on any valid run.
+    pub failures: u64,
+    pub wall: Duration,
+    pub p50: Duration,
+    pub p99: Duration,
+}
+
+impl C10kReport {
+    pub fn queries_per_sec(&self) -> f64 {
+        self.responses as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+struct Client {
+    stream: TcpStream,
+    /// Request frame being written (`None` while awaiting the response).
+    wbuf: Option<Vec<u8>>,
+    woff: usize,
+    rbuf: Vec<u8>,
+    remaining: usize,
+    sent_at: Instant,
+    /// Wire frame to resend (header + payload), and the expected
+    /// response payload.
+    request: Vec<u8>,
+    expected: Vec<u8>,
+    want_write: bool,
+}
+
+/// Run the scenario against a hub at `addr` whose (default) mount has
+/// been preloaded with `cfg.keys` keys of `cfg.value()` (see
+/// [`C10kConfig::key_of`]). Panics on driver-side I/O that would
+/// invalidate the measurement (failed dial/handshake).
+pub fn run_c10k(addr: SocketAddr, cfg: &C10kConfig) -> C10kReport {
+    let poller = Poller::new().expect("poller");
+    let mut clients: HashMap<u64, Client> = HashMap::new();
+
+    // connect + handshake every client FIRST (blocking, sequential), so
+    // all `cfg.clients` connections are open concurrently before any
+    // request flows — that standing population is the C10K condition
+    let hello = frame(&proto::encode_request(&Request::Hello {
+        version: proto::PROTO_VERSION,
+    }));
+    for i in 0..cfg.clients {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream.write_all(&hello).expect("hello");
+        let resp = proto::read_frame(&mut stream)
+            .expect("hello response")
+            .expect("server open");
+        proto::expect_hello(&resp).expect("version agreed");
+        stream.set_nonblocking(true).expect("nonblocking");
+        let request = frame(&proto::encode_request(&Request::Get { key: cfg.key_of(i) }));
+        poller
+            .add(
+                std::os::fd::AsRawFd::as_raw_fd(&stream),
+                i as u64,
+                Interest::WRITE,
+            )
+            .expect("register");
+        clients.insert(
+            i as u64,
+            Client {
+                stream,
+                wbuf: Some(request.clone()),
+                woff: 0,
+                rbuf: Vec::new(),
+                remaining: cfg.requests_per_client,
+                sent_at: Instant::now(),
+                request,
+                expected: proto::resp_bytes(&cfg.value()),
+                want_write: true,
+            },
+        );
+    }
+
+    let mut latencies: Vec<Duration> = Vec::with_capacity(cfg.clients * cfg.requests_per_client);
+    let mut busy_retries = 0u64;
+    let mut failures = 0u64;
+    let mut events: Vec<Event> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let started = Instant::now();
+    // request phase: every client clocks its own request/response cycles
+    while !clients.is_empty() {
+        if started.elapsed() > cfg.deadline {
+            failures += clients.values().map(|c| c.remaining as u64).sum::<u64>();
+            break;
+        }
+        let _ = poller
+            .wait(&mut events, Some(Duration::from_millis(200)))
+            .expect("poller wait");
+        for &ev in &events {
+            let Some(client) = clients.get_mut(&ev.key) else {
+                continue;
+            };
+            let mut dead = false;
+            if ev.writable {
+                dead |= !step_write(client);
+            }
+            if ev.readable && !dead {
+                dead |= !step_read(
+                    client,
+                    &mut scratch,
+                    &mut latencies,
+                    &mut busy_retries,
+                    &mut failures,
+                );
+            }
+            let finished = client.remaining == 0;
+            if dead && !finished {
+                // a dropped connection mid-run is a failed measurement
+                failures += client.remaining as u64;
+            }
+            if dead || finished {
+                let client = clients.remove(&ev.key).expect("still present");
+                let _ = poller.remove(std::os::fd::AsRawFd::as_raw_fd(&client.stream));
+                continue;
+            }
+            let want_write = client.wbuf.is_some();
+            if want_write != client.want_write {
+                client.want_write = want_write;
+                let interest = if want_write {
+                    Interest::BOTH
+                } else {
+                    Interest::READ
+                };
+                let _ = poller.modify(
+                    std::os::fd::AsRawFd::as_raw_fd(&client.stream),
+                    ev.key,
+                    interest,
+                );
+            }
+        }
+    }
+
+    latencies.sort_unstable();
+    let pct = |p: f64| -> Duration {
+        if latencies.is_empty() {
+            Duration::ZERO
+        } else {
+            let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+            latencies[idx.min(latencies.len() - 1)]
+        }
+    };
+    C10kReport {
+        clients: cfg.clients,
+        responses: latencies.len() as u64,
+        busy_retries,
+        failures,
+        wall: started.elapsed(),
+        p50: pct(0.50),
+        p99: pct(0.99),
+    }
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut wire = Vec::with_capacity(4 + payload.len());
+    wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    wire.extend_from_slice(payload);
+    wire
+}
+
+/// Push pending request bytes; `false` = connection lost.
+fn step_write(client: &mut Client) -> bool {
+    let Some(wbuf) = &client.wbuf else {
+        return true;
+    };
+    loop {
+        match client.stream.write(&wbuf[client.woff..]) {
+            Ok(0) => return false,
+            Ok(n) => {
+                client.woff += n;
+                if client.woff == wbuf.len() {
+                    client.wbuf = None;
+                    client.woff = 0;
+                    return true;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Pull response bytes and settle complete frames; `false` = connection
+/// lost.
+fn step_read(
+    client: &mut Client,
+    scratch: &mut [u8],
+    latencies: &mut Vec<Duration>,
+    busy_retries: &mut u64,
+    failures: &mut u64,
+) -> bool {
+    loop {
+        match client.stream.read(scratch) {
+            Ok(0) => return false,
+            Ok(n) => client.rbuf.extend_from_slice(&scratch[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    // settle every complete frame buffered so far
+    while client.remaining > 0 {
+        if client.rbuf.len() < 4 {
+            break;
+        }
+        let len = u32::from_le_bytes(client.rbuf[..4].try_into().expect("4 bytes")) as usize;
+        if client.rbuf.len() < 4 + len {
+            break;
+        }
+        let payload: Vec<u8> = client.rbuf.drain(..4 + len).skip(4).collect();
+        if payload.first() == Some(&proto::STATUS_BUSY) {
+            // lossless rejection: resend the same request, same clock
+            *busy_retries += 1;
+            client.wbuf = Some(client.request.clone());
+            client.woff = 0;
+            let _ = step_write(client);
+            continue;
+        }
+        if payload == client.expected {
+            latencies.push(client.sent_at.elapsed());
+        } else {
+            *failures += 1;
+        }
+        client.remaining -= 1;
+        if client.remaining > 0 {
+            client.wbuf = Some(client.request.clone());
+            client.woff = 0;
+            client.sent_at = Instant::now();
+            if !step_write(client) {
+                return false;
+            }
+        }
+    }
+    true
+}

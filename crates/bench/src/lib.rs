@@ -11,6 +11,8 @@
 //! * `DL_BENCH_NET_SCALE` — multiplier on simulated network delays
 //!   (default `0.05`, i.e. 20× faster than real time).
 
+pub mod c10k;
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -238,6 +240,63 @@ impl BenchReport {
         std::fs::write(&path, self.to_json())?;
         Ok(path)
     }
+
+    /// Like [`BenchReport::write`], but keeps metrics an existing
+    /// `BENCH_<name>.json` recorded under keys this run did not touch —
+    /// so several benches can contribute to one trajectory file (the hub
+    /// cache bench and the C10K bench both feed `BENCH_hub.json`).
+    /// Re-recorded keys take this run's value in their original position.
+    pub fn write_merged(&self) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::env::var("DL_BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.name));
+        let mut merged: Vec<(String, f64)> = std::fs::read_to_string(&path)
+            .map(|old| parse_metrics(&old))
+            .unwrap_or_default();
+        for (k, v) in &self.metrics {
+            match merged.iter_mut().find(|(mk, _)| mk == k) {
+                Some(slot) => slot.1 = *v,
+                None => merged.push((k.clone(), *v)),
+            }
+        }
+        let on_disk = BenchReport {
+            name: self.name.clone(),
+            metrics: merged,
+        };
+        std::fs::write(&path, on_disk.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Parse the flat `"key": number` pairs out of a [`BenchReport`] JSON
+/// file. Only the shape `to_json` emits is understood — one metric per
+/// line — which is all `write_merged` needs.
+fn parse_metrics(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut in_metrics = false;
+    for line in json.lines() {
+        let line = line.trim();
+        if line.starts_with("\"metrics\"") {
+            in_metrics = true;
+            continue;
+        }
+        if !in_metrics {
+            continue;
+        }
+        let Some((key, value)) = line.split_once("\": ") else {
+            continue;
+        };
+        let Some(key) = key.strip_prefix('"') else {
+            continue;
+        };
+        if let Ok(v) = value.trim_end_matches(',').parse::<f64>() {
+            // escaped keys are not round-tripped; benchmark metric names
+            // are plain identifiers, so this never loses real data
+            if !key.contains('\\') {
+                out.push((key.to_string(), v));
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -261,6 +320,30 @@ mod tests {
     fn env_knobs_default() {
         assert_eq!(env_usize("DL_NO_SUCH_VAR", 7), 7);
         assert_eq!(env_f64("DL_NO_SUCH_VAR", 0.5), 0.5);
+    }
+
+    #[test]
+    fn bench_report_merge_preserves_foreign_keys() {
+        let dir = std::env::temp_dir().join(format!("dl_bench_merge_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("DL_BENCH_JSON_DIR", &dir);
+        let mut a = BenchReport::new("merge_unit");
+        a.metric("cache_hits", 10.0).metric("shared", 1.0);
+        a.write_merged().unwrap();
+        let mut b = BenchReport::new("merge_unit");
+        b.metric("c10k_qps", 999.0).metric("shared", 2.0);
+        let path = b.write_merged().unwrap();
+        std::env::remove_var("DL_BENCH_JSON_DIR");
+        let merged = parse_metrics(&std::fs::read_to_string(&path).unwrap());
+        assert_eq!(
+            merged,
+            vec![
+                ("cache_hits".to_string(), 10.0),
+                ("shared".to_string(), 2.0),
+                ("c10k_qps".to_string(), 999.0),
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

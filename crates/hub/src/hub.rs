@@ -1,68 +1,85 @@
-//! The hub runtime: one listener, many datasets, a bounded worker pool.
+//! The hub runtime: one listener, an event-driven reader tier, a
+//! bounded worker pool.
 //!
-//! ## Staged concurrency (vs PR 4's thread-per-connection)
+//! ## Event-driven readers (vs PR 5's thread-per-connection)
 //!
-//! Each accepted connection gets a lightweight *reader* whose only jobs
-//! are framing, decoding, and the cheap control ops (`Hello`, `Attach`,
-//! registry management). Everything that touches storage or runs a
-//! query — the work whose parallelism must be *bounded* — is pushed as a
-//! decoded job onto one bounded queue that `workers` pool threads drain.
-//! A thousand idle loader connections therefore cost a thousand parked
-//! readers (blocked in `read`, cheap) but storage/query concurrency
-//! never exceeds the pool size.
+//! Connections are multiplexed across a small, fixed set of *event
+//! loops* ([`HubOptions::reader_threads`], default 2) built on the
+//! `polling` readiness API (epoll on Linux). Each loop owns its
+//! connections outright: it accumulates bytes into per-connection
+//! buffers, slices complete frames out, answers the cheap control ops
+//! (`Hello`, `Attach`, registry management) inline, and pushes decoded
+//! data ops onto one bounded queue that `workers` pool threads drain.
+//! Ten thousand idle connections therefore cost ten thousand
+//! *registrations* (a few hundred bytes each) instead of ten thousand
+//! parked OS threads, and storage/query concurrency never exceeds the
+//! pool size.
 //!
 //! ## Overload is an answer, not a stall
 //!
 //! When a connection exceeds its in-flight cap, or the shared queue is
-//! full, the reader answers that request immediately with a `Busy` frame
+//! full, the loop answers that request immediately with a `Busy` frame
 //! instead of enqueueing it. The response slot is preserved in request
 //! order — the stream never desynchronizes, which is what makes the
 //! rejection *lossless*: the client sees exactly one response per
 //! request and can back off and retry.
 //!
-//! ## Pipelining and response order
+//! ## Write-side backpressure
 //!
-//! The protocol allows a client to pipeline frames. Workers may finish
-//! out of order, so each connection keeps a reorder buffer: responses
-//! are deposited under the connection's sequence number and written
-//! strictly in request order.
+//! Workers never touch sockets. A finished response is deposited into
+//! the connection's outbound queue and the owning loop is woken to
+//! write it out — nonblocking, with partial-write tracking — so a peer
+//! that stops draining can never pin a pool worker. Its outbound queue
+//! is bounded instead: past [`HubOptions::conn_buffer_bytes`] the loop
+//! stops *reading* that connection (admitting no further requests, so
+//! no further responses accrue), and a connection that makes no read or
+//! write progress for [`HubOptions::stall_timeout`] is disconnected.
 //!
-//! Workers perform the response write themselves, so a peer that stops
-//! draining its socket can pin the worker in `write` — but only once:
-//! the write times out after [`IN_FRAME_TIMEOUT`], the connection is
-//! declared dead and its pending responses are dropped, so each
-//! misbehaving connection costs the pool at most one bounded stall
-//! (size the pool above the number of simultaneously-dying peers you
-//! care about).
+//! ## Response order
+//!
+//! A legacy connection may pipeline frames; workers finish out of
+//! order, so each connection keeps a reorder buffer and responses are
+//! committed strictly in request order. A connection that switched to
+//! pipelined framing (`Request::Pipeline`) carries correlation ids
+//! instead: responses are committed in completion order and the client
+//! demultiplexes by id.
 //!
 //! ## Shutdown
 //!
-//! Graceful by construction, in stages: the accept loop stops, readers
-//! stop taking frames (any request already read is still enqueued), the
-//! workers drain the queue to its last response, and only then does
-//! [`HubHandle::shutdown`] return. An in-flight request always drains to
-//! a written response.
+//! Graceful and fully event-driven — no poll ticks. [`HubHandle::
+//! shutdown`] flags the hub and *wakes every loop through its poller*:
+//! the listener closes, loops finish slicing the frames they already
+//! buffered (a request that was read always drains to a response) and
+//! stop reading; the workers drain the queue; the loops flush every
+//! outbound byte (stalled peers are cut at `stall_timeout`) and exit.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use deeplake_core::Dataset;
 use deeplake_remote::proto::{self, Request};
 use deeplake_storage::{DynProvider, PrefixProvider, ReadPlan, StorageError, StorageStats};
 use deeplake_tql::{canonical, parser, QueryOptions};
 use parking_lot::Mutex;
+use polling::{Event, Interest, Poller};
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::registry::{DatasetRegistry, Mounted};
 
-/// How long a connection may stall *inside* a frame (reading a started
-/// request, or writing a response the peer isn't draining) before the
-/// hub gives up on it. Generous for slow links, finite so a dead peer
-/// can neither desynchronize a reader nor hang shutdown.
-const IN_FRAME_TIMEOUT: Duration = Duration::from_secs(30);
+/// Poller key the accept listener is registered under on loop 0
+/// (`u64::MAX` is the poller's own waker; connection tokens count up
+/// from zero and can never reach either).
+const LISTEN_KEY: u64 = u64::MAX - 1;
+
+/// Most bytes one readable event may pull from a single connection
+/// before yielding — level-triggered readiness re-fires for the rest,
+/// so one firehose peer cannot starve the loop's other connections.
+const READ_BURST: usize = 256 * 1024;
 
 /// Key prefix wire-`Mount`ed datasets are namespaced under on the hub's
 /// backing store.
@@ -84,32 +101,45 @@ pub struct HubOptions {
     /// Worker threads executing storage ops and queries. This — not the
     /// connection count — bounds the hub's storage/query concurrency.
     pub workers: usize,
-    /// Decoded requests the shared queue holds before readers start
+    /// Event-loop reader threads multiplexing every connection (1–2 is
+    /// plenty: readers only frame, decode and answer control ops).
+    pub reader_threads: usize,
+    /// Decoded requests the shared queue holds before the loops start
     /// answering `Busy`.
     pub queue_depth: usize,
     /// Requests one connection may have queued + executing before its
-    /// reader answers `Busy`. Well-behaved request/response clients
+    /// loop answers `Busy`. Well-behaved request/response clients
     /// never exceed 1; the cap exists so one pipelining client cannot
     /// monopolize the pool.
     pub max_inflight_per_conn: usize,
+    /// Outbound bytes one connection may have queued before its loop
+    /// stops reading it (admitting no further requests). The
+    /// bounded-memory guarantee against a peer that requests but never
+    /// drains responses; `Busy` handles the request side, this handles
+    /// the response side.
+    pub conn_buffer_bytes: usize,
+    /// How long a connection may sit mid-frame, or with undrained
+    /// outbound bytes, without making progress before it is
+    /// disconnected. Generous for slow links, finite so a dead peer can
+    /// neither desynchronize a stream nor hang shutdown.
+    pub stall_timeout: Duration,
     /// Byte budget of the version-pinned query-result cache (0 disables
     /// it). Sizing guidance: roughly `hot queries × mean result frame`;
     /// watch `cache().evictions()` climb to spot a budget that is too
     /// small for the hot set.
     pub cache_bytes: u64,
-    /// How often idle readers/workers wake to check for shutdown. Also
-    /// bounds how long shutdown waits for an idle connection.
-    pub idle_poll: Duration,
 }
 
 impl Default for HubOptions {
     fn default() -> Self {
         HubOptions {
             workers: 4,
+            reader_threads: 2,
             queue_depth: 64,
             max_inflight_per_conn: 16,
+            conn_buffer_bytes: 8 << 20,
+            stall_timeout: Duration::from_secs(30),
             cache_bytes: 64 << 20,
-            idle_poll: Duration::from_millis(50),
         }
     }
 }
@@ -120,6 +150,7 @@ pub struct HubStats {
     requests: AtomicU64,
     queries: AtomicU64,
     busy_rejections: AtomicU64,
+    peak_conn_buffered: AtomicU64,
     wire: StorageStats,
 }
 
@@ -141,6 +172,15 @@ impl HubStats {
         self.busy_rejections.load(Ordering::Relaxed)
     }
 
+    /// High-water mark of any single connection's outbound queue, in
+    /// bytes. Stays within [`HubOptions::conn_buffer_bytes`] plus the
+    /// responses already in flight when the cap tripped — the observable
+    /// form of the bounded-memory guarantee against peers that never
+    /// drain their responses.
+    pub fn peak_conn_buffered(&self) -> u64 {
+        self.peak_conn_buffered.load(Ordering::Relaxed)
+    }
+
     /// Wire traffic: one round trip per frame answered, request bytes in
     /// `bytes_read`, response bytes in `bytes_written` (mirror-image of
     /// the client's view).
@@ -153,17 +193,26 @@ impl HubStats {
 // bounded job queue
 // ---------------------------------------------------------------------
 
+/// Which response slot a finished job fills: the connection's next
+/// in-order sequence number (legacy framing, reorder buffer) or its
+/// correlation id (pipelined framing, completion order).
+#[derive(Clone, Copy)]
+enum Slot {
+    Seq(u64),
+    Id(u64),
+}
+
 struct Job {
-    conn: Arc<ConnState>,
-    seq: u64,
+    conn: Arc<ConnShared>,
+    slot: Slot,
     request_len: u64,
     mount: Arc<Mounted>,
     request: Request,
 }
 
 /// Bounded MPMC queue with non-blocking push (overload answers `Busy`
-/// instead of blocking the reader) and timed pop (workers poll the
-/// shutdown flag between waits).
+/// instead of blocking a loop) and untimed pop (workers park on the
+/// condvar until a job or the drain signal arrives — no poll tick).
 struct JobQueue {
     state: StdMutex<VecDeque<Job>>,
     capacity: usize,
@@ -191,17 +240,19 @@ impl JobQueue {
         true
     }
 
-    fn pop_timeout(&self, timeout: Duration) -> Option<Job> {
+    /// Block until a job arrives; `None` once `drain` is set and the
+    /// queue is empty (no new jobs can appear after intake stopped).
+    fn pop(&self, drain: &AtomicBool) -> Option<Job> {
         let mut q = self.state.lock().unwrap();
-        if let Some(job) = q.pop_front() {
-            return Some(job);
+        loop {
+            if let Some(job) = q.pop_front() {
+                return Some(job);
+            }
+            if drain.load(Ordering::Acquire) {
+                return None;
+            }
+            q = self.ready.wait(q).unwrap();
         }
-        let (mut q, _) = self.ready.wait_timeout(q, timeout).unwrap();
-        q.pop_front()
-    }
-
-    fn is_empty(&self) -> bool {
-        self.state.lock().unwrap().is_empty()
     }
 
     fn notify_all(&self) {
@@ -213,52 +264,119 @@ impl JobQueue {
 // per-connection state
 // ---------------------------------------------------------------------
 
+/// Outbound side of one connection. Workers deposit here; only the
+/// owning event loop performs socket writes.
 struct OutState {
-    stream: TcpStream,
-    /// Responses finished out of order, keyed by sequence number.
+    /// Legacy-mode responses finished out of order, keyed by sequence
+    /// number, awaiting their turn.
     pending: BTreeMap<u64, (Vec<u8>, u64)>,
-    /// Next sequence number to write.
-    next: u64,
+    /// Next legacy sequence number to commit.
+    next_seq: u64,
+    /// Committed wire frames (length header included) not yet fully
+    /// written to the socket.
+    wbuf: VecDeque<Vec<u8>>,
+    /// Bytes of `wbuf.front()` already written.
+    woff: usize,
+    /// Total unwritten bytes across `wbuf`.
+    buffered: usize,
 }
 
-struct ConnState {
+/// The slice of connection state shared with pool workers. The socket
+/// and read-side state live privately in the owning event loop.
+struct ConnShared {
+    token: u64,
+    /// Which event loop owns the socket (workers wake it to flush).
+    loop_idx: usize,
     out: Mutex<OutState>,
     /// Requests queued or executing for this connection.
     inflight: AtomicUsize,
     /// Dataset this connection attached to (`None` = default mount).
     attached: Mutex<Option<String>>,
-    /// Set on a write failure; the reader stops taking frames.
+    /// Set when the loop disconnects; deposits become no-ops.
     dead: AtomicBool,
+    /// Coalesces flush wakeups: at most one `Flush` message in flight.
+    flush_queued: AtomicBool,
 }
 
-/// Deposit a finished response and flush every response that is now
-/// next-in-order. Writing under the same lock that orders the buffer
-/// keeps responses strictly in request order.
-fn deposit(shared: &Shared, conn: &ConnState, seq: u64, request_len: u64, frame: Vec<u8>) {
+/// Commit one response onto the connection's write queue (legacy mode:
+/// only once it is next in request order) and account it. The socket
+/// write itself happens later, on the owning event loop.
+fn deposit(shared: &Shared, conn: &ConnShared, slot: Slot, request_len: u64, frame: Vec<u8>) {
     let mut out = conn.out.lock();
-    out.pending.insert(seq, (frame, request_len));
-    loop {
-        let next = out.next;
-        let Some((frame, req_len)) = out.pending.remove(&next) else {
-            break;
-        };
-        out.next += 1;
-        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-        shared
-            .stats
-            .wire
-            .record_wire(req_len + 4, frame.len() as u64 + 4);
-        if proto::write_frame(&mut out.stream, &frame).is_err() {
-            conn.dead.store(true, Ordering::Release);
-            out.pending.clear();
-            return;
+    if conn.dead.load(Ordering::Acquire) {
+        return;
+    }
+    match slot {
+        Slot::Seq(seq) => {
+            out.pending.insert(seq, (frame, request_len));
+            while let Some((frame, req_len)) = {
+                let next = out.next_seq;
+                out.pending.remove(&next)
+            } {
+                out.next_seq += 1;
+                commit(shared, &mut out, None, req_len, frame);
+            }
         }
+        Slot::Id(id) => commit(shared, &mut out, Some(id), request_len, frame),
+    }
+    let peak = out.buffered as u64;
+    drop(out);
+    shared
+        .stats
+        .peak_conn_buffered
+        .fetch_max(peak, Ordering::Relaxed);
+}
+
+fn commit(shared: &Shared, out: &mut OutState, id: Option<u64>, request_len: u64, frame: Vec<u8>) {
+    let tag_len = if id.is_some() { 8 } else { 0 };
+    let mut wire = Vec::with_capacity(4 + tag_len + frame.len());
+    wire.extend_from_slice(&((frame.len() + tag_len) as u32).to_le_bytes());
+    if let Some(id) = id {
+        wire.extend_from_slice(&id.to_le_bytes());
+    }
+    wire.extend_from_slice(&frame);
+    out.buffered += wire.len();
+    out.wbuf.push_back(wire);
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .wire
+        .record_wire(request_len + 4, (frame.len() + tag_len) as u64 + 4);
+}
+
+/// Wake `conn`'s event loop to flush a deposit (coalesced: a wakeup
+/// already in flight is enough).
+fn request_flush(shared: &Shared, conn: &ConnShared) {
+    if !conn.flush_queued.swap(true, Ordering::AcqRel) {
+        shared.loops[conn.loop_idx].send(LoopMsg::Flush(conn.token));
     }
 }
 
 // ---------------------------------------------------------------------
 // the hub
 // ---------------------------------------------------------------------
+
+/// Cross-thread mailbox of one event loop. `send` enqueues and wakes
+/// the loop through its poller — the explicit wakeup that replaced the
+/// idle poll tick.
+struct LoopShared {
+    poller: Poller,
+    inbox: StdMutex<Vec<LoopMsg>>,
+}
+
+enum LoopMsg {
+    /// A freshly accepted connection to adopt.
+    Adopt(TcpStream),
+    /// A deposit landed for this token; flush it.
+    Flush(u64),
+}
+
+impl LoopShared {
+    fn send(&self, msg: LoopMsg) {
+        self.inbox.lock().unwrap().push(msg);
+        let _ = self.poller.notify();
+    }
+}
 
 struct Shared {
     registry: DatasetRegistry,
@@ -276,10 +394,18 @@ struct Shared {
     placement: Option<PlacementFn>,
     stats: HubStats,
     queue: JobQueue,
-    /// Readers stop taking new frames.
+    loops: Vec<Arc<LoopShared>>,
+    next_token: AtomicU64,
+    /// Loops stop accepting and (after slicing what they buffered)
+    /// reading.
     shutdown: AtomicBool,
-    /// Workers exit once the queue is empty (set after readers joined).
+    /// Workers exit once the queue is empty (set after intake stopped).
     drain: AtomicBool,
+    /// Workers joined: loops flush their last bytes and exit.
+    drain_done: AtomicBool,
+    /// How many loops finished intake; shutdown waits on the condvar.
+    intake_done: StdMutex<usize>,
+    intake_cv: Condvar,
     opts: HubOptions,
 }
 
@@ -334,9 +460,9 @@ impl HubBuilder {
     }
 
     /// Install the cluster placement resolver this node answers
-    /// `WhereIs` requests from. The resolver is consulted on the reader
-    /// (it must not perform storage I/O) and typically closes over a
-    /// cluster's shared, epoch-versioned map.
+    /// `WhereIs` requests from. The resolver is consulted on the event
+    /// loop (it must not perform storage I/O) and typically closes over
+    /// a cluster's shared, epoch-versioned map.
     pub fn placement(mut self, resolver: PlacementFn) -> Self {
         self.placement = Some(resolver);
         self
@@ -367,6 +493,17 @@ impl HubBuilder {
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
             registry.set_default(mounted);
         }
+        let n_loops = self.opts.reader_threads.max(1);
+        let mut loops = Vec::with_capacity(n_loops);
+        for _ in 0..n_loops {
+            loops.push(Arc::new(LoopShared {
+                poller: Poller::new()?,
+                inbox: StdMutex::new(Vec::new()),
+            }));
+        }
+        loops[0]
+            .poller
+            .add(listener.as_raw_fd(), LISTEN_KEY, Interest::READ)?;
         let shared = Arc::new(Shared {
             registry,
             cache: ResultCache::new(self.opts.cache_bytes),
@@ -375,48 +512,33 @@ impl HubBuilder {
             placement: self.placement,
             stats: HubStats::default(),
             queue: JobQueue::new(self.opts.queue_depth),
+            loops,
+            next_token: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             drain: AtomicBool::new(false),
+            drain_done: AtomicBool::new(false),
+            intake_done: StdMutex::new(0),
+            intake_cv: Condvar::new(),
             opts: self.opts,
         });
-        let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
-            Arc::new(Mutex::new(Vec::new()));
         let workers: Vec<std::thread::JoinHandle<()>> = (0..self.opts.workers.max(1))
             .map(|_| {
                 let shared = shared.clone();
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
-        let accept = {
+        let mut readers = Vec::with_capacity(n_loops);
+        for idx in 0..n_loops {
             let shared = shared.clone();
-            let readers = readers.clone();
-            std::thread::spawn(move || loop {
-                if shared.shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let shared = shared.clone();
-                        let mut guard = readers.lock();
-                        // reap finished readers so a long-lived hub does
-                        // not hold one JoinHandle per connection ever
-                        // served
-                        guard.retain(|h| !h.is_finished());
-                        guard.push(std::thread::spawn(move || {
-                            reader_loop(stream, &shared);
-                        }));
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(shared.opts.idle_poll.min(Duration::from_millis(5)));
-                    }
-                    Err(_) => break,
-                }
-            })
-        };
+            let listener = (idx == 0).then(|| listener.try_clone()).transpose()?;
+            readers.push(std::thread::spawn(move || {
+                event_loop(&shared, idx, listener);
+            }));
+        }
+        drop(listener);
         Ok(HubHandle {
             addr: local_addr,
             shared,
-            accept: Some(accept),
             readers,
             workers,
         })
@@ -427,8 +549,7 @@ impl HubBuilder {
 pub struct HubHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<std::thread::JoinHandle<()>>,
-    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    readers: Vec<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -446,6 +567,13 @@ impl HubHandle {
     /// The query-result cache (hit ratio, evictions, cached bytes).
     pub fn cache(&self) -> &ResultCache {
         &self.shared.cache
+    }
+
+    /// How many event-loop reader threads multiplex this hub's
+    /// connections — fixed at bind time, independent of how many
+    /// connections are served.
+    pub fn reader_threads(&self) -> usize {
+        self.shared.loops.len()
     }
 
     /// Mount `provider` under `name` at runtime.
@@ -497,23 +625,36 @@ impl HubHandle {
         }
     }
 
-    /// Stop gracefully: no new connections, readers stop taking frames,
-    /// the worker pool drains every queued request to a written
-    /// response, then all threads are joined. Idempotent.
+    /// Stop gracefully, waking every thread explicitly (event-driven,
+    /// no poll ticks): the listener closes and the loops stop reading
+    /// (frames already buffered are still served), the worker pool
+    /// drains every queued request to a deposited response, the loops
+    /// flush every outbound byte, then all threads are joined.
+    /// Idempotent.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
+        for l in &self.shared.loops {
+            let _ = l.poller.notify();
         }
-        let readers: Vec<_> = std::mem::take(&mut *self.readers.lock());
-        for h in readers {
-            let _ = h.join();
+        {
+            let mut done = self.shared.intake_done.lock().unwrap();
+            while *done < self.shared.loops.len() {
+                done = self.shared.intake_cv.wait(done).unwrap();
+            }
         }
-        // only after every reader is gone can no new job appear; now the
-        // workers may exit on empty
+        // intake has stopped on every loop: no new job can appear, so
+        // the workers may exit on empty
         self.shared.drain.store(true, Ordering::Release);
         self.shared.queue.notify_all();
         for h in std::mem::take(&mut self.workers) {
+            let _ = h.join();
+        }
+        // every response is deposited; let the loops flush and exit
+        self.shared.drain_done.store(true, Ordering::Release);
+        for l in &self.shared.loops {
+            let _ = l.poller.notify();
+        }
+        for h in std::mem::take(&mut self.readers) {
             let _ = h.join();
         }
     }
@@ -526,12 +667,472 @@ impl Drop for HubHandle {
 }
 
 // ---------------------------------------------------------------------
-// reader stage
+// event-loop reader tier
 // ---------------------------------------------------------------------
+
+/// Loop-private side of one connection: the socket, the read
+/// accumulator and the framing state machine. Everything here is
+/// touched only by the owning loop thread.
+struct Conn {
+    state: Arc<ConnShared>,
+    stream: TcpStream,
+    /// Accumulated inbound bytes; complete frames are sliced off the
+    /// front. Grows only with bytes actually received.
+    rbuf: Vec<u8>,
+    /// Parse offset into `rbuf` (compacted after each parse pass).
+    rpos: usize,
+    /// Next legacy-mode request sequence number.
+    seq: u64,
+    /// Switched to correlation-id framing via `Request::Pipeline`.
+    pipelined: bool,
+    /// Read interest currently registered with the poller.
+    read_on: bool,
+    /// Write interest currently registered with the poller.
+    write_on: bool,
+    /// No further bytes will be read (EOF, intake stopped, or a fatal
+    /// response was sent).
+    read_closed: bool,
+    /// Disconnect once every outbound byte is flushed and no job is in
+    /// flight (clean EOF, or a version-mismatch rejection was sent).
+    close_after_flush: bool,
+    /// Stall deadline currently registered (mid-frame read or undrained
+    /// outbound bytes); progress re-arms it.
+    armed: Option<Instant>,
+}
+
+impl Conn {
+    fn mid_frame(&self) -> bool {
+        self.rpos < self.rbuf.len() && !self.read_closed
+    }
+}
+
+fn event_loop(shared: &Arc<Shared>, idx: usize, mut listener: Option<TcpListener>) {
+    let me = shared.loops[idx].clone();
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut deadlines: BTreeSet<(Instant, u64)> = BTreeSet::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    // round-robin cursor distributing accepted sockets across loops
+    let mut next_loop = 0usize;
+    let mut intake_done = false;
+    loop {
+        let timeout = deadlines
+            .iter()
+            .next()
+            .map(|(t, _)| t.saturating_duration_since(Instant::now()));
+        let _ = me.poller.wait(&mut events, timeout);
+
+        // cross-thread messages first, so a final Flush is always
+        // serviced before the exit check below
+        let msgs = std::mem::take(&mut *me.inbox.lock().unwrap());
+        for msg in msgs {
+            match msg {
+                LoopMsg::Adopt(stream) => {
+                    if !intake_done {
+                        adopt(shared, &me, &mut conns, idx, stream);
+                    }
+                }
+                LoopMsg::Flush(token) => {
+                    if let Some(conn) = conns.get_mut(&token) {
+                        conn.state.flush_queued.store(false, Ordering::Release);
+                        if !service(shared, &me, conn, &mut deadlines, &mut scratch, false, true) {
+                            disconnect(&me, &mut conns, &mut deadlines, token);
+                        }
+                    }
+                }
+            }
+        }
+
+        for &ev in &events {
+            if ev.key == LISTEN_KEY {
+                if let Some(l) = &listener {
+                    accept_burst(shared, &mut conns, idx, &mut next_loop, l);
+                }
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&ev.key) else {
+                continue;
+            };
+            if ev.readable && !conn.read_on {
+                // read interest is off, so this can only be the poller
+                // reporting an error/hang-up condition; peek to tell a
+                // benign half-close from a gone peer
+                let mut probe = [0u8; 1];
+                match conn.stream.peek(&mut probe) {
+                    Ok(0) => {
+                        conn.read_closed = true;
+                        conn.close_after_flush = true;
+                    }
+                    Ok(_) => {} // data we are not reading (backpressure)
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        // nothing readable yet the event fired: the peer
+                        // is gone and nothing can be delivered
+                        disconnect(&me, &mut conns, &mut deadlines, ev.key);
+                        continue;
+                    }
+                    Err(_) => {
+                        disconnect(&me, &mut conns, &mut deadlines, ev.key);
+                        continue;
+                    }
+                }
+            }
+            let readable = ev.readable && conn.read_on;
+            if !service(
+                shared,
+                &me,
+                conn,
+                &mut deadlines,
+                &mut scratch,
+                readable,
+                ev.writable,
+            ) {
+                disconnect(&me, &mut conns, &mut deadlines, ev.key);
+            }
+        }
+
+        // stalled connections: no read/write progress before the
+        // deadline means the peer is dead or malicious — cut it
+        let now = Instant::now();
+        while let Some(&(t, token)) = deadlines.iter().next() {
+            if t > now {
+                break;
+            }
+            deadlines.remove(&(t, token));
+            if let Some(conn) = conns.get(&token) {
+                if conn.armed == Some(t) {
+                    disconnect(&me, &mut conns, &mut deadlines, token);
+                }
+            }
+        }
+
+        if !intake_done && shared.shutdown.load(Ordering::Acquire) {
+            if let Some(l) = listener.take() {
+                let _ = me.poller.remove(l.as_raw_fd());
+            }
+            // requests already buffered are still sliced and served;
+            // nothing further is read
+            let tokens: Vec<u64> = conns.keys().copied().collect();
+            for token in tokens {
+                let conn = conns.get_mut(&token).expect("token just listed");
+                let ok = service(shared, &me, conn, &mut deadlines, &mut scratch, false, true);
+                let conn = conns.get_mut(&token).expect("token just listed");
+                conn.read_closed = true;
+                if !ok {
+                    disconnect(&me, &mut conns, &mut deadlines, token);
+                } else if let Some(conn) = conns.get_mut(&token) {
+                    update_interest(&me, conn, shared.opts.conn_buffer_bytes);
+                }
+            }
+            intake_done = true;
+            let mut done = shared.intake_done.lock().unwrap();
+            *done += 1;
+            shared.intake_cv.notify_all();
+        }
+
+        if intake_done && shared.drain_done.load(Ordering::Acquire) {
+            // workers are gone: every response is deposited. Leave once
+            // every outbound byte is flushed (stall deadlines bound the
+            // wait on peers that stopped draining).
+            let flushed = conns.values().all(|c| c.state.out.lock().wbuf.is_empty());
+            if flushed {
+                let tokens: Vec<u64> = conns.keys().copied().collect();
+                for token in tokens {
+                    disconnect(&me, &mut conns, &mut deadlines, token);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Accept until the listener would block, spreading connections
+/// round-robin across the loops.
+fn accept_burst(
+    shared: &Arc<Shared>,
+    conns: &mut HashMap<u64, Conn>,
+    my_idx: usize,
+    next_loop: &mut usize,
+    listener: &TcpListener,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let target = *next_loop % shared.loops.len();
+                *next_loop += 1;
+                if target == my_idx {
+                    let me = shared.loops[my_idx].clone();
+                    adopt(shared, &me, conns, my_idx, stream);
+                } else {
+                    shared.loops[target].send(LoopMsg::Adopt(stream));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Register a fresh connection with this loop.
+fn adopt(
+    shared: &Arc<Shared>,
+    me: &LoopShared,
+    conns: &mut HashMap<u64, Conn>,
+    idx: usize,
+    stream: TcpStream,
+) {
+    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let token = shared.next_token.fetch_add(1, Ordering::Relaxed);
+    if me
+        .poller
+        .add(stream.as_raw_fd(), token, Interest::READ)
+        .is_err()
+    {
+        return;
+    }
+    let state = Arc::new(ConnShared {
+        token,
+        loop_idx: idx,
+        out: Mutex::new(OutState {
+            pending: BTreeMap::new(),
+            next_seq: 0,
+            wbuf: VecDeque::new(),
+            woff: 0,
+            buffered: 0,
+        }),
+        inflight: AtomicUsize::new(0),
+        attached: Mutex::new(None),
+        dead: AtomicBool::new(false),
+        flush_queued: AtomicBool::new(false),
+    });
+    conns.insert(
+        token,
+        Conn {
+            state,
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            seq: 0,
+            pipelined: false,
+            read_on: true,
+            write_on: false,
+            read_closed: false,
+            close_after_flush: false,
+            armed: None,
+        },
+    );
+}
+
+/// Tear a connection down: deregister, drop buffered responses, mark
+/// the shared state dead so late deposits become no-ops.
+fn disconnect(
+    me: &LoopShared,
+    conns: &mut HashMap<u64, Conn>,
+    deadlines: &mut BTreeSet<(Instant, u64)>,
+    token: u64,
+) {
+    let Some(conn) = conns.remove(&token) else {
+        return;
+    };
+    if let Some(t) = conn.armed {
+        deadlines.remove(&(t, token));
+    }
+    conn.state.dead.store(true, Ordering::Release);
+    let mut out = conn.state.out.lock();
+    out.pending.clear();
+    out.wbuf.clear();
+    out.buffered = 0;
+    drop(out);
+    let _ = me.poller.remove(conn.stream.as_raw_fd());
+    // socket closes when `conn.stream` drops here
+}
+
+/// One service pass over a connection: pull inbound bytes (when
+/// `readable`), slice and dispatch complete frames, flush outbound
+/// bytes, then re-register interest and the stall deadline. Returns
+/// `false` when the connection must be disconnected.
+fn service(
+    shared: &Arc<Shared>,
+    me: &LoopShared,
+    conn: &mut Conn,
+    deadlines: &mut BTreeSet<(Instant, u64)>,
+    scratch: &mut [u8],
+    readable: bool,
+    writable: bool,
+) -> bool {
+    let mut progress = false;
+    if readable && !conn.read_closed {
+        match pull_bytes(conn, scratch) {
+            Ok(n) => progress |= n > 0,
+            Err(()) => return false,
+        }
+    }
+    if !parse_frames(shared, conn) {
+        return false;
+    }
+    let _ = writable; // flushing is unconditional: cheap no-op when empty
+    match flush_out(conn) {
+        Ok(n) => progress |= n > 0,
+        Err(()) => return false,
+    }
+    // re-parse what backpressure paused once the queue drained
+    if !parse_frames(shared, conn) {
+        return false;
+    }
+    if flush_out(conn).is_err() {
+        return false;
+    }
+    let (buffered, pending_empty) = {
+        let out = conn.state.out.lock();
+        (out.buffered, out.pending.is_empty() && out.wbuf.is_empty())
+    };
+    if conn.close_after_flush && pending_empty && conn.state.inflight.load(Ordering::Acquire) == 0 {
+        return false;
+    }
+    update_interest(me, conn, shared.opts.conn_buffer_bytes);
+    // a connection is "stalled" while it owes progress: a frame is
+    // partially read or responses are partially written
+    let stalled = buffered > 0 || conn.mid_frame();
+    let want = if !stalled {
+        None
+    } else if progress || conn.armed.is_none() {
+        Some(Instant::now() + shared.opts.stall_timeout)
+    } else {
+        conn.armed
+    };
+    if want != conn.armed {
+        if let Some(t) = conn.armed.take() {
+            deadlines.remove(&(t, conn.state.token));
+        }
+        if let Some(t) = want {
+            deadlines.insert((t, conn.state.token));
+            conn.armed = Some(t);
+        }
+    }
+    true
+}
+
+/// Read until the socket would block (or the fairness burst is spent).
+fn pull_bytes(conn: &mut Conn, scratch: &mut [u8]) -> Result<usize, ()> {
+    let mut total = 0;
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                // clean EOF: the peer is done sending; responses for
+                // requests already received still flush
+                conn.read_closed = true;
+                conn.close_after_flush = true;
+                return Ok(total);
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&scratch[..n]);
+                total += n;
+                if total >= READ_BURST {
+                    return Ok(total);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(total),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+}
+
+/// Slice complete frames off the accumulator and dispatch them, until
+/// bytes run out or backpressure pauses admission.
+fn parse_frames(shared: &Arc<Shared>, conn: &mut Conn) -> bool {
+    loop {
+        if conn.read_closed && conn.rpos >= conn.rbuf.len() {
+            break;
+        }
+        if conn.state.out.lock().buffered >= shared.opts.conn_buffer_bytes {
+            break; // backpressured: stop admitting requests
+        }
+        let avail = conn.rbuf.len() - conn.rpos;
+        if avail < 4 {
+            break;
+        }
+        let len = u32::from_le_bytes(
+            conn.rbuf[conn.rpos..conn.rpos + 4]
+                .try_into()
+                .expect("4 bytes checked"),
+        ) as usize;
+        if len > proto::MAX_FRAME {
+            return false; // lying header: the stream cannot resync
+        }
+        if avail < 4 + len {
+            break;
+        }
+        let payload = conn.rbuf[conn.rpos + 4..conn.rpos + 4 + len].to_vec();
+        conn.rpos += 4 + len;
+        if !handle_frame(shared, conn, payload) {
+            return false;
+        }
+        if conn.read_closed {
+            break; // a fatal response (version mismatch) was just sent
+        }
+    }
+    if conn.rpos > 0 {
+        conn.rbuf.drain(..conn.rpos);
+        conn.rpos = 0;
+    }
+    true
+}
+
+/// Write queued frames until done or the socket would block.
+fn flush_out(conn: &mut Conn) -> Result<usize, ()> {
+    let mut out = conn.state.out.lock();
+    let mut total = 0;
+    while let Some(front) = out.wbuf.front() {
+        let at = out.woff;
+        let front_len = front.len();
+        match conn.stream.write(&front[at..]) {
+            Ok(0) => return Err(()),
+            Ok(n) => {
+                total += n;
+                out.woff += n;
+                out.buffered -= n;
+                if out.woff == front_len {
+                    out.wbuf.pop_front();
+                    out.woff = 0;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+    Ok(total)
+}
+
+/// Re-register poller interest from current state: read while intake is
+/// open and backpressure allows, write while bytes are queued.
+fn update_interest(me: &LoopShared, conn: &mut Conn, conn_buffer_bytes: usize) {
+    let out = conn.state.out.lock();
+    let want_r = !conn.read_closed && out.buffered < conn_buffer_bytes;
+    let want_w = !out.wbuf.is_empty();
+    drop(out);
+    if want_r != conn.read_on || want_w != conn.write_on {
+        let interest = Interest {
+            readable: want_r,
+            writable: want_w,
+        };
+        if me
+            .poller
+            .modify(conn.stream.as_raw_fd(), conn.state.token, interest)
+            .is_ok()
+        {
+            conn.read_on = want_r;
+            conn.write_on = want_w;
+        }
+    }
+}
 
 /// Which stage answers a request. Control ops are cheap (no storage
 /// I/O) and order-sensitive (`Attach` changes what later requests mean),
-/// so the reader answers them inline; data ops go to the pool.
+/// so the loop answers them inline; data ops go to the pool.
 fn is_control(req: &Request) -> bool {
     matches!(
         req,
@@ -543,189 +1144,143 @@ fn is_control(req: &Request) -> bool {
             | Request::ListDatasets
             | Request::Describe
             | Request::WhereIs { .. }
+            | Request::Pipeline
     )
 }
 
-fn reader_loop(stream: TcpStream, shared: &Shared) {
-    if stream.set_nodelay(true).is_err() {
-        return;
-    }
-    // a stalled response write must not hang shutdown forever
-    if stream.set_write_timeout(Some(IN_FRAME_TIMEOUT)).is_err() {
-        return;
-    }
-    let write_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
+/// Decode and answer (or enqueue) one complete frame. Returns `false`
+/// only for violations the stream cannot recover from.
+fn handle_frame(shared: &Arc<Shared>, conn: &mut Conn, payload: Vec<u8>) -> bool {
+    let request_len = payload.len() as u64;
+    let (slot, body): (Slot, &[u8]) = if conn.pipelined {
+        match proto::split_tagged(&payload) {
+            Some((id, body)) => (Slot::Id(id), body),
+            // a pipelined frame too short for its id cannot be answered
+            // in any slot: fail the connection
+            None => return false,
+        }
+    } else {
+        let seq = conn.seq;
+        conn.seq += 1;
+        (Slot::Seq(seq), &payload[..])
     };
-    let mut read_half = stream;
-    let conn = Arc::new(ConnState {
-        out: Mutex::new(OutState {
-            stream: write_half,
-            pending: BTreeMap::new(),
-            next: 0,
-        }),
-        inflight: AtomicUsize::new(0),
-        attached: Mutex::new(None),
-        dead: AtomicBool::new(false),
-    });
-    let mut seq = 0u64;
-    loop {
-        if conn.dead.load(Ordering::Acquire) {
-            return;
+    let request = match proto::decode_request(body) {
+        Ok(r) => r,
+        Err(e) => {
+            deposit(
+                shared,
+                &conn.state,
+                slot,
+                request_len,
+                proto::resp_proto_err(&e.to_string()),
+            );
+            return true;
         }
-        // Wait for the next frame's FIRST byte under the short idle
-        // timeout (the shutdown poll tick). Only this wait may time out
-        // recoverably: no frame bytes have been consumed yet, so looping
-        // re-reads from a clean boundary. Once the first byte arrives,
-        // the rest of the frame is read under the long in-frame timeout,
-        // and any stall there fails the *connection* — resuming a
-        // half-read frame would desynchronize the stream.
-        if read_half
-            .set_read_timeout(Some(shared.opts.idle_poll))
-            .is_err()
-        {
-            return;
+    };
+    if is_control(&request) {
+        let version_mismatch = matches!(
+            &request,
+            Request::Hello { version } if *version != proto::PROTO_VERSION
+        );
+        let switch = matches!(&request, Request::Pipeline);
+        let response = dispatch_control(shared, &conn.state, request);
+        deposit(shared, &conn.state, slot, request_len, response);
+        if version_mismatch {
+            // an incompatible client's later frames could decode to
+            // nonsense; the lossless rejection above is the last frame
+            // this connection gets
+            conn.read_closed = true;
+            conn.close_after_flush = true;
         }
-        let mut first = [0u8; 1];
-        let first = loop {
-            match std::io::Read::read(&mut read_half, &mut first) {
-                Ok(0) => return, // clean close at a frame boundary
-                Ok(_) => break first[0],
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    if shared.shutdown.load(Ordering::Acquire) || conn.dead.load(Ordering::Acquire)
-                    {
-                        return;
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(_) => return,
-            }
-        };
-        if read_half.set_read_timeout(Some(IN_FRAME_TIMEOUT)).is_err() {
-            return;
+        if switch {
+            // the acknowledgement above went out untagged; every later
+            // frame both ways carries a correlation id
+            conn.pipelined = true;
         }
-        let payload = match proto::read_frame_after(&mut read_half, first) {
-            Ok(payload) => payload,
-            Err(_) => return,
-        };
-        let this_seq = seq;
-        seq += 1;
-        let request_len = payload.len() as u64;
-        // From here until the response is deposited, shutdown is NOT
-        // checked: a request that was read always drains to a response.
-        let request = match proto::decode_request(&payload) {
-            Ok(r) => r,
-            Err(e) => {
+        return true;
+    }
+    // data op: resolve the namespace snapshot now, so an Attach later
+    // in the pipeline cannot retroactively change it
+    let attached = conn.state.attached.lock().clone();
+    let mount = match &attached {
+        Some(name) => match shared.registry.get(name) {
+            Some(m) => m,
+            None => {
                 deposit(
                     shared,
-                    &conn,
-                    this_seq,
+                    &conn.state,
+                    slot,
                     request_len,
-                    proto::resp_proto_err(&e.to_string()),
+                    proto::resp_storage_err(&StorageError::NotFound(format!(
+                        "dataset {name:?} is not mounted"
+                    ))),
                 );
-                continue;
+                return true;
             }
-        };
-        if is_control(&request) {
-            let version_mismatch = matches!(
-                &request,
-                Request::Hello { version } if *version != proto::PROTO_VERSION
-            );
-            let response = dispatch_control(shared, &conn, request);
-            deposit(shared, &conn, this_seq, request_len, response);
-            if version_mismatch {
-                // an incompatible client's later frames could decode to
-                // nonsense; the lossless rejection above is the last
-                // frame this connection gets
-                return;
+        },
+        None => match shared.registry.default_mount() {
+            Some(m) => m,
+            None => {
+                deposit(
+                    shared,
+                    &conn.state,
+                    slot,
+                    request_len,
+                    proto::resp_proto_err(
+                        "no dataset attached and the hub has no default mount; send Attach",
+                    ),
+                );
+                return true;
             }
-            continue;
-        }
-        // data op: resolve the namespace snapshot now, so an Attach
-        // later in the pipeline cannot retroactively change it
-        let attached = conn.attached.lock().clone();
-        let mount = match &attached {
-            Some(name) => match shared.registry.get(name) {
-                Some(m) => m,
-                None => {
-                    deposit(
-                        shared,
-                        &conn,
-                        this_seq,
-                        request_len,
-                        proto::resp_storage_err(&StorageError::NotFound(format!(
-                            "dataset {name:?} is not mounted"
-                        ))),
-                    );
-                    continue;
-                }
-            },
-            None => match shared.registry.default_mount() {
-                Some(m) => m,
-                None => {
-                    deposit(
-                        shared,
-                        &conn,
-                        this_seq,
-                        request_len,
-                        proto::resp_proto_err(
-                            "no dataset attached and the hub has no default mount; send Attach",
-                        ),
-                    );
-                    continue;
-                }
-            },
-        };
-        // lossless back-pressure: over-cap or queue-full answers Busy in
-        // this request's response slot instead of blocking the reader
-        let cap = shared.opts.max_inflight_per_conn.max(1);
-        if conn.inflight.load(Ordering::Acquire) >= cap {
-            shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
-            deposit(
-                shared,
-                &conn,
-                this_seq,
-                request_len,
-                proto::resp_busy(&format!(
-                    "connection has {cap} requests in flight; back off and retry"
-                )),
-            );
-            continue;
-        }
-        conn.inflight.fetch_add(1, Ordering::AcqRel);
-        let job = Job {
-            conn: conn.clone(),
-            seq: this_seq,
+        },
+    };
+    // lossless back-pressure: over-cap or queue-full answers Busy in
+    // this request's response slot instead of blocking the loop
+    let cap = shared.opts.max_inflight_per_conn.max(1);
+    if conn.state.inflight.load(Ordering::Acquire) >= cap {
+        shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        deposit(
+            shared,
+            &conn.state,
+            slot,
             request_len,
-            mount,
-            request,
-        };
-        if !shared.queue.try_push(job) {
-            conn.inflight.fetch_sub(1, Ordering::AcqRel);
-            shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
-            deposit(
-                shared,
-                &conn,
-                this_seq,
-                request_len,
-                proto::resp_busy(&format!(
-                    "worker queue of {} is full; back off and retry",
-                    shared.opts.queue_depth
-                )),
-            );
-        }
+            proto::resp_busy(&format!(
+                "connection has {cap} requests in flight; back off and retry"
+            )),
+        );
+        return true;
     }
+    conn.state.inflight.fetch_add(1, Ordering::AcqRel);
+    let job = Job {
+        conn: conn.state.clone(),
+        slot,
+        request_len,
+        mount,
+        request,
+    };
+    if !shared.queue.try_push(job) {
+        conn.state.inflight.fetch_sub(1, Ordering::AcqRel);
+        shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        deposit(
+            shared,
+            &conn.state,
+            slot,
+            request_len,
+            proto::resp_busy(&format!(
+                "worker queue of {} is full; back off and retry",
+                shared.opts.queue_depth
+            )),
+        );
+    }
+    true
 }
 
-/// Answer a control op inline on the reader.
-fn dispatch_control(shared: &Shared, conn: &ConnState, request: Request) -> Vec<u8> {
+/// Answer a control op inline on the event loop.
+fn dispatch_control(shared: &Shared, conn: &ConnShared, request: Request) -> Vec<u8> {
     match request {
         Request::Ping => proto::resp_unit(),
         Request::Hello { version } => proto::hello_response(version),
+        Request::Pipeline => proto::resp_unit(),
         Request::Attach { dataset } => match shared.registry.get(&dataset) {
             Some(_) => {
                 *conn.attached.lock() = Some(dataset);
@@ -804,19 +1359,11 @@ fn dispatch_control(shared: &Shared, conn: &ConnState, request: Request) -> Vec<
 // ---------------------------------------------------------------------
 
 fn worker_loop(shared: &Shared) {
-    loop {
-        match shared.queue.pop_timeout(shared.opts.idle_poll) {
-            Some(job) => {
-                let response = dispatch_data(shared, &job.mount, job.request);
-                deposit(shared, &job.conn, job.seq, job.request_len, response);
-                job.conn.inflight.fetch_sub(1, Ordering::AcqRel);
-            }
-            None => {
-                if shared.drain.load(Ordering::Acquire) && shared.queue.is_empty() {
-                    return;
-                }
-            }
-        }
+    while let Some(job) = shared.queue.pop(&shared.drain) {
+        let response = dispatch_data(shared, &job.mount, job.request);
+        deposit(shared, &job.conn, job.slot, job.request_len, response);
+        job.conn.inflight.fetch_sub(1, Ordering::AcqRel);
+        request_flush(shared, &job.conn);
     }
 }
 

@@ -9,22 +9,24 @@
 //! Three subsystems, layered between storage and the wire:
 //!
 //! ```text
-//!  clients (RemoteProvider)          deeplake-hub
-//!        │  Hello/Attach      ┌───────────────────────────┐
-//!        ├────── frame ──────▶│ reader (per conn, framing) │
-//!        │                    │     │ bounded job queue    │──Busy on overload
-//!        │                    │     ▼                      │
-//!        │                    │ worker pool (N threads)    │
-//!        │                    │     │                      │
-//!        │                    │ ┌───┴────────┐ ┌─────────┐ │
-//!        ◀────── frame ───────│ │  registry  │ │ result  │ │
-//!                             │ │ name→store │ │  cache  │ │
-//!                             │ └───┬────────┘ └────┬────┘ │
-//!                             └─────┼───────────────┼──────┘
-//!                                mounted providers  └─ (dataset, version,
-//!                               (PrefixProvider        canonical TQL,
-//!                                namespaces, any       options) → encoded
-//!                                backend)              response frame
+//!  clients (RemoteProvider)            deeplake-hub
+//!        │  Hello/Attach       ┌──────────────────────────────┐
+//!        ├────── frames ──────▶│ event loops (1-2 threads,    │
+//!        │  (many conns per    │  epoll: ALL conns; framing,  │
+//!        │   loop; pipelined   │  control ops, backpressure)  │
+//!        │   ids or in-order)  │     │ bounded job queue      │──Busy on overload
+//!        │                     │     ▼                        │
+//!        │                     │ worker pool (N threads)      │
+//!        │                     │     │                        │
+//!        │                     │ ┌───┴────────┐ ┌─────────┐   │
+//!        ◀────── frames ───────│ │  registry  │ │ result  │   │
+//!          (flushed by the     │ │ name→store │ │  cache  │   │
+//!           owning loop, never │ └───┬────────┘ └────┬────┘   │
+//!           by a pool worker)  └─────┼───────────────┼────────┘
+//!                                mounted providers   └─ (dataset, version,
+//!                               (PrefixProvider         canonical TQL,
+//!                                namespaces, any        options) → encoded
+//!                                backend)               response frame
 //! ```
 //!
 //! * **[`registry`]** — named datasets behind one listener. Clients
@@ -33,11 +35,19 @@
 //!   connections fall back to a default mount, which is how the
 //!   single-dataset `DatasetServer` facade is now a two-line wrapper
 //!   over the hub runtime.
-//! * **[`hub`]** — the bounded worker pool. Readers only frame/decode;
-//!   N pool workers execute storage ops and queries, so concurrency is
-//!   bounded by configuration, not by connection count. Overload is
-//!   answered with a lossless `Busy` frame in the request's response
-//!   slot — clients back off, streams never desynchronize.
+//! * **[`hub`]** — the event-loop reader tier and the bounded worker
+//!   pool. One or two reader threads multiplex *every* connection via
+//!   readiness notification (epoll through the `polling` stand-in):
+//!   they frame, decode, answer control ops inline, and push data ops
+//!   onto one bounded queue that N pool workers drain — so 10 000 idle
+//!   connections cost registrations, not parked OS threads, and
+//!   storage/query concurrency is bounded by configuration, not by
+//!   connection count. Overload is answered with a lossless `Busy`
+//!   frame in the request's response slot — clients back off, streams
+//!   never desynchronize. Workers never touch sockets: responses are
+//!   deposited into per-connection bounded write queues and flushed by
+//!   the owning loop, so a peer that stops draining pauses only its own
+//!   reads, never a worker.
 //! * **[`cache`]** — the version-pinned query-result cache. Keyed by
 //!   `(dataset, resolved version, canonical TQL text, options)`, storing
 //!   the already-encoded response frame: a hit is a pure frame copy with

@@ -19,6 +19,18 @@
 //! errors serialize losslessly — a remote `NotFound` decodes into the
 //! same [`StorageError::NotFound`] (naming the same key) the mounted
 //! provider would have returned locally.
+//!
+//! **Pipelined mode.** A connection starts in *legacy* mode: untagged
+//! frames, responses strictly in request order (the server keeps a
+//! reorder buffer). Sending [`Request::Pipeline`] switches the
+//! connection — the switch response itself is still untagged — and from
+//! then on every frame in both directions carries an 8-byte
+//! little-endian correlation id before its payload ([`tag_request`] /
+//! [`split_tagged`]). Responses may then arrive in *completion* order:
+//! many callers share one socket, a demux reader routes each response to
+//! its waiting request by id. The opcode is additive, so legacy peers
+//! and hand-rolled test clients keep working unchanged and
+//! [`PROTO_VERSION`] stays put.
 
 use bytes::Bytes;
 use deeplake_storage::{ReadRequest, StorageError};
@@ -63,6 +75,7 @@ const OP_MOUNT: u8 = 15;
 const OP_UNMOUNT: u8 = 16;
 const OP_LIST_DATASETS: u8 = 17;
 const OP_WHERE_IS: u8 = 18;
+const OP_PIPELINE: u8 = 19;
 
 // response status bytes
 /// Success; body is op-specific.
@@ -195,6 +208,12 @@ pub enum Request {
         /// Registry name of the dataset.
         dataset: String,
     },
+    /// Switch this connection to pipelined (correlation-id-tagged)
+    /// framing. The acknowledgement is the last untagged response on the
+    /// connection; every later frame in both directions is
+    /// `[id u64 LE][payload]` and responses arrive in completion order.
+    /// Send after `Hello` (and any `Attach`), before concurrent use.
+    Pipeline,
 }
 
 /// Encode a request payload (opcode + body).
@@ -281,6 +300,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.push(OP_WHERE_IS);
             put_str(&mut out, dataset);
         }
+        Request::Pipeline => out.push(OP_PIPELINE),
     }
     out
 }
@@ -324,6 +344,7 @@ pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
         OP_UNMOUNT => Request::Unmount { dataset: r.str()? },
         OP_LIST_DATASETS => Request::ListDatasets,
         OP_WHERE_IS => Request::WhereIs { dataset: r.str()? },
+        OP_PIPELINE => Request::Pipeline,
         other => return Err(WireError(format!("unknown opcode {other}"))),
     };
     r.finish()?;
@@ -736,6 +757,32 @@ pub fn expect_query(payload: &[u8]) -> deeplake_tql::Result<QueryResult> {
 }
 
 // ---------------------------------------------------------------------
+// pipelined (correlation-id) framing
+// ---------------------------------------------------------------------
+
+/// Prefix `payload` with its 8-byte little-endian correlation id — the
+/// frame body both directions use once a connection switched to
+/// pipelined mode via [`Request::Pipeline`].
+pub fn tag_request(id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Split a pipelined frame body into `(correlation id, payload)`.
+/// `None` means the frame is too short to carry an id — a protocol
+/// violation that must fail the connection (the stream cannot be
+/// resynchronized).
+pub fn split_tagged(payload: &[u8]) -> Option<(u64, &[u8])> {
+    if payload.len() < 8 {
+        return None;
+    }
+    let id = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    Some((id, &payload[8..]))
+}
+
+// ---------------------------------------------------------------------
 // framing
 // ---------------------------------------------------------------------
 
@@ -887,6 +934,7 @@ mod tests {
             Request::WhereIs {
                 dataset: "mnist".into(),
             },
+            Request::Pipeline,
         ] {
             let back = roundtrip(&req);
             assert_eq!(back, req);
@@ -1034,6 +1082,21 @@ mod tests {
         wire.extend_from_slice(b"only this");
         let err = read_frame(&mut std::io::Cursor::new(wire)).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn tagged_frames_roundtrip() {
+        let body = encode_request(&Request::Get { key: "k".into() });
+        let tagged = tag_request(u64::MAX - 3, &body);
+        let (id, back) = split_tagged(&tagged).unwrap();
+        assert_eq!(id, u64::MAX - 3);
+        assert_eq!(back, &body[..]);
+        // an empty payload still carries its id
+        let bare = tag_request(0, &[]);
+        let (id, empty) = split_tagged(&bare).unwrap();
+        assert_eq!((id, empty.len()), (0, 0));
+        // too short to hold an id: protocol violation
+        assert!(split_tagged(&[1, 2, 3]).is_none());
     }
 
     #[test]

@@ -8,11 +8,22 @@
 //! [`ReadPlan`] stays one round trip end to end; [`RemoteProvider::query`]
 //! skips chunk traffic entirely by shipping the TQL text to the server.
 //!
-//! Connections are pooled: each round trip checks a socket out, writes
-//! one request frame, reads one response frame, and returns the socket.
-//! Concurrent callers (loader workers) ride separate sockets, so the
-//! provider is fully `Sync`. A socket that sees any transport error is
-//! dropped, never returned to the pool.
+//! ## Pipelining, not just pooling
+//!
+//! Earlier revisions gave each concurrent caller its own socket (pure
+//! pooling), dialing without bound under load. This client *pipelines*
+//! instead: each pooled connection is switched to correlation-id
+//! framing during its handshake (`Request::Pipeline`), a caller tags
+//! its request with a fresh id and parks, and a per-connection demux
+//! thread reads responses — in whatever order the server finishes them
+//! — and hands each to the caller whose id it carries. Many in-flight
+//! requests share one socket, so concurrency no longer implies file
+//! descriptors: the pool is a hard cap of [`RemoteOptions::pool_size`]
+//! sockets, each carrying up to
+//! [`RemoteOptions::max_inflight_per_socket`] requests, and callers
+//! beyond `pool_size × max_inflight_per_socket` queue for a slot
+//! instead of dialing. A socket that sees any transport error fails its
+//! in-flight requests losslessly and leaves the pool.
 //!
 //! For benchmarks and tests, [`RemoteOptions::latency`] injects a
 //! deterministic [`NetworkProfile`] charge per round trip (first-byte
@@ -20,8 +31,11 @@
 //! [`deeplake_storage::SimulatedCloudProvider`] uses — so round-trip
 //! counts translate into wall-clock differences without real WAN links.
 
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use deeplake_storage::{
@@ -35,16 +49,26 @@ use crate::proto::{self, Request};
 /// Client configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct RemoteOptions {
-    /// Idle sockets kept for reuse (concurrency is unbounded — extra
-    /// round trips dial extra sockets; this only caps what is retained).
+    /// Hard cap on sockets to the server. Connections are pipelined, so
+    /// this is *not* a concurrency limit — each socket carries up to
+    /// [`RemoteOptions::max_inflight_per_socket`] requests; callers
+    /// beyond `pool_size × max_inflight_per_socket` wait for a slot
+    /// instead of dialing.
     pub pool_size: usize,
+    /// In-flight requests one pipelined socket may carry. Keep at or
+    /// below the hub's `max_inflight_per_conn` (default 16): the hub
+    /// answers requests beyond *its* cap with `Busy`, which this client
+    /// then retries.
+    pub max_inflight_per_socket: usize,
     /// Deterministic per-round-trip network cost to inject (`None` = the
     /// real transport's latency only). The charge is
     /// `first_byte_latency + (request + response bytes) / bandwidth`,
     /// paid by the calling thread.
     pub latency: Option<NetworkProfile>,
-    /// Socket read timeout (`None` = block forever). Guards callers
-    /// against a hung server.
+    /// How long a request may wait for its response (`None` = forever).
+    /// Guards callers against a hung server: when the oldest in-flight
+    /// request on a connection exceeds this, the connection fails and
+    /// every caller parked on it gets a transport error.
     pub read_timeout: Option<Duration>,
     /// How many times a request answered with a `Busy` frame (hub
     /// overload — the request was NOT executed) is retried before the
@@ -60,6 +84,7 @@ impl Default for RemoteOptions {
     fn default() -> Self {
         RemoteOptions {
             pool_size: 8,
+            max_inflight_per_socket: 16,
             latency: None,
             read_timeout: Some(Duration::from_secs(30)),
             busy_retries: 4,
@@ -68,10 +93,170 @@ impl Default for RemoteOptions {
     }
 }
 
+// ---------------------------------------------------------------------
+// pipelined connection
+// ---------------------------------------------------------------------
+
+/// A caller's parking slot: filled by the demux thread when the
+/// response carrying this request's id arrives.
+struct Waiter {
+    resp: Option<Vec<u8>>,
+    sent_at: Instant,
+}
+
+struct DemuxState {
+    waiting: HashMap<u64, Waiter>,
+    /// First fatal error; set once, fails every current and future
+    /// request on this connection.
+    error: Option<String>,
+}
+
+/// State shared between callers and the connection's demux thread. The
+/// demux holds *only* this (never the [`Connection`]), so dropping the
+/// last `Connection` handle shuts the socket down and the demux exits.
+struct DemuxShared {
+    slots: StdMutex<DemuxState>,
+    cv: Condvar,
+    /// Quick liveness flag for pool checkout (mirrors `error`).
+    dead: AtomicBool,
+    read_timeout: Option<Duration>,
+}
+
+impl DemuxShared {
+    /// Fail every in-flight and future request on this connection with
+    /// `msg`. The socket is in an unknown framing state; it never
+    /// carries another request.
+    fn fail(&self, msg: String) {
+        let mut slots = self.slots.lock().unwrap();
+        if slots.error.is_none() {
+            slots.error = Some(msg);
+        }
+        drop(slots);
+        self.dead.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+}
+
+/// One pipelined socket: writers interleave tagged frames under the
+/// write lock, the demux thread distributes tagged responses by id.
+struct Connection {
+    /// Write half. A full frame is written under this lock, so frames
+    /// from concurrent callers never interleave mid-frame.
+    write: StdMutex<TcpStream>,
+    /// Second handle on the same socket, kept so `Drop` can shut it
+    /// down without taking the write lock.
+    sock: TcpStream,
+    demux: Arc<DemuxShared>,
+    /// Requests currently in flight (pool checkout balances on this).
+    inflight: AtomicUsize,
+    next_id: AtomicU64,
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        // wakes the demux thread out of its blocking read; it fails any
+        // stragglers and exits
+        let _ = self.sock.shutdown(Shutdown::Both);
+    }
+}
+
+/// Read tagged response frames until the connection dies, handing each
+/// to the caller whose correlation id it carries.
+fn demux_loop(mut stream: TcpStream, shared: Arc<DemuxShared>) {
+    loop {
+        // the first header byte is read separately: a timeout *here* is
+        // between frames and recoverable (used as the tick that checks
+        // for a hung server), while a timeout mid-frame below is fatal —
+        // the stream cannot resynchronize
+        let mut first = [0u8; 1];
+        let first = match stream.read_one(&mut first) {
+            FirstByte::Byte(b) => b,
+            FirstByte::Eof => return shared.fail("server closed the connection".into()),
+            FirstByte::Idle => {
+                if let Some(limit) = shared.read_timeout {
+                    let slots = shared.slots.lock().unwrap();
+                    let hung = slots
+                        .waiting
+                        .values()
+                        .filter(|w| w.resp.is_none())
+                        .any(|w| w.sent_at.elapsed() >= limit);
+                    drop(slots);
+                    if hung {
+                        return shared.fail("server stopped responding (read timed out)".into());
+                    }
+                }
+                continue;
+            }
+            FirstByte::Fatal(e) => return shared.fail(format!("response read failed: {e}")),
+        };
+        let frame = match proto::read_frame_after(&mut stream, first) {
+            Ok(frame) => frame,
+            Err(e) => return shared.fail(format!("response read failed: {e}")),
+        };
+        match proto::split_tagged(&frame) {
+            Some((id, body)) => {
+                let mut slots = shared.slots.lock().unwrap();
+                if let Some(waiter) = slots.waiting.get_mut(&id) {
+                    waiter.resp = Some(body.to_vec());
+                    drop(slots);
+                    shared.cv.notify_all();
+                }
+                // an id nobody waits for is a response to an abandoned
+                // request (e.g. its caller hit a write error): dropped
+            }
+            None => {
+                return shared.fail("pipelined response shorter than its correlation id".into())
+            }
+        }
+    }
+}
+
+enum FirstByte {
+    Byte(u8),
+    Eof,
+    /// Read timed out between frames — recoverable.
+    Idle,
+    Fatal(std::io::Error),
+}
+
+trait ReadOne {
+    fn read_one(&mut self, buf: &mut [u8; 1]) -> FirstByte;
+}
+
+impl ReadOne for TcpStream {
+    fn read_one(&mut self, buf: &mut [u8; 1]) -> FirstByte {
+        use std::io::Read;
+        loop {
+            match self.read(buf) {
+                Ok(0) => return FirstByte::Eof,
+                Ok(_) => return FirstByte::Byte(buf[0]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return FirstByte::Idle
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return FirstByte::Fatal(e),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// the provider
+// ---------------------------------------------------------------------
+
 /// A storage provider backed by a remote dataset server.
 pub struct RemoteProvider {
     addr: SocketAddr,
-    pool: Mutex<PoolState>,
+    pool: StdMutex<PoolState>,
+    /// Parks callers waiting for an in-flight slot when every socket is
+    /// at [`RemoteOptions::max_inflight_per_socket`] and the pool is at
+    /// [`RemoteOptions::pool_size`].
+    pool_cv: Condvar,
     opts: RemoteOptions,
     stats: StorageStats,
     /// Dataset this client is attached to in a multi-dataset hub.
@@ -82,13 +267,17 @@ pub struct RemoteProvider {
 }
 
 /// The socket pool plus its namespace generation. [`RemoteProvider::attach`]
-/// bumps the generation; a socket checked out under an older generation
-/// (possibly bound to the previous namespace) is dropped instead of
-/// returned, so the pool can never serve a stale-namespace socket — even
-/// when attach races an in-flight round trip on another thread.
+/// bumps the generation; a dial that started under an older generation
+/// (its attach re-play possibly bound to the previous namespace) is
+/// discarded instead of pooled, so the pool can never serve a
+/// stale-namespace socket — even when attach races a dial on another
+/// thread.
 struct PoolState {
     generation: u64,
-    sockets: Vec<TcpStream>,
+    conns: Vec<Arc<Connection>>,
+    /// Dials in progress, counted so racing callers cannot
+    /// collectively exceed `pool_size`.
+    dialing: usize,
 }
 
 impl RemoteProvider {
@@ -107,19 +296,22 @@ impl RemoteProvider {
         })?;
         let provider = RemoteProvider {
             addr,
-            pool: Mutex::new(PoolState {
+            pool: StdMutex::new(PoolState {
                 generation: 0,
-                sockets: Vec::new(),
+                conns: Vec::new(),
+                dialing: 0,
             }),
+            pool_cv: Condvar::new(),
             opts,
             stats: StorageStats::new(),
             attached: Mutex::new(None),
         };
-        // the dial handshake (Hello) doubles as the liveness probe: a
-        // server speaking a different protocol generation is rejected
-        // here with its lossless error, never by a garbled decode later
-        let conn = provider.dial()?;
-        provider.pool.lock().sockets.push(conn);
+        // the dial handshake (Hello + the switch to pipelined framing)
+        // doubles as the liveness probe: a server speaking a different
+        // protocol generation is rejected here with its lossless error,
+        // never by a garbled decode later
+        let conn = provider.dial_conn(None)?;
+        provider.pool.lock().unwrap().conns.push(Arc::new(conn));
         Ok(provider)
     }
 
@@ -131,8 +323,9 @@ impl RemoteProvider {
     /// Client-observed wire traffic: one [`StorageStats::round_trips`]
     /// per frame exchange, request bytes in
     /// [`StorageStats::bytes_written`], response bytes in
-    /// [`StorageStats::bytes_read`] (frame headers included). The
-    /// numbers the round-trip-elimination claims are asserted against.
+    /// [`StorageStats::bytes_read`] (frame headers and correlation ids
+    /// included). The numbers the round-trip-elimination claims are
+    /// asserted against.
     pub fn stats(&self) -> &StorageStats {
         &self.stats
     }
@@ -173,21 +366,31 @@ impl RemoteProvider {
     /// After a successful attach every provider method, offloaded query
     /// and loader built on this client resolves against that dataset's
     /// namespace — the layers above notice nothing. Pooled sockets bound
-    /// to the previous namespace are dropped; fresh dials re-play the
+    /// to the previous namespace are retired (requests already in flight
+    /// on them finish, then the sockets close); fresh dials re-play the
     /// attach during their handshake.
     pub fn attach(&self, dataset: &str) -> Result<(), StorageError> {
-        let mut stream = self
-            .dial_handshake()
-            .map_err(|e| StorageError::Io(format!("remote dial {}: {e}", self.addr)))?;
+        let dial_err =
+            |e: std::io::Error| StorageError::Io(format!("remote dial {}: {e}", self.addr));
+        let mut stream = self.dial_handshake().map_err(dial_err)?;
+        // the attach error stays typed (NotFound for an unknown name)
         Self::attach_on(&mut stream, dataset)?;
+        let conn = self.finish_conn(stream).map_err(dial_err)?;
         *self.attached.lock() = Some(dataset.to_string());
-        let mut pool = self.pool.lock();
-        // old sockets answer for the old namespace: drop them, and bump
-        // the generation so one checked out by a concurrent round trip
-        // is dropped on return instead of re-pooled
-        pool.generation += 1;
-        pool.sockets.clear();
-        pool.sockets.push(stream);
+        let stale = {
+            let mut pool = self.pool.lock().unwrap();
+            // old sockets answer for the old namespace: retire them, and
+            // bump the generation so a dial that raced this attach is
+            // discarded instead of pooled
+            pool.generation += 1;
+            let stale = std::mem::take(&mut pool.conns);
+            pool.conns.push(Arc::new(conn));
+            stale
+        };
+        self.pool_cv.notify_all();
+        // exchanges still in flight on retired sockets hold their own
+        // Arcs and finish normally; each socket closes with its last one
+        drop(stale);
         Ok(())
     }
 
@@ -234,37 +437,8 @@ impl RemoteProvider {
         proto::expect_unit(&resp)
     }
 
-    /// Open a socket and negotiate the protocol version (the `Hello`
-    /// handshake). Handshake frames are connection setup — like the TCP
-    /// handshake itself they are not recorded in [`RemoteProvider::stats`]
-    /// and pay no injected latency.
-    fn dial_handshake(&self) -> std::io::Result<TcpStream> {
-        let mut stream = TcpStream::connect(self.addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(self.opts.read_timeout)?;
-        // a server that stops draining must not hang the caller forever
-        stream.set_write_timeout(self.opts.read_timeout)?;
-        let hello = proto::encode_request(&Request::Hello {
-            version: proto::PROTO_VERSION,
-        });
-        proto::write_frame(&mut stream, &hello)?;
-        match proto::read_frame(&mut stream)? {
-            Some(resp) => {
-                proto::expect_hello(&resp).map_err(|e| {
-                    std::io::Error::new(std::io::ErrorKind::ConnectionRefused, e.to_string())
-                })?;
-            }
-            None => {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::ConnectionRefused,
-                    "server closed during version negotiation",
-                ))
-            }
-        }
-        Ok(stream)
-    }
-
-    /// One attach exchange on an already-negotiated socket.
+    /// One attach exchange on a socket still in untagged (handshake)
+    /// framing.
     fn attach_on(stream: &mut TcpStream, dataset: &str) -> Result<(), StorageError> {
         let io_err = |e: std::io::Error| StorageError::Io(format!("remote attach: {e}"));
         let payload = proto::encode_request(&Request::Attach {
@@ -279,23 +453,149 @@ impl RemoteProvider {
         }
     }
 
-    /// Dial + handshake + (if this client is attached) re-play the
-    /// attach, so every pooled socket answers for the same namespace.
-    fn dial(&self) -> std::io::Result<TcpStream> {
+    /// Dial one pipelined connection: negotiate the protocol version
+    /// (`Hello`), re-play the attach for `namespace`, switch the stream
+    /// to correlation-id framing (`Pipeline`), and start its demux
+    /// thread. Handshake frames are connection setup — like the TCP
+    /// handshake itself they are not recorded in
+    /// [`RemoteProvider::stats`] and pay no injected latency.
+    fn dial_conn(&self, namespace: Option<&str>) -> std::io::Result<Connection> {
         let mut stream = self.dial_handshake()?;
-        let attached = self.attached.lock().clone();
-        if let Some(dataset) = attached {
-            Self::attach_on(&mut stream, &dataset).map_err(|e| {
+        if let Some(dataset) = namespace {
+            Self::attach_on(&mut stream, dataset).map_err(|e| {
                 std::io::Error::new(std::io::ErrorKind::ConnectionRefused, e.to_string())
             })?;
         }
+        self.finish_conn(stream)
+    }
+
+    /// Open a socket and negotiate the protocol version (the `Hello`
+    /// exchange). The stream is still in untagged framing.
+    fn dial_handshake(&self) -> std::io::Result<TcpStream> {
+        let refused = |e: String| std::io::Error::new(std::io::ErrorKind::ConnectionRefused, e);
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.opts.read_timeout)?;
+        // a server that stops draining must not hang the caller forever
+        stream.set_write_timeout(self.opts.read_timeout)?;
+        let hello = proto::encode_request(&Request::Hello {
+            version: proto::PROTO_VERSION,
+        });
+        proto::write_frame(&mut stream, &hello)?;
+        match proto::read_frame(&mut stream)? {
+            Some(resp) => {
+                proto::expect_hello(&resp).map_err(|e| refused(e.to_string()))?;
+            }
+            None => return Err(refused("server closed during version negotiation".into())),
+        }
         Ok(stream)
+    }
+
+    /// Switch a negotiated (and, if needed, attached) stream to
+    /// correlation-id framing and start its demux thread.
+    fn finish_conn(&self, mut stream: TcpStream) -> std::io::Result<Connection> {
+        let refused = |e: String| std::io::Error::new(std::io::ErrorKind::ConnectionRefused, e);
+        // the acknowledgement is the last untagged frame this socket
+        // carries
+        proto::write_frame(&mut stream, &proto::encode_request(&Request::Pipeline))?;
+        match proto::read_frame(&mut stream)? {
+            Some(resp) => proto::expect_unit(&resp).map_err(|e| refused(e.to_string()))?,
+            None => return Err(refused("server closed during pipeline handshake".into())),
+        }
+        let demux = Arc::new(DemuxShared {
+            slots: StdMutex::new(DemuxState {
+                waiting: HashMap::new(),
+                error: None,
+            }),
+            cv: Condvar::new(),
+            dead: AtomicBool::new(false),
+            read_timeout: self.opts.read_timeout,
+        });
+        let read_half = stream.try_clone()?;
+        let sock = stream.try_clone()?;
+        let shared = demux.clone();
+        std::thread::spawn(move || demux_loop(read_half, shared));
+        Ok(Connection {
+            write: StdMutex::new(stream),
+            sock,
+            demux,
+            inflight: AtomicUsize::new(0),
+            next_id: AtomicU64::new(0),
+        })
+    }
+
+    /// Check out a connection with a reserved in-flight slot: the live
+    /// socket with the fewest in-flight requests below the cap, else a
+    /// fresh dial while the pool is below `pool_size`, else wait for a
+    /// slot to free.
+    fn checkout(&self) -> Result<Arc<Connection>, StorageError> {
+        let cap = self.opts.max_inflight_per_socket.max(1);
+        let pool_size = self.opts.pool_size.max(1);
+        let mut pool = self.pool.lock().unwrap();
+        loop {
+            pool.conns.retain(|c| !c.demux.dead.load(Ordering::Acquire));
+            let mut best: Option<(usize, usize)> = None;
+            for (i, conn) in pool.conns.iter().enumerate() {
+                let n = conn.inflight.load(Ordering::Relaxed);
+                if n < cap && best.is_none_or(|(_, bn)| n < bn) {
+                    best = Some((i, n));
+                }
+            }
+            if let Some((i, _)) = best {
+                let conn = pool.conns[i].clone();
+                // reserved under the pool lock: increments race only
+                // with decrements, so the cap cannot be oversubscribed
+                conn.inflight.fetch_add(1, Ordering::AcqRel);
+                return Ok(conn);
+            }
+            if pool.conns.len() + pool.dialing < pool_size {
+                pool.dialing += 1;
+                let generation = pool.generation;
+                drop(pool);
+                let namespace = self.attached.lock().clone();
+                let dialed = self.dial_conn(namespace.as_deref());
+                pool = self.pool.lock().unwrap();
+                pool.dialing -= 1;
+                match dialed {
+                    Ok(conn) => {
+                        if pool.generation == generation {
+                            let conn = Arc::new(conn);
+                            conn.inflight.fetch_add(1, Ordering::AcqRel);
+                            pool.conns.push(conn.clone());
+                            drop(pool);
+                            self.pool_cv.notify_all();
+                            return Ok(conn);
+                        }
+                        // an attach swapped namespaces while we dialed:
+                        // this socket may answer for the old one — drop
+                        // it and start over
+                        continue;
+                    }
+                    Err(e) => {
+                        drop(pool);
+                        // a dial slot freed up: wake queued callers
+                        self.pool_cv.notify_all();
+                        return Err(StorageError::Io(format!("remote dial {}: {e}", self.addr)));
+                    }
+                }
+            }
+            // every socket is at its in-flight cap and the pool is full:
+            // queue until a slot frees (release() notifies)
+            pool = self.pool_cv.wait(pool).unwrap();
+        }
+    }
+
+    /// Return a checked-out in-flight slot and wake queued callers.
+    fn release(&self, conn: &Connection) {
+        conn.inflight.fetch_sub(1, Ordering::AcqRel);
+        self.pool_cv.notify_all();
     }
 
     /// One exchange with automatic, bounded retry of `Busy` rejections.
     /// A `Busy` frame means the hub did **not** execute the request (the
     /// response slot was answered from the reader stage), so resending
-    /// is always safe; attempt `n` backs off `n × busy_backoff` first.
+    /// is always safe — the retry is a fresh exchange under a fresh
+    /// correlation id; attempt `n` backs off `n × busy_backoff` first.
     /// When retries are exhausted the [`StorageError::Busy`] surfaces
     /// through the response decoders so callers can apply their own
     /// policy.
@@ -315,34 +615,20 @@ impl RemoteProvider {
         }
     }
 
-    /// One request/response exchange: check a socket out, frame the
-    /// request, read the response, account the traffic, pay any injected
-    /// latency, return the socket. An erroring socket is dropped.
+    /// One request/response exchange over a pipelined connection:
+    /// reserve an in-flight slot, register a response waiter under a
+    /// fresh correlation id, write the tagged frame, park until the
+    /// demux thread delivers the response, account the traffic, pay any
+    /// injected latency.
     fn round_trip_once(&self, payload: &[u8]) -> Result<Vec<u8>, StorageError> {
-        let (generation, pooled) = {
-            let mut pool = self.pool.lock();
-            (pool.generation, pool.sockets.pop())
-        };
-        let mut conn = match pooled {
-            Some(conn) => conn,
-            None => self
-                .dial()
-                .map_err(|e| StorageError::Io(format!("remote dial {}: {e}", self.addr)))?,
-        };
-        let outcome = (|| {
-            proto::write_frame(&mut conn, payload)?;
-            match proto::read_frame(&mut conn)? {
-                Some(resp) => Ok(resp),
-                None => Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "server closed the connection",
-                )),
-            }
-        })();
+        let conn = self.checkout()?;
+        let outcome = exchange(&conn, payload);
+        self.release(&conn);
         match outcome {
             Ok(resp) => {
-                let sent = payload.len() as u64 + 4;
-                let received = resp.len() as u64 + 4;
+                // +4 frame header, +8 correlation id, both directions
+                let sent = payload.len() as u64 + 12;
+                let received = resp.len() as u64 + 12;
                 self.stats.record_wire(sent, received);
                 if let Some(profile) = &self.opts.latency {
                     let cost = profile.get_cost(sent + received);
@@ -350,22 +636,57 @@ impl RemoteProvider {
                         std::thread::sleep(cost);
                     }
                 }
-                let mut pool = self.pool.lock();
-                // a generation bump while we were in flight means this
-                // socket may be bound to the previous namespace: drop it
-                if pool.generation == generation && pool.sockets.len() < self.opts.pool_size {
-                    pool.sockets.push(conn);
-                }
                 Ok(resp)
             }
-            Err(e) => {
-                // the socket is in an unknown framing state: drop it
-                Err(StorageError::Io(format!(
-                    "remote transport {}: {e}",
-                    self.addr
-                )))
-            }
+            Err(e) => Err(StorageError::Io(format!(
+                "remote transport {}: {e}",
+                self.addr
+            ))),
         }
+    }
+}
+
+/// The pipelined exchange on an already checked-out connection.
+fn exchange(conn: &Connection, payload: &[u8]) -> std::io::Result<Vec<u8>> {
+    let id = conn.next_id.fetch_add(1, Ordering::Relaxed);
+    {
+        let mut slots = conn.demux.slots.lock().unwrap();
+        if let Some(msg) = &slots.error {
+            return Err(std::io::Error::other(msg.clone()));
+        }
+        // registered before the write, so the response cannot slip past
+        // the demux before anyone waits for it
+        slots.waiting.insert(
+            id,
+            Waiter {
+                resp: None,
+                sent_at: Instant::now(),
+            },
+        );
+    }
+    let written = {
+        let mut w = conn.write.lock().unwrap();
+        proto::write_frame(&mut *w, &proto::tag_request(id, payload))
+    };
+    if let Err(e) = written {
+        // a partial frame may be on the wire: the stream cannot carry
+        // another request, so fail the whole connection losslessly
+        conn.demux.fail(format!("request write failed: {e}"));
+        let _ = conn.sock.shutdown(Shutdown::Both);
+        conn.demux.slots.lock().unwrap().waiting.remove(&id);
+        return Err(e);
+    }
+    let mut slots = conn.demux.slots.lock().unwrap();
+    loop {
+        if let Some(resp) = slots.waiting.get_mut(&id).and_then(|w| w.resp.take()) {
+            slots.waiting.remove(&id);
+            return Ok(resp);
+        }
+        if let Some(msg) = slots.error.clone() {
+            slots.waiting.remove(&id);
+            return Err(std::io::Error::other(msg));
+        }
+        slots = conn.demux.cv.wait(slots).unwrap();
     }
 }
 

@@ -18,10 +18,17 @@
 //! ```text
 //! loader / TQL / Dataset               DatasetServer (= hub facade)
 //!        │                                   │
-//!   RemoteProvider ──one frame──▶ reader → worker pool ──▶ mounted provider
-//!        ▲                                   │ result cache   (coalesce,
-//!        └────────one frame──────────────────┘                 parallelize)
+//!   RemoteProvider ──one frame──▶ event loop → worker pool ──▶ mounted
+//!        ▲              (epoll, all conns)   │ result cache     provider
+//!        └────────one frame──────────────────┘              (coalesce,
+//!                                                          parallelize)
 //! ```
+//!
+//! Since PR 7 the reader tier is a fixed pool of nonblocking event
+//! loops ([`ServerOptions::reader_threads`], 1–2 threads multiplexing
+//! every connection), so accepting thousands of clients adds file
+//! descriptors, not threads; clients pipeline many tagged requests
+//! over each socket.
 //!
 //! Two round-trip eliminations make serving practical:
 //!

@@ -1,0 +1,820 @@
+//! Offline stand-in for `polling`.
+//!
+//! Readiness multiplexing for the serving tier: one thread watches
+//! thousands of sockets and wakes only when one of them can make
+//! progress. Two backends behind one API:
+//!
+//! * [`Backend::Epoll`] — `epoll(7)`, Linux only. O(ready) wakeups;
+//!   the default on Linux.
+//! * [`Backend::Poll`] — portable `poll(2)`. O(registered) per wait,
+//!   fine for modest fd counts and as the fallback everywhere else.
+//!
+//! Both are **level-triggered**: an fd that is still readable keeps
+//! reporting readable, so a caller may consume as little as it likes
+//! per wakeup (no starvation bookkeeping). Each [`Poller`] also owns a
+//! self-pipe *waker*: [`Poller::notify`] is safe from any thread and
+//! makes a concurrent or future [`Poller::wait`] return immediately —
+//! the primitive that lets shutdown and cross-thread handoff be
+//! event-driven instead of poll-ticked.
+//!
+//! The syscall bindings are declared directly against the platform libc
+//! (this workspace has no `libc` crate); everything above them is safe.
+//!
+//! ```no_run
+//! use polling::{Event, Interest, Poller};
+//! use std::net::TcpListener;
+//! use std::os::fd::AsRawFd;
+//!
+//! let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+//! listener.set_nonblocking(true).unwrap();
+//! let poller = Poller::new().unwrap();
+//! poller.add(listener.as_raw_fd(), 1, Interest::READ).unwrap();
+//! let mut events = Vec::new();
+//! poller.wait(&mut events, None).unwrap();
+//! assert_eq!(events[0].key, 1);
+//! ```
+
+#![cfg(unix)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Key the internal self-pipe waker is registered under; never reported
+/// to callers, and rejected by [`Poller::add`].
+pub const WAKER_KEY: u64 = u64::MAX;
+
+/// What a registration wants to be woken for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or closed/errored).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Registered but dormant (no wakeups until modified).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness notification. Error/hang-up conditions are folded into
+/// `readable`/`writable` so the caller performs the I/O and observes the
+/// failure through the normal error path.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The key the fd was registered under.
+    pub key: u64,
+    /// The fd can be read (data, EOF, or a pending error).
+    pub readable: bool,
+    /// The fd can be written.
+    pub writable: bool,
+}
+
+/// Which multiplexing syscall a [`Poller`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// `epoll(7)` — Linux only, O(ready) wakeups.
+    Epoll,
+    /// `poll(2)` — portable, O(registered) per wait.
+    Poll,
+}
+
+impl Backend {
+    /// The preferred backend for this platform (epoll on Linux).
+    pub fn platform_default() -> Backend {
+        if cfg!(target_os = "linux") {
+            Backend::Epoll
+        } else {
+            Backend::Poll
+        }
+    }
+}
+
+enum Inner {
+    #[cfg(target_os = "linux")]
+    Epoll(epoll::EpollPoller),
+    Poll(pollfd::PollPoller),
+}
+
+/// A readiness poller: register fds under `u64` keys, then [`wait`]
+/// for events. `add`/`modify`/`remove`/`notify` are callable from any
+/// thread; `wait` is intended for one owning loop thread (concurrent
+/// waiters would steal each other's events).
+///
+/// [`wait`]: Poller::wait
+pub struct Poller {
+    inner: Inner,
+    waker: Waker,
+    /// Coalesces notifies: at most one waker byte is in flight.
+    notified: AtomicBool,
+}
+
+impl Poller {
+    /// A poller on the platform's preferred backend.
+    pub fn new() -> io::Result<Poller> {
+        Self::with_backend(Backend::platform_default())
+    }
+
+    /// A poller on an explicit backend. Requesting [`Backend::Epoll`]
+    /// off Linux is an `Unsupported` error.
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        let waker = Waker::new()?;
+        let inner = match backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll => Inner::Epoll(epoll::EpollPoller::new()?),
+            #[cfg(not(target_os = "linux"))]
+            Backend::Epoll => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "epoll is Linux-only; use Backend::Poll",
+                ))
+            }
+            Backend::Poll => Inner::Poll(pollfd::PollPoller::new()),
+        };
+        let poller = Poller {
+            inner,
+            waker,
+            notified: AtomicBool::new(false),
+        };
+        poller.add_impl(poller.waker.read_fd, WAKER_KEY, Interest::READ)?;
+        Ok(poller)
+    }
+
+    /// Which backend this poller runs on.
+    pub fn backend(&self) -> Backend {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(_) => Backend::Epoll,
+            Inner::Poll(_) => Backend::Poll,
+        }
+    }
+
+    /// Register `fd` under `key`. The fd should be nonblocking; the
+    /// poller never performs I/O on it. `key` must not be [`WAKER_KEY`].
+    pub fn add(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+        if key == WAKER_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key u64::MAX is reserved for the poller's waker",
+            ));
+        }
+        self.add_impl(fd, key, interest)
+    }
+
+    fn add_impl(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(e) => e.add(fd, key, interest),
+            Inner::Poll(p) => p.add(fd, key, interest),
+        }
+    }
+
+    /// Change the interest (and/or key) of a registered fd.
+    pub fn modify(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+        if key == WAKER_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key u64::MAX is reserved for the poller's waker",
+            ));
+        }
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(e) => e.modify(fd, key, interest),
+            Inner::Poll(p) => p.modify(fd, key, interest),
+        }
+    }
+
+    /// Deregister `fd`. Always call before closing the fd — a closed fd
+    /// silently vanishes from epoll but would poison a `poll(2)` set.
+    pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(e) => e.remove(fd),
+            Inner::Poll(p) => p.remove(fd),
+        }
+    }
+
+    /// Block until at least one registered fd is ready, `timeout`
+    /// elapses (`None` = forever), or [`Poller::notify`] is called.
+    /// Ready events are appended to `events` (which is cleared first);
+    /// returns the number delivered. A waker wakeup or a signal
+    /// delivers zero events — callers should treat `Ok(0)` as "re-check
+    /// state", not as an error.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let woke = match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(e) => e.wait(events, timeout)?,
+            Inner::Poll(p) => p.wait(events, timeout)?,
+        };
+        if woke {
+            // reset-then-drain: a notify landing after the reset writes a
+            // fresh byte, so it can never be lost between drain and reset
+            self.notified.store(false, Ordering::SeqCst);
+            self.waker.drain();
+        }
+        Ok(events.len())
+    }
+
+    /// Wake a concurrent or future [`Poller::wait`]. Callable from any
+    /// thread; repeated notifies before the next wait coalesce into one
+    /// wakeup.
+    pub fn notify(&self) -> io::Result<()> {
+        if !self.notified.swap(true, Ordering::SeqCst) {
+            self.waker.wake()?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// self-pipe waker
+// ---------------------------------------------------------------------
+
+struct Waker {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl Waker {
+    fn new() -> io::Result<Waker> {
+        let mut fds = [0 as sys::c_int; 2];
+        if unsafe { sys::pipe(fds.as_mut_ptr()) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        for fd in fds {
+            sys::set_nonblocking_cloexec(fd)?;
+        }
+        Ok(Waker {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        })
+    }
+
+    fn wake(&self) -> io::Result<()> {
+        let byte = 1u8;
+        let n = unsafe { sys::write(self.write_fd, (&byte as *const u8).cast(), 1) };
+        // a full pipe already guarantees the wakeup; any other failure
+        // would leave a waiter asleep and must surface
+        if n == 1 || io::Error::last_os_error().kind() == io::ErrorKind::WouldBlock {
+            Ok(())
+        } else {
+            Err(io::Error::last_os_error())
+        }
+    }
+
+    fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { sys::read(self.read_fd, buf.as_mut_ptr().cast(), buf.len()) };
+            if n <= 0 {
+                return; // empty (EAGAIN), EOF, or a transient error
+            }
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.read_fd);
+            sys::close(self.write_fd);
+        }
+    }
+}
+
+/// Clamp a timeout to the millisecond `c_int` the syscalls take,
+/// rounding a sub-millisecond wait *up* so it cannot busy-spin.
+fn timeout_ms(timeout: Option<Duration>) -> sys::c_int {
+    match timeout {
+        None => -1,
+        Some(d) if d.is_zero() => 0,
+        Some(d) => {
+            let ms = d.as_millis().max(1);
+            ms.min(i32::MAX as u128) as sys::c_int
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// epoll backend (Linux)
+// ---------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::{sys, timeout_ms, Event, Interest, WAKER_KEY};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    pub(crate) struct EpollPoller {
+        epfd: RawFd,
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = 0;
+        if interest.readable {
+            m |= sys::EPOLLIN;
+        }
+        if interest.writable {
+            m |= sys::EPOLLOUT;
+        }
+        m
+    }
+
+    impl EpollPoller {
+        pub(crate) fn new() -> io::Result<EpollPoller> {
+            let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(EpollPoller { epfd })
+        }
+
+        fn ctl(&self, op: sys::c_int, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = sys::epoll_event {
+                events: mask(interest),
+                data: key,
+            };
+            if unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(crate) fn add(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(sys::EPOLL_CTL_ADD, fd, key, interest)
+        }
+
+        pub(crate) fn modify(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(sys::EPOLL_CTL_MOD, fd, key, interest)
+        }
+
+        pub(crate) fn remove(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(sys::EPOLL_CTL_DEL, fd, 0, Interest::NONE)
+        }
+
+        /// Returns whether the waker fired.
+        pub(crate) fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<bool> {
+            let mut buf = [sys::epoll_event { events: 0, data: 0 }; 256];
+            let n = unsafe {
+                sys::epoll_wait(
+                    self.epfd,
+                    buf.as_mut_ptr(),
+                    buf.len() as sys::c_int,
+                    timeout_ms(timeout),
+                )
+            };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(false); // spurious wake; caller re-checks
+                }
+                return Err(e);
+            }
+            let mut woke = false;
+            for ev in buf.iter().take(n as usize) {
+                // copy out of the (packed) event before matching
+                let (bits, key) = (ev.events, ev.data);
+                if key == WAKER_KEY {
+                    woke = true;
+                    continue;
+                }
+                let failed = bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0;
+                events.push(Event {
+                    key,
+                    readable: bits & sys::EPOLLIN != 0 || failed,
+                    writable: bits & sys::EPOLLOUT != 0 || failed,
+                });
+            }
+            Ok(woke)
+        }
+    }
+
+    impl Drop for EpollPoller {
+        fn drop(&mut self) {
+            unsafe {
+                sys::close(self.epfd);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// poll(2) backend (portable)
+// ---------------------------------------------------------------------
+
+mod pollfd {
+    use super::{sys, timeout_ms, Event, Interest, WAKER_KEY};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    pub(crate) struct PollPoller {
+        registered: Mutex<HashMap<RawFd, (u64, Interest)>>,
+    }
+
+    impl PollPoller {
+        pub(crate) fn new() -> PollPoller {
+            PollPoller {
+                registered: Mutex::new(HashMap::new()),
+            }
+        }
+
+        pub(crate) fn add(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+            let mut reg = self.registered.lock().unwrap();
+            if reg.contains_key(&fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    format!("fd {fd} is already registered"),
+                ));
+            }
+            reg.insert(fd, (key, interest));
+            Ok(())
+        }
+
+        pub(crate) fn modify(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+            match self.registered.lock().unwrap().get_mut(&fd) {
+                Some(slot) => {
+                    *slot = (key, interest);
+                    Ok(())
+                }
+                None => Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("fd {fd} is not registered"),
+                )),
+            }
+        }
+
+        pub(crate) fn remove(&self, fd: RawFd) -> io::Result<()> {
+            match self.registered.lock().unwrap().remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("fd {fd} is not registered"),
+                )),
+            }
+        }
+
+        /// Returns whether the waker fired.
+        pub(crate) fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<bool> {
+            // snapshot under the lock, poll outside it, so add/modify
+            // from other threads (followed by notify) never deadlock
+            let (mut fds, keys): (Vec<sys::pollfd>, Vec<u64>) = {
+                let reg = self.registered.lock().unwrap();
+                let mut fds = Vec::with_capacity(reg.len());
+                let mut keys = Vec::with_capacity(reg.len());
+                for (&fd, &(key, interest)) in reg.iter() {
+                    let mut ev: sys::c_short = 0;
+                    if interest.readable {
+                        ev |= sys::POLLIN;
+                    }
+                    if interest.writable {
+                        ev |= sys::POLLOUT;
+                    }
+                    fds.push(sys::pollfd {
+                        fd,
+                        events: ev,
+                        revents: 0,
+                    });
+                    keys.push(key);
+                }
+                (fds, keys)
+            };
+            let n = unsafe {
+                sys::poll(
+                    fds.as_mut_ptr(),
+                    fds.len() as sys::nfds_t,
+                    timeout_ms(timeout),
+                )
+            };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(false);
+                }
+                return Err(e);
+            }
+            let mut woke = false;
+            for (slot, &key) in fds.iter().zip(&keys) {
+                if slot.revents == 0 {
+                    continue;
+                }
+                if key == WAKER_KEY {
+                    woke = true;
+                    continue;
+                }
+                let failed = slot.revents & (sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0;
+                events.push(Event {
+                    key,
+                    readable: slot.revents & sys::POLLIN != 0 || failed,
+                    writable: slot.revents & sys::POLLOUT != 0 || failed,
+                });
+            }
+            Ok(woke)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// libc bindings (no libc crate in this offline workspace)
+// ---------------------------------------------------------------------
+
+#[allow(non_camel_case_types)]
+mod sys {
+    pub(crate) use std::os::raw::{c_int, c_short, c_void};
+
+    #[cfg(target_os = "linux")]
+    pub(crate) type nfds_t = std::os::raw::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    pub(crate) type nfds_t = std::os::raw::c_uint;
+
+    // fcntl(2)
+    const F_GETFL: c_int = 3;
+    const F_SETFL: c_int = 4;
+    const F_SETFD: c_int = 2;
+    const FD_CLOEXEC: c_int = 1;
+    #[cfg(target_os = "linux")]
+    const O_NONBLOCK: c_int = 0x800;
+    #[cfg(not(target_os = "linux"))]
+    const O_NONBLOCK: c_int = 0x4;
+
+    // epoll(7)
+    #[cfg(target_os = "linux")]
+    pub(crate) const EPOLL_CLOEXEC: c_int = 0x80000;
+    #[cfg(target_os = "linux")]
+    pub(crate) const EPOLL_CTL_ADD: c_int = 1;
+    #[cfg(target_os = "linux")]
+    pub(crate) const EPOLL_CTL_DEL: c_int = 2;
+    #[cfg(target_os = "linux")]
+    pub(crate) const EPOLL_CTL_MOD: c_int = 3;
+    #[cfg(target_os = "linux")]
+    pub(crate) const EPOLLIN: u32 = 0x1;
+    #[cfg(target_os = "linux")]
+    pub(crate) const EPOLLOUT: u32 = 0x4;
+    #[cfg(target_os = "linux")]
+    pub(crate) const EPOLLERR: u32 = 0x8;
+    #[cfg(target_os = "linux")]
+    pub(crate) const EPOLLHUP: u32 = 0x10;
+
+    // poll(2)
+    pub(crate) const POLLIN: c_short = 0x1;
+    pub(crate) const POLLOUT: c_short = 0x4;
+    pub(crate) const POLLERR: c_short = 0x8;
+    pub(crate) const POLLHUP: c_short = 0x10;
+    pub(crate) const POLLNVAL: c_short = 0x20;
+
+    /// Mirror of the kernel's `struct epoll_event`; packed on x86_64
+    /// (the one ABI where the kernel declares it so).
+    #[cfg(target_os = "linux")]
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub(crate) struct epoll_event {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    /// Mirror of `struct pollfd`.
+    #[repr(C)]
+    pub(crate) struct pollfd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    extern "C" {
+        #[cfg(target_os = "linux")]
+        pub(crate) fn epoll_create1(flags: c_int) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub(crate) fn epoll_ctl(
+            epfd: c_int,
+            op: c_int,
+            fd: c_int,
+            event: *mut epoll_event,
+        ) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub(crate) fn epoll_wait(
+            epfd: c_int,
+            events: *mut epoll_event,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub(crate) fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+        pub(crate) fn pipe(fds: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        pub(crate) fn close(fd: c_int) -> c_int;
+        pub(crate) fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub(crate) fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+
+    /// Make an fd nonblocking and close-on-exec.
+    pub(crate) fn set_nonblocking_cloexec(fd: c_int) -> std::io::Result<()> {
+        unsafe {
+            let flags = fcntl(fd, F_GETFL, 0);
+            if flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+            if fcntl(fd, F_SETFD, FD_CLOEXEC) < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Instant;
+
+    fn backends() -> Vec<Backend> {
+        if cfg!(target_os = "linux") {
+            vec![Backend::Epoll, Backend::Poll]
+        } else {
+            vec![Backend::Poll]
+        }
+    }
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_when_data_arrives() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let (mut tx, rx) = pair();
+            rx.set_nonblocking(true).unwrap();
+            poller.add(rx.as_raw_fd(), 7, Interest::READ).unwrap();
+            let mut events = Vec::new();
+            // nothing yet: times out with no events
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.is_empty(), "{backend:?}");
+            tx.write_all(b"x").unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{backend:?}");
+            assert_eq!(events[0].key, 7);
+            assert!(events[0].readable);
+        }
+    }
+
+    #[test]
+    fn interest_changes_apply() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let (mut tx, rx) = pair();
+            rx.set_nonblocking(true).unwrap();
+            poller.add(rx.as_raw_fd(), 1, Interest::NONE).unwrap();
+            tx.write_all(b"x").unwrap();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert!(events.is_empty(), "{backend:?}: dormant fd must not wake");
+            poller.modify(rx.as_raw_fd(), 1, Interest::BOTH).unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{backend:?}");
+            assert!(events[0].readable && events[0].writable);
+            poller.remove(rx.as_raw_fd()).unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.is_empty(), "{backend:?}: removed fd must not wake");
+        }
+    }
+
+    #[test]
+    fn hangup_reports_readable() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let (tx, rx) = pair();
+            rx.set_nonblocking(true).unwrap();
+            poller.add(rx.as_raw_fd(), 3, Interest::READ).unwrap();
+            drop(tx);
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{backend:?}");
+            assert!(events[0].readable, "hang-up folds into readable");
+            let mut buf = [0u8; 1];
+            let mut rx = rx;
+            assert_eq!(rx.read(&mut buf).unwrap(), 0, "reads as EOF");
+        }
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait_from_another_thread() {
+        for backend in backends() {
+            let poller = std::sync::Arc::new(Poller::with_backend(backend).unwrap());
+            let waker = poller.clone();
+            let start = Instant::now();
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                waker.notify().unwrap();
+            });
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(30)))
+                .unwrap();
+            handle.join().unwrap();
+            assert!(events.is_empty(), "waker delivers no caller event");
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "{backend:?}: notify must cut the 30 s timeout short"
+            );
+        }
+    }
+
+    #[test]
+    fn notifies_coalesce_and_do_not_stack() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            for _ in 0..1000 {
+                poller.notify().unwrap();
+            }
+            let mut events = Vec::new();
+            // the burst collapses into (at most a few) immediate wakeups,
+            // after which waits block again
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            let start = Instant::now();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(40)))
+                .unwrap();
+            assert!(
+                start.elapsed() >= Duration::from_millis(30),
+                "{backend:?}: stale notifies must not keep waking"
+            );
+        }
+    }
+
+    #[test]
+    fn waker_key_is_reserved() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let (_tx, rx) = pair();
+            assert!(poller
+                .add(rx.as_raw_fd(), WAKER_KEY, Interest::READ)
+                .is_err());
+            assert!(poller
+                .modify(rx.as_raw_fd(), WAKER_KEY, Interest::READ)
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn epoll_is_the_linux_default() {
+        assert_eq!(
+            Poller::new().unwrap().backend(),
+            Backend::platform_default()
+        );
+        if cfg!(target_os = "linux") {
+            assert_eq!(Backend::platform_default(), Backend::Epoll);
+        }
+    }
+}

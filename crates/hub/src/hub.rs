@@ -527,15 +527,18 @@ impl HubBuilder {
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
+        // loop 0 keeps the listener instance whose fd was registered
+        // above — a clone would drop the registered fd number, breaking
+        // the poll(2) backend (POLLNVAL spin, fd-number reuse clashes)
+        let mut listener = Some(listener);
         let mut readers = Vec::with_capacity(n_loops);
         for idx in 0..n_loops {
             let shared = shared.clone();
-            let listener = (idx == 0).then(|| listener.try_clone()).transpose()?;
+            let listener = if idx == 0 { listener.take() } else { None };
             readers.push(std::thread::spawn(move || {
                 event_loop(&shared, idx, listener);
             }));
         }
-        drop(listener);
         Ok(HubHandle {
             addr: local_addr,
             shared,
@@ -969,20 +972,25 @@ fn service(
             Err(()) => return false,
         }
     }
-    if !parse_frames(shared, conn) {
-        return false;
-    }
     let _ = writable; // flushing is unconditional: cheap no-op when empty
-    match flush_out(conn) {
-        Ok(n) => progress |= n > 0,
-        Err(()) => return false,
-    }
-    // re-parse what backpressure paused once the queue drained
-    if !parse_frames(shared, conn) {
-        return false;
-    }
-    if flush_out(conn).is_err() {
-        return false;
+                      // parse/flush until neither makes progress: flushing can drop
+                      // `buffered` below the cap, un-pausing complete frames that
+                      // backpressure left in `rbuf` with no readiness event pending to
+                      // revisit them
+    loop {
+        let unparsed = conn.rbuf.len();
+        if !parse_frames(shared, conn) {
+            return false;
+        }
+        let parsed = conn.rbuf.len() < unparsed;
+        let wrote = match flush_out(conn) {
+            Ok(n) => n > 0,
+            Err(()) => return false,
+        };
+        progress |= parsed || wrote;
+        if !parsed && !wrote {
+            break;
+        }
     }
     let (buffered, pending_empty) = {
         let out = conn.state.out.lock();

@@ -228,10 +228,14 @@ impl Poller {
             Inner::Poll(p) => p.wait(events, timeout)?,
         };
         if woke {
-            // reset-then-drain: a notify landing after the reset writes a
-            // fresh byte, so it can never be lost between drain and reset
-            self.notified.store(false, Ordering::SeqCst);
+            // drain-then-reset: a notify racing the drain coincides with
+            // a wait that is already returning (the caller re-checks
+            // state anyway), and a notify after the reset writes a byte
+            // that survives for the next wait. The reverse order can eat
+            // a byte written between reset and drain while `notified`
+            // stays true, coalescing every later notify into nothing.
             self.waker.drain();
+            self.notified.store(false, Ordering::SeqCst);
         }
         Ok(events.len())
     }

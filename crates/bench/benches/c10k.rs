@@ -70,6 +70,29 @@ fn bench_c10k(_c: &mut Criterion) {
         (report.clients * cfg.requests_per_client) as u64
     );
 
+    // the hot-path obs histogram must agree with the exact sorted-vec
+    // percentiles within the bucket error bound (exact/4 + 1 ns)
+    for (exact, bucketed, which) in [
+        (report.p50, report.p50_hist(), "p50"),
+        (report.p99, report.p99_hist(), "p99"),
+    ] {
+        let exact_ns = exact.as_nanos() as u64;
+        let hist_ns = bucketed.as_nanos() as u64;
+        assert!(
+            hist_ns.abs_diff(exact_ns) <= exact_ns / 4 + 1,
+            "c10k {which}: histogram {hist_ns}ns vs exact {exact_ns}ns exceeds bucket error"
+        );
+    }
+
+    // per-stage quantiles off the serving hub's registry, merged into
+    // the same trajectory file
+    let snap = hub.metrics();
+    let stage_ms = |name: &str, q: f64| -> f64 {
+        snap.histogram(name)
+            .map(|h| h.quantile(q) as f64 / 1e6)
+            .unwrap_or(0.0)
+    };
+
     let mut out = BenchReport::new("hub");
     out.metric("c10k_clients", report.clients as f64)
         .metric("c10k_requests_per_client", cfg.requests_per_client as f64)
@@ -82,7 +105,19 @@ fn bench_c10k(_c: &mut Criterion) {
         .metric(
             "c10k_peak_conn_buffered_bytes",
             hub.stats().peak_conn_buffered() as f64,
-        );
+        )
+        .metric("c10k_p50_hist_ms", report.p50_hist().as_secs_f64() * 1e3)
+        .metric("c10k_p99_hist_ms", report.p99_hist().as_secs_f64() * 1e3)
+        .metric(
+            "c10k_hub_queue_wait_p50_ms",
+            stage_ms("hub.queue_wait_ns", 0.50),
+        )
+        .metric(
+            "c10k_hub_queue_wait_p99_ms",
+            stage_ms("hub.queue_wait_ns", 0.99),
+        )
+        .metric("c10k_hub_flush_p50_ms", stage_ms("hub.flush_ns", 0.50))
+        .metric("c10k_hub_flush_p99_ms", stage_ms("hub.flush_ns", 0.99));
     let path = out.write_merged().expect("write BENCH_hub.json");
     eprintln!("c10k: wrote {}", path.display());
 }

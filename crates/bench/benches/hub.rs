@@ -127,6 +127,30 @@ fn bench_hub(c: &mut Criterion) {
             uncached.storage_round_trips as f64,
         )
         .metric("skewed_busy_rejections", skewed.busy_rejections as f64);
+
+    // per-stage quantiles pulled over the wire via the Metrics opcode —
+    // the same snapshot an operator would see on a live hub
+    let snap = client.hub_metrics().expect("Metrics opcode");
+    let stage_ms = |name: &str, q: f64| -> f64 {
+        snap.histogram(name)
+            .map(|h| h.quantile(q) as f64 / 1e6)
+            .unwrap_or(0.0)
+    };
+    report
+        .metric("hub_queue_wait_p50_ms", stage_ms("hub.queue_wait_ns", 0.50))
+        .metric("hub_queue_wait_p99_ms", stage_ms("hub.queue_wait_ns", 0.99))
+        .metric(
+            "hub_cache_lookup_p50_ms",
+            stage_ms("hub.cache_lookup_ns", 0.50),
+        )
+        .metric(
+            "hub_cache_lookup_p99_ms",
+            stage_ms("hub.cache_lookup_ns", 0.99),
+        )
+        .metric("hub_execute_p50_ms", stage_ms("hub.execute_ns", 0.50))
+        .metric("hub_execute_p99_ms", stage_ms("hub.execute_ns", 0.99))
+        .metric("hub_storage_p50_ms", stage_ms("hub.storage_ns", 0.50))
+        .metric("hub_storage_p99_ms", stage_ms("hub.storage_ns", 0.99));
     let path = report.write_merged().expect("write BENCH_hub.json");
     eprintln!("hub: wrote {}", path.display());
 

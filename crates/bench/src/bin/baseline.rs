@@ -8,9 +8,10 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use deeplake_bench::c10k::{run_c10k, C10kConfig};
-use deeplake_bench::BenchReport;
+use deeplake_bench::{print_metrics, BenchReport};
 use deeplake_core::dataset::{Dataset, TensorOptions};
 use deeplake_hub::{Hub, HubOptions};
+use deeplake_obs::MetricsSnapshot;
 use deeplake_remote::RemoteProvider;
 use deeplake_sim::{run_hub_queries, HubScenarioConfig};
 use deeplake_storage::{
@@ -71,6 +72,26 @@ fn main() {
     let cached_qps = REPEATS as f64 / t.elapsed().as_secs_f64();
     let repeat_rts = storage.stats().round_trips();
 
+    // per-stage quantiles straight off the live hub, over the wire via
+    // the Metrics opcode — the same snapshot an operator would pull
+    let hub_snap = client.hub_metrics().expect("Metrics opcode");
+    let stage_ms = |snap: &MetricsSnapshot, name: &str, q: f64| -> f64 {
+        snap.histogram(name)
+            .map(|h| h.quantile(q) as f64 / 1e6)
+            .unwrap_or(0.0)
+    };
+    assert!(
+        hub_snap.counter("hub.queries").unwrap_or(0) > 0,
+        "hub must have counted the offloaded queries"
+    );
+    for stage in ["hub.queue_wait_ns", "hub.execute_ns", "hub.storage_ns"] {
+        assert!(
+            hub_snap.histogram(stage).is_some_and(|h| !h.is_empty()),
+            "stage histogram {stage} must be populated after real queries"
+        );
+    }
+    print_metrics("baseline hub", &hub_snap);
+
     // the skewed multi-client scenario on ONE hub — apples-to-apples
     // with the cluster sim at fleet sizes > 1
     let skewed = run_hub_queries(&HubScenarioConfig::default());
@@ -103,6 +124,21 @@ fn main() {
     let c10k = run_c10k(c10k_hub.addr(), &c10k_cfg);
     assert_eq!(c10k.failures, 0, "C10K baseline must serve every request");
 
+    // the obs histogram must tell the same latency story as the exact
+    // sorted vector, within the bucket error bound (exact/4 + 1 ns)
+    for (exact, bucketed, which) in [
+        (c10k.p50, c10k.p50_hist(), "p50"),
+        (c10k.p99, c10k.p99_hist(), "p99"),
+    ] {
+        let exact_ns = exact.as_nanos() as u64;
+        let hist_ns = bucketed.as_nanos() as u64;
+        let bound = exact_ns / 4 + 1;
+        assert!(
+            hist_ns.abs_diff(exact_ns) <= bound,
+            "c10k {which}: histogram {hist_ns}ns vs exact {exact_ns}ns exceeds bucket error {bound}ns"
+        );
+    }
+
     let mut report = BenchReport::new("baseline");
     report
         .metric(
@@ -114,6 +150,46 @@ fn main() {
         .metric(
             "single_hub_repeat_storage_round_trips_per_query",
             repeat_rts as f64 / REPEATS as f64,
+        )
+        .metric(
+            "hub_queue_wait_p50_ms",
+            stage_ms(&hub_snap, "hub.queue_wait_ns", 0.50),
+        )
+        .metric(
+            "hub_queue_wait_p99_ms",
+            stage_ms(&hub_snap, "hub.queue_wait_ns", 0.99),
+        )
+        .metric(
+            "hub_cache_lookup_p50_ms",
+            stage_ms(&hub_snap, "hub.cache_lookup_ns", 0.50),
+        )
+        .metric(
+            "hub_cache_lookup_p99_ms",
+            stage_ms(&hub_snap, "hub.cache_lookup_ns", 0.99),
+        )
+        .metric(
+            "hub_execute_p50_ms",
+            stage_ms(&hub_snap, "hub.execute_ns", 0.50),
+        )
+        .metric(
+            "hub_execute_p99_ms",
+            stage_ms(&hub_snap, "hub.execute_ns", 0.99),
+        )
+        .metric(
+            "hub_storage_p50_ms",
+            stage_ms(&hub_snap, "hub.storage_ns", 0.50),
+        )
+        .metric(
+            "hub_storage_p99_ms",
+            stage_ms(&hub_snap, "hub.storage_ns", 0.99),
+        )
+        .metric(
+            "hub_flush_p50_ms",
+            stage_ms(&hub_snap, "hub.flush_ns", 0.50),
+        )
+        .metric(
+            "hub_flush_p99_ms",
+            stage_ms(&hub_snap, "hub.flush_ns", 0.99),
         )
         .metric("skewed_hub_cache_hit_ratio", skewed.cache_hit_ratio)
         .metric(
@@ -130,6 +206,8 @@ fn main() {
         .metric("c10k_queries_per_sec", c10k.queries_per_sec())
         .metric("c10k_p50_ms", c10k.p50.as_secs_f64() * 1e3)
         .metric("c10k_p99_ms", c10k.p99.as_secs_f64() * 1e3)
+        .metric("c10k_p50_hist_ms", c10k.p50_hist().as_secs_f64() * 1e3)
+        .metric("c10k_p99_hist_ms", c10k.p99_hist().as_secs_f64() * 1e3)
         .metric("c10k_busy_retries", c10k.busy_retries as f64)
         .metric(
             "c10k_peak_conn_buffered_bytes",

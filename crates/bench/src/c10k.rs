@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 
 use polling::{Event, Interest, Poller};
 
+use deeplake_obs::{Histogram, HistogramSnapshot};
 use deeplake_remote::proto::{self, Request};
 
 /// Scenario knobs.
@@ -78,11 +79,26 @@ pub struct C10kReport {
     pub wall: Duration,
     pub p50: Duration,
     pub p99: Duration,
+    /// The same per-request latencies recorded into an obs histogram on
+    /// the hot path — the bucketed view a live hub would export. Its
+    /// quantiles agree with the exact [`C10kReport::p50`]/[`p99`] within
+    /// the bucket error bound (`exact/4 + 1` ns).
+    pub hist: HistogramSnapshot,
 }
 
 impl C10kReport {
     pub fn queries_per_sec(&self) -> f64 {
         self.responses as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// p50 as the obs histogram reports it (bucketed, not exact).
+    pub fn p50_hist(&self) -> Duration {
+        Duration::from_nanos(self.hist.quantile(0.50))
+    }
+
+    /// p99 as the obs histogram reports it (bucketed, not exact).
+    pub fn p99_hist(&self) -> Duration {
+        Duration::from_nanos(self.hist.quantile(0.99))
     }
 }
 
@@ -149,6 +165,7 @@ pub fn run_c10k(addr: SocketAddr, cfg: &C10kConfig) -> C10kReport {
     }
 
     let mut latencies: Vec<Duration> = Vec::with_capacity(cfg.clients * cfg.requests_per_client);
+    let hist = Histogram::new();
     let mut busy_retries = 0u64;
     let mut failures = 0u64;
     let mut events: Vec<Event> = Vec::new();
@@ -176,6 +193,7 @@ pub fn run_c10k(addr: SocketAddr, cfg: &C10kConfig) -> C10kReport {
                     client,
                     &mut scratch,
                     &mut latencies,
+                    &hist,
                     &mut busy_retries,
                     &mut failures,
                 );
@@ -224,6 +242,7 @@ pub fn run_c10k(addr: SocketAddr, cfg: &C10kConfig) -> C10kReport {
         wall: started.elapsed(),
         p50: pct(0.50),
         p99: pct(0.99),
+        hist: hist.snapshot(),
     }
 }
 
@@ -263,6 +282,7 @@ fn step_read(
     client: &mut Client,
     scratch: &mut [u8],
     latencies: &mut Vec<Duration>,
+    hist: &Histogram,
     busy_retries: &mut u64,
     failures: &mut u64,
 ) -> bool {
@@ -294,7 +314,9 @@ fn step_read(
             continue;
         }
         if payload == client.expected {
-            latencies.push(client.sent_at.elapsed());
+            let lat = client.sent_at.elapsed();
+            hist.record_duration(lat);
+            latencies.push(lat);
         } else {
             *failures += 1;
         }

@@ -72,6 +72,73 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Pretty-print an obs [`MetricsSnapshot`] (as returned by
+/// `RemoteProvider::hub_metrics` or `HubHandle::metrics`): counters and
+/// gauges first, then histogram quantiles in milliseconds, then the
+/// slow-query ring. Empty sections are skipped.
+pub fn print_metrics(title: &str, snap: &deeplake_obs::MetricsSnapshot) {
+    let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+    if !snap.counters.is_empty() || !snap.gauges.is_empty() {
+        let mut rows: Vec<Vec<String>> = snap
+            .counters
+            .iter()
+            .map(|(k, v)| vec![k.clone(), v.to_string()])
+            .collect();
+        rows.extend(
+            snap.gauges
+                .iter()
+                .map(|(k, v)| vec![k.clone(), v.to_string()]),
+        );
+        print_table(&format!("{title}: counters"), &["name", "value"], &rows);
+    }
+    if !snap.histograms.is_empty() {
+        let rows: Vec<Vec<String>> = snap
+            .histograms
+            .iter()
+            .filter(|(_, h)| !h.is_empty())
+            .map(|(k, h)| {
+                vec![
+                    k.clone(),
+                    h.count.to_string(),
+                    ms(h.quantile(0.50)),
+                    ms(h.quantile(0.90)),
+                    ms(h.quantile(0.99)),
+                    ms(h.max),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("{title}: histograms (ms)"),
+            &["name", "count", "p50", "p90", "p99", "max"],
+            &rows,
+        );
+    }
+    if !snap.slow_queries.is_empty() {
+        let rows: Vec<Vec<String>> = snap
+            .slow_queries
+            .iter()
+            .map(|e| {
+                vec![
+                    format!("{:016x}", e.trace_id),
+                    e.dataset.clone(),
+                    ms(e.total_ns),
+                    e.spans
+                        .iter()
+                        .map(|s| format!("{}={}", s.name, ms(s.dur_ns)))
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                    e.text.clone(),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("{title}: slow queries"),
+            &["trace", "dataset", "total_ms", "spans_ms", "text"],
+            &rows,
+        );
+    }
+}
+
 /// Ingest raw images into a fresh Deep Lake dataset on `provider`.
 /// `compress` picks raw (Fig. 6 writes uncompressed arrays) vs JPEG-like
 /// sample compression (Fig. 7's JPEG dataset).

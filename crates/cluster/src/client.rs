@@ -37,10 +37,11 @@
 
 use std::collections::HashMap;
 use std::io;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
+use deeplake_obs::{Counter, MetricsRegistry, MetricsSnapshot};
 use deeplake_remote::{RemoteOptions, RemoteProvider};
 use deeplake_storage::{ReadPlan, ReadRequest, ReadResult, StorageError, StorageProvider};
 use deeplake_tql::{QueryOptions, QueryResult, TqlError};
@@ -96,6 +97,10 @@ struct Shared {
     /// `(address, dataset)` → attached connection. The empty dataset is
     /// the un-attached control connection used for `WhereIs`.
     conns: Mutex<HashMap<(String, String), Arc<RemoteProvider>>>,
+    /// Client-side instruments: every mount's failover/refresh counters
+    /// register here under `cluster.<dataset>.*`, so one snapshot covers
+    /// all datasets this client routes to.
+    metrics: MetricsRegistry,
 }
 
 impl Shared {
@@ -188,6 +193,7 @@ impl ClusterClient {
                 seeds,
                 options,
                 conns: Mutex::new(HashMap::new()),
+                metrics: MetricsRegistry::new(),
             }),
         })
     }
@@ -202,13 +208,21 @@ impl ClusterClient {
                 "dataset '{dataset}': no live replica (map epoch {epoch})"
             )));
         }
+        let failovers = self
+            .shared
+            .metrics
+            .counter(&format!("cluster.{dataset}.failovers"));
+        let refreshes = self
+            .shared
+            .metrics
+            .counter(&format!("cluster.{dataset}.refreshes"));
         Ok(ClusterMount {
             shared: Arc::clone(&self.shared),
             dataset: dataset.to_string(),
             placement: Mutex::new(Placement { epoch, replicas }),
             cursor: AtomicUsize::new(0),
-            failovers: AtomicU64::new(0),
-            refreshes: AtomicU64::new(0),
+            failovers,
+            refreshes,
         })
     }
 
@@ -240,6 +254,12 @@ impl ClusterClient {
         }
         Err(last_err.unwrap_or_else(|| StorageError::Io("cluster has no reachable seed".into())))
     }
+
+    /// Snapshot of this client's routing instruments — every open
+    /// mount's `cluster.<dataset>.failovers` / `.refreshes` counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
 }
 
 /// The placement one mount currently routes by.
@@ -257,8 +277,8 @@ pub struct ClusterMount {
     placement: Mutex<Placement>,
     /// Round-robin read cursor across the replica set.
     cursor: AtomicUsize,
-    failovers: AtomicU64,
-    refreshes: AtomicU64,
+    failovers: Counter,
+    refreshes: Counter,
 }
 
 impl ClusterMount {
@@ -275,19 +295,19 @@ impl ClusterMount {
 
     /// Requests that moved to another replica after a transport error.
     pub fn failovers(&self) -> u64 {
-        self.failovers.load(Ordering::Relaxed)
+        self.failovers.get()
     }
 
     /// Placement refreshes performed (all-replica failure or explicit).
     pub fn refreshes(&self) -> u64 {
-        self.refreshes.load(Ordering::Relaxed)
+        self.refreshes.get()
     }
 
     /// Re-ask the seeds where the dataset lives; a newer epoch replaces
     /// the cached placement, an older one is ignored.
     pub fn refresh(&self) -> Result<(), StorageError> {
         let (epoch, replicas) = self.shared.where_is_any(&self.dataset)?;
-        self.refreshes.fetch_add(1, Ordering::Relaxed);
+        self.refreshes.inc();
         let mut p = self.placement.lock();
         if epoch >= p.epoch {
             p.epoch = epoch;
@@ -321,7 +341,7 @@ impl ClusterMount {
                 let conn = match self.shared.conn(addr, &self.dataset) {
                     Ok(conn) => conn,
                     Err(e) => {
-                        self.failovers.fetch_add(1, Ordering::Relaxed);
+                        self.failovers.inc();
                         last_err = Some(TqlError::Remote(e.to_string()));
                         continue;
                     }
@@ -330,7 +350,7 @@ impl ClusterMount {
                     Ok(result) => return Ok(result),
                     Err(e) if tql_is_transport(&e) => {
                         self.shared.drop_conn(addr, &self.dataset);
-                        self.failovers.fetch_add(1, Ordering::Relaxed);
+                        self.failovers.inc();
                         last_err = Some(e);
                     }
                     Err(e) => return Err(e),
@@ -361,7 +381,7 @@ impl ClusterMount {
                 let conn = match self.shared.conn(addr, &self.dataset) {
                     Ok(conn) => conn,
                     Err(e) => {
-                        self.failovers.fetch_add(1, Ordering::Relaxed);
+                        self.failovers.inc();
                         last_err = Some(e);
                         continue;
                     }
@@ -370,7 +390,7 @@ impl ClusterMount {
                     Ok(value) => return Ok(value),
                     Err(e) if is_transport(&e) => {
                         self.shared.drop_conn(addr, &self.dataset);
-                        self.failovers.fetch_add(1, Ordering::Relaxed);
+                        self.failovers.inc();
                         last_err = Some(e);
                     }
                     Err(e) => return Err(e),
@@ -406,7 +426,7 @@ impl ClusterMount {
                     Ok(()) => acked.push(addr.clone()),
                     Err(e) if is_transport(&e) => {
                         self.shared.drop_conn(addr, &self.dataset);
-                        self.failovers.fetch_add(1, Ordering::Relaxed);
+                        self.failovers.inc();
                         last_err = Some(e);
                     }
                     // deterministic across replicas (same bytes): no

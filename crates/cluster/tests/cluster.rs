@@ -330,3 +330,89 @@ fn list_datasets_unions_shards_across_the_fleet() {
     assert!(!listed.is_empty() && listed.len() < names.len());
     assert!(listed.iter().all(|n| want.contains(n)));
 }
+
+/// The observability acceptance scenario: a single query through
+/// `ClusterClient` → hub → storage produces a connected span tree on
+/// whichever replica served it, retrievable over the wire via the
+/// `Metrics` opcode, with the queue-wait, execute, and storage-RT
+/// stages all non-zero.
+#[test]
+fn cluster_query_produces_connected_span_tree() {
+    use deeplake_core::dataset::TensorOptions;
+    use deeplake_core::Dataset;
+    use deeplake_hub::HubOptions;
+    use deeplake_tensor::{Htype, Sample};
+    use deeplake_tql::QueryOptions;
+    use std::time::Duration;
+
+    let seed: DynProvider = Arc::new(MemoryProvider::new());
+    let mut ds = Dataset::create(seed.clone(), "traced").unwrap();
+    ds.create_tensor_opts("labels", {
+        let mut o = TensorOptions::new(Htype::ClassLabel);
+        o.chunk_target_bytes = Some(256);
+        o
+    })
+    .unwrap();
+    for i in 0..500u64 {
+        ds.append_row(vec![("labels", Sample::scalar((i / 100) as i32))])
+            .unwrap();
+    }
+    ds.flush().unwrap();
+
+    let cluster = Cluster::builder()
+        .nodes(3)
+        .replication(2)
+        .dataset_from("traced", seed)
+        .hub_options(HubOptions {
+            // log every query, however fast
+            slow_query_threshold: Duration::ZERO,
+            ..HubOptions::default()
+        })
+        .build()
+        .unwrap();
+    let mount = cluster.client().unwrap().open("traced").unwrap();
+    let result = mount
+        .query(
+            "SELECT labels FROM traced WHERE labels = 3",
+            &QueryOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(result.len(), 100);
+
+    // one of the owning replicas served it — find the span tree through
+    // the wire opcode, exactly as an operator would
+    let addrs = cluster.addrs();
+    let entry = cluster
+        .replica_nodes("traced")
+        .into_iter()
+        .find_map(|index| {
+            let probe = RemoteProvider::connect(&*addrs[index]).unwrap();
+            let snap = probe.hub_metrics().unwrap();
+            snap.slow_queries
+                .iter()
+                .find(|e| e.dataset == "traced" && e.text.contains("SELECT"))
+                .cloned()
+        })
+        .expect("the traced query must be in one replica's slow-query log");
+
+    // the client's trace context crossed the wire
+    assert_ne!(entry.trace_id, 0);
+    assert_ne!(
+        entry.parent_span, 0,
+        "hub tree must hang off the client span"
+    );
+
+    let span = |name: &str| {
+        entry
+            .spans
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("span {name} missing"))
+    };
+    assert_eq!(span("queue_wait").parent_span, entry.root_span);
+    assert_eq!(span("execute").parent_span, entry.root_span);
+    assert_eq!(span("storage").parent_span, span("execute").span_id);
+    assert!(span("queue_wait").dur_ns > 0);
+    assert!(span("execute").dur_ns > 0);
+    assert!(span("storage").dur_ns > 0);
+}

@@ -62,8 +62,14 @@ use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 use deeplake_core::Dataset;
+use deeplake_obs::{
+    next_id, Counter, Histogram, MetricsRegistry, MetricsSnapshot, SlowQueryEntry, SlowQueryLog,
+    SpanRecord, SpanTimer,
+};
 use deeplake_remote::proto::{self, Request};
-use deeplake_storage::{DynProvider, PrefixProvider, ReadPlan, StorageError, StorageStats};
+use deeplake_storage::{
+    DynProvider, PrefixProvider, ReadPlan, StorageError, StorageStats, TimingProvider,
+};
 use deeplake_tql::{canonical, parser, QueryOptions};
 use parking_lot::Mutex;
 use polling::{Event, Interest, Poller};
@@ -128,6 +134,15 @@ pub struct HubOptions {
     /// watch `cache().evictions()` climb to spot a budget that is too
     /// small for the hot set.
     pub cache_bytes: u64,
+    /// Queries whose hub-side time (queue wait included) reaches this
+    /// threshold land in the slow-query log with their full span
+    /// breakdown. `Duration::ZERO` logs every query — useful in tests
+    /// and when chasing a tail you have not caught yet.
+    pub slow_query_threshold: Duration,
+    /// Slow-query ring capacity (0 disables the log). The ring keeps
+    /// the most recent entries; readers see them oldest first via
+    /// [`HubHandle::metrics`] or the wire `Metrics` opcode.
+    pub slow_log_entries: usize,
 }
 
 impl Default for HubOptions {
@@ -140,36 +155,41 @@ impl Default for HubOptions {
             conn_buffer_bytes: 8 << 20,
             stall_timeout: Duration::from_secs(30),
             cache_bytes: 64 << 20,
+            slow_query_threshold: Duration::from_millis(250),
+            slow_log_entries: 64,
         }
     }
 }
 
-/// Served-traffic counters.
+/// Served-traffic counters. A view over the hub's obs instruments: the
+/// fields are [`Counter`] handles registered in the hub's
+/// [`MetricsRegistry`] under `hub.*`, so the same numbers surface here,
+/// in [`HubHandle::metrics`], and through the wire `Metrics` opcode.
 #[derive(Debug, Default)]
 pub struct HubStats {
-    requests: AtomicU64,
-    queries: AtomicU64,
-    busy_rejections: AtomicU64,
-    peak_conn_buffered: AtomicU64,
+    requests: Counter,
+    queries: Counter,
+    busy_rejections: Counter,
+    peak_conn_buffered: Counter,
     wire: StorageStats,
 }
 
 impl HubStats {
     /// Frames answered (all opcodes, `Busy` rejections included).
     pub fn requests(&self) -> u64 {
-        self.requests.load(Ordering::Relaxed)
+        self.requests.get()
     }
 
     /// Offloaded queries executed *or served from the result cache*.
     pub fn queries(&self) -> u64 {
-        self.queries.load(Ordering::Relaxed)
+        self.queries.get()
     }
 
     /// Requests refused with a `Busy` frame (queue full or per-connection
     /// in-flight cap hit). The back-pressure signal to watch when sizing
     /// [`HubOptions::workers`] and [`HubOptions::queue_depth`].
     pub fn busy_rejections(&self) -> u64 {
-        self.busy_rejections.load(Ordering::Relaxed)
+        self.busy_rejections.get()
     }
 
     /// High-water mark of any single connection's outbound queue, in
@@ -178,7 +198,7 @@ impl HubStats {
     /// form of the bounded-memory guarantee against peers that never
     /// drain their responses.
     pub fn peak_conn_buffered(&self) -> u64 {
-        self.peak_conn_buffered.load(Ordering::Relaxed)
+        self.peak_conn_buffered.get()
     }
 
     /// Wire traffic: one round trip per frame answered, request bytes in
@@ -186,6 +206,15 @@ impl HubStats {
     /// the client's view).
     pub fn wire(&self) -> &StorageStats {
         &self.wire
+    }
+
+    /// Attach every counter to `registry` under `hub.*` / `hub.wire.*`.
+    fn register_into(&self, registry: &MetricsRegistry) {
+        registry.register_counter("hub.requests", &self.requests);
+        registry.register_counter("hub.queries", &self.queries);
+        registry.register_counter("hub.busy_rejections", &self.busy_rejections);
+        registry.register_counter("hub.peak_conn_buffered", &self.peak_conn_buffered);
+        self.wire.register_into(registry, "hub.wire");
     }
 }
 
@@ -208,6 +237,18 @@ struct Job {
     request_len: u64,
     mount: Arc<Mounted>,
     request: Request,
+    /// When the event loop queued the job — the worker's pop time minus
+    /// this is the queue-wait span.
+    enqueued_at: Instant,
+    /// `(trace_id, client span id)` when the request arrived wrapped in
+    /// a `Traced` frame; `None` for legacy clients.
+    trace: Option<(u64, u64)>,
+}
+
+/// Per-job observability context a worker threads into the data path.
+struct JobCtx {
+    queue_wait_ns: u64,
+    trace: Option<(u64, u64)>,
 }
 
 /// Bounded MPMC queue with non-blocking push (overload answers `Busy`
@@ -321,10 +362,7 @@ fn deposit(shared: &Shared, conn: &ConnShared, slot: Slot, request_len: u64, fra
     }
     let peak = out.buffered as u64;
     drop(out);
-    shared
-        .stats
-        .peak_conn_buffered
-        .fetch_max(peak, Ordering::Relaxed);
+    shared.stats.peak_conn_buffered.record_max(peak);
 }
 
 fn commit(shared: &Shared, out: &mut OutState, id: Option<u64>, request_len: u64, frame: Vec<u8>) {
@@ -337,7 +375,7 @@ fn commit(shared: &Shared, out: &mut OutState, id: Option<u64>, request_len: u64
     wire.extend_from_slice(&frame);
     out.buffered += wire.len();
     out.wbuf.push_back(wire);
-    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    shared.stats.requests.inc();
     shared
         .stats
         .wire
@@ -378,6 +416,49 @@ impl LoopShared {
     }
 }
 
+/// The hub's observability plane: the instrument registry plus the
+/// handful of histograms hot paths record into, resolved once at bind
+/// time so the record path never takes the registry's name-map lock.
+struct HubObs {
+    registry: MetricsRegistry,
+    slowlog: SlowQueryLog,
+    /// Job pop time minus enqueue time (`hub.queue_wait_ns`).
+    queue_wait: Histogram,
+    /// Head resolution + result-cache probe (`hub.cache_lookup_ns`).
+    cache_lookup: Histogram,
+    /// Dataset open + TQL execution on a cache miss (`hub.execute_ns`).
+    execute: Histogram,
+    /// Nanoseconds inside the mounted provider per query
+    /// (`hub.storage_ns`) — a child of the execute span.
+    storage: Histogram,
+    /// Depositing the finished response onto the connection's write
+    /// queue (`hub.flush_ns`).
+    flush: Histogram,
+}
+
+impl HubObs {
+    fn new(opts: &HubOptions) -> Self {
+        let registry = MetricsRegistry::new();
+        HubObs {
+            slowlog: SlowQueryLog::new(opts.slow_log_entries),
+            queue_wait: registry.histogram("hub.queue_wait_ns"),
+            cache_lookup: registry.histogram("hub.cache_lookup_ns"),
+            execute: registry.histogram("hub.execute_ns"),
+            storage: registry.histogram("hub.storage_ns"),
+            flush: registry.histogram("hub.flush_ns"),
+            registry,
+        }
+    }
+
+    /// Registry snapshot with the slow-query ring appended — the payload
+    /// both [`HubHandle::metrics`] and the wire `Metrics` opcode return.
+    fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.registry.snapshot();
+        snap.slow_queries = self.slowlog.entries();
+        snap
+    }
+}
+
 struct Shared {
     registry: DatasetRegistry,
     cache: ResultCache,
@@ -393,6 +474,7 @@ struct Shared {
     /// node; `WhereIs` answers a lossless protocol error).
     placement: Option<PlacementFn>,
     stats: HubStats,
+    obs: HubObs,
     queue: JobQueue,
     loops: Vec<Arc<LoopShared>>,
     next_token: AtomicU64,
@@ -511,6 +593,7 @@ impl HubBuilder {
             wire_mounts: Mutex::new(std::collections::HashSet::new()),
             placement: self.placement,
             stats: HubStats::default(),
+            obs: HubObs::new(&self.opts),
             queue: JobQueue::new(self.opts.queue_depth),
             loops,
             next_token: AtomicU64::new(0),
@@ -521,6 +604,11 @@ impl HubBuilder {
             intake_cv: Condvar::new(),
             opts: self.opts,
         });
+        shared.stats.register_into(&shared.obs.registry);
+        shared
+            .cache
+            .stats()
+            .register_into(&shared.obs.registry, "hub.cache");
         let workers: Vec<std::thread::JoinHandle<()>> = (0..self.opts.workers.max(1))
             .map(|_| {
                 let shared = shared.clone();
@@ -570,6 +658,22 @@ impl HubHandle {
     /// The query-result cache (hit ratio, evictions, cached bytes).
     pub fn cache(&self) -> &ResultCache {
         &self.shared.cache
+    }
+
+    /// Machine-readable snapshot of every registered instrument —
+    /// counters, gauges, latency histograms and the slow-query ring.
+    /// The same payload a live client retrieves through the wire
+    /// `Metrics` opcode.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.obs.snapshot()
+    }
+
+    /// The hub's instrument registry. Mounted providers, embedding
+    /// layers, or tests can register additional instruments here and
+    /// they will surface in [`metrics`](HubHandle::metrics) and the wire
+    /// `Metrics` opcode alongside the hub's own.
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.shared.obs.registry
     }
 
     /// How many event-loop reader threads multiplex this hub's
@@ -1153,6 +1257,7 @@ fn is_control(req: &Request) -> bool {
             | Request::Describe
             | Request::WhereIs { .. }
             | Request::Pipeline
+            | Request::Metrics
     )
 }
 
@@ -1184,6 +1289,16 @@ fn handle_frame(shared: &Arc<Shared>, conn: &mut Conn, payload: Vec<u8>) -> bool
             );
             return true;
         }
+    };
+    // peel the additive trace envelope: the inner request is dispatched
+    // exactly as an untraced one, the ids ride along on the job
+    let (trace, request) = match request {
+        Request::Traced {
+            trace_id,
+            parent_span,
+            inner,
+        } => (Some((trace_id, parent_span)), *inner),
+        other => (None, other),
     };
     if is_control(&request) {
         let version_mismatch = matches!(
@@ -1246,7 +1361,7 @@ fn handle_frame(shared: &Arc<Shared>, conn: &mut Conn, payload: Vec<u8>) -> bool
     // this request's response slot instead of blocking the loop
     let cap = shared.opts.max_inflight_per_conn.max(1);
     if conn.state.inflight.load(Ordering::Acquire) >= cap {
-        shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        shared.stats.busy_rejections.inc();
         deposit(
             shared,
             &conn.state,
@@ -1265,10 +1380,12 @@ fn handle_frame(shared: &Arc<Shared>, conn: &mut Conn, payload: Vec<u8>) -> bool
         request_len,
         mount,
         request,
+        enqueued_at: Instant::now(),
+        trace,
     };
     if !shared.queue.try_push(job) {
         conn.state.inflight.fetch_sub(1, Ordering::AcqRel);
-        shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        shared.stats.busy_rejections.inc();
         deposit(
             shared,
             &conn.state,
@@ -1333,6 +1450,7 @@ fn dispatch_control(shared: &Shared, conn: &ConnShared, request: Request) -> Vec
             }
             proto::resp_unit()
         }
+        Request::Metrics => proto::resp_metrics(&shared.obs.snapshot()),
         Request::ListDatasets => proto::resp_list(&shared.registry.list()),
         Request::WhereIs { dataset } => match &shared.placement {
             Some(resolve) => match resolve(&dataset) {
@@ -1368,8 +1486,16 @@ fn dispatch_control(shared: &Shared, conn: &ConnShared, request: Request) -> Vec
 
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop(&shared.drain) {
-        let response = dispatch_data(shared, &job.mount, job.request);
+        let queue_wait_ns = job.enqueued_at.elapsed().as_nanos() as u64;
+        shared.obs.queue_wait.record(queue_wait_ns);
+        let ctx = JobCtx {
+            queue_wait_ns,
+            trace: job.trace,
+        };
+        let response = dispatch_data(shared, &job.mount, job.request, &ctx);
+        let flush = SpanTimer::start();
         deposit(shared, &job.conn, job.slot, job.request_len, response);
+        flush.record(&shared.obs.flush);
         job.conn.inflight.fetch_sub(1, Ordering::AcqRel);
         request_flush(shared, &job.conn);
     }
@@ -1384,7 +1510,7 @@ fn invalidate_for_write(shared: &Shared, mount: &Mounted) {
 }
 
 /// Answer a data op against the resolved mount, on a pool worker.
-fn dispatch_data(shared: &Shared, mount: &Arc<Mounted>, request: Request) -> Vec<u8> {
+fn dispatch_data(shared: &Shared, mount: &Arc<Mounted>, request: Request, ctx: &JobCtx) -> Vec<u8> {
     let p = &mount.provider;
     match request {
         Request::Get { key } => match p.get(&key) {
@@ -1447,7 +1573,7 @@ fn dispatch_data(shared: &Shared, mount: &Arc<Mounted>, request: Request) -> Vec
             reference,
             text,
             options,
-        } => handle_query(shared, mount, &reference, &text, options),
+        } => handle_query(shared, mount, &reference, &text, options, ctx),
         other => proto::resp_proto_err(&format!("{other:?} is not a data op")),
     }
 }
@@ -1479,8 +1605,18 @@ fn handle_query(
     reference: &str,
     text: &str,
     options: QueryOptions,
+    ctx: &JobCtx,
 ) -> Vec<u8> {
-    shared.stats.queries.fetch_add(1, Ordering::Relaxed);
+    shared.stats.queries.inc();
+    let total = SpanTimer::start();
+    // per-query storage attribution: every provider call below — head
+    // resolution, dataset open, the scan workers' chunk reads — goes
+    // through this wrapper, so the accumulated nanoseconds are the
+    // query's storage round-trip span even though the calls come from
+    // several threads
+    let timed = TimingProvider::new(mount.provider.clone());
+    let storage_nanos = timed.nanos_counter();
+    let provider: DynProvider = Arc::new(timed);
     let epoch = mount.epoch();
     // one parse serves canonicalization, cacheability analysis and (via
     // the canonical text) every whitespace/case variant of this query
@@ -1488,9 +1624,10 @@ fn handle_query(
     let text_key = parsed
         .as_ref()
         .and_then(|q| canonical::render_query(q).ok());
+    let lookup = SpanTimer::start();
     let resolved = match mount.head_memo(reference) {
         Some(memo) => Some(memo),
-        None => match resolve_reference(&mount.provider, reference) {
+        None => match resolve_reference(&provider, reference) {
             Ok(head) => {
                 mount.memoize_head(reference, head.clone(), epoch);
                 Some(head)
@@ -1500,6 +1637,7 @@ fn handle_query(
             Err(_) => None,
         },
     };
+    let mut hit = None;
     if let (Some(tk), Some(head)) = (&text_key, &resolved) {
         let key = CacheKey {
             dataset: mount.name.clone(),
@@ -1507,16 +1645,93 @@ fn handle_query(
             text: tk.clone(),
             options,
         };
-        if let Some(frame) = shared.cache.lookup(&key) {
-            return frame; // a pure frame copy
-        }
+        hit = shared.cache.lookup(&key);
     }
+    let cache_lookup_ns = lookup.record(&shared.obs.cache_lookup);
+    let (frame, version, execute_ns) = match hit {
+        // a pure frame copy
+        Some(frame) => (frame, resolved, 0),
+        None => {
+            let exec = SpanTimer::start();
+            let (frame, version) = execute_query(
+                shared, mount, &provider, reference, text, options, epoch, parsed, &text_key,
+            );
+            (frame, version, exec.record(&shared.obs.execute))
+        }
+    };
+    let storage_ns = storage_nanos.get();
+    shared.obs.storage.record(storage_ns);
+    let total_ns = ctx.queue_wait_ns + total.stop();
+    if total_ns >= shared.opts.slow_query_threshold.as_nanos() as u64 {
+        let (trace_id, client_span) = ctx.trace.unwrap_or((0, 0));
+        let root_span = next_id();
+        let execute_span = next_id();
+        shared.obs.slowlog.push(SlowQueryEntry {
+            trace_id,
+            root_span,
+            parent_span: client_span,
+            dataset: mount.name.clone(),
+            version: version.unwrap_or_default(),
+            // the canonical rendering, never the raw client bytes
+            text: text_key.unwrap_or_else(|| "<unparseable>".into()),
+            total_ns,
+            spans: vec![
+                SpanRecord {
+                    name: "queue_wait".into(),
+                    span_id: next_id(),
+                    parent_span: root_span,
+                    dur_ns: ctx.queue_wait_ns,
+                },
+                SpanRecord {
+                    name: "cache_lookup".into(),
+                    span_id: next_id(),
+                    parent_span: root_span,
+                    dur_ns: cache_lookup_ns,
+                },
+                SpanRecord {
+                    name: "execute".into(),
+                    span_id: execute_span,
+                    parent_span: root_span,
+                    dur_ns: execute_ns,
+                },
+                SpanRecord {
+                    name: "storage".into(),
+                    span_id: next_id(),
+                    parent_span: execute_span,
+                    dur_ns: storage_ns,
+                },
+            ],
+        });
+    }
+    frame
+}
+
+/// The cache-miss path: open a fresh dataset handle, execute, install
+/// the head memo and (when cacheable) the result-cache entry. Returns
+/// the response frame and the head the query resolved to.
+#[allow(clippy::too_many_arguments)]
+fn execute_query(
+    shared: &Shared,
+    mount: &Arc<Mounted>,
+    provider: &DynProvider,
+    reference: &str,
+    text: &str,
+    options: QueryOptions,
+    epoch: u64,
+    parsed: Option<deeplake_tql::ast::Query>,
+    text_key: &Option<String>,
+) -> (Vec<u8>, Option<String>) {
     // a fresh handle per query: always serves the storage's current
     // state, and queries from many clients never share mutable dataset
     // state
-    let ds = match Dataset::open_at(mount.provider.clone(), reference) {
+    let ds = match Dataset::open_at(provider.clone(), reference) {
         Ok(ds) => ds,
-        Err(e) => return proto::resp_query_err(&format!("open {reference:?}: {e}")),
+        Err(e) => {
+            return (
+                proto::resp_query_err(&format!("open {reference:?}: {e}")),
+                None,
+            )
+        }
     };
     let head = ds.head_id().to_string();
     let outer_committed = ds.is_read_only();
@@ -1539,16 +1754,16 @@ fn handle_query(
                 };
                 let key = CacheKey {
                     dataset: mount.name.clone(),
-                    version: head,
-                    text: tk,
+                    version: head.clone(),
+                    text: tk.clone(),
                     options,
                 };
                 shared
                     .cache
                     .insert_if(key, frame.clone(), pinned, || mount.epoch() == epoch);
             }
-            frame
+            (frame, Some(head))
         }
-        Err(e) => proto::resp_query_err(&e.to_string()),
+        Err(e) => (proto::resp_query_err(&e.to_string()), Some(head)),
     }
 }

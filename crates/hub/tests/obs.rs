@@ -1,0 +1,188 @@
+//! End-to-end observability over real loopback TCP: client-generated
+//! trace ids showing up in the hub's slow-query span tree, the live
+//! `Metrics` opcode, and backwards compatibility with clients that
+//! predate the trace envelope (untagged frames).
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use deeplake_core::dataset::TensorOptions;
+use deeplake_core::Dataset;
+use deeplake_hub::{Hub, HubHandle, HubOptions};
+use deeplake_remote::proto::{self, Request};
+use deeplake_remote::RemoteProvider;
+use deeplake_storage::{DynProvider, MemoryProvider, StorageProvider};
+use deeplake_tensor::{Htype, Sample};
+use deeplake_tql::QueryOptions;
+
+/// A hub mounting one small dataset, with the slow-query threshold at
+/// zero so every query lands in the ring.
+fn query_hub() -> HubHandle {
+    let storage: DynProvider = Arc::new(MemoryProvider::new());
+    let mut ds = Dataset::create(storage.clone(), "obsds").unwrap();
+    ds.create_tensor_opts("labels", {
+        let mut o = TensorOptions::new(Htype::ClassLabel);
+        o.chunk_target_bytes = Some(256);
+        o
+    })
+    .unwrap();
+    for i in 0..500u64 {
+        ds.append_row(vec![("labels", Sample::scalar((i / 100) as i32))])
+            .unwrap();
+    }
+    ds.flush().unwrap();
+    Hub::builder()
+        .mount("obsds", storage)
+        .options(HubOptions {
+            slow_query_threshold: Duration::ZERO,
+            ..HubOptions::default()
+        })
+        .bind("127.0.0.1:0")
+        .unwrap()
+}
+
+/// The acceptance-criteria scenario: one query through a real client
+/// produces a connected span tree on the hub, retrievable over the wire
+/// via the `Metrics` opcode, whose root is parented to the client-side
+/// span that sent the request.
+#[test]
+fn client_trace_connects_to_hub_span_tree() {
+    let hub = query_hub();
+    let client = RemoteProvider::connect(hub.addr()).unwrap();
+    client.attach("obsds").unwrap();
+
+    let rows = client
+        .query(
+            "SELECT labels FROM obsds WHERE labels = 3",
+            &QueryOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 100);
+    // capture BEFORE hub_metrics(): that call is itself a traced round
+    // trip and advances the client's last-trace record
+    let (trace_id, client_span) = client.last_trace();
+    assert_ne!(trace_id, 0, "client must have generated a trace id");
+
+    let snap = client.hub_metrics().unwrap();
+    let entry = snap
+        .slow_queries
+        .iter()
+        .find(|e| e.trace_id == trace_id)
+        .expect("the traced query must be in the slow-query log");
+
+    // the hub-side tree hangs off the client's send span
+    assert_eq!(entry.parent_span, client_span);
+    assert_eq!(entry.dataset, "obsds");
+    assert!(
+        entry.text.contains("SELECT"),
+        "canonical text: {}",
+        entry.text
+    );
+
+    let span = |name: &str| {
+        entry
+            .spans
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("span {name} missing"))
+    };
+    // connected: every stage hangs off the request root, storage hangs
+    // off the execute stage that issued the round trips
+    assert_eq!(span("queue_wait").parent_span, entry.root_span);
+    assert_eq!(span("cache_lookup").parent_span, entry.root_span);
+    assert_eq!(span("execute").parent_span, entry.root_span);
+    assert_eq!(span("storage").parent_span, span("execute").span_id);
+    // and the interesting stages actually measured something
+    assert!(span("queue_wait").dur_ns > 0, "queue wait must be non-zero");
+    assert!(span("execute").dur_ns > 0, "execute must be non-zero");
+    assert!(span("storage").dur_ns > 0, "storage RT must be non-zero");
+    assert!(entry.total_ns >= span("execute").dur_ns);
+
+    // the same stages feed the hub-wide histograms
+    for stage in ["hub.queue_wait_ns", "hub.execute_ns", "hub.storage_ns"] {
+        assert!(
+            snap.histogram(stage).is_some_and(|h| !h.is_empty()),
+            "{stage} must be populated"
+        );
+    }
+
+    // the client kept its own ledger of the exchange
+    let mine = client.metrics();
+    assert!(mine
+        .histogram("client.round_trip_ns")
+        .is_some_and(|h| h.count >= 2)); // query + metrics fetch
+    assert!(mine.counter("client.wire.round_trips").unwrap_or(0) >= 2);
+}
+
+/// A client that has never heard of the trace envelope — raw untagged
+/// frames exactly as PROTO_VERSION 2 clients sent before this PR — is
+/// still served byte-for-byte.
+#[test]
+fn legacy_untagged_frames_are_still_served() {
+    let storage = Arc::new(MemoryProvider::new());
+    storage
+        .put("k", Bytes::from_static(b"legacy value"))
+        .unwrap();
+    let hub = Hub::builder()
+        .default_mount(storage)
+        .bind("127.0.0.1:0")
+        .unwrap();
+
+    let mut stream = TcpStream::connect(hub.addr()).unwrap();
+    let hello = proto::encode_request(&Request::Hello {
+        version: proto::PROTO_VERSION,
+    });
+    proto::write_frame(&mut stream, &hello).unwrap();
+    stream.flush().unwrap();
+    let resp = proto::read_frame(&mut stream).unwrap().expect("open");
+    proto::expect_hello(&resp).unwrap();
+
+    // no Traced wrapper — the bare Get opcode
+    let get = proto::encode_request(&Request::Get { key: "k".into() });
+    proto::write_frame(&mut stream, &get).unwrap();
+    stream.flush().unwrap();
+    let resp = proto::read_frame(&mut stream).unwrap().expect("served");
+    assert_eq!(
+        proto::expect_bytes(&resp).unwrap(),
+        Bytes::from_static(b"legacy value")
+    );
+
+    // the hub metered the legacy request like any other
+    let snap = hub.metrics();
+    assert!(snap.counter("hub.requests").unwrap_or(0) >= 1);
+    assert!(snap
+        .histogram("hub.queue_wait_ns")
+        .is_some_and(|h| !h.is_empty()));
+}
+
+/// The `Metrics` opcode smoke: after ordinary storage traffic the
+/// snapshot has non-zero counters and populated histograms, and an
+/// untraced-legacy hub keeps an empty slow log (nothing crossed the
+/// default 250 ms threshold on loopback).
+#[test]
+fn metrics_opcode_reports_live_instruments() {
+    let storage = Arc::new(MemoryProvider::new());
+    let hub = Hub::builder()
+        .default_mount(storage)
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let client = RemoteProvider::connect(hub.addr()).unwrap();
+
+    client.put("a", Bytes::from_static(b"1")).unwrap();
+    client.put("b", Bytes::from_static(b"2")).unwrap();
+    assert_eq!(client.get("a").unwrap(), Bytes::from_static(b"1"));
+
+    let snap = client.hub_metrics().unwrap();
+    assert!(snap.counter("hub.requests").unwrap_or(0) >= 3);
+    assert!(snap.counter("hub.wire.round_trips").unwrap_or(0) >= 3);
+    assert!(snap
+        .histogram("hub.queue_wait_ns")
+        .is_some_and(|h| !h.is_empty()));
+    assert!(snap
+        .histogram("hub.flush_ns")
+        .is_some_and(|h| !h.is_empty()));
+    assert!(snap.slow_queries.is_empty(), "no TQL ran, no slow queries");
+}

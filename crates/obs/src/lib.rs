@@ -1,0 +1,50 @@
+//! # deeplake-obs
+//!
+//! The observability layer every serving-stack crate instruments
+//! against: a lock-free metrics registry, wire-portable request
+//! tracing, and a slow-query log — so tail latency and cache behaviour
+//! are visible on a *live* process, not only post-hoc in `BENCH_*.json`
+//! files.
+//!
+//! Three pieces:
+//!
+//! * **Instruments** — [`Counter`] and [`Gauge`] are single relaxed
+//!   atomics; [`Histogram`] is a fixed array of atomic buckets on a
+//!   log scale (4 sub-buckets per power of two, quantile estimates
+//!   within one bucket width of the true sample — ≤ 25% relative
+//!   error). Recording never allocates and never locks, so
+//!   instruments sit on request hot paths. All three are cheap-clone
+//!   handles over shared state: a [`MetricsRegistry`] hands the *same*
+//!   instrument to every caller asking for a name, which is what makes
+//!   per-thread recorders mergeable — they already share buckets.
+//! * **Tracing** — [`TraceContext`] is a `(trace id, span id)` pair
+//!   generated at the client and carried over the wire (see
+//!   `deeplake-remote`'s `Traced` request wrapper); each hop derives
+//!   child spans with [`TraceContext::child`], and a finished request
+//!   decomposes into named [`SpanRecord`]s (queue-wait, execute,
+//!   storage round-trips, …) that all point back to the client's root.
+//! * **Slow-query log** — [`SlowQueryLog`] is a fixed-capacity ring of
+//!   [`SlowQueryEntry`] values (canonical query text, dataset, version,
+//!   span breakdown) for queries over a threshold; oldest entries are
+//!   evicted first.
+//!
+//! A [`MetricsRegistry::snapshot`] freezes everything into a
+//! [`MetricsSnapshot`] — plain owned values, safe to serialize (the
+//! hub's `Metrics` opcode ships one to remote clients).
+//!
+//! ## Metric naming
+//!
+//! Dotted lowercase paths, `<subsystem>.<instrument>[_<unit>]`:
+//! `hub.queue_wait_ns`, `hub.cache.hits`, `client.round_trip_ns`,
+//! `storage.bytes_read`, `tql.prune_ns`. Histograms record
+//! **nanoseconds**; counters count events or bytes (suffix `_bytes`).
+
+mod hist;
+mod registry;
+mod slowlog;
+mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
+pub use slowlog::{SlowQueryEntry, SlowQueryLog};
+pub use trace::{next_id, SpanRecord, SpanTimer, TraceContext};

@@ -1,0 +1,333 @@
+//! Named instruments: counters, gauges, and the registry that shares
+//! them by name.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::slowlog::SlowQueryEntry;
+
+/// A monotonically increasing event/byte counter. Cheap-clone handle:
+/// clones share the same atomic, so a counter registered once can be
+/// incremented from any thread that holds a handle.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Raise the value to `v` if it is currently lower — a high-water
+    /// mark (peak queue depth, largest buffered response). A counter
+    /// used this way is still monotone, just not additive.
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Zero the counter. Counters are conceptually monotonic — prefer
+    /// diffing two snapshots over resetting shared state (a reset from
+    /// one reader clobbers every other reader's baseline); this exists
+    /// for test isolation and legacy stats bags.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A settable signed gauge (queue depths, open connections).
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// The instrument namespace: `name → instrument`, get-or-create. The
+/// registry hands every caller asking for a name the *same* shared
+/// instrument, so recording stays lock-free (the lock guards only the
+/// name map, taken at registration time, never on the record path).
+///
+/// Cheap-clone: clones share the namespace, so a hub can hand its
+/// registry to worker threads, the result cache, and mounted storage
+/// providers, and one [`snapshot`](MetricsRegistry::snapshot) sees them
+/// all.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry(Arc<RegistryInner>);
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.0.counters.lock();
+        match map.get(name) {
+            Some(c) => c.clone(),
+            None => {
+                let c = Counter::new();
+                map.insert(name.to_string(), c.clone());
+                c
+            }
+        }
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.0.gauges.lock();
+        match map.get(name) {
+            Some(g) => g.clone(),
+            None => {
+                let g = Gauge::new();
+                map.insert(name.to_string(), g.clone());
+                g
+            }
+        }
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.0.histograms.lock();
+        match map.get(name) {
+            Some(h) => h.clone(),
+            None => {
+                let h = Histogram::new();
+                map.insert(name.to_string(), h.clone());
+                h
+            }
+        }
+    }
+
+    /// Register an *existing* counter handle under `name` — how a
+    /// pre-built stats bag (e.g. a storage provider's `StorageStats`)
+    /// attaches its already-live counters to a registry after the fact.
+    /// Replaces any instrument previously under that name.
+    pub fn register_counter(&self, name: &str, counter: &Counter) {
+        self.0
+            .counters
+            .lock()
+            .insert(name.to_string(), counter.clone());
+    }
+
+    /// Register an existing gauge handle under `name`.
+    pub fn register_gauge(&self, name: &str, gauge: &Gauge) {
+        self.0.gauges.lock().insert(name.to_string(), gauge.clone());
+    }
+
+    /// Register an existing histogram handle under `name`.
+    pub fn register_histogram(&self, name: &str, hist: &Histogram) {
+        self.0
+            .histograms
+            .lock()
+            .insert(name.to_string(), hist.clone());
+    }
+
+    /// Freeze every instrument into an owned snapshot (names ascending).
+    /// The slow-query list starts empty — the owner of a
+    /// [`SlowQueryLog`](crate::SlowQueryLog) appends its entries before
+    /// shipping the snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .0
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .0
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .0
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+            slow_queries: Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &self.0.counters.lock().len())
+            .field("gauges", &self.0.gauges.lock().len())
+            .field("histograms", &self.0.histograms.lock().len())
+            .finish()
+    }
+}
+
+/// A frozen registry: plain owned values, safe to serialize and ship
+/// over the wire (the hub's `Metrics` opcode returns one).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs, names ascending.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs, names ascending.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` pairs, names ascending.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Slow-query ring contents, oldest first.
+    pub slow_queries: Vec<SlowQueryEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Value of a gauge, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+
+    /// A histogram snapshot, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_instrument() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("hub.requests");
+        let b = reg.counter("hub.requests");
+        a.add(3);
+        b.add(4);
+        assert_eq!(reg.counter("hub.requests").get(), 7);
+
+        let h1 = reg.histogram("hub.queue_wait_ns");
+        let h2 = reg.histogram("hub.queue_wait_ns");
+        h1.record(10);
+        h2.record(20);
+        assert_eq!(reg.histogram("hub.queue_wait_ns").count(), 2);
+    }
+
+    #[test]
+    fn register_existing_attaches_live_handle() {
+        let reg = MetricsRegistry::new();
+        let free = Counter::new();
+        free.add(5);
+        reg.register_counter("storage.get_requests", &free);
+        free.add(2);
+        assert_eq!(reg.snapshot().counter("storage.get_requests"), Some(7));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last").add(1);
+        reg.counter("a.first").add(2);
+        reg.gauge("conns").set(-3);
+        reg.histogram("lat").record(100);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["a.first", "z.last"]);
+        assert_eq!(snap.counter("a.first"), Some(2));
+        assert_eq!(snap.gauge("conns"), Some(-3));
+        assert_eq!(snap.histogram("lat").unwrap().count, 1);
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn concurrent_recorders_merge_losslessly() {
+        // the satellite "concurrent-recorder merge" guarantee: N threads
+        // each holding their own handle to the same named histogram and
+        // counter lose nothing
+        const THREADS: usize = 8;
+        const PER: u64 = 1000;
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let h = reg.histogram("merge.lat");
+                let c = reg.counter("merge.events");
+                scope.spawn(move || {
+                    for i in 0..PER {
+                        h.record((t as u64 + 1) * 1000 + i);
+                        c.inc();
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("merge.events"), Some(THREADS as u64 * PER));
+        let h = snap.histogram("merge.lat").unwrap();
+        assert_eq!(h.count, THREADS as u64 * PER);
+        assert_eq!(h.max, THREADS as u64 * 1000 + PER - 1);
+    }
+}

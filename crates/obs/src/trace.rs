@@ -1,0 +1,147 @@
+//! Compact request tracing: a trace id minted at the client, one span
+//! id per hop, and named duration records tying a request's stages back
+//! to that root.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::hist::Histogram;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fresh process-unique id, never 0 (`0` means "untraced" on the
+/// wire). Ids mix a per-process seed (wall clock ⊕ pid) with a global
+/// sequence, so concurrent processes on one host do not collide in
+/// practice and ids within a process never repeat.
+pub fn next_id() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seed = *SEED.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        nanos ^ ((std::process::id() as u64) << 32)
+    });
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    splitmix64(seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15)).max(1)
+}
+
+/// The context one request carries: which trace it belongs to and which
+/// span is the current hop. Generated at the client ([`root`]), carried
+/// over the wire, extended per hop ([`child`]).
+///
+/// [`root`]: TraceContext::root
+/// [`child`]: TraceContext::child
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Identifies the whole request tree across processes.
+    pub trace_id: u64,
+    /// Identifies this hop's span within the trace.
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// Start a new trace (fresh trace id, fresh root span).
+    pub fn root() -> Self {
+        TraceContext {
+            trace_id: next_id(),
+            span_id: next_id(),
+        }
+    }
+
+    /// A child hop: same trace, fresh span id. The child records this
+    /// context's `span_id` as its parent.
+    pub fn child(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: next_id(),
+        }
+    }
+}
+
+/// One finished, named span: `parent_span` links it into the trace tree
+/// (`0` = the tree root for this process).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Stage name (`queue_wait`, `execute`, `storage`, …).
+    pub name: String,
+    /// This span's id.
+    pub span_id: u64,
+    /// The enclosing span's id (0 when this is a root).
+    pub parent_span: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A started stage clock. `stop` (or [`record`](SpanTimer::record))
+/// returns elapsed nanoseconds; the struct is just an `Instant`, so
+/// starting a timer costs one clock read.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer(Instant);
+
+impl SpanTimer {
+    /// Start the clock.
+    pub fn start() -> Self {
+        SpanTimer(Instant::now())
+    }
+
+    /// Elapsed nanoseconds without consuming the timer.
+    pub fn lap(&self) -> u64 {
+        self.0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Stop and return elapsed nanoseconds.
+    pub fn stop(self) -> u64 {
+        self.lap()
+    }
+
+    /// Stop, record the elapsed nanoseconds into `hist`, and return
+    /// them.
+    pub fn record(self, hist: &Histogram) -> u64 {
+        let ns = self.lap();
+        hist.record(ns);
+        ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_nonzero_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = next_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "id repeated");
+        }
+    }
+
+    #[test]
+    fn child_keeps_the_trace() {
+        let root = TraceContext::root();
+        let child = root.child();
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_ne!(child.span_id, root.span_id);
+        assert_ne!(root.trace_id, 0);
+        assert_ne!(root.span_id, 0);
+    }
+
+    #[test]
+    fn span_timer_records() {
+        let h = Histogram::new();
+        let t = SpanTimer::start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let ns = t.record(&h);
+        assert!(ns >= 1_000_000, "slept 1ms but measured {ns}ns");
+        assert_eq!(h.count(), 1);
+    }
+}

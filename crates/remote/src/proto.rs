@@ -31,8 +31,20 @@
 //! its waiting request by id. The opcode is additive, so legacy peers
 //! and hand-rolled test clients keep working unchanged and
 //! [`PROTO_VERSION`] stays put.
+//!
+//! **Tracing (additive).** A client that wants a request's server-side
+//! work attributed to its trace wraps the payload in
+//! [`Request::Traced`]: `[OP_TRACED][trace id u64][span id u64][inner
+//! request]`. The server unwraps, records its spans under the client's
+//! ids, and answers the inner request's normal response — so an
+//! untraced legacy frame is simply the degenerate case and
+//! [`PROTO_VERSION`] again stays put. [`Request::Metrics`] reads the
+//! hub's observability registry back out: counters, gauges, sparse
+//! histogram buckets, and the slow-query ring, all machine-readable
+//! ([`resp_metrics`] / [`expect_metrics`]).
 
 use bytes::Bytes;
+use deeplake_obs::{HistogramSnapshot, MetricsSnapshot, SlowQueryEntry, SpanRecord};
 use deeplake_storage::{ReadRequest, StorageError};
 use deeplake_tql::wire::{decode_options, decode_result, encode_options, encode_result, WireError};
 use deeplake_tql::wire::{put_bytes, put_str, put_u32, put_u64, WireReader, WireResult};
@@ -76,6 +88,8 @@ const OP_UNMOUNT: u8 = 16;
 const OP_LIST_DATASETS: u8 = 17;
 const OP_WHERE_IS: u8 = 18;
 const OP_PIPELINE: u8 = 19;
+const OP_TRACED: u8 = 20;
+const OP_METRICS: u8 = 21;
 
 // response status bytes
 /// Success; body is op-specific.
@@ -214,6 +228,25 @@ pub enum Request {
     /// `[id u64 LE][payload]` and responses arrive in completion order.
     /// Send after `Hello` (and any `Attach`), before concurrent use.
     Pipeline,
+    /// An inner request wrapped with the sender's trace context. The
+    /// server unwraps before dispatch, attributes its spans to
+    /// `trace_id` with `parent_span` as their parent, and answers the
+    /// inner request's normal response — purely additive, so untraced
+    /// legacy frames keep working. Wrapping a `Traced` in a `Traced` is
+    /// a protocol violation.
+    Traced {
+        /// Trace the request belongs to (never 0 for a real trace).
+        trace_id: u64,
+        /// The client-side span that issued the request.
+        parent_span: u64,
+        /// The request being traced.
+        inner: Box<Request>,
+    },
+    /// Read the server's observability registry: counters, gauges,
+    /// histogram snapshots, and the slow-query ring (see
+    /// [`resp_metrics`]). A control op — answered inline, never queued
+    /// behind data-path work, so it stays responsive under load.
+    Metrics,
 }
 
 /// Encode a request payload (opcode + body).
@@ -301,7 +334,31 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_str(&mut out, dataset);
         }
         Request::Pipeline => out.push(OP_PIPELINE),
+        Request::Traced {
+            trace_id,
+            parent_span,
+            inner,
+        } => {
+            out.push(OP_TRACED);
+            put_u64(&mut out, *trace_id);
+            put_u64(&mut out, *parent_span);
+            out.extend_from_slice(&encode_request(inner));
+        }
+        Request::Metrics => out.push(OP_METRICS),
     }
+    out
+}
+
+/// Wrap an *already encoded* request payload in a `Traced` envelope —
+/// byte-identical to encoding [`Request::Traced`] around the decoded
+/// request, without re-encoding the inner payload. The client's
+/// per-exchange hot path.
+pub fn trace_wrap(trace_id: u64, span_id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17 + payload.len());
+    out.push(OP_TRACED);
+    put_u64(&mut out, trace_id);
+    put_u64(&mut out, span_id);
+    out.extend_from_slice(payload);
     out
 }
 
@@ -345,6 +402,20 @@ pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
         OP_LIST_DATASETS => Request::ListDatasets,
         OP_WHERE_IS => Request::WhereIs { dataset: r.str()? },
         OP_PIPELINE => Request::Pipeline,
+        OP_TRACED => {
+            let trace_id = r.u64()?;
+            let parent_span = r.u64()?;
+            let inner = decode_request(r.take(r.remaining())?)?;
+            if matches!(inner, Request::Traced { .. }) {
+                return Err(WireError("nested traced frame".into()));
+            }
+            Request::Traced {
+                trace_id,
+                parent_span,
+                inner: Box::new(inner),
+            }
+        }
+        OP_METRICS => Request::Metrics,
         other => return Err(WireError(format!("unknown opcode {other}"))),
     };
     r.finish()?;
@@ -527,6 +598,55 @@ pub fn resp_placement(epoch: u64, replicas: &[String]) -> Vec<u8> {
 pub fn resp_query(result: &QueryResult) -> Vec<u8> {
     let mut out = vec![STATUS_OK];
     encode_result(result, &mut out);
+    out
+}
+
+/// `STATUS_OK` carrying a [`MetricsSnapshot`]: counters and gauges as
+/// `(name, value)` pairs, histograms as exact `count`/`sum`/`max` plus
+/// sparse non-empty buckets, and the slow-query ring with each entry's
+/// span breakdown. Names travel sorted (the registry snapshots them
+/// sorted), so diffing two responses is line-by-line.
+pub fn resp_metrics(snap: &MetricsSnapshot) -> Vec<u8> {
+    let mut out = vec![STATUS_OK];
+    put_u32(&mut out, snap.counters.len() as u32);
+    for (name, v) in &snap.counters {
+        put_str(&mut out, name);
+        put_u64(&mut out, *v);
+    }
+    put_u32(&mut out, snap.gauges.len() as u32);
+    for (name, v) in &snap.gauges {
+        put_str(&mut out, name);
+        put_u64(&mut out, *v as u64);
+    }
+    put_u32(&mut out, snap.histograms.len() as u32);
+    for (name, h) in &snap.histograms {
+        put_str(&mut out, name);
+        put_u64(&mut out, h.count);
+        put_u64(&mut out, h.sum);
+        put_u64(&mut out, h.max);
+        put_u32(&mut out, h.buckets.len() as u32);
+        for &(index, n) in &h.buckets {
+            put_u32(&mut out, index);
+            put_u64(&mut out, n);
+        }
+    }
+    put_u32(&mut out, snap.slow_queries.len() as u32);
+    for entry in &snap.slow_queries {
+        put_u64(&mut out, entry.trace_id);
+        put_u64(&mut out, entry.root_span);
+        put_u64(&mut out, entry.parent_span);
+        put_str(&mut out, &entry.dataset);
+        put_str(&mut out, &entry.version);
+        put_str(&mut out, &entry.text);
+        put_u64(&mut out, entry.total_ns);
+        put_u32(&mut out, entry.spans.len() as u32);
+        for span in &entry.spans {
+            put_str(&mut out, &span.name);
+            put_u64(&mut out, span.span_id);
+            put_u64(&mut out, span.parent_span);
+            put_u64(&mut out, span.dur_ns);
+        }
+    }
     out
 }
 
@@ -728,6 +848,106 @@ pub fn expect_execute(
     let fetches = r.u64().map_err(proto_err)?;
     r.finish().map_err(proto_err)?;
     Ok((results, fetches))
+}
+
+/// Bound `count` against the bytes left in the frame, at `min_size`
+/// bytes per element, before any allocation.
+fn bounded_count(
+    r: &WireReader<'_>,
+    count: usize,
+    min_size: usize,
+    what: &str,
+) -> Result<(), StorageError> {
+    if count > r.remaining() / min_size {
+        return Err(proto_err(format!("{what} count {count} exceeds frame")));
+    }
+    Ok(())
+}
+
+/// Decode a `Metrics` response into a [`MetricsSnapshot`]. Every count
+/// is bounded against the remaining bytes before its vector is
+/// allocated, matching the rest of the protocol's decode discipline.
+pub fn expect_metrics(payload: &[u8]) -> Result<MetricsSnapshot, StorageError> {
+    let mut r = open_response(payload)?;
+    let n = r.u32().map_err(proto_err)? as usize;
+    bounded_count(&r, n, 12, "counter")?;
+    let mut counters = Vec::with_capacity(n);
+    for _ in 0..n {
+        counters.push((r.str().map_err(proto_err)?, r.u64().map_err(proto_err)?));
+    }
+    let n = r.u32().map_err(proto_err)? as usize;
+    bounded_count(&r, n, 12, "gauge")?;
+    let mut gauges = Vec::with_capacity(n);
+    for _ in 0..n {
+        gauges.push((
+            r.str().map_err(proto_err)?,
+            r.u64().map_err(proto_err)? as i64,
+        ));
+    }
+    let n = r.u32().map_err(proto_err)? as usize;
+    bounded_count(&r, n, 32, "histogram")?;
+    let mut histograms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str().map_err(proto_err)?;
+        let count = r.u64().map_err(proto_err)?;
+        let sum = r.u64().map_err(proto_err)?;
+        let max = r.u64().map_err(proto_err)?;
+        let b = r.u32().map_err(proto_err)? as usize;
+        bounded_count(&r, b, 12, "bucket")?;
+        let mut buckets = Vec::with_capacity(b);
+        for _ in 0..b {
+            buckets.push((r.u32().map_err(proto_err)?, r.u64().map_err(proto_err)?));
+        }
+        histograms.push((
+            name,
+            HistogramSnapshot {
+                count,
+                sum,
+                max,
+                buckets,
+            },
+        ));
+    }
+    let n = r.u32().map_err(proto_err)? as usize;
+    bounded_count(&r, n, 48, "slow-query")?;
+    let mut slow_queries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let trace_id = r.u64().map_err(proto_err)?;
+        let root_span = r.u64().map_err(proto_err)?;
+        let parent_span = r.u64().map_err(proto_err)?;
+        let dataset = r.str().map_err(proto_err)?;
+        let version = r.str().map_err(proto_err)?;
+        let text = r.str().map_err(proto_err)?;
+        let total_ns = r.u64().map_err(proto_err)?;
+        let s = r.u32().map_err(proto_err)? as usize;
+        bounded_count(&r, s, 28, "span")?;
+        let mut spans = Vec::with_capacity(s);
+        for _ in 0..s {
+            spans.push(SpanRecord {
+                name: r.str().map_err(proto_err)?,
+                span_id: r.u64().map_err(proto_err)?,
+                parent_span: r.u64().map_err(proto_err)?,
+                dur_ns: r.u64().map_err(proto_err)?,
+            });
+        }
+        slow_queries.push(SlowQueryEntry {
+            trace_id,
+            root_span,
+            parent_span,
+            dataset,
+            version,
+            text,
+            total_ns,
+            spans,
+        });
+    }
+    r.finish().map_err(proto_err)?;
+    Ok(MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+        slow_queries,
+    })
 }
 
 /// Decode a `Query` response into the [`QueryResult`] the server
@@ -935,10 +1155,109 @@ mod tests {
                 dataset: "mnist".into(),
             },
             Request::Pipeline,
+            Request::Traced {
+                trace_id: 0xDEAD_BEEF,
+                parent_span: 42,
+                inner: Box::new(Request::Query {
+                    reference: "main".into(),
+                    text: "SELECT * FROM ds".into(),
+                    options: QueryOptions::default(),
+                }),
+            },
+            Request::Metrics,
         ] {
             let back = roundtrip(&req);
             assert_eq!(back, req);
         }
+    }
+
+    #[test]
+    fn nested_traced_frames_rejected() {
+        let double = Request::Traced {
+            trace_id: 1,
+            parent_span: 2,
+            inner: Box::new(Request::Traced {
+                trace_id: 3,
+                parent_span: 4,
+                inner: Box::new(Request::Ping),
+            }),
+        };
+        assert!(decode_request(&encode_request(&double)).is_err());
+        // a truncated traced frame errors cleanly at every cut
+        let buf = encode_request(&Request::Traced {
+            trace_id: 9,
+            parent_span: 8,
+            inner: Box::new(Request::Get { key: "k".into() }),
+        });
+        for cut in 0..buf.len() {
+            assert!(decode_request(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trace_wrap_matches_traced_encoding() {
+        let inner = Request::Query {
+            reference: "main".into(),
+            text: "SELECT * LIMIT 3".into(),
+            options: QueryOptions::default(),
+        };
+        let wrapped = trace_wrap(7, 11, &encode_request(&inner));
+        let full = encode_request(&Request::Traced {
+            trace_id: 7,
+            parent_span: 11,
+            inner: Box::new(inner),
+        });
+        assert_eq!(wrapped, full);
+    }
+
+    #[test]
+    fn metrics_snapshots_roundtrip() {
+        let snap = MetricsSnapshot {
+            counters: vec![("hub.cache.hits".into(), 12), ("hub.requests".into(), 40)],
+            gauges: vec![("hub.connections".into(), -3)],
+            histograms: vec![(
+                "hub.execute_ns".into(),
+                HistogramSnapshot {
+                    count: 3,
+                    sum: 3_000_000,
+                    max: 2_000_000,
+                    buckets: vec![(80, 2), (84, 1)],
+                },
+            )],
+            slow_queries: vec![SlowQueryEntry {
+                trace_id: 7,
+                root_span: 8,
+                parent_span: 9,
+                dataset: "mnist".into(),
+                version: "abc".into(),
+                text: "SELECT * FROM ds WHERE labels = 3".into(),
+                total_ns: 4_200_000,
+                spans: vec![SpanRecord {
+                    name: "execute".into(),
+                    span_id: 10,
+                    parent_span: 8,
+                    dur_ns: 4_000_000,
+                }],
+            }],
+        };
+        let wire = resp_metrics(&snap);
+        let back = expect_metrics(&wire).unwrap();
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges, snap.gauges);
+        assert_eq!(back.histograms, snap.histograms);
+        assert_eq!(back.slow_queries, snap.slow_queries);
+
+        // empty registry still decodes
+        let empty = expect_metrics(&resp_metrics(&MetricsSnapshot::default())).unwrap();
+        assert!(empty.counters.is_empty() && empty.slow_queries.is_empty());
+
+        // truncation errors cleanly at every cut, lying counts rejected
+        for cut in 0..wire.len() {
+            assert!(expect_metrics(&wire[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut lying = vec![STATUS_OK];
+        put_u32(&mut lying, u32::MAX);
+        assert!(expect_metrics(&lying).is_err());
     }
 
     #[test]

@@ -38,6 +38,7 @@ use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use deeplake_obs::{next_id, Histogram, MetricsRegistry, MetricsSnapshot, SpanTimer, TraceContext};
 use deeplake_storage::{
     NetworkProfile, ReadPlan, ReadRequest, ReadResult, StorageError, StorageProvider, StorageStats,
 };
@@ -259,6 +260,16 @@ pub struct RemoteProvider {
     pool_cv: Condvar,
     opts: RemoteOptions,
     stats: StorageStats,
+    /// Client-side instruments (`client.*`): wire stats plus the
+    /// round-trip latency histogram.
+    metrics: MetricsRegistry,
+    /// `client.round_trip_ns` — client-observed latency of every
+    /// exchange, `Busy` retries counted per attempt.
+    round_trip_ns: Histogram,
+    /// Trace/span ids of the most recent exchange this client sent —
+    /// what a hub-side span tree's `parent_span` should equal.
+    last_trace_id: AtomicU64,
+    last_span_id: AtomicU64,
     /// Dataset this client is attached to in a multi-dataset hub.
     /// `None` targets the hub's default mount (the single-dataset
     /// `DatasetServer` behaviour). Every socket the pool dials re-plays
@@ -294,6 +305,10 @@ impl RemoteProvider {
         let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address resolved")
         })?;
+        let metrics = MetricsRegistry::new();
+        let stats = StorageStats::new();
+        stats.register_into(&metrics, "client.wire");
+        let round_trip_ns = metrics.histogram("client.round_trip_ns");
         let provider = RemoteProvider {
             addr,
             pool: StdMutex::new(PoolState {
@@ -303,7 +318,11 @@ impl RemoteProvider {
             }),
             pool_cv: Condvar::new(),
             opts,
-            stats: StorageStats::new(),
+            stats,
+            metrics,
+            round_trip_ns,
+            last_trace_id: AtomicU64::new(0),
+            last_span_id: AtomicU64::new(0),
             attached: Mutex::new(None),
         };
         // the dial handshake (Hello + the switch to pipelined framing)
@@ -328,6 +347,31 @@ impl RemoteProvider {
     /// asserted against.
     pub fn stats(&self) -> &StorageStats {
         &self.stats
+    }
+
+    /// Snapshot of this client's own instruments: `client.wire.*`
+    /// counters and the `client.round_trip_ns` latency histogram.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Fetch the *server's* live instrument snapshot over the wire —
+    /// counters, gauges, per-stage latency histograms and the
+    /// slow-query ring — via the `Metrics` opcode.
+    pub fn hub_metrics(&self) -> Result<MetricsSnapshot, StorageError> {
+        let resp = self.round_trip(&proto::encode_request(&Request::Metrics))?;
+        proto::expect_metrics(&resp)
+    }
+
+    /// `(trace_id, span_id)` of the most recent exchange this client
+    /// sent. A hub's span tree for that request reports this span id as
+    /// its `parent_span` — the join key tests use to check end-to-end
+    /// propagation.
+    pub fn last_trace(&self) -> (u64, u64) {
+        (
+            self.last_trace_id.load(Ordering::Relaxed),
+            self.last_span_id.load(Ordering::Relaxed),
+        )
     }
 
     /// Offload a TQL query to the server's `main` branch: the server
@@ -600,9 +644,23 @@ impl RemoteProvider {
     /// through the response decoders so callers can apply their own
     /// policy.
     fn round_trip(&self, payload: &[u8]) -> Result<Vec<u8>, StorageError> {
+        // one trace per logical request; each attempt (Busy retries
+        // included) sends its own span id, so the server-side span tree
+        // names the attempt that actually executed
+        let trace = TraceContext::root();
+        self.last_trace_id.store(trace.trace_id, Ordering::Relaxed);
         let mut attempt = 0;
         loop {
-            let resp = self.round_trip_once(payload)?;
+            let span_id = if attempt == 0 {
+                trace.span_id
+            } else {
+                next_id()
+            };
+            self.last_span_id.store(span_id, Ordering::Relaxed);
+            let wrapped = proto::trace_wrap(trace.trace_id, span_id, payload);
+            let timer = SpanTimer::start();
+            let resp = self.round_trip_once(&wrapped)?;
+            timer.record(&self.round_trip_ns);
             if resp.first() == Some(&proto::STATUS_BUSY) && attempt < self.opts.busy_retries {
                 attempt += 1;
                 let backoff = self.opts.busy_backoff.saturating_mul(attempt as u32);

@@ -26,7 +26,10 @@ use std::time::{Duration, Instant};
 use deeplake_cluster::{Cluster, ClusterMount};
 use deeplake_core::dataset::{Dataset, TensorOptions};
 use deeplake_hub::HubOptions;
-use deeplake_storage::{DynProvider, MemoryProvider, NetworkProfile, SimulatedCloudProvider};
+use deeplake_obs::MetricsRegistry;
+use deeplake_storage::{
+    DynProvider, FaultPlan, FaultProvider, MemoryProvider, NetworkProfile, SimulatedCloudProvider,
+};
 use deeplake_tensor::{Htype, Sample};
 use deeplake_tql::QueryOptions;
 use rand::rngs::StdRng;
@@ -58,6 +61,12 @@ pub struct ClusterQueryConfig {
     /// Kill one replica-bearing node after this many total queries
     /// (`None` = nobody dies).
     pub kill_after: Option<u64>,
+    /// Inject this many transient storage faults into ONE replica of
+    /// `ds0` before the query phase starts (0 = healthy run). Injected
+    /// faults surface to clients as query errors, not transport errors
+    /// — the routing layer must not fail over on them, so the report
+    /// can assert `failed_queries ≤ faults_injected`.
+    pub fault_ops: u64,
     /// Base RNG seed (each client derives its own stream).
     pub seed: u64,
 }
@@ -76,6 +85,7 @@ impl Default for ClusterQueryConfig {
             workers_per_node: 2,
             storage: NetworkProfile::minio_lan().scaled(0.25),
             kill_after: None,
+            fault_ops: 0,
             seed: 11,
         }
     }
@@ -95,6 +105,10 @@ pub struct ClusterQueryReport {
     pub failovers: u64,
     /// Placement refreshes clients performed.
     pub refreshes: u64,
+    /// Storage faults actually injected across the fleet, read from the
+    /// fault providers' obs counters. Every client-visible failure must
+    /// be explained by an injection: `failed_queries ≤ faults_injected`.
+    pub faults_injected: u64,
     /// Frames served per node (dead nodes report what they served
     /// before dying as 0 — their stats die with them).
     pub per_node_requests: Vec<u64>,
@@ -139,6 +153,9 @@ fn build_dataset(provider: DynProvider, rows: u64, distinct: usize) {
 pub fn run_cluster_queries(cfg: &ClusterQueryConfig) -> ClusterQueryReport {
     assert!(cfg.nodes > 0 && cfg.datasets > 0 && cfg.clients > 0 && cfg.distinct_queries > 0);
 
+    type FaultSet = Vec<(String, Arc<FaultProvider>)>;
+    let faulty: Arc<std::sync::Mutex<FaultSet>> = Arc::new(std::sync::Mutex::new(Vec::new()));
+
     // each dataset is built ONCE in a scratch store and byte-copied to
     // its replicas — independent rebuilds could disagree on commit ids
     let mut builder = Cluster::builder()
@@ -151,12 +168,24 @@ pub fn run_cluster_queries(cfg: &ClusterQueryConfig) -> ClusterQueryReport {
         })
         .store_factory({
             let storage = cfg.storage;
+            let faulty = Arc::clone(&faulty);
+            // every replica store gets a fault gate (healthy until a
+            // plan is installed) so the run can injure specific replicas
+            // after seeding, with the injection counted by obs counters
             Arc::new(move |dataset, addr| {
-                Arc::new(SimulatedCloudProvider::new(
-                    format!("{dataset}@{addr}"),
-                    MemoryProvider::new(),
-                    storage,
-                ))
+                let fp = Arc::new(FaultProvider::new(
+                    Arc::new(SimulatedCloudProvider::new(
+                        format!("{dataset}@{addr}"),
+                        MemoryProvider::new(),
+                        storage,
+                    )),
+                    FaultPlan::none(),
+                ));
+                faulty
+                    .lock()
+                    .unwrap()
+                    .push((dataset.to_string(), fp.clone()));
+                fp
             })
         });
     for d in 0..cfg.datasets {
@@ -169,6 +198,28 @@ pub fn run_cluster_queries(cfg: &ClusterQueryConfig) -> ClusterQueryReport {
     let mounts: Vec<Arc<ClusterMount>> = (0..cfg.datasets)
         .map(|d| Arc::new(client.open(&format!("ds{d}")).expect("open dataset")))
         .collect();
+
+    // attach every fault gate's counters to one registry so the report
+    // reads "N faults injected" from the same kind of snapshot a hub's
+    // Metrics opcode ships
+    let fault_registry = MetricsRegistry::new();
+    {
+        let gates = faulty.lock().unwrap();
+        for (i, (dataset, fp)) in gates.iter().enumerate() {
+            fp.register_into(&fault_registry, &format!("fault.{dataset}.{i}"));
+        }
+        // injure exactly one replica of ds0 AFTER seeding (set_plan
+        // restarts the op clock): its sibling replica keeps a healthy
+        // copy, so the dataset stays queryable throughout
+        if cfg.fault_ops > 0 {
+            let gate = gates
+                .iter()
+                .find(|(dataset, _)| dataset == "ds0")
+                .map(|(_, fp)| fp.clone())
+                .expect("ds0 has a replica store");
+            gate.set_plan(FaultPlan::fail_next(cfg.fault_ops));
+        }
+    }
 
     // popularity: weight 1/(rank+1)^skew, shared by every client
     let cumulative: Vec<f64> = {
@@ -238,6 +289,13 @@ pub fn run_cluster_queries(cfg: &ClusterQueryConfig) -> ClusterQueryReport {
         failed_queries: failed.load(Ordering::Relaxed),
         failovers: mounts.iter().map(|m| m.failovers()).sum(),
         refreshes: mounts.iter().map(|m| m.refreshes()).sum(),
+        faults_injected: fault_registry
+            .snapshot()
+            .counters
+            .iter()
+            .filter(|(name, _)| name.ends_with(".faults_injected"))
+            .map(|&(_, v)| v)
+            .sum(),
         per_node_requests: (0..cfg.nodes)
             .map(|i| cluster.hub(i).map(|h| h.stats().requests()).unwrap_or(0))
             .collect(),
@@ -265,6 +323,32 @@ mod tests {
             report.per_node_requests.iter().all(|&r| r > 0),
             "idle node in {:?}",
             report.per_node_requests
+        );
+    }
+
+    #[test]
+    fn injected_faults_are_counted_and_bound_client_failures() {
+        let report = run_cluster_queries(&ClusterQueryConfig {
+            clients: 6,
+            queries_per_client: 8,
+            storage: NetworkProfile::instant(),
+            fault_ops: 6,
+            ..ClusterQueryConfig::default()
+        });
+        assert_eq!(report.total_queries, 48);
+        assert!(report.faults_injected > 0, "the fault gate never fired");
+        assert!(
+            report.faults_injected <= 6,
+            "fail_next(6) injects at most 6"
+        );
+        // injected storage faults surface as query errors, not transport
+        // errors: the mount must NOT fail over on them, and every
+        // client-visible failure must be explained by an injection
+        assert!(
+            report.failed_queries <= report.faults_injected,
+            "{} failures cannot exceed {} injected faults",
+            report.failed_queries,
+            report.faults_injected
         );
     }
 

@@ -26,10 +26,10 @@
 //! naming the injection — the same shape a dropped connection produces —
 //! so the layers above exercise their real transport-error paths.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use bytes::Bytes;
+use deeplake_obs::{Counter, MetricsRegistry};
 
 use crate::error::StorageError;
 use crate::plan::{ReadPlan, ReadRequest, ReadResult};
@@ -126,8 +126,9 @@ impl Default for FaultPlan {
 pub struct FaultProvider {
     inner: DynProvider,
     plan: parking_lot::Mutex<FaultPlan>,
-    ops: AtomicU64,
-    injected: AtomicU64,
+    ops: Counter,
+    injected: Counter,
+    delay_ns: Counter,
 }
 
 impl FaultProvider {
@@ -136,9 +137,20 @@ impl FaultProvider {
         FaultProvider {
             inner,
             plan: parking_lot::Mutex::new(plan),
-            ops: AtomicU64::new(0),
-            injected: AtomicU64::new(0),
+            ops: Counter::new(),
+            injected: Counter::new(),
+            delay_ns: Counter::new(),
         }
+    }
+
+    /// Attach the fault counters to `registry` under `<prefix>.*`
+    /// (`ops`, `faults_injected`, `injected_delay_ns`) so sim runs can
+    /// read "N faults injected" from the same snapshot that reports
+    /// client-visible failures.
+    pub fn register_into(&self, registry: &MetricsRegistry, prefix: &str) {
+        registry.register_counter(&format!("{prefix}.ops"), &self.ops);
+        registry.register_counter(&format!("{prefix}.faults_injected"), &self.injected);
+        registry.register_counter(&format!("{prefix}.injected_delay_ns"), &self.delay_ns);
     }
 
     /// Replace the schedule (op counter keeps running — `fail_after(n)`
@@ -147,7 +159,7 @@ impl FaultProvider {
     pub fn set_plan(&self, plan: FaultPlan) {
         let mut guard = self.plan.lock();
         *guard = plan;
-        self.ops.store(0, Ordering::Release);
+        self.ops.reset();
     }
 
     /// Fail every op from now on — "pull the plug" on a healthy replica
@@ -163,12 +175,17 @@ impl FaultProvider {
 
     /// Ops that reached the provider (injected failures included).
     pub fn ops_seen(&self) -> u64 {
-        self.ops.load(Ordering::Relaxed)
+        self.ops.get()
     }
 
     /// Failures injected so far.
     pub fn faults_injected(&self) -> u64 {
-        self.injected.load(Ordering::Relaxed)
+        self.injected.get()
+    }
+
+    /// Total injected delay paid so far, in nanoseconds.
+    pub fn injected_delay_ns(&self) -> u64 {
+        self.delay_ns.get()
     }
 
     /// The wrapped provider (bypasses the plan — for test assertions).
@@ -181,16 +198,21 @@ impl FaultProvider {
     fn gate(&self) -> Result<()> {
         let (delay, outcome) = {
             let plan = self.plan.lock();
-            let op = self.ops.fetch_add(1, Ordering::AcqRel);
+            // the plan lock serializes gates, so read-then-add is one
+            // atomic op-number draw
+            let op = self.ops.get();
+            self.ops.add(1);
             (plan.delay, plan.outcome(op))
         };
         if !delay.is_zero() {
+            self.delay_ns
+                .add(delay.as_nanos().min(u64::MAX as u128) as u64);
             std::thread::sleep(delay);
         }
         match outcome {
             None => Ok(()),
             Some(err) => {
-                self.injected.fetch_add(1, Ordering::Relaxed);
+                self.injected.inc();
                 Err(err)
             }
         }

@@ -39,6 +39,7 @@ pub mod prefix;
 pub mod provider;
 pub mod sim;
 pub mod stats;
+pub mod timing;
 
 pub use error::StorageError;
 pub use fault::{FaultPlan, FaultProvider};
@@ -49,7 +50,8 @@ pub use plan::{CoalescedFetch, FetchPart, ReadPlan, ReadRequest, ReadResult};
 pub use prefix::PrefixProvider;
 pub use provider::{DynProvider, StorageProvider};
 pub use sim::{NetworkProfile, SimulatedCloudProvider};
-pub use stats::StorageStats;
+pub use stats::{StorageStats, StorageStatsSnapshot};
+pub use timing::TimingProvider;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -32,6 +32,7 @@
 //! [`ReadPlan`]: deeplake_storage::ReadPlan
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use deeplake_core::{Dataset, DatasetView, PrefetchedChunks};
 use deeplake_tensor::ops::slice_sample;
@@ -112,6 +113,23 @@ pub struct QueryStats {
     /// the flat path, the probed clusters' union (plus any unindexed
     /// tail) for ANN.
     pub candidates_reranked: u64,
+    /// Wall-clock nanoseconds deciding spans from chunk statistics alone
+    /// (the no-I/O pruning phase). Single-threaded, so this is elapsed
+    /// time.
+    pub prune_ns: u64,
+    /// Wall-clock nanoseconds inside batched chunk fetches
+    /// (`prefetch_chunks`) across all stages, **summed over worker
+    /// threads** — under parallelism this can exceed the query's elapsed
+    /// time.
+    pub fetch_ns: u64,
+    /// Wall-clock nanoseconds decoding pinned chunks and evaluating
+    /// expressions row by row, summed over worker threads. The naive
+    /// (pruning-off) scan folds its unbatched fetches in here too.
+    pub decode_ns: u64,
+    /// Wall-clock nanoseconds the top-k operator spent scoring
+    /// candidates and merging per-task survivors, summed over worker
+    /// threads.
+    pub rerank_ns: u64,
 }
 
 /// The result of executing a query.
@@ -188,9 +206,18 @@ struct StatsAcc {
     round_trips: AtomicU64,
     clusters_probed: AtomicU64,
     candidates_reranked: AtomicU64,
+    prune_ns: AtomicU64,
+    fetch_ns: AtomicU64,
+    decode_ns: AtomicU64,
+    rerank_ns: AtomicU64,
 }
 
 impl StatsAcc {
+    /// Fold the time elapsed since `since` into a stage-nanos counter.
+    fn lap(dst: &AtomicU64, since: Instant) {
+        dst.fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
     fn snapshot(&self) -> QueryStats {
         QueryStats {
             chunks_scanned: self.chunks_scanned.load(Ordering::Relaxed),
@@ -199,6 +226,10 @@ impl StatsAcc {
             round_trips: self.round_trips.load(Ordering::Relaxed),
             clusters_probed: self.clusters_probed.load(Ordering::Relaxed),
             candidates_reranked: self.candidates_reranked.load(Ordering::Relaxed),
+            prune_ns: self.prune_ns.load(Ordering::Relaxed),
+            fetch_ns: self.fetch_ns.load(Ordering::Relaxed),
+            decode_ns: self.decode_ns.load(Ordering::Relaxed),
+            rerank_ns: self.rerank_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -334,7 +365,9 @@ pub fn execute(ds: &Dataset, query: &Query, opts: &QueryOptions) -> Result<Query
         let mut out = Vec::with_capacity(selected.len());
         const BLOCK: usize = 256;
         for block in selected.chunks(BLOCK.max(1)) {
+            let t = Instant::now();
             let prefetched = ds.prefetch_chunks(&project_columns, block)?;
+            StatsAcc::lap(&stats.fetch_ns, t);
             stats
                 .round_trips
                 .fetch_add(prefetched.round_trips(), Ordering::Relaxed);
@@ -342,6 +375,7 @@ pub fn execute(ds: &Dataset, query: &Query, opts: &QueryOptions) -> Result<Query
                 ds,
                 pinned: Some(&prefetched),
             };
+            let t = Instant::now();
             for &row in block {
                 let mut values = Vec::with_capacity(query.projections.len());
                 for p in &query.projections {
@@ -349,6 +383,7 @@ pub fn execute(ds: &Dataset, query: &Query, opts: &QueryOptions) -> Result<Query
                 }
                 out.push(values);
             }
+            StatsAcc::lap(&stats.decode_ns, t);
         }
         (columns, Some(out))
     };
@@ -424,7 +459,9 @@ fn filter_stage(
     let (Some(driving), true) = (driving, pruning) else {
         // no resolvable column (the per-row path reports unknown-column
         // errors exactly as before), or pruning disabled: naive scan
+        let t = Instant::now();
         let keep = parallel_eval(ds, n, workers, |row| Ok(eval(filter, ds, row)?.truthy()))?;
+        StatsAcc::lap(&stats.decode_ns, t);
         return Ok((0..n).filter(|&r| keep[r as usize]).collect());
     };
 
@@ -433,6 +470,7 @@ fn filter_stage(
     let slots: Vec<Mutex<Vec<u64>>> = spans.iter().map(|_| Mutex::new(Vec::new())).collect();
 
     // ---- phase 1: decide spans from statistics alone (no I/O) ----
+    let t_prune = Instant::now();
     let mut decided: Vec<bool> = vec![false; spans.len()];
     let mut kept: Vec<u64> = vec![0; spans.len()];
     let mut undecided: Vec<usize> = Vec::new();
@@ -454,6 +492,7 @@ fn filter_stage(
             None => undecided.push(i),
         }
     }
+    StatsAcc::lap(&stats.prune_ns, t_prune);
 
     // ---- phase 2: group undecided spans into worker tasks ----
     //
@@ -630,7 +669,9 @@ fn scan_task(
         .iter()
         .flat_map(|&i| spans[i].1..spans[i].1 + spans[i].2)
         .collect();
+    let t = Instant::now();
     let prefetched = ds.prefetch_chunks(filter_columns, &rows)?;
+    StatsAcc::lap(&stats.fetch_ns, t);
     stats
         .round_trips
         .fetch_add(prefetched.round_trips(), Ordering::Relaxed);
@@ -641,6 +682,7 @@ fn scan_task(
         ds,
         pinned: Some(&prefetched),
     };
+    let t = Instant::now();
     let mut counts = Vec::with_capacity(task.len());
     for &i in task {
         let (_, start, len) = spans[i];
@@ -653,6 +695,7 @@ fn scan_task(
         counts.push((i, kept.len() as u64));
         *slots[i].lock() = kept;
     }
+    StatsAcc::lap(&stats.decode_ns, t);
     Ok(counts)
 }
 
@@ -752,7 +795,9 @@ fn topk_stage(
             .iter()
             .flat_map(|&g| groups[g].iter().copied())
             .collect();
+        let t = Instant::now();
         let prefetched = ds.prefetch_chunks(&sort_columns, &rows)?;
+        StatsAcc::lap(&stats.fetch_ns, t);
         stats
             .round_trips
             .fetch_add(prefetched.round_trips(), Ordering::Relaxed);
@@ -763,6 +808,7 @@ fn topk_stage(
             ds,
             pinned: Some(&prefetched),
         };
+        let t = Instant::now();
         let mut scored: Vec<(Scalar, u64)> =
             Vec::with_capacity(task.iter().map(|&g| groups[g].len()).sum());
         for &g in task {
@@ -788,17 +834,20 @@ fn topk_stage(
         // sort breaks ties exactly like the naive stage
         scored.sort_by_key(|&(_, row)| row);
         *slots[task[0]].lock() = scored;
+        StatsAcc::lap(&stats.rerank_ns, t);
         Ok(())
     })?;
 
     // merge in row order, then order exactly like the naive sort stage:
     // stable ascending sort by key, whole list reversed for DESC
+    let t = Instant::now();
     let mut paired: Vec<(Scalar, u64)> = slots.into_iter().flat_map(|m| m.into_inner()).collect();
     paired.sort_by(|a, b| a.0.order_cmp(&b.0));
     if dir == SortDir::Desc {
         paired.reverse();
     }
     paired.truncate(tk.fetch as usize);
+    StatsAcc::lap(&stats.rerank_ns, t);
     Ok(paired.into_iter().map(|(_, r)| r).collect())
 }
 
@@ -865,6 +914,7 @@ fn eval_keys(
                     break;
                 }
                 let end = (start + STRIDE).min(rows.len());
+                let t = Instant::now();
                 let prefetched = match ds.prefetch_chunks(&sort_columns, &rows[start..end]) {
                     Ok(p) => p,
                     Err(e) => {
@@ -872,6 +922,7 @@ fn eval_keys(
                         return;
                     }
                 };
+                StatsAcc::lap(&stats.fetch_ns, t);
                 stats
                     .round_trips
                     .fetch_add(prefetched.round_trips(), Ordering::Relaxed);
@@ -879,6 +930,7 @@ fn eval_keys(
                     ds,
                     pinned: Some(&prefetched),
                 };
+                let t = Instant::now();
                 for i in start..end {
                     match eval_in(&ctx, key, rows[i]) {
                         Ok(v) => *out[i].lock() = v.to_scalar(),
@@ -888,6 +940,7 @@ fn eval_keys(
                         }
                     }
                 }
+                StatsAcc::lap(&stats.decode_ns, t);
             });
         }
     })

@@ -211,7 +211,7 @@ pub fn decode_options(r: &mut WireReader<'_>) -> WireResult<QueryOptions> {
     })
 }
 
-/// Encode [`QueryStats`].
+/// Encode [`QueryStats`] (counters, then the stage-nanos fields).
 pub fn encode_stats(stats: &QueryStats, out: &mut Vec<u8>) {
     for v in [
         stats.chunks_scanned,
@@ -220,6 +220,10 @@ pub fn encode_stats(stats: &QueryStats, out: &mut Vec<u8>) {
         stats.round_trips,
         stats.clusters_probed,
         stats.candidates_reranked,
+        stats.prune_ns,
+        stats.fetch_ns,
+        stats.decode_ns,
+        stats.rerank_ns,
     ] {
         put_u64(out, v);
     }
@@ -234,6 +238,10 @@ pub fn decode_stats(r: &mut WireReader<'_>) -> WireResult<QueryStats> {
         round_trips: r.u64()?,
         clusters_probed: r.u64()?,
         candidates_reranked: r.u64()?,
+        prune_ns: r.u64()?,
+        fetch_ns: r.u64()?,
+        decode_ns: r.u64()?,
+        rerank_ns: r.u64()?,
     })
 }
 
@@ -481,6 +489,10 @@ mod tests {
             round_trips: 4,
             clusters_probed: 5,
             candidates_reranked: 6,
+            prune_ns: 7,
+            fetch_ns: 8,
+            decode_ns: 9,
+            rerank_ns: 10,
         };
         let mut buf = Vec::new();
         encode_stats(&stats, &mut buf);
@@ -508,6 +520,10 @@ mod tests {
                 round_trips: 3,
                 clusters_probed: 0,
                 candidates_reranked: 0,
+                prune_ns: 11,
+                fetch_ns: 250_000,
+                decode_ns: 90_000,
+                rerank_ns: 0,
             },
         }
     }

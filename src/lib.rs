@@ -191,10 +191,18 @@
 //! assert_eq!(&mount.get("hot").unwrap()[..], b"v");
 //! ```
 //!
+//! Since PR 8 the serving stack is **observable** end to end: every
+//! subsystem registers lock-free counters and log-scale latency
+//! histograms in an [`obs::MetricsRegistry`], clients stamp each
+//! request with an [`obs::TraceContext`] that the hub decomposes into
+//! queue-wait / execute / storage spans (slow ones land in a ring-buffer
+//! slow-query log), and a live hub answers a `Metrics` wire opcode with
+//! the whole registry snapshot — `remote.hub_metrics()` from any client.
+//!
 //! See the crate-level docs of each member for the subsystem details:
 //! [`tensor`], [`codec`], [`storage`], [`format`], [`core`], [`tql`],
 //! [`loader`], [`baselines`], [`sim`], [`viz`], [`index`],
-//! [`remote`], [`server`], [`hub`], [`cluster`].
+//! [`remote`], [`server`], [`hub`], [`cluster`], [`obs`].
 
 pub use deeplake_baselines as baselines;
 pub use deeplake_cluster as cluster;
@@ -204,6 +212,7 @@ pub use deeplake_format as format;
 pub use deeplake_hub as hub;
 pub use deeplake_index as index;
 pub use deeplake_loader as loader;
+pub use deeplake_obs as obs;
 pub use deeplake_remote as remote;
 pub use deeplake_server as server;
 pub use deeplake_sim as sim;
@@ -225,6 +234,7 @@ pub mod prelude {
     pub use deeplake_hub::{Hub, HubHandle, HubOptions};
     pub use deeplake_index::{IndexKind, IndexSpec, Metric, VectorIndex};
     pub use deeplake_loader::{Batch, BatchColumn, DataLoader};
+    pub use deeplake_obs::{Histogram, MetricsRegistry, MetricsSnapshot, TraceContext};
     pub use deeplake_remote::{RemoteOptions, RemoteProvider};
     pub use deeplake_server::{DatasetServer, ServerHandle};
     pub use deeplake_storage::{

@@ -1656,11 +1656,17 @@ fn handle_query(
             let (frame, version) = execute_query(
                 shared, mount, &provider, reference, text, options, epoch, parsed, &text_key,
             );
-            (frame, version, exec.record(&shared.obs.execute))
+            let execute_ns = exec.record(&shared.obs.execute);
+            // recorded per cache MISS only: hits cost zero (or one
+            // memoized head re-resolution) storage nanoseconds, and on a
+            // hot-cache workload those near-zero samples would drag
+            // hub.storage_ns p50/p99 far below the real round-trip
+            // latency the histogram exists to size
+            shared.obs.storage.record(storage_nanos.get());
+            (frame, version, execute_ns)
         }
     };
     let storage_ns = storage_nanos.get();
-    shared.obs.storage.record(storage_ns);
     let total_ns = ctx.queue_wait_ns + total.stop();
     if total_ns >= shared.opts.slow_query_threshold.as_nanos() as u64 {
         let (trace_id, client_span) = ctx.trace.unwrap_or((0, 0));

@@ -38,7 +38,12 @@
 //! request]`. The server unwraps, records its spans under the client's
 //! ids, and answers the inner request's normal response — so an
 //! untraced legacy frame is simply the degenerate case and
-//! [`PROTO_VERSION`] again stays put. [`Request::Metrics`] reads the
+//! [`PROTO_VERSION`] again stays put. Because the version byte cannot
+//! signal the extension, an upgraded client must not assume it: the
+//! `RemoteProvider` handshake probes with one traced `Ping` and falls
+//! back to untagged frames when a pre-tracing server rejects the
+//! opcode, keeping mixed-version clusters working in both upgrade
+//! directions. [`Request::Metrics`] reads the
 //! hub's observability registry back out: counters, gauges, sparse
 //! histogram buckets, and the slow-query ring, all machine-readable
 //! ([`resp_metrics`] / [`expect_metrics`]).
@@ -405,10 +410,15 @@ pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
         OP_TRACED => {
             let trace_id = r.u64()?;
             let parent_span = r.u64()?;
-            let inner = decode_request(r.take(r.remaining())?)?;
-            if matches!(inner, Request::Traced { .. }) {
+            let inner_payload = r.take(r.remaining())?;
+            // rejected by peeking the opcode BEFORE recursing: a frame of
+            // N repeated 17-byte Traced headers must cost one stack
+            // frame, not N — recursion depth here is attacker-controlled
+            // up to MAX_FRAME, and a stack overflow aborts the process
+            if inner_payload.first() == Some(&OP_TRACED) {
                 return Err(WireError("nested traced frame".into()));
             }
+            let inner = decode_request(inner_payload)?;
             Request::Traced {
                 trace_id,
                 parent_span,
@@ -1183,6 +1193,20 @@ mod tests {
             }),
         };
         assert!(decode_request(&encode_request(&double)).is_err());
+        // a frame of many repeated 17-byte Traced headers must be
+        // rejected in O(1) stack. Before the peek-based check each
+        // header cost one decode_request stack frame, so ~100k headers
+        // (1.7 MB, well under MAX_FRAME) overflowed a 2 MiB thread
+        // stack — aborting the process from one crafted frame
+        let mut deep = Vec::with_capacity(100_000 * 17 + 1);
+        for _ in 0..100_000 {
+            deep.push(OP_TRACED);
+            put_u64(&mut deep, 1);
+            put_u64(&mut deep, 2);
+        }
+        deep.push(OP_PING);
+        let err = decode_request(&deep).unwrap_err();
+        assert!(err.to_string().contains("nested traced frame"));
         // a truncated traced frame errors cleanly at every cut
         let buf = encode_request(&Request::Traced {
             trace_id: 9,

@@ -270,6 +270,13 @@ pub struct RemoteProvider {
     /// what a hub-side span tree's `parent_span` should equal.
     last_trace_id: AtomicU64,
     last_span_id: AtomicU64,
+    /// Whether the server understands the `Traced` envelope, learned by
+    /// the dial handshake's capability probe. PROTO_VERSION is unchanged
+    /// (the envelope is additive), so version negotiation alone cannot
+    /// tell an upgraded hub from a pre-tracing one — against the latter
+    /// requests go out untagged, exactly as a legacy client's, instead
+    /// of failing every exchange with "unknown opcode".
+    traced: AtomicBool,
     /// Dataset this client is attached to in a multi-dataset hub.
     /// `None` targets the hub's default mount (the single-dataset
     /// `DatasetServer` behaviour). Every socket the pool dials re-plays
@@ -323,6 +330,7 @@ impl RemoteProvider {
             round_trip_ns,
             last_trace_id: AtomicU64::new(0),
             last_span_id: AtomicU64::new(0),
+            traced: AtomicBool::new(false),
             attached: Mutex::new(None),
         };
         // the dial handshake (Hello + the switch to pipelined framing)
@@ -363,10 +371,19 @@ impl RemoteProvider {
         proto::expect_metrics(&resp)
     }
 
-    /// `(trace_id, span_id)` of the most recent exchange this client
-    /// sent. A hub's span tree for that request reports this span id as
-    /// its `parent_span` — the join key tests use to check end-to-end
-    /// propagation.
+    /// Whether the dial handshake's capability probe found a server
+    /// that understands the `Traced` envelope. `false` against a
+    /// pre-tracing server: requests then travel untagged, exactly as a
+    /// legacy client's, and no trace context is propagated.
+    pub fn tracing_enabled(&self) -> bool {
+        self.traced.load(Ordering::Relaxed)
+    }
+
+    /// `(trace_id, span_id)` of the most recent **traced** exchange this
+    /// client sent (all zeros when [`RemoteProvider::tracing_enabled`]
+    /// is false). A hub's span tree for that request reports this span
+    /// id as its `parent_span` — the join key tests use to check
+    /// end-to-end propagation.
     pub fn last_trace(&self) -> (u64, u64) {
         (
             self.last_trace_id.load(Ordering::Relaxed),
@@ -532,6 +549,27 @@ impl RemoteProvider {
             }
             None => return Err(refused("server closed during version negotiation".into())),
         }
+        // capability probe: one traced Ping while still in untagged
+        // framing. The trace envelope is additive under an unchanged
+        // PROTO_VERSION, so the Hello exchange cannot reveal whether the
+        // server understands it — a pre-tracing server answers the probe
+        // with a lossless "unknown opcode" protocol error, and every
+        // later request on this client then goes out untagged so
+        // rolling upgrades in mixed-version clusters keep working in
+        // both directions.
+        let probe = proto::trace_wrap(next_id(), next_id(), &proto::encode_request(&Request::Ping));
+        proto::write_frame(&mut stream, &probe)?;
+        match proto::read_frame(&mut stream)? {
+            Some(resp) => {
+                self.traced
+                    .store(proto::expect_unit(&resp).is_ok(), Ordering::Relaxed);
+            }
+            None => {
+                return Err(refused(
+                    "server closed during tracing capability probe".into(),
+                ))
+            }
+        }
         Ok(stream)
     }
 
@@ -646,20 +684,29 @@ impl RemoteProvider {
     fn round_trip(&self, payload: &[u8]) -> Result<Vec<u8>, StorageError> {
         // one trace per logical request; each attempt (Busy retries
         // included) sends its own span id, so the server-side span tree
-        // names the attempt that actually executed
+        // names the attempt that actually executed. When the handshake
+        // probe found a pre-tracing server the envelope is skipped and
+        // the payload goes out verbatim.
+        let traced = self.traced.load(Ordering::Relaxed);
         let trace = TraceContext::root();
-        self.last_trace_id.store(trace.trace_id, Ordering::Relaxed);
+        if traced {
+            self.last_trace_id.store(trace.trace_id, Ordering::Relaxed);
+        }
         let mut attempt = 0;
         loop {
-            let span_id = if attempt == 0 {
-                trace.span_id
+            let wire: std::borrow::Cow<'_, [u8]> = if traced {
+                let span_id = if attempt == 0 {
+                    trace.span_id
+                } else {
+                    next_id()
+                };
+                self.last_span_id.store(span_id, Ordering::Relaxed);
+                proto::trace_wrap(trace.trace_id, span_id, payload).into()
             } else {
-                next_id()
+                payload.into()
             };
-            self.last_span_id.store(span_id, Ordering::Relaxed);
-            let wrapped = proto::trace_wrap(trace.trace_id, span_id, payload);
             let timer = SpanTimer::start();
-            let resp = self.round_trip_once(&wrapped)?;
+            let resp = self.round_trip_once(&wire)?;
             timer.record(&self.round_trip_ns);
             if resp.first() == Some(&proto::STATUS_BUSY) && attempt < self.opts.busy_retries {
                 attempt += 1;

@@ -26,6 +26,7 @@ fn fleet_config(nodes: usize) -> ClusterQueryConfig {
         workers_per_node: 2,
         storage: NetworkProfile::minio_lan().scaled(0.25),
         kill_after: None,
+        probe_interval: None,
         fault_ops: 0,
         seed: 11,
     }

@@ -8,7 +8,8 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use deeplake_bench::c10k::{run_c10k, C10kConfig};
-use deeplake_bench::{print_metrics, BenchReport};
+use deeplake_bench::{print_cluster_metrics, print_metrics, BenchReport};
+use deeplake_cluster::Cluster;
 use deeplake_core::dataset::{Dataset, TensorOptions};
 use deeplake_hub::{Hub, HubOptions};
 use deeplake_obs::MetricsSnapshot;
@@ -139,6 +140,40 @@ fn main() {
         );
     }
 
+    // the fleet snapshot: a 3-node replicated cluster under brief query
+    // load, scraped through cluster_metrics() — the merged counters the
+    // cluster trajectory is judged against, and a sanity check that the
+    // merge equals the per-node sums on real traffic
+    let fleet_seed: Arc<MemoryProvider> = Arc::new(MemoryProvider::new());
+    build_dataset(fleet_seed.clone());
+    let fleet = Cluster::builder()
+        .nodes(3)
+        .replication(2)
+        .dataset_from("baseline", fleet_seed)
+        .build()
+        .expect("fleet build");
+    let fleet_client = fleet.client().expect("fleet client");
+    let fleet_mount = fleet_client.open("baseline").expect("fleet mount");
+    const FLEET_QUERIES: u32 = 200;
+    let t = Instant::now();
+    for _ in 0..FLEET_QUERIES {
+        let r = fleet_mount.query(text, &QueryOptions::default()).unwrap();
+        assert_eq!(r.len(), 100);
+    }
+    let fleet_qps = FLEET_QUERIES as f64 / t.elapsed().as_secs_f64();
+    let fleet_snap = fleet_client.cluster_metrics().expect("fleet scrape");
+    let merged_queries = fleet_snap.merged.counter("hub.queries").unwrap_or(0);
+    let summed_queries: u64 = fleet_snap
+        .per_node
+        .iter()
+        .map(|(_, s)| s.counter("hub.queries").unwrap_or(0))
+        .sum();
+    assert_eq!(
+        merged_queries, summed_queries,
+        "merged fleet counters must equal the per-node sums"
+    );
+    print_cluster_metrics("baseline fleet", &fleet_snap);
+
     let mut report = BenchReport::new("baseline");
     report
         .metric(
@@ -212,7 +247,10 @@ fn main() {
         .metric(
             "c10k_peak_conn_buffered_bytes",
             c10k_hub.stats().peak_conn_buffered() as f64,
-        );
+        )
+        .metric("fleet_nodes_scraped", fleet_snap.per_node.len() as f64)
+        .metric("fleet_merged_queries", merged_queries as f64)
+        .metric("fleet_queries_per_sec", fleet_qps);
     let path = report.write().expect("write BENCH_baseline.json");
     println!("{}", report.to_json());
     println!("baseline: wrote {}", path.display());

@@ -1,0 +1,132 @@
+//! Perf regression gate: re-run the C10K condition fresh and compare
+//! it against the committed `BENCH_baseline.json`. Exits non-zero when
+//! the fresh run regresses by more than the tolerance (default 25%) on
+//! either headline number:
+//!
+//! * `c10k_queries_per_sec` — fresh must be ≥ (1 − tol) × baseline;
+//! * `c10k_p99_ms` — fresh must be ≤ (1 + tol) × baseline.
+//!
+//! Knobs:
+//! * `DL_REGRESS_BASELINE` — baseline JSON path (default
+//!   `BENCH_baseline.json` in the working directory).
+//! * `DL_REGRESS_TOLERANCE` — allowed fractional regression
+//!   (default `0.25`). CI machines are noisy; a 25% band trips on real
+//!   regressions, not scheduler jitter.
+//! * `DL_REGRESS_CLIENTS` / `DL_REGRESS_REQS` — scale the fresh run
+//!   down for smoke environments. When the client count differs from
+//!   the baseline's `c10k_clients` the q/s and p99 comparison is
+//!   apples-to-oranges, so the gate reports but does NOT enforce.
+//!
+//! Run with `cargo run --release -p deeplake-bench --bin regress`.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use deeplake_bench::c10k::{run_c10k, C10kConfig};
+use deeplake_bench::{env_f64, env_usize, parse_metrics, print_table};
+use deeplake_hub::{Hub, HubOptions};
+use deeplake_storage::{MemoryProvider, StorageProvider};
+
+fn main() {
+    let baseline_path =
+        std::env::var("DL_REGRESS_BASELINE").unwrap_or_else(|_| "BENCH_baseline.json".to_string());
+    let tolerance = env_f64("DL_REGRESS_TOLERANCE", 0.25);
+    let json = match std::fs::read_to_string(&baseline_path) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("regress: cannot read baseline {baseline_path}: {e}");
+            eprintln!("regress: run `cargo run --release -p deeplake-bench --bin baseline` first");
+            std::process::exit(2);
+        }
+    };
+    let baseline = parse_metrics(&json);
+    let base = |key: &str| -> f64 {
+        baseline
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| {
+                eprintln!("regress: baseline {baseline_path} has no metric {key}");
+                std::process::exit(2);
+            })
+    };
+    let base_qps = base("c10k_queries_per_sec");
+    let base_p99_ms = base("c10k_p99_ms");
+    let base_clients = base("c10k_clients") as usize;
+
+    // the fresh run mirrors the baseline bin's C10K condition exactly:
+    // same hub shape (4 workers, 2 reader threads, queue depth 256),
+    // same preloaded keys, every response byte-verified
+    let cfg = C10kConfig {
+        clients: env_usize("DL_REGRESS_CLIENTS", base_clients),
+        requests_per_client: env_usize("DL_REGRESS_REQS", 5),
+        ..C10kConfig::default()
+    };
+    let storage = Arc::new(MemoryProvider::new());
+    for i in 0..cfg.keys {
+        storage
+            .put(&cfg.key_of(i), Bytes::from(cfg.value()))
+            .unwrap();
+    }
+    let hub = Hub::builder()
+        .default_mount(storage)
+        .options(HubOptions {
+            workers: 4,
+            reader_threads: 2,
+            queue_depth: 256,
+            ..HubOptions::default()
+        })
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let fresh = run_c10k(hub.addr(), &cfg);
+    if fresh.failures > 0 {
+        eprintln!("regress: {} requests failed — invalid run", fresh.failures);
+        std::process::exit(1);
+    }
+
+    let fresh_qps = fresh.queries_per_sec();
+    let fresh_p99_ms = fresh.p99.as_secs_f64() * 1e3;
+    let comparable = cfg.clients == base_clients;
+    let qps_floor = base_qps * (1.0 - tolerance);
+    let p99_ceiling = base_p99_ms * (1.0 + tolerance);
+    let qps_ok = fresh_qps >= qps_floor;
+    let p99_ok = fresh_p99_ms <= p99_ceiling;
+
+    let row = |name: &str, baseline: f64, fresh: f64, bound: f64, ok: bool| {
+        vec![
+            name.to_string(),
+            format!("{baseline:.1}"),
+            format!("{fresh:.1}"),
+            format!("{bound:.1}"),
+            if ok { "ok" } else { "REGRESSED" }.to_string(),
+        ]
+    };
+    print_table(
+        &format!(
+            "c10k regression gate ({} clients, tolerance {:.0}%)",
+            cfg.clients,
+            tolerance * 100.0
+        ),
+        &["metric", "baseline", "fresh", "bound", "verdict"],
+        &[
+            row("queries_per_sec", base_qps, fresh_qps, qps_floor, qps_ok),
+            row("p99_ms", base_p99_ms, fresh_p99_ms, p99_ceiling, p99_ok),
+        ],
+    );
+
+    if !comparable {
+        println!(
+            "regress: fresh run used {} clients vs baseline's {} — reporting only, not enforcing",
+            cfg.clients, base_clients
+        );
+        return;
+    }
+    if !(qps_ok && p99_ok) {
+        eprintln!(
+            "regress: fresh c10k run breached the {:.0}% band vs {baseline_path}",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("regress: within tolerance");
+}

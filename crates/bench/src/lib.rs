@@ -73,11 +73,20 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 }
 
 /// Pretty-print an obs [`MetricsSnapshot`] (as returned by
-/// `RemoteProvider::hub_metrics` or `HubHandle::metrics`): counters and
-/// gauges first, then histogram quantiles in milliseconds, then the
-/// slow-query ring. Empty sections are skipped.
+/// `RemoteProvider::hub_metrics`, `HubHandle::metrics`, or a merged
+/// fleet view): counters and gauges first, then windowed rates, then
+/// histogram quantiles in milliseconds, then the flight-recorder tail,
+/// then the slow-query ring. Named sections are sorted by instrument
+/// name so two snapshots diff line-by-line; ring sections (events,
+/// slow queries) keep their ring order, which *is* the information.
+/// Empty sections are skipped.
 pub fn print_metrics(title: &str, snap: &deeplake_obs::MetricsSnapshot) {
     let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+    let sorted = |rows: Vec<Vec<String>>| {
+        let mut rows = rows;
+        rows.sort();
+        rows
+    };
     if !snap.counters.is_empty() || !snap.gauges.is_empty() {
         let mut rows: Vec<Vec<String>> = snap
             .counters
@@ -89,7 +98,30 @@ pub fn print_metrics(title: &str, snap: &deeplake_obs::MetricsSnapshot) {
                 .iter()
                 .map(|(k, v)| vec![k.clone(), v.to_string()]),
         );
-        print_table(&format!("{title}: counters"), &["name", "value"], &rows);
+        print_table(
+            &format!("{title}: counters"),
+            &["name", "value"],
+            &sorted(rows),
+        );
+    }
+    if !snap.rates.is_empty() {
+        let rows: Vec<Vec<String>> = snap
+            .rates
+            .iter()
+            .map(|(k, r)| {
+                let mut row = vec![k.clone()];
+                for i in 0..deeplake_obs::WINDOW_SECS.len() {
+                    row.push(r.counts[i].to_string());
+                    row.push(format!("{:.1}", r.per_sec(i)));
+                }
+                row
+            })
+            .collect();
+        print_table(
+            &format!("{title}: rates"),
+            &["name", "1s", "/s", "10s", "/s", "60s", "/s"],
+            &sorted(rows),
+        );
     }
     if !snap.histograms.is_empty() {
         let rows: Vec<Vec<String>> = snap
@@ -110,6 +142,30 @@ pub fn print_metrics(title: &str, snap: &deeplake_obs::MetricsSnapshot) {
         print_table(
             &format!("{title}: histograms (ms)"),
             &["name", "count", "p50", "p90", "p99", "max"],
+            &sorted(rows),
+        );
+    }
+    if !snap.events.is_empty() {
+        let rows: Vec<Vec<String>> = snap
+            .events
+            .iter()
+            .map(|e| {
+                vec![
+                    e.seq.to_string(),
+                    e.at_unix_ms.to_string(),
+                    e.kind.clone(),
+                    if e.trace_id == 0 {
+                        "-".to_string()
+                    } else {
+                        format!("{:016x}", e.trace_id)
+                    },
+                    e.detail.clone(),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("{title}: flight recorder"),
+            &["seq", "at_unix_ms", "kind", "trace", "detail"],
             &rows,
         );
     }
@@ -137,6 +193,41 @@ pub fn print_metrics(title: &str, snap: &deeplake_obs::MetricsSnapshot) {
             &rows,
         );
     }
+}
+
+/// Pretty-print a fleet view from
+/// [`deeplake_cluster::ClusterClient::cluster_metrics`]: the merged
+/// snapshot first, then a one-line-per-node breakdown (queries,
+/// connections, cuts, bytes out) sorted by address so runs diff
+/// cleanly. Per-node detail beyond the summary line is available by
+/// calling [`print_metrics`] on any `per_node` snapshot.
+pub fn print_cluster_metrics(title: &str, fleet: &deeplake_cluster::ClusterMetrics) {
+    print_metrics(
+        &format!("{title} (merged, {} nodes)", fleet.per_node.len()),
+        &fleet.merged,
+    );
+    let rows: Vec<Vec<String>> = fleet
+        .per_node
+        .iter()
+        .map(|(addr, snap)| {
+            let c = |name: &str| snap.counter(name).unwrap_or(0).to_string();
+            vec![
+                addr.clone(),
+                c("hub.requests"),
+                c("hub.queries"),
+                c("hub.busy_rejections"),
+                c("hub.wire.bytes_written"),
+                snap.events.len().to_string(),
+            ]
+        })
+        .collect();
+    let mut rows = rows;
+    rows.sort();
+    print_table(
+        &format!("{title}: per node"),
+        &["node", "requests", "queries", "busy", "bytes_out", "events"],
+        &rows,
+    );
 }
 
 /// Ingest raw images into a fresh Deep Lake dataset on `provider`.
@@ -336,8 +427,8 @@ impl BenchReport {
 
 /// Parse the flat `"key": number` pairs out of a [`BenchReport`] JSON
 /// file. Only the shape `to_json` emits is understood — one metric per
-/// line — which is all `write_merged` needs.
-fn parse_metrics(json: &str) -> Vec<(String, f64)> {
+/// line — which is all `write_merged` and the `regress` gate need.
+pub fn parse_metrics(json: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     let mut in_metrics = false;
     for line in json.lines() {

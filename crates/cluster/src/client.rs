@@ -35,17 +35,20 @@
 //! cached one; an older answer (a node that has not heard the news yet)
 //! is ignored.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use deeplake_obs::{Counter, MetricsRegistry, MetricsSnapshot};
+use deeplake_obs::{Counter, MetricsRegistry, MetricsSnapshot, SpanRecord};
 use deeplake_remote::{RemoteOptions, RemoteProvider};
 use deeplake_storage::{ReadPlan, ReadRequest, ReadResult, StorageError, StorageProvider};
 use deeplake_tql::{QueryOptions, QueryResult, TqlError};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+
+use crate::map::ClusterMap;
 
 /// Routing-client configuration.
 #[derive(Debug, Clone, Copy)]
@@ -101,6 +104,10 @@ struct Shared {
     /// register here under `cluster.<dataset>.*`, so one snapshot covers
     /// all datasets this client routes to.
     metrics: MetricsRegistry,
+    /// The cluster's shared membership map, when attached (the
+    /// in-process stand-in for a membership service). The health prober
+    /// flips liveness here; `cluster_metrics` scrapes its live set.
+    map: Mutex<Option<Arc<RwLock<ClusterMap>>>>,
 }
 
 impl Shared {
@@ -165,8 +172,20 @@ impl Shared {
 }
 
 /// Entry point: connects to a cluster by seed list and opens datasets.
+/// With the cluster map attached ([`ClusterClient::attach_map`]) it can
+/// also run the fleet's failure detector
+/// ([`ClusterClient::start_prober`]) and aggregate every node's metrics
+/// ([`ClusterClient::cluster_metrics`]).
 pub struct ClusterClient {
     shared: Arc<Shared>,
+    /// The background health prober, when running.
+    prober: Mutex<Option<ProberHandle>>,
+}
+
+/// Stop-flag + join handle of the background prober thread.
+struct ProberHandle {
+    stop: Arc<(StdMutex<bool>, Condvar)>,
+    thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ClusterClient {
@@ -194,8 +213,103 @@ impl ClusterClient {
                 options,
                 conns: Mutex::new(HashMap::new()),
                 metrics: MetricsRegistry::new(),
+                map: Mutex::new(None),
             }),
+            prober: Mutex::new(None),
         })
+    }
+
+    /// Attach the cluster's shared membership map, enabling
+    /// [`start_prober`](ClusterClient::start_prober) and giving
+    /// [`cluster_metrics`](ClusterClient::cluster_metrics) the full
+    /// node list to scrape. [`crate::Cluster::client`] does this
+    /// automatically.
+    pub fn attach_map(&self, map: Arc<RwLock<ClusterMap>>) {
+        *self.shared.map.lock() = Some(map);
+    }
+
+    /// Start the background health prober: every `interval` it sends
+    /// `Health` to each registered address (dead ones included, so
+    /// recovery is observed too) and flips the attached map's liveness
+    /// from what it sees. Only a *transport* failure — after one
+    /// drop-and-redial retry to rule out a stale pooled connection —
+    /// counts as death; `Busy` push-back and the lossless "unknown
+    /// opcode" protocol error from a pre-health hub both mean alive.
+    /// Decisions surface in [`metrics`](ClusterClient::metrics) under
+    /// `cluster.probe.*`. Returns `false` when no map is attached or a
+    /// prober is already running.
+    pub fn start_prober(&self, interval: Duration) -> bool {
+        let Some(map) = self.shared.map.lock().clone() else {
+            return false;
+        };
+        let mut slot = self.prober.lock();
+        if slot.is_some() {
+            return false;
+        }
+        let stop = Arc::new((StdMutex::new(false), Condvar::new()));
+        let shared = Arc::clone(&self.shared);
+        let thread_stop = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            prober_loop(&shared, &map, &thread_stop, interval);
+        });
+        *slot = Some(ProberHandle {
+            stop,
+            thread: Some(thread),
+        });
+        true
+    }
+
+    /// Stop the background prober and join its thread. Idempotent;
+    /// dropping the client does this too.
+    pub fn stop_prober(&self) {
+        let handle = self.prober.lock().take();
+        if let Some(mut handle) = handle {
+            *handle.stop.0.lock().unwrap() = true;
+            handle.stop.1.notify_all();
+            if let Some(thread) = handle.thread.take() {
+                let _ = thread.join();
+            }
+        }
+    }
+
+    /// Scrape every reachable node's metrics snapshot and fold them
+    /// into one fleet view: merged counters/histograms/rates per name,
+    /// every node's slow queries and flight events on one timeline,
+    /// plus the per-node snapshots for breakdowns. Nodes the attached
+    /// map knows (or the seed list, when no map is attached) are
+    /// scraped; transport-dead ones are skipped. Errs only when no
+    /// node answered.
+    pub fn cluster_metrics(&self) -> Result<ClusterMetrics, StorageError> {
+        let addrs: Vec<String> = match self.shared.map.lock().clone() {
+            Some(map) => map.read().live_addrs(),
+            None => self.shared.seeds.clone(),
+        };
+        let mut per_node: Vec<(String, MetricsSnapshot)> = Vec::new();
+        let mut merged = MetricsSnapshot::default();
+        let mut last_err: Option<StorageError> = None;
+        for addr in addrs {
+            match self
+                .shared
+                .conn(&addr, "")
+                .and_then(|conn| conn.hub_metrics())
+            {
+                Ok(snap) => {
+                    merged.merge(&snap);
+                    per_node.push((addr, snap));
+                }
+                Err(e) => {
+                    if is_transport(&e) {
+                        self.shared.drop_conn(&addr, "");
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        if per_node.is_empty() {
+            return Err(last_err
+                .unwrap_or_else(|| StorageError::Io("cluster has no node to scrape".into())));
+        }
+        Ok(ClusterMetrics { per_node, merged })
     }
 
     /// Discover where `dataset` lives and return a routing mount for
@@ -256,9 +370,156 @@ impl ClusterClient {
     }
 
     /// Snapshot of this client's routing instruments — every open
-    /// mount's `cluster.<dataset>.failovers` / `.refreshes` counters.
+    /// mount's `cluster.<dataset>.failovers` / `.refreshes` counters,
+    /// plus the prober's `cluster.probe.*` decisions when it runs.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot()
+    }
+}
+
+impl Drop for ClusterClient {
+    fn drop(&mut self) {
+        self.stop_prober();
+    }
+}
+
+/// The prober thread: probe every registered address, flip the map,
+/// sleep until the next round or the stop flag.
+fn prober_loop(
+    shared: &Shared,
+    map: &RwLock<ClusterMap>,
+    stop: &(StdMutex<bool>, Condvar),
+    interval: Duration,
+) {
+    let probes = shared.metrics.counter("cluster.probe.probes");
+    let deaths = shared.metrics.counter("cluster.probe.deaths");
+    let revivals = shared.metrics.counter("cluster.probe.revivals");
+    loop {
+        let addrs: Vec<String> = map.read().nodes().iter().map(|n| n.addr.clone()).collect();
+        for addr in addrs {
+            if *stop.0.lock().unwrap() {
+                return;
+            }
+            probes.inc();
+            let alive = probe_once(shared, &addr);
+            let flipped = {
+                let mut m = map.write();
+                if alive {
+                    m.mark_live(&addr)
+                } else {
+                    m.mark_dead(&addr)
+                }
+            };
+            if flipped {
+                if alive {
+                    revivals.inc();
+                } else {
+                    deaths.inc();
+                }
+            }
+        }
+        let deadline = Instant::now() + interval;
+        let mut flagged = stop.0.lock().unwrap();
+        while !*flagged {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = stop.1.wait_timeout(flagged, deadline - now).unwrap();
+            flagged = guard;
+        }
+        if *flagged {
+            return;
+        }
+    }
+}
+
+/// One liveness decision for `addr`: `true` when the node answered
+/// anything at all — a `Health` report, `Busy` push-back, or a pre-
+/// health hub's lossless "unknown opcode" protocol error. A transport
+/// failure gets one drop-and-redial retry (the pooled connection may
+/// simply be stale); failing both dials is death.
+fn probe_once(shared: &Shared, addr: &str) -> bool {
+    for _attempt in 0..2 {
+        match shared
+            .conn(addr, "")
+            .and_then(|conn| conn.hub_health().map(|_| ()))
+        {
+            Ok(()) => return true,
+            Err(e) if probe_fatal(&e) => shared.drop_conn(addr, ""),
+            Err(_) => return true,
+        }
+    }
+    false
+}
+
+/// Whether a probe error means the *node* is gone. Protocol errors are
+/// prefixed `remote protocol:` by the remote layer — an old hub
+/// rejecting the `Health` opcode is alive; everything else `Io`-shaped
+/// on a probe is transport (`remote transport`, `remote dial`,
+/// `cluster dial`). `Busy` is a live node pushing back.
+fn probe_fatal(e: &StorageError) -> bool {
+    match e {
+        StorageError::Busy(_) => false,
+        StorageError::Io(msg) => !msg.contains("remote protocol"),
+        _ => false,
+    }
+}
+
+/// The fleet view [`ClusterClient::cluster_metrics`] returns: one
+/// merged snapshot plus the per-node snapshots it was folded from.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterMetrics {
+    /// `(address, snapshot)` per scraped node, in scrape order.
+    pub per_node: Vec<(String, MetricsSnapshot)>,
+    /// All per-node snapshots merged per name: counters summed,
+    /// histograms bucket-merged, slow queries and flight events
+    /// interleaved on one timeline.
+    pub merged: MetricsSnapshot,
+}
+
+impl ClusterMetrics {
+    /// Stitch the cross-node span tree for one trace out of every
+    /// node's slow-query entries. Each hub-side entry contributes a
+    /// synthetic `hub:<dataset>` span (id = the entry's root span,
+    /// parent = the client span that sent the request) plus its stage
+    /// spans, so a fan-out trace shows which node spent the time.
+    /// Parents precede children in the returned order; spans whose
+    /// parent is outside the set (the client's root) come first.
+    pub fn span_tree(&self, trace_id: u64) -> Vec<SpanRecord> {
+        let mut spans: Vec<SpanRecord> = Vec::new();
+        for entry in self
+            .merged
+            .slow_queries
+            .iter()
+            .filter(|e| e.trace_id == trace_id)
+        {
+            spans.push(SpanRecord {
+                name: format!("hub:{}", entry.dataset),
+                span_id: entry.root_span,
+                parent_span: entry.parent_span,
+                dur_ns: entry.total_ns,
+            });
+            spans.extend(entry.spans.iter().cloned());
+        }
+        let all_ids: HashSet<u64> = spans.iter().map(|s| s.span_id).collect();
+        let mut placed: HashSet<u64> = HashSet::new();
+        let mut ordered: Vec<SpanRecord> = Vec::with_capacity(spans.len());
+        while !spans.is_empty() {
+            let before = spans.len();
+            let (ready, rest): (Vec<SpanRecord>, Vec<SpanRecord>) =
+                spans.into_iter().partition(|s| {
+                    !all_ids.contains(&s.parent_span) || placed.contains(&s.parent_span)
+                });
+            placed.extend(ready.iter().map(|s| s.span_id));
+            ordered.extend(ready);
+            spans = rest;
+            if spans.len() == before {
+                // orphaned cycle (ids collided): append rather than spin
+                ordered.append(&mut spans);
+            }
+        }
+        ordered
     }
 }
 

@@ -38,7 +38,13 @@
 //!   write-through to all of them with read-your-writes, transparent
 //!   failover + placement refresh when nodes die. A mount is a
 //!   [`deeplake_storage::StorageProvider`], so everything above storage
-//!   runs against a cluster unchanged.
+//!   runs against a cluster unchanged. The client also carries the
+//!   fleet's observability: [`ClusterClient::start_prober`] runs the
+//!   health-probe failure detector that flips map liveness without any
+//!   manual `kill`, and [`ClusterClient::cluster_metrics`] folds every
+//!   node's snapshot into one [`ClusterMetrics`] view (merged
+//!   counters, one event timeline, cross-node
+//!   [`ClusterMetrics::span_tree`] stitching).
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -62,7 +68,7 @@ pub mod map;
 pub mod node;
 pub mod ring;
 
-pub use client::{ClusterClient, ClusterClientOptions, ClusterMount};
-pub use map::{ClusterMap, NodeEntry};
+pub use client::{ClusterClient, ClusterClientOptions, ClusterMetrics, ClusterMount};
+pub use map::{ClusterMap, LivenessObserver, NodeEntry};
 pub use node::{Cluster, ClusterBuilder, StoreFactory};
 pub use ring::{fnv1a, position, HashRing, VNODES};

@@ -36,10 +36,29 @@
 //! architecture needs; the transport for membership updates is not.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use deeplake_storage::StorageError;
 
 use crate::ring::HashRing;
+
+/// Callback invoked on every *actual* liveness flip:
+/// `(address, now live)`. Wired by the cluster builder to each node's
+/// flight recorder, so an observed death (or recovery) shows up in every
+/// surviving node's event tail. Called while the map's lock is held —
+/// observers must not re-enter the map.
+pub type LivenessObserver = Arc<dyn Fn(&str, bool) + Send + Sync>;
+
+/// The observer list, newtyped so [`ClusterMap`] keeps its derived
+/// `Debug`/`Clone` (closures have no useful debug form).
+#[derive(Clone, Default)]
+struct Observers(Vec<LivenessObserver>);
+
+impl std::fmt::Debug for Observers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Observers({})", self.0.len())
+    }
+}
 
 /// One cluster member.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +80,8 @@ pub struct ClusterMap {
     /// Bounded-load assignment: dataset → node indices, recomputed when
     /// the dataset set changes (NOT on liveness flips).
     assignments: BTreeMap<String, Vec<usize>>,
+    /// Liveness-flip subscribers (flight recorders, tests).
+    observers: Observers,
 }
 
 impl ClusterMap {
@@ -79,7 +100,17 @@ impl ClusterMap {
             datasets: BTreeSet::new(),
             ring,
             assignments: BTreeMap::new(),
+            observers: Observers::default(),
         }
+    }
+
+    /// Subscribe to liveness flips. The callback fires on every
+    /// *actual* state change — [`mark_dead`](ClusterMap::mark_dead) on
+    /// an already-dead node is silent — with the address and the new
+    /// state. It runs under the map's lock: record and return, never
+    /// call back into the map.
+    pub fn observe_liveness(&mut self, observer: LivenessObserver) {
+        self.observers.0.push(observer);
     }
 
     /// Recompute every dataset's owners with bounded loads: walk each
@@ -186,6 +217,9 @@ impl ClusterMap {
             Some(node) if node.live != live => {
                 node.live = live;
                 self.epoch += 1;
+                for observer in &self.observers.0 {
+                    observer(addr, live);
+                }
                 true
             }
             _ => false,
@@ -318,6 +352,27 @@ mod tests {
         assert!(
             load.iter().all(|&l| l <= 9),
             "a node exceeded fair share + 1: {load:?}"
+        );
+    }
+
+    #[test]
+    fn observers_fire_only_on_actual_flips() {
+        use std::sync::Mutex;
+        let mut m = map(3, 2);
+        let seen: Arc<Mutex<Vec<(String, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        m.observe_liveness(Arc::new(move |addr, live| {
+            sink.lock().unwrap().push((addr.to_string(), live));
+        }));
+        let victim = m.live_addrs()[0].clone();
+        assert!(m.mark_dead(&victim));
+        assert!(!m.mark_dead(&victim), "second death is a no-op");
+        assert!(!m.mark_dead("10.9.9.9:1"), "unknown addr is a no-op");
+        assert!(m.mark_live(&victim));
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![(victim.clone(), false), (victim, true)],
+            "one event per actual flip, none for no-ops"
         );
     }
 

@@ -20,6 +20,7 @@ use std::io;
 use std::sync::Arc;
 
 use deeplake_hub::{Hub, HubHandle, HubOptions, PlacementFn};
+use deeplake_obs::FlightEvent;
 use deeplake_storage::{DynProvider, MemoryProvider, StorageError, StorageProvider};
 use parking_lot::RwLock;
 
@@ -170,6 +171,30 @@ impl ClusterBuilder {
             }
         }
 
+        // every node's flight recorder subscribes to the map's liveness
+        // flips: when the failure detector (the client's health prober,
+        // or an explicit kill) declares a node dead, each *surviving*
+        // node records the observation in its own event tail
+        {
+            let mut m = map.write();
+            for node in &nodes {
+                let recorder = node
+                    .hub
+                    .as_ref()
+                    .expect("hub is live during build")
+                    .flight_recorder()
+                    .clone();
+                m.observe_liveness(Arc::new(move |addr: &str, live: bool| {
+                    let kind = if live {
+                        FlightEvent::NODE_LIVE
+                    } else {
+                        FlightEvent::NODE_DEAD
+                    };
+                    recorder.record(kind, 0, addr);
+                }));
+            }
+        }
+
         Ok(Cluster { map, nodes })
     }
 }
@@ -224,14 +249,19 @@ impl Cluster {
         self.map.read().epoch()
     }
 
-    /// A routing client seeded with every node address.
+    /// A routing client seeded with every node address. The shared map
+    /// is attached, so [`ClusterClient::start_prober`] can act as the
+    /// cluster's failure detector.
     pub fn client(&self) -> io::Result<ClusterClient> {
         self.client_with(ClusterClientOptions::default())
     }
 
-    /// A routing client with explicit options.
+    /// A routing client with explicit options (map attached, as with
+    /// [`Cluster::client`]).
     pub fn client_with(&self, options: ClusterClientOptions) -> io::Result<ClusterClient> {
-        ClusterClient::connect_with(self.addrs(), options)
+        let client = ClusterClient::connect_with(self.addrs(), options)?;
+        client.attach_map(self.map());
+        Ok(client)
     }
 
     /// Kill node `index`: shut its hub down (dials refused, in-flight
@@ -246,6 +276,22 @@ impl Cluster {
         };
         drop(hub); // shutdown on drop: stops accepting, drains workers
         self.map.write().mark_dead(&node.addr);
+        true
+    }
+
+    /// Crash node `index`: the hub dies but — unlike [`Cluster::kill`]
+    /// — *nobody updates the map*. The address keeps resolving in
+    /// placements until a failure detector (the client's health prober)
+    /// observes the death. This is the un-observed failure the prober
+    /// exists for. Returns `false` if already down.
+    pub fn crash(&mut self, index: usize) -> bool {
+        let Some(node) = self.nodes.get_mut(index) else {
+            return false;
+        };
+        let Some(hub) = node.hub.take() else {
+            return false;
+        };
+        drop(hub);
         true
     }
 

@@ -416,3 +416,227 @@ fn cluster_query_produces_connected_span_tree() {
     assert!(span("execute").dur_ns > 0);
     assert!(span("storage").dur_ns > 0);
 }
+
+/// A small committed dataset seed for query traffic.
+fn query_seed(name: &str) -> DynProvider {
+    use deeplake_core::dataset::TensorOptions;
+    use deeplake_core::Dataset;
+    use deeplake_tensor::{Htype, Sample};
+
+    let seed: DynProvider = Arc::new(MemoryProvider::new());
+    let mut ds = Dataset::create(seed.clone(), name).unwrap();
+    ds.create_tensor_opts("labels", {
+        let mut o = TensorOptions::new(Htype::ClassLabel);
+        o.chunk_target_bytes = Some(256);
+        o
+    })
+    .unwrap();
+    for i in 0..300u64 {
+        ds.append_row(vec![("labels", Sample::scalar((i / 100) as i32))])
+            .unwrap();
+    }
+    ds.flush().unwrap();
+    seed
+}
+
+/// The fleet-observability acceptance scenario, end to end:
+///
+/// 1. a node *crashes* — its hub dies but nobody tells the map (no
+///    `kill`, no `mark_dead`);
+/// 2. queries routed through the `ClusterClient` keep succeeding
+///    through the death (client-side failover covers the window);
+/// 3. the background health prober observes the death and flips the
+///    map within a probe interval — fresh placements stop naming the
+///    corpse, with zero manual intervention;
+/// 4. `cluster_metrics()` merges every surviving node's snapshot so
+///    each merged counter equals the sum of the per-node values, and
+///    stitches the traced query's cross-node span tree;
+/// 5. the surviving nodes' flight recorders contain the node-death
+///    observation.
+#[test]
+fn prober_detects_unobserved_crash_and_fleet_metrics_merge() {
+    use deeplake_hub::HubOptions;
+    use deeplake_obs::FlightEvent;
+    use deeplake_tql::QueryOptions;
+    use std::time::{Duration, Instant};
+
+    let mut cluster = Cluster::builder()
+        .nodes(3)
+        .replication(2)
+        .dataset_from("probed", query_seed("probed"))
+        .hub_options(HubOptions {
+            // log every query so the trace lands in a slow-query ring
+            slow_query_threshold: Duration::ZERO,
+            ..HubOptions::default()
+        })
+        .build()
+        .unwrap();
+    let client = cluster.client().unwrap();
+    let mount = client.open("probed").unwrap();
+    let q = "SELECT labels FROM probed WHERE labels = 1";
+    assert_eq!(mount.query(q, &QueryOptions::default()).unwrap().len(), 100);
+
+    let victim_index = cluster.replica_nodes("probed")[0];
+    let victim_addr = cluster.addrs()[victim_index].clone();
+    let epoch_before = cluster.epoch();
+    assert!(cluster.crash(victim_index), "crash kills the hub only");
+    assert!(
+        cluster.map().read().live_addrs().contains(&victim_addr),
+        "nobody told the map: the corpse still resolves in placements"
+    );
+
+    assert!(
+        client.start_prober(Duration::from_millis(50)),
+        "the cluster-built client has the map attached"
+    );
+    assert!(
+        !client.start_prober(Duration::from_millis(50)),
+        "a second prober is refused"
+    );
+
+    // queries keep succeeding THROUGH the unobserved death
+    for _ in 0..10 {
+        assert_eq!(mount.query(q, &QueryOptions::default()).unwrap().len(), 100);
+    }
+
+    // within a probe interval (plus scheduling slack) the map flips
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while cluster.map().read().live_addrs().contains(&victim_addr) {
+        assert!(
+            Instant::now() < deadline,
+            "prober never marked the crashed node dead"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(cluster.epoch() > epoch_before, "the flip bumped the epoch");
+    let (_, fresh) = client.open("probed").unwrap().placement();
+    assert!(
+        !fresh.contains(&victim_addr),
+        "fresh placements must not name the corpse"
+    );
+
+    // the prober's decisions are themselves counted
+    let probe_snap = client.metrics();
+    assert!(probe_snap.counter("cluster.probe.probes").unwrap_or(0) >= 3);
+    assert_eq!(probe_snap.counter("cluster.probe.deaths"), Some(1));
+
+    // every surviving node's flight recorder observed the death
+    for index in 0..3 {
+        if index == victim_index {
+            continue;
+        }
+        let events = cluster.hub(index).unwrap().flight_recorder().events();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == FlightEvent::NODE_DEAD && e.detail == victim_addr),
+            "node {index} missed the death observation: {events:?}"
+        );
+    }
+
+    // fleet aggregation over the survivors: merged == per-node sums
+    let fleet = client.cluster_metrics().unwrap();
+    assert_eq!(fleet.per_node.len(), 2, "two live nodes scraped");
+    for (name, total) in &fleet.merged.counters {
+        let sum: u64 = fleet
+            .per_node
+            .iter()
+            .map(|(_, snap)| snap.counter(name).unwrap_or(0))
+            .sum();
+        assert_eq!(*total, sum, "merged counter {name} != per-node sum");
+    }
+    for (name, merged_hist) in &fleet.merged.histograms {
+        let count_sum: u64 = fleet
+            .per_node
+            .iter()
+            .filter_map(|(_, snap)| snap.histogram(name))
+            .map(|h| h.count)
+            .sum();
+        assert_eq!(merged_hist.count, count_sum, "merged histogram {name}");
+    }
+    // the merged event timeline carries the fleet's accepts and the
+    // death observations
+    assert!(fleet
+        .merged
+        .events
+        .iter()
+        .any(|e| e.kind == FlightEvent::NODE_DEAD && e.detail == victim_addr));
+
+    // the traced query's span tree stitches out of the fleet view
+    let trace_id = fleet
+        .merged
+        .slow_queries
+        .iter()
+        .find(|e| e.dataset == "probed")
+        .expect("the query landed in some node's slow log")
+        .trace_id;
+    assert_ne!(trace_id, 0);
+    let tree = fleet.span_tree(trace_id);
+    let root = tree
+        .iter()
+        .find(|s| s.name == "hub:probed")
+        .expect("synthetic hub root span");
+    assert!(
+        tree.iter()
+            .any(|s| s.name == "execute" && s.parent_span == root.span_id),
+        "stage spans hang under the hub root"
+    );
+    // parents precede children
+    let ids: std::collections::HashSet<u64> = tree.iter().map(|s| s.span_id).collect();
+    let mut seen = std::collections::HashSet::new();
+    for span in &tree {
+        assert!(
+            !ids.contains(&span.parent_span) || seen.contains(&span.parent_span),
+            "span {} precedes its parent",
+            span.name
+        );
+        seen.insert(span.span_id);
+    }
+
+    client.stop_prober();
+    client.stop_prober(); // idempotent
+}
+
+/// The recovery direction: a healthy node falsely declared dead is
+/// revived by the prober's next round, and the revival is observed in
+/// the fleet's flight recorders.
+#[test]
+fn prober_revives_a_falsely_declared_node() {
+    use deeplake_obs::FlightEvent;
+    use std::time::{Duration, Instant};
+
+    let cluster = Cluster::builder()
+        .nodes(2)
+        .replication(2)
+        .dataset("steady")
+        .build()
+        .unwrap();
+    let client = cluster.client().unwrap();
+    let addr = cluster.addrs()[0].clone();
+    assert!(cluster.map().write().mark_dead(&addr), "false declaration");
+    assert!(!cluster.map().read().live_addrs().contains(&addr));
+
+    assert!(client.start_prober(Duration::from_millis(30)));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cluster.map().read().live_addrs().contains(&addr) {
+        assert!(
+            Instant::now() < deadline,
+            "prober never revived the healthy node"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        client
+            .metrics()
+            .counter("cluster.probe.revivals")
+            .unwrap_or(0)
+            >= 1
+    );
+    let events = cluster.hub(1).unwrap().flight_recorder().events();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == FlightEvent::NODE_LIVE && e.detail == addr),
+        "the revival must be observed: {events:?}"
+    );
+}

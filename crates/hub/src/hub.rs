@@ -63,8 +63,8 @@ use std::time::{Duration, Instant};
 
 use deeplake_core::Dataset;
 use deeplake_obs::{
-    next_id, Counter, Histogram, MetricsRegistry, MetricsSnapshot, SlowQueryEntry, SlowQueryLog,
-    SpanRecord, SpanTimer,
+    next_id, Counter, FlightEvent, FlightRecorder, Histogram, MetricsRegistry, MetricsSnapshot,
+    RateWindow, SlowQueryEntry, SlowQueryLog, SpanRecord, SpanTimer, WindowedHistogram,
 };
 use deeplake_remote::proto::{self, Request};
 use deeplake_storage::{
@@ -143,6 +143,12 @@ pub struct HubOptions {
     /// the most recent entries; readers see them oldest first via
     /// [`HubHandle::metrics`] or the wire `Metrics` opcode.
     pub slow_log_entries: usize,
+    /// Flight-recorder ring capacity (0 disables it): how many recent
+    /// notable events — connections cut, `Busy` rejections, stall cuts,
+    /// mount changes, observed node deaths — the hub retains. The ring
+    /// is always on and surfaces through `Metrics`, `Health` and
+    /// [`HubHandle::flight_recorder`].
+    pub flight_events: usize,
 }
 
 impl Default for HubOptions {
@@ -157,6 +163,7 @@ impl Default for HubOptions {
             cache_bytes: 64 << 20,
             slow_query_threshold: Duration::from_millis(250),
             slow_log_entries: 64,
+            flight_events: 128,
         }
     }
 }
@@ -299,6 +306,11 @@ impl JobQueue {
     fn notify_all(&self) {
         self.ready.notify_all();
     }
+
+    /// Jobs currently waiting (a point-in-time reading for `Health`).
+    fn len(&self) -> usize {
+        self.state.lock().unwrap().len()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -374,8 +386,10 @@ fn commit(shared: &Shared, out: &mut OutState, id: Option<u64>, request_len: u64
     }
     wire.extend_from_slice(&frame);
     out.buffered += wire.len();
+    let wire_len = wire.len() as u64;
     out.wbuf.push_back(wire);
     shared.stats.requests.inc();
+    shared.obs.bytes_out_rate.add(wire_len);
     shared
         .stats
         .wire
@@ -422,6 +436,9 @@ impl LoopShared {
 struct HubObs {
     registry: MetricsRegistry,
     slowlog: SlowQueryLog,
+    /// Always-on ring of notable events (connections cut, `Busy`
+    /// rejections, mount changes, observed node deaths).
+    recorder: FlightRecorder,
     /// Job pop time minus enqueue time (`hub.queue_wait_ns`).
     queue_wait: Histogram,
     /// Head resolution + result-cache probe (`hub.cache_lookup_ns`).
@@ -434,27 +451,48 @@ struct HubObs {
     /// Depositing the finished response onto the connection's write
     /// queue (`hub.flush_ns`).
     flush: Histogram,
+    /// Queries admitted in the last 1/10/60 s (`hub.queries_rate`).
+    queries_rate: RateWindow,
+    /// Non-OK query responses in the last 1/10/60 s
+    /// (`hub.errors_rate`).
+    errors_rate: RateWindow,
+    /// Response bytes committed in the last 1/10/60 s
+    /// (`hub.bytes_out_rate`).
+    bytes_out_rate: RateWindow,
+    /// Rolling end-to-end query latency (`hub.query_ns.w1/.w10/.w60`)
+    /// — p50/p99 over the recent windows, where `hub.execute_ns` only
+    /// gives lifetime quantiles.
+    query_window: WindowedHistogram,
 }
 
 impl HubObs {
     fn new(opts: &HubOptions) -> Self {
         let registry = MetricsRegistry::new();
+        let slowlog = SlowQueryLog::new(opts.slow_log_entries);
+        registry.register_counter("hub.slow_log.evicted", slowlog.evicted_counter());
         HubObs {
-            slowlog: SlowQueryLog::new(opts.slow_log_entries),
+            slowlog,
+            recorder: FlightRecorder::new(opts.flight_events),
             queue_wait: registry.histogram("hub.queue_wait_ns"),
             cache_lookup: registry.histogram("hub.cache_lookup_ns"),
             execute: registry.histogram("hub.execute_ns"),
             storage: registry.histogram("hub.storage_ns"),
             flush: registry.histogram("hub.flush_ns"),
+            queries_rate: registry.rate("hub.queries_rate"),
+            errors_rate: registry.rate("hub.errors_rate"),
+            bytes_out_rate: registry.rate("hub.bytes_out_rate"),
+            query_window: registry.windowed("hub.query_ns"),
             registry,
         }
     }
 
-    /// Registry snapshot with the slow-query ring appended — the payload
-    /// both [`HubHandle::metrics`] and the wire `Metrics` opcode return.
+    /// Registry snapshot with the slow-query ring and flight-recorder
+    /// tail appended — the payload both [`HubHandle::metrics`] and the
+    /// wire `Metrics` opcode return.
     fn snapshot(&self) -> MetricsSnapshot {
         let mut snap = self.registry.snapshot();
         snap.slow_queries = self.slowlog.entries();
+        snap.events = self.recorder.events();
         snap
     }
 }
@@ -478,6 +516,12 @@ struct Shared {
     queue: JobQueue,
     loops: Vec<Arc<LoopShared>>,
     next_token: AtomicU64,
+    /// When the listener bound — `Health` reports uptime from it.
+    started: Instant,
+    /// Data-path requests queued or executing across every connection —
+    /// the fleet prober reads this through `Health` to tell a loaded
+    /// node from an idle one.
+    in_flight: AtomicUsize,
     /// Loops stop accepting and (after slicing what they buffered)
     /// reading.
     shutdown: AtomicBool,
@@ -597,6 +641,8 @@ impl HubBuilder {
             queue: JobQueue::new(self.opts.queue_depth),
             loops,
             next_token: AtomicU64::new(0),
+            started: Instant::now(),
+            in_flight: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             drain: AtomicBool::new(false),
             drain_done: AtomicBool::new(false),
@@ -676,6 +722,29 @@ impl HubHandle {
         &self.shared.obs.registry
     }
 
+    /// The hub's always-on flight recorder. A cheap-clone handle: a
+    /// cluster wires its map's liveness observer to each node's
+    /// recorder through this, so an observed node death shows up in
+    /// every surviving node's event tail.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.shared.obs.recorder
+    }
+
+    /// Local form of the wire `Health` opcode: uptime, load and the
+    /// flight-recorder tail, without a connection.
+    pub fn health(&self) -> proto::HealthReport {
+        proto::HealthReport {
+            uptime_ms: self.shared.started.elapsed().as_millis() as u64,
+            in_flight: self.shared.in_flight.load(Ordering::Acquire) as u64,
+            queue_depth: self.shared.queue.len() as u64,
+            queue_cap: self.shared.opts.queue_depth as u64,
+            datasets: self.shared.registry.list(),
+            proto_version: proto::PROTO_VERSION,
+            tracing: true,
+            events: self.shared.obs.recorder.events(),
+        }
+    }
+
     /// How many event-loop reader threads multiplex this hub's
     /// connections — fixed at bind time, independent of how many
     /// connections are served.
@@ -688,7 +757,9 @@ impl HubHandle {
         self.shared
             .registry
             .mount(name, provider)
-            .map(|_| ())
+            .map(|_| {
+                self.shared.obs.recorder.record(FlightEvent::MOUNT, 0, name);
+            })
             .map_err(StorageError::Io)
     }
 
@@ -700,6 +771,10 @@ impl HubHandle {
             mounted.invalidate();
             self.shared.cache.invalidate_dataset(name);
             self.shared.wire_mounts.lock().remove(name);
+            self.shared
+                .obs
+                .recorder
+                .record(FlightEvent::UNMOUNT, 0, name);
         }
         existed.is_some()
     }
@@ -718,6 +793,10 @@ impl HubHandle {
             mounted.invalidate();
         }
         self.shared.cache.invalidate_dataset(name);
+        self.shared
+            .obs
+            .recorder
+            .record(FlightEvent::CACHE_INVALIDATE, 0, name);
     }
 
     /// Description of the hub and its mounts.
@@ -843,7 +922,8 @@ fn event_loop(shared: &Arc<Shared>, idx: usize, mut listener: Option<TcpListener
                     if let Some(conn) = conns.get_mut(&token) {
                         conn.state.flush_queued.store(false, Ordering::Release);
                         if !service(shared, &me, conn, &mut deadlines, &mut scratch, false, true) {
-                            disconnect(&me, &mut conns, &mut deadlines, token);
+                            let cut = Some(FlightEvent::CONN_CUT);
+                            disconnect(shared, &me, &mut conns, &mut deadlines, token, cut);
                         }
                     }
                 }
@@ -874,11 +954,13 @@ fn event_loop(shared: &Arc<Shared>, idx: usize, mut listener: Option<TcpListener
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         // nothing readable yet the event fired: the peer
                         // is gone and nothing can be delivered
-                        disconnect(&me, &mut conns, &mut deadlines, ev.key);
+                        let cut = Some(FlightEvent::CONN_CUT);
+                        disconnect(shared, &me, &mut conns, &mut deadlines, ev.key, cut);
                         continue;
                     }
                     Err(_) => {
-                        disconnect(&me, &mut conns, &mut deadlines, ev.key);
+                        let cut = Some(FlightEvent::CONN_CUT);
+                        disconnect(shared, &me, &mut conns, &mut deadlines, ev.key, cut);
                         continue;
                     }
                 }
@@ -893,7 +975,8 @@ fn event_loop(shared: &Arc<Shared>, idx: usize, mut listener: Option<TcpListener
                 readable,
                 ev.writable,
             ) {
-                disconnect(&me, &mut conns, &mut deadlines, ev.key);
+                let cut = Some(FlightEvent::CONN_CUT);
+                disconnect(shared, &me, &mut conns, &mut deadlines, ev.key, cut);
             }
         }
 
@@ -907,7 +990,8 @@ fn event_loop(shared: &Arc<Shared>, idx: usize, mut listener: Option<TcpListener
             deadlines.remove(&(t, token));
             if let Some(conn) = conns.get(&token) {
                 if conn.armed == Some(t) {
-                    disconnect(&me, &mut conns, &mut deadlines, token);
+                    let cut = Some(FlightEvent::STALL_CUT);
+                    disconnect(shared, &me, &mut conns, &mut deadlines, token, cut);
                 }
             }
         }
@@ -925,7 +1009,8 @@ fn event_loop(shared: &Arc<Shared>, idx: usize, mut listener: Option<TcpListener
                 let conn = conns.get_mut(&token).expect("token just listed");
                 conn.read_closed = true;
                 if !ok {
-                    disconnect(&me, &mut conns, &mut deadlines, token);
+                    let cut = Some(FlightEvent::CONN_CUT);
+                    disconnect(shared, &me, &mut conns, &mut deadlines, token, cut);
                 } else if let Some(conn) = conns.get_mut(&token) {
                     update_interest(&me, conn, shared.opts.conn_buffer_bytes);
                 }
@@ -944,7 +1029,7 @@ fn event_loop(shared: &Arc<Shared>, idx: usize, mut listener: Option<TcpListener
             if flushed {
                 let tokens: Vec<u64> = conns.keys().copied().collect();
                 for token in tokens {
-                    disconnect(&me, &mut conns, &mut deadlines, token);
+                    disconnect(shared, &me, &mut conns, &mut deadlines, token, None);
                 }
                 return;
             }
@@ -999,6 +1084,14 @@ fn adopt(
     {
         return;
     }
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_default();
+    shared
+        .obs
+        .recorder
+        .record(FlightEvent::CONN_ACCEPT, 0, format!("conn {token} {peer}"));
     let state = Arc::new(ConnShared {
         token,
         loop_idx: idx,
@@ -1033,16 +1126,23 @@ fn adopt(
 }
 
 /// Tear a connection down: deregister, drop buffered responses, mark
-/// the shared state dead so late deposits become no-ops.
+/// the shared state dead so late deposits become no-ops. `cut` names
+/// the flight-recorder event to log (`None` for the hub's own shutdown
+/// sweep — tearing down every peer at exit is not a notable event).
 fn disconnect(
+    shared: &Shared,
     me: &LoopShared,
     conns: &mut HashMap<u64, Conn>,
     deadlines: &mut BTreeSet<(Instant, u64)>,
     token: u64,
+    cut: Option<&'static str>,
 ) {
     let Some(conn) = conns.remove(&token) else {
         return;
     };
+    if let Some(kind) = cut {
+        shared.obs.recorder.record(kind, 0, format!("conn {token}"));
+    }
     if let Some(t) = conn.armed {
         deadlines.remove(&(t, token));
     }
@@ -1258,6 +1358,7 @@ fn is_control(req: &Request) -> bool {
             | Request::WhereIs { .. }
             | Request::Pipeline
             | Request::Metrics
+            | Request::Health
     )
 }
 
@@ -1360,8 +1461,14 @@ fn handle_frame(shared: &Arc<Shared>, conn: &mut Conn, payload: Vec<u8>) -> bool
     // lossless back-pressure: over-cap or queue-full answers Busy in
     // this request's response slot instead of blocking the loop
     let cap = shared.opts.max_inflight_per_conn.max(1);
+    let trace_id = trace.map_or(0, |(id, _)| id);
     if conn.state.inflight.load(Ordering::Acquire) >= cap {
         shared.stats.busy_rejections.inc();
+        shared.obs.recorder.record(
+            FlightEvent::BUSY,
+            trace_id,
+            format!("conn {} over in-flight cap {cap}", conn.state.token),
+        );
         deposit(
             shared,
             &conn.state,
@@ -1374,6 +1481,7 @@ fn handle_frame(shared: &Arc<Shared>, conn: &mut Conn, payload: Vec<u8>) -> bool
         return true;
     }
     conn.state.inflight.fetch_add(1, Ordering::AcqRel);
+    shared.in_flight.fetch_add(1, Ordering::AcqRel);
     let job = Job {
         conn: conn.state.clone(),
         slot,
@@ -1385,7 +1493,13 @@ fn handle_frame(shared: &Arc<Shared>, conn: &mut Conn, payload: Vec<u8>) -> bool
     };
     if !shared.queue.try_push(job) {
         conn.state.inflight.fetch_sub(1, Ordering::AcqRel);
+        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
         shared.stats.busy_rejections.inc();
+        shared.obs.recorder.record(
+            FlightEvent::BUSY,
+            trace_id,
+            format!("worker queue of {} full", shared.opts.queue_depth),
+        );
         deposit(
             shared,
             &conn.state,
@@ -1426,6 +1540,10 @@ fn dispatch_control(shared: &Shared, conn: &ConnShared, request: Request) -> Vec
                 };
                 match shared.registry.mount(&dataset, scoped) {
                     Ok(_) => {
+                        shared
+                            .obs
+                            .recorder
+                            .record(FlightEvent::MOUNT, 0, dataset.clone());
                         shared.wire_mounts.lock().insert(dataset);
                         proto::resp_unit()
                     }
@@ -1447,10 +1565,28 @@ fn dispatch_control(shared: &Shared, conn: &ConnShared, request: Request) -> Vec
                 mounted.invalidate();
                 shared.cache.invalidate_dataset(&dataset);
                 shared.wire_mounts.lock().remove(&dataset);
+                shared
+                    .obs
+                    .recorder
+                    .record(FlightEvent::UNMOUNT, 0, dataset.clone());
+                shared
+                    .obs
+                    .recorder
+                    .record(FlightEvent::CACHE_INVALIDATE, 0, dataset);
             }
             proto::resp_unit()
         }
         Request::Metrics => proto::resp_metrics(&shared.obs.snapshot()),
+        Request::Health => proto::resp_health(&proto::HealthReport {
+            uptime_ms: shared.started.elapsed().as_millis() as u64,
+            in_flight: shared.in_flight.load(Ordering::Acquire) as u64,
+            queue_depth: shared.queue.len() as u64,
+            queue_cap: shared.opts.queue_depth as u64,
+            datasets: shared.registry.list(),
+            proto_version: proto::PROTO_VERSION,
+            tracing: true,
+            events: shared.obs.recorder.events(),
+        }),
         Request::ListDatasets => proto::resp_list(&shared.registry.list()),
         Request::WhereIs { dataset } => match &shared.placement {
             Some(resolve) => match resolve(&dataset) {
@@ -1497,6 +1633,7 @@ fn worker_loop(shared: &Shared) {
         deposit(shared, &job.conn, job.slot, job.request_len, response);
         flush.record(&shared.obs.flush);
         job.conn.inflight.fetch_sub(1, Ordering::AcqRel);
+        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
         request_flush(shared, &job.conn);
     }
 }
@@ -1608,6 +1745,7 @@ fn handle_query(
     ctx: &JobCtx,
 ) -> Vec<u8> {
     shared.stats.queries.inc();
+    shared.obs.queries_rate.inc();
     let total = SpanTimer::start();
     // per-query storage attribution: every provider call below — head
     // resolution, dataset open, the scan workers' chunk reads — goes
@@ -1668,6 +1806,10 @@ fn handle_query(
     };
     let storage_ns = storage_nanos.get();
     let total_ns = ctx.queue_wait_ns + total.stop();
+    shared.obs.query_window.record(total_ns);
+    if frame.first() != Some(&proto::STATUS_OK) {
+        shared.obs.errors_rate.inc();
+    }
     if total_ns >= shared.opts.slow_query_threshold.as_nanos() as u64 {
         let (trace_id, client_span) = ctx.trace.unwrap_or((0, 0));
         let root_span = next_id();

@@ -288,3 +288,132 @@ fn metrics_opcode_reports_live_instruments() {
         .is_some_and(|h| !h.is_empty()));
     assert!(snap.slow_queries.is_empty(), "no TQL ran, no slow queries");
 }
+
+/// The `Health` opcode end to end: hub state (uptime, queue capacity,
+/// mounts, capabilities) plus the flight-recorder tail, which must
+/// already contain this very connection's accept event.
+#[test]
+fn health_opcode_reports_hub_state_and_flight_events() {
+    let hub = query_hub();
+    let client = RemoteProvider::connect(hub.addr()).unwrap();
+    client.attach("obsds").unwrap();
+    client.put("warm", Bytes::from_static(b"up")).unwrap();
+
+    let report = client.hub_health().unwrap();
+    assert_eq!(report.queue_cap, HubOptions::default().queue_depth as u64);
+    assert_eq!(report.datasets, vec!["obsds".to_string()]);
+    assert_eq!(report.proto_version, proto::PROTO_VERSION);
+    assert!(report.tracing, "this hub understands the trace envelope");
+    assert!(
+        report
+            .events
+            .iter()
+            .any(|e| e.kind == deeplake_obs::FlightEvent::CONN_ACCEPT),
+        "the probe's own accept must be on the recorder: {:?}",
+        report.events
+    );
+    // Health is answered inline on the event loop — in_flight counts
+    // only data-path jobs, and none are running now
+    assert_eq!(report.in_flight, 0);
+
+    // the same state is visible locally, without a connection
+    let local = hub.health();
+    assert_eq!(local.queue_cap, report.queue_cap);
+    assert_eq!(local.datasets, report.datasets);
+    assert!(local.uptime_ms >= report.uptime_ms);
+}
+
+/// Windowed instruments surface in the snapshot next to their
+/// monotonic shadows: `hub.queries_rate` beside `hub.queries`, and the
+/// rolling latency histogram under the `.w1`/`.w10`/`.w60` names.
+#[test]
+fn windowed_rates_ride_along_in_the_snapshot() {
+    let hub = query_hub();
+    let client = RemoteProvider::connect(hub.addr()).unwrap();
+    client.attach("obsds").unwrap();
+    for _ in 0..4 {
+        client
+            .query(
+                "SELECT labels FROM obsds WHERE labels = 2",
+                &QueryOptions::default(),
+            )
+            .unwrap();
+    }
+    let snap = client.hub_metrics().unwrap();
+    let rate = snap
+        .rate("hub.queries_rate")
+        .expect("the query rate window must be registered");
+    // all 4 queries ran just now: every window (1 s may have rolled on
+    // a slow machine, so check the 60 s one) holds them
+    assert!(rate.counts[2] >= 4, "60s window: {:?}", rate.counts);
+    assert!(snap.rate("hub.bytes_out_rate").is_some());
+    assert!(snap.rate("hub.errors_rate").is_some());
+    // rates are NOT counters: window totals go down again, which would
+    // break the counters section's monotonicity contract
+    assert!(snap.counter("hub.queries_rate").is_none());
+    let w60 = snap
+        .histogram("hub.query_ns.w60")
+        .expect("windowed latency snapshot");
+    assert!(w60.count >= 4);
+    assert!(w60.quantile(0.99) > 0, "recent p99 must be a real latency");
+}
+
+/// Satellite: scraping `Metrics` and `Health` concurrently with live
+/// traffic must never tear — every counter and histogram total in a
+/// later snapshot is >= the same name's total in an earlier one.
+#[test]
+fn concurrent_scrapes_stay_monotonic_under_load() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let hub = query_hub();
+    let addr = hub.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut load = Vec::new();
+    for worker in 0..3 {
+        let stop = Arc::clone(&stop);
+        load.push(std::thread::spawn(move || {
+            let client = RemoteProvider::connect(addr).unwrap();
+            client.attach("obsds").unwrap();
+            while !stop.load(Ordering::Relaxed) {
+                let label = worker % 5;
+                client
+                    .query(
+                        &format!("SELECT labels FROM obsds WHERE labels = {label}"),
+                        &QueryOptions::default(),
+                    )
+                    .unwrap();
+            }
+        }));
+    }
+
+    let scraper = RemoteProvider::connect(addr).unwrap();
+    let mut last = scraper.hub_metrics().unwrap();
+    for _ in 0..20 {
+        let _ = scraper.hub_health().unwrap();
+        let next = scraper.hub_metrics().unwrap();
+        for (name, value) in &last.counters {
+            assert!(
+                next.counter(name).unwrap_or(0) >= *value,
+                "counter {name} went backwards under load"
+            );
+        }
+        for (name, hist) in &last.histograms {
+            // windowed (`.w*`) entries roll off by design; lifetime
+            // histograms only grow
+            if name.contains(".w") {
+                continue;
+            }
+            let later = next.histogram(name).expect("histograms never vanish");
+            assert!(
+                later.count >= hist.count && later.sum >= hist.sum,
+                "histogram {name} went backwards under load"
+            );
+        }
+        last = next;
+    }
+    stop.store(true, Ordering::Relaxed);
+    for handle in load {
+        handle.join().unwrap();
+    }
+    assert!(last.counter("hub.queries").unwrap_or(0) >= 20);
+}

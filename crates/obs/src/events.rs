@@ -1,0 +1,188 @@
+//! The flight recorder: a fixed-capacity, always-on ring of notable
+//! events — the "what happened in the last minute" answer histograms
+//! cannot give.
+//!
+//! Counters say *how many* connections were cut; the recorder says
+//! *which ones, when, and during which trace*. Each hub owns one ring
+//! and records connection accepts/cuts, `Busy` rejections, stall cuts,
+//! cache invalidations, mount changes and observed node deaths into it;
+//! the ring travels in [`MetricsSnapshot::events`] through the
+//! `Metrics`/`Health` opcodes so a client can dump a node's recent
+//! history on demand. Always on: recording is one short mutex hold and
+//! the capacity is fixed, so there is no run/stop state to manage and
+//! no unbounded growth — old events simply fall off the back.
+//!
+//! Event kinds are dotted lowercase strings (`conn.accept`,
+//! `conn.cut`, `busy`, `stall.cut`, `cache.invalidate`, `mount`,
+//! `unmount`, `node.dead`, `node.live`) — see the `kind` constants on
+//! [`FlightEvent`].
+//!
+//! [`MetricsSnapshot::events`]: crate::MetricsSnapshot
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// One recorded event.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Wall-clock milliseconds since the Unix epoch when the event was
+    /// recorded — wall clock (not the monotonic rate-window epoch) so
+    /// events from different nodes line up in a merged fleet view.
+    pub at_unix_ms: u64,
+    /// Per-recorder sequence number, strictly increasing — the
+    /// tie-breaker that keeps same-millisecond events ordered.
+    pub seq: u64,
+    /// Dotted lowercase event kind (see the associated constants).
+    pub kind: String,
+    /// Trace the event belongs to, 0 when none applies.
+    pub trace_id: u64,
+    /// Free-form detail (peer address, dataset name, node address, …).
+    pub detail: String,
+}
+
+impl FlightEvent {
+    /// A client connection was accepted.
+    pub const CONN_ACCEPT: &'static str = "conn.accept";
+    /// A client connection ended (EOF, error, or shutdown).
+    pub const CONN_CUT: &'static str = "conn.cut";
+    /// A request was rejected with `Busy` (queue full or in-flight cap).
+    pub const BUSY: &'static str = "busy";
+    /// A stalled connection was cut by the stall timeout.
+    pub const STALL_CUT: &'static str = "stall.cut";
+    /// Cached results for a dataset were invalidated.
+    pub const CACHE_INVALIDATE: &'static str = "cache.invalidate";
+    /// A dataset was mounted.
+    pub const MOUNT: &'static str = "mount";
+    /// A dataset was unmounted.
+    pub const UNMOUNT: &'static str = "unmount";
+    /// A peer node was observed dead (health probe or manual kill).
+    pub const NODE_DEAD: &'static str = "node.dead";
+    /// A peer node was observed live again.
+    pub const NODE_LIVE: &'static str = "node.live";
+}
+
+struct RecorderInner {
+    cap: usize,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<FlightEvent>>,
+}
+
+/// A fixed-capacity, always-on event ring. Cheap-clone handle: clones
+/// share the ring, so a hub can hand recorder handles to its reader
+/// loops, cache, and cluster-map observer and one
+/// [`events`](FlightRecorder::events) read sees them all.
+#[derive(Clone)]
+pub struct FlightRecorder(Arc<RecorderInner>);
+
+impl FlightRecorder {
+    /// A recorder holding at most `cap` events (`cap == 0` disables it).
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder(Arc::new(RecorderInner {
+            cap,
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(cap.min(1024))),
+        }))
+    }
+
+    /// Capacity the recorder was built with.
+    pub fn capacity(&self) -> usize {
+        self.0.cap
+    }
+
+    /// Record an event, evicting the oldest when full. `trace_id` is 0
+    /// for events outside any trace.
+    pub fn record(&self, kind: &str, trace_id: u64, detail: impl Into<String>) {
+        if self.0.cap == 0 {
+            return;
+        }
+        let at_unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
+        let event = FlightEvent {
+            at_unix_ms,
+            seq: self.0.seq.fetch_add(1, Ordering::Relaxed),
+            kind: kind.to_string(),
+            trace_id,
+            detail: detail.into(),
+        };
+        let mut ring = self.0.ring.lock();
+        if ring.len() == self.0.cap {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// Current contents, oldest first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        self.0.ring.lock().iter().cloned().collect()
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.0.ring.lock().len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.ring.lock().is_empty()
+    }
+
+    /// Drop every event.
+    pub fn clear(&self) {
+        self.0.ring.lock().clear();
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FlightRecorder({}/{})", self.len(), self.0.cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_newest_events() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            rec.record(FlightEvent::CONN_ACCEPT, 0, format!("peer{i}"));
+        }
+        let events = rec.events();
+        let details: Vec<&str> = events.iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(details, ["peer2", "peer3", "peer4"]);
+        // sequence numbers keep counting across evictions
+        assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), [2, 3, 4]);
+        assert_eq!(rec.len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let rec = FlightRecorder::new(0);
+        rec.record(FlightEvent::BUSY, 7, "q full");
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn events_carry_trace_and_wall_clock() {
+        let rec = FlightRecorder::new(8);
+        rec.record(FlightEvent::NODE_DEAD, 42, "127.0.0.1:9999");
+        let e = &rec.events()[0];
+        assert_eq!(e.kind, FlightEvent::NODE_DEAD);
+        assert_eq!(e.trace_id, 42);
+        assert!(e.at_unix_ms > 1_500_000_000_000, "wall clock, not uptime");
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let rec = FlightRecorder::new(4);
+        let other = rec.clone();
+        other.record(FlightEvent::MOUNT, 0, "ds0");
+        assert_eq!(rec.len(), 1);
+    }
+}

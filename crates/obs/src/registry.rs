@@ -7,8 +7,10 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::events::FlightEvent;
 use crate::hist::{Histogram, HistogramSnapshot};
 use crate::slowlog::SlowQueryEntry;
+use crate::window::{window_name, RateSnapshot, RateWindow, WindowedHistogram};
 
 /// A monotonically increasing event/byte counter. Cheap-clone handle:
 /// clones share the same atomic, so a counter registered once can be
@@ -96,6 +98,8 @@ struct RegistryInner {
     counters: Mutex<BTreeMap<String, Counter>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
+    rates: Mutex<BTreeMap<String, RateWindow>>,
+    windows: Mutex<BTreeMap<String, WindowedHistogram>>,
 }
 
 /// The instrument namespace: `name → instrument`, get-or-create. The
@@ -155,6 +159,41 @@ impl MetricsRegistry {
         }
     }
 
+    /// The sliding-window rate named `name`, created empty on first
+    /// use. By convention a rate shares its base name with the
+    /// monotonic counter it shadows plus a `_rate` suffix
+    /// (`hub.queries_rate` beside `hub.queries`); the snapshot reports
+    /// its window totals in [`MetricsSnapshot::rates`], never mixed
+    /// into the monotonic counters.
+    pub fn rate(&self, name: &str) -> RateWindow {
+        let mut map = self.0.rates.lock();
+        match map.get(name) {
+            Some(r) => r.clone(),
+            None => {
+                let r = RateWindow::new();
+                map.insert(name.to_string(), r.clone());
+                r
+            }
+        }
+    }
+
+    /// The windowed histogram named `name`, created empty on first use.
+    /// The snapshot emits one [`HistogramSnapshot`] per window into
+    /// [`MetricsSnapshot::histograms`] under window-suffixed names
+    /// (`<name>.w1`, `<name>.w10`, `<name>.w60`), so windowed quantiles
+    /// travel the wire with no new shape.
+    pub fn windowed(&self, name: &str) -> WindowedHistogram {
+        let mut map = self.0.windows.lock();
+        match map.get(name) {
+            Some(w) => w.clone(),
+            None => {
+                let w = WindowedHistogram::new();
+                map.insert(name.to_string(), w.clone());
+                w
+            }
+        }
+    }
+
     /// Register an *existing* counter handle under `name` — how a
     /// pre-built stats bag (e.g. a storage provider's `StorageStats`)
     /// attaches its already-live counters to a registry after the fact.
@@ -180,10 +219,25 @@ impl MetricsRegistry {
     }
 
     /// Freeze every instrument into an owned snapshot (names ascending).
-    /// The slow-query list starts empty — the owner of a
-    /// [`SlowQueryLog`](crate::SlowQueryLog) appends its entries before
-    /// shipping the snapshot.
+    /// Windowed histograms contribute one entry per window to
+    /// `histograms` under `.w1`/`.w10`/`.w60` suffixed names. The
+    /// slow-query and event lists start empty — the owner of a
+    /// [`SlowQueryLog`](crate::SlowQueryLog) /
+    /// [`FlightRecorder`](crate::FlightRecorder) appends its entries
+    /// before shipping the snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut histograms: BTreeMap<String, HistogramSnapshot> = self
+            .0
+            .histograms
+            .lock()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        for (name, w) in self.0.windows.lock().iter() {
+            for (i, snap) in w.snapshots().into_iter().enumerate() {
+                histograms.insert(window_name(name, i), snap);
+            }
+        }
         MetricsSnapshot {
             counters: self
                 .0
@@ -199,14 +253,16 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(k, g)| (k.clone(), g.get()))
                 .collect(),
-            histograms: self
+            histograms: histograms.into_iter().collect(),
+            rates: self
                 .0
-                .histograms
+                .rates
                 .lock()
                 .iter()
-                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .map(|(k, r)| (k.clone(), r.snapshot()))
                 .collect(),
             slow_queries: Vec::new(),
+            events: Vec::new(),
         }
     }
 }
@@ -217,6 +273,8 @@ impl std::fmt::Debug for MetricsRegistry {
             .field("counters", &self.0.counters.lock().len())
             .field("gauges", &self.0.gauges.lock().len())
             .field("histograms", &self.0.histograms.lock().len())
+            .field("rates", &self.0.rates.lock().len())
+            .field("windows", &self.0.windows.lock().len())
             .finish()
     }
 }
@@ -229,10 +287,18 @@ pub struct MetricsSnapshot {
     pub counters: Vec<(String, u64)>,
     /// `(name, value)` pairs, names ascending.
     pub gauges: Vec<(String, i64)>,
-    /// `(name, snapshot)` pairs, names ascending.
+    /// `(name, snapshot)` pairs, names ascending. Windowed histograms
+    /// appear under window-suffixed names (`hub.query_ns.w10`).
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// `(name, window totals)` pairs, names ascending. Kept apart from
+    /// `counters`: window totals go *down* as events age out, so mixing
+    /// them in would break the "counters are monotonic" contract
+    /// scrape-diffing relies on.
+    pub rates: Vec<(String, RateSnapshot)>,
     /// Slow-query ring contents, oldest first.
     pub slow_queries: Vec<SlowQueryEntry>,
+    /// Flight-recorder contents, oldest first.
+    pub events: Vec<FlightEvent>,
 }
 
 impl MetricsSnapshot {
@@ -255,6 +321,46 @@ impl MetricsSnapshot {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, h)| h)
+    }
+
+    /// A rate window's totals, if present.
+    pub fn rate(&self, name: &str) -> Option<&RateSnapshot> {
+        self.rates.iter().find(|(k, _)| k == name).map(|(_, r)| r)
+    }
+
+    /// Fold another snapshot into this one — fleet aggregation. Named
+    /// instruments combine per name (counters/gauges/rates sum,
+    /// histograms merge bucket-wise); names only one side has are kept;
+    /// every section stays sorted. Slow-query entries concatenate
+    /// (their trace ids already distinguish nodes) and events
+    /// interleave by wall-clock time, so a merged recorder reads as one
+    /// fleet timeline.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        fn by_name<T: Clone>(
+            into: &mut Vec<(String, T)>,
+            from: &[(String, T)],
+            combine: impl Fn(&mut T, &T),
+        ) {
+            for (name, v) in from {
+                match into.iter_mut().find(|(k, _)| k == name) {
+                    Some((_, cur)) => combine(cur, v),
+                    None => into.push((name.clone(), v.clone())),
+                }
+            }
+            into.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        by_name(&mut self.counters, &other.counters, |a, b| {
+            *a = a.saturating_add(*b)
+        });
+        by_name(&mut self.gauges, &other.gauges, |a, b| {
+            *a = a.saturating_add(*b)
+        });
+        by_name(&mut self.histograms, &other.histograms, |a, b| a.merge(b));
+        by_name(&mut self.rates, &other.rates, |a, b| a.merge(b));
+        self.slow_queries.extend(other.slow_queries.iter().cloned());
+        self.events.extend(other.events.iter().cloned());
+        // stable: same-millisecond events keep their per-node order
+        self.events.sort_by_key(|e| e.at_unix_ms);
     }
 }
 
@@ -329,5 +435,89 @@ mod tests {
         let h = snap.histogram("merge.lat").unwrap();
         assert_eq!(h.count, THREADS as u64 * PER);
         assert_eq!(h.max, THREADS as u64 * 1000 + PER - 1);
+    }
+
+    #[test]
+    fn rates_and_windows_land_in_the_snapshot() {
+        let reg = MetricsRegistry::new();
+        reg.rate("hub.queries_rate").add(5);
+        reg.windowed("hub.query_ns").record(1_000_000);
+        let snap = reg.snapshot();
+        let r = snap.rate("hub.queries_rate").unwrap();
+        assert_eq!(r.counts[0], 5, "1s window sees the add");
+        // windowed quantiles travel as suffixed histogram entries
+        for name in ["hub.query_ns.w1", "hub.query_ns.w10", "hub.query_ns.w60"] {
+            assert_eq!(snap.histogram(name).unwrap().count, 1, "{name}");
+        }
+        // rates never leak into the monotonic counters section
+        assert_eq!(snap.counter("hub.queries_rate"), None);
+        // and the histogram section stays name-sorted with the suffixes in
+        let names: Vec<&str> = snap.histograms.iter().map(|(k, _)| k.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_per_name() {
+        let (a, b) = (MetricsRegistry::new(), MetricsRegistry::new());
+        a.counter("hub.requests").add(3);
+        b.counter("hub.requests").add(4);
+        b.counter("only.b").add(9);
+        a.gauge("conns").set(2);
+        b.gauge("conns").set(5);
+        a.histogram("lat").record(100);
+        b.histogram("lat").record(200);
+        a.rate("qps").add(1);
+        b.rate("qps").add(10);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("hub.requests"), Some(7));
+        assert_eq!(merged.counter("only.b"), Some(9));
+        assert_eq!(merged.gauge("conns"), Some(7));
+        let h = merged.histogram("lat").unwrap();
+        assert_eq!((h.count, h.max), (2, 200));
+        assert_eq!(merged.rate("qps").unwrap().counts[2], 11);
+        // merged sections stay sorted
+        let names: Vec<&str> = merged.counters.iter().map(|(k, _)| k.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn merged_events_interleave_by_time() {
+        let mut a = MetricsSnapshot {
+            events: vec![
+                FlightEvent {
+                    at_unix_ms: 10,
+                    seq: 0,
+                    kind: "mount".into(),
+                    trace_id: 0,
+                    detail: "a0".into(),
+                },
+                FlightEvent {
+                    at_unix_ms: 30,
+                    seq: 1,
+                    kind: "mount".into(),
+                    trace_id: 0,
+                    detail: "a1".into(),
+                },
+            ],
+            ..Default::default()
+        };
+        let b = MetricsSnapshot {
+            events: vec![FlightEvent {
+                at_unix_ms: 20,
+                seq: 0,
+                kind: "node.dead".into(),
+                trace_id: 0,
+                detail: "b0".into(),
+            }],
+            ..Default::default()
+        };
+        a.merge(&b);
+        let details: Vec<&str> = a.events.iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(details, ["a0", "b0", "a1"]);
     }
 }

@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 
 use parking_lot::Mutex;
 
+use crate::registry::Counter;
 use crate::trace::SpanRecord;
 
 /// One slow query: identity (trace/span ids), what ran (canonical TQL
@@ -31,11 +32,13 @@ pub struct SlowQueryEntry {
 }
 
 /// Fixed-capacity ring of [`SlowQueryEntry`] values. Pushing when full
-/// evicts the oldest entry; readers get a clone of the current
-/// contents, oldest first.
+/// evicts the oldest entry (counted in [`SlowQueryLog::evictions`], so
+/// a saturated ring is detectable from a snapshot); readers get a clone
+/// of the current contents, oldest first.
 pub struct SlowQueryLog {
     cap: usize,
     ring: Mutex<VecDeque<SlowQueryEntry>>,
+    evicted: Counter,
 }
 
 impl SlowQueryLog {
@@ -44,6 +47,7 @@ impl SlowQueryLog {
         SlowQueryLog {
             cap,
             ring: Mutex::new(VecDeque::with_capacity(cap.min(1024))),
+            evicted: Counter::new(),
         }
     }
 
@@ -60,8 +64,24 @@ impl SlowQueryLog {
         let mut ring = self.ring.lock();
         if ring.len() == self.cap {
             ring.pop_front();
+            self.evicted.inc();
         }
         ring.push_back(entry);
+    }
+
+    /// Entries evicted to make room since the log was built. A nonzero,
+    /// growing value means the ring is saturated — the oldest slow
+    /// queries are being lost and `slow_log_entries` should grow (or the
+    /// threshold rise).
+    pub fn evicted(&self) -> u64 {
+        self.evicted.get()
+    }
+
+    /// The live eviction counter, for registering into a
+    /// [`MetricsRegistry`](crate::MetricsRegistry) so eviction pressure
+    /// shows up in every snapshot.
+    pub fn evicted_counter(&self) -> &Counter {
+        &self.evicted
     }
 
     /// Current contents, oldest first.
@@ -111,6 +131,21 @@ mod tests {
         let texts: Vec<String> = log.entries().into_iter().map(|e| e.text).collect();
         assert_eq!(texts, ["q2", "q3", "q4"], "oldest two evicted, order kept");
         assert_eq!(log.len(), 3);
+        assert_eq!(log.evicted(), 2, "both evictions counted");
+    }
+
+    #[test]
+    fn eviction_counter_stays_zero_until_saturated() {
+        let log = SlowQueryLog::new(4);
+        log.push(entry("q", 1));
+        log.push(entry("q", 2));
+        assert_eq!(log.evicted(), 0);
+        // the registered handle is live: it sees later evictions
+        let handle = log.evicted_counter().clone();
+        for i in 0..10u64 {
+            log.push(entry("q", i));
+        }
+        assert_eq!(handle.get(), 8);
     }
 
     #[test]

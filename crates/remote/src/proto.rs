@@ -45,11 +45,20 @@
 //! opcode, keeping mixed-version clusters working in both upgrade
 //! directions. [`Request::Metrics`] reads the
 //! hub's observability registry back out: counters, gauges, sparse
-//! histogram buckets, and the slow-query ring, all machine-readable
-//! ([`resp_metrics`] / [`expect_metrics`]).
+//! histogram buckets, windowed rates, the slow-query ring and the
+//! flight recorder, all machine-readable ([`resp_metrics`] /
+//! [`expect_metrics`]); [`Request::Health`] is its lightweight
+//! liveness sibling, answering a [`HealthReport`] (uptime, load,
+//! mounts, capabilities, recent flight events) that health probers
+//! poll without dragging full histograms over the wire. Both opcodes
+//! are additive: a pre-health hub answers `Health` with a lossless
+//! "unknown opcode" protocol error, which a prober reads as
+//! *alive-but-old* — only transport failures mean dead.
 
 use bytes::Bytes;
-use deeplake_obs::{HistogramSnapshot, MetricsSnapshot, SlowQueryEntry, SpanRecord};
+use deeplake_obs::{
+    FlightEvent, HistogramSnapshot, MetricsSnapshot, RateSnapshot, SlowQueryEntry, SpanRecord,
+};
 use deeplake_storage::{ReadRequest, StorageError};
 use deeplake_tql::wire::{decode_options, decode_result, encode_options, encode_result, WireError};
 use deeplake_tql::wire::{put_bytes, put_str, put_u32, put_u64, WireReader, WireResult};
@@ -95,6 +104,7 @@ const OP_WHERE_IS: u8 = 18;
 const OP_PIPELINE: u8 = 19;
 const OP_TRACED: u8 = 20;
 const OP_METRICS: u8 = 21;
+const OP_HEALTH: u8 = 22;
 
 // response status bytes
 /// Success; body is op-specific.
@@ -252,6 +262,16 @@ pub enum Request {
     /// [`resp_metrics`]). A control op — answered inline, never queued
     /// behind data-path work, so it stays responsive under load.
     Metrics,
+    /// Liveness/readiness probe: answers a [`HealthReport`] — uptime,
+    /// in-flight load, queue depth, mounted datasets, protocol
+    /// capabilities and the recent flight-recorder tail — without the
+    /// full instrument dump `Metrics` carries. A control op like
+    /// `Metrics`, answered inline even when the worker queue is full,
+    /// so a prober can tell *overloaded* from *dead*. Additive under an
+    /// unchanged [`PROTO_VERSION`]: a pre-health server rejects the
+    /// opcode with a lossless protocol error, which probers must treat
+    /// as alive.
+    Health,
 }
 
 /// Encode a request payload (opcode + body).
@@ -350,6 +370,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.extend_from_slice(&encode_request(inner));
         }
         Request::Metrics => out.push(OP_METRICS),
+        Request::Health => out.push(OP_HEALTH),
     }
     out
 }
@@ -426,6 +447,7 @@ pub fn decode_request(payload: &[u8]) -> WireResult<Request> {
             }
         }
         OP_METRICS => Request::Metrics,
+        OP_HEALTH => Request::Health,
         other => return Err(WireError(format!("unknown opcode {other}"))),
     };
     r.finish()?;
@@ -611,11 +633,45 @@ pub fn resp_query(result: &QueryResult) -> Vec<u8> {
     out
 }
 
+/// Encode a flight-event list (shared by the `Metrics` and `Health`
+/// responses).
+fn put_events(out: &mut Vec<u8>, events: &[FlightEvent]) {
+    put_u32(out, events.len() as u32);
+    for e in events {
+        put_u64(out, e.at_unix_ms);
+        put_u64(out, e.seq);
+        put_str(out, &e.kind);
+        put_u64(out, e.trace_id);
+        put_str(out, &e.detail);
+    }
+}
+
+/// Decode a flight-event list, count bounded before allocation.
+fn take_events(r: &mut WireReader<'_>) -> Result<Vec<FlightEvent>, StorageError> {
+    let n = r.u32().map_err(proto_err)? as usize;
+    // each event costs at least two length headers plus three u64s
+    bounded_count(r, n, 32, "event")?;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        events.push(FlightEvent {
+            at_unix_ms: r.u64().map_err(proto_err)?,
+            seq: r.u64().map_err(proto_err)?,
+            kind: r.str().map_err(proto_err)?,
+            trace_id: r.u64().map_err(proto_err)?,
+            detail: r.str().map_err(proto_err)?,
+        });
+    }
+    Ok(events)
+}
+
 /// `STATUS_OK` carrying a [`MetricsSnapshot`]: counters and gauges as
 /// `(name, value)` pairs, histograms as exact `count`/`sum`/`max` plus
-/// sparse non-empty buckets, and the slow-query ring with each entry's
-/// span breakdown. Names travel sorted (the registry snapshots them
-/// sorted), so diffing two responses is line-by-line.
+/// sparse non-empty buckets, the slow-query ring with each entry's
+/// span breakdown, then the windowed-rate and flight-event sections.
+/// The last two trail the frame so a response from a pre-rates hub —
+/// which simply ends after the slow queries — still decodes (see
+/// [`expect_metrics`]). Names travel sorted (the registry snapshots
+/// them sorted), so diffing two responses is line-by-line.
 pub fn resp_metrics(snap: &MetricsSnapshot) -> Vec<u8> {
     let mut out = vec![STATUS_OK];
     put_u32(&mut out, snap.counters.len() as u32);
@@ -657,7 +713,89 @@ pub fn resp_metrics(snap: &MetricsSnapshot) -> Vec<u8> {
             put_u64(&mut out, span.dur_ns);
         }
     }
+    put_u32(&mut out, snap.rates.len() as u32);
+    for (name, rate) in &snap.rates {
+        put_str(&mut out, name);
+        for &c in &rate.counts {
+            put_u64(&mut out, c);
+        }
+    }
+    put_events(&mut out, &snap.events);
     out
+}
+
+/// A hub's answer to [`Request::Health`]: enough state for a prober or
+/// a `dltop`-style dashboard to judge liveness and load at a glance,
+/// without the full instrument dump `Metrics` carries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Milliseconds since the hub bound its listener.
+    pub uptime_ms: u64,
+    /// Requests currently queued or executing across all connections.
+    pub in_flight: u64,
+    /// Jobs currently waiting in the worker queue.
+    pub queue_depth: u64,
+    /// The worker queue's capacity (`queue_depth == queue_cap` means
+    /// new data-path work is being answered `Busy`).
+    pub queue_cap: u64,
+    /// Sorted names of every mounted dataset.
+    pub datasets: Vec<String>,
+    /// The [`PROTO_VERSION`] the hub speaks.
+    pub proto_version: u8,
+    /// Whether the hub understands the `Traced` envelope.
+    pub tracing: bool,
+    /// The flight recorder's newest events (a bounded tail, oldest
+    /// first) — what just happened on this node.
+    pub events: Vec<FlightEvent>,
+}
+
+/// `STATUS_OK` carrying a [`HealthReport`].
+pub fn resp_health(report: &HealthReport) -> Vec<u8> {
+    let mut out = vec![STATUS_OK];
+    put_u64(&mut out, report.uptime_ms);
+    put_u64(&mut out, report.in_flight);
+    put_u64(&mut out, report.queue_depth);
+    put_u64(&mut out, report.queue_cap);
+    put_u32(&mut out, report.datasets.len() as u32);
+    for name in &report.datasets {
+        put_str(&mut out, name);
+    }
+    out.push(report.proto_version);
+    out.push(report.tracing as u8);
+    put_events(&mut out, &report.events);
+    out
+}
+
+/// Decode a `Health` response. A pre-health server answers the opcode
+/// itself with a lossless protocol error, which surfaces here as
+/// [`StorageError::Io`] — *not* as a transport failure — so probers can
+/// distinguish an old-but-alive node from a dead one.
+pub fn expect_health(payload: &[u8]) -> Result<HealthReport, StorageError> {
+    let mut r = open_response(payload)?;
+    let uptime_ms = r.u64().map_err(proto_err)?;
+    let in_flight = r.u64().map_err(proto_err)?;
+    let queue_depth = r.u64().map_err(proto_err)?;
+    let queue_cap = r.u64().map_err(proto_err)?;
+    let n = r.u32().map_err(proto_err)? as usize;
+    bounded_count(&r, n, 4, "dataset")?;
+    let mut datasets = Vec::with_capacity(n);
+    for _ in 0..n {
+        datasets.push(r.str().map_err(proto_err)?);
+    }
+    let proto_version = r.u8().map_err(proto_err)?;
+    let tracing = r.u8().map_err(proto_err)? != 0;
+    let events = take_events(&mut r)?;
+    r.finish().map_err(proto_err)?;
+    Ok(HealthReport {
+        uptime_ms,
+        in_flight,
+        queue_depth,
+        queue_cap,
+        datasets,
+        proto_version,
+        tracing,
+        events,
+    })
 }
 
 /// `STATUS_STORAGE_ERR` carrying a lossless [`StorageError`].
@@ -951,12 +1089,33 @@ pub fn expect_metrics(payload: &[u8]) -> Result<MetricsSnapshot, StorageError> {
             spans,
         });
     }
+    // the rate and event sections are additive: a pre-rates hub's frame
+    // simply ends here, and the missing sections decode as empty — the
+    // mixed-version tolerance every other protocol extension has
+    let mut rates = Vec::new();
+    let mut events = Vec::new();
+    if r.remaining() > 0 {
+        let n = r.u32().map_err(proto_err)? as usize;
+        // a name header plus three u64 window totals
+        bounded_count(&r, n, 28, "rate")?;
+        for _ in 0..n {
+            let name = r.str().map_err(proto_err)?;
+            let mut counts = [0u64; 3];
+            for c in counts.iter_mut() {
+                *c = r.u64().map_err(proto_err)?;
+            }
+            rates.push((name, RateSnapshot { counts }));
+        }
+        events = take_events(&mut r)?;
+    }
     r.finish().map_err(proto_err)?;
     Ok(MetricsSnapshot {
         counters,
         gauges,
         histograms,
+        rates,
         slow_queries,
+        events,
     })
 }
 
@@ -1175,6 +1334,7 @@ mod tests {
                 }),
             },
             Request::Metrics,
+            Request::Health,
         ] {
             let back = roundtrip(&req);
             assert_eq!(back, req);
@@ -1248,6 +1408,20 @@ mod tests {
                     buckets: vec![(80, 2), (84, 1)],
                 },
             )],
+            rates: vec![
+                (
+                    "hub.bytes_out_rate".into(),
+                    RateSnapshot {
+                        counts: [9, 90, 540],
+                    },
+                ),
+                (
+                    "hub.queries_rate".into(),
+                    RateSnapshot {
+                        counts: [5, 40, 200],
+                    },
+                ),
+            ],
             slow_queries: vec![SlowQueryEntry {
                 trace_id: 7,
                 root_span: 8,
@@ -1263,25 +1437,101 @@ mod tests {
                     dur_ns: 4_000_000,
                 }],
             }],
+            events: vec![FlightEvent {
+                at_unix_ms: 1_700_000_000_123,
+                seq: 4,
+                kind: "conn.cut".into(),
+                trace_id: 7,
+                detail: "127.0.0.1:5555".into(),
+            }],
         };
         let wire = resp_metrics(&snap);
         let back = expect_metrics(&wire).unwrap();
-        assert_eq!(back.counters, snap.counters);
-        assert_eq!(back.gauges, snap.gauges);
-        assert_eq!(back.histograms, snap.histograms);
-        assert_eq!(back.slow_queries, snap.slow_queries);
+        assert_eq!(back, snap);
 
         // empty registry still decodes
         let empty = expect_metrics(&resp_metrics(&MetricsSnapshot::default())).unwrap();
         assert!(empty.counters.is_empty() && empty.slow_queries.is_empty());
+        assert!(empty.rates.is_empty() && empty.events.is_empty());
 
-        // truncation errors cleanly at every cut, lying counts rejected
+        // a pre-rates hub's frame ends right after the slow queries;
+        // the missing sections decode as empty (mixed-version clusters)
+        let legacy_len = resp_metrics(&MetricsSnapshot {
+            rates: Vec::new(),
+            events: Vec::new(),
+            ..snap.clone()
+        })
+        .len()
+            - 8; // minus the two empty section counts a new hub writes
+        let legacy = expect_metrics(&wire[..legacy_len]).unwrap();
+        assert_eq!(legacy.slow_queries, snap.slow_queries);
+        assert!(legacy.rates.is_empty() && legacy.events.is_empty());
+
+        // truncation errors cleanly at every other cut, lying counts
+        // rejected
         for cut in 0..wire.len() {
+            if cut == legacy_len {
+                continue; // the legacy boundary above — valid by design
+            }
             assert!(expect_metrics(&wire[..cut]).is_err(), "cut at {cut}");
         }
         let mut lying = vec![STATUS_OK];
         put_u32(&mut lying, u32::MAX);
         assert!(expect_metrics(&lying).is_err());
+    }
+
+    #[test]
+    fn health_reports_roundtrip() {
+        let report = HealthReport {
+            uptime_ms: 123_456,
+            in_flight: 7,
+            queue_depth: 3,
+            queue_cap: 256,
+            datasets: vec!["laion".into(), "mnist".into()],
+            proto_version: PROTO_VERSION,
+            tracing: true,
+            events: vec![
+                FlightEvent {
+                    at_unix_ms: 1_700_000_000_000,
+                    seq: 0,
+                    kind: "conn.accept".into(),
+                    trace_id: 0,
+                    detail: "127.0.0.1:4242".into(),
+                },
+                FlightEvent {
+                    at_unix_ms: 1_700_000_000_050,
+                    seq: 1,
+                    kind: "node.dead".into(),
+                    trace_id: 99,
+                    detail: "127.0.0.1:9000".into(),
+                },
+            ],
+        };
+        let wire = resp_health(&report);
+        assert_eq!(expect_health(&wire).unwrap(), report);
+
+        // a bare hub (no datasets, no events) still roundtrips
+        let bare = HealthReport {
+            proto_version: PROTO_VERSION,
+            ..Default::default()
+        };
+        assert_eq!(expect_health(&resp_health(&bare)).unwrap(), bare);
+
+        // truncation errors cleanly at every cut
+        for cut in 0..wire.len() {
+            assert!(expect_health(&wire[..cut]).is_err(), "cut at {cut}");
+        }
+        // lying dataset count rejected before allocation
+        let mut lying = vec![STATUS_OK];
+        for _ in 0..4 {
+            put_u64(&mut lying, 0);
+        }
+        put_u32(&mut lying, u32::MAX);
+        assert!(expect_health(&lying).is_err());
+        // a pre-health server's "unknown opcode" answer surfaces as a
+        // protocol error, not a transport failure — probers key on this
+        let err = expect_health(&resp_proto_err("unknown opcode 22")).unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)), "{err:?}");
     }
 
     #[test]

@@ -364,11 +364,24 @@ impl RemoteProvider {
     }
 
     /// Fetch the *server's* live instrument snapshot over the wire —
-    /// counters, gauges, per-stage latency histograms and the
-    /// slow-query ring — via the `Metrics` opcode.
+    /// counters, gauges, per-stage latency histograms, windowed rates,
+    /// the slow-query ring and the flight recorder — via the `Metrics`
+    /// opcode.
     pub fn hub_metrics(&self) -> Result<MetricsSnapshot, StorageError> {
         let resp = self.round_trip(&proto::encode_request(&Request::Metrics))?;
         proto::expect_metrics(&resp)
+    }
+
+    /// Probe the server's health: uptime, load, mounted datasets,
+    /// capabilities and the recent flight-event tail, via the `Health`
+    /// opcode. The hub answers inline even when its worker queue is
+    /// full, so this distinguishes *overloaded* from *dead*. Against a
+    /// pre-health server the lossless "unknown opcode" protocol error
+    /// surfaces as [`StorageError::Io`] with the server's message —
+    /// still proof of life; only a transport failure means unreachable.
+    pub fn hub_health(&self) -> Result<proto::HealthReport, StorageError> {
+        let resp = self.round_trip(&proto::encode_request(&Request::Health))?;
+        proto::expect_health(&resp)
     }
 
     /// Whether the dial handshake's capability probe found a server

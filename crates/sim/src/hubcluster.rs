@@ -14,6 +14,10 @@
 //!   client requests: in-flight frames drain during graceful shutdown,
 //!   and every later request routed at the corpse fails over to the
 //!   surviving replica of the same set, which holds identical bytes.
+//!   With `probe_interval` set the kill becomes an un-observed *crash*
+//!   (the map is not told), and the routing client's health prober is
+//!   the only failure detector — the claim tightens to "zero failures
+//!   AND the map flips without any manual `mark_dead`".
 //!
 //! Every query result is validated against the known data layout, so a
 //! wrong-replica read or a half-seeded replica fails the run loudly
@@ -61,6 +65,12 @@ pub struct ClusterQueryConfig {
     /// Kill one replica-bearing node after this many total queries
     /// (`None` = nobody dies).
     pub kill_after: Option<u64>,
+    /// When set alongside `kill_after`, the node *crashes* instead of
+    /// being killed: its hub dies but the map is NOT updated — nobody
+    /// calls `kill`/`mark_dead`. The routing client's health prober
+    /// runs at this interval and is the only failure detector in the
+    /// run; the report records whether it flipped the map.
+    pub probe_interval: Option<Duration>,
     /// Inject this many transient storage faults into ONE replica of
     /// `ds0` before the query phase starts (0 = healthy run). Injected
     /// faults surface to clients as query errors, not transport errors
@@ -85,6 +95,7 @@ impl Default for ClusterQueryConfig {
             workers_per_node: 2,
             storage: NetworkProfile::minio_lan().scaled(0.25),
             kill_after: None,
+            probe_interval: None,
             fault_ops: 0,
             seed: 11,
         }
@@ -105,6 +116,13 @@ pub struct ClusterQueryReport {
     pub failovers: u64,
     /// Placement refreshes clients performed.
     pub refreshes: u64,
+    /// Node-death declarations the health prober made (0 when no
+    /// prober ran, or when the kill was an *observed* `kill`).
+    pub prober_deaths: u64,
+    /// Whether the prober flipped the crashed node's map liveness —
+    /// the un-observed death became fleet-visible without any manual
+    /// `mark_dead`. Always `false` when no crash was staged.
+    pub prober_flipped_liveness: bool,
     /// Storage faults actually injected across the fleet, read from the
     /// fault providers' obs counters. Every client-visible failure must
     /// be explained by an injection: `failed_queries ≤ faults_injected`.
@@ -232,8 +250,15 @@ pub fn run_cluster_queries(cfg: &ClusterQueryConfig) -> ClusterQueryReport {
             .collect()
     };
 
+    // with a probe interval the client doubles as the fleet's failure
+    // detector — the only one, when the kill is staged as a crash
+    if let Some(interval) = cfg.probe_interval {
+        assert!(client.start_prober(interval), "map is attached");
+    }
+
     let issued = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
+    let mut crashed_addr: Option<String> = None;
     let started = Instant::now();
     std::thread::scope(|scope| {
         for c in 0..cfg.clients {
@@ -270,17 +295,44 @@ pub fn run_cluster_queries(cfg: &ClusterQueryConfig) -> ClusterQueryReport {
                 }
             });
         }
-        // the assassin: wait for the threshold, then kill a node that
-        // holds a replica of ds0 while traffic is still flowing
+        // the assassin: wait for the threshold, then take down a node
+        // that holds a replica of ds0 while traffic is still flowing —
+        // an observed `kill` by default, an un-observed `crash` (map
+        // untouched) when the prober is the designated failure detector
         if let Some(threshold) = cfg.kill_after {
             let victim = cluster.replica_nodes("ds0")[0];
             while issued.load(Ordering::Relaxed) < threshold {
                 std::thread::sleep(Duration::from_millis(1));
             }
-            cluster.kill(victim);
+            if cfg.probe_interval.is_some() {
+                crashed_addr = Some(cluster.addrs()[victim].clone());
+                cluster.crash(victim);
+            } else {
+                cluster.kill(victim);
+            }
         }
     });
     let wall = started.elapsed();
+
+    // after traffic drains, give the prober a bounded window to notice
+    // the crash: the claim is that the map flips with zero manual help
+    let prober_flipped_liveness = crashed_addr.is_some_and(|addr| {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if !cluster.map().read().live_addrs().contains(&addr) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    });
+    let prober_deaths = client
+        .metrics()
+        .counter("cluster.probe.deaths")
+        .unwrap_or(0);
+    client.stop_prober();
 
     let total_queries = issued.load(Ordering::Relaxed);
     ClusterQueryReport {
@@ -289,6 +341,8 @@ pub fn run_cluster_queries(cfg: &ClusterQueryConfig) -> ClusterQueryReport {
         failed_queries: failed.load(Ordering::Relaxed),
         failovers: mounts.iter().map(|m| m.failovers()).sum(),
         refreshes: mounts.iter().map(|m| m.refreshes()).sum(),
+        prober_deaths,
+        prober_flipped_liveness,
         faults_injected: fault_registry
             .snapshot()
             .counters
@@ -350,6 +404,33 @@ mod tests {
             report.failed_queries,
             report.faults_injected
         );
+    }
+
+    #[test]
+    fn crashed_node_is_detected_by_the_prober_with_zero_failures() {
+        // the node CRASHES — nobody calls kill or mark_dead. The
+        // client's health prober is the only failure detector, and the
+        // run must still lose zero requests: client-side failover
+        // covers the detection window, the prober flips the map after.
+        let report = run_cluster_queries(&ClusterQueryConfig {
+            clients: 8,
+            queries_per_client: 16,
+            storage: NetworkProfile::minio_lan().scaled(0.1),
+            kill_after: Some(30),
+            probe_interval: Some(Duration::from_millis(25)),
+            ..ClusterQueryConfig::default()
+        });
+        assert_eq!(report.total_queries, 128);
+        assert_eq!(
+            report.failed_queries, 0,
+            "an un-observed crash must stay client-invisible ({} failovers)",
+            report.failovers
+        );
+        assert!(
+            report.prober_flipped_liveness,
+            "the prober never flipped the crashed node's liveness"
+        );
+        assert!(report.prober_deaths >= 1, "the death decision is counted");
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use deeplake_bench::c10k::{run_c10k, C10kConfig};
-use deeplake_bench::{print_cluster_metrics, print_metrics, BenchReport};
+use deeplake_bench::{loader_obs_best, print_cluster_metrics, print_metrics, BenchReport};
 use deeplake_cluster::Cluster;
 use deeplake_core::dataset::{Dataset, TensorOptions};
 use deeplake_hub::{Hub, HubOptions};
@@ -140,6 +140,19 @@ fn main() {
         );
     }
 
+    // the training-path snapshot: instrumented loader epochs through a
+    // latency-dominated simulated cloud, best-of-3 on the two gated
+    // numbers (16 worker tasks make a single epoch's fetch p99
+    // max-like) — the rows/s and fetch-p99 trajectory the regress gate
+    // holds future PRs to
+    const LOADER_SAMPLES: usize = 512;
+    let (loader_report, loader_rows_ps, loader_fetch_p99_ms) =
+        loader_obs_best(LOADER_SAMPLES, 4, 32, 3);
+    print!(
+        "\n=== baseline loader epoch ===\n{}",
+        loader_report.render()
+    );
+
     // the fleet snapshot: a 3-node replicated cluster under brief query
     // load, scraped through cluster_metrics() — the merged counters the
     // cluster trajectory is judged against, and a sanity check that the
@@ -250,7 +263,22 @@ fn main() {
         )
         .metric("fleet_nodes_scraped", fleet_snap.per_node.len() as f64)
         .metric("fleet_merged_queries", merged_queries as f64)
-        .metric("fleet_queries_per_sec", fleet_qps);
+        .metric("fleet_queries_per_sec", fleet_qps)
+        .metric("loader_samples", LOADER_SAMPLES as f64)
+        .metric("loader_rows_per_sec", loader_rows_ps)
+        .metric("loader_fetch_p99_ms", loader_fetch_p99_ms)
+        .metric(
+            "loader_decode_p99_ms",
+            loader_report.decode.p99_ns as f64 / 1e6,
+        )
+        .metric(
+            "loader_queue_wait_p99_ms",
+            loader_report.queue_wait.p99_ns as f64 / 1e6,
+        )
+        .metric(
+            "loader_worker_utilization",
+            loader_report.worker_utilization(),
+        );
     let path = report.write().expect("write BENCH_baseline.json");
     println!("{}", report.to_json());
     println!("baseline: wrote {}", path.display());

@@ -1,10 +1,12 @@
-//! Perf regression gate: re-run the C10K condition fresh and compare
-//! it against the committed `BENCH_baseline.json`. Exits non-zero when
-//! the fresh run regresses by more than the tolerance (default 25%) on
-//! either headline number:
+//! Perf regression gate: re-run the C10K condition and the loader-obs
+//! epoch fresh and compare them against the committed
+//! `BENCH_baseline.json`. Exits non-zero when a fresh run regresses by
+//! more than the tolerance (default 25%) on a headline number:
 //!
 //! * `c10k_queries_per_sec` — fresh must be ≥ (1 − tol) × baseline;
-//! * `c10k_p99_ms` — fresh must be ≤ (1 + tol) × baseline.
+//! * `c10k_p99_ms` — fresh must be ≤ (1 + tol) × baseline;
+//! * `loader_rows_per_sec` — fresh must be ≥ (1 − tol) × baseline;
+//! * `loader_fetch_p99_ms` — fresh must be ≤ (1 + tol) × baseline.
 //!
 //! Knobs:
 //! * `DL_REGRESS_BASELINE` — baseline JSON path (default
@@ -12,10 +14,14 @@
 //! * `DL_REGRESS_TOLERANCE` — allowed fractional regression
 //!   (default `0.25`). CI machines are noisy; a 25% band trips on real
 //!   regressions, not scheduler jitter.
-//! * `DL_REGRESS_CLIENTS` / `DL_REGRESS_REQS` — scale the fresh run
-//!   down for smoke environments. When the client count differs from
-//!   the baseline's `c10k_clients` the q/s and p99 comparison is
+//! * `DL_REGRESS_CLIENTS` / `DL_REGRESS_REQS` — scale the fresh C10K
+//!   run down for smoke environments. When the client count differs
+//!   from the baseline's `c10k_clients` the q/s and p99 comparison is
 //!   apples-to-oranges, so the gate reports but does NOT enforce.
+//! * `DL_REGRESS_LOADER_SAMPLES` — scale the fresh loader epoch; same
+//!   report-only rule when it differs from the baseline's
+//!   `loader_samples`. Baselines that predate the loader metrics skip
+//!   the loader gate entirely (with a notice) instead of aborting.
 //!
 //! Run with `cargo run --release -p deeplake-bench --bin regress`.
 
@@ -23,7 +29,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use deeplake_bench::c10k::{run_c10k, C10kConfig};
-use deeplake_bench::{env_f64, env_usize, parse_metrics, print_table};
+use deeplake_bench::{env_f64, env_usize, loader_obs_best, parse_metrics, print_table};
 use deeplake_hub::{Hub, HubOptions};
 use deeplake_storage::{MemoryProvider, StorageProvider};
 
@@ -114,6 +120,65 @@ fn main() {
         ],
     );
 
+    // the training-path gate: the same instrumented loader epoch the
+    // baseline bin ran, judged on delivered rows/s and fetch p99
+    let opt_base = |key: &str| baseline.iter().find(|(k, _)| k == key).map(|&(_, v)| v);
+    let loader_verdict = match (
+        opt_base("loader_rows_per_sec"),
+        opt_base("loader_fetch_p99_ms"),
+        opt_base("loader_samples"),
+    ) {
+        (Some(base_rows_ps), Some(base_fetch_p99), Some(base_samples)) => {
+            let samples = env_usize("DL_REGRESS_LOADER_SAMPLES", base_samples as usize);
+            // best-of-3, mirroring how the baseline numbers were taken:
+            // a 16-task epoch's fetch p99 is a max, so one scheduler
+            // stall would fail the gate without any real regression
+            let (fresh, fresh_rows_ps, fresh_fetch_p99) = loader_obs_best(samples, 4, 32, 3);
+            let rows_floor = base_rows_ps * (1.0 - tolerance);
+            let fetch_ceiling = base_fetch_p99 * (1.0 + tolerance);
+            let rows_ok = fresh_rows_ps >= rows_floor;
+            let fetch_ok = fresh_fetch_p99 <= fetch_ceiling;
+            print_table(
+                &format!(
+                    "loader regression gate ({samples} samples, bottleneck: {})",
+                    fresh.bottleneck
+                ),
+                &["metric", "baseline", "fresh", "bound", "verdict"],
+                &[
+                    row(
+                        "loader_rows_per_sec",
+                        base_rows_ps,
+                        fresh_rows_ps,
+                        rows_floor,
+                        rows_ok,
+                    ),
+                    row(
+                        "loader_fetch_p99_ms",
+                        base_fetch_p99,
+                        fresh_fetch_p99,
+                        fetch_ceiling,
+                        fetch_ok,
+                    ),
+                ],
+            );
+            if samples != base_samples as usize {
+                println!(
+                    "regress: fresh loader epoch used {samples} samples vs baseline's {} — reporting only",
+                    base_samples as usize
+                );
+                None
+            } else {
+                Some(rows_ok && fetch_ok)
+            }
+        }
+        _ => {
+            println!(
+                "regress: {baseline_path} predates the loader metrics — skipping the loader gate"
+            );
+            None
+        }
+    };
+
     if !comparable {
         println!(
             "regress: fresh run used {} clients vs baseline's {} — reporting only, not enforcing",
@@ -124,6 +189,13 @@ fn main() {
     if !(qps_ok && p99_ok) {
         eprintln!(
             "regress: fresh c10k run breached the {:.0}% band vs {baseline_path}",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    if loader_verdict == Some(false) {
+        eprintln!(
+            "regress: fresh loader epoch breached the {:.0}% band vs {baseline_path}",
             tolerance * 100.0
         );
         std::process::exit(1);

@@ -76,10 +76,13 @@ impl TensorOptions {
 }
 
 /// Decoded chunks pinned per tensor by [`Dataset::prefetch_chunks`],
-/// plus the storage round trips the prefetch cost.
+/// plus the storage round trips the prefetch cost and a fetch/decode
+/// cost split for instrumentation.
 pub struct PrefetchedChunks {
     by_tensor: HashMap<String, HashMap<u64, Arc<deeplake_format::Chunk>>>,
     round_trips: u64,
+    fetch_ns: u64,
+    decode_ns: u64,
 }
 
 impl PrefetchedChunks {
@@ -87,6 +90,21 @@ impl PrefetchedChunks {
     /// already decoded, 1 for the single batched call).
     pub fn round_trips(&self) -> u64 {
         self.round_trips
+    }
+
+    /// Nanoseconds the prefetch spent inside the storage provider (the
+    /// batched `execute` call) — pure I/O wait, no decoding.
+    pub fn fetch_ns(&self) -> u64 {
+        self.fetch_ns
+    }
+
+    /// Nanoseconds the prefetch spent admitting (decompressing +
+    /// decoding) the fetched chunks. Together with
+    /// [`fetch_ns`](PrefetchedChunks::fetch_ns) this is the split the
+    /// loader's `loader.fetch_ns` / `loader.decode_ns` histograms are
+    /// built on.
+    pub fn decode_ns(&self) -> u64 {
+        self.decode_ns
     }
 
     /// The pinned chunks of one tensor (`None` when the tensor was
@@ -518,9 +536,14 @@ impl Dataset {
             }
         }
         let mut round_trips = 0;
+        let mut fetch_ns = 0;
+        let mut decode_ns = 0;
         if !plan.is_empty() {
             round_trips = 1;
+            let fetch_t = std::time::Instant::now();
             let outcome = self.root.execute(&plan);
+            fetch_ns = fetch_t.elapsed().as_nanos() as u64;
+            let decode_t = std::time::Instant::now();
             for (tensor_index, chunk_id, index) in admissions {
                 if let Ok(data) = &outcome.results[index] {
                     // a corrupt blob is NOT an error here: the single-key
@@ -535,10 +558,13 @@ impl Dataset {
                     }
                 }
             }
+            decode_ns = decode_t.elapsed().as_nanos() as u64;
         }
         Ok(PrefetchedChunks {
             by_tensor: pinned,
             round_trips,
+            fetch_ns,
+            decode_ns,
         })
     }
 

@@ -68,7 +68,8 @@ use deeplake_obs::{
 };
 use deeplake_remote::proto::{self, Request};
 use deeplake_storage::{
-    DynProvider, PrefixProvider, ReadPlan, StorageError, StorageStats, TimingProvider,
+    DynProvider, PrefixProvider, ReadPlan, StorageError, StorageProvider, StorageStats,
+    TimingProvider,
 };
 use deeplake_tql::{canonical, parser, QueryOptions};
 use parking_lot::Mutex;
@@ -445,6 +446,10 @@ struct HubObs {
     cache_lookup: Histogram,
     /// Dataset open + TQL execution on a cache miss (`hub.execute_ns`).
     execute: Histogram,
+    /// Service time of batched read ops (`Execute`/`GetMany`) on a pool
+    /// worker (`hub.read_ns`) — the hub-side cost of one loader worker
+    /// task's scatter-gather fetch, queue wait excluded.
+    read: Histogram,
     /// Nanoseconds inside the mounted provider per query
     /// (`hub.storage_ns`) — a child of the execute span.
     storage: Histogram,
@@ -476,6 +481,7 @@ impl HubObs {
             queue_wait: registry.histogram("hub.queue_wait_ns"),
             cache_lookup: registry.histogram("hub.cache_lookup_ns"),
             execute: registry.histogram("hub.execute_ns"),
+            read: registry.histogram("hub.read_ns"),
             storage: registry.histogram("hub.storage_ns"),
             flush: registry.histogram("hub.flush_ns"),
             queries_rate: registry.rate("hub.queries_rate"),
@@ -1694,16 +1700,45 @@ fn dispatch_data(shared: &Shared, mount: &Arc<Mounted>, request: Request, ctx: &
                 Err(e) => proto::resp_storage_err(&e),
             }
         }
-        Request::GetMany { requests } => proto::resp_results(&p.get_many(&requests)),
+        Request::GetMany { requests } => {
+            let n = requests.len();
+            let timed = TimingProvider::new(p.clone());
+            let storage_nanos = timed.nanos_counter();
+            let exec = SpanTimer::start();
+            let results = timed.get_many(&requests);
+            let execute_ns = exec.stop();
+            record_read_op(
+                shared,
+                mount,
+                ctx,
+                format!("GETMANY {n} keys"),
+                execute_ns,
+                storage_nanos.get(),
+            );
+            proto::resp_results(&results)
+        }
         Request::Execute {
             gap_tolerance,
             requests,
         } => {
+            let n = requests.len();
             let mut plan = ReadPlan::with_gap_tolerance(gap_tolerance);
             for r in requests {
                 plan.push(r);
             }
-            let outcome = p.execute(&plan);
+            let timed = TimingProvider::new(p.clone());
+            let storage_nanos = timed.nanos_counter();
+            let exec = SpanTimer::start();
+            let outcome = timed.execute(&plan);
+            let execute_ns = exec.stop();
+            record_read_op(
+                shared,
+                mount,
+                ctx,
+                format!("EXECUTE {n} ranges"),
+                execute_ns,
+                storage_nanos.get(),
+            );
             proto::resp_execute(outcome.fetches, &outcome.results)
         }
         Request::Query {
@@ -1713,6 +1748,62 @@ fn dispatch_data(shared: &Shared, mount: &Arc<Mounted>, request: Request, ctx: &
         } => handle_query(shared, mount, &reference, &text, options, ctx),
         other => proto::resp_proto_err(&format!("{other:?} is not a data op")),
     }
+}
+
+/// Account one batched read op (`Execute`/`GetMany`): service time into
+/// `hub.read_ns`, and — when the op is over the slow threshold — a
+/// span-tree entry in the slow log shaped exactly like a query's
+/// (`queue_wait`/`execute` under a fresh root, `storage` under the
+/// execute span, `parent_span` = the client's span from the trace
+/// envelope). This is what connects a loader worker's fetch span to the
+/// hub stages that served it: the loader sends its fetch `Execute`
+/// under an ambient trace context, and this entry's `parent_span` is
+/// that fetch span's id.
+fn record_read_op(
+    shared: &Shared,
+    mount: &Arc<Mounted>,
+    ctx: &JobCtx,
+    text: String,
+    execute_ns: u64,
+    storage_ns: u64,
+) {
+    shared.obs.read.record(execute_ns);
+    let total_ns = ctx.queue_wait_ns + execute_ns;
+    if total_ns < shared.opts.slow_query_threshold.as_nanos() as u64 {
+        return;
+    }
+    let (trace_id, client_span) = ctx.trace.unwrap_or((0, 0));
+    let root_span = next_id();
+    let execute_span = next_id();
+    shared.obs.slowlog.push(SlowQueryEntry {
+        trace_id,
+        root_span,
+        parent_span: client_span,
+        dataset: mount.name.clone(),
+        version: String::new(),
+        text,
+        total_ns,
+        spans: vec![
+            SpanRecord {
+                name: "queue_wait".into(),
+                span_id: next_id(),
+                parent_span: root_span,
+                dur_ns: ctx.queue_wait_ns,
+            },
+            SpanRecord {
+                name: "execute".into(),
+                span_id: execute_span,
+                parent_span: root_span,
+                dur_ns: execute_ns,
+            },
+            SpanRecord {
+                name: "storage".into(),
+                span_id: next_id(),
+                parent_span: execute_span,
+                dur_ns: storage_ns,
+            },
+        ],
+    });
 }
 
 /// Resolve `reference` to its head node id with ONE storage read (the

@@ -4,6 +4,11 @@
 //! in deep learning native memory layout". Uniformly shaped samples stack
 //! into one contiguous array with a leading batch axis (what a framework
 //! would memcpy straight to the GPU); ragged tensors stay a list.
+//!
+//! Collation runs on the consumer thread and is timed per call into the
+//! `loader.collate_ns` histogram — a collate-attributed
+//! [`Bottleneck`](crate::Bottleneck) means this stacking, not the
+//! workers, is the epoch's critical path.
 
 use std::collections::BTreeMap;
 

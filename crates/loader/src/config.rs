@@ -36,13 +36,18 @@ pub type RowTransform = Arc<dyn Fn(Row) -> Row + Send + Sync>;
 /// Full loader configuration.
 #[derive(Clone)]
 pub struct LoaderConfig {
-    /// Rows per delivered batch.
+    /// Rows per delivered batch. The knob for a collate-attributed
+    /// [`Bottleneck`](crate::Bottleneck): fewer, larger collates.
     pub batch_size: usize,
-    /// Worker threads fetching + decoding.
+    /// Worker threads fetching + decoding. The knob for fetch- or
+    /// decode-attributed epochs (see the README's "Tuning the data
+    /// loader" table).
     pub num_workers: usize,
     /// Shuffling, if any.
     pub shuffle: Option<ShuffleConfig>,
-    /// Batches of rows to keep in flight ahead of the consumer.
+    /// Batches of rows to keep in flight ahead of the consumer. Raising
+    /// it smooths fetch-latency spikes — watch `loader.queue_depth` to
+    /// see whether the buffer actually fills.
     pub prefetch_batches: usize,
     /// Tensors to stream (`None` = all visible tensors). Partial reads are
     /// the point of columnar layout (§3.1).

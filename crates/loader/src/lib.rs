@@ -15,6 +15,15 @@
 //! `crates/server/tests/loopback.rs` and `deeplake-sim`'s serving
 //! scenario.
 //!
+//! Every stage is instrumented (see [`report`]): log-scale histograms
+//! under the `loader.*_ns` names, a prefetch queue-depth gauge, row and
+//! byte counters with windowed rates, and per-worker utilization —
+//! scrapeable live via [`DataLoader::metrics`]. Each epoch mints a
+//! trace root and fetches under per-task child spans, so streaming from
+//! a hub yields one connected span tree from the training step down to
+//! object storage; [`EpochIter::report`](loader::EpochIter::report)
+//! summarizes an epoch and attributes its [`Bottleneck`] automatically.
+//!
 //! ```
 //! use deeplake_core::Dataset;
 //! use deeplake_loader::DataLoader;
@@ -42,6 +51,7 @@ pub mod batch;
 pub mod config;
 pub mod loader;
 pub mod memory;
+pub mod report;
 pub mod scheduler;
 pub mod shuffle;
 
@@ -49,6 +59,7 @@ pub use batch::{Batch, BatchColumn};
 pub use config::{LoaderBuilder, LoaderConfig, ShuffleConfig};
 pub use loader::{DataLoader, EpochIter, LoaderStats};
 pub use memory::MemoryEstimator;
+pub use report::{Bottleneck, EpochReport, StageSummary, WorkerSummary};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, deeplake_core::CoreError>;

@@ -12,15 +12,21 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver};
 use deeplake_core::{CoreError, Dataset, Row};
+use deeplake_obs::{
+    with_current, Counter, Gauge, MetricsRegistry, MetricsSnapshot, RateWindow, SpanRecord,
+    TraceContext,
+};
 
 use crate::batch::Batch;
 use crate::config::{LoaderBuilder, LoaderConfig};
 use crate::memory::MemoryEstimator;
+use crate::report::{EpochReport, LoaderObs, StageObs, StageSummary, Stages, WorkerSummary};
 use crate::scheduler::Scheduler;
 use crate::shuffle::{block_shuffled_order, ShuffleBuffer};
 use crate::Result;
@@ -31,6 +37,10 @@ pub struct DataLoader {
     indices: Vec<u64>,
     config: LoaderConfig,
     tensor_names: Arc<Vec<String>>,
+    /// Client-level instruments, lifetime of this loader — every epoch
+    /// records into the same registry, mirroring how a hub's epochs of
+    /// traffic share `HubObs`.
+    obs: LoaderObs,
 }
 
 impl DataLoader {
@@ -63,7 +73,23 @@ impl DataLoader {
             indices,
             config,
             tensor_names: Arc::new(tensor_names),
+            obs: LoaderObs::new(),
         })
+    }
+
+    /// Snapshot of the loader's lifetime instruments (`loader.*` names:
+    /// per-stage histograms, queue-depth gauge, row/batch/byte counters
+    /// and windowed rates, per-worker utilization counters). Safe to
+    /// scrape from another thread while an epoch runs — the loader-side
+    /// mirror of `ClusterClient::metrics()`.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.registry.snapshot()
+    }
+
+    /// The underlying registry, for callers that want live handles
+    /// (e.g. to merge loader metrics into a fleet view).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.obs.registry
     }
 
     /// Rows per epoch.
@@ -82,7 +108,15 @@ impl DataLoader {
     }
 
     /// Start one epoch: spawn workers and return the batch iterator.
+    ///
+    /// The epoch mints a fresh [`TraceContext`] root (the "training
+    /// step" span); every worker task fetches under a child span of it,
+    /// so a dataset served by a hub parents its queue/execute/storage
+    /// spans under this epoch's trace — one connected tree from the
+    /// training loop down to object storage.
     pub fn epoch(&self) -> EpochIter {
+        self.obs.epochs.inc();
+        let sched_t = Instant::now();
         // 1. epoch order
         let order: Vec<u64> = match &self.config.shuffle {
             Some(cfg) => block_shuffled_order(&self.indices, cfg),
@@ -113,11 +147,21 @@ impl DataLoader {
             .max(1);
         let scheduler = Arc::new(Scheduler::new(total, block, |_| cost_per_row));
 
+        let stages = StageObs {
+            life: self.obs.stages.clone(),
+            epoch: Stages::fresh(),
+        };
+        stages.schedule(sched_t.elapsed().as_nanos() as u64);
+        let root = TraceContext::root();
+        let spans: Arc<Mutex<Vec<SpanRecord>>> = Arc::new(Mutex::new(Vec::new()));
+        let sent = Arc::new(AtomicU64::new(0));
+
         // 4. workers
         let (tx, rx) = bounded::<std::result::Result<(usize, Row), String>>(in_flight.max(1));
         let order = Arc::new(order);
         let mut handles = Vec::with_capacity(self.config.num_workers);
-        for _ in 0..self.config.num_workers {
+        let mut worker_counters = Vec::with_capacity(self.config.num_workers);
+        for w_idx in 0..self.config.num_workers {
             let dataset = self.dataset.clone();
             let order = order.clone();
             let scheduler = scheduler.clone();
@@ -125,47 +169,125 @@ impl DataLoader {
             let transform = self.config.transform.clone();
             let batched_io = self.config.batched_io;
             let tx = tx.clone();
+            let epoch_busy = Counter::new();
+            let epoch_tasks = Counter::new();
+            worker_counters.push((epoch_busy.clone(), epoch_tasks.clone()));
+            let w = WorkerObs {
+                stages: stages.clone(),
+                spans: spans.clone(),
+                queue_depth: self.obs.queue_depth.clone(),
+                sent: sent.clone(),
+                life_busy: self
+                    .obs
+                    .registry
+                    .counter(&format!("loader.worker.{w_idx}.busy_ns")),
+                life_tasks: self
+                    .obs
+                    .registry
+                    .counter(&format!("loader.worker.{w_idx}.tasks")),
+                epoch_busy,
+                epoch_tasks,
+            };
             handles.push(std::thread::spawn(move || {
                 while let Some(task) = scheduler.next() {
                     let rows: Vec<u64> = (task.start..task.end).map(|pos| order[pos]).collect();
+                    let busy_t = Instant::now();
+                    // Every storage call of this task runs under one
+                    // child span of the epoch root; a served hub reads
+                    // it from the wire and parents its own span tree
+                    // under it.
+                    let fetch_ctx = root.child();
                     // Batched path: ONE storage call covers every chunk
                     // this task touches (§3.5 scatter-gather). A batch
                     // failure falls back to single-key reads below so the
                     // per-row error message stays precise.
                     let batch: Option<Vec<Row>> = if batched_io {
-                        dataset.get_rows_batch(&tensor_names, &rows).ok()
+                        let fetch_t = Instant::now();
+                        let prefetched = with_current(fetch_ctx, || {
+                            dataset.prefetch_chunks(&tensor_names, &rows).ok()
+                        });
+                        let fetch_span_ns = fetch_t.elapsed().as_nanos() as u64;
+                        prefetched.and_then(|pf| {
+                            let decode_t = Instant::now();
+                            let assembled: Option<Vec<Row>> = rows
+                                .iter()
+                                .map(|&row_idx| {
+                                    let mut row = Row::new();
+                                    for name in tensor_names.iter() {
+                                        row.set(
+                                            name.clone(),
+                                            pf.get(&dataset, name, row_idx).ok()?,
+                                        );
+                                    }
+                                    Some(row)
+                                })
+                                .collect();
+                            let assembled = assembled?;
+                            // Stage samples land the moment the stage
+                            // finishes — before any send can block — so
+                            // a consumer dropping mid-epoch loses none.
+                            w.stages.fetch(pf.fetch_ns());
+                            w.stages
+                                .decode(pf.decode_ns() + decode_t.elapsed().as_nanos() as u64);
+                            w.span("fetch", fetch_ctx.span_id, root.span_id, fetch_span_ns);
+                            Some(assembled)
+                        })
                     } else {
                         None
                     };
                     if let Some(batch_rows) = batch {
+                        let batch_rows = match &transform {
+                            Some(f) => {
+                                let t = Instant::now();
+                                let out: Vec<Row> =
+                                    batch_rows.into_iter().map(|row| f(row)).collect();
+                                w.stages.transform(t.elapsed().as_nanos() as u64);
+                                out
+                            }
+                            None => batch_rows,
+                        };
+                        w.task_done(busy_t.elapsed().as_nanos() as u64);
                         for (pos, row) in (task.start..task.end).zip(batch_rows) {
-                            let row = match &transform {
-                                Some(f) => f(row),
-                                None => row,
-                            };
                             if tx.send(Ok((pos, row))).is_err() {
                                 return; // consumer hung up
                             }
+                            w.sent_one();
                         }
                         continue;
                     }
+                    let mut fetch_span_ns = 0u64;
+                    let mut task_busy_ns = 0u64;
                     for pos in task.start..task.end {
                         let row_idx = order[pos];
-                        let fetched: std::result::Result<Row, String> = (|| {
-                            let mut row = Row::new();
-                            for name in tensor_names.iter() {
-                                let sample = dataset
-                                    .get(name, row_idx)
-                                    .map_err(|e| format!("fetch {name}[{row_idx}]: {e}"))?;
-                                row.set(name.clone(), sample);
-                            }
-                            Ok(row)
-                        })(
-                        );
+                        let row_t = Instant::now();
+                        let fetched: std::result::Result<Row, String> =
+                            with_current(fetch_ctx, || {
+                                let mut row = Row::new();
+                                for name in tensor_names.iter() {
+                                    let sample = dataset
+                                        .get(name, row_idx)
+                                        .map_err(|e| format!("fetch {name}[{row_idx}]: {e}"))?;
+                                    row.set(name.clone(), sample);
+                                }
+                                Ok(row)
+                            });
+                        // Single-key path: one fetch sample per ROW (the
+                        // decode happens inside `get`, inseparable).
+                        let row_ns = row_t.elapsed().as_nanos() as u64;
+                        w.stages.fetch(row_ns);
+                        fetch_span_ns += row_ns;
+                        task_busy_ns += row_ns;
                         let msg = match fetched {
                             Ok(row) => {
                                 let row = match &transform {
-                                    Some(f) => f(row),
+                                    Some(f) => {
+                                        let t = Instant::now();
+                                        let row = f(row);
+                                        let t_ns = t.elapsed().as_nanos() as u64;
+                                        w.stages.transform(t_ns);
+                                        task_busy_ns += t_ns;
+                                        row
+                                    }
                                     None => row,
                                 };
                                 Ok((pos, row))
@@ -173,9 +295,15 @@ impl DataLoader {
                             Err(e) => Err(e),
                         };
                         if tx.send(msg).is_err() {
-                            return; // consumer hung up
+                            // consumer hung up; flush the task's span
+                            // so the partial work stays attributable
+                            w.span("fetch", fetch_ctx.span_id, root.span_id, fetch_span_ns);
+                            return;
                         }
+                        w.sent_one();
                     }
+                    w.span("fetch", fetch_ctx.span_id, root.span_id, fetch_span_ns);
+                    w.task_done(task_busy_ns);
                 }
             }));
         }
@@ -197,7 +325,60 @@ impl DataLoader {
             failed: false,
             stats: LoaderStats::default(),
             started: Instant::now(),
+            stages,
+            queue_depth: self.obs.queue_depth.clone(),
+            sent,
+            recvd: 0,
+            rows_c: self.obs.rows.clone(),
+            batches_c: self.obs.batches.clone(),
+            bytes_c: self.obs.bytes.clone(),
+            rows_rate: self.obs.rows_rate.clone(),
+            batches_rate: self.obs.batches_rate.clone(),
+            bytes_rate: self.obs.bytes_rate.clone(),
+            root,
+            spans,
+            worker_counters,
+            in_flight: in_flight.max(1),
+            resumed_at: None,
         }
+    }
+}
+
+/// Per-worker bundle of shared instruments, cloned into each worker
+/// thread. Busy/task counters record twice (loader lifetime + this
+/// epoch), the PR-8 double-recording pattern.
+struct WorkerObs {
+    stages: StageObs,
+    spans: Arc<Mutex<Vec<SpanRecord>>>,
+    queue_depth: Gauge,
+    sent: Arc<AtomicU64>,
+    life_busy: Counter,
+    life_tasks: Counter,
+    epoch_busy: Counter,
+    epoch_tasks: Counter,
+}
+
+impl WorkerObs {
+    fn span(&self, name: &'static str, span_id: u64, parent_span: u64, dur_ns: u64) {
+        self.spans.lock().unwrap().push(SpanRecord {
+            name: name.into(),
+            span_id,
+            parent_span,
+            dur_ns,
+        });
+    }
+
+    /// Busy time excludes send-block: that is backpressure, not work.
+    fn task_done(&self, busy_ns: u64) {
+        self.life_busy.add(busy_ns);
+        self.epoch_busy.add(busy_ns);
+        self.life_tasks.inc();
+        self.epoch_tasks.inc();
+    }
+
+    fn sent_one(&self) {
+        self.queue_depth.add(1);
+        self.sent.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -270,6 +451,23 @@ pub struct EpochIter {
     failed: bool,
     stats: LoaderStats,
     started: Instant,
+    stages: StageObs,
+    queue_depth: Gauge,
+    sent: Arc<AtomicU64>,
+    recvd: u64,
+    rows_c: Counter,
+    batches_c: Counter,
+    bytes_c: Counter,
+    rows_rate: RateWindow,
+    batches_rate: RateWindow,
+    bytes_rate: RateWindow,
+    root: TraceContext,
+    spans: Arc<Mutex<Vec<SpanRecord>>>,
+    worker_counters: Vec<(Counter, Counter)>,
+    in_flight: usize,
+    /// When the consumer last left `next()` — the gap until it comes
+    /// back is GPU/compute time, the `loader.consumer_gap_ns` signal.
+    resumed_at: Option<Instant>,
 }
 
 impl EpochIter {
@@ -278,6 +476,68 @@ impl EpochIter {
         let mut s = self.stats;
         s.elapsed = self.started.elapsed();
         s
+    }
+
+    /// The epoch's trace context — pass it to other instruments (or
+    /// compare against hub slow-log entries) to stitch a full tree.
+    pub fn trace(&self) -> TraceContext {
+        self.root
+    }
+
+    /// Build the epoch's [`EpochReport`]: exact per-stage quantiles for
+    /// *this* epoch, per-worker utilization, the client-side span
+    /// records, and the attributed bottleneck. Callable mid-epoch (a
+    /// partial report) or after exhaustion (the final one).
+    pub fn report(&self) -> EpochReport {
+        let stats = self.stats();
+        let mut spans = self.spans.lock().unwrap().clone();
+        spans.push(SpanRecord {
+            name: "epoch".into(),
+            span_id: self.root.span_id,
+            parent_span: 0,
+            dur_ns: stats.elapsed.as_nanos() as u64,
+        });
+        let e = &self.stages.epoch;
+        let schedule = StageSummary::of(&e.schedule);
+        let fetch = StageSummary::of(&e.fetch);
+        let decode = StageSummary::of(&e.decode);
+        let transform = StageSummary::of(&e.transform);
+        let collate = StageSummary::of(&e.collate);
+        let queue_wait = StageSummary::of(&e.queue_wait);
+        let consumer_gap = StageSummary::of(&e.consumer_gap);
+        let bottleneck = EpochReport::attribute(
+            &fetch,
+            &decode,
+            &transform,
+            &collate,
+            &queue_wait,
+            &consumer_gap,
+        );
+        EpochReport {
+            stats,
+            schedule,
+            fetch,
+            decode,
+            transform,
+            collate,
+            queue_wait,
+            consumer_gap,
+            workers: self
+                .worker_counters
+                .iter()
+                .enumerate()
+                .map(|(i, (busy, tasks))| WorkerSummary {
+                    worker: i,
+                    busy_ns: busy.get(),
+                    tasks: tasks.get(),
+                })
+                .collect(),
+            in_flight_rows: self.in_flight,
+            trace_id: self.root.trace_id,
+            root_span: self.root.span_id,
+            spans,
+            bottleneck,
+        }
     }
 
     fn absorb(&mut self, seq: usize, row: Row) {
@@ -325,18 +585,24 @@ impl EpochIter {
         }
         let take = self.batch_size.min(self.pending.len());
         let rows: Vec<Row> = self.pending.drain(..take).collect();
+        let collate_t = Instant::now();
         let batch = Batch::collate(rows);
-        self.stats.rows += batch.len() as u64;
+        self.stages.collate(collate_t.elapsed().as_nanos() as u64);
+        let rows_n = batch.len() as u64;
+        let bytes_n = batch.nbytes() as u64;
+        self.stats.rows += rows_n;
         self.stats.batches += 1;
-        self.stats.bytes += batch.nbytes() as u64;
+        self.stats.bytes += bytes_n;
+        self.rows_c.add(rows_n);
+        self.batches_c.inc();
+        self.bytes_c.add(bytes_n);
+        self.rows_rate.add(rows_n);
+        self.batches_rate.add(1);
+        self.bytes_rate.add(bytes_n);
         Some(batch)
     }
-}
 
-impl Iterator for EpochIter {
-    type Item = Result<Batch>;
-
-    fn next(&mut self) -> Option<Self::Item> {
+    fn advance(&mut self) -> Option<Result<Batch>> {
         if self.failed {
             return None;
         }
@@ -347,17 +613,42 @@ impl Iterator for EpochIter {
             if self.upstream_done {
                 return None;
             }
-            match self.rx.recv() {
-                Ok(Ok((seq, row))) => self.absorb(seq, row),
-                Ok(Err(message)) => {
-                    self.failed = true;
-                    return Some(Err(CoreError::Corrupt(format!(
-                        "loader worker failed: {message}"
-                    ))));
+            let wait_t = Instant::now();
+            let received = self.rx.recv();
+            self.stages.queue_wait(wait_t.elapsed().as_nanos() as u64);
+            match received {
+                Ok(msg) => {
+                    self.queue_depth.add(-1);
+                    self.recvd += 1;
+                    match msg {
+                        Ok((seq, row)) => self.absorb(seq, row),
+                        Err(message) => {
+                            self.failed = true;
+                            return Some(Err(CoreError::Corrupt(format!(
+                                "loader worker failed: {message}"
+                            ))));
+                        }
+                    }
                 }
                 Err(_) => self.finish_upstream(),
             }
         }
+    }
+}
+
+impl Iterator for EpochIter {
+    type Item = Result<Batch>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        // Time since the consumer last left `next()` = the GPU/compute
+        // gap. Recorded against queue_wait by the attribution rule: a
+        // consumer away longer than it waits means the pipeline kept up.
+        if let Some(t) = self.resumed_at.take() {
+            self.stages.consumer_gap(t.elapsed().as_nanos() as u64);
+        }
+        let out = self.advance();
+        self.resumed_at = Some(Instant::now());
+        out
     }
 }
 
@@ -367,6 +658,13 @@ impl Drop for EpochIter {
         drop(std::mem::replace(&mut self.rx, crossbeam::channel::never()));
         for h in self.handles.drain(..) {
             let _ = h.join();
+        }
+        // Workers are joined, so `sent` is final: settle the queue-depth
+        // gauge for rows that were in flight when the consumer dropped
+        // mid-epoch, leaving it at zero for the next epoch.
+        let residue = self.sent.load(Ordering::Acquire) as i64 - self.recvd as i64;
+        if residue != 0 {
+            self.queue_depth.add(-residue);
         }
     }
 }

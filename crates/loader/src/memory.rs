@@ -1,6 +1,11 @@
 //! Memory consumption prediction (§4.6: "Efficient Resource Allocation:
 //! predicting memory consumption to avoid breaking the training process
 //! due to memory overfilling").
+//!
+//! The in-flight row budget this estimator produces is the bound of the
+//! prefetch channel, observable live as the `loader.queue_depth` gauge
+//! and reported per epoch as
+//! [`EpochReport::in_flight_rows`](crate::EpochReport::in_flight_rows).
 
 use deeplake_core::Dataset;
 

@@ -8,6 +8,11 @@
 //! CPU-bound convoy. Workers then claim tasks from a shared atomic
 //! cursor (work stealing degenerates to striding because tasks are
 //! uniform).
+//!
+//! Schedule construction is timed into the `loader.schedule_ns`
+//! histogram (one sample per epoch); per-task completions show up as
+//! the `loader.worker.<i>.tasks` counters, so an uneven task split is
+//! visible in [`EpochReport::workers`](crate::EpochReport::workers).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -12,6 +12,11 @@
 //!    chunk-local, so the storage layer sees large sequential ranges.
 //! 2. **Shuffle buffer** — a bounded pool of decoded rows from which the
 //!    next sample is drawn uniformly, decorrelating nearby samples.
+//!
+//! Both levels run before the stages the `loader.*_ns` histograms time:
+//! block shuffling lands inside the epoch's single `loader.schedule_ns`
+//! sample, and the buffer adds consumer-side latency that surfaces as
+//! `loader.queue_wait_ns` only when it forces extra receives.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;

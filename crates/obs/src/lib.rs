@@ -69,5 +69,5 @@ pub use events::{FlightEvent, FlightRecorder};
 pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 pub use slowlog::{SlowQueryEntry, SlowQueryLog};
-pub use trace::{next_id, SpanRecord, SpanTimer, TraceContext};
+pub use trace::{current_trace, next_id, with_current, SpanRecord, SpanTimer, TraceContext};
 pub use window::{window_name, RateSnapshot, RateWindow, WindowedHistogram, WINDOW_SECS};

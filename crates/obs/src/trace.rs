@@ -2,11 +2,42 @@
 //! id per hop, and named duration records tying a request's stages back
 //! to that root.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
 use crate::hist::Histogram;
+
+thread_local! {
+    /// The ambient trace context of this thread, if any — set by
+    /// [`with_current`], read by transports that want an outgoing
+    /// request to join an enclosing span instead of rooting a fresh
+    /// trace (a loader worker's fetch joining its training-step trace).
+    static CURRENT: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// The ambient [`TraceContext`] installed on this thread by the nearest
+/// enclosing [`with_current`], or `None` outside any.
+pub fn current_trace() -> Option<TraceContext> {
+    CURRENT.with(|c| c.get())
+}
+
+/// Run `f` with `ctx` as this thread's ambient trace context. Nested
+/// calls shadow; the previous context is restored on exit (including
+/// unwind, via the drop guard), so a transport deep in `f`'s call tree
+/// can attribute its wire round trips to `ctx` without every layer in
+/// between threading trace arguments.
+pub fn with_current<R>(ctx: TraceContext, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<TraceContext>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(CURRENT.with(|c| c.replace(Some(ctx))));
+    f()
+}
 
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -133,6 +164,31 @@ mod tests {
         assert_ne!(child.span_id, root.span_id);
         assert_ne!(root.trace_id, 0);
         assert_ne!(root.span_id, 0);
+    }
+
+    #[test]
+    fn ambient_context_nests_and_restores() {
+        assert_eq!(current_trace(), None);
+        let outer = TraceContext::root();
+        let inner = outer.child();
+        with_current(outer, || {
+            assert_eq!(current_trace(), Some(outer));
+            with_current(inner, || {
+                assert_eq!(current_trace(), Some(inner));
+            });
+            assert_eq!(current_trace(), Some(outer), "inner scope restored");
+        });
+        assert_eq!(current_trace(), None, "outer scope restored");
+    }
+
+    #[test]
+    fn ambient_context_is_per_thread() {
+        let ctx = TraceContext::root();
+        with_current(ctx, || {
+            let seen = std::thread::spawn(current_trace).join().unwrap();
+            assert_eq!(seen, None, "other threads must not inherit the context");
+            assert_eq!(current_trace(), Some(ctx));
+        });
     }
 
     #[test]

@@ -38,7 +38,9 @@ use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use deeplake_obs::{next_id, Histogram, MetricsRegistry, MetricsSnapshot, SpanTimer, TraceContext};
+use deeplake_obs::{
+    current_trace, next_id, Histogram, MetricsRegistry, MetricsSnapshot, SpanTimer, TraceContext,
+};
 use deeplake_storage::{
     NetworkProfile, ReadPlan, ReadRequest, ReadResult, StorageError, StorageProvider, StorageStats,
 };
@@ -79,6 +81,12 @@ pub struct RemoteOptions {
     /// Base back-off between `Busy` retries (attempt `n` sleeps
     /// `n × busy_backoff`).
     pub busy_backoff: Duration,
+    /// Send the `Traced` envelope when the server understands it
+    /// (default). `false` skips the dial-time capability probe entirely
+    /// and every request goes out untagged — the knob overhead
+    /// benchmarks use to A/B the envelope's cost, and an escape hatch
+    /// for operators who want zero tracing bytes on the wire.
+    pub tracing: bool,
 }
 
 impl Default for RemoteOptions {
@@ -90,6 +98,7 @@ impl Default for RemoteOptions {
             read_timeout: Some(Duration::from_secs(30)),
             busy_retries: 4,
             busy_backoff: Duration::from_millis(20),
+            tracing: true,
         }
     }
 }
@@ -569,7 +578,12 @@ impl RemoteProvider {
         // with a lossless "unknown opcode" protocol error, and every
         // later request on this client then goes out untagged so
         // rolling upgrades in mixed-version clusters keep working in
-        // both directions.
+        // both directions. With tracing disabled by options the probe
+        // is skipped: `traced` stays false and no envelope bytes ever
+        // hit the wire.
+        if !self.opts.tracing {
+            return Ok(stream);
+        }
         let probe = proto::trace_wrap(next_id(), next_id(), &proto::encode_request(&Request::Ping));
         proto::write_frame(&mut stream, &probe)?;
         match proto::read_frame(&mut stream)? {
@@ -699,9 +713,12 @@ impl RemoteProvider {
         // included) sends its own span id, so the server-side span tree
         // names the attempt that actually executed. When the handshake
         // probe found a pre-tracing server the envelope is skipped and
-        // the payload goes out verbatim.
+        // the payload goes out verbatim. An ambient context installed by
+        // `deeplake_obs::with_current` (a loader worker's fetch span)
+        // is adopted instead of rooting a fresh trace, so the server's
+        // span tree parents this exchange under the caller's span.
         let traced = self.traced.load(Ordering::Relaxed);
-        let trace = TraceContext::root();
+        let trace = current_trace().unwrap_or_else(TraceContext::root);
         if traced {
             self.last_trace_id.store(trace.trace_id, Ordering::Relaxed);
         }

@@ -17,7 +17,7 @@ use bytes::Bytes;
 use deeplake_baselines::RawImage;
 use deeplake_codec::Compression;
 use deeplake_core::dataset::{Dataset, TensorOptions};
-use deeplake_loader::DataLoader;
+use deeplake_loader::{Bottleneck, DataLoader, EpochReport};
 use deeplake_storage::{
     DynProvider, MemoryProvider, NetworkProfile, SimulatedCloudProvider, StorageProvider,
 };
@@ -69,7 +69,7 @@ pub struct TrainingConfig {
 }
 
 /// Outcome of one training run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct TrainingReport {
     /// Mode that produced this report.
     pub mode: TrainMode,
@@ -80,12 +80,67 @@ pub struct TrainingReport {
     pub total_time: Duration,
     /// GPU-side summary.
     pub gpu: GpuReport,
+    /// Loader-side epoch report with per-stage quantiles and the
+    /// attributed bottleneck. `None` for the file-based modes, which
+    /// bypass the instrumented loader.
+    pub loader: Option<EpochReport>,
 }
 
 impl TrainingReport {
     /// GPU utilization over the streaming window.
     pub fn utilization(&self) -> f64 {
         self.gpu.utilization()
+    }
+
+    /// The loader's attributed bottleneck, when streaming.
+    pub fn bottleneck(&self) -> Option<Bottleneck> {
+        self.loader.as_ref().map(|r| r.bottleneck)
+    }
+
+    /// Side-by-side rendering: the GPU's view (utilization, idle) next
+    /// to the loader's view (stage p50/p99, attribution) — the two
+    /// halves an operator compares to decide which side to tune.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}: {} images in {:.2?} (first batch {:.2?}), gpu {:.0}% busy\n",
+            self.mode.name(),
+            self.gpu.images,
+            self.total_time,
+            self.time_to_first_batch,
+            self.utilization() * 100.0,
+        );
+        match &self.loader {
+            Some(r) => {
+                out.push_str(&format!(
+                    "{:<14} {:>10} {:>10}   gpu-side\n",
+                    "stage", "p50_us", "p99_us"
+                ));
+                for (name, s) in [
+                    ("fetch", &r.fetch),
+                    ("decode", &r.decode),
+                    ("transform", &r.transform),
+                    ("collate", &r.collate),
+                    ("queue_wait", &r.queue_wait),
+                    ("consumer_gap", &r.consumer_gap),
+                ] {
+                    let gpu_side = match name {
+                        "queue_wait" => format!("gpu idle  {:.2?}", self.gpu.wall - self.gpu.busy),
+                        "consumer_gap" => format!("gpu busy  {:.2?}", self.gpu.busy),
+                        _ => String::new(),
+                    };
+                    out.push_str(&format!(
+                        "{:<14} {:>10.1} {:>10.1}   {}\n",
+                        name,
+                        s.p50_ns as f64 / 1e3,
+                        s.p99_ns as f64 / 1e3,
+                        gpu_side,
+                    ));
+                }
+                out.push_str(&format!("bottleneck: {}\n", r.bottleneck));
+            }
+            None => out.push_str("(file-based mode: no loader instrumentation)\n"),
+        }
+        out
     }
 }
 
@@ -190,6 +245,7 @@ fn run_file_mode(images: &[RawImage], cfg: &TrainingConfig, copy_first: bool) ->
         time_to_first_batch: report.time_to_first_batch,
         total_time: started.elapsed(),
         gpu: report,
+        loader: None,
     }
 }
 
@@ -240,16 +296,21 @@ fn run_deeplake(images: &[RawImage], cfg: &TrainingConfig) -> TrainingReport {
         .build()
         .unwrap();
     let mut gpu = GpuConsumer::new(cfg.gpu_rate, cfg.gpu_scale);
-    for batch in loader.epoch() {
+    let mut epoch = loader.epoch();
+    for batch in epoch.by_ref() {
         let batch = batch.unwrap();
         gpu.consume(batch.len());
     }
+    // the GPU consumed inside the iteration loop, so the consumer-gap
+    // histogram holds exactly the compute time — attribution sees it
+    let loader_report = epoch.report();
     let report = gpu.report();
     TrainingReport {
         mode: TrainMode::DeepLakeStream,
         time_to_first_batch: report.time_to_first_batch,
         total_time: started.elapsed(),
         gpu: report,
+        loader: Some(loader_report),
     }
 }
 
@@ -328,5 +389,75 @@ mod tests {
     fn mode_names() {
         assert_eq!(TrainMode::FileMode.name(), "aws-file-mode");
         assert_eq!(TrainMode::DeepLakeStream.name(), "deeplake");
+    }
+
+    /// Run the streaming mode and return the attributed bottleneck.
+    fn attributed(c: &TrainingConfig) -> (Bottleneck, TrainingReport) {
+        let r = run_training(TrainMode::DeepLakeStream, c);
+        assert_eq!(r.gpu.images, c.samples as u64);
+        let b = r.bottleneck().expect("streaming mode carries a report");
+        (b, r)
+    }
+
+    #[test]
+    fn fetch_starved_config_is_attributed_to_fetch() {
+        // High-latency network, one worker, fast GPU: the consumer
+        // blocks on the queue while workers wait on round trips.
+        let net = NetworkProfile {
+            first_byte_latency: Duration::from_millis(12),
+            bandwidth_bps: 10_000_000,
+            put_overhead: Duration::ZERO,
+            scale: 1.0,
+        };
+        let mut c = cfg(net);
+        c.workers = 1;
+        c.gpu_rate = 1_000_000.0; // GPU essentially free
+        let (b, r) = attributed(&c);
+        assert_eq!(b, Bottleneck::Fetch, "\n{}", r.render());
+        let lr = r.loader.unwrap();
+        assert!(lr.fetch.total_ns > lr.decode.total_ns, "{}", lr.render());
+    }
+
+    #[test]
+    fn decode_starved_config_is_attributed_to_decode() {
+        // Instant network, heavy JPEG_LIKE decompression, free GPU:
+        // workers spend their time decoding, not waiting on storage.
+        let mut c = cfg(NetworkProfile::instant());
+        c.samples = 120;
+        c.side = 96; // bigger images: decode cost dominates
+        c.workers = 1;
+        c.gpu_rate = 1_000_000.0;
+        let (b, r) = attributed(&c);
+        assert_eq!(b, Bottleneck::Decode, "\n{}", r.render());
+    }
+
+    #[test]
+    fn consumer_bound_config_is_attributed_to_consumer() {
+        // Instant network and a slow GPU: the pipeline keeps up and the
+        // consumer gap dwarfs queue wait — loader knobs will not help.
+        let mut c = cfg(NetworkProfile::instant());
+        c.gpu_rate = 500.0; // 16-row batch = 32 ms compute
+        let (b, r) = attributed(&c);
+        assert_eq!(b, Bottleneck::Consumer, "\n{}", r.render());
+        let lr = r.loader.unwrap();
+        assert!(
+            lr.consumer_gap.total_ns >= lr.queue_wait.total_ns,
+            "{}",
+            lr.render()
+        );
+    }
+
+    #[test]
+    fn streaming_report_renders_side_by_side() {
+        let c = cfg(NetworkProfile::instant());
+        let r = run_training(TrainMode::DeepLakeStream, &c);
+        let text = r.render();
+        for needle in ["fetch", "queue_wait", "consumer_gap", "bottleneck:", "gpu"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        // file-based modes carry no loader report
+        let f = run_training(TrainMode::FastFileMode, &c);
+        assert!(f.loader.is_none());
+        assert!(f.render().contains("no loader instrumentation"));
     }
 }

@@ -3,11 +3,14 @@
 //! in-flight, queue depth), the `Metrics` opcode (counters, windowed
 //! rates, latency quantiles), and the always-on flight recorder.
 //!
-//! The demo spins up a three-node cluster, drives query traffic,
-//! crashes a node WITHOUT telling the membership map, and lets the
-//! client's health prober discover the death — each refresh prints the
-//! fleet table an operator would watch it happen in. Iterations are
-//! bounded so the example terminates (and stays CI-safe).
+//! The demo spins up a three-node cluster, drives query traffic AND a
+//! background training loader streaming epochs, crashes a node WITHOUT
+//! telling the membership map, and lets the client's health prober
+//! discover the death — each refresh prints the fleet table an operator
+//! would watch it happen in, with a `loader` row (rows/s, queue depth,
+//! fetch quantiles) scraped live from `DataLoader::metrics()`.
+//! Iterations are bounded so the example terminates (and stays
+//! CI-safe).
 //!
 //! ```sh
 //! cargo run --example dltop
@@ -64,7 +67,38 @@ fn main() {
     };
 
     let addrs = cluster.addrs();
-    let victim = cluster.replica_nodes("hotset")[0];
+    let replicas = cluster.replica_nodes("hotset");
+    let victim = replicas[0];
+
+    // a training loader streaming epochs in the background over a
+    // served mount on the SURVIVING replica: its lifetime registry is
+    // what the `loader` table row scrapes
+    let served =
+        Arc::new(deeplake::remote::RemoteProvider::connect(addrs[replicas[1]].as_str()).unwrap());
+    served.attach("hotset").unwrap();
+    let train_ds = Arc::new(Dataset::open(served as DynProvider).unwrap());
+    let loader = Arc::new(
+        DataLoader::builder(train_ds)
+            .batch_size(32)
+            .num_workers(2)
+            .tensors(["labels"])
+            .build()
+            .unwrap(),
+    );
+    let train = {
+        let loader = Arc::clone(&loader);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                for batch in loader.epoch() {
+                    if batch.is_err() || stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1)); // "GPU" step
+                }
+            }
+        })
+    };
     for tick in 0..6 {
         if tick == 3 {
             // an UN-observed failure: the hub dies, the map is not told
@@ -126,11 +160,34 @@ fn main() {
                 ),
             }
         }
+        // the training-path row, scraped from the loader's own registry
+        let snap = loader.metrics();
+        let w10 = WINDOW_SECS.iter().position(|&w| w == 10).unwrap();
+        let rows_ps = snap
+            .rate("loader.rows_rate")
+            .map(|r| r.per_sec(w10))
+            .unwrap_or(0.0);
+        let (fetch_p50, fetch_p99) = snap
+            .histogram("loader.fetch_ns")
+            .map(|h| (h.quantile(0.50) as f64 / 1e6, h.quantile(0.99) as f64 / 1e6))
+            .unwrap_or((0.0, 0.0));
+        println!(
+            "{:<22} {:>5}  {:>9} {:>6}  {:>8} {:>8.1}  p50 {:.2}ms / p99 {:.2}ms fetch",
+            "loader:hotset",
+            snap.counter("loader.epochs").unwrap_or(0),
+            snap.gauge("loader.queue_depth").unwrap_or(0),
+            "-",
+            snap.counter("loader.rows").unwrap_or(0),
+            rows_ps,
+            fetch_p50,
+            fetch_p99,
+        );
         std::thread::sleep(Duration::from_millis(120));
     }
 
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     load.join().unwrap();
+    train.join().unwrap();
     client.stop_prober();
 
     // the fleet's merged view + a surviving node's flight recorder tail

@@ -1,0 +1,162 @@
+//! Training-path observability acceptance: one loader epoch streaming
+//! over a hub-served mount produces ONE connected span tree — the
+//! epoch's training-step root, the per-task worker fetch spans under
+//! it, and under each of those the hub's queue_wait/execute/storage
+//! spans — retrievable over the wire via the `Metrics` opcode.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use deeplake::hub::{Hub, HubHandle, HubOptions};
+use deeplake::loader::DataLoader;
+use deeplake::prelude::*;
+use deeplake::remote::RemoteProvider;
+use deeplake::storage::DynProvider;
+
+const ROWS: u64 = 64;
+
+/// A hub serving one image dataset with the slow-query threshold at
+/// zero, so every batched read op lands in the span-tree ring.
+fn training_hub() -> HubHandle {
+    let storage: DynProvider = Arc::new(MemoryProvider::new());
+    let mut ds = Dataset::create(storage.clone(), "train").unwrap();
+    ds.create_tensor_opts("images", {
+        let mut o = TensorOptions::new(Htype::Image);
+        o.sample_compression = Some(Compression::Lz4);
+        o.chunk_target_bytes = Some(8 * 1024);
+        o
+    })
+    .unwrap();
+    ds.create_tensor("labels", Htype::ClassLabel, None).unwrap();
+    for i in 0..ROWS {
+        ds.append_row(vec![
+            (
+                "images",
+                Sample::from_slice([8, 8, 3], &[(i % 251) as u8; 192]).unwrap(),
+            ),
+            ("labels", Sample::scalar((i % 10) as i32)),
+        ])
+        .unwrap();
+    }
+    ds.flush().unwrap();
+    Hub::builder()
+        .mount("train", storage)
+        .options(HubOptions {
+            slow_query_threshold: Duration::ZERO,
+            ..HubOptions::default()
+        })
+        .bind("127.0.0.1:0")
+        .unwrap()
+}
+
+#[test]
+fn loader_epoch_produces_connected_span_tree_on_the_hub() {
+    let hub = training_hub();
+    let remote = Arc::new(RemoteProvider::connect(hub.addr()).unwrap());
+    assert!(remote.tracing_enabled(), "handshake probe must see tracing");
+    remote.attach("train").unwrap();
+    let ds = Arc::new(Dataset::open(remote.clone() as DynProvider).unwrap());
+
+    let loader = DataLoader::builder(ds)
+        .batch_size(8)
+        .num_workers(2)
+        .build()
+        .unwrap();
+    let mut epoch = loader.epoch();
+    let mut rows = 0usize;
+    for batch in epoch.by_ref() {
+        rows += batch.unwrap().len();
+    }
+    assert_eq!(rows, ROWS as usize);
+
+    let report = epoch.report();
+    assert_ne!(report.trace_id, 0);
+    assert_eq!(report.stats.rows, ROWS);
+    let fetch_spans = report.fetch_span_ids();
+    assert!(!fetch_spans.is_empty(), "workers must have recorded spans");
+
+    // client side of the tree: the epoch root, and every fetch span
+    // parented to it
+    let epoch_span = report
+        .spans
+        .iter()
+        .find(|s| s.name == "epoch")
+        .expect("epoch root span");
+    assert_eq!(epoch_span.span_id, report.root_span);
+    assert_eq!(epoch_span.parent_span, 0, "the epoch is the trace root");
+    for s in report.spans.iter().filter(|s| s.name == "fetch") {
+        assert_eq!(s.parent_span, report.root_span);
+    }
+
+    // hub side, scraped over the wire: every entry of this trace hangs
+    // off one of the loader's fetch spans, and its internal stages are
+    // connected (queue_wait/execute under the op root, storage under
+    // execute)
+    let snap = remote.hub_metrics().unwrap();
+    let entries: Vec<_> = snap
+        .slow_queries
+        .iter()
+        .filter(|e| e.trace_id == report.trace_id)
+        .collect();
+    assert!(
+        !entries.is_empty(),
+        "hub must have recorded ops of the epoch's trace; got traces {:?}",
+        snap.slow_queries
+            .iter()
+            .map(|e| e.trace_id)
+            .collect::<Vec<_>>()
+    );
+    for entry in entries {
+        assert!(
+            fetch_spans.contains(&entry.parent_span),
+            "hub op parent {} must be a loader fetch span",
+            entry.parent_span
+        );
+        assert_eq!(entry.dataset, "train");
+        let span = |name: &str| {
+            entry
+                .spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("span {name} missing in {entry:?}"))
+        };
+        assert_eq!(span("queue_wait").parent_span, entry.root_span);
+        assert_eq!(span("execute").parent_span, entry.root_span);
+        assert_eq!(span("storage").parent_span, span("execute").span_id);
+        assert!(span("execute").dur_ns > 0, "execute must be timed");
+    }
+
+    // the data-op service-time histogram filled alongside
+    assert!(snap.histogram("hub.read_ns").is_some_and(|h| !h.is_empty()));
+
+    // and the loader's own registry saw the same epoch
+    let mine = loader.metrics();
+    assert!(mine
+        .histogram("loader.fetch_ns")
+        .is_some_and(|h| !h.is_empty()));
+    assert_eq!(mine.counter("loader.rows"), Some(ROWS));
+}
+
+/// An untraced client (`RemoteOptions { tracing: false }`) still
+/// streams correctly — zero tracing bytes on the wire, no trace joined.
+#[test]
+fn untraced_client_still_streams() {
+    use deeplake::remote::RemoteOptions;
+    let hub = training_hub();
+    let remote = Arc::new(
+        RemoteProvider::connect_with(
+            hub.addr(),
+            RemoteOptions {
+                tracing: false,
+                ..RemoteOptions::default()
+            },
+        )
+        .unwrap(),
+    );
+    assert!(!remote.tracing_enabled());
+    remote.attach("train").unwrap();
+    let ds = Arc::new(Dataset::open(remote.clone() as DynProvider).unwrap());
+    let loader = DataLoader::builder(ds).batch_size(16).build().unwrap();
+    let rows: usize = loader.epoch().map(|b| b.unwrap().len()).sum();
+    assert_eq!(rows, ROWS as usize);
+}
